@@ -1,0 +1,65 @@
+// Ablation: multi-chain convergence diagnostics on the campaign posterior.
+//
+// Four Metropolis chains from dispersed starting points; split Gelman-Rubin
+// R-hat per AS. Most coordinates converge crisply; coordinates with
+// elevated R-hat mark the multi-modal credit-assignment cases (damper vs
+// confounder) that motivate running HMC alongside MH and taking the
+// "highest flag" - exactly the paper's §3.2 justification for multiple
+// samplers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/multichain.hpp"
+
+int main() {
+  using namespace because;
+
+  auto config = bench::campaign_config({sim::minutes(1)});
+  config.prefixes_per_interval = 1;
+  const auto campaign = experiment::run_campaign(config);
+
+  labeling::PathDataset dataset;
+  for (const auto& p : campaign.labeled)
+    dataset.add_path(p.path, p.rfd, campaign.site_set());
+
+  const core::Likelihood likelihood(dataset);
+  const core::Prior prior = core::Prior::beta(1.0, 1.5);
+  core::MetropolisConfig mh;
+  mh.samples = 800;
+  mh.burn_in = 400;
+  mh.seed = 11;
+
+  const auto result = core::run_metropolis_chains(likelihood, prior, mh, 4);
+
+  std::size_t under_105 = 0, under_110 = 0;
+  for (double r : result.rhat) {
+    if (r <= 1.05) ++under_105;
+    if (r <= 1.10) ++under_110;
+  }
+  std::printf("4 chains x %zu samples over %zu coordinates\n", mh.samples,
+              dataset.as_count());
+  std::printf("R-hat <= 1.05: %zu/%zu, <= 1.10: %zu/%zu, max %.3f, "
+              "converged(1.1): %s\n",
+              under_105, result.rhat.size(), under_110, result.rhat.size(),
+              result.max_rhat(), result.converged(1.1) ? "yes" : "no");
+
+  util::Table worst({"AS", "R-hat", "pooled mean", "RFD/clean paths"});
+  std::vector<std::size_t> order(dataset.as_count());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.rhat[a] > result.rhat[b];
+  });
+  for (std::size_t k = 0; k < std::min<std::size_t>(8, order.size()); ++k) {
+    const std::size_t i = order[k];
+    worst.add_row({std::to_string(dataset.as_at(i)),
+                   util::fmt_double(result.rhat[i], 3),
+                   util::fmt_double(result.pooled.mean(i), 3),
+                   std::to_string(dataset.property_paths(i)) + "/" +
+                       std::to_string(dataset.clean_paths(i))});
+  }
+  std::printf("\n%s", worst.render("coordinates with the highest R-hat").c_str());
+  std::printf("\nhigh-R-hat coordinates sit on contested RFD paths (damper vs\n"
+              "confounder modes) - the reason BeCAUSe runs MH *and* HMC and\n"
+              "keeps the highest category flag.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Appendix B: RFD default parameters per vendor / recommendation, generated
+// from the presets the whole simulation uses.
+#include <cstdio>
+
+#include "rfd/params.hpp"
+#include "sim/time.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace because;
+
+  const rfd::Params cisco = rfd::cisco_defaults();
+  const rfd::Params juniper = rfd::juniper_defaults();
+  const rfd::Params ripe = rfd::rfc7454_recommended();
+
+  auto row = [](const std::string& name, double c, double j, double r) {
+    return std::vector<std::string>{name, util::fmt_double(c, 0),
+                                    util::fmt_double(j, 0),
+                                    util::fmt_double(r, 0)};
+  };
+
+  util::Table table({"RFD parameter", "Cisco", "Juniper", "RFC 7454"});
+  table.add_row(row("Withdrawal penalty", cisco.withdrawal_penalty,
+                    juniper.withdrawal_penalty, ripe.withdrawal_penalty));
+  table.add_row(row("Readvertisement penalty", cisco.readvertisement_penalty,
+                    juniper.readvertisement_penalty, ripe.readvertisement_penalty));
+  table.add_row(row("Attributes change penalty", cisco.attribute_change_penalty,
+                    juniper.attribute_change_penalty, ripe.attribute_change_penalty));
+  table.add_row(row("Suppress-threshold", cisco.suppress_threshold,
+                    juniper.suppress_threshold, ripe.suppress_threshold));
+  table.add_row(row("Half-life (min)", sim::to_minutes(cisco.half_life),
+                    sim::to_minutes(juniper.half_life),
+                    sim::to_minutes(ripe.half_life)));
+  table.add_row(row("Reuse-threshold", cisco.reuse_threshold,
+                    juniper.reuse_threshold, ripe.reuse_threshold));
+  table.add_row(row("Max suppress time (min)",
+                    sim::to_minutes(cisco.max_suppress_time),
+                    sim::to_minutes(juniper.max_suppress_time),
+                    sim::to_minutes(ripe.max_suppress_time)));
+  std::printf("%s", table.render("Appendix B: RFD default parameters").c_str());
+
+  std::printf("\nimplied penalty ceilings: cisco %.0f, juniper %.0f, rfc7454 %.0f\n",
+              cisco.ceiling(), juniper.ceiling(), ripe.ceiling());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 2: the RFD penalty from the router's perspective for an
+// oscillating prefix - additive increase per update, exponential half-life
+// decay in between, suppression above the suppress-threshold, release at
+// the reuse-threshold.
+#include <cstdio>
+
+#include "rfd/damper.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace because;
+
+  const rfd::Params params = rfd::cisco_defaults();
+  rfd::Damper damper(params);
+  const bgp::Prefix prefix{1, 24};
+
+  // The prefix oscillates (W/A every 2 minutes) for 20 minutes, then goes
+  // quiet - the Figure 2 input signal.
+  struct Event {
+    sim::Time when;
+    rfd::UpdateKind kind;
+    const char* label;
+  };
+  std::vector<Event> events;
+  for (int k = 0; k < 10; ++k) {
+    events.push_back({sim::minutes(2 * k), rfd::UpdateKind::kWithdrawal, "W"});
+    events.push_back({sim::minutes(2 * k + 1),
+                      (k == 0) ? rfd::UpdateKind::kInitialAdvertisement
+                               : rfd::UpdateKind::kReadvertisement,
+                      "A"});
+  }
+
+  std::printf("suppress-threshold %.0f, reuse-threshold %.0f, half-life %.0f min "
+              "(Cisco defaults)\n\n",
+              params.suppress_threshold, params.reuse_threshold,
+              sim::to_minutes(params.half_life));
+
+  util::Table table({"t (min)", "event", "penalty", "state"});
+  sim::Time suppressed_at = -1;
+  std::uint64_t generation = 0;
+  for (const Event& e : events) {
+    const rfd::Outcome out = damper.on_update(prefix, e.kind, e.when);
+    generation = out.generation;
+    if (out.became_suppressed) suppressed_at = e.when;
+    table.add_row({util::fmt_double(sim::to_minutes(e.when), 0), e.label,
+                   util::fmt_double(out.penalty, 0),
+                   out.suppressed ? "SUPPRESSED" : "advertised"});
+  }
+
+  // After the oscillation stops, sample the decaying penalty every 5 min.
+  const sim::Time quiet_from = events.back().when;
+  for (int m = 5; m <= 60; m += 5) {
+    const sim::Time t = quiet_from + sim::minutes(m);
+    const double penalty = damper.penalty(prefix, t);
+    const bool still = damper.is_suppressed(prefix) &&
+                       penalty > params.reuse_threshold;
+    table.add_row({util::fmt_double(sim::to_minutes(t), 0), "-",
+                   util::fmt_double(penalty, 0),
+                   still ? "SUPPRESSED (decaying)" : "reusable"});
+  }
+  std::printf("%s", table.render("Figure 2: RFD penalty vs time").c_str());
+
+  const sim::Duration reuse = damper.time_until_reuse(prefix, quiet_from);
+  std::printf("\nsuppression began at t=%.0f min; release %.1f min after the "
+              "last update (t3 - t2 in the paper).\n",
+              sim::to_minutes(suppressed_at), sim::to_minutes(reuse));
+  (void)generation;
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3: the timeline of Route Flap Damping - the historical context the
+// paper opens with, regenerated as a table (with the parameters each epoch
+// contributed, cross-referenced against the presets this library ships).
+#include <cstdio>
+
+#include "rfd/params.hpp"
+#include "sim/time.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace because;
+
+  util::Table table({"year", "event", "in this library"});
+  table.add_row({"~1995", "core operators + vendors design RFD against BGP "
+                          "churn on under-powered routers", "rfd::Damper mechanics"});
+  table.add_row({"1998", "RFC 2439 codifies Route Flap Damping",
+                 "rfd::Params / PenaltyState"});
+  table.add_row({"2002", "Mao et al.: RFD exacerbates convergence (path "
+                         "hunting penalises innocent flaps)",
+                 "reproduced by bgp path hunting + attribute-change penalties"});
+  table.add_row({"2006", "RIPE-378: recommendation to disable RFD",
+                 "deployment scenarios with damping_fraction ~ 0"});
+  table.add_row({"2011", "Pelsser et al.: usable RFD with suppress "
+                         "threshold 6000", "rfd::rfc7454_recommended()"});
+  table.add_row({"2013", "RIPE-580 / later RFC 7454: re-enable RFD with the "
+                         "higher threshold", "rfc7454-60 deployment variant"});
+  table.add_row({"2020", "this paper: first deployment measurement - at "
+                         "least 9% of ASs damp, ~60% on deprecated defaults",
+                 "the entire bench suite"});
+  std::printf("%s", table.render("Figure 3: timeline of Route Flap Damping").c_str());
+
+  const rfd::Params cisco = rfd::cisco_defaults();
+  const rfd::Params ripe = rfd::rfc7454_recommended();
+  std::printf("\nthe deprecated default (suppress %d) triggers on flaps up to\n"
+              "~%d min apart; the recommendation (suppress %d) only up to ~4 min\n"
+              "- which is why Figure 12's cliff sits after the 5 min interval.\n",
+              static_cast<int>(cisco.suppress_threshold), 15,
+              static_cast<int>(ripe.suppress_threshold));
+  return 0;
+}

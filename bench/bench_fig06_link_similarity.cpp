@@ -1,0 +1,32 @@
+// Figure 6: similarity of links on AS paths compared between Beacon sites -
+// the share of all observed AS links visible from each single site, and the
+// median number of paths a link appears on (all sites vs one site).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace because;
+
+  const auto config = bench::campaign_config({sim::minutes(1)});
+  const auto campaign = experiment::run_campaign(config);
+  const auto similarity = experiment::link_similarity(campaign);
+
+  util::Table table({"Beacon site", "links visible from this site alone"});
+  for (std::size_t s = 0; s < similarity.share_per_site.size(); ++s) {
+    table.add_row({"site " + std::to_string(s) + " (AS " +
+                       std::to_string(campaign.sites[s]) + ")",
+                   util::fmt_percent(similarity.share_per_site[s])});
+  }
+  std::printf("%s", table.render("Figure 6: link visibility per Beacon site").c_str());
+
+  std::printf("\ntotal observed AS links: %zu\n", similarity.total_links);
+  std::printf("median paths per link, all sites combined: %.0f\n",
+              similarity.median_paths_per_link_all);
+  std::printf("median paths per link, single site:        %.0f\n",
+              similarity.median_paths_per_link_single);
+  std::printf("\n(the paper: 70-95%% of links visible from a single site; the\n"
+              " multi-site median rises from ~3 to ~11 paths per link)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 7: overlap of gathered data (distinct beacon paths) between the
+// three route collector projects - each project contributes a substantial
+// amount of additional data, which is why all three are used.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace because;
+
+  const auto config = bench::campaign_config({sim::minutes(1)});
+  const auto campaign = experiment::run_campaign(config);
+  const auto overlap = experiment::project_overlap(campaign);
+
+  const std::size_t total = overlap.total();
+  auto pct = [total](std::size_t n) {
+    return total == 0 ? std::string("0%")
+                      : util::fmt_percent(static_cast<double>(n) /
+                                          static_cast<double>(total));
+  };
+
+  util::Table table({"region", "paths", "share"});
+  table.add_row({"RIPE RIS only", std::to_string(overlap.only_ris),
+                 pct(overlap.only_ris)});
+  table.add_row({"RouteViews only", std::to_string(overlap.only_routeviews),
+                 pct(overlap.only_routeviews)});
+  table.add_row({"Isolario only", std::to_string(overlap.only_isolario),
+                 pct(overlap.only_isolario)});
+  table.add_row({"RIS & RouteViews", std::to_string(overlap.ris_routeviews),
+                 pct(overlap.ris_routeviews)});
+  table.add_row({"RIS & Isolario", std::to_string(overlap.ris_isolario),
+                 pct(overlap.ris_isolario)});
+  table.add_row({"RouteViews & Isolario",
+                 std::to_string(overlap.routeviews_isolario),
+                 pct(overlap.routeviews_isolario)});
+  table.add_row({"all three", std::to_string(overlap.all_three),
+                 pct(overlap.all_three)});
+  std::printf("%s", table.render(
+      "Figure 7: overlap of observed beacon paths between projects").c_str());
+
+  const std::size_t exclusive =
+      overlap.only_ris + overlap.only_routeviews + overlap.only_isolario;
+  std::printf("\n%zu distinct paths total; %s observed by exactly one project -\n"
+              "every project contributes data the others miss.\n",
+              total, pct(exclusive).c_str());
+  return 0;
+}

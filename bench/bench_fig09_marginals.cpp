@@ -1,0 +1,78 @@
+// Figure 9: example marginal posterior distributions demonstrating the
+// diagnostic ability of the output - (a) confident damper, (b) confident
+// non-damper, (c) contradictory data (inconsistent damper), (d) prior
+// recovered (no usable data).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/likelihood.hpp"
+#include "core/metropolis.hpp"
+#include "core/prior.hpp"
+#include "core/summary.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+void print_marginal(const char* title, const std::vector<double>& marginal,
+                    const because::core::MarginalSummary& summary) {
+  using namespace because;
+  std::printf("\n== %s ==\n", title);
+  std::printf("mean %.3f, 95%% HDPI [%.3f, %.3f], certainty %.3f\n",
+              summary.mean, summary.hdpi.lo, summary.hdpi.hi,
+              summary.certainty());
+  stats::Histogram hist(0.0, 1.0, 20);
+  hist.add_all(marginal);
+  const auto heights = hist.normalized();
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    std::printf("  p=%.3f |", hist.bin_center(b));
+    const int len = static_cast<int>(heights[b] * 120.0);
+    for (int i = 0; i < len && i < 60; ++i) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace because;
+
+  // Construct the four archetypes directly (as the paper picks 4 example
+  // ASs out of its campaign):
+  //   20932 - on many RFD paths it alone explains      -> (a)
+  //   2497  - on many clean paths                      -> (b)
+  //   701   - damps one branch, exempt on the other    -> (c)
+  //   12874 - only ever behind the damper 20932        -> (d)
+  labeling::PathDataset data;
+  for (int i = 0; i < 25; ++i) {
+    data.add_path({20932, 2497}, true);
+    data.add_path({20932, 3356}, true);
+    data.add_path({2497, 3356}, false);
+    data.add_path({12874, 20932}, true);  // 12874 hides behind 20932
+  }
+  for (int i = 0; i < 20; ++i) data.add_path({701, 2497}, false);
+  for (int i = 0; i < 3; ++i) data.add_path({701, 3356}, true);
+
+  const core::Likelihood likelihood(data);
+  const core::Prior prior = core::Prior::beta(1.5, 1.5);
+  core::MetropolisConfig config;
+  config.samples = 3000;
+  config.burn_in = 1000;
+  const core::Chain chain = core::run_metropolis(likelihood, prior, config);
+  const auto summaries = core::summarize(chain, data);
+
+  struct Case {
+    const char* title;
+    topology::AsId as;
+  };
+  const Case cases[] = {
+      {"(a) AS 20932: strong evidence of damping", 20932},
+      {"(b) AS 2497: strong evidence of NOT damping", 2497},
+      {"(c) AS 701: contradictory data (inconsistent damping)", 701},
+      {"(d) AS 12874: no usable data - the Beta prior persists", 12874},
+  };
+  for (const Case& c : cases) {
+    const std::size_t node = *data.index_of(c.as);
+    print_marginal(c.title, chain.marginal(node), summaries[node]);
+  }
+  return 0;
+}

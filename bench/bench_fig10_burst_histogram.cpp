@@ -1,0 +1,76 @@
+// Figure 10: distribution of announcements during a Burst for an RFD AS
+// (updates die out as the penalty suppresses the prefix) versus a non-RFD
+// AS, with the linear regression over histogram heights that drives
+// heuristic M3.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "heuristics/burst_slope.hpp"
+#include "stats/linreg.hpp"
+
+namespace {
+
+void print_histogram(const char* title, const std::vector<double>& heights) {
+  using namespace because;
+  const stats::LinearFit fit = stats::linear_fit_indexed(heights);
+  std::printf("\n== %s ==\n", title);
+  double peak = 1.0;
+  for (double h : heights) peak = std::max(peak, h);
+  for (std::size_t b = 0; b < heights.size(); ++b) {
+    std::printf("  bin %2zu |", b);
+    const int len = static_cast<int>(heights[b] / peak * 50.0);
+    for (int i = 0; i < len; ++i) std::printf("#");
+    std::printf("  (%0.f, fit %.1f)\n", heights[b], fit.at(static_cast<double>(b)));
+  }
+  std::printf("regression slope %.3f, M3 score %.3f\n", fit.slope,
+              heuristics::slope_score(heights));
+}
+
+}  // namespace
+
+int main() {
+  using namespace because;
+
+  const auto config = bench::campaign_config({sim::minutes(1)});
+  const auto campaign = experiment::run_campaign(config);
+
+  std::vector<heuristics::Experiment> experiments;
+  for (const auto& b : campaign.beacons)
+    experiments.push_back(heuristics::Experiment{b.prefix, b.schedule});
+
+  // Pick a consistently damping AS and a clean transit AS that both appear
+  // on measured paths.
+  const auto dampers = campaign.plan.detectable_dampers();
+  topology::AsId rfd_as = 0, clean_as = 0;
+  for (const auto& p : campaign.labeled) {
+    for (topology::AsId as : p.path) {
+      if (rfd_as == 0 && dampers.count(as) != 0) {
+        const auto* d = campaign.plan.find(as);
+        if (d != nullptr && d->scope == experiment::Scope::kAllSessions)
+          rfd_as = as;
+      }
+      if (clean_as == 0 && campaign.plan.find(as) == nullptr &&
+          campaign.graph.tier(as) == topology::Tier::kTransit)
+        clean_as = as;
+    }
+  }
+
+  heuristics::BurstSlopeConfig slope_config;
+  slope_config.bins = 40;  // the paper groups announcements into 40 intervals
+
+  if (rfd_as != 0) {
+    print_histogram(("RFD AS " + std::to_string(rfd_as) +
+                     ": announcements across the Burst").c_str(),
+                    heuristics::burst_histogram(rfd_as, campaign.store,
+                                                experiments, slope_config));
+  } else {
+    std::printf("no consistently damping AS appeared on measured paths\n");
+  }
+  if (clean_as != 0) {
+    print_histogram(("non-RFD AS " + std::to_string(clean_as) +
+                     ": announcements across the Burst").c_str(),
+                    heuristics::burst_histogram(clean_as, campaign.store,
+                                                experiments, slope_config));
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Sampler micro-benchmarks (google-benchmark): throughput of the
+// Metropolis-Hastings sweep and HMC trajectories on tomography posteriors
+// of increasing size, plus the likelihood/gradient kernels they are built
+// on. These justify the paper's remark that naive computational Bayes was
+// "computationally costly" while MH/HMC make it practical.
+#include <benchmark/benchmark.h>
+
+#include "core/hmc.hpp"
+#include "core/likelihood.hpp"
+#include "core/metropolis.hpp"
+#include "core/prior.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace because;
+
+/// Synthetic dataset: `ases` ASs, `paths` random paths of length ~5, 10%
+/// of ASs planted as dampers.
+labeling::PathDataset synthetic_dataset(std::size_t ases, std::size_t paths,
+                                        std::uint64_t seed = 42) {
+  stats::Rng rng(seed);
+  std::vector<bool> damper(ases);
+  for (std::size_t i = 0; i < ases; ++i) damper[i] = rng.bernoulli(0.1);
+
+  labeling::PathDataset data;
+  for (std::size_t j = 0; j < paths; ++j) {
+    topology::AsPath path;
+    bool shows = false;
+    const std::size_t len = 3 + rng.index(4);
+    for (std::size_t k = 0; k < len; ++k) {
+      const auto as = static_cast<topology::AsId>(rng.index(ases));
+      path.push_back(as + 10);
+      if (damper[as]) shows = true;
+    }
+    data.add_path(path, shows);
+  }
+  return data;
+}
+
+void BM_LogLikelihood(benchmark::State& state) {
+  const auto data = synthetic_dataset(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const core::Likelihood lik(data);
+  std::vector<double> p(lik.dim(), 0.3);
+  for (auto _ : state) benchmark::DoNotOptimize(lik.log_likelihood(p));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.path_count()));
+}
+BENCHMARK(BM_LogLikelihood)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Gradient(benchmark::State& state) {
+  const auto data = synthetic_dataset(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const core::Likelihood lik(data);
+  std::vector<double> p(lik.dim(), 0.3), grad(lik.dim());
+  for (auto _ : state) {
+    lik.gradient(p, grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.path_count()));
+}
+BENCHMARK(BM_Gradient)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MetropolisSweeps(benchmark::State& state) {
+  const auto data = synthetic_dataset(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const core::Likelihood lik(data);
+  const core::Prior prior = core::Prior::uniform();
+  core::MetropolisConfig config;
+  config.samples = 20;
+  config.burn_in = 0;
+  config.thin = 1;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(core::run_metropolis(lik, prior, config));
+  }
+  // One item = one full coordinate sweep.
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_MetropolisSweeps)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HmcTrajectories(benchmark::State& state) {
+  const auto data = synthetic_dataset(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const core::Likelihood lik(data);
+  const core::Prior prior = core::Prior::uniform();
+  core::HmcConfig config;
+  config.samples = 5;
+  config.burn_in = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(core::run_hmc(lik, prior, config));
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_HmcTrajectories)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// RFD parameter explorer: reproduces the router-side mechanics of Figure 2
+// for any parameter preset and shows which beacon update intervals trigger
+// each preset (the analytic backbone of Figure 12 and §6.2).
+//
+//   $ ./example_parameter_explorer
+#include <cstdio>
+
+#include "experiment/deployment.hpp"
+#include "rfd/damper.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Simulate a beacon-style W/A alternation against one damper and report
+/// when suppression starts and how long the prefix stays suppressed.
+void trace_preset(const because::experiment::RfdVariant& variant) {
+  using namespace because;
+  rfd::Damper damper(variant.params);
+  const bgp::Prefix prefix{1, 24};
+
+  sim::Time t = 0;
+  sim::Time suppressed_at = -1;
+  std::uint64_t generation = 0;
+  for (int k = 0; k < 60; ++k) {
+    const rfd::UpdateKind kind = (k % 2 == 0)
+                                     ? rfd::UpdateKind::kWithdrawal
+                                     : rfd::UpdateKind::kReadvertisement;
+    const rfd::Outcome out = damper.on_update(prefix, kind, t);
+    if (out.became_suppressed && suppressed_at < 0) suppressed_at = t;
+    generation = out.generation;
+    t += sim::minutes(1);
+  }
+  std::printf("  %-12s suppress threshold %5.0f  ", variant.name.c_str(),
+              variant.params.suppress_threshold);
+  if (suppressed_at < 0) {
+    std::printf("never suppressed by a 1 min beacon\n");
+    return;
+  }
+  const sim::Duration reuse = damper.time_until_reuse(prefix, t);
+  std::printf("suppressed after %.0f min, releases %.1f min after burst end\n",
+              sim::to_minutes(suppressed_at), sim::to_minutes(reuse));
+  (void)generation;
+}
+
+}  // namespace
+
+int main() {
+  using namespace because;
+
+  std::printf("== RFD parameter presets (Appendix B) ==\n");
+  util::Table table({"preset", "withdrawal", "readv", "attr-change", "suppress",
+                     "half-life (min)", "reuse", "max-suppress (min)"});
+  for (const auto& v : experiment::standard_variants()) {
+    const rfd::Params& p = v.params;
+    table.add_row({v.name, util::fmt_double(p.withdrawal_penalty, 0),
+                   util::fmt_double(p.readvertisement_penalty, 0),
+                   util::fmt_double(p.attribute_change_penalty, 0),
+                   util::fmt_double(p.suppress_threshold, 0),
+                   util::fmt_double(sim::to_minutes(p.half_life), 0),
+                   util::fmt_double(p.reuse_threshold, 0),
+                   util::fmt_double(sim::to_minutes(p.max_suppress_time), 0)});
+  }
+  std::printf("%s\n", table.render_csv().c_str());
+
+  std::printf("== behaviour under a 1 min beacon burst ==\n");
+  for (const auto& v : experiment::standard_variants()) trace_preset(v);
+
+  std::printf("\n== largest triggering update interval per preset ==\n");
+  for (const auto& v : experiment::standard_variants()) {
+    const sim::Duration trigger = v.max_triggering_interval();
+    std::printf("  %-12s triggers for update intervals <= %2.0f min%s\n",
+                v.name.c_str(), sim::to_minutes(trigger),
+                v.vendor_default ? "   (deprecated vendor default)" : "");
+  }
+  std::printf(
+      "\nThe drop after 5 minutes is exactly the paper's Figure 12 cliff:\n"
+      "deprecated vendor defaults stop damping above a ~5 min interval,\n"
+      "RFC 7454 parameters already stop above ~3 min.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// ROV study (§7): apply the unchanged BeCAUSe pipeline to Route Origin
+// Validation. AS paths are harvested from a simulated campaign, a ROV
+// deployment is planted so ~90% of paths are ROV-labeled (the paper's
+// dataset property), and BeCAUSe pinpoints the filtering ASs.
+//
+//   $ ./example_rov_study
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/pipeline.hpp"
+#include "rov/rov.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace because;
+
+  // Harvest realistic AS paths: run a small campaign without any RFD.
+  auto config = experiment::CampaignConfig::small();
+  config.seed = 7;
+  config.deployment.damping_fraction = 0.0;
+  config.pairs = 2;
+  const auto campaign = experiment::run_campaign(config);
+
+  std::vector<topology::AsPath> paths;
+  for (const auto& p : campaign.observed) paths.push_back(p.path);
+  std::printf("harvested %zu AS paths from the simulated topology\n", paths.size());
+
+  // Plant a ROV deployment reaching ~90%% ROV-labeled paths.
+  stats::Rng rng(11);
+  auto rov_ases = rov::plant_rov_ases(paths, 0.9, 30, rng, 10);
+  const auto bench = rov::make_rov_benchmark(paths, std::move(rov_ases));
+  std::printf("planted %zu ROV ASs; %s of paths are ROV-labeled\n",
+              bench.rov_ases.size(),
+              util::fmt_percent(bench.rov_path_share).c_str());
+
+  // The same inference pipeline as for RFD - no domain knowledge needed.
+  auto inference_config = experiment::InferenceConfig::fast();
+  inference_config.mh.samples = 1200;
+  inference_config.mh.burn_in = 600;
+  const auto result = experiment::run_inference(bench.dataset, inference_config);
+
+  const auto eval =
+      core::evaluate(result.dataset, result.categories, bench.rov_ases);
+  util::Table table({"metric", "value"});
+  table.add_row({"ROV ASs (ground truth)", std::to_string(bench.rov_ases.size())});
+  table.add_row({"flagged by BeCAUSe",
+                 std::to_string(result.damping_ases().size())});
+  table.add_row({"precision", util::fmt_percent(eval.matrix.precision())});
+  table.add_row({"recall", util::fmt_percent(eval.matrix.recall())});
+  std::printf("%s", table.render("BeCAUSe on ROV (paper: 100% / 64%)").c_str());
+
+  std::printf(
+      "\nmissed ASs are typically 'hiding' behind another ROV AS - the\n"
+      "identifiability limit discussed in §7.\n");
+
+  // Part 2: the fully *measured* variant. Instead of labeling paths by a
+  // known ROV list, announce valid/invalid prefix pairs through the real
+  // RFC 6811 drop-invalid filters and derive the labels from what each
+  // vantage point actually receives (Reuter-style methodology).
+  std::printf("\n== measured ROV experiment (valid/invalid prefix pairs) ==\n");
+  rov::RovMeasurementConfig mconfig;
+  mconfig.origins = 4;
+  mconfig.vantage_points = 30;
+  const auto measurement =
+      rov::run_rov_measurement(campaign.graph, bench.rov_ases, mconfig);
+  std::printf("%zu measured paths, ROV share %s, label disagreements %zu\n",
+              measurement.paths_total,
+              util::fmt_percent(measurement.rov_path_share).c_str(),
+              measurement.label_disagreements);
+
+  if (measurement.dataset.as_count() > 0) {
+    const auto measured_result =
+        experiment::run_inference(measurement.dataset, inference_config);
+    const auto measured_eval = core::evaluate(
+        measured_result.dataset, measured_result.categories, measurement.rov_ases);
+    std::printf("BeCAUSe on the measured dataset: precision %s, recall %s\n",
+                util::fmt_percent(measured_eval.matrix.precision()).c_str(),
+                util::fmt_percent(measured_eval.matrix.recall()).c_str());
+  }
+  return 0;
+}

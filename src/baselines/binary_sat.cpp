@@ -1,0 +1,68 @@
+#include "baselines/binary_sat.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace because::baselines {
+
+SatResult solve_binary_tomography(const labeling::PathDataset& data) {
+  SatResult result;
+
+  // Unit propagation: clean paths force every AS on them to "not damping".
+  std::vector<bool> forced(data.as_count(), false);
+  for (const labeling::Observation& obs : data.observations()) {
+    if (obs.shows_property) continue;
+    for (std::size_t node : obs.nodes) forced[node] = true;
+  }
+  for (std::size_t n = 0; n < data.as_count(); ++n)
+    if (forced[n]) result.forced_clean.insert(data.as_at(n));
+
+  // Conflicts: RFD paths with no unforced AS left.
+  std::vector<std::size_t> open_paths;  // satisfiable RFD clauses
+  for (std::size_t j = 0; j < data.observations().size(); ++j) {
+    const labeling::Observation& obs = data.observations()[j];
+    if (!obs.shows_property) continue;
+    const bool all_forced = std::all_of(obs.nodes.begin(), obs.nodes.end(),
+                                        [&](std::size_t n) { return forced[n]; });
+    if (all_forced) result.conflicting_paths.push_back(j);
+    else open_paths.push_back(j);
+  }
+  result.satisfiable = result.conflicting_paths.empty();
+  result.free_variables = data.as_count() - result.forced_clean.size();
+  if (!result.satisfiable) return result;
+
+  // Greedy hitting set over the open RFD clauses: repeatedly pick the
+  // unforced AS covering the most uncovered clauses.
+  std::vector<bool> covered(data.observations().size(), false);
+  std::size_t uncovered = open_paths.size();
+  while (uncovered > 0) {
+    std::unordered_map<std::size_t, std::size_t> gain;
+    for (std::size_t j : open_paths) {
+      if (covered[j]) continue;
+      for (std::size_t node : data.observations()[j].nodes)
+        if (!forced[node]) ++gain[node];
+    }
+    std::size_t best_node = 0, best_gain = 0;
+    for (const auto& [node, g] : gain) {
+      if (g > best_gain ||
+          (g == best_gain && best_gain > 0 &&
+           data.as_at(node) < data.as_at(best_node))) {
+        best_gain = g;
+        best_node = node;
+      }
+    }
+    if (best_gain == 0) break;  // defensive; cannot happen when satisfiable
+    result.greedy_dampers.insert(data.as_at(best_node));
+    for (std::size_t j : open_paths) {
+      if (covered[j]) continue;
+      const auto& nodes = data.observations()[j].nodes;
+      if (std::find(nodes.begin(), nodes.end(), best_node) != nodes.end()) {
+        covered[j] = true;
+        --uncovered;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace because::baselines

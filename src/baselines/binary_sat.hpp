@@ -1,0 +1,41 @@
+// Classic binary (Boolean) network tomography as a SAT problem - the
+// baseline the paper discusses in Related Work [10] and deliberately does
+// not use: each AS strictly damps or does not (Eq. 1-2), so
+//
+//   clean path j :  every AS on j has x_i = 1 (does not damp)
+//   RFD path j   :  at least one AS on j has x_i = 0 (damps)
+//
+// This fragment is Horn-like and decidable by unit propagation: clean paths
+// force their ASs to "not damping"; an RFD path whose ASs are all forced
+// becomes a conflict. The paper's argument is reproduced exactly: with
+// inconsistent deployment (AS 701) or label noise the instance has *zero*
+// solutions, and when satisfiable it typically has many (every superset of
+// a hitting set works), requiring an arbitrary selection rule - both
+// shortcomings BeCAUSe's probabilistic treatment removes.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "labeling/dataset.hpp"
+
+namespace because::baselines {
+
+struct SatResult {
+  bool satisfiable = false;
+  /// ASs forced to "not damping" by clean paths.
+  std::unordered_set<topology::AsId> forced_clean;
+  /// Observation indices of RFD paths whose ASs are all forced clean
+  /// (the conflicts that make the instance unsatisfiable).
+  std::vector<std::size_t> conflicting_paths;
+  /// A minimal-ish damping set when satisfiable: greedy hitting set over
+  /// the RFD paths (one of the many valid solutions).
+  std::unordered_set<topology::AsId> greedy_dampers;
+  /// Number of unforced ASs: each subset containing the hitting set is
+  /// also a solution, so the solution count grows exponentially in this.
+  std::size_t free_variables = 0;
+};
+
+SatResult solve_binary_tomography(const labeling::PathDataset& data);
+
+}  // namespace because::baselines

@@ -1,0 +1,51 @@
+#include "beacon/controller.hpp"
+
+#include <stdexcept>
+
+namespace because::beacon {
+
+void Controller::deploy(topology::AsId origin, const bgp::Prefix& prefix,
+                        const BeaconSchedule& schedule) {
+  schedule_events(origin, prefix, expand(schedule));
+}
+
+void Controller::deploy_anchor(topology::AsId origin, const bgp::Prefix& prefix,
+                               const AnchorSchedule& schedule) {
+  schedule_events(origin, prefix, expand(schedule));
+}
+
+void Controller::schedule_events(topology::AsId origin, const bgp::Prefix& prefix,
+                                 std::vector<BeaconEvent> events) {
+  if (!network_.contains(origin))
+    throw std::invalid_argument("Controller: unknown origin AS");
+  if (logs_.count(prefix) != 0)
+    throw std::invalid_argument("Controller: prefix already deployed");
+
+  bgp::Router& router = network_.router(origin);
+  sim::EventQueue& queue = network_.queue();
+  for (const BeaconEvent& event : events) {
+    const bgp::Prefix p = prefix;
+    if (event.type == bgp::UpdateType::kAnnouncement) {
+      const sim::Time ts = event.when;
+      queue.schedule_at(event.when, [&router, p, ts] { router.originate(p, ts); });
+    } else {
+      queue.schedule_at(event.when, [&router, p] { router.withdraw_origin(p); });
+    }
+  }
+  logs_.emplace(prefix, std::move(events));
+  origins_.emplace(prefix, origin);
+}
+
+const std::vector<BeaconEvent>& Controller::events(const bgp::Prefix& prefix) const {
+  const auto it = logs_.find(prefix);
+  if (it == logs_.end()) throw std::out_of_range("Controller: unknown prefix");
+  return it->second;
+}
+
+topology::AsId Controller::origin(const bgp::Prefix& prefix) const {
+  const auto it = origins_.find(prefix);
+  if (it == origins_.end()) throw std::out_of_range("Controller: unknown prefix");
+  return it->second;
+}
+
+}  // namespace because::beacon

@@ -1,0 +1,41 @@
+// Drives beacon prefixes on origin routers according to their schedules and
+// keeps the authoritative log of sent events (the analyst knows the beacon
+// schedule; §4.2 relies on the encoded send timestamps).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "bgp/network.hpp"
+
+namespace because::beacon {
+
+class Controller {
+ public:
+  explicit Controller(bgp::Network& network) : network_(network) {}
+
+  /// Schedule all events of a two-phase beacon prefix on its origin router.
+  void deploy(topology::AsId origin, const bgp::Prefix& prefix,
+              const BeaconSchedule& schedule);
+
+  /// Schedule an anchor prefix (RIPE-style on/off pattern).
+  void deploy_anchor(topology::AsId origin, const bgp::Prefix& prefix,
+                     const AnchorSchedule& schedule);
+
+  /// Send events for `prefix`, in time order.
+  const std::vector<BeaconEvent>& events(const bgp::Prefix& prefix) const;
+
+  /// Origin AS of a deployed prefix.
+  topology::AsId origin(const bgp::Prefix& prefix) const;
+
+ private:
+  void schedule_events(topology::AsId origin, const bgp::Prefix& prefix,
+                       std::vector<BeaconEvent> events);
+
+  bgp::Network& network_;
+  std::unordered_map<bgp::Prefix, std::vector<BeaconEvent>> logs_;
+  std::unordered_map<bgp::Prefix, topology::AsId> origins_;
+};
+
+}  // namespace because::beacon

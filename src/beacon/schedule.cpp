@@ -1,0 +1,76 @@
+#include "beacon/schedule.hpp"
+
+#include <stdexcept>
+
+namespace because::beacon {
+
+sim::Time BeaconSchedule::end() const {
+  return start + warmup +
+         static_cast<sim::Duration>(pairs) * (burst_length + break_length);
+}
+
+void BeaconSchedule::validate() const {
+  if (update_interval <= 0)
+    throw std::invalid_argument("BeaconSchedule: update_interval must be > 0");
+  if (burst_length < 2 * update_interval)
+    throw std::invalid_argument("BeaconSchedule: burst too short for one flap");
+  if (break_length <= 0)
+    throw std::invalid_argument("BeaconSchedule: break_length must be > 0");
+  if (pairs == 0) throw std::invalid_argument("BeaconSchedule: need >= 1 pair");
+  if (warmup < 0) throw std::invalid_argument("BeaconSchedule: negative warmup");
+}
+
+std::vector<BeaconEvent> expand(const BeaconSchedule& schedule) {
+  schedule.validate();
+  std::vector<BeaconEvent> events;
+  events.push_back({schedule.start, bgp::UpdateType::kAnnouncement});
+
+  const auto bursts = burst_windows(schedule);
+  for (const Window& burst : bursts) {
+    // W at t, A at t+u, W at t+2u, ... ending with an announcement.
+    for (sim::Time t = burst.begin; t + schedule.update_interval <= burst.end;
+         t += 2 * schedule.update_interval) {
+      events.push_back({t, bgp::UpdateType::kWithdrawal});
+      events.push_back({t + schedule.update_interval, bgp::UpdateType::kAnnouncement});
+    }
+  }
+  return events;
+}
+
+std::vector<Window> burst_windows(const BeaconSchedule& schedule) {
+  schedule.validate();
+  std::vector<Window> out;
+  out.reserve(schedule.pairs);
+  sim::Time t = schedule.start + schedule.warmup;
+  for (std::size_t i = 0; i < schedule.pairs; ++i) {
+    out.push_back(Window{t, t + schedule.burst_length});
+    t += schedule.burst_length + schedule.break_length;
+  }
+  return out;
+}
+
+std::vector<Window> break_windows(const BeaconSchedule& schedule) {
+  std::vector<Window> out;
+  out.reserve(schedule.pairs);
+  for (const Window& burst : burst_windows(schedule))
+    out.push_back(Window{burst.end, burst.end + schedule.break_length});
+  return out;
+}
+
+std::vector<BeaconEvent> expand(const AnchorSchedule& schedule) {
+  if (schedule.period <= 0)
+    throw std::invalid_argument("AnchorSchedule: period must be > 0");
+  if (schedule.cycles == 0)
+    throw std::invalid_argument("AnchorSchedule: need >= 1 cycle");
+  std::vector<BeaconEvent> events;
+  events.reserve(2 * schedule.cycles);
+  sim::Time t = schedule.start;
+  for (std::size_t i = 0; i < schedule.cycles; ++i) {
+    events.push_back({t, bgp::UpdateType::kAnnouncement});
+    events.push_back({t + schedule.period, bgp::UpdateType::kWithdrawal});
+    t += 2 * schedule.period;
+  }
+  return events;
+}
+
+}  // namespace because::beacon

@@ -1,0 +1,69 @@
+// Two-phase BGP Beacon schedules (§4.1).
+//
+// A beacon prefix alternates between a Burst (alternating withdrawals and
+// announcements at a fixed update interval, starting with a withdrawal and
+// ending with an announcement) and a Break (silence, letting RFD penalties
+// decay and suppressed routes be released). Anchor prefixes follow the RIPE
+// beacon pattern instead: announce / withdraw every two hours.
+#pragma once
+
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "sim/time.hpp"
+
+namespace because::beacon {
+
+struct BeaconEvent {
+  sim::Time when;
+  bgp::UpdateType type;
+};
+
+/// A time window [begin, end).
+struct Window {
+  sim::Time begin;
+  sim::Time end;
+  bool contains(sim::Time t) const { return t >= begin && t < end; }
+};
+
+struct BeaconSchedule {
+  /// Time between consecutive updates within a Burst.
+  sim::Duration update_interval = sim::minutes(1);
+  sim::Duration burst_length = sim::hours(2);
+  sim::Duration break_length = sim::hours(2);
+  /// Number of Burst-Break pairs.
+  std::size_t pairs = 8;
+  /// Initial static announcement happens at `start`; the first Burst begins
+  /// after `warmup` (convergence time for the initial announcement).
+  sim::Time start = 0;
+  sim::Duration warmup = sim::minutes(10);
+
+  /// End of the whole schedule (end of the last Break).
+  sim::Time end() const;
+
+  void validate() const;
+};
+
+/// All send events of the schedule: the initial announcement plus every
+/// Burst's W/A alternation. Bursts start with W and end with A.
+std::vector<BeaconEvent> expand(const BeaconSchedule& schedule);
+
+/// The k Burst windows. `burst_windows(s)[i].end` is the time of the last
+/// Burst update plus one update interval (i.e., when silence begins).
+std::vector<Window> burst_windows(const BeaconSchedule& schedule);
+
+/// The Break window following each Burst.
+std::vector<Window> break_windows(const BeaconSchedule& schedule);
+
+struct AnchorSchedule {
+  /// RIPE-style: announce at t, withdraw at t+period, announce at t+2*period...
+  sim::Duration period = sim::hours(2);
+  std::size_t cycles = 6;
+  sim::Time start = 0;
+
+  sim::Time end() const { return start + static_cast<sim::Duration>(2 * cycles) * period; }
+};
+
+std::vector<BeaconEvent> expand(const AnchorSchedule& schedule);
+
+}  // namespace because::beacon

@@ -1,0 +1,41 @@
+// Umbrella header: the public BeCAUSe API.
+//
+// Downstream users who just want "paths in, damping probabilities and
+// categories out" can include this single header; the individual module
+// headers remain available for finer-grained use.
+#pragma once
+
+// Core inference.
+#include "core/categorize.hpp"
+#include "core/chain.hpp"
+#include "core/evaluate.hpp"
+#include "core/gibbs.hpp"
+#include "core/hmc.hpp"
+#include "core/likelihood.hpp"
+#include "core/metropolis.hpp"
+#include "core/mle.hpp"
+#include "core/pinpoint.hpp"
+#include "core/prior.hpp"
+#include "core/summary.hpp"
+
+// Measurement: beacons, collectors, labeling.
+#include "beacon/controller.hpp"
+#include "beacon/schedule.hpp"
+#include "collector/update_store.hpp"
+#include "collector/vantage_point.hpp"
+#include "labeling/dataset.hpp"
+#include "labeling/signature.hpp"
+
+// Substrates: topology, BGP, RFD.
+#include "bgp/network.hpp"
+#include "rfd/params.hpp"
+#include "topology/generator.hpp"
+
+// Campaign orchestration and baselines.
+#include "baselines/binary_sat.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/figures.hpp"
+#include "experiment/link_tomography.hpp"
+#include "experiment/pipeline.hpp"
+#include "heuristics/combined.hpp"
+#include "rov/rov.hpp"

@@ -1,0 +1,19 @@
+#include "bgp/message.hpp"
+
+namespace because::bgp {
+
+std::string to_string(const Update& update) {
+  std::string out = update.is_announcement() ? "A " : "W ";
+  out += to_string(update.prefix);
+  if (update.is_announcement()) {
+    out += " path=[";
+    for (std::size_t i = 0; i < update.as_path.size(); ++i) {
+      if (i != 0) out += ' ';
+      out += std::to_string(update.as_path[i]);
+    }
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace because::bgp

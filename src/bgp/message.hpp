@@ -1,0 +1,41 @@
+// BGP update messages and routes, reduced to the attributes the paper's
+// measurement needs: prefix, AS path, and the beacon send-timestamp that the
+// real system encodes in the transitive aggregator attribute (§4.1).
+#pragma once
+
+#include <string>
+
+#include "bgp/prefix.hpp"
+#include "sim/time.hpp"
+#include "topology/paths.hpp"
+
+namespace because::bgp {
+
+enum class UpdateType : std::uint8_t { kAnnouncement, kWithdrawal };
+
+/// Sentinel for a missing/invalid aggregator timestamp (the paper found 1 %
+/// of announcements with an empty aggregator IP field and discarded them).
+inline constexpr sim::Time kNoBeaconTimestamp = -1;
+
+struct Update {
+  UpdateType type = UpdateType::kAnnouncement;
+  Prefix prefix;
+  /// AS path in BGP order (first element = sender). Empty for withdrawals.
+  topology::AsPath as_path;
+  /// Beacon send time carried end-to-end (aggregator attribute analogue).
+  sim::Time beacon_timestamp = kNoBeaconTimestamp;
+
+  bool is_announcement() const { return type == UpdateType::kAnnouncement; }
+  bool is_withdrawal() const { return type == UpdateType::kWithdrawal; }
+};
+
+/// A route installed in a RIB.
+struct Route {
+  Prefix prefix;
+  topology::AsPath as_path;  ///< path towards the origin, excluding the owner
+  sim::Time beacon_timestamp = kNoBeaconTimestamp;
+};
+
+std::string to_string(const Update& update);
+
+}  // namespace because::bgp

@@ -1,0 +1,77 @@
+#include "bgp/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::bgp {
+
+std::uint64_t Network::link_key(topology::AsId a, topology::AsId b) {
+  const topology::AsId lo = std::min(a, b);
+  const topology::AsId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
+                 sim::EventQueue& queue, stats::Rng& rng)
+    : graph_(graph), config_(config), queue_(queue) {
+  if (config_.min_link_delay < 0 || config_.max_link_delay < config_.min_link_delay)
+    throw std::invalid_argument("Network: bad link delay range");
+
+  // Create routers in ascending AS order for deterministic construction.
+  const std::vector<topology::AsId> ids = graph.as_ids();
+  for (topology::AsId id : ids)
+    routers_.emplace(id, std::make_unique<Router>(id, queue_));
+
+  // Draw one delay per undirected link, then create both directed sessions.
+  for (topology::AsId id : ids) {
+    for (const topology::Neighbor& nb : graph.neighbors(id)) {
+      const std::uint64_t key = link_key(id, nb.id);
+      if (delays_.count(key) == 0) {
+        delays_[key] = rng.uniform_int(config_.min_link_delay,
+                                       config_.max_link_delay);
+      }
+    }
+  }
+  for (topology::AsId id : ids) {
+    Router& local = *routers_.at(id);
+    for (const topology::Neighbor& nb : graph.neighbors(id)) {
+      const topology::AsId remote_id = nb.id;
+      const sim::Duration delay = delays_.at(link_key(id, remote_id));
+      Router* remote = routers_.at(remote_id).get();
+      const topology::AsId local_id = id;
+      local.connect(remote_id, nb.relation, config_.mrai,
+                    config_.mrai_on_withdrawals,
+                    [this, remote, local_id, delay](const Update& update) {
+                      queue_.schedule_in(delay, [remote, local_id, update] {
+                        remote->receive(local_id, update);
+                      });
+                    },
+                    &rng, config_.mrai_jitter);
+    }
+  }
+}
+
+Router& Network::router(topology::AsId id) {
+  const auto it = routers_.find(id);
+  if (it == routers_.end()) throw std::out_of_range("Network: unknown AS");
+  return *it->second;
+}
+
+const Router& Network::router(topology::AsId id) const {
+  const auto it = routers_.find(id);
+  if (it == routers_.end()) throw std::out_of_range("Network: unknown AS");
+  return *it->second;
+}
+
+sim::Duration Network::link_delay(topology::AsId a, topology::AsId b) const {
+  const auto it = delays_.find(link_key(a, b));
+  if (it == delays_.end()) throw std::out_of_range("Network: unknown link");
+  return it->second;
+}
+
+void Network::reset_session(topology::AsId a, topology::AsId b) {
+  router(a).reset_session(b);
+  router(b).reset_session(a);
+}
+
+}  // namespace because::bgp

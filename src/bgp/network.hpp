@@ -1,0 +1,64 @@
+// The simulated inter-domain network: one Router per AS, linked according to
+// an AsGraph, driven by a shared EventQueue.
+//
+// Link propagation delays are drawn once per link (both directions equal)
+// from a seeded RNG, so a (topology, seed) pair replays identically.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "bgp/router.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/rng.hpp"
+#include "topology/as_graph.hpp"
+
+namespace because::bgp {
+
+struct NetworkConfig {
+  sim::Duration mrai = sim::seconds(30);
+  bool mrai_on_withdrawals = false;
+  /// MRAI jitter fraction per RFC 4271: each window is drawn uniformly from
+  /// [(1 - jitter) * mrai, mrai]. 0 disables jitter.
+  double mrai_jitter = 0.25;
+  sim::Duration min_link_delay = sim::milliseconds(10);
+  sim::Duration max_link_delay = sim::milliseconds(800);
+};
+
+class Network {
+ public:
+  /// Builds routers and sessions for every AS/link in `graph`.
+  /// `rng` must outlive the Network (MRAI jitter draws from it at runtime).
+  Network(const topology::AsGraph& graph, const NetworkConfig& config,
+          sim::EventQueue& queue, stats::Rng& rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Router& router(topology::AsId id);
+  const Router& router(topology::AsId id) const;
+  bool contains(topology::AsId id) const { return routers_.count(id) != 0; }
+
+  const topology::AsGraph& graph() const { return graph_; }
+  sim::EventQueue& queue() { return queue_; }
+
+  /// One-way propagation delay of the (a, b) link.
+  sim::Duration link_delay(topology::AsId a, topology::AsId b) const;
+
+  /// Reset the BGP session between `a` and `b` on both sides (failure
+  /// injection: routes are dropped and re-advertised).
+  void reset_session(topology::AsId a, topology::AsId b);
+
+  std::size_t router_count() const { return routers_.size(); }
+
+ private:
+  static std::uint64_t link_key(topology::AsId a, topology::AsId b);
+
+  const topology::AsGraph& graph_;
+  NetworkConfig config_;
+  sim::EventQueue& queue_;
+  std::unordered_map<topology::AsId, std::unique_ptr<Router>> routers_;
+  std::unordered_map<std::uint64_t, sim::Duration> delays_;
+};
+
+}  // namespace because::bgp

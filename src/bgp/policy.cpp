@@ -1,0 +1,40 @@
+#include "bgp/policy.hpp"
+
+#include <stdexcept>
+
+namespace because::bgp {
+
+int local_pref(topology::Relation learned_from) {
+  switch (learned_from) {
+    case topology::Relation::kCustomer: return 300;
+    case topology::Relation::kPeer: return 200;
+    case topology::Relation::kProvider: return 100;
+  }
+  throw std::logic_error("local_pref: bad relation");
+}
+
+bool prefer(const Candidate& a, const Candidate& b) {
+  if (a.route == nullptr || b.route == nullptr)
+    throw std::invalid_argument("prefer: null route");
+  const bool a_local = !a.neighbor.has_value();
+  const bool b_local = !b.neighbor.has_value();
+  if (a_local != b_local) return a_local;
+  if (a_local && b_local) return false;  // at most one local route per prefix
+
+  const int pref_a = local_pref(a.relation);
+  const int pref_b = local_pref(b.relation);
+  if (pref_a != pref_b) return pref_a > pref_b;
+  if (a.route->as_path.size() != b.route->as_path.size())
+    return a.route->as_path.size() < b.route->as_path.size();
+  return *a.neighbor < *b.neighbor;
+}
+
+bool should_export(std::optional<topology::Relation> learned_from,
+                   topology::Relation to) {
+  if (!learned_from.has_value()) return true;  // own routes go everywhere
+  if (*learned_from == topology::Relation::kCustomer) return true;
+  // Peer/provider routes are only exported downhill, to customers.
+  return to == topology::Relation::kCustomer;
+}
+
+}  // namespace because::bgp

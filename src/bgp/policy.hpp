@@ -1,0 +1,39 @@
+// Gao-Rexford routing policy: preference and export rules driven by business
+// relationships. These two rules are what make simulated paths valley-free
+// and produce realistic path hunting when a best route disappears.
+#pragma once
+
+#include <optional>
+
+#include "bgp/message.hpp"
+#include "topology/as_graph.hpp"
+
+namespace because::bgp {
+
+/// Local preference by the relationship of the neighbor the route came from:
+/// customer routes (they pay us) > peer routes > provider routes.
+int local_pref(topology::Relation learned_from);
+
+/// Candidate route in the decision process.
+struct Candidate {
+  /// Neighbor the route was learned from; nullopt = locally originated.
+  std::optional<topology::AsId> neighbor;
+  /// Relationship of that neighbor; ignored for local routes.
+  topology::Relation relation = topology::Relation::kCustomer;
+  const Route* route = nullptr;
+};
+
+/// Strict "a is preferred over b": local routes first, then higher
+/// local-pref, then shorter AS path, then lowest neighbor AS id (the
+/// deterministic tie-break keeps campaigns reproducible).
+bool prefer(const Candidate& a, const Candidate& b);
+
+/// Gao-Rexford export rule. `learned_from` is the relationship of the
+/// neighbor that gave us the route (nullopt = we originated it), `to` the
+/// relationship of the neighbor we would send it to. Routes from customers
+/// (and our own routes) go to everyone; routes from peers/providers go to
+/// customers only.
+bool should_export(std::optional<topology::Relation> learned_from,
+                   topology::Relation to);
+
+}  // namespace because::bgp

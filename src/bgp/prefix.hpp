@@ -1,0 +1,35 @@
+// IP prefix identity.
+//
+// The simulator does not need real address arithmetic; a prefix is an opaque
+// id plus a prefix length. The length matters because the paper observed
+// RFD configurations that damp short prefixes more (or less) aggressively,
+// which we model via per-length RFD scoping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace because::bgp {
+
+struct Prefix {
+  std::uint32_t id = 0;
+  std::uint8_t length = 24;
+
+  bool operator==(const Prefix&) const = default;
+  auto operator<=>(const Prefix&) const = default;
+};
+
+inline std::string to_string(const Prefix& p) {
+  return "pfx" + std::to_string(p.id) + "/" + std::to_string(p.length);
+}
+
+}  // namespace because::bgp
+
+template <>
+struct std::hash<because::bgp::Prefix> {
+  std::size_t operator()(const because::bgp::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(p.id) << 8) | p.length);
+  }
+};

@@ -1,0 +1,78 @@
+#include "bgp/rib.hpp"
+
+namespace because::bgp {
+
+void AdjRibIn::install(topology::AsId neighbor, const Route& route,
+                       bool suppressed) {
+  entries_[neighbor][route.prefix] = AdjRibInEntry{route, suppressed};
+}
+
+bool AdjRibIn::withdraw(topology::AsId neighbor, const Prefix& prefix) {
+  auto it = entries_.find(neighbor);
+  if (it == entries_.end()) return false;
+  return it->second.erase(prefix) > 0;
+}
+
+void AdjRibIn::set_suppressed(topology::AsId neighbor, const Prefix& prefix,
+                              bool value) {
+  auto it = entries_.find(neighbor);
+  if (it == entries_.end()) return;
+  auto jt = it->second.find(prefix);
+  if (jt == it->second.end()) return;
+  jt->second.suppressed = value;
+}
+
+const AdjRibInEntry* AdjRibIn::find(topology::AsId neighbor,
+                                    const Prefix& prefix) const {
+  auto it = entries_.find(neighbor);
+  if (it == entries_.end()) return nullptr;
+  auto jt = it->second.find(prefix);
+  if (jt == it->second.end()) return nullptr;
+  return &jt->second;
+}
+
+std::vector<std::pair<topology::AsId, const Route*>> AdjRibIn::usable(
+    const Prefix& prefix) const {
+  std::vector<std::pair<topology::AsId, const Route*>> out;
+  for (const auto& [neighbor, routes] : entries_) {
+    auto it = routes.find(prefix);
+    if (it != routes.end() && !it->second.suppressed)
+      out.emplace_back(neighbor, &it->second.route);
+  }
+  return out;
+}
+
+std::vector<Prefix> AdjRibIn::prefixes_from(topology::AsId neighbor) const {
+  std::vector<Prefix> out;
+  auto it = entries_.find(neighbor);
+  if (it == entries_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [prefix, _] : it->second) out.push_back(prefix);
+  return out;
+}
+
+std::size_t AdjRibIn::route_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, routes] : entries_) n += routes.size();
+  return n;
+}
+
+void LocRib::select(const Prefix& prefix, Selected selected) {
+  best_[prefix] = std::move(selected);
+}
+
+bool LocRib::remove(const Prefix& prefix) { return best_.erase(prefix) > 0; }
+
+const Selected* LocRib::find(const Prefix& prefix) const {
+  auto it = best_.find(prefix);
+  return it == best_.end() ? nullptr : &it->second;
+}
+
+std::vector<Prefix> LocRib::prefixes() const {
+  std::vector<Prefix> out;
+  out.reserve(best_.size());
+  for (const auto& [prefix, _] : best_) out.push_back(prefix);
+  return out;
+}
+
+}  // namespace because::bgp

@@ -1,0 +1,70 @@
+// Routing information bases.
+//
+// AdjRibIn stores, per neighbor and prefix, the last route received plus the
+// RFD suppression mark; LocRib stores the selected best route per prefix.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "topology/as_graph.hpp"
+
+namespace because::bgp {
+
+struct AdjRibInEntry {
+  Route route;
+  bool suppressed = false;  ///< RFD-suppressed: present but unusable
+};
+
+class AdjRibIn {
+ public:
+  /// Install/replace the route from `neighbor`. Preserves nothing from a
+  /// previous entry; the caller supplies the suppression state.
+  void install(topology::AsId neighbor, const Route& route, bool suppressed);
+
+  /// Remove the route from `neighbor` for `prefix`. Returns true if present.
+  bool withdraw(topology::AsId neighbor, const Prefix& prefix);
+
+  /// Update only the suppression mark; no-op if the route is absent.
+  void set_suppressed(topology::AsId neighbor, const Prefix& prefix, bool value);
+
+  const AdjRibInEntry* find(topology::AsId neighbor, const Prefix& prefix) const;
+
+  /// All usable (non-suppressed) candidate routes for `prefix` with the
+  /// neighbor they came from.
+  std::vector<std::pair<topology::AsId, const Route*>> usable(
+      const Prefix& prefix) const;
+
+  /// Prefixes currently known from `neighbor` (suppressed entries included).
+  std::vector<Prefix> prefixes_from(topology::AsId neighbor) const;
+
+  std::size_t route_count() const;
+
+ private:
+  // neighbor -> prefix -> entry
+  std::unordered_map<topology::AsId, std::unordered_map<Prefix, AdjRibInEntry>>
+      entries_;
+};
+
+/// Best route selected for a prefix.
+struct Selected {
+  /// Neighbor the route was learned from; nullopt for self-originated routes.
+  std::optional<topology::AsId> neighbor;
+  Route route;
+};
+
+class LocRib {
+ public:
+  void select(const Prefix& prefix, Selected selected);
+  bool remove(const Prefix& prefix);
+  const Selected* find(const Prefix& prefix) const;
+  std::vector<Prefix> prefixes() const;
+  std::size_t size() const { return best_.size(); }
+
+ private:
+  std::unordered_map<Prefix, Selected> best_;
+};
+
+}  // namespace because::bgp

@@ -1,0 +1,314 @@
+#include "bgp/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::bgp {
+
+namespace {
+
+/// Key for the (neighbor, prefix) "ever announced" set. Prefix ids in this
+/// simulator are small (beacon prefixes), so the packing is collision-free.
+std::uint64_t seen_key(topology::AsId neighbor, const Prefix& prefix) {
+  return (static_cast<std::uint64_t>(neighbor) << 32) ^
+         (static_cast<std::uint64_t>(prefix.id) << 8) ^ prefix.length;
+}
+
+}  // namespace
+
+bool DampingRule::matches(topology::Relation neighbor_relation,
+                          topology::AsId neighbor, const Prefix& prefix) const {
+  if (relation_scope.has_value() && *relation_scope != neighbor_relation)
+    return false;
+  if (std::find(exempt_neighbors.begin(), exempt_neighbors.end(), neighbor) !=
+      exempt_neighbors.end())
+    return false;
+  if (!only_neighbors.empty() &&
+      std::find(only_neighbors.begin(), only_neighbors.end(), neighbor) ==
+          only_neighbors.end())
+    return false;
+  return prefix.length >= min_prefix_length && prefix.length <= max_prefix_length;
+}
+
+Router::Router(topology::AsId id, sim::EventQueue& queue)
+    : id_(id), queue_(queue) {}
+
+void Router::connect(topology::AsId neighbor, topology::Relation relation,
+                     sim::Duration mrai, bool mrai_on_withdrawals,
+                     Session::SendFn deliver, stats::Rng* jitter_rng,
+                     double jitter) {
+  if (neighbor == id_) throw std::invalid_argument("Router: self session");
+  auto [it, inserted] = neighbors_.try_emplace(neighbor);
+  if (!inserted) throw std::invalid_argument("Router: duplicate session");
+  it->second.relation = relation;
+  it->second.session = std::make_unique<Session>(
+      id_, neighbor, relation, mrai, mrai_on_withdrawals, std::move(deliver),
+      jitter_rng, jitter);
+}
+
+void Router::add_damping_rule(DampingRule rule) {
+  rule.params.validate();
+  damping_rules_.push_back(std::move(rule));
+}
+
+void Router::add_rov_invalid(const Prefix& prefix) {
+  rov_invalid_.insert(prefix);
+}
+
+bool Router::rov_filters(const Prefix& prefix) const {
+  return rov_invalid_.count(prefix) != 0;
+}
+
+void Router::set_export_prepending(topology::AsId neighbor, std::size_t extra) {
+  if (neighbors_.find(neighbor) == neighbors_.end())
+    throw std::invalid_argument("Router: prepending for unknown neighbor");
+  if (extra == 0) export_prepending_.erase(neighbor);
+  else export_prepending_[neighbor] = extra;
+}
+
+void Router::attach_export_tap(ExportTap tap) {
+  if (!tap) throw std::invalid_argument("Router: null export tap");
+  // Replay the current table so late-attaching collectors get a full feed.
+  for (const Prefix& prefix : loc_rib_.prefixes())
+    tap(desired_update_for(prefix, loc_rib_.find(prefix)));
+  export_taps_.push_back(std::move(tap));
+}
+
+rfd::Damper* Router::damper_for(topology::AsId from, const Prefix& prefix) {
+  const auto nb = neighbors_.find(from);
+  if (nb == neighbors_.end()) return nullptr;
+  for (std::size_t r = 0; r < damping_rules_.size(); ++r) {
+    const DampingRule& rule = damping_rules_[r];
+    if (!rule.matches(nb->second.relation, from, prefix)) continue;
+    const DamperKey key = damper_key(from, r);
+    auto it = dampers_.find(key);
+    if (it == dampers_.end())
+      it = dampers_.emplace(key, rfd::Damper(rule.params)).first;
+    return &it->second;
+  }
+  return nullptr;
+}
+
+const rfd::Damper* Router::damper_for(topology::AsId from,
+                                      const Prefix& prefix) const {
+  const auto nb = neighbors_.find(from);
+  if (nb == neighbors_.end()) return nullptr;
+  for (std::size_t r = 0; r < damping_rules_.size(); ++r) {
+    if (!damping_rules_[r].matches(nb->second.relation, from, prefix)) continue;
+    const auto it = dampers_.find(damper_key(from, r));
+    return it == dampers_.end() ? nullptr : &it->second;
+  }
+  return nullptr;
+}
+
+void Router::originate(const Prefix& prefix, sim::Time beacon_timestamp) {
+  originated_[prefix] = Route{prefix, {}, beacon_timestamp};
+  run_decision(prefix);
+}
+
+void Router::withdraw_origin(const Prefix& prefix) {
+  if (originated_.erase(prefix) == 0) return;
+  run_decision(prefix);
+}
+
+void Router::receive(topology::AsId from, const Update& update) {
+  ++updates_received_;
+  const sim::Time now = queue_.now();
+  const Prefix prefix = update.prefix;
+
+  if (update.is_announcement() &&
+      std::find(update.as_path.begin(), update.as_path.end(), id_) !=
+          update.as_path.end())
+    return;  // loop: our own AS is already on the path
+
+  if (update.is_announcement() && rov_invalid_.count(prefix) != 0)
+    return;  // RPKI-invalid origin: rejected on import (RFC 6811)
+
+  rfd::Damper* damper = damper_for(from, prefix);
+
+  if (update.is_withdrawal()) {
+    const AdjRibInEntry* entry = adj_rib_in_.find(from, prefix);
+    if (entry == nullptr) return;  // withdrawal for an unknown route
+    if (damper != nullptr) {
+      const rfd::Outcome out =
+          damper->on_update(prefix, rfd::UpdateKind::kWithdrawal, now);
+      if (out.suppressed) schedule_release(from, prefix, out.generation);
+    }
+    adj_rib_in_.withdraw(from, prefix);
+    run_decision(prefix);
+    return;
+  }
+
+  // Announcement. Classify the event for the damping penalty.
+  const AdjRibInEntry* entry = adj_rib_in_.find(from, prefix);
+  rfd::UpdateKind kind;
+  if (entry != nullptr) {
+    kind = rfd::UpdateKind::kAttributeChange;
+  } else if (seen_announcement_.count(seen_key(from, prefix)) != 0) {
+    kind = rfd::UpdateKind::kReadvertisement;
+  } else {
+    kind = rfd::UpdateKind::kInitialAdvertisement;
+  }
+  seen_announcement_.insert(seen_key(from, prefix));
+
+  bool suppressed = false;
+  if (damper != nullptr) {
+    const rfd::Outcome out = damper->on_update(prefix, kind, now);
+    suppressed = out.suppressed;
+    if (out.suppressed) schedule_release(from, prefix, out.generation);
+  }
+
+  adj_rib_in_.install(
+      from, Route{prefix, update.as_path, update.beacon_timestamp}, suppressed);
+  run_decision(prefix);
+}
+
+void Router::schedule_release(topology::AsId from, const Prefix& prefix,
+                              std::uint64_t generation) {
+  rfd::Damper* damper = damper_for(from, prefix);
+  if (damper == nullptr) return;
+  const sim::Duration delay = damper->time_until_reuse(prefix, queue_.now());
+  queue_.schedule_in(delay, [this, from, prefix, generation] {
+    rfd::Damper* d = damper_for(from, prefix);
+    if (d == nullptr) return;
+    if (d->try_release(prefix, generation, queue_.now())) {
+      adj_rib_in_.set_suppressed(from, prefix, false);
+      run_decision(prefix);
+    }
+  });
+}
+
+void Router::run_decision(const Prefix& prefix) {
+  Candidate best{};
+  bool have_best = false;
+
+  const auto origin_it = originated_.find(prefix);
+  if (origin_it != originated_.end()) {
+    best = Candidate{std::nullopt, topology::Relation::kCustomer,
+                     &origin_it->second};
+    have_best = true;
+  }
+  for (const auto& [neighbor, route] : adj_rib_in_.usable(prefix)) {
+    const Candidate cand{neighbor, neighbors_.at(neighbor).relation, route};
+    if (!have_best || prefer(cand, best)) {
+      best = cand;
+      have_best = true;
+    }
+  }
+
+  const Selected* current = loc_rib_.find(prefix);
+  if (!have_best) {
+    if (current != nullptr) {
+      loc_rib_.remove(prefix);
+      propagate(prefix);
+    }
+    return;
+  }
+  if (current != nullptr && current->neighbor == best.neighbor &&
+      current->route.as_path == best.route->as_path &&
+      current->route.beacon_timestamp == best.route->beacon_timestamp)
+    return;  // no change
+
+  loc_rib_.select(prefix, Selected{best.neighbor, *best.route});
+  propagate(prefix);
+}
+
+Update Router::desired_update_for(const Prefix& prefix,
+                                  const Selected* selected) const {
+  if (selected == nullptr)
+    return Update{UpdateType::kWithdrawal, prefix, {}, kNoBeaconTimestamp};
+  Update update;
+  update.type = UpdateType::kAnnouncement;
+  update.prefix = prefix;
+  update.as_path.reserve(selected->route.as_path.size() + 1);
+  update.as_path.push_back(id_);
+  update.as_path.insert(update.as_path.end(), selected->route.as_path.begin(),
+                        selected->route.as_path.end());
+  update.beacon_timestamp = selected->route.beacon_timestamp;
+  return update;
+}
+
+void Router::propagate(const Prefix& prefix) {
+  const Selected* selected = loc_rib_.find(prefix);
+  const Update full_feed = desired_update_for(prefix, selected);
+
+  for (auto& [neighbor, info] : neighbors_) {
+    Update update = full_feed;
+    if (selected != nullptr) {
+      const std::optional<topology::Relation> learned_from =
+          selected->neighbor.has_value()
+              ? std::optional(neighbors_.at(*selected->neighbor).relation)
+              : std::nullopt;
+      const bool back_to_source =
+          selected->neighbor.has_value() && *selected->neighbor == neighbor;
+      if (back_to_source || !should_export(learned_from, info.relation))
+        update = Update{UpdateType::kWithdrawal, prefix, {}, kNoBeaconTimestamp};
+    }
+    if (update.is_announcement()) apply_prepending(neighbor, update);
+    info.session->submit(update, queue_);
+  }
+
+  for (const ExportTap& tap : export_taps_) tap(full_feed);
+}
+
+void Router::reset_session(topology::AsId neighbor) {
+  auto nb = neighbors_.find(neighbor);
+  if (nb == neighbors_.end()) throw std::invalid_argument("Router: unknown session");
+
+  // Drop damping history for the neighbor (a fresh session starts clean;
+  // pending release events are orphaned by the erased state).
+  for (std::size_t r = 0; r < damping_rules_.size(); ++r)
+    dampers_.erase(damper_key(neighbor, r));
+
+  const std::vector<Prefix> lost = adj_rib_in_.prefixes_from(neighbor);
+  for (const Prefix& prefix : lost) adj_rib_in_.withdraw(neighbor, prefix);
+  for (const Prefix& prefix : lost) run_decision(prefix);
+
+  // Re-advertise our table on the fresh session.
+  nb->second.session->reset();
+  for (const Prefix& prefix : loc_rib_.prefixes()) propagate_to(neighbor, prefix);
+}
+
+void Router::propagate_to(topology::AsId neighbor, const Prefix& prefix) {
+  auto nb = neighbors_.find(neighbor);
+  if (nb == neighbors_.end()) return;
+  const Selected* selected = loc_rib_.find(prefix);
+  Update update = desired_update_for(prefix, selected);
+  if (selected != nullptr) {
+    const std::optional<topology::Relation> learned_from =
+        selected->neighbor.has_value()
+            ? std::optional(neighbors_.at(*selected->neighbor).relation)
+            : std::nullopt;
+    const bool back_to_source =
+        selected->neighbor.has_value() && *selected->neighbor == neighbor;
+    if (back_to_source || !should_export(learned_from, nb->second.relation))
+      update = Update{UpdateType::kWithdrawal, prefix, {}, kNoBeaconTimestamp};
+  }
+  if (update.is_announcement()) apply_prepending(neighbor, update);
+  nb->second.session->submit(update, queue_);
+}
+
+void Router::apply_prepending(topology::AsId neighbor, Update& update) const {
+  const auto it = export_prepending_.find(neighbor);
+  if (it == export_prepending_.end()) return;
+  update.as_path.insert(update.as_path.begin(), it->second, id_);
+}
+
+const Session* Router::session(topology::AsId neighbor) const {
+  const auto it = neighbors_.find(neighbor);
+  return it == neighbors_.end() ? nullptr : it->second.session.get();
+}
+
+double Router::damping_penalty(topology::AsId neighbor,
+                               const Prefix& prefix) const {
+  const rfd::Damper* damper = damper_for(neighbor, prefix);
+  return damper == nullptr ? 0.0 : damper->penalty(prefix, queue_.now());
+}
+
+bool Router::damping_suppressed(topology::AsId neighbor,
+                                const Prefix& prefix) const {
+  const rfd::Damper* damper = damper_for(neighbor, prefix);
+  return damper != nullptr && damper->is_suppressed(prefix);
+}
+
+}  // namespace because::bgp

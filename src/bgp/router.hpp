@@ -1,0 +1,154 @@
+// An AS-level BGP speaker.
+//
+// One Router models one AS (the paper's unit of inference). It holds the
+// Adj-RIB-In per neighbor, a Loc-RIB, an outbound Session per neighbor (MRAI
+// + Adj-RIB-Out), and optional inbound RFD dampers scoped by neighbor and
+// prefix length. Collector taps observe the router's full-feed exports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/session.hpp"
+#include "rfd/damper.hpp"
+#include "sim/event_queue.hpp"
+#include "topology/as_graph.hpp"
+
+namespace because::bgp {
+
+/// Scoped RFD configuration. An AS may damp only some sessions (e.g. only
+/// customers, or everyone but one neighbor, like AS 701) and only some
+/// prefix lengths. The first matching rule wins.
+struct DampingRule {
+  /// Damp only sessions whose neighbor has this relationship (from the
+  /// damping router's point of view); nullopt = any relationship.
+  std::optional<topology::Relation> relation_scope;
+  /// Neighbors never damped by this rule (heterogeneous configs).
+  std::vector<topology::AsId> exempt_neighbors;
+  /// If non-empty, damp only these neighbors.
+  std::vector<topology::AsId> only_neighbors;
+  /// Prefix-length window the rule applies to (inclusive).
+  std::uint8_t min_prefix_length = 0;
+  std::uint8_t max_prefix_length = 32;
+  rfd::Params params;
+
+  bool matches(topology::Relation neighbor_relation, topology::AsId neighbor,
+               const Prefix& prefix) const;
+};
+
+class Router {
+ public:
+  /// Observes every full-feed export of this router (collector tap).
+  using ExportTap = std::function<void(const Update&)>;
+
+  Router(topology::AsId id, sim::EventQueue& queue);
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  topology::AsId id() const { return id_; }
+
+  /// Create the outbound session to `neighbor`. `deliver` is called when an
+  /// update clears MRAI; the Network adds the link delay. `jitter_rng`
+  /// (optional, must outlive the router) enables MRAI jitter.
+  void connect(topology::AsId neighbor, topology::Relation relation,
+               sim::Duration mrai, bool mrai_on_withdrawals,
+               Session::SendFn deliver, stats::Rng* jitter_rng = nullptr,
+               double jitter = 0.25);
+
+  /// Append an RFD rule (first match wins).
+  void add_damping_rule(DampingRule rule);
+  bool has_damping() const { return !damping_rules_.empty(); }
+  const std::vector<DampingRule>& damping_rules() const { return damping_rules_; }
+
+  /// Register a full-feed observer; also replays the current Loc-RIB.
+  void attach_export_tap(ExportTap tap);
+
+  /// Traffic-engineering: prepend the own AS `extra` additional times on
+  /// announcements exported to `neighbor` (a common way to de-prefer a
+  /// link). The labeling stage strips prepending per §4.2.
+  void set_export_prepending(topology::AsId neighbor, std::size_t extra);
+
+  /// RPKI route origin validation: announcements for `prefix` are treated
+  /// as RPKI-invalid and dropped on import (RFC 6811 "invalid == reject").
+  /// This is the §7 substrate: ROV-filtering ASs never install or
+  /// re-export an invalid prefix.
+  void add_rov_invalid(const Prefix& prefix);
+  bool rov_filters(const Prefix& prefix) const;
+
+  /// Originate (or refresh, with a new beacon timestamp) a local prefix.
+  void originate(const Prefix& prefix, sim::Time beacon_timestamp);
+
+  /// Withdraw a locally originated prefix.
+  void withdraw_origin(const Prefix& prefix);
+
+  /// Handle an update received from `from` (already past the link delay).
+  void receive(topology::AsId from, const Update& update);
+
+  /// Drop all state learned from `neighbor` and resend our routes to it, as
+  /// a BGP session reset would (failure injection for the 90% rule).
+  void reset_session(topology::AsId neighbor);
+
+  const LocRib& loc_rib() const { return loc_rib_; }
+  const AdjRibIn& adj_rib_in() const { return adj_rib_in_; }
+  const Session* session(topology::AsId neighbor) const;
+
+  /// Current decayed penalty a damper holds against (neighbor, prefix);
+  /// 0 when undamped. Exposed for tests and the Figure 2 bench.
+  double damping_penalty(topology::AsId neighbor, const Prefix& prefix) const;
+  bool damping_suppressed(topology::AsId neighbor, const Prefix& prefix) const;
+
+  std::uint64_t updates_received() const { return updates_received_; }
+
+ private:
+  struct NeighborInfo {
+    topology::Relation relation;
+    std::unique_ptr<Session> session;
+  };
+
+  /// Damper bucket key: (neighbor, rule index).
+  using DamperKey = std::uint64_t;
+  static DamperKey damper_key(topology::AsId neighbor, std::size_t rule) {
+    return (static_cast<std::uint64_t>(neighbor) << 16) |
+           static_cast<std::uint64_t>(rule & 0xffff);
+  }
+
+  /// Damper handling the (neighbor, prefix) pair, or nullptr if undamped.
+  rfd::Damper* damper_for(topology::AsId from, const Prefix& prefix);
+  const rfd::Damper* damper_for(topology::AsId from, const Prefix& prefix) const;
+
+  void run_decision(const Prefix& prefix);
+  void propagate(const Prefix& prefix);
+  void propagate_to(topology::AsId neighbor, const Prefix& prefix);
+  void apply_prepending(topology::AsId neighbor, Update& update) const;
+  Update desired_update_for(const Prefix& prefix,
+                            const Selected* selected) const;
+  void schedule_release(topology::AsId from, const Prefix& prefix,
+                        std::uint64_t generation);
+
+  topology::AsId id_;
+  sim::EventQueue& queue_;
+  std::map<topology::AsId, NeighborInfo> neighbors_;  // ordered: determinism
+  AdjRibIn adj_rib_in_;
+  LocRib loc_rib_;
+  std::unordered_map<Prefix, Route> originated_;
+  std::vector<DampingRule> damping_rules_;
+  std::unordered_map<topology::AsId, std::size_t> export_prepending_;
+  std::unordered_set<Prefix> rov_invalid_;
+  std::unordered_map<DamperKey, rfd::Damper> dampers_;
+  /// (neighbor, prefix) pairs we have ever had an announcement from; used to
+  /// distinguish initial advertisements from re-advertisements for RFD.
+  std::unordered_set<std::uint64_t> seen_announcement_;
+  std::vector<ExportTap> export_taps_;
+  std::uint64_t updates_received_ = 0;
+};
+
+}  // namespace because::bgp

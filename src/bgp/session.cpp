@@ -1,0 +1,102 @@
+#include "bgp/session.hpp"
+
+#include <stdexcept>
+
+namespace because::bgp {
+
+Session::Session(topology::AsId local, topology::AsId remote,
+                 topology::Relation relation_to_remote, sim::Duration mrai,
+                 bool mrai_on_withdrawals, SendFn send, stats::Rng* jitter_rng,
+                 double jitter)
+    : local_(local),
+      remote_(remote),
+      relation_(relation_to_remote),
+      mrai_(mrai),
+      mrai_on_withdrawals_(mrai_on_withdrawals),
+      send_(std::move(send)),
+      jitter_rng_(jitter_rng),
+      jitter_(jitter) {
+  if (!send_) throw std::invalid_argument("Session: null send function");
+  if (mrai_ < 0) throw std::invalid_argument("Session: negative MRAI");
+  if (jitter_ < 0.0 || jitter_ > 1.0)
+    throw std::invalid_argument("Session: jitter outside [0,1]");
+}
+
+sim::Duration Session::draw_mrai() {
+  if (jitter_rng_ == nullptr || jitter_ <= 0.0 || mrai_ == 0) return mrai_;
+  const double factor = jitter_rng_->uniform(1.0 - jitter_, 1.0);
+  return static_cast<sim::Duration>(static_cast<double>(mrai_) * factor);
+}
+
+void Session::submit(const Update& update, sim::EventQueue& queue) {
+  PrefixState& state = states_[update.prefix];
+  const sim::Time now = queue.now();
+
+  const bool exempt_from_mrai =
+      update.is_withdrawal() && !mrai_on_withdrawals_;
+  if (exempt_from_mrai) {
+    // The withdrawal supersedes anything waiting for the MRAI timer.
+    state.pending.reset();
+    send_or_skip(state, update, queue);
+    return;
+  }
+
+  if (state.flush_scheduled) {
+    state.pending = update;  // newest state wins; older pending is obsolete
+    return;
+  }
+  if (now >= state.next_allowed_at) {
+    send_or_skip(state, update, queue);
+    return;
+  }
+  state.pending = update;
+  state.flush_scheduled = true;
+  const Prefix prefix = update.prefix;
+  queue.schedule_at(state.next_allowed_at,
+                    [this, prefix, &queue] { flush(prefix, queue); });
+}
+
+void Session::send_or_skip(PrefixState& state, const Update& update,
+                           sim::EventQueue& queue) {
+  if (update.is_withdrawal()) {
+    if (!state.advertised.has_value()) return;  // remote holds nothing anyway
+    state.advertised.reset();
+  } else {
+    if (state.advertised.has_value() &&
+        state.advertised->as_path == update.as_path &&
+        state.advertised->beacon_timestamp == update.beacon_timestamp) {
+      return;  // identical announcement, nothing to refresh
+    }
+    state.advertised = update;
+  }
+  state.next_allowed_at = queue.now() + draw_mrai();
+  ++updates_sent_;
+  send_(update);
+}
+
+void Session::flush(const Prefix& prefix, sim::EventQueue& queue) {
+  auto it = states_.find(prefix);
+  if (it == states_.end()) return;
+  PrefixState& state = it->second;
+  state.flush_scheduled = false;
+  if (!state.pending.has_value()) return;
+  const Update update = *state.pending;
+  state.pending.reset();
+  send_or_skip(state, update, queue);
+}
+
+void Session::reset() {
+  // Scheduled flush events become harmless: they find no pending update.
+  for (auto& [_, state] : states_) {
+    state.pending.reset();
+    state.advertised.reset();
+    state.next_allowed_at = 0;
+  }
+}
+
+bool Session::advertised(const Prefix& prefix) const {
+  const auto it = states_.find(prefix);
+  return it != states_.end() && it->second.advertised.has_value();
+}
+
+}  // namespace because::bgp

@@ -1,0 +1,83 @@
+// Outbound BGP session state: MRAI rate limiting plus Adj-RIB-Out
+// deduplication.
+//
+// The Minimum Route Advertisement Interval is applied per prefix on the
+// sending side: while the timer runs, only the latest update is held and
+// flushed when the timer expires. Withdrawals bypass MRAI by default
+// (classic BGP behaviour); this is configurable. The session also remembers
+// the last update actually sent so identical re-sends are elided — note that
+// two announcements with the same path but different beacon timestamps are
+// NOT identical (the aggregator attribute changed), which is exactly why
+// beacon updates propagate network-wide.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "bgp/message.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/rng.hpp"
+#include "topology/as_graph.hpp"
+
+namespace because::bgp {
+
+class Session {
+ public:
+  /// `send` performs the actual delivery (the Network schedules the link
+  /// delay); Session only decides *when* to hand updates to it.
+  using SendFn = std::function<void(const Update&)>;
+
+  /// `jitter_rng` (optional) enables MRAI jitter: after each send the next
+  /// window is drawn uniformly from [(1 - jitter) * mrai, mrai], as RFC 4271
+  /// recommends, which desynchronises update races across sessions.
+  Session(topology::AsId local, topology::AsId remote,
+          topology::Relation relation_to_remote, sim::Duration mrai,
+          bool mrai_on_withdrawals, SendFn send,
+          stats::Rng* jitter_rng = nullptr, double jitter = 0.25);
+
+  topology::AsId remote() const { return remote_; }
+  topology::Relation relation() const { return relation_; }
+
+  /// Submit the desired state for a prefix; the session dedups and applies
+  /// MRAI. `queue` supplies the clock and timer scheduling.
+  void submit(const Update& update, sim::EventQueue& queue);
+
+  /// Forget all per-prefix state (session reset): the remote's table is
+  /// empty again, MRAI timers are cleared, pending updates dropped.
+  void reset();
+
+  /// True if the remote currently holds an announcement for `prefix`
+  /// (i.e., the last effective update sent was an announcement).
+  bool advertised(const Prefix& prefix) const;
+
+  std::uint64_t updates_sent() const { return updates_sent_; }
+
+ private:
+  struct PrefixState {
+    /// Next time an MRAI-governed update may be sent; 0 = immediately.
+    sim::Time next_allowed_at = 0;
+    std::optional<Update> pending;
+    bool flush_scheduled = false;
+    /// Last announcement delivered; nullopt = withdrawn / never announced.
+    std::optional<Update> advertised;
+  };
+
+  sim::Duration draw_mrai();
+  void send_or_skip(PrefixState& state, const Update& update,
+                    sim::EventQueue& queue);
+  void flush(const Prefix& prefix, sim::EventQueue& queue);
+
+  topology::AsId local_;
+  topology::AsId remote_;
+  topology::Relation relation_;
+  sim::Duration mrai_;
+  bool mrai_on_withdrawals_;
+  SendFn send_;
+  stats::Rng* jitter_rng_;
+  double jitter_;
+  std::unordered_map<Prefix, PrefixState> states_;
+  std::uint64_t updates_sent_ = 0;
+};
+
+}  // namespace because::bgp

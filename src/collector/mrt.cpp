@@ -1,0 +1,146 @@
+#include "collector/mrt.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace because::collector {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& why) {
+  throw std::runtime_error("mrt: line " + std::to_string(line_number) + ": " + why);
+}
+
+Project project_from_int(int value, std::size_t line_number) {
+  switch (value) {
+    case 0: return Project::kRipeRis;
+    case 1: return Project::kRouteViews;
+    case 2: return Project::kIsolario;
+  }
+  fail(line_number, "bad project id");
+}
+
+int project_to_int(Project project) {
+  switch (project) {
+    case Project::kRipeRis: return 0;
+    case Project::kRouteViews: return 1;
+    case Project::kIsolario: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void write_mrt(std::ostream& out, const UpdateStore& store) {
+  out << "becmrt " << kFormatVersion << "\n";
+  for (const VpInfo& vp : store.vantage_points()) {
+    out << "VP " << vp.id << ' ' << vp.as << ' ' << project_to_int(vp.project)
+        << ' ' << vp.export_delay << "\n";
+  }
+  for (const RecordedUpdate& r : store.all()) {
+    out << "U " << r.recorded_at << ' ' << r.vp << ' '
+        << (r.update.is_announcement() ? 'A' : 'W') << ' ' << r.update.prefix.id
+        << '/' << static_cast<int>(r.update.prefix.length) << ' '
+        << r.update.beacon_timestamp;
+    for (topology::AsId as : r.update.as_path) out << ' ' << as;
+    out << "\n";
+  }
+}
+
+UpdateStore read_mrt(std::istream& in) {
+  UpdateStore store;
+  std::string line;
+  std::size_t line_number = 0;
+  bool header_seen = false;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+
+    if (!header_seen) {
+      int version = 0;
+      if (tag != "becmrt" || !(fields >> version))
+        fail(line_number, "missing becmrt header");
+      if (version != kFormatVersion) fail(line_number, "unsupported version");
+      header_seen = true;
+      continue;
+    }
+
+    if (tag == "VP") {
+      VpId id = 0;
+      topology::AsId as = 0;
+      int project = 0;
+      sim::Duration delay = 0;
+      if (!(fields >> id >> as >> project >> delay))
+        fail(line_number, "malformed VP record");
+      const VpId assigned =
+          store.register_vp(as, project_from_int(project, line_number), delay);
+      if (assigned != id)
+        fail(line_number, "VP ids must be dense and in order");
+      continue;
+    }
+
+    if (tag == "U") {
+      sim::Time recorded_at = 0;
+      VpId vp = 0;
+      char type = 0;
+      std::string prefix_field;
+      sim::Time beacon_ts = 0;
+      if (!(fields >> recorded_at >> vp >> type >> prefix_field >> beacon_ts))
+        fail(line_number, "malformed U record");
+      const auto slash = prefix_field.find('/');
+      if (slash == std::string::npos) fail(line_number, "bad prefix");
+
+      bgp::Update update;
+      try {
+        update.prefix.id =
+            static_cast<std::uint32_t>(std::stoul(prefix_field.substr(0, slash)));
+        update.prefix.length =
+            static_cast<std::uint8_t>(std::stoul(prefix_field.substr(slash + 1)));
+      } catch (const std::exception&) {
+        fail(line_number, "bad prefix");
+      }
+      if (type == 'A') update.type = bgp::UpdateType::kAnnouncement;
+      else if (type == 'W') update.type = bgp::UpdateType::kWithdrawal;
+      else fail(line_number, "bad update type");
+      update.beacon_timestamp = beacon_ts;
+
+      topology::AsId as = 0;
+      while (fields >> as) update.as_path.push_back(as);
+      if (update.is_withdrawal() && !update.as_path.empty())
+        fail(line_number, "withdrawal with a path");
+
+      if (vp >= store.vantage_points().size())
+        fail(line_number, "record references unknown VP");
+      store.record(vp, recorded_at, update);
+      continue;
+    }
+
+    fail(line_number, "unknown record tag '" + tag + "'");
+  }
+  if (!header_seen) throw std::runtime_error("mrt: empty input");
+  return store;
+}
+
+void save_mrt_file(const std::string& path, const UpdateStore& store) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("mrt: cannot open " + path + " for writing");
+  write_mrt(out, store);
+  if (!out) throw std::runtime_error("mrt: write failed for " + path);
+}
+
+UpdateStore load_mrt_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("mrt: cannot open " + path);
+  return read_mrt(in);
+}
+
+}  // namespace because::collector

@@ -1,0 +1,33 @@
+// MRT-style persistence for collector data.
+//
+// The paper's artifacts are BGP update dumps from RIPE RIS, RouteViews and
+// Isolario; this module provides the equivalent for the simulator: a
+// compact, line-oriented text format that round-trips an UpdateStore, so
+// campaigns can be recorded once and re-analysed offline (relabeling,
+// alternative inference settings, ...) without re-simulating.
+//
+// Format (one record per line, '#' starts a comment):
+//   becmrt 1
+//   VP <id> <as> <project:0|1|2> <export_delay_ms>
+//   U <recorded_at_ms> <vp> <A|W> <prefix_id>/<length> <beacon_ts_ms> [path...]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "collector/update_store.hpp"
+
+namespace because::collector {
+
+/// Serialise the store (VPs first, then records in recording order).
+void write_mrt(std::ostream& out, const UpdateStore& store);
+
+/// Parse a dump produced by write_mrt. Throws std::runtime_error with the
+/// offending line number on malformed input.
+UpdateStore read_mrt(std::istream& in);
+
+/// Convenience file wrappers.
+void save_mrt_file(const std::string& path, const UpdateStore& store);
+UpdateStore load_mrt_file(const std::string& path);
+
+}  // namespace because::collector

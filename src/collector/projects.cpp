@@ -1,0 +1,31 @@
+#include "collector/projects.hpp"
+
+namespace because::collector {
+
+std::string to_string(Project project) {
+  switch (project) {
+    case Project::kRipeRis: return "RIPE RIS";
+    case Project::kRouteViews: return "RouteViews";
+    case Project::kIsolario: return "Isolario";
+  }
+  return "?";
+}
+
+sim::Duration draw_export_delay(Project project, stats::Rng& rng) {
+  switch (project) {
+    case Project::kRouteViews:
+      // "Some vantage points in the RouteViews project export updates
+      // exactly 50 seconds after our Beacon routers sent the BGP updates."
+      return sim::seconds(50);
+    case Project::kIsolario:
+      // "vantage points in Isolario export updates for all but two Beacons
+      // within 30 seconds"
+      return sim::seconds(rng.uniform_int(5, 30));
+    case Project::kRipeRis:
+      // "RIPE vantage points show a much more diverse behavior."
+      return sim::seconds(rng.uniform_int(5, 90));
+  }
+  return 0;
+}
+
+}  // namespace because::collector

@@ -1,0 +1,24 @@
+// Route collector projects.
+//
+// The paper uses RIPE RIS, RouteViews and Isolario; each exports updates
+// with a characteristic delay (§4.3 / Figure 8: RouteViews VPs export
+// exactly 50 s after the beacon send, Isolario within 30 s, RIS is diverse).
+// We reproduce those per-project export-delay profiles.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+#include "stats/rng.hpp"
+
+namespace because::collector {
+
+enum class Project : std::uint8_t { kRipeRis, kRouteViews, kIsolario };
+
+std::string to_string(Project project);
+
+/// Draw a per-vantage-point export delay for the project. The delay is fixed
+/// per VP for the whole campaign (it models the collector's dump cadence).
+sim::Duration draw_export_delay(Project project, stats::Rng& rng);
+
+}  // namespace because::collector

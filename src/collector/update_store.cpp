@@ -1,0 +1,77 @@
+#include "collector/update_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::collector {
+
+VpId UpdateStore::register_vp(topology::AsId as, Project project,
+                              sim::Duration export_delay) {
+  const VpId id = static_cast<VpId>(vps_.size());
+  vps_.push_back(VpInfo{id, as, project, export_delay});
+  return id;
+}
+
+const VpInfo& UpdateStore::vp(VpId id) const {
+  if (id >= vps_.size()) throw std::out_of_range("UpdateStore: unknown VP");
+  return vps_[id];
+}
+
+void UpdateStore::record(VpId vp, sim::Time recorded_at, const bgp::Update& update) {
+  if (vp >= vps_.size()) throw std::out_of_range("UpdateStore: unknown VP");
+  const std::size_t idx = records_.size();
+  by_stream_[stream_key(vp, update.prefix)].push_back(idx);
+  by_prefix_[update.prefix].push_back(idx);
+  records_.push_back(RecordedUpdate{recorded_at, vp, update});
+}
+
+std::vector<RecordedUpdate> UpdateStore::for_vp_prefix(
+    VpId vp, const bgp::Prefix& prefix) const {
+  std::vector<RecordedUpdate> out;
+  const auto it = by_stream_.find(stream_key(vp, prefix));
+  if (it == by_stream_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t idx : it->second) out.push_back(records_[idx]);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RecordedUpdate& a, const RecordedUpdate& b) {
+                     return a.recorded_at < b.recorded_at;
+                   });
+  return out;
+}
+
+std::vector<RecordedUpdate> UpdateStore::for_prefix(const bgp::Prefix& prefix) const {
+  std::vector<RecordedUpdate> out;
+  const auto it = by_prefix_.find(prefix);
+  if (it == by_prefix_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t idx : it->second) out.push_back(records_[idx]);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RecordedUpdate& a, const RecordedUpdate& b) {
+                     return a.recorded_at < b.recorded_at;
+                   });
+  return out;
+}
+
+void UpdateStore::rebuild_indices() {
+  by_stream_.clear();
+  by_prefix_.clear();
+  for (std::size_t idx = 0; idx < records_.size(); ++idx) {
+    const RecordedUpdate& r = records_[idx];
+    by_stream_[stream_key(r.vp, r.update.prefix)].push_back(idx);
+    by_prefix_[r.update.prefix].push_back(idx);
+  }
+}
+
+void UpdateStore::discard_invalid_aggregators() {
+  const auto is_invalid = [](const RecordedUpdate& r) {
+    return r.update.is_announcement() &&
+           r.update.beacon_timestamp == bgp::kNoBeaconTimestamp;
+  };
+  const std::size_t before = records_.size();
+  records_.erase(std::remove_if(records_.begin(), records_.end(), is_invalid),
+                 records_.end());
+  discarded_ += before - records_.size();
+  rebuild_indices();
+}
+
+}  // namespace because::collector

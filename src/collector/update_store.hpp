@@ -1,0 +1,79 @@
+// Storage for updates recorded at vantage points (the simulated equivalent
+// of BGP update dumps from the route collector projects).
+//
+// Queries are indexed by (vp, prefix) and by prefix: campaigns record
+// hundreds of thousands of updates and the labeling stage queries every
+// (vp, prefix) stream.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "collector/projects.hpp"
+#include "topology/as_graph.hpp"
+
+namespace because::collector {
+
+/// Stable identifier of a vantage point within the store.
+using VpId = std::uint32_t;
+
+struct VpInfo {
+  VpId id = 0;
+  topology::AsId as = 0;
+  Project project = Project::kRipeRis;
+  sim::Duration export_delay = 0;
+};
+
+struct RecordedUpdate {
+  sim::Time recorded_at = 0;  ///< when the collector exported it
+  VpId vp = 0;
+  bgp::Update update;         ///< as_path starts with the VP's AS
+};
+
+class UpdateStore {
+ public:
+  VpId register_vp(topology::AsId as, Project project, sim::Duration export_delay);
+
+  /// Records must arrive in non-decreasing time order per VP (the event
+  /// queue guarantees this).
+  void record(VpId vp, sim::Time recorded_at, const bgp::Update& update);
+
+  const std::vector<VpInfo>& vantage_points() const { return vps_; }
+  const VpInfo& vp(VpId id) const;
+
+  /// All records in recording order.
+  const std::vector<RecordedUpdate>& all() const { return records_; }
+
+  /// Records for one (vp, prefix) stream, in time order.
+  std::vector<RecordedUpdate> for_vp_prefix(VpId vp, const bgp::Prefix& prefix) const;
+
+  /// Records for a prefix across all VPs, in time order.
+  std::vector<RecordedUpdate> for_prefix(const bgp::Prefix& prefix) const;
+
+  std::size_t size() const { return records_.size(); }
+
+  /// Count of announcements discarded for carrying no valid beacon
+  /// timestamp (the paper's invalid-aggregator observation).
+  std::size_t discarded_invalid_aggregator() const { return discarded_; }
+
+  /// Drop announcements whose beacon timestamp is missing (mirrors the
+  /// paper's cleaning step). Withdrawals never carry timestamps and are kept.
+  void discard_invalid_aggregators();
+
+ private:
+  static std::uint64_t stream_key(VpId vp, const bgp::Prefix& prefix) {
+    return (static_cast<std::uint64_t>(vp) << 40) ^
+           (static_cast<std::uint64_t>(prefix.id) << 8) ^ prefix.length;
+  }
+  void rebuild_indices();
+
+  std::vector<VpInfo> vps_;
+  std::vector<RecordedUpdate> records_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_stream_;
+  std::unordered_map<bgp::Prefix, std::vector<std::size_t>> by_prefix_;
+  std::size_t discarded_ = 0;
+};
+
+}  // namespace because::collector

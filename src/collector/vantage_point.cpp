@@ -1,0 +1,30 @@
+#include "collector/vantage_point.hpp"
+
+namespace because::collector {
+
+VpId attach_vantage_point(bgp::Network& network, UpdateStore& store,
+                          const VantagePointConfig& config, stats::Rng& rng) {
+  const sim::Duration delay = draw_export_delay(config.project, rng);
+  const VpId id = store.register_vp(config.as, config.project, delay);
+
+  bgp::Router& router = network.router(config.as);
+  sim::EventQueue& queue = network.queue();
+  const double missing_prob = config.missing_aggregator_prob;
+  stats::Rng* noise = &rng;
+  UpdateStore* store_ptr = &store;
+
+  router.attach_export_tap([&queue, store_ptr, noise, id, delay,
+                            missing_prob](const bgp::Update& update) {
+    bgp::Update recorded = update;
+    if (recorded.is_announcement() && missing_prob > 0.0 &&
+        noise->bernoulli(missing_prob)) {
+      recorded.beacon_timestamp = bgp::kNoBeaconTimestamp;
+    }
+    queue.schedule_in(delay, [store_ptr, id, &queue, recorded] {
+      store_ptr->record(id, queue.now(), recorded);
+    });
+  });
+  return id;
+}
+
+}  // namespace because::collector

@@ -1,0 +1,28 @@
+// Attaching vantage points to routers.
+//
+// A vantage point is an AS whose router delivers a full feed to a collector
+// project. The recording happens `export_delay` after the router's export
+// (modelling collector dump latency), and a small fraction of announcements
+// lose their beacon timestamp (the paper's ~1% invalid-aggregator noise).
+#pragma once
+
+#include "bgp/network.hpp"
+#include "collector/update_store.hpp"
+#include "stats/rng.hpp"
+
+namespace because::collector {
+
+struct VantagePointConfig {
+  topology::AsId as = 0;
+  Project project = Project::kRipeRis;
+  /// Probability that a recorded announcement loses its beacon timestamp.
+  double missing_aggregator_prob = 0.0;
+};
+
+/// Registers the VP in `store`, draws its export delay, and taps the
+/// router's full feed. `rng` must outlive the network simulation (noise is
+/// drawn at record time).
+VpId attach_vantage_point(bgp::Network& network, UpdateStore& store,
+                          const VantagePointConfig& config, stats::Rng& rng);
+
+}  // namespace because::collector

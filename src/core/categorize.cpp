@@ -1,0 +1,82 @@
+#include "core/categorize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::core {
+
+std::string to_string(Category category) {
+  switch (category) {
+    case Category::kHighlyLikelyNot: return "1 (highly likely not damping)";
+    case Category::kLikelyNot: return "2 (likely not damping)";
+    case Category::kUncertain: return "3 (uncertain)";
+    case Category::kLikelyDamping: return "4 (likely damping)";
+    case Category::kHighlyLikelyDamping: return "5 (highly likely damping)";
+  }
+  return "?";
+}
+
+Category categorize(const MarginalSummary& summary,
+                    const CategoryCutoffs& cutoffs) {
+  const double mean = summary.mean;
+  if (mean < cutoffs.low) {
+    // Highly-likely-not requires the whole credible interval to be low.
+    return summary.hdpi.hi < cutoffs.low ? Category::kHighlyLikelyNot
+                                         : Category::kLikelyNot;
+  }
+  if (mean < cutoffs.mid_low) return Category::kLikelyNot;
+  if (mean < cutoffs.mid_high) return Category::kUncertain;
+  if (mean < cutoffs.high) return Category::kLikelyDamping;
+  // Highly-likely-damping requires the whole credible interval to be high.
+  return summary.hdpi.lo >= cutoffs.high ? Category::kHighlyLikelyDamping
+                                         : Category::kLikelyDamping;
+}
+
+Category categorize_literal(const MarginalSummary& summary,
+                            const CategoryCutoffs& cutoffs) {
+  const double mean = summary.mean;
+  const double a = summary.hdpi.lo;
+  const double b = summary.hdpi.hi;
+
+  bool raised = false;
+  Category flag = Category::kUncertain;  // Table 1's 'Else': the fallback
+  auto raise = [&](Category candidate) {
+    flag = raised ? highest(flag, candidate) : candidate;
+    raised = true;
+  };
+
+  if (mean < cutoffs.low || a < cutoffs.low) raise(Category::kHighlyLikelyNot);
+  if ((mean >= cutoffs.low && mean < cutoffs.mid_low) ||
+      (a >= cutoffs.low && a < cutoffs.mid_low))
+    raise(Category::kLikelyNot);
+  if ((mean >= cutoffs.mid_high && mean < cutoffs.high) ||
+      (b >= cutoffs.mid_high && b < cutoffs.high))
+    raise(Category::kLikelyDamping);
+  if (mean >= cutoffs.high || b >= cutoffs.high)
+    raise(Category::kHighlyLikelyDamping);
+  return flag;
+}
+
+std::vector<Category> categorize_all(const std::vector<MarginalSummary>& summaries,
+                                     const CategoryCutoffs& cutoffs) {
+  std::vector<Category> out;
+  out.reserve(summaries.size());
+  for (const MarginalSummary& s : summaries) out.push_back(categorize(s, cutoffs));
+  return out;
+}
+
+Category highest(Category a, Category b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+std::vector<Category> highest_all(const std::vector<Category>& a,
+                                  const std::vector<Category>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("highest_all: size mismatch");
+  std::vector<Category> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(highest(a[i], b[i]));
+  return out;
+}
+
+}  // namespace because::core

@@ -1,0 +1,38 @@
+#include "core/chain.hpp"
+
+#include <stdexcept>
+
+namespace because::core {
+
+Chain::Chain(std::size_t dim) : dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("Chain: zero dimension");
+}
+
+void Chain::push(std::span<const double> sample) {
+  if (sample.size() != dim_) throw std::invalid_argument("Chain: dim mismatch");
+  flat_.insert(flat_.end(), sample.begin(), sample.end());
+  ++size_;
+}
+
+std::span<const double> Chain::sample(std::size_t t) const {
+  if (t >= size_) throw std::out_of_range("Chain: sample index");
+  return {flat_.data() + t * dim_, dim_};
+}
+
+std::vector<double> Chain::marginal(std::size_t i) const {
+  if (i >= dim_) throw std::out_of_range("Chain: coordinate index");
+  std::vector<double> out;
+  out.reserve(size_);
+  for (std::size_t t = 0; t < size_; ++t) out.push_back(flat_[t * dim_ + i]);
+  return out;
+}
+
+double Chain::mean(std::size_t i) const {
+  if (i >= dim_) throw std::out_of_range("Chain: coordinate index");
+  if (size_ == 0) throw std::logic_error("Chain: empty");
+  double sum = 0.0;
+  for (std::size_t t = 0; t < size_; ++t) sum += flat_[t * dim_ + i];
+  return sum / static_cast<double>(size_);
+}
+
+}  // namespace because::core

@@ -1,0 +1,38 @@
+// Posterior sample storage shared by both samplers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace because::core {
+
+class Chain {
+ public:
+  explicit Chain(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return size_; }
+
+  /// Append one sample (length must equal dim()).
+  void push(std::span<const double> sample);
+
+  /// Sample `t` as a view into the flat storage.
+  std::span<const double> sample(std::size_t t) const;
+
+  /// All values of coordinate `i` across the chain (copied out, e.g. for
+  /// HDPI computation over a marginal).
+  std::vector<double> marginal(std::size_t i) const;
+
+  /// Posterior mean of coordinate `i`.
+  double mean(std::size_t i) const;
+
+  /// Fraction of proposals accepted while generating this chain.
+  double acceptance_rate = 0.0;
+
+ private:
+  std::size_t dim_;
+  std::size_t size_ = 0;
+  std::vector<double> flat_;  // size_ * dim_
+};
+
+}  // namespace because::core

@@ -1,0 +1,50 @@
+#include "core/evaluate.hpp"
+
+#include <stdexcept>
+
+namespace because::core {
+
+namespace {
+
+Evaluation evaluate_impl(const labeling::PathDataset& data,
+                         const std::vector<bool>& predicted,
+                         const std::unordered_set<topology::AsId>& true_dampers,
+                         const std::unordered_set<topology::AsId>& scope) {
+  if (predicted.size() != data.as_count())
+    throw std::invalid_argument("evaluate: prediction/dataset size mismatch");
+
+  Evaluation eval;
+  for (std::size_t n = 0; n < data.as_count(); ++n) {
+    const topology::AsId as = data.as_at(n);
+    if (!scope.empty() && scope.count(as) == 0) continue;
+    const bool actual = true_dampers.count(as) != 0;
+    const bool pred = predicted[n];
+    eval.matrix.add(pred, actual);
+    if (pred && !actual) eval.false_positives.push_back(as);
+    if (!pred && actual) eval.false_negatives.push_back(as);
+  }
+  return eval;
+}
+
+}  // namespace
+
+Evaluation evaluate(const labeling::PathDataset& data,
+                    const std::vector<Category>& categories,
+                    const std::unordered_set<topology::AsId>& true_dampers,
+                    const std::unordered_set<topology::AsId>& scope) {
+  if (categories.size() != data.as_count())
+    throw std::invalid_argument("evaluate: category/dataset size mismatch");
+  std::vector<bool> predicted(categories.size());
+  for (std::size_t i = 0; i < categories.size(); ++i)
+    predicted[i] = is_damping(categories[i]);
+  return evaluate_impl(data, predicted, true_dampers, scope);
+}
+
+Evaluation evaluate_bool(const labeling::PathDataset& data,
+                         const std::vector<bool>& predicted_damping,
+                         const std::unordered_set<topology::AsId>& true_dampers,
+                         const std::unordered_set<topology::AsId>& scope) {
+  return evaluate_impl(data, predicted_damping, true_dampers, scope);
+}
+
+}  // namespace because::core

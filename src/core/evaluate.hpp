@@ -1,0 +1,38 @@
+// Evaluation against ground truth (Tables 3 and 4).
+//
+// The simulator knows the true deployment; the paper had operator feedback
+// for a subset of ASs. Evaluation restricts to a chosen AS subset (all
+// measured ASs, or a sampled "feedback" subset) and scores the prediction
+// "category >= 4 means RFD-enabled".
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/categorize.hpp"
+#include "labeling/dataset.hpp"
+#include "stats/classification.hpp"
+
+namespace because::core {
+
+struct Evaluation {
+  stats::ConfusionMatrix matrix;
+  std::vector<topology::AsId> false_positives;
+  std::vector<topology::AsId> false_negatives;
+};
+
+/// Score `categories` (aligned with `data`'s dense index) against the set
+/// of true dampers. Only ASs present in `scope` are scored; an empty scope
+/// means every AS in the dataset.
+Evaluation evaluate(const labeling::PathDataset& data,
+                    const std::vector<Category>& categories,
+                    const std::unordered_set<topology::AsId>& true_dampers,
+                    const std::unordered_set<topology::AsId>& scope = {});
+
+/// Same scoring for a plain boolean prediction (used by the heuristics).
+Evaluation evaluate_bool(const labeling::PathDataset& data,
+                         const std::vector<bool>& predicted_damping,
+                         const std::unordered_set<topology::AsId>& true_dampers,
+                         const std::unordered_set<topology::AsId>& scope = {});
+
+}  // namespace because::core

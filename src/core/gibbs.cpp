@@ -1,0 +1,106 @@
+#include "core/gibbs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace because::core {
+
+namespace {
+constexpr double kQFloor = Likelihood::kQFloor;
+
+inline double q_of(double p) {
+  return std::max(kQFloor, std::min(1.0, 1.0 - p));
+}
+}  // namespace
+
+void GibbsConfig::validate() const {
+  if (samples == 0) throw std::invalid_argument("GibbsConfig: samples == 0");
+  if (thin == 0) throw std::invalid_argument("GibbsConfig: thin == 0");
+  if (grid_points < 2)
+    throw std::invalid_argument("GibbsConfig: need >= 2 grid points");
+}
+
+Chain run_gibbs(const Likelihood& likelihood, const Prior& prior,
+                const GibbsConfig& config) {
+  config.validate();
+  const std::size_t dim = likelihood.dim();
+  if (dim == 0) throw std::invalid_argument("run_gibbs: empty dataset");
+  const labeling::PathDataset& data = likelihood.data();
+
+  stats::Rng rng(config.seed);
+  std::vector<double> p(dim);
+  for (double& x : p) x = prior.sample_coord(rng);
+  std::vector<double> products = likelihood.products(p);
+
+  // Grid midpoints over (0, 1).
+  const std::size_t grid = config.grid_points;
+  std::vector<double> grid_p(grid), grid_q(grid);
+  for (std::size_t g = 0; g < grid; ++g) {
+    grid_p[g] = (static_cast<double>(g) + 0.5) / static_cast<double>(grid);
+    grid_q[g] = q_of(grid_p[g]);
+  }
+
+  Chain chain(dim);
+  std::vector<double> log_cond(grid);
+  std::vector<double> weights(grid);
+
+  const std::size_t total_sweeps = config.burn_in + config.samples * config.thin;
+  for (std::size_t sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double old_q = q_of(p[i]);
+
+      // Unnormalised log conditional on the grid.
+      for (std::size_t g = 0; g < grid; ++g)
+        log_cond[g] = prior.log_density_coord(grid_p[g]);
+      for (std::size_t obs_idx : data.observations_with(i)) {
+        const double base = products[obs_idx] / old_q;  // product without q_i
+        const bool shows = data.observations()[obs_idx].shows_property;
+        for (std::size_t g = 0; g < grid; ++g)
+          log_cond[g] += likelihood.observation_log_lik(base * grid_q[g], shows);
+      }
+
+      // Normalise and invert the discrete CDF.
+      double max_log = log_cond[0];
+      for (double v : log_cond) max_log = std::max(max_log, v);
+      double total = 0.0;
+      for (std::size_t g = 0; g < grid; ++g) {
+        weights[g] = std::exp(log_cond[g] - max_log);
+        total += weights[g];
+      }
+      double u = rng.uniform() * total;
+      std::size_t pick = grid - 1;
+      for (std::size_t g = 0; g < grid; ++g) {
+        u -= weights[g];
+        if (u <= 0.0) {
+          pick = g;
+          break;
+        }
+      }
+
+      // Jitter within the cell so samples are continuous.
+      const double cell = 1.0 / static_cast<double>(grid);
+      double new_p = grid_p[pick] + (rng.uniform() - 0.5) * cell;
+      new_p = std::min(1.0, std::max(0.0, new_p));
+
+      const double ratio = q_of(new_p) / old_q;
+      p[i] = new_p;
+      for (std::size_t obs_idx : data.observations_with(i))
+        products[obs_idx] *= ratio;
+    }
+
+    if ((sweep & 0x3f) == 0x3f) products = likelihood.products(p);
+
+    if (sweep >= config.burn_in &&
+        (sweep - config.burn_in) % config.thin == config.thin - 1) {
+      chain.push(p);
+    }
+  }
+
+  chain.acceptance_rate = 1.0;  // Gibbs always accepts
+  return chain;
+}
+
+}  // namespace because::core

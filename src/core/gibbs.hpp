@@ -1,0 +1,35 @@
+// Gibbs sampler for the BeCAUSe posterior.
+//
+// The paper notes that computational Bayes was often discarded because the
+// naive approach - Gibbs sampling, the only MCMC method previously tried in
+// network tomography [14, 29] - is computationally costly, and that MH/HMC
+// make it practical. This implementation exists as that reference point:
+// a "griddy Gibbs" sampler that draws each coordinate from its full
+// conditional by evaluating the unnormalised conditional density on a fixed
+// grid and inverting the discrete CDF. One sweep costs `grid_points` times
+// more likelihood work than a Metropolis sweep (see bench_ablation_samplers).
+#pragma once
+
+#include <cstdint>
+
+#include "core/chain.hpp"
+#include "core/likelihood.hpp"
+#include "core/prior.hpp"
+
+namespace because::core {
+
+struct GibbsConfig {
+  std::size_t samples = 1000;   ///< kept samples
+  std::size_t burn_in = 200;    ///< discarded initial sweeps
+  std::size_t thin = 1;         ///< sweeps per kept sample
+  std::size_t grid_points = 64; ///< conditional-density grid resolution
+  std::uint64_t seed = 3;
+
+  void validate() const;
+};
+
+/// Run the sampler; the initial state is drawn from the prior.
+Chain run_gibbs(const Likelihood& likelihood, const Prior& prior,
+                const GibbsConfig& config);
+
+}  // namespace because::core

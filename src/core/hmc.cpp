@@ -1,0 +1,127 @@
+#include "core/hmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace because::core {
+
+namespace {
+
+constexpr double kThetaClamp = 30.0;  // sigmoid saturates well before this
+
+double sigmoid(double theta) { return 1.0 / (1.0 + std::exp(-theta)); }
+
+void to_p(std::span<const double> theta, std::span<double> p) {
+  for (std::size_t i = 0; i < theta.size(); ++i) p[i] = sigmoid(theta[i]);
+}
+
+/// Log target density in theta space:
+///   loglik(p) + logprior(p) + sum_i log(p_i (1 - p_i))
+double log_target(const Likelihood& lik, const Prior& prior,
+                  std::span<const double> theta, std::vector<double>& p_buf) {
+  to_p(theta, p_buf);
+  double jacobian = 0.0;
+  for (double p : p_buf) {
+    const double x = std::clamp(p, 1e-12, 1.0 - 1e-12);
+    jacobian += std::log(x) + std::log(1.0 - x);
+  }
+  return lik.log_likelihood(p_buf) + prior.log_density(p_buf) + jacobian;
+}
+
+/// Gradient of log_target with respect to theta.
+void grad_log_target(const Likelihood& lik, const Prior& prior,
+                     std::span<const double> theta, std::vector<double>& p_buf,
+                     std::vector<double>& grad_p, std::span<double> grad_theta) {
+  to_p(theta, p_buf);
+  lik.gradient(p_buf, grad_p);
+  prior.add_gradient(p_buf, grad_p);
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    const double p = std::clamp(p_buf[i], 1e-12, 1.0 - 1e-12);
+    // dp/dtheta = p (1 - p); d jacobian/dtheta = 1 - 2 p.
+    grad_theta[i] = grad_p[i] * p * (1.0 - p) + (1.0 - 2.0 * p);
+  }
+}
+
+}  // namespace
+
+void HmcConfig::validate() const {
+  if (samples == 0) throw std::invalid_argument("HmcConfig: samples == 0");
+  if (step_size <= 0.0) throw std::invalid_argument("HmcConfig: step_size <= 0");
+  if (leapfrog_steps == 0)
+    throw std::invalid_argument("HmcConfig: leapfrog_steps == 0");
+}
+
+Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
+              const HmcConfig& config) {
+  config.validate();
+  const std::size_t dim = likelihood.dim();
+  if (dim == 0) throw std::invalid_argument("run_hmc: empty dataset");
+
+  stats::Rng rng(config.seed);
+  std::vector<double> theta(dim);
+  for (double& t : theta) {
+    const double p = std::clamp(prior.sample_coord(rng), 1e-6, 1.0 - 1e-6);
+    t = std::log(p / (1.0 - p));
+  }
+
+  std::vector<double> p_buf(dim), grad_p(dim), grad(dim);
+  std::vector<double> theta_prop(dim), momentum(dim), grad_prop(dim);
+
+  double current_logp = log_target(likelihood, prior, theta, p_buf);
+
+  Chain chain(dim);
+  std::uint64_t proposals = 0;
+  std::uint64_t accepts = 0;
+
+  const std::size_t total = config.burn_in + config.samples;
+  for (std::size_t iter = 0; iter < total; ++iter) {
+    for (double& m : momentum) m = rng.normal();
+    double kinetic0 = 0.0;
+    for (double m : momentum) kinetic0 += 0.5 * m * m;
+
+    theta_prop = theta;
+    grad_log_target(likelihood, prior, theta_prop, p_buf, grad_p, grad_prop);
+
+    // Leapfrog integration.
+    for (std::size_t step = 0; step < config.leapfrog_steps; ++step) {
+      for (std::size_t i = 0; i < dim; ++i)
+        momentum[i] += 0.5 * config.step_size * grad_prop[i];
+      for (std::size_t i = 0; i < dim; ++i) {
+        theta_prop[i] += config.step_size * momentum[i];
+        theta_prop[i] = std::clamp(theta_prop[i], -kThetaClamp, kThetaClamp);
+      }
+      grad_log_target(likelihood, prior, theta_prop, p_buf, grad_p, grad_prop);
+      for (std::size_t i = 0; i < dim; ++i)
+        momentum[i] += 0.5 * config.step_size * grad_prop[i];
+    }
+
+    const double proposed_logp = log_target(likelihood, prior, theta_prop, p_buf);
+    double kinetic1 = 0.0;
+    for (double m : momentum) kinetic1 += 0.5 * m * m;
+
+    const double log_accept =
+        (proposed_logp - kinetic1) - (current_logp - kinetic0);
+    ++proposals;
+    if (log_accept >= 0.0 || rng.uniform() < std::exp(log_accept)) {
+      ++accepts;
+      theta = theta_prop;
+      current_logp = proposed_logp;
+    }
+
+    if (iter >= config.burn_in) {
+      to_p(theta, p_buf);
+      chain.push(p_buf);
+    }
+  }
+
+  chain.acceptance_rate =
+      proposals == 0 ? 0.0
+                     : static_cast<double>(accepts) / static_cast<double>(proposals);
+  return chain;
+}
+
+}  // namespace because::core

@@ -1,0 +1,91 @@
+#include "core/likelihood.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace because::core {
+
+namespace {
+inline double q_of(double p) {
+  return std::max(Likelihood::kQFloor, std::min(1.0, 1.0 - p));
+}
+}  // namespace
+
+void NoiseModel::validate() const {
+  if (false_signature < 0.0 || false_signature >= 0.5)
+    throw std::invalid_argument("NoiseModel: false_signature outside [0, 0.5)");
+  if (missed_signature < 0.0 || missed_signature >= 0.5)
+    throw std::invalid_argument("NoiseModel: missed_signature outside [0, 0.5)");
+}
+
+Likelihood::Likelihood(const labeling::PathDataset& data, NoiseModel noise)
+    : data_(data), noise_(noise) {
+  noise_.validate();
+}
+
+std::vector<double> Likelihood::products(std::span<const double> p) const {
+  if (p.size() != dim()) throw std::invalid_argument("Likelihood: dim mismatch");
+  std::vector<double> prods;
+  prods.reserve(data_.path_count());
+  for (const labeling::Observation& obs : data_.observations()) {
+    double prod = 1.0;
+    for (std::size_t node : obs.nodes) prod *= q_of(p[node]);
+    prods.push_back(prod);
+  }
+  return prods;
+}
+
+double Likelihood::observation_log_lik(double product, bool shows_property) const {
+  const double fs = noise_.false_signature;
+  const double ms = noise_.missed_signature;
+  //   shows: fs * prod + (1 - ms) * (1 - prod)
+  //   clean: (1 - fs) * prod + ms * (1 - prod)
+  const double prob = shows_property
+                          ? fs * product + (1.0 - ms) * (1.0 - product)
+                          : (1.0 - fs) * product + ms * (1.0 - product);
+  return std::log(std::max(kProbFloor, prob));
+}
+
+double Likelihood::log_likelihood(std::span<const double> p) const {
+  if (p.size() != dim()) throw std::invalid_argument("Likelihood: dim mismatch");
+  double total = 0.0;
+  for (const labeling::Observation& obs : data_.observations()) {
+    double prod = 1.0;
+    for (std::size_t node : obs.nodes) prod *= q_of(p[node]);
+    total += observation_log_lik(prod, obs.shows_property);
+  }
+  return total;
+}
+
+void Likelihood::gradient(std::span<const double> p, std::span<double> grad) const {
+  if (p.size() != dim() || grad.size() != dim())
+    throw std::invalid_argument("Likelihood::gradient: dim mismatch");
+  std::fill(grad.begin(), grad.end(), 0.0);
+
+  const double fs = noise_.false_signature;
+  const double ms = noise_.missed_signature;
+
+  for (const labeling::Observation& obs : data_.observations()) {
+    double prod = 1.0;
+    for (std::size_t node : obs.nodes) prod *= q_of(p[node]);
+
+    // P = c0 + c1 * prod with coefficients depending on the label;
+    // d log P / dp_k = -c1 * (prod / q_k) / P.
+    double c0, c1;
+    if (obs.shows_property) {
+      c0 = 1.0 - ms;
+      c1 = fs - (1.0 - ms);
+    } else {
+      c0 = ms;
+      c1 = (1.0 - fs) - ms;
+    }
+    const double prob = std::max(kProbFloor, c0 + c1 * prod);
+    for (std::size_t node : obs.nodes) {
+      const double qk = q_of(p[node]);
+      grad[node] -= c1 * (prod / qk) / prob;
+    }
+  }
+}
+
+}  // namespace because::core

@@ -1,0 +1,98 @@
+#include "core/metropolis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace because::core {
+
+namespace {
+
+/// Reflect a proposal back into [0,1] (handles a single overshoot; sigma is
+/// well below 1 so multiple reflections cannot occur for sane configs).
+double reflect_into_unit(double x) {
+  while (x < 0.0 || x > 1.0) {
+    if (x < 0.0) x = -x;
+    if (x > 1.0) x = 2.0 - x;
+  }
+  return x;
+}
+
+constexpr double kQFloor = Likelihood::kQFloor;
+
+inline double q_of(double p) {
+  return std::max(kQFloor, std::min(1.0, 1.0 - p));
+}
+
+}  // namespace
+
+void MetropolisConfig::validate() const {
+  if (samples == 0) throw std::invalid_argument("MetropolisConfig: samples == 0");
+  if (thin == 0) throw std::invalid_argument("MetropolisConfig: thin == 0");
+  if (proposal_sigma <= 0.0 || proposal_sigma >= 1.0)
+    throw std::invalid_argument("MetropolisConfig: sigma outside (0,1)");
+}
+
+Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
+                     const MetropolisConfig& config) {
+  config.validate();
+  const std::size_t dim = likelihood.dim();
+  if (dim == 0) throw std::invalid_argument("run_metropolis: empty dataset");
+  const labeling::PathDataset& data = likelihood.data();
+
+  stats::Rng rng(config.seed);
+  std::vector<double> p(dim);
+  for (double& x : p) x = prior.sample_coord(rng);
+
+  std::vector<double> products = likelihood.products(p);
+
+  Chain chain(dim);
+  std::uint64_t proposals = 0;
+  std::uint64_t accepts = 0;
+
+  const std::size_t total_sweeps = config.burn_in + config.samples * config.thin;
+  for (std::size_t sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double old_p = p[i];
+      const double new_p =
+          reflect_into_unit(old_p + rng.normal(0.0, config.proposal_sigma));
+      const double old_q = q_of(old_p);
+      const double new_q = q_of(new_p);
+      const double ratio = new_q / old_q;
+
+      // Likelihood delta over the observations containing coordinate i.
+      double delta = prior.log_density_coord(new_p) - prior.log_density_coord(old_p);
+      for (std::size_t obs_idx : data.observations_with(i)) {
+        const double old_prod = products[obs_idx];
+        const double new_prod = old_prod * ratio;
+        const bool shows = data.observations()[obs_idx].shows_property;
+        delta += likelihood.observation_log_lik(new_prod, shows) -
+                 likelihood.observation_log_lik(old_prod, shows);
+      }
+
+      ++proposals;
+      if (delta >= 0.0 || rng.uniform() < std::exp(delta)) {
+        ++accepts;
+        p[i] = new_p;
+        for (std::size_t obs_idx : data.observations_with(i))
+          products[obs_idx] *= ratio;
+      }
+    }
+
+    // Refresh the cached products periodically: the multiplicative updates
+    // accumulate floating-point drift over long chains.
+    if ((sweep & 0x3f) == 0x3f) products = likelihood.products(p);
+
+    if (sweep >= config.burn_in &&
+        (sweep - config.burn_in) % config.thin == config.thin - 1) {
+      chain.push(p);
+    }
+  }
+
+  chain.acceptance_rate =
+      proposals == 0 ? 0.0
+                     : static_cast<double>(accepts) / static_cast<double>(proposals);
+  return chain;
+}
+
+}  // namespace because::core

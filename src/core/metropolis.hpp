@@ -1,0 +1,34 @@
+// Metropolis-Hastings sampler for the BeCAUSe posterior (§3.2).
+//
+// Component-wise random-walk Metropolis with reflection at the [0,1]
+// boundary (a symmetric proposal, so the Hastings correction cancels in
+// Eq. 7). A full sweep updates every coordinate once; per-coordinate
+// likelihood deltas are computed incrementally from cached per-observation
+// products, so a sweep costs O(total path length) instead of
+// O(paths * dimension).
+#pragma once
+
+#include <cstdint>
+
+#include "core/chain.hpp"
+#include "core/likelihood.hpp"
+#include "core/prior.hpp"
+#include "stats/rng.hpp"
+
+namespace because::core {
+
+struct MetropolisConfig {
+  std::size_t samples = 2000;    ///< kept samples
+  std::size_t burn_in = 1000;    ///< discarded initial sweeps
+  std::size_t thin = 2;          ///< sweeps per kept sample
+  double proposal_sigma = 0.15;  ///< random-walk standard deviation
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Run the sampler; the initial state is drawn from the prior.
+Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
+                     const MetropolisConfig& config);
+
+}  // namespace because::core

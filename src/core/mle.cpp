@@ -1,0 +1,77 @@
+#include "core/mle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace because::core {
+
+namespace {
+inline double q_of(double p) {
+  return std::max(Likelihood::kQFloor, std::min(1.0, 1.0 - p));
+}
+}  // namespace
+
+MleResult maximize_likelihood(const Likelihood& likelihood,
+                              const MleConfig& config) {
+  const std::size_t dim = likelihood.dim();
+  if (dim == 0) throw std::invalid_argument("maximize_likelihood: empty dataset");
+  if (config.grid_points < 2)
+    throw std::invalid_argument("maximize_likelihood: need >= 2 grid points");
+  if (config.initial_p < 0.0 || config.initial_p > 1.0)
+    throw std::invalid_argument("maximize_likelihood: initial_p outside [0,1]");
+
+  const labeling::PathDataset& data = likelihood.data();
+
+  MleResult result;
+  result.p.assign(dim, config.initial_p);
+  std::vector<double> products = likelihood.products(result.p);
+  double current = likelihood.log_likelihood(result.p);
+
+  const std::size_t grid = config.grid_points;
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double old_q = q_of(result.p[i]);
+      double best_p = result.p[i];
+      double best_delta = 0.0;
+
+      for (std::size_t g = 0; g <= grid; ++g) {
+        const double cand_p = static_cast<double>(g) / static_cast<double>(grid);
+        const double cand_q = q_of(cand_p);
+        double delta = 0.0;
+        for (std::size_t obs_idx : data.observations_with(i)) {
+          const double base = products[obs_idx] / old_q;
+          const bool shows = data.observations()[obs_idx].shows_property;
+          delta += likelihood.observation_log_lik(base * cand_q, shows) -
+                   likelihood.observation_log_lik(products[obs_idx], shows);
+        }
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_p = cand_p;
+        }
+      }
+
+      if (best_delta > 0.0) {
+        const double ratio = q_of(best_p) / old_q;
+        result.p[i] = best_p;
+        for (std::size_t obs_idx : data.observations_with(i))
+          products[obs_idx] *= ratio;
+      }
+    }
+
+    products = likelihood.products(result.p);  // refresh drift
+    const double next = likelihood.log_likelihood(result.p);
+    result.iterations = iter + 1;
+    if (next - current < config.tolerance) {
+      result.converged = true;
+      current = next;
+      break;
+    }
+    current = next;
+  }
+
+  result.log_likelihood = current;
+  return result;
+}
+
+}  // namespace because::core

@@ -1,0 +1,61 @@
+#include "core/multichain.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/rhat.hpp"
+
+namespace because::core {
+
+double MultiChainResult::max_rhat() const {
+  double out = 1.0;
+  for (double r : rhat) out = std::max(out, r);
+  return out;
+}
+
+bool MultiChainResult::converged(double threshold) const {
+  return std::all_of(rhat.begin(), rhat.end(),
+                     [threshold](double r) { return r <= threshold; });
+}
+
+MultiChainResult run_metropolis_chains(const Likelihood& likelihood,
+                                       const Prior& prior,
+                                       const MetropolisConfig& config,
+                                       std::size_t n_chains) {
+  if (n_chains < 2)
+    throw std::invalid_argument("run_metropolis_chains: need >= 2 chains");
+
+  std::vector<std::optional<Chain>> slots(n_chains);
+  std::vector<std::thread> workers;
+  workers.reserve(n_chains);
+  for (std::size_t c = 0; c < n_chains; ++c) {
+    workers.emplace_back([&, c] {
+      MetropolisConfig chain_config = config;
+      chain_config.seed = config.seed + c;
+      slots[c].emplace(run_metropolis(likelihood, prior, chain_config));
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  MultiChainResult result{{}, {}, Chain(likelihood.dim())};
+  for (auto& slot : slots) result.chains.push_back(std::move(*slot));
+
+  const std::size_t dim = likelihood.dim();
+  result.rhat.resize(dim, 1.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::vector<std::vector<double>> marginals;
+    marginals.reserve(n_chains);
+    for (const Chain& chain : result.chains)
+      marginals.push_back(chain.marginal(i));
+    result.rhat[i] = stats::gelman_rubin(marginals);
+  }
+
+  for (const Chain& chain : result.chains)
+    for (std::size_t t = 0; t < chain.size(); ++t)
+      result.pooled.push(chain.sample(t));
+  return result;
+}
+
+}  // namespace because::core

@@ -1,0 +1,78 @@
+#include "core/pinpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::core {
+
+PinpointResult pinpoint_inconsistent(const Chain& chain,
+                                     const labeling::PathDataset& data,
+                                     std::vector<Category> categories,
+                                     double threshold, double noise_guard) {
+  if (categories.size() != data.as_count())
+    throw std::invalid_argument("pinpoint: category/dataset size mismatch");
+  if (chain.dim() != data.as_count())
+    throw std::invalid_argument("pinpoint: chain/dataset dimension mismatch");
+  if (chain.size() == 0) throw std::invalid_argument("pinpoint: empty chain");
+
+  PinpointResult result;
+  std::vector<bool> upgraded(data.as_count(), false);
+
+  for (const labeling::Observation& obs : data.observations()) {
+    if (!obs.shows_property) continue;
+    const bool explained =
+        std::any_of(obs.nodes.begin(), obs.nodes.end(), [&](std::size_t n) {
+          return is_damping(categories[n]) || upgraded[n];
+        });
+    if (explained) continue;
+
+    // Posterior probability that each on-path AS has the largest p, and the
+    // posterior expected probability that the path is damped at all.
+    std::vector<std::size_t> wins(obs.nodes.size(), 0);
+    double damped_mass = 0.0;
+    for (std::size_t t = 0; t < chain.size(); ++t) {
+      const auto sample = chain.sample(t);
+      std::size_t best = 0;
+      double best_p = sample[obs.nodes[0]];
+      double prod_q = 1.0;
+      for (std::size_t k = 0; k < obs.nodes.size(); ++k) {
+        const double p = sample[obs.nodes[k]];
+        prod_q *= (1.0 - p);
+        if (k > 0 && p > best_p) {
+          best_p = p;
+          best = k;
+        }
+      }
+      damped_mass += 1.0 - prod_q;
+      ++wins[best];
+    }
+
+    if (noise_guard > 0.0 &&
+        damped_mass / static_cast<double>(chain.size()) < noise_guard) {
+      ++result.noise_explained_paths;
+      continue;  // the error model explains this path; no forced upgrade
+    }
+
+    const auto max_it = std::max_element(wins.begin(), wins.end());
+    const double prob = static_cast<double>(*max_it) /
+                        static_cast<double>(chain.size());
+    if (prob > threshold) {
+      const std::size_t node = obs.nodes[static_cast<std::size_t>(
+          max_it - wins.begin())];
+      upgraded[node] = true;
+    } else {
+      ++result.unexplained_paths;
+    }
+  }
+
+  for (std::size_t n = 0; n < data.as_count(); ++n) {
+    if (upgraded[n] && !is_damping(categories[n])) {
+      categories[n] = Category::kLikelyDamping;
+      result.upgraded.push_back(data.as_at(n));
+    }
+  }
+  result.categories = std::move(categories);
+  return result;
+}
+
+}  // namespace because::core

@@ -1,0 +1,40 @@
+// Step (2) of §5.1: identifying ASs that use RFD inconsistently.
+//
+// Every RFD-labeled path must contain at least one damping AS. If no AS on
+// such a path reached category 4/5, we use the posterior samples to find the
+// AS most likely to be causing the damping: for each AS X on the path we
+// compute the posterior probability that X has the extreme damping
+// proportion among the path's ASs, and upgrade X to category 4 when that
+// probability exceeds 0.8 (Eq. 8).
+//
+// Note: Eq. 8 as printed uses min(p_i); the surrounding text ("the AS that
+// is most likely causing RFD") and the AS 701 example imply the *largest*
+// damping proportion, so we implement argmax over p. See DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "core/categorize.hpp"
+#include "core/chain.hpp"
+#include "labeling/dataset.hpp"
+
+namespace because::core {
+
+struct PinpointResult {
+  std::vector<Category> categories;        ///< input categories with upgrades
+  std::vector<topology::AsId> upgraded;    ///< ASs newly flagged category 4
+  std::size_t unexplained_paths = 0;       ///< RFD paths still without a damper
+  std::size_t noise_explained_paths = 0;   ///< RFD paths attributed to noise
+};
+
+/// `noise_guard`: when > 0, an unexplained RFD path whose posterior expected
+/// damping probability E[1 - prod q_i] falls below the guard is attributed
+/// to label noise (see the §7.2 error model) instead of forcing an upgrade.
+/// 0 disables the guard (the paper's plain Eq. 8 behaviour).
+PinpointResult pinpoint_inconsistent(const Chain& chain,
+                                     const labeling::PathDataset& data,
+                                     std::vector<Category> categories,
+                                     double threshold = 0.8,
+                                     double noise_guard = 0.0);
+
+}  // namespace because::core

@@ -1,0 +1,48 @@
+#include "core/prior.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace because::core {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+Prior::Prior(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  if (alpha <= 0.0 || beta <= 0.0)
+    throw std::invalid_argument("Prior: Beta parameters must be positive");
+  log_norm_ = std::lgamma(alpha + beta) - std::lgamma(alpha) - std::lgamma(beta);
+}
+
+Prior Prior::uniform() { return Prior(1.0, 1.0); }
+
+Prior Prior::beta(double alpha, double beta) { return Prior(alpha, beta); }
+
+double Prior::log_density_coord(double p) const {
+  const double x = std::clamp(p, kEps, 1.0 - kEps);
+  return log_norm_ + (alpha_ - 1.0) * std::log(x) +
+         (beta_ - 1.0) * std::log(1.0 - x);
+}
+
+double Prior::log_density(std::span<const double> p) const {
+  double total = 0.0;
+  for (double x : p) total += log_density_coord(x);
+  return total;
+}
+
+void Prior::add_gradient(std::span<const double> p, std::span<double> grad) const {
+  if (p.size() != grad.size())
+    throw std::invalid_argument("Prior::add_gradient: size mismatch");
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double x = std::clamp(p[i], kEps, 1.0 - kEps);
+    grad[i] += (alpha_ - 1.0) / x - (beta_ - 1.0) / (1.0 - x);
+  }
+}
+
+double Prior::sample_coord(stats::Rng& rng) const {
+  return rng.beta(alpha_, beta_);
+}
+
+}  // namespace because::core

@@ -1,0 +1,44 @@
+// Prior distributions over the per-AS damping proportions (§3.2).
+//
+// The paper tests uniform and Beta priors and notes the data dominates for
+// most ASs; the prior mainly shapes the "no data" marginals (Figure 9(d))
+// and eases uncertainty quantification. Priors are i.i.d. across ASs.
+#pragma once
+
+#include <span>
+
+#include "stats/rng.hpp"
+
+namespace because::core {
+
+class Prior {
+ public:
+  /// Uniform on [0,1] (Beta(1,1)).
+  static Prior uniform();
+
+  /// Beta(alpha, beta); parameters must be positive.
+  static Prior beta(double alpha, double beta);
+
+  double alpha() const { return alpha_; }
+  double beta_param() const { return beta_; }
+
+  /// Log density of one coordinate (unnormalised constants included).
+  double log_density_coord(double p) const;
+
+  /// Sum of coordinate log densities.
+  double log_density(std::span<const double> p) const;
+
+  /// Adds d log prior / d p_i to `grad`.
+  void add_gradient(std::span<const double> p, std::span<double> grad) const;
+
+  /// Draw one coordinate from the prior.
+  double sample_coord(stats::Rng& rng) const;
+
+ private:
+  Prior(double alpha, double beta);
+  double alpha_;
+  double beta_;
+  double log_norm_;  // -log B(alpha, beta)
+};
+
+}  // namespace because::core

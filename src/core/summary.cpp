@@ -1,0 +1,28 @@
+#include "core/summary.hpp"
+
+#include <stdexcept>
+
+namespace because::core {
+
+std::vector<MarginalSummary> summarize(const Chain& chain,
+                                       const labeling::PathDataset& data,
+                                       double mass) {
+  if (chain.dim() != data.as_count())
+    throw std::invalid_argument("summarize: chain/dataset dimension mismatch");
+  if (chain.size() == 0) throw std::invalid_argument("summarize: empty chain");
+
+  std::vector<MarginalSummary> out;
+  out.reserve(chain.dim());
+  for (std::size_t i = 0; i < chain.dim(); ++i) {
+    MarginalSummary s;
+    s.as = data.as_at(i);
+    s.node = i;
+    const std::vector<double> marginal = chain.marginal(i);
+    s.mean = chain.mean(i);
+    s.hdpi = stats::hdpi(marginal, mass);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace because::core

@@ -1,0 +1,30 @@
+// Marginal posterior summaries (§5.1.2): the per-AS mean and the smallest
+// 95% credible interval (HDPI). These two metrics drive the Figure 11
+// scatter and the Table 1 categorisation.
+#pragma once
+
+#include <vector>
+
+#include "core/chain.hpp"
+#include "labeling/dataset.hpp"
+#include "stats/hdpi.hpp"
+
+namespace because::core {
+
+struct MarginalSummary {
+  topology::AsId as = 0;
+  std::size_t node = 0;  ///< dense index in the dataset
+  double mean = 0.0;
+  stats::Interval hdpi;
+
+  /// Figure 11's y-axis: 1 minus the HDPI width.
+  double certainty() const { return 1.0 - hdpi.width(); }
+};
+
+/// Summarise every coordinate of the chain. `mass` is the HDPI mass
+/// (gamma = 0.95 in the paper).
+std::vector<MarginalSummary> summarize(const Chain& chain,
+                                       const labeling::PathDataset& data,
+                                       double mass = 0.95);
+
+}  // namespace because::core

@@ -1,0 +1,201 @@
+#include "experiment/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bgp/router.hpp"
+#include "rfd/penalty.hpp"
+
+namespace because::experiment {
+
+sim::Duration RfdVariant::max_triggering_interval() const {
+  // Simulate the beacon's W/A alternation at interval u and check whether
+  // the penalty ever crosses the suppress threshold. Return the largest
+  // whole-minute interval that still triggers (0 if none does).
+  sim::Duration best = 0;
+  for (int u_min = 1; u_min <= 30; ++u_min) {
+    const sim::Duration u = sim::minutes(u_min);
+    rfd::PenaltyState state;
+    sim::Time t = 0;
+    bool triggered = false;
+    for (int k = 0; k < 400 && !triggered; ++k) {
+      const rfd::UpdateKind kind = (k % 2 == 0)
+                                       ? rfd::UpdateKind::kWithdrawal
+                                       : rfd::UpdateKind::kReadvertisement;
+      if (state.apply(params, kind, t) > params.suppress_threshold)
+        triggered = true;
+      t += u;
+    }
+    if (triggered) best = u;
+  }
+  return best;
+}
+
+std::vector<RfdVariant> standard_variants() {
+  std::vector<RfdVariant> out;
+
+  out.push_back(RfdVariant{"cisco-60", rfd::cisco_defaults(), true});
+  out.push_back(RfdVariant{"juniper-60", rfd::juniper_defaults(), true});
+  out.push_back(RfdVariant{"rfc7454-60", rfd::rfc7454_recommended(), false});
+
+  rfd::Params cisco30 = rfd::cisco_defaults();
+  cisco30.max_suppress_time = sim::minutes(30);
+  out.push_back(RfdVariant{"cisco-30", cisco30, false});
+
+  rfd::Params cisco10 = rfd::cisco_defaults();
+  cisco10.max_suppress_time = sim::minutes(10);
+  cisco10.half_life = sim::minutes(5);
+  out.push_back(RfdVariant{"cisco-10", cisco10, false});
+
+  for (const RfdVariant& v : out) v.params.validate();
+  return out;
+}
+
+std::string to_string(Scope scope) {
+  switch (scope) {
+    case Scope::kAllSessions: return "all-sessions";
+    case Scope::kCustomersOnly: return "customers-only";
+    case Scope::kExemptOneNeighbor: return "exempt-one-neighbor";
+    case Scope::kShortPrefixes: return "short-prefixes";
+    case Scope::kLongPrefixes: return "long-prefixes";
+  }
+  return "?";
+}
+
+std::unordered_set<topology::AsId> DeploymentPlan::dampers() const {
+  std::unordered_set<topology::AsId> out;
+  for (const AsDeployment& d : deployments) out.insert(d.as);
+  return out;
+}
+
+std::unordered_set<topology::AsId> DeploymentPlan::detectable_dampers() const {
+  std::unordered_set<topology::AsId> out;
+  for (const AsDeployment& d : deployments) {
+    if (d.scope == Scope::kCustomersOnly || d.scope == Scope::kLongPrefixes)
+      continue;
+    out.insert(d.as);
+  }
+  return out;
+}
+
+double DeploymentPlan::vendor_default_share() const {
+  if (deployments.empty()) return 0.0;
+  std::size_t vendor = 0;
+  for (const AsDeployment& d : deployments)
+    if (d.variant.vendor_default) ++vendor;
+  return static_cast<double>(vendor) / static_cast<double>(deployments.size());
+}
+
+const AsDeployment* DeploymentPlan::find(topology::AsId as) const {
+  for (const AsDeployment& d : deployments)
+    if (d.as == as) return &d;
+  return nullptr;
+}
+
+void DeploymentPlan::apply(bgp::Network& network) const {
+  for (const AsDeployment& d : deployments) {
+    bgp::DampingRule rule;
+    rule.params = d.variant.params;
+    switch (d.scope) {
+      case Scope::kAllSessions:
+        break;
+      case Scope::kCustomersOnly:
+        rule.relation_scope = topology::Relation::kCustomer;
+        break;
+      case Scope::kExemptOneNeighbor:
+        rule.exempt_neighbors = {d.exempt_neighbor};
+        break;
+      case Scope::kShortPrefixes:
+        rule.max_prefix_length = 24;
+        break;
+      case Scope::kLongPrefixes:
+        rule.min_prefix_length = 25;
+        break;
+    }
+    network.router(d.as).add_damping_rule(rule);
+  }
+}
+
+namespace {
+
+std::size_t weighted_index(const std::vector<double>& weights, stats::Rng& rng) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: zero weights");
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace
+
+DeploymentPlan plan_deployment(const topology::AsGraph& graph,
+                               const DeploymentConfig& config, stats::Rng& rng) {
+  if (config.damping_fraction < 0.0 || config.damping_fraction > 1.0)
+    throw std::invalid_argument("plan_deployment: bad damping fraction");
+  const std::vector<RfdVariant> variants = standard_variants();
+  if (config.variant_weights.size() != variants.size())
+    throw std::invalid_argument("plan_deployment: variant weight arity");
+  if (config.scope_weights.size() != 5)
+    throw std::invalid_argument("plan_deployment: scope weight arity");
+
+  std::vector<topology::AsId> eligible;
+  for (topology::AsId as : graph.as_ids())
+    if (config.never_damp.count(as) == 0) eligible.push_back(as);
+
+  const auto count = static_cast<std::size_t>(std::llround(
+      config.damping_fraction * static_cast<double>(eligible.size())));
+
+  // Weighted sampling without replacement (exponential-key trick): each AS
+  // gets key -log(u)/w and the k smallest keys are selected.
+  std::vector<std::pair<double, std::size_t>> keyed;
+  keyed.reserve(eligible.size());
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    double weight = config.stub_weight;
+    switch (graph.tier(eligible[i])) {
+      case topology::Tier::kTier1: weight = config.tier1_weight; break;
+      case topology::Tier::kTransit: weight = config.transit_weight; break;
+      case topology::Tier::kStub: weight = config.stub_weight; break;
+    }
+    if (weight <= 0.0) continue;
+    const double u = std::max(rng.uniform(), 1e-300);
+    keyed.emplace_back(-std::log(u) / weight, i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::size_t> picks;
+  for (std::size_t i = 0; i < keyed.size() && picks.size() < count; ++i)
+    picks.push_back(keyed[i].second);
+
+  DeploymentPlan plan;
+  for (std::size_t pick : picks) {
+    AsDeployment d;
+    d.as = eligible[pick];
+    d.variant = variants[weighted_index(config.variant_weights, rng)];
+    d.scope = static_cast<Scope>(weighted_index(config.scope_weights, rng));
+
+    if (d.scope == Scope::kExemptOneNeighbor) {
+      const auto& neighbors = graph.neighbors(d.as);
+      if (neighbors.empty()) {
+        d.scope = Scope::kAllSessions;
+      } else {
+        d.exempt_neighbor = neighbors[rng.index(neighbors.size())].id;
+      }
+    }
+    if (d.scope == Scope::kCustomersOnly &&
+        graph.neighbors_with(d.as, topology::Relation::kCustomer).empty()) {
+      // A stub has no customers; a customers-only config would be inert.
+      d.scope = Scope::kAllSessions;
+    }
+    plan.deployments.push_back(std::move(d));
+  }
+
+  std::sort(plan.deployments.begin(), plan.deployments.end(),
+            [](const AsDeployment& a, const AsDeployment& b) { return a.as < b.as; });
+  return plan;
+}
+
+}  // namespace because::experiment

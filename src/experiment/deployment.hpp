@@ -1,0 +1,103 @@
+// RFD deployment scenario builder.
+//
+// Plants a ground-truth RFD deployment into a topology, mirroring what the
+// paper measured: roughly 9% of ASs damp, ~60% of those on deprecated
+// vendor default parameters, with heterogeneous scopes (damp everything,
+// damp only customers, exempt a single neighbor like AS 701, or damp only
+// certain prefix lengths) and a mix of max-suppress-times (10/30/60 min)
+// that produces the Figure 13 plateaus.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/network.hpp"
+#include "rfd/params.hpp"
+#include "stats/rng.hpp"
+#include "topology/as_graph.hpp"
+
+namespace because::experiment {
+
+struct RfdVariant {
+  std::string name;
+  rfd::Params params;
+  bool vendor_default = false;
+
+  /// Smallest beacon update interval (W/A alternation spacing) that can
+  /// still push the steady-state penalty past the suppress threshold. Used
+  /// by tests and by the Figure 12 analysis.
+  sim::Duration max_triggering_interval() const;
+};
+
+/// The standard parameter sets deployed in the wild:
+///   cisco-60, juniper-60      - deprecated vendor defaults (Appendix B)
+///   rfc7454-60                - RIPE/IETF recommended parameters
+///   cisco-30, cisco-10        - operator-tuned max-suppress-times
+///     (cisco-10 uses a 5 min half-life; with the default 15 min half-life a
+///     10 min max-suppress-time puts the penalty ceiling below the suppress
+///     threshold and RFD would never engage)
+std::vector<RfdVariant> standard_variants();
+
+enum class Scope : std::uint8_t {
+  kAllSessions,       ///< consistent damping (detectable)
+  kCustomersOnly,     ///< damps only customer sessions (undetectable here:
+                      ///< beacon signals travel provider->customer, §6.1)
+  kExemptOneNeighbor, ///< AS 701-style heterogeneous config (detectable)
+  kShortPrefixes,     ///< damps prefixes /24 and shorter (detectable)
+  kLongPrefixes,      ///< damps only /25+ (undetectable for /24 beacons)
+};
+
+std::string to_string(Scope scope);
+
+struct AsDeployment {
+  topology::AsId as = 0;
+  RfdVariant variant;
+  Scope scope = Scope::kAllSessions;
+  /// Neighbor exempted under kExemptOneNeighbor.
+  topology::AsId exempt_neighbor = 0;
+};
+
+struct DeploymentConfig {
+  /// Fraction of eligible ASs that enable RFD.
+  double damping_fraction = 0.09;
+  /// Weights over standard_variants(), in order. Vendor defaults carry ~60%.
+  std::vector<double> variant_weights = {0.35, 0.25, 0.15, 0.15, 0.10};
+  /// Weights over scopes, in Scope declaration order.
+  std::vector<double> scope_weights = {0.65, 0.10, 0.10, 0.10, 0.05};
+  /// Relative propensity to deploy RFD per tier (tier1, transit, stub).
+  /// Transit operators carry the noisy customer sessions RFD was built for,
+  /// and only transit ASs are observable on measured paths anyway.
+  double tier1_weight = 1.0;
+  double transit_weight = 3.0;
+  double stub_weight = 1.0;
+  /// ASs that must never damp (beacon sites; the paper verified its
+  /// upstreams do not damp).
+  std::unordered_set<topology::AsId> never_damp;
+};
+
+struct DeploymentPlan {
+  std::vector<AsDeployment> deployments;
+
+  /// Every damping AS.
+  std::unordered_set<topology::AsId> dampers() const;
+
+  /// Dampers whose configuration can be observed by provider->customer
+  /// beacon signals on /24 prefixes (excludes kCustomersOnly and
+  /// kLongPrefixes). The paper's evaluation removed such undetectable ASs
+  /// from the ground-truth comparison.
+  std::unordered_set<topology::AsId> detectable_dampers() const;
+
+  /// Share of dampers using deprecated vendor default parameters.
+  double vendor_default_share() const;
+
+  /// Install the damping rules on the routers.
+  void apply(bgp::Network& network) const;
+
+  const AsDeployment* find(topology::AsId as) const;
+};
+
+DeploymentPlan plan_deployment(const topology::AsGraph& graph,
+                               const DeploymentConfig& config, stats::Rng& rng);
+
+}  // namespace because::experiment

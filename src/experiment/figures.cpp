@@ -1,0 +1,182 @@
+#include "experiment/figures.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "labeling/path_key.hpp"
+#include "stats/descriptive.hpp"
+
+namespace because::experiment {
+
+namespace {
+
+using Link = std::pair<topology::AsId, topology::AsId>;
+
+struct LinkHash {
+  std::size_t operator()(const Link& link) const noexcept {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(link.first) << 32) | link.second);
+  }
+};
+
+std::unordered_map<std::uint32_t, std::size_t> prefix_to_site(
+    const CampaignResult& campaign) {
+  std::unordered_map<std::uint32_t, std::size_t> out;
+  for (const BeaconDeployment& b : campaign.beacons)
+    out.emplace(b.prefix.id, b.site_index);
+  return out;
+}
+
+}  // namespace
+
+LinkSimilarity link_similarity(const CampaignResult& campaign) {
+  const auto site_of = prefix_to_site(campaign);
+
+  std::unordered_set<Link, LinkHash> all_links;
+  std::vector<std::unordered_set<Link, LinkHash>> per_site(
+      campaign.sites.size());
+  std::unordered_map<Link, std::size_t, LinkHash> path_count_all;
+  std::vector<std::unordered_map<Link, std::size_t, LinkHash>> path_count_site(
+      campaign.sites.size());
+
+  for (const labeling::LabeledPath& p : campaign.labeled) {
+    const auto it = site_of.find(p.prefix.id);
+    if (it == site_of.end()) continue;
+    const std::size_t site = it->second;
+    for (const Link& link : topology::links_on_path(p.path)) {
+      all_links.insert(link);
+      per_site[site].insert(link);
+      ++path_count_all[link];
+      ++path_count_site[site][link];
+    }
+  }
+
+  LinkSimilarity out;
+  out.total_links = all_links.size();
+  out.share_per_site.resize(campaign.sites.size(), 0.0);
+  for (std::size_t s = 0; s < campaign.sites.size(); ++s) {
+    if (!all_links.empty())
+      out.share_per_site[s] = static_cast<double>(per_site[s].size()) /
+                              static_cast<double>(all_links.size());
+  }
+
+  std::vector<double> counts_all;
+  for (const auto& [_, c] : path_count_all)
+    counts_all.push_back(static_cast<double>(c));
+  if (!counts_all.empty())
+    out.median_paths_per_link_all = stats::median(counts_all);
+
+  double single_sum = 0.0;
+  std::size_t single_n = 0;
+  for (const auto& site_counts : path_count_site) {
+    std::vector<double> counts;
+    for (const auto& [_, c] : site_counts)
+      counts.push_back(static_cast<double>(c));
+    if (!counts.empty()) {
+      single_sum += stats::median(counts);
+      ++single_n;
+    }
+  }
+  if (single_n > 0)
+    out.median_paths_per_link_single = single_sum / static_cast<double>(single_n);
+  return out;
+}
+
+std::size_t ProjectOverlap::total() const {
+  return only_ris + only_routeviews + only_isolario + ris_routeviews +
+         ris_isolario + routeviews_isolario + all_three;
+}
+
+ProjectOverlap project_overlap(const CampaignResult& campaign) {
+  // Which projects observed each distinct (prefix, cleaned path)?
+  struct Membership {
+    bool ris = false, rv = false, iso = false;
+  };
+  std::unordered_map<std::string, Membership> memberships;
+  for (const labeling::LabeledPath& p : campaign.labeled) {
+    const collector::Project project = campaign.store.vp(p.vp).project;
+    std::string key = std::to_string(p.prefix.id) + "|" +
+                      labeling::path_to_string(p.path);
+    Membership& m = memberships[key];
+    if (project == collector::Project::kRipeRis) m.ris = true;
+    if (project == collector::Project::kRouteViews) m.rv = true;
+    if (project == collector::Project::kIsolario) m.iso = true;
+  }
+
+  ProjectOverlap out;
+  for (const auto& [_, m] : memberships) {
+    if (m.ris && m.rv && m.iso) ++out.all_three;
+    else if (m.ris && m.rv) ++out.ris_routeviews;
+    else if (m.ris && m.iso) ++out.ris_isolario;
+    else if (m.rv && m.iso) ++out.routeviews_isolario;
+    else if (m.ris) ++out.only_ris;
+    else if (m.rv) ++out.only_routeviews;
+    else if (m.iso) ++out.only_isolario;
+  }
+  return out;
+}
+
+PropagationTimes propagation_times(const CampaignResult& campaign) {
+  PropagationTimes out;
+  for (const AnchorDeployment& anchor : campaign.anchors) {
+    const auto events = beacon::expand(anchor.schedule);
+    for (const collector::VpInfo& vp : campaign.store.vantage_points()) {
+      const auto records = campaign.store.for_vp_prefix(vp.id, anchor.prefix);
+      for (const beacon::BeaconEvent& event : events) {
+        if (event.type != bgp::UpdateType::kAnnouncement) continue;
+        for (const collector::RecordedUpdate& r : records) {
+          if (!r.update.is_announcement()) continue;
+          if (r.update.beacon_timestamp != event.when) continue;
+          const double seconds = sim::to_seconds(r.recorded_at - event.when);
+          // If the true first arrival was discarded (invalid aggregator),
+          // the next record carrying the same timestamp can be a much later
+          // best-path change; such samples are measurement loss, not
+          // propagation. 10 minutes is far beyond any legitimate first
+          // arrival (link delays + 90 s export + MRAI chains).
+          if (seconds <= sim::to_seconds(sim::minutes(10))) {
+            (anchor.ripe_reference ? out.ripe_seconds : out.anchor_seconds)
+                .push_back(seconds);
+          }
+          break;  // first matching record only
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::map<sim::Duration, std::vector<double>> rdelta_by_interval(
+    const CampaignResult& campaign) {
+  std::unordered_map<std::uint32_t, sim::Duration> interval_of;
+  for (const BeaconDeployment& b : campaign.beacons)
+    interval_of.emplace(b.prefix.id, b.update_interval);
+
+  std::map<sim::Duration, std::vector<double>> out;
+  for (const labeling::LabeledPath& p : campaign.labeled) {
+    if (!p.rfd) continue;
+    const auto it = interval_of.find(p.prefix.id);
+    if (it == interval_of.end()) continue;
+    auto& bucket = out[it->second];
+    bucket.insert(bucket.end(), p.rdeltas_minutes.begin(),
+                  p.rdeltas_minutes.end());
+  }
+  return out;
+}
+
+std::vector<std::size_t> category_counts(const std::vector<core::Category>& cats) {
+  std::vector<std::size_t> out(5, 0);
+  for (core::Category c : cats) ++out[static_cast<std::size_t>(c) - 1];
+  return out;
+}
+
+double damping_share(const std::vector<core::Category>& cats) {
+  if (cats.empty()) return 0.0;
+  std::size_t damping = 0;
+  for (core::Category c : cats)
+    if (core::is_damping(c)) ++damping;
+  return static_cast<double>(damping) / static_cast<double>(cats.size());
+}
+
+}  // namespace because::experiment

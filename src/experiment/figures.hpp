@@ -1,0 +1,54 @@
+// Data extraction for the paper's figures that describe the measurement
+// infrastructure itself (Figures 6, 7, 8) plus shared helpers used by the
+// result figures (11, 12, 13) and tables.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiment/campaign.hpp"
+#include "experiment/pipeline.hpp"
+
+namespace because::experiment {
+
+/// Figure 6: per beacon site, the share of all observed AS links that are
+/// visible from that site alone; plus the median number of paths a link
+/// appears on (all sites vs a single site).
+struct LinkSimilarity {
+  std::vector<double> share_per_site;   ///< indexed by site_index
+  std::size_t total_links = 0;
+  double median_paths_per_link_all = 0.0;
+  double median_paths_per_link_single = 0.0;  ///< averaged over sites
+};
+LinkSimilarity link_similarity(const CampaignResult& campaign);
+
+/// Figure 7: overlap of observed paths between the three collector
+/// projects (distinct labeled path keys per project and their overlaps).
+struct ProjectOverlap {
+  std::size_t only_ris = 0, only_routeviews = 0, only_isolario = 0;
+  std::size_t ris_routeviews = 0, ris_isolario = 0, routeviews_isolario = 0;
+  std::size_t all_three = 0;
+  std::size_t total() const;
+};
+ProjectOverlap project_overlap(const CampaignResult& campaign);
+
+/// Figure 8: propagation times (seconds) from beacon send to collector
+/// record, for the RFD anchor prefixes and the RIPE-style reference set.
+struct PropagationTimes {
+  std::vector<double> anchor_seconds;
+  std::vector<double> ripe_seconds;
+};
+PropagationTimes propagation_times(const CampaignResult& campaign);
+
+/// Figure 13 raw data: r-delta (minutes) of every damped path, by interval.
+std::map<sim::Duration, std::vector<double>> rdelta_by_interval(
+    const CampaignResult& campaign);
+
+/// Table 2: category counts over the dataset.
+std::vector<std::size_t> category_counts(const std::vector<core::Category>& cats);
+
+/// §6.1: share of category 4+5 ASs (the RFD deployment lower bound).
+double damping_share(const std::vector<core::Category>& cats);
+
+}  // namespace because::experiment

@@ -1,0 +1,44 @@
+#include "experiment/link_tomography.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topology/paths.hpp"
+
+namespace because::experiment {
+
+topology::AsId LinkTable::intern(topology::AsId a, topology::AsId b) {
+  if (a == b) throw std::invalid_argument("LinkTable: degenerate link");
+  const topology::AsId lo = std::min(a, b);
+  const topology::AsId hi = std::max(a, b);
+  const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<topology::AsId>(links_.size());
+  links_.emplace_back(lo, hi);
+  index_.emplace(key, id);
+  return id;
+}
+
+Link LinkTable::link(topology::AsId id) const {
+  if (id >= links_.size()) throw std::out_of_range("LinkTable: unknown link id");
+  return links_[id];
+}
+
+LinkTomography build_link_tomography(
+    const std::vector<labeling::LabeledPath>& paths,
+    const std::unordered_set<topology::AsId>& exclude) {
+  LinkTomography out;
+  for (const labeling::LabeledPath& p : paths) {
+    topology::AsPath link_ids;
+    for (const Link& link : topology::links_on_path(p.path)) {
+      if (exclude.count(link.first) != 0 || exclude.count(link.second) != 0)
+        continue;
+      link_ids.push_back(out.table.intern(link.first, link.second));
+    }
+    if (!link_ids.empty()) out.dataset.add_path(link_ids, p.rfd);
+  }
+  return out;
+}
+
+}  // namespace because::experiment

@@ -1,0 +1,51 @@
+// Link-level tomography (§6.3).
+//
+// "The most challenging scenario is the deployment of heterogeneous RFD
+// configurations ... We could instead pinpoint individual AS links, but,
+// unfortunately, when considering links, our data is too sparse to gain
+// reasonable results." This module builds exactly that variant: the
+// tomography unit is the AS link (adjacent pair) instead of the AS, so a
+// heterogeneous damper shows up as some of its links damping and others
+// not. PathDataset is reused by interning each link as a synthetic id;
+// the LinkTable maps ids back to (a, b) pairs.
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "labeling/dataset.hpp"
+#include "labeling/signature.hpp"
+
+namespace because::experiment {
+
+using Link = std::pair<topology::AsId, topology::AsId>;  // normalised a < b
+
+class LinkTable {
+ public:
+  /// Intern a link (order-insensitive) and return its synthetic id.
+  topology::AsId intern(topology::AsId a, topology::AsId b);
+
+  /// Link for a synthetic id produced by intern().
+  Link link(topology::AsId id) const;
+
+  std::size_t size() const { return links_.size(); }
+
+ private:
+  std::vector<Link> links_;
+  std::unordered_map<std::uint64_t, topology::AsId> index_;
+};
+
+struct LinkTomography {
+  LinkTable table;
+  /// Observations whose "AS ids" are link ids from `table`.
+  labeling::PathDataset dataset;
+};
+
+/// Build the link-level dataset from labeled paths. Links incident to ASs
+/// in `exclude` (the beacon sites) are dropped.
+LinkTomography build_link_tomography(
+    const std::vector<labeling::LabeledPath>& paths,
+    const std::unordered_set<topology::AsId>& exclude = {});
+
+}  // namespace because::experiment

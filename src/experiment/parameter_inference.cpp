@@ -1,0 +1,104 @@
+#include "experiment/parameter_inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace because::experiment {
+
+std::vector<AsRdeltas> attribute_rdeltas(
+    const std::vector<labeling::LabeledPath>& paths,
+    const std::unordered_set<topology::AsId>& flagged) {
+  std::unordered_map<topology::AsId, std::vector<double>> per_as;
+  for (const labeling::LabeledPath& p : paths) {
+    if (!p.rfd || p.rdeltas_minutes.empty()) continue;
+    // The r-delta belongs to the damping AS; attribution is unambiguous
+    // only when exactly one flagged AS sits on the path.
+    topology::AsId owner = 0;
+    std::size_t flagged_on_path = 0;
+    for (topology::AsId as : p.path) {
+      if (flagged.count(as) != 0) {
+        ++flagged_on_path;
+        owner = as;
+      }
+    }
+    if (flagged_on_path != 1) continue;
+    auto& bucket = per_as[owner];
+    bucket.insert(bucket.end(), p.rdeltas_minutes.begin(),
+                  p.rdeltas_minutes.end());
+  }
+
+  std::vector<AsRdeltas> out;
+  out.reserve(per_as.size());
+  for (auto& [as, rdeltas] : per_as) {
+    AsRdeltas entry;
+    entry.as = as;
+    entry.rdeltas_minutes = std::move(rdeltas);
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AsRdeltas& a, const AsRdeltas& b) { return a.as < b.as; });
+  return out;
+}
+
+std::vector<ParameterEstimate> infer_parameters(
+    const std::vector<AsRdeltas>& rdeltas,
+    const std::unordered_map<topology::AsId, sim::Duration>&
+        max_triggering_interval,
+    const ParameterInferenceConfig& config) {
+  std::vector<ParameterEstimate> out;
+  for (const AsRdeltas& entry : rdeltas) {
+    if (entry.rdeltas_minutes.size() < config.min_samples) continue;
+
+    ParameterEstimate estimate;
+    estimate.as = entry.as;
+    estimate.samples = entry.rdeltas_minutes.size();
+    const double median = stats::median(entry.rdeltas_minutes);
+
+    // Snap to the canonical max-suppress-time grid. The penalty decays a
+    // little between the last flap and the burst end, so the observed
+    // r-delta sits at or just below the configured max-suppress-time.
+    estimate.max_suppress_minutes = median;
+    double best_distance = config.tolerance + 1.0;
+    for (double canonical : config.canonical) {
+      const double distance = std::abs(median - canonical);
+      if (distance <= config.tolerance && distance < best_distance) {
+        best_distance = distance;
+        estimate.max_suppress_minutes = canonical;
+        estimate.snapped = true;
+      }
+    }
+
+    if (!estimate.snapped) {
+      estimate.preset = "unknown";
+    } else if (estimate.max_suppress_minutes == 10.0) {
+      estimate.preset = "cisco-10";
+    } else if (estimate.max_suppress_minutes == 30.0) {
+      estimate.preset = "cisco-30";
+    } else {
+      // 60 minutes: every Appendix B preset uses it. Disambiguate by the
+      // largest triggering update interval when available.
+      const auto it = max_triggering_interval.find(entry.as);
+      if (it != max_triggering_interval.end() &&
+          it->second <= sim::minutes(3)) {
+        estimate.preset = "rfc7454-60";
+      } else {
+        estimate.preset = "cisco-60/juniper-60";
+        estimate.vendor_default = true;
+      }
+    }
+    out.push_back(std::move(estimate));
+  }
+  return out;
+}
+
+double vendor_default_share(const std::vector<ParameterEstimate>& estimates) {
+  if (estimates.empty()) return 0.0;
+  std::size_t vendor = 0;
+  for (const ParameterEstimate& e : estimates)
+    if (e.vendor_default) ++vendor;
+  return static_cast<double>(vendor) / static_cast<double>(estimates.size());
+}
+
+}  // namespace because::experiment

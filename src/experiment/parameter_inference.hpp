@@ -1,0 +1,79 @@
+// Deployed-parameter inference (§6.2).
+//
+// The paper cannot read an AS's RFD configuration directly, but the
+// re-advertisement delta leaks it: at a fast update interval the penalty
+// saturates at the ceiling reuse * 2^(max_suppress / half_life), so
+// r-delta ~= max-suppress-time. Figure 13's plateaus at 10/30/60 minutes
+// are exactly the deployed max-suppress-times, and the triggering update
+// intervals separate deprecated vendor defaults from the RFC 7454
+// recommendation. This module turns per-AS r-delta samples into parameter
+// estimates and a preset attribution, reproducing the paper's "~60% use
+// vendor default values" analysis from measured data.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "experiment/deployment.hpp"
+#include "labeling/signature.hpp"
+
+namespace because::experiment {
+
+/// r-delta samples attributed to one AS.
+struct AsRdeltas {
+  topology::AsId as = 0;
+  std::vector<double> rdeltas_minutes;
+};
+
+/// Attribute every damped path's r-delta samples to the AS most plausibly
+/// causing them: the unique flagged (category >= 4) AS on the path, if any.
+/// Paths with zero or multiple flagged ASs are skipped (ambiguous).
+std::vector<AsRdeltas> attribute_rdeltas(
+    const std::vector<labeling::LabeledPath>& paths,
+    const std::unordered_set<topology::AsId>& flagged);
+
+struct ParameterEstimate {
+  topology::AsId as = 0;
+  std::size_t samples = 0;
+  /// Estimated max-suppress-time: the mode of the r-delta samples snapped
+  /// to the canonical grid {10, 30, 60} when within tolerance, otherwise
+  /// the raw median.
+  double max_suppress_minutes = 0.0;
+  bool snapped = false;  ///< true when a canonical value matched
+  /// Name of the best-matching standard variant ("cisco-60", ...), or
+  /// "unknown" when nothing fits.
+  std::string preset;
+  bool vendor_default = false;
+};
+
+struct ParameterInferenceConfig {
+  /// Canonical max-suppress-times to snap to (minutes).
+  std::vector<double> canonical = {10.0, 30.0, 60.0};
+  /// Snap tolerance (minutes): the penalty decays slightly below the
+  /// ceiling between the last update and the burst end.
+  double tolerance = 6.0;
+  /// Minimum samples per AS to attempt an estimate.
+  std::size_t min_samples = 3;
+};
+
+/// Estimate per-AS parameters from attributed r-deltas and match each AS to
+/// the closest standard variant. `max_triggering_interval` (optional) maps
+/// an AS to the largest beacon update interval at which it was still
+/// flagged damping (from a multi-interval campaign, Figure 12); it
+/// disambiguates the 60-minute max-suppress presets: deprecated vendor
+/// defaults still trigger at a 5 min interval, RFC 7454 parameters stop
+/// above ~3 min.
+std::vector<ParameterEstimate> infer_parameters(
+    const std::vector<AsRdeltas>& rdeltas,
+    const std::unordered_map<topology::AsId, sim::Duration>&
+        max_triggering_interval = {},
+    const ParameterInferenceConfig& config = {});
+
+/// Share of estimated ASs matched to a deprecated vendor default preset
+/// (the paper: "a significant tendency (~60%) to use vendor default
+/// values"). Returns 0 when nothing was estimated.
+double vendor_default_share(const std::vector<ParameterEstimate>& estimates);
+
+}  // namespace because::experiment

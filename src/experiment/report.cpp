@@ -1,0 +1,159 @@
+#include "experiment/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/evaluate.hpp"
+#include "experiment/figures.hpp"
+#include "experiment/parameter_inference.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace because::experiment {
+
+namespace {
+
+void section(std::ostringstream& out, const std::string& title) {
+  out << "\n" << std::string(72, '-') << "\n" << title << "\n"
+      << std::string(72, '-') << "\n";
+}
+
+}  // namespace
+
+std::string render_study_report(const CampaignResult& campaign,
+                                const InferenceResult& inference,
+                                const ReportOptions& options) {
+  std::ostringstream out;
+  out << "BeCAUSe study report\n";
+
+  // ---- measurement infrastructure ------------------------------------
+  section(out, "Measurement campaign");
+  {
+    util::Table table({"quantity", "value"});
+    table.add_row({"ASs in topology", std::to_string(campaign.graph.as_count())});
+    table.add_row({"AS links", std::to_string(campaign.graph.link_count())});
+    table.add_row({"beacon sites", std::to_string(campaign.sites.size())});
+    table.add_row({"oscillating prefixes", std::to_string(campaign.beacons.size())});
+    table.add_row({"anchor prefixes", std::to_string(campaign.anchors.size())});
+    table.add_row({"vantage points", std::to_string(campaign.vps.size())});
+    table.add_row({"recorded updates", std::to_string(campaign.store.size())});
+    table.add_row({"discarded invalid aggregators",
+                   std::to_string(campaign.store.discarded_invalid_aggregator())});
+    table.add_row({"simulator events",
+                   std::to_string(campaign.events_executed)});
+    out << table.render();
+  }
+
+  std::size_t rfd_paths = 0;
+  for (const auto& p : campaign.labeled)
+    if (p.rfd) ++rfd_paths;
+  out << "\nlabeled paths: " << campaign.labeled.size() << " (" << rfd_paths
+      << " show the RFD signature, "
+      << util::fmt_percent(campaign.labeled.empty()
+                               ? 0.0
+                               : static_cast<double>(rfd_paths) /
+                                     static_cast<double>(campaign.labeled.size()))
+      << ")\n";
+
+  const LinkSimilarity similarity = link_similarity(campaign);
+  out << "observed AS links: " << similarity.total_links
+      << "; median paths per link " << similarity.median_paths_per_link_all
+      << " (single site: " << similarity.median_paths_per_link_single << ")\n";
+
+  const ProjectOverlap overlap = project_overlap(campaign);
+  out << "collector overlap: " << overlap.total() << " distinct paths, "
+      << overlap.only_ris + overlap.only_routeviews + overlap.only_isolario
+      << " seen by exactly one project\n";
+
+  const PropagationTimes propagation = propagation_times(campaign);
+  if (!propagation.anchor_seconds.empty()) {
+    out << "anchor propagation: median "
+        << util::fmt_double(stats::median(propagation.anchor_seconds), 1)
+        << " s, p95 "
+        << util::fmt_double(stats::quantile(propagation.anchor_seconds, 0.95), 1)
+        << " s\n";
+  }
+
+  // ---- inference ------------------------------------------------------
+  section(out, "BeCAUSe inference");
+  const auto counts = category_counts(inference.categories);
+  {
+    util::Table table({"", "Cat 1", "Cat 2", "Cat 3", "Cat 4", "Cat 5"});
+    std::vector<std::string> totals{"Total"}, shares{"Share"};
+    const double denom = static_cast<double>(inference.dataset.as_count());
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      totals.push_back(std::to_string(counts[c]));
+      shares.push_back(util::fmt_percent(counts[c] / denom));
+    }
+    table.add_row(totals);
+    table.add_row(shares);
+    out << table.render();
+  }
+  out << "\nRFD deployment lower bound (Cat 4+5): "
+      << util::fmt_percent(damping_share(inference.categories))
+      << "; inconsistent dampers pinpointed: " << inference.upgraded.size()
+      << "\n";
+
+  if (options.include_scatter) {
+    util::Table table({"AS", "mean", "certainty", "category"});
+    for (std::size_t n = 0; n < inference.dataset.as_count(); ++n) {
+      const auto& s = inference.mh_summaries[n];
+      table.add_row({std::to_string(s.as), util::fmt_double(s.mean, 3),
+                     util::fmt_double(s.certainty(), 3),
+                     std::to_string(static_cast<int>(inference.categories[n]))});
+    }
+    out << "\n" << table.render("per-AS marginals (Figure 11 data)");
+  }
+
+  // ---- ground truth ----------------------------------------------------
+  if (options.include_ground_truth) {
+    section(out, "Evaluation against planted ground truth");
+    const auto dampers = campaign.plan.dampers();
+    const auto detectable = campaign.plan.detectable_dampers();
+    const auto eval =
+        core::evaluate(inference.dataset, inference.categories, detectable);
+    out << "planted dampers: " << dampers.size() << " (" << detectable.size()
+        << " detectable with this setup; vendor-default share "
+        << util::fmt_percent(campaign.plan.vendor_default_share()) << ")\n";
+    out << "precision " << util::fmt_percent(eval.matrix.precision())
+        << ", recall " << util::fmt_percent(eval.matrix.recall()) << " over "
+        << eval.matrix.total() << " measured ASs\n";
+    if (!eval.false_negatives.empty()) {
+      out << "missed dampers:";
+      for (topology::AsId as : eval.false_negatives) out << " " << as;
+      out << " (visibility limits / hiding, §6.1)\n";
+    }
+    if (!eval.false_positives.empty()) {
+      out << "false positives:";
+      for (topology::AsId as : eval.false_positives) out << " " << as;
+      out << "\n";
+    }
+  }
+
+  // ---- deployed parameters (§6.2) --------------------------------------
+  if (options.include_parameter_estimates) {
+    section(out, "Deployed RFD parameters (from r-delta plateaus)");
+    const auto rdeltas =
+        attribute_rdeltas(campaign.labeled, inference.damping_ases());
+    const auto estimates = infer_parameters(rdeltas);
+    if (estimates.empty()) {
+      out << "not enough unambiguous r-delta samples at this scale\n";
+    } else {
+      util::Table table({"AS", "samples", "max-suppress (min)", "preset"});
+      for (const auto& e : estimates) {
+        table.add_row({std::to_string(e.as), std::to_string(e.samples),
+                       util::fmt_double(e.max_suppress_minutes, 0) +
+                           (e.snapped ? "" : " (unsnapped)"),
+                       e.preset});
+      }
+      out << table.render();
+      out << "\ninferred vendor-default share: "
+          << util::fmt_percent(vendor_default_share(estimates)) << "\n";
+    }
+  }
+
+  return out.str();
+}
+
+}  // namespace because::experiment

@@ -1,0 +1,30 @@
+// Consolidated study report: everything §6 reports about one campaign -
+// measurement statistics, category shares, the deployment lower bound,
+// evaluation against ground truth, divergence buckets, infrastructure
+// validation and deployed-parameter estimates - rendered as one text
+// document. The `example_full_study` binary is a thin wrapper around this.
+#pragma once
+
+#include <string>
+
+#include "experiment/campaign.hpp"
+#include "experiment/pipeline.hpp"
+
+namespace because::experiment {
+
+struct ReportOptions {
+  /// Include the per-AS scatter rows (Figure 11 data) - verbose.
+  bool include_scatter = false;
+  /// Evaluate against ground truth (available in simulation; a real
+  /// deployment would only have operator feedback).
+  bool include_ground_truth = true;
+  /// Estimate per-AS RFD parameters from r-deltas (§6.2).
+  bool include_parameter_estimates = true;
+};
+
+/// Render the full study report for a finished campaign + inference.
+std::string render_study_report(const CampaignResult& campaign,
+                                const InferenceResult& inference,
+                                const ReportOptions& options = {});
+
+}  // namespace because::experiment

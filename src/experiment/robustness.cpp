@@ -1,0 +1,62 @@
+#include "experiment/robustness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/evaluate.hpp"
+#include "experiment/figures.hpp"
+
+namespace because::experiment {
+
+RobustnessSummary run_seed_sweep(CampaignConfig config,
+                                 const InferenceConfig& inference,
+                                 const std::vector<std::uint64_t>& seeds) {
+  if (seeds.empty()) throw std::invalid_argument("run_seed_sweep: no seeds");
+
+  RobustnessSummary summary;
+  double precision_sum = 0.0, recall_sum = 0.0;
+
+  for (std::uint64_t seed : seeds) {
+    config.seed = seed;
+    const CampaignResult campaign = run_campaign(config);
+    const InferenceResult result =
+        run_inference(campaign.labeled, campaign.site_set(), inference);
+
+    SeedOutcome outcome;
+    outcome.seed = seed;
+    outcome.measured_ases = result.dataset.as_count();
+    outcome.labeled_paths = campaign.labeled.size();
+
+    const auto detectable = campaign.plan.detectable_dampers();
+    const auto eval =
+        core::evaluate(result.dataset, result.categories, detectable);
+    outcome.precision = eval.matrix.precision();
+    outcome.recall = eval.matrix.recall();
+    outcome.damping_share = damping_share(result.categories);
+
+    std::size_t planted_measured = 0;
+    const auto all_dampers = campaign.plan.dampers();
+    for (std::size_t n = 0; n < result.dataset.as_count(); ++n)
+      if (all_dampers.count(result.dataset.as_at(n)) != 0) ++planted_measured;
+    outcome.planted_share =
+        outcome.measured_ases == 0
+            ? 0.0
+            : static_cast<double>(planted_measured) /
+                  static_cast<double>(outcome.measured_ases);
+
+    precision_sum += outcome.precision;
+    recall_sum += outcome.recall;
+    summary.min_precision = std::min(summary.min_precision, outcome.precision);
+    summary.min_recall = std::min(summary.min_recall, outcome.recall);
+    if (outcome.damping_share > outcome.planted_share + 1e-9)
+      summary.share_is_lower_bound = false;
+    summary.outcomes.push_back(outcome);
+  }
+
+  const auto n = static_cast<double>(seeds.size());
+  summary.mean_precision = precision_sum / n;
+  summary.mean_recall = recall_sum / n;
+  return summary;
+}
+
+}  // namespace because::experiment

@@ -1,0 +1,41 @@
+// Seed-sweep robustness: run the same campaign + inference across several
+// seeds and aggregate precision/recall and the deployment lower bound.
+// Guards against seed-cherry-picked results - the reproduction's analogue
+// of the paper's two-month, multi-site redundancy.
+#pragma once
+
+#include <vector>
+
+#include "experiment/campaign.hpp"
+#include "experiment/pipeline.hpp"
+
+namespace because::experiment {
+
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double damping_share = 0.0;   ///< measured Cat-4+5 share
+  double planted_share = 0.0;   ///< planted damper share among measured ASs
+  std::size_t measured_ases = 0;
+  std::size_t labeled_paths = 0;
+};
+
+struct RobustnessSummary {
+  std::vector<SeedOutcome> outcomes;
+  double mean_precision = 0.0;
+  double min_precision = 1.0;
+  double mean_recall = 0.0;
+  double min_recall = 1.0;
+  /// True when the measured share under-estimates the planted share in
+  /// every run (the §6.1 "lower bound" property).
+  bool share_is_lower_bound = true;
+};
+
+/// Run `seeds.size()` campaigns (config.seed overridden per run) and
+/// evaluate each against its own planted detectable dampers.
+RobustnessSummary run_seed_sweep(CampaignConfig config,
+                                 const InferenceConfig& inference,
+                                 const std::vector<std::uint64_t>& seeds);
+
+}  // namespace because::experiment

@@ -1,0 +1,57 @@
+#include "heuristics/alt_path.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace because::heuristics {
+
+namespace {
+/// Group key: one beacon experiment stream at one vantage point.
+std::uint64_t stream_key(collector::VpId vp, const bgp::Prefix& prefix) {
+  return (static_cast<std::uint64_t>(vp) << 40) ^
+         (static_cast<std::uint64_t>(prefix.id) << 8) ^ prefix.length;
+}
+}  // namespace
+
+std::vector<double> alternative_path_metric(
+    const labeling::PathDataset& data,
+    const std::vector<labeling::LabeledPath>& labeled_paths,
+    const std::vector<labeling::ObservedPath>& observed_paths) {
+  // All observed paths per (vp, prefix) stream: the alternative pool.
+  std::unordered_map<std::uint64_t, std::vector<const topology::AsPath*>> streams;
+  for (const labeling::ObservedPath& p : observed_paths)
+    streams[stream_key(p.vp, p.prefix)].push_back(&p.path);
+
+  std::vector<double> sum(data.as_count(), 0.0);
+  std::vector<std::size_t> count(data.as_count(), 0);
+
+  for (const labeling::LabeledPath& damped : labeled_paths) {
+    if (!damped.rfd) continue;
+    const auto it = streams.find(stream_key(damped.vp, damped.prefix));
+    if (it == streams.end()) continue;
+    std::vector<const topology::AsPath*> alternatives;
+    for (const topology::AsPath* other : it->second)
+      if (*other != damped.path) alternatives.push_back(other);
+    if (alternatives.empty()) continue;
+
+    for (topology::AsId as : damped.path) {
+      const auto node = data.index_of(as);
+      if (!node.has_value()) continue;
+      std::size_t without = 0;
+      for (const topology::AsPath* alt : alternatives) {
+        if (std::find(alt->begin(), alt->end(), as) == alt->end()) ++without;
+      }
+      sum[*node] += static_cast<double>(without) /
+                    static_cast<double>(alternatives.size());
+      ++count[*node];
+    }
+  }
+
+  std::vector<double> out(data.as_count(), 0.0);
+  for (std::size_t n = 0; n < data.as_count(); ++n)
+    if (count[n] > 0) out[n] = sum[n] / static_cast<double>(count[n]);
+  return out;
+}
+
+}  // namespace because::heuristics

@@ -1,0 +1,26 @@
+// Heuristic M2 (§5.2.2): alternative-path evidence.
+//
+// Damped prefixes reveal alternative paths (path hunting), and an actively
+// damping AS will not appear on those alternatives. For each damped path we
+// collect the alternative paths seen at the same (vantage point, prefix);
+// an AS's score is the average share of alternatives *not* containing it,
+// across all damped paths it sits on.
+#pragma once
+
+#include <vector>
+
+#include "labeling/dataset.hpp"
+#include "labeling/signature.hpp"
+
+namespace because::heuristics {
+
+/// Per-dense-node M2 score in [0,1]; 0 for ASs on no damped path (no
+/// alternative-path evidence at all). `observed_paths` supplies the
+/// alternatives revealed by path hunting (labeling::observed_paths()),
+/// including transient paths that carry no steady-state label.
+std::vector<double> alternative_path_metric(
+    const labeling::PathDataset& data,
+    const std::vector<labeling::LabeledPath>& labeled_paths,
+    const std::vector<labeling::ObservedPath>& observed_paths);
+
+}  // namespace because::heuristics

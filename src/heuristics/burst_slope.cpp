@@ -1,0 +1,85 @@
+#include "heuristics/burst_slope.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "labeling/path_key.hpp"
+#include "stats/linreg.hpp"
+
+namespace because::heuristics {
+
+namespace {
+
+/// Accumulate announcements traversing `as` into `heights` by relative burst
+/// position. Returns the number of announcements added.
+std::size_t accumulate(topology::AsId as, const collector::UpdateStore& store,
+                       const Experiment& experiment,
+                       const BurstSlopeConfig& config,
+                       std::vector<double>& heights) {
+  std::size_t added = 0;
+  const auto bursts = beacon::burst_windows(experiment.schedule);
+  const auto records = store.for_prefix(experiment.prefix);
+  for (const collector::RecordedUpdate& r : records) {
+    if (!r.update.is_announcement()) continue;
+    if (std::find(r.update.as_path.begin(), r.update.as_path.end(), as) ==
+        r.update.as_path.end())
+      continue;
+    for (const beacon::Window& burst : bursts) {
+      const sim::Time end = burst.end + config.slack;
+      if (r.recorded_at < burst.begin || r.recorded_at >= end) continue;
+      const double rel =
+          static_cast<double>(r.recorded_at - burst.begin) /
+          static_cast<double>(end - burst.begin);
+      auto bin = static_cast<std::size_t>(rel * static_cast<double>(heights.size()));
+      bin = std::min(bin, heights.size() - 1);
+      heights[bin] += 1.0;
+      ++added;
+      break;
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+double slope_score(const std::vector<double>& heights) {
+  if (heights.size() < 2) return 0.5;
+  double total = 0.0;
+  for (double h : heights) total += h;
+  if (total <= 0.0) return 0.5;  // no data: neutral
+
+  const stats::LinearFit fit = stats::linear_fit_indexed(heights);
+  const double start = fit.at(0.0);
+  const double end = fit.at(static_cast<double>(heights.size() - 1));
+  if (start <= 0.0) return 0.5;
+
+  // Relative drop of the regression line across the burst: 0 (flat or
+  // rising) .. 1 (announcements die out completely).
+  const double drop = (start - end) / start;
+  return std::clamp(drop, 0.0, 1.0);
+}
+
+std::vector<double> burst_histogram(topology::AsId as,
+                                    const collector::UpdateStore& store,
+                                    const std::vector<Experiment>& experiments,
+                                    const BurstSlopeConfig& config) {
+  std::vector<double> heights(config.bins, 0.0);
+  for (const Experiment& experiment : experiments)
+    accumulate(as, store, experiment, config, heights);
+  return heights;
+}
+
+std::vector<double> burst_slope_metric(const labeling::PathDataset& data,
+                                       const collector::UpdateStore& store,
+                                       const std::vector<Experiment>& experiments,
+                                       const BurstSlopeConfig& config) {
+  std::vector<double> out(data.as_count(), 0.5);
+  for (std::size_t n = 0; n < data.as_count(); ++n) {
+    const std::vector<double> heights =
+        burst_histogram(data.as_at(n), store, experiments, config);
+    out[n] = slope_score(heights);
+  }
+  return out;
+}
+
+}  // namespace because::heuristics

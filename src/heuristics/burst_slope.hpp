@@ -1,0 +1,48 @@
+// Heuristic M3 (§5.2.3): announcement distribution across Bursts.
+//
+// A damping AS forwards fewer updates near the end of a Burst (routes get
+// suppressed as penalties accumulate). We histogram the announcements that
+// traversed each AS into fixed intervals across the Burst (the paper uses
+// 40), fit a linear regression to the histogram heights, and map slope and
+// relative change to a score in [0,1] (1 = strong damping evidence).
+#pragma once
+
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "collector/update_store.hpp"
+#include "labeling/dataset.hpp"
+
+namespace because::heuristics {
+
+struct BurstSlopeConfig {
+  std::size_t bins = 40;
+  /// Collector/export slack added after the nominal burst end.
+  sim::Duration slack = sim::minutes(2);
+};
+
+/// One experiment = a beacon prefix with the schedule it flapped on.
+struct Experiment {
+  bgp::Prefix prefix;
+  beacon::BeaconSchedule schedule;
+};
+
+/// Per-dense-node M3 score in [0,1]; 0.5 (no evidence either way) for ASs
+/// with too little data to fit a regression.
+std::vector<double> burst_slope_metric(const labeling::PathDataset& data,
+                                       const collector::UpdateStore& store,
+                                       const std::vector<Experiment>& experiments,
+                                       const BurstSlopeConfig& config = {});
+
+/// The per-AS burst histogram itself (for Figure 10): announcements that
+/// traversed `as`, folded over all bursts of all experiments, by relative
+/// position in the burst.
+std::vector<double> burst_histogram(topology::AsId as,
+                                    const collector::UpdateStore& store,
+                                    const std::vector<Experiment>& experiments,
+                                    const BurstSlopeConfig& config = {});
+
+/// Map a fitted regression over histogram heights to the [0,1] M3 score.
+double slope_score(const std::vector<double>& heights);
+
+}  // namespace because::heuristics

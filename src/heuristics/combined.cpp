@@ -1,0 +1,36 @@
+#include "heuristics/combined.hpp"
+
+#include <stdexcept>
+
+namespace because::heuristics {
+
+HeuristicScores run_heuristics(const labeling::PathDataset& data,
+                               const std::vector<labeling::LabeledPath>& paths,
+                               const std::vector<labeling::ObservedPath>& observed,
+                               const collector::UpdateStore& store,
+                               const std::vector<Experiment>& experiments,
+                               const BurstSlopeConfig& config) {
+  HeuristicScores scores;
+  scores.path_ratio = rfd_path_ratio(data);
+  scores.alt_path = alternative_path_metric(data, paths, observed);
+  scores.burst_slope = burst_slope_metric(data, store, experiments, config);
+
+  scores.combined.resize(data.as_count());
+  for (std::size_t n = 0; n < data.as_count(); ++n) {
+    scores.combined[n] =
+        (scores.path_ratio[n] + scores.alt_path[n] + scores.burst_slope[n]) / 3.0;
+  }
+  return scores;
+}
+
+std::vector<bool> heuristic_prediction(const std::vector<double>& combined,
+                                       double threshold) {
+  if (threshold < 0.0 || threshold > 1.0)
+    throw std::invalid_argument("heuristic_prediction: bad threshold");
+  std::vector<bool> out(combined.size());
+  for (std::size_t i = 0; i < combined.size(); ++i)
+    out[i] = combined[i] >= threshold;
+  return out;
+}
+
+}  // namespace because::heuristics

@@ -1,0 +1,33 @@
+// The combined heuristic classifier of §5.2: "For each AS we take the
+// average of the metrics as the final output", thresholded into an
+// RFD/non-RFD decision.
+#pragma once
+
+#include <vector>
+
+#include "heuristics/alt_path.hpp"
+#include "heuristics/burst_slope.hpp"
+#include "heuristics/path_ratio.hpp"
+
+namespace because::heuristics {
+
+struct HeuristicScores {
+  std::vector<double> path_ratio;   ///< M1
+  std::vector<double> alt_path;     ///< M2
+  std::vector<double> burst_slope;  ///< M3
+  std::vector<double> combined;     ///< mean of the three
+};
+
+HeuristicScores run_heuristics(const labeling::PathDataset& data,
+                               const std::vector<labeling::LabeledPath>& paths,
+                               const std::vector<labeling::ObservedPath>& observed,
+                               const collector::UpdateStore& store,
+                               const std::vector<Experiment>& experiments,
+                               const BurstSlopeConfig& config = {});
+
+/// Threshold the combined score; the paper notes the heuristics "need
+/// tuning that is absent from the Bayesian approach".
+std::vector<bool> heuristic_prediction(const std::vector<double>& combined,
+                                       double threshold = 0.5);
+
+}  // namespace because::heuristics

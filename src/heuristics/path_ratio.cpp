@@ -1,0 +1,17 @@
+#include "heuristics/path_ratio.hpp"
+
+namespace because::heuristics {
+
+std::vector<double> rfd_path_ratio(const labeling::PathDataset& data) {
+  std::vector<double> out(data.as_count(), 0.0);
+  for (std::size_t n = 0; n < data.as_count(); ++n) {
+    const std::size_t rfd = data.property_paths(n);
+    const std::size_t clean = data.clean_paths(n);
+    const std::size_t total = rfd + clean;
+    if (total > 0)
+      out[n] = static_cast<double>(rfd) / static_cast<double>(total);
+  }
+  return out;
+}
+
+}  // namespace because::heuristics

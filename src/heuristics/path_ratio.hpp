@@ -1,0 +1,17 @@
+// Heuristic M1 (§5.2.1): RFD path ratio.
+//
+//   M1(AS) = #RFD paths(AS) / (#RFD paths(AS) + #non-RFD paths(AS))
+//
+// Robust for richly connected ASs; stubs inherit their upstream's bias.
+#pragma once
+
+#include <vector>
+
+#include "labeling/dataset.hpp"
+
+namespace because::heuristics {
+
+/// Per-dense-node M1 score in [0,1]; 0 for ASs on no labeled path.
+std::vector<double> rfd_path_ratio(const labeling::PathDataset& data);
+
+}  // namespace because::heuristics

@@ -1,0 +1,60 @@
+#include "labeling/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::labeling {
+
+std::size_t PathDataset::intern(topology::AsId as) {
+  const auto it = index_.find(as);
+  if (it != index_.end()) return it->second;
+  const std::size_t idx = as_ids_.size();
+  as_ids_.push_back(as);
+  index_.emplace(as, idx);
+  by_node_.emplace_back();
+  property_count_.push_back(0);
+  clean_count_.push_back(0);
+  return idx;
+}
+
+void PathDataset::add_path(const topology::AsPath& path, bool shows_property,
+                           const std::unordered_set<topology::AsId>& exclude) {
+  Observation obs;
+  obs.shows_property = shows_property;
+  for (topology::AsId as : path) {
+    if (exclude.count(as) != 0) continue;
+    const std::size_t idx = intern(as);
+    if (std::find(obs.nodes.begin(), obs.nodes.end(), idx) == obs.nodes.end())
+      obs.nodes.push_back(idx);
+  }
+  if (obs.nodes.empty()) return;
+
+  const std::size_t obs_index = observations_.size();
+  for (std::size_t node : obs.nodes) {
+    by_node_[node].push_back(obs_index);
+    if (shows_property) ++property_count_[node];
+    else ++clean_count_[node];
+  }
+  observations_.push_back(std::move(obs));
+}
+
+std::optional<std::size_t> PathDataset::index_of(topology::AsId as) const {
+  const auto it = index_.find(as);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<std::size_t>& PathDataset::observations_with(
+    std::size_t node) const {
+  return by_node_.at(node);
+}
+
+std::size_t PathDataset::property_paths(std::size_t node) const {
+  return property_count_.at(node);
+}
+
+std::size_t PathDataset::clean_paths(std::size_t node) const {
+  return clean_count_.at(node);
+}
+
+}  // namespace because::labeling

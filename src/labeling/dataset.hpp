@@ -1,0 +1,61 @@
+// The binary-tomography dataset: labeled paths over a dense AS index.
+//
+// This is the interface between measurement (labeling) and inference
+// (BeCAUSe): a list of observations, each a set of AS indices plus the
+// binary path label y_j of Eq. (3). The dense index keeps the samplers'
+// parameter vectors compact, and the per-AS observation index lets
+// single-coordinate Metropolis updates touch only the paths that contain
+// the coordinate being updated.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/paths.hpp"
+
+namespace because::labeling {
+
+struct Observation {
+  /// Dense indices of the ASs on the path (no duplicates).
+  std::vector<std::size_t> nodes;
+  /// True when the path shows property A (e.g., the RFD signature).
+  bool shows_property = false;
+};
+
+class PathDataset {
+ public:
+  /// Add a labeled path. ASs in `exclude` (e.g. the beacon origin, known not
+  /// to damp) are dropped from the observation. Paths that become empty are
+  /// ignored. Duplicate ASs on a path are collapsed.
+  void add_path(const topology::AsPath& path, bool shows_property,
+                const std::unordered_set<topology::AsId>& exclude = {});
+
+  std::size_t as_count() const { return as_ids_.size(); }
+  std::size_t path_count() const { return observations_.size(); }
+
+  topology::AsId as_at(std::size_t index) const { return as_ids_.at(index); }
+  std::optional<std::size_t> index_of(topology::AsId as) const;
+
+  const std::vector<Observation>& observations() const { return observations_; }
+
+  /// Observation indices containing AS index `node`.
+  const std::vector<std::size_t>& observations_with(std::size_t node) const;
+
+  /// Number of RFD-labeled / clean-labeled paths containing the AS.
+  std::size_t property_paths(std::size_t node) const;
+  std::size_t clean_paths(std::size_t node) const;
+
+ private:
+  std::size_t intern(topology::AsId as);
+
+  std::vector<topology::AsId> as_ids_;
+  std::unordered_map<topology::AsId, std::size_t> index_;
+  std::vector<Observation> observations_;
+  std::vector<std::vector<std::size_t>> by_node_;
+  std::vector<std::size_t> property_count_;
+  std::vector<std::size_t> clean_count_;
+};
+
+}  // namespace because::labeling

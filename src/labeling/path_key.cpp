@@ -1,0 +1,30 @@
+#include "labeling/path_key.hpp"
+
+namespace because::labeling {
+
+topology::AsPath clean_path(const topology::AsPath& path) {
+  topology::AsPath cleaned = topology::strip_prepending(path);
+  if (topology::has_loop(cleaned)) return {};
+  return cleaned;
+}
+
+std::string path_to_string(const topology::AsPath& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += std::to_string(path[i]);
+  }
+  return out;
+}
+
+std::size_t PathHash::operator()(const topology::AsPath& path) const noexcept {
+  // FNV-1a over the AS numbers.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (topology::AsId as : path) {
+    h ^= as;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace because::labeling

@@ -1,0 +1,26 @@
+// Canonical path keys for grouping recorded updates by AS path.
+//
+// Paths are cleaned of prepending (§4.2); looped paths did not occur in the
+// paper's dataset and are dropped defensively here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/paths.hpp"
+
+namespace because::labeling {
+
+/// Cleaned path: prepending stripped. Returns an empty path if the cleaned
+/// path still contains a loop (invalid measurement, to be dropped).
+topology::AsPath clean_path(const topology::AsPath& path);
+
+/// "701 2497 3130" - printable key.
+std::string path_to_string(const topology::AsPath& path);
+
+/// Hash for using cleaned paths as unordered_map keys.
+struct PathHash {
+  std::size_t operator()(const topology::AsPath& path) const noexcept;
+};
+
+}  // namespace because::labeling

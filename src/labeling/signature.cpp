@@ -1,0 +1,128 @@
+#include "labeling/signature.hpp"
+
+#include <algorithm>
+
+namespace because::labeling {
+
+namespace {
+
+struct Announcement {
+  sim::Time recorded_at;
+  topology::AsPath path;  // cleaned
+};
+
+/// Last beacon send time within each burst window.
+std::vector<sim::Time> burst_last_event_times(const beacon::BeaconSchedule& schedule) {
+  const auto events = beacon::expand(schedule);
+  std::vector<sim::Time> out;
+  for (const beacon::Window& burst : beacon::burst_windows(schedule)) {
+    sim::Time last = burst.begin;
+    for (const beacon::BeaconEvent& e : events)
+      if (e.when >= burst.begin && e.when < burst.end) last = std::max(last, e.when);
+    out.push_back(last);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LabeledPath> label_paths(const collector::UpdateStore& store,
+                                     const bgp::Prefix& prefix,
+                                     const beacon::BeaconSchedule& schedule,
+                                     const SignatureConfig& config) {
+  const auto bursts = beacon::burst_windows(schedule);
+  const auto breaks = beacon::break_windows(schedule);
+  const auto last_events = burst_last_event_times(schedule);
+
+  std::vector<LabeledPath> out;
+
+  for (const collector::VpInfo& vp : store.vantage_points()) {
+    const auto records = store.for_vp_prefix(vp.id, prefix);
+    if (records.empty()) continue;
+
+    // Cleaned announcements in time order; withdrawals only matter insofar
+    // as the *last announcement* defines the VP's current best path.
+    std::vector<Announcement> announcements;
+    announcements.reserve(records.size());
+    for (const collector::RecordedUpdate& r : records) {
+      if (!r.update.is_announcement()) continue;
+      topology::AsPath cleaned = clean_path(r.update.as_path);
+      if (cleaned.empty()) continue;  // looped/empty: invalid measurement
+      announcements.push_back(Announcement{r.recorded_at, std::move(cleaned)});
+    }
+    if (announcements.empty()) continue;
+
+    // Per steady-state path measurements, in first-seen order.
+    std::unordered_map<topology::AsPath, LabeledPath, PathHash> per_path;
+    std::vector<topology::AsPath> order;
+
+    for (std::size_t k = 0; k < bursts.size(); ++k) {
+      // The path under test: the VP's best path entering burst k.
+      const topology::AsPath* current = nullptr;
+      for (const Announcement& a : announcements) {
+        if (a.recorded_at > bursts[k].begin) break;
+        current = &a.path;
+      }
+      if (current == nullptr) continue;  // prefix unknown before this burst
+
+      auto it = per_path.find(*current);
+      if (it == per_path.end()) {
+        LabeledPath fresh;
+        fresh.vp = vp.id;
+        fresh.prefix = prefix;
+        fresh.path = *current;
+        it = per_path.emplace(*current, std::move(fresh)).first;
+        order.push_back(*current);
+      }
+      LabeledPath& labeled = it->second;
+      ++labeled.relevant_pairs;
+
+      // Re-advertisement: first announcement of the same path in the Break,
+      // past the minimum propagation time.
+      const sim::Time window_open = last_events[k] + config.min_rdelta;
+      const sim::Time window_close = breaks[k].end;
+      for (const Announcement& a : announcements) {
+        if (a.recorded_at <= window_open) continue;
+        if (a.recorded_at > window_close) break;
+        if (a.path != *current) continue;
+        ++labeled.matching_pairs;
+        labeled.rdeltas_minutes.push_back(
+            sim::to_minutes(a.recorded_at - last_events[k]));
+        break;
+      }
+    }
+
+    for (const topology::AsPath& path : order) {
+      LabeledPath labeled = std::move(per_path[path]);
+      const double fraction = static_cast<double>(labeled.matching_pairs) /
+                              static_cast<double>(labeled.relevant_pairs);
+      labeled.rfd = fraction >= config.pair_match_fraction;
+      if (!labeled.rdeltas_minutes.empty()) {
+        double sum = 0.0;
+        for (double d : labeled.rdeltas_minutes) sum += d;
+        labeled.mean_rdelta_minutes =
+            sum / static_cast<double>(labeled.rdeltas_minutes.size());
+      }
+      out.push_back(std::move(labeled));
+    }
+  }
+  return out;
+}
+
+std::vector<ObservedPath> observed_paths(const collector::UpdateStore& store,
+                                         const bgp::Prefix& prefix) {
+  std::vector<ObservedPath> out;
+  for (const collector::VpInfo& vp : store.vantage_points()) {
+    std::unordered_map<topology::AsPath, bool, PathHash> seen;
+    for (const collector::RecordedUpdate& r : store.for_vp_prefix(vp.id, prefix)) {
+      if (!r.update.is_announcement()) continue;
+      topology::AsPath cleaned = clean_path(r.update.as_path);
+      if (cleaned.empty()) continue;
+      if (seen.emplace(cleaned, true).second)
+        out.push_back(ObservedPath{vp.id, prefix, std::move(cleaned)});
+    }
+  }
+  return out;
+}
+
+}  // namespace because::labeling

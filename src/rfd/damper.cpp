@@ -1,0 +1,58 @@
+#include "rfd/damper.hpp"
+
+namespace because::rfd {
+
+Damper::Damper(Params params) : params_(params) { params_.validate(); }
+
+Outcome Damper::on_update(const bgp::Prefix& prefix, UpdateKind kind,
+                          sim::Time now) {
+  PenaltyState& state = states_[prefix];
+  const bool was_suppressed = state.suppressed();
+  const double penalty = state.apply(params_, kind, now);
+
+  Outcome out;
+  out.penalty = penalty;
+  if (!was_suppressed && penalty > params_.suppress_threshold) {
+    state.set_suppressed(true);
+    out.became_suppressed = true;
+  } else if (was_suppressed && penalty <= params_.reuse_threshold) {
+    // An update can arrive exactly when the penalty has decayed away; the
+    // route is usable again immediately.
+    state.set_suppressed(false);
+  }
+  out.suppressed = state.suppressed();
+  out.generation = state.generation();
+  return out;
+}
+
+bool Damper::is_suppressed(const bgp::Prefix& prefix) const {
+  const auto it = states_.find(prefix);
+  return it != states_.end() && it->second.suppressed();
+}
+
+double Damper::penalty(const bgp::Prefix& prefix, sim::Time now) const {
+  const auto it = states_.find(prefix);
+  if (it == states_.end()) return 0.0;
+  return it->second.value_at(params_, now);
+}
+
+sim::Duration Damper::time_until_reuse(const bgp::Prefix& prefix,
+                                       sim::Time now) const {
+  const auto it = states_.find(prefix);
+  if (it == states_.end()) return 0;
+  return it->second.time_until_reuse(params_, now);
+}
+
+bool Damper::try_release(const bgp::Prefix& prefix, std::uint64_t generation,
+                         sim::Time now) {
+  const auto it = states_.find(prefix);
+  if (it == states_.end()) return false;
+  PenaltyState& state = it->second;
+  if (!state.suppressed()) return false;
+  if (state.generation() != generation) return false;  // superseded
+  if (state.value_at(params_, now) > params_.reuse_threshold) return false;
+  state.set_suppressed(false);
+  return true;
+}
+
+}  // namespace because::rfd

@@ -1,0 +1,57 @@
+// Per-BGP-session Route Flap Damping engine.
+//
+// A Damper holds one PenaltyState per prefix received on the session and
+// applies the RFC 2439 transitions. Scoping (which sessions/prefix lengths
+// are damped at all) is decided by the owning router's RFD policy; the
+// Damper itself damps everything it is fed.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "bgp/prefix.hpp"
+#include "rfd/params.hpp"
+#include "rfd/penalty.hpp"
+
+namespace because::rfd {
+
+/// Result of feeding one update into the damper.
+struct Outcome {
+  double penalty = 0.0;
+  bool suppressed = false;         ///< state after the update
+  bool became_suppressed = false;  ///< transitioned into suppression now
+  std::uint64_t generation = 0;    ///< token for scheduling the release event
+};
+
+class Damper {
+ public:
+  explicit Damper(Params params);
+
+  const Params& params() const { return params_; }
+
+  /// Apply one update for `prefix` at time `now`.
+  Outcome on_update(const bgp::Prefix& prefix, UpdateKind kind, sim::Time now);
+
+  bool is_suppressed(const bgp::Prefix& prefix) const;
+
+  /// Penalty decayed to `now` (0 for unknown prefixes).
+  double penalty(const bgp::Prefix& prefix, sim::Time now) const;
+
+  /// Delay until the prefix's penalty reaches the reuse threshold.
+  sim::Duration time_until_reuse(const bgp::Prefix& prefix, sim::Time now) const;
+
+  /// Called by the scheduled release event. Releases the prefix iff
+  /// `generation` still matches (no update arrived since scheduling) and the
+  /// decayed penalty is at/below the reuse threshold. Returns true when the
+  /// prefix was released by this call.
+  bool try_release(const bgp::Prefix& prefix, std::uint64_t generation,
+                   sim::Time now);
+
+  std::size_t tracked_prefixes() const { return states_.size(); }
+
+ private:
+  Params params_;
+  std::unordered_map<bgp::Prefix, PenaltyState> states_;
+};
+
+}  // namespace because::rfd

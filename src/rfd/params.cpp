@@ -1,0 +1,73 @@
+#include "rfd/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace because::rfd {
+
+double Params::ceiling() const {
+  return reuse_threshold *
+         std::exp2(static_cast<double>(max_suppress_time) /
+                   static_cast<double>(half_life));
+}
+
+void Params::validate() const {
+  if (half_life <= 0) throw std::invalid_argument("Params: half_life must be > 0");
+  if (max_suppress_time <= 0)
+    throw std::invalid_argument("Params: max_suppress_time must be > 0");
+  if (reuse_threshold <= 0.0)
+    throw std::invalid_argument("Params: reuse_threshold must be > 0");
+  if (suppress_threshold <= reuse_threshold)
+    throw std::invalid_argument("Params: suppress_threshold must exceed reuse");
+  if (withdrawal_penalty < 0.0 || readvertisement_penalty < 0.0 ||
+      attribute_change_penalty < 0.0)
+    throw std::invalid_argument("Params: penalties must be non-negative");
+  if (ceiling() <= suppress_threshold)
+    throw std::invalid_argument(
+        "Params: max_suppress_time too small; ceiling below suppress threshold");
+}
+
+Params cisco_defaults() {
+  Params p;
+  p.withdrawal_penalty = 1000.0;
+  p.readvertisement_penalty = 0.0;
+  p.attribute_change_penalty = 500.0;
+  p.suppress_threshold = 2000.0;
+  p.half_life = sim::minutes(15);
+  p.reuse_threshold = 750.0;
+  p.max_suppress_time = sim::minutes(60);
+  return p;
+}
+
+Params juniper_defaults() {
+  Params p;
+  p.withdrawal_penalty = 1000.0;
+  p.readvertisement_penalty = 1000.0;
+  p.attribute_change_penalty = 500.0;
+  p.suppress_threshold = 3000.0;
+  p.half_life = sim::minutes(15);
+  p.reuse_threshold = 750.0;
+  p.max_suppress_time = sim::minutes(60);
+  return p;
+}
+
+Params rfc7454_recommended() {
+  Params p;
+  p.withdrawal_penalty = 1000.0;
+  p.readvertisement_penalty = 1000.0;
+  p.attribute_change_penalty = 500.0;
+  p.suppress_threshold = 6000.0;
+  p.half_life = sim::minutes(15);
+  p.reuse_threshold = 750.0;
+  p.max_suppress_time = sim::minutes(60);
+  return p;
+}
+
+std::string preset_name(const Params& params) {
+  if (params == cisco_defaults()) return "cisco";
+  if (params == juniper_defaults()) return "juniper";
+  if (params == rfc7454_recommended()) return "rfc7454";
+  return "custom";
+}
+
+}  // namespace because::rfd

@@ -1,0 +1,58 @@
+// RFC 2439 Route Flap Damping parameters and the vendor presets from the
+// paper's Appendix B.
+//
+//   parameter                  Cisco   Juniper  RFC 7454 / RIPE-580
+//   withdrawal penalty         1000    1000     1000
+//   re-advertisement penalty   0       1000     1000 (the "0/1000" column;
+//                                               we use 1000 so that the
+//                                               recommended suppress
+//                                               threshold of 6000 triggers
+//                                               at a 2 min update interval,
+//                                               matching §4.3)
+//   attribute-change penalty   500     500      500
+//   suppress-threshold         2000    3000     6000
+//   half-life (min)            15      15       15
+//   reuse-threshold            750     750      750
+//   max-suppress-time (min)    60      60       60
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace because::rfd {
+
+struct Params {
+  double withdrawal_penalty = 1000.0;
+  double readvertisement_penalty = 0.0;
+  double attribute_change_penalty = 500.0;
+  double suppress_threshold = 2000.0;
+  sim::Duration half_life = sim::minutes(15);
+  double reuse_threshold = 750.0;
+  sim::Duration max_suppress_time = sim::minutes(60);
+
+  /// Penalty ceiling implied by max-suppress-time: a penalty above
+  /// reuse * 2^(max_suppress/half_life) would keep the route suppressed for
+  /// longer than max-suppress-time, so implementations clamp there.
+  double ceiling() const;
+
+  /// Throws std::invalid_argument when thresholds/durations are inconsistent
+  /// (reuse >= suppress, non-positive half-life, ...).
+  void validate() const;
+
+  bool operator==(const Params&) const = default;
+};
+
+/// Cisco IOS defaults (deprecated but still shipped).
+Params cisco_defaults();
+
+/// Juniper JunOS defaults (deprecated but still shipped).
+Params juniper_defaults();
+
+/// RFC 7454 / RIPE-580 recommended parameters.
+Params rfc7454_recommended();
+
+/// Human-readable preset name ("cisco", "juniper", "rfc7454", "custom").
+std::string preset_name(const Params& params);
+
+}  // namespace because::rfd

@@ -1,0 +1,45 @@
+#include "rfd/penalty.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace because::rfd {
+
+namespace {
+double penalty_for(const Params& params, UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kWithdrawal: return params.withdrawal_penalty;
+    case UpdateKind::kReadvertisement: return params.readvertisement_penalty;
+    case UpdateKind::kAttributeChange: return params.attribute_change_penalty;
+    case UpdateKind::kInitialAdvertisement: return 0.0;
+  }
+  return 0.0;
+}
+}  // namespace
+
+double PenaltyState::value_at(const Params& params, sim::Time now) const {
+  if (now <= updated_at_) return value_;
+  const double halves = static_cast<double>(now - updated_at_) /
+                        static_cast<double>(params.half_life);
+  return value_ * std::exp2(-halves);
+}
+
+double PenaltyState::apply(const Params& params, UpdateKind kind, sim::Time now) {
+  double v = value_at(params, now) + penalty_for(params, kind);
+  v = std::min(v, params.ceiling());
+  value_ = v;
+  updated_at_ = now;
+  ++generation_;
+  return v;
+}
+
+sim::Duration PenaltyState::time_until_reuse(const Params& params,
+                                             sim::Time now) const {
+  const double v = value_at(params, now);
+  if (v <= params.reuse_threshold) return 0;
+  const double halves = std::log2(v / params.reuse_threshold);
+  const double ms = halves * static_cast<double>(params.half_life);
+  return static_cast<sim::Duration>(std::ceil(ms));
+}
+
+}  // namespace because::rfd

@@ -1,0 +1,51 @@
+// Per-prefix RFD penalty ("figure of merit") state machine.
+//
+// The penalty is stored as (value, timestamp) and decayed lazily: between
+// updates it decreases exponentially with the configured half-life, so we
+// never need periodic decay events. Suppression and release transitions are
+// reported to the caller, which schedules the deterministic reuse time.
+#pragma once
+
+#include "rfd/params.hpp"
+#include "sim/time.hpp"
+
+namespace because::rfd {
+
+enum class UpdateKind {
+  kWithdrawal,
+  kReadvertisement,    ///< announcement of a previously withdrawn route
+  kAttributeChange,    ///< announcement replacing an installed route
+  kInitialAdvertisement,  ///< first announcement ever seen (no penalty)
+};
+
+class PenaltyState {
+ public:
+  /// Penalty decayed to `now`.
+  double value_at(const Params& params, sim::Time now) const;
+
+  /// Apply one update event; decays first, then adds the event's penalty,
+  /// clamped to the ceiling. Returns the new penalty value.
+  double apply(const Params& params, UpdateKind kind, sim::Time now);
+
+  bool suppressed() const { return suppressed_; }
+
+  /// Transition to suppressed/released; the owner decides when based on
+  /// thresholds. Keeping the flag here makes invariants testable.
+  void set_suppressed(bool suppressed) { suppressed_ = suppressed; }
+
+  /// Time from `now` until the penalty decays to the reuse threshold
+  /// (0 if already below it).
+  sim::Duration time_until_reuse(const Params& params, sim::Time now) const;
+
+  /// Monotonically increasing token invalidating stale scheduled release
+  /// events: each apply() bumps it.
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  double value_ = 0.0;
+  sim::Time updated_at_ = 0;
+  bool suppressed_ = false;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace because::rfd

@@ -1,0 +1,164 @@
+#include "rov/rov.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "bgp/network.hpp"
+#include "labeling/path_key.hpp"
+#include "sim/event_queue.hpp"
+
+namespace because::rov {
+
+namespace {
+
+double labeled_share(const std::vector<topology::AsPath>& paths,
+                     const std::unordered_set<topology::AsId>& rov_ases) {
+  if (paths.empty()) return 0.0;
+  std::size_t labeled = 0;
+  for (const topology::AsPath& path : paths) {
+    for (topology::AsId as : path) {
+      if (rov_ases.count(as) != 0) {
+        ++labeled;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(labeled) / static_cast<double>(paths.size());
+}
+
+}  // namespace
+
+std::unordered_set<topology::AsId> plant_rov_ases(
+    const std::vector<topology::AsPath>& paths, double target_share,
+    std::size_t max_ases, stats::Rng& rng, std::size_t min_ases) {
+  // Candidate pool weighted by path frequency: ASs on many paths are the
+  // realistic ROV adopters (large transit networks) and reach the target
+  // share quickly, mirroring the paper's 90% ROV-path share.
+  std::unordered_map<topology::AsId, std::size_t> frequency;
+  for (const topology::AsPath& path : paths)
+    for (topology::AsId as : path) ++frequency[as];
+
+  std::vector<topology::AsId> pool;
+  pool.reserve(frequency.size());
+  for (const auto& [as, count] : frequency)
+    for (std::size_t k = 0; k < count; ++k) pool.push_back(as);
+  std::sort(pool.begin(), pool.end());  // deterministic base order
+
+  std::unordered_set<topology::AsId> rov;
+  while (rov.size() < max_ases && !pool.empty() &&
+         (rov.size() < min_ases || labeled_share(paths, rov) < target_share)) {
+    rov.insert(pool[rng.index(pool.size())]);
+  }
+  return rov;
+}
+
+RovMeasurement run_rov_measurement(const topology::AsGraph& graph,
+                                   const std::unordered_set<topology::AsId>& rov_ases,
+                                   const RovMeasurementConfig& config) {
+  RovMeasurement result;
+  result.rov_ases = rov_ases;
+
+  sim::EventQueue queue;
+  stats::Rng rng(config.seed);
+  bgp::Network network(graph, bgp::NetworkConfig{}, queue, rng);
+
+  const auto ids = graph.as_ids();
+
+  // Install RFC 6811 drop-invalid filters. The invalid prefixes are the
+  // odd-numbered ones of each origin's pair.
+  std::vector<bgp::Prefix> valid_prefixes, invalid_prefixes;
+  for (std::size_t o = 0; o < config.origins; ++o) {
+    valid_prefixes.push_back(bgp::Prefix{static_cast<std::uint32_t>(2 * o + 2), 24});
+    invalid_prefixes.push_back(bgp::Prefix{static_cast<std::uint32_t>(2 * o + 3), 24});
+  }
+  for (topology::AsId as : rov_ases)
+    for (const bgp::Prefix& invalid : invalid_prefixes)
+      network.router(as).add_rov_invalid(invalid);
+
+  // Pick origins (never ROV ASs: the experimenter controls them) and
+  // vantage points.
+  std::vector<topology::AsId> origin_pool;
+  for (topology::AsId as : ids)
+    if (rov_ases.count(as) == 0) origin_pool.push_back(as);
+  std::vector<topology::AsId> origins;
+  for (std::size_t o = 0; o < config.origins && !origin_pool.empty(); ++o)
+    origins.push_back(origin_pool[rng.index(origin_pool.size())]);
+
+  const std::size_t vp_count = std::min(config.vantage_points, ids.size());
+  const auto vp_picks = rng.sample_without_replacement(ids.size(), vp_count);
+
+  // Announce every pair and run to quiescence.
+  for (std::size_t o = 0; o < origins.size(); ++o) {
+    bgp::Router& router = network.router(origins[o]);
+    const bgp::Prefix valid = valid_prefixes[o];
+    const bgp::Prefix invalid = invalid_prefixes[o];
+    queue.schedule_at(sim::seconds(static_cast<sim::Time>(o)), [&router, valid] {
+      router.originate(valid, 0);
+    });
+    queue.schedule_at(sim::seconds(static_cast<sim::Time>(o)), [&router, invalid] {
+      router.originate(invalid, 0);
+    });
+  }
+  queue.run();
+
+  // Measure: compare valid vs invalid routes at every vantage point.
+  std::size_t rov_labeled = 0;
+  for (std::size_t pick : vp_picks) {
+    const topology::AsId vp = ids[pick];
+    const bgp::Router& router = network.router(vp);
+    for (std::size_t o = 0; o < origins.size(); ++o) {
+      const auto* valid_sel = router.loc_rib().find(valid_prefixes[o]);
+      if (valid_sel == nullptr) continue;  // VP cannot see this origin at all
+      topology::AsPath path{vp};
+      path.insert(path.end(), valid_sel->route.as_path.begin(),
+                  valid_sel->route.as_path.end());
+      path = labeling::clean_path(path);
+      if (path.empty()) continue;
+
+      const auto* invalid_sel = router.loc_rib().find(invalid_prefixes[o]);
+      bool measured_rov = true;
+      if (invalid_sel != nullptr) {
+        topology::AsPath invalid_path{vp};
+        invalid_path.insert(invalid_path.end(),
+                            invalid_sel->route.as_path.begin(),
+                            invalid_sel->route.as_path.end());
+        measured_rov = labeling::clean_path(invalid_path) != path;
+      }
+
+      const bool exact = std::any_of(path.begin(), path.end(),
+                                     [&](topology::AsId as) {
+                                       return rov_ases.count(as) != 0;
+                                     });
+      if (measured_rov != exact) ++result.label_disagreements;
+      if (measured_rov) ++rov_labeled;
+      ++result.paths_total;
+      result.dataset.add_path(path, measured_rov);
+    }
+  }
+  result.rov_path_share =
+      result.paths_total == 0
+          ? 0.0
+          : static_cast<double>(rov_labeled) /
+                static_cast<double>(result.paths_total);
+  return result;
+}
+
+RovBenchmark make_rov_benchmark(const std::vector<topology::AsPath>& paths,
+                                std::unordered_set<topology::AsId> rov_ases) {
+  RovBenchmark bench;
+  std::size_t labeled = 0;
+  for (const topology::AsPath& path : paths) {
+    const bool rov = std::any_of(path.begin(), path.end(), [&](topology::AsId as) {
+      return rov_ases.count(as) != 0;
+    });
+    if (rov) ++labeled;
+    bench.dataset.add_path(path, rov);
+  }
+  bench.rov_ases = std::move(rov_ases);
+  bench.rov_path_share =
+      paths.empty() ? 0.0
+                    : static_cast<double>(labeled) / static_cast<double>(paths.size());
+  return bench;
+}
+
+}  // namespace because::rov

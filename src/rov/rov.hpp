@@ -1,0 +1,67 @@
+// Route Origin Validation benchmark (§7).
+//
+// The paper benchmarks BeCAUSe on a *simulated* ROV measurement: real AS
+// paths are labeled ROV iff a known ROV-filtering AS is on the path (90% of
+// paths labeled ROV, no noise). We reproduce that construction: paths come
+// from the simulated topology, the ROV deployment set is planted so the
+// labeled share matches a target, labels are exact, and the same BeCAUSe
+// pipeline runs unchanged on the resulting dataset.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "labeling/dataset.hpp"
+#include "stats/rng.hpp"
+#include "topology/paths.hpp"
+
+namespace because::rov {
+
+struct RovBenchmark {
+  labeling::PathDataset dataset;
+  std::unordered_set<topology::AsId> rov_ases;  ///< planted ground truth
+  double rov_path_share = 0.0;                  ///< fraction of ROV paths
+};
+
+/// Plant a ROV deployment: repeatedly add a random AS (preferring ones that
+/// appear on many paths) until at least `target_share` of `paths` contain a
+/// ROV AS *and* at least `min_ases` ASs are deployed, stopping at
+/// `max_ases`. The minimum mirrors the paper's dataset, where dozens of
+/// known ROV ASs produce a 90% ROV path share (most of them "hiding" behind
+/// the large ones - the §7 recall limit).
+std::unordered_set<topology::AsId> plant_rov_ases(
+    const std::vector<topology::AsPath>& paths, double target_share,
+    std::size_t max_ases, stats::Rng& rng, std::size_t min_ases = 0);
+
+/// Label `paths` against `rov_ases` and assemble the tomography dataset.
+RovBenchmark make_rov_benchmark(const std::vector<topology::AsPath>& paths,
+                                std::unordered_set<topology::AsId> rov_ases);
+
+/// A fully *measured* ROV experiment (the Reuter-style methodology the
+/// paper's §7 data sources build on): each origin announces a valid/invalid
+/// prefix pair; ROV ASs drop the invalid one on import (RFC 6811); at each
+/// vantage point the valid-prefix path is labeled ROV iff the invalid
+/// prefix is missing or arrives on a different path (it was filtered
+/// somewhere along the valid route).
+struct RovMeasurementConfig {
+  std::size_t origins = 3;          ///< beacon origins (one prefix pair each)
+  std::size_t vantage_points = 25;
+  std::uint64_t seed = 7;
+};
+
+struct RovMeasurement {
+  /// Valid-prefix paths with measured ROV labels.
+  labeling::PathDataset dataset;
+  std::unordered_set<topology::AsId> rov_ases;  ///< planted ground truth
+  double rov_path_share = 0.0;
+  std::size_t paths_total = 0;
+  /// Paths whose measured label disagrees with exact set membership
+  /// (possible when filtering reroutes the invalid prefix upstream).
+  std::size_t label_disagreements = 0;
+};
+
+RovMeasurement run_rov_measurement(const topology::AsGraph& graph,
+                                   const std::unordered_set<topology::AsId>& rov_ases,
+                                   const RovMeasurementConfig& config = {});
+
+}  // namespace because::rov

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace because::sim {
+
+void EventQueue::schedule_at(Time when, Action action) {
+  if (when < now_)
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  queue_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(Duration delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+std::uint64_t EventQueue::run() {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    // Move the action out before popping so re-entrant scheduling is safe.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.when;
+    entry.action();
+    ++count;
+    ++executed_;
+  }
+  return count;
+}
+
+std::uint64_t EventQueue::run_until(Time deadline) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.when;
+    entry.action();
+    ++count;
+    ++executed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace because::sim

@@ -1,0 +1,64 @@
+// Deterministic discrete-event engine.
+//
+// Events are (time, sequence, action) triples; ties on time are broken by
+// insertion order, which makes entire campaigns reproducible bit-for-bit for
+// a fixed RNG seed. The engine is intentionally minimal: the BGP network,
+// beacons and collectors schedule closures on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace because::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current simulation time; advances only inside run()/run_until().
+  Time now() const { return now_; }
+
+  /// Schedule `action` at absolute time `when` (must be >= now()).
+  void schedule_at(Time when, Action action);
+
+  /// Schedule `action` `delay` after the current time.
+  void schedule_in(Duration delay, Action action);
+
+  /// Run until the queue drains. Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Run events with time <= `deadline`; the clock ends at `deadline`.
+  std::uint64_t run_until(Time deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace because::sim

@@ -1,0 +1,26 @@
+// Simulation time.
+//
+// All simulator time is integral milliseconds since campaign start. An
+// integral clock keeps event ordering exact and runs reproducibly across
+// platforms (no floating-point drift over two-month campaigns).
+#pragma once
+
+#include <cstdint>
+
+namespace because::sim {
+
+/// Milliseconds since simulation start.
+using Time = std::int64_t;
+
+/// Duration in milliseconds.
+using Duration = std::int64_t;
+
+constexpr Duration milliseconds(std::int64_t ms) { return ms; }
+constexpr Duration seconds(std::int64_t s) { return s * 1000; }
+constexpr Duration minutes(std::int64_t m) { return m * 60 * 1000; }
+constexpr Duration hours(std::int64_t h) { return h * 60 * 60 * 1000; }
+
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double to_minutes(Duration d) { return static_cast<double>(d) / 60e3; }
+
+}  // namespace because::sim

@@ -1,0 +1,103 @@
+#include "stats/beta.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace because::stats {
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (Numerical-Recipes
+/// style modified Lentz algorithm).
+double beta_continued_fraction(double x, double a, double b) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 1e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+void require_params(double a, double b) {
+  if (a <= 0.0 || b <= 0.0)
+    throw std::invalid_argument("beta: parameters must be positive");
+}
+
+}  // namespace
+
+double log_beta(double a, double b) {
+  require_params(a, b);
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double beta_pdf(double x, double a, double b) {
+  require_params(a, b);
+  if (x < 0.0 || x > 1.0) return 0.0;
+  if (x == 0.0) return a < 1.0 ? INFINITY : (a == 1.0 ? b : 0.0);
+  if (x == 1.0) return b < 1.0 ? INFINITY : (b == 1.0 ? a : 0.0);
+  return std::exp((a - 1.0) * std::log(x) + (b - 1.0) * std::log(1.0 - x) -
+                  log_beta(a, b));
+}
+
+double beta_cdf(double x, double a, double b) {
+  require_params(a, b);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+
+  const double log_front = a * std::log(x) + b * std::log(1.0 - x) -
+                           std::log(a) - log_beta(a, b);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return std::exp(log_front) * beta_continued_fraction(x, a, b);
+  }
+  const double log_front_sym = b * std::log(1.0 - x) + a * std::log(x) -
+                               std::log(b) - log_beta(b, a);
+  return 1.0 - std::exp(log_front_sym) * beta_continued_fraction(1.0 - x, b, a);
+}
+
+double beta_quantile(double q, double a, double b) {
+  require_params(a, b);
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("beta_quantile: q outside [0,1]");
+  if (q == 0.0) return 0.0;
+  if (q == 1.0) return 1.0;
+
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (beta_cdf(mid, a, b) < q) lo = mid;
+    else hi = mid;
+    if (hi - lo < 1e-13) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace because::stats

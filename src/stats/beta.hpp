@@ -1,0 +1,26 @@
+// Beta distribution functions: pdf, cdf (regularized incomplete beta) and
+// quantile.
+//
+// Used for analytic cross-checks of the samplers: a single-AS tomography
+// dataset with k property-paths out of n has the conjugate posterior
+// Beta(alpha + k, beta + n - k), so MCMC marginals can be verified against
+// closed form (see mcmc conjugacy tests), and HDPI coverage can be checked
+// against exact quantiles.
+#pragma once
+
+namespace because::stats {
+
+/// log Beta function log B(a, b).
+double log_beta(double a, double b);
+
+/// Beta(a, b) density at x in [0, 1].
+double beta_pdf(double x, double a, double b);
+
+/// Regularized incomplete beta I_x(a, b) = P(X <= x) for X ~ Beta(a, b).
+/// Continued-fraction evaluation (Lentz), accurate to ~1e-12.
+double beta_cdf(double x, double a, double b);
+
+/// Inverse CDF by bisection on beta_cdf; q in [0, 1].
+double beta_quantile(double q, double a, double b);
+
+}  // namespace because::stats

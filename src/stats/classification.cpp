@@ -1,0 +1,42 @@
+#include "stats/classification.hpp"
+
+namespace because::stats {
+
+void ConfusionMatrix::add(bool predicted, bool actual) {
+  if (predicted && actual) ++true_positives;
+  else if (predicted && !actual) ++false_positives;
+  else if (!predicted && actual) ++false_negatives;
+  else ++true_negatives;
+}
+
+std::size_t ConfusionMatrix::total() const {
+  return true_positives + false_positives + true_negatives + false_negatives;
+}
+
+double ConfusionMatrix::precision() const {
+  const std::size_t denom = true_positives + false_positives;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const std::size_t denom = true_positives + false_negatives;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 1.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(n);
+}
+
+}  // namespace because::stats

@@ -1,0 +1,34 @@
+// Binary-classification scoring (precision / recall / F1).
+//
+// Used to reproduce Table 4: algorithm performance against ground truth.
+#pragma once
+
+#include <cstddef>
+
+namespace because::stats {
+
+struct ConfusionMatrix {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;
+
+  /// Record one (predicted, actual) pair.
+  void add(bool predicted, bool actual);
+
+  std::size_t total() const;
+
+  /// TP / (TP + FP); 1.0 when no positives were predicted (vacuous precision,
+  /// matching the paper's convention of reporting 100% with zero FPs).
+  double precision() const;
+
+  /// TP / (TP + FN); 1.0 when there are no actual positives.
+  double recall() const;
+
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double f1() const;
+
+  double accuracy() const;
+};
+
+}  // namespace because::stats

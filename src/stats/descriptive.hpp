@@ -1,0 +1,30 @@
+// Descriptive statistics over sample vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace because::stats {
+
+/// Arithmetic mean. Empty input throws.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Needs >= 2 samples.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Empirical quantile with linear interpolation; q in [0,1].
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length vectors.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace because::stats

@@ -1,0 +1,43 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  if (samples_.empty()) throw std::invalid_argument("Ecdf: empty sample");
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double Ecdf::at(double x) const {
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Ecdf::quantile: q outside [0,1]");
+  if (samples_.size() == 1) return samples_[0];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  if (points < 2) throw std::invalid_argument("Ecdf::curve: need >= 2 points");
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+}  // namespace because::stats

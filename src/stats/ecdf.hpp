@@ -1,0 +1,34 @@
+// Empirical cumulative distribution function.
+//
+// Figures 8 and 13 of the paper are CDFs (propagation time; re-advertisement
+// delta). Ecdf stores the sorted sample and answers F(x) queries plus
+// evenly-spaced rendering points for bench output.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace because::stats {
+
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  double at(double x) const;
+
+  /// Inverse CDF with linear interpolation; q in [0,1].
+  double quantile(double q) const;
+
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<double>& sorted_samples() const { return samples_; }
+
+  /// `points` (x, F(x)) pairs spanning the sample range, for plotting/tables.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> samples_;  // sorted ascending
+};
+
+}  // namespace because::stats

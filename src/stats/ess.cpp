@@ -1,0 +1,44 @@
+#include "stats/ess.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::stats {
+
+double autocorrelation(std::span<const double> chain, std::size_t lag) {
+  const std::size_t n = chain.size();
+  if (n < 2) throw std::invalid_argument("autocorrelation: need >= 2 samples");
+  if (lag >= n) return 0.0;
+
+  double m = 0.0;
+  for (double x : chain) m += x;
+  m /= static_cast<double>(n);
+
+  double denom = 0.0;
+  for (double x : chain) denom += (x - m) * (x - m);
+  if (denom == 0.0) return 0.0;
+
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i)
+    num += (chain[i] - m) * (chain[i + lag] - m);
+  return num / denom;
+}
+
+double effective_sample_size(std::span<const double> chain) {
+  const std::size_t n = chain.size();
+  if (n < 4) return static_cast<double>(n);
+
+  // Geyer initial positive sequence over paired lags.
+  double rho_sum = 0.0;
+  for (std::size_t lag = 1; lag + 1 < n; lag += 2) {
+    const double pair =
+        autocorrelation(chain, lag) + autocorrelation(chain, lag + 1);
+    if (pair <= 0.0) break;
+    rho_sum += pair;
+  }
+  const double denom = 1.0 + 2.0 * rho_sum;
+  if (denom <= 0.0) return static_cast<double>(n);
+  return std::min(static_cast<double>(n), static_cast<double>(n) / denom);
+}
+
+}  // namespace because::stats

@@ -1,0 +1,20 @@
+// MCMC chain diagnostics: autocorrelation and effective sample size.
+//
+// Used in tests and the sampler micro-benchmarks to check that MH and HMC
+// chains actually mix on the tomography posterior.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace because::stats {
+
+/// Autocorrelation of the chain at `lag` (biased estimator, standard for
+/// ESS computation). Returns 0 for a constant chain.
+double autocorrelation(std::span<const double> chain, std::size_t lag);
+
+/// Effective sample size via Geyer's initial positive sequence: sum
+/// consecutive autocorrelations until the pairwise sum goes non-positive.
+double effective_sample_size(std::span<const double> chain);
+
+}  // namespace because::stats

@@ -1,0 +1,35 @@
+#include "stats/hdpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace because::stats {
+
+Interval hdpi(std::span<const double> samples, double mass) {
+  if (samples.empty()) throw std::invalid_argument("hdpi: empty sample");
+  if (mass <= 0.0 || mass > 1.0) throw std::invalid_argument("hdpi: mass outside (0,1]");
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const auto window = std::min<std::size_t>(
+      n, std::max<std::size_t>(
+             1, static_cast<std::size_t>(std::ceil(mass * static_cast<double>(n)))));
+
+  if (window == n) return Interval{sorted.front(), sorted.back()};
+
+  std::size_t best = 0;
+  double best_width = sorted[window - 1] - sorted[0];
+  for (std::size_t i = 1; i + window <= n; ++i) {
+    const double width = sorted[i + window - 1] - sorted[i];
+    if (width < best_width) {
+      best_width = width;
+      best = i;
+    }
+  }
+  return Interval{sorted[best], sorted[best + window - 1]};
+}
+
+}  // namespace because::stats

@@ -1,0 +1,24 @@
+// Highest Posterior Density Interval (the paper writes "HDPI").
+//
+// The smallest interval [A, B] containing a `mass` fraction of the posterior
+// samples (§5.1.2). Its width quantifies the uncertainty of the mean
+// estimate; Figure 11's y-axis is 1 - width.
+#pragma once
+
+#include <span>
+
+namespace because::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double width() const { return hi - lo; }
+  bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/// Smallest interval containing `mass` (default 0.95) of the samples.
+/// Computed over the sorted sample by sliding a window of ceil(mass*n)
+/// samples and picking the narrowest span.
+Interval hdpi(std::span<const double> samples, double mass = 0.95);
+
+}  // namespace because::stats

@@ -1,0 +1,49 @@
+// Fixed-bin histogram.
+//
+// Used by the burst-slope heuristic (Figure 10 groups announcements into 40
+// time intervals) and by posterior-marginal rendering (Figure 9).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace because::stats {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi). Values outside are clamped into
+  /// the first/last bin so bursts with boundary timestamps are not lost.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+
+  /// Center of bin `bin` on the value axis.
+  double bin_center(std::size_t bin) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Bin heights as doubles (for regression over histogram heights).
+  std::vector<double> heights() const;
+
+  /// Heights normalised so they sum to 1. Empty histogram returns zeros.
+  std::vector<double> normalized() const;
+
+  /// Compact ASCII sparkline of the histogram (for bench output).
+  std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace because::stats

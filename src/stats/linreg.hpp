@@ -1,0 +1,26 @@
+// Ordinary least squares fit of y = intercept + slope * x.
+//
+// The paper's third heuristic (§5.2.3) fits a line to the histogram heights
+// of announcements during a Burst and scores the slope / relative change.
+#pragma once
+
+#include <span>
+
+namespace because::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination; 0 when y has no variance.
+  double r_squared = 0.0;
+
+  double at(double x) const { return intercept + slope * x; }
+};
+
+/// Least-squares fit. Requires >= 2 points and non-constant x.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Convenience: fit y over x = 0,1,2,... (histogram-height regression).
+LinearFit linear_fit_indexed(std::span<const double> ys);
+
+}  // namespace because::stats

@@ -1,0 +1,59 @@
+#include "stats/rhat.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace because::stats {
+
+double gelman_rubin(const std::vector<std::vector<double>>& chains) {
+  if (chains.size() < 2)
+    throw std::invalid_argument("gelman_rubin: need >= 2 chains");
+  std::size_t len = chains.front().size();
+  for (const auto& chain : chains) {
+    if (chain.size() != len)
+      throw std::invalid_argument("gelman_rubin: unequal chain lengths");
+  }
+  if (len < 4) throw std::invalid_argument("gelman_rubin: chains too short");
+
+  // Split each chain in half.
+  std::vector<std::vector<double>> segments;
+  const std::size_t half = len / 2;
+  for (const auto& chain : chains) {
+    segments.emplace_back(chain.begin(), chain.begin() + half);
+    segments.emplace_back(chain.begin() + half, chain.begin() + 2 * half);
+  }
+
+  const auto m = static_cast<double>(segments.size());
+  const auto n = static_cast<double>(half);
+
+  std::vector<double> segment_means;
+  double within = 0.0;
+  for (const auto& segment : segments) {
+    segment_means.push_back(mean(segment));
+    within += variance(segment);
+  }
+  within /= m;
+
+  const double grand = mean(segment_means);
+  double between = 0.0;
+  for (double sm : segment_means) between += (sm - grand) * (sm - grand);
+  between *= n / (m - 1.0);
+
+  // Degenerate (near-)constant segments: floating-point summation can leave
+  // a vanishing but nonzero within-variance, so compare against the scale
+  // of the values rather than exact zero.
+  const double scale = 1.0 + std::abs(grand);
+  if (within <= 1e-12 * scale * scale) {
+    return between <= 1e-12 * scale * scale
+               ? 1.0
+               : std::numeric_limits<double>::infinity();
+  }
+
+  const double var_plus = ((n - 1.0) / n) * within + between / n;
+  return std::sqrt(var_plus / within);
+}
+
+}  // namespace because::stats

@@ -1,0 +1,21 @@
+// Gelman-Rubin convergence diagnostic (potential scale reduction factor).
+//
+// Standard practice for the MCMC methods BeCAUSe relies on: run several
+// chains from dispersed starting points and compare within-chain to
+// between-chain variance. R-hat near 1 indicates the chains sample the same
+// distribution; values above ~1.1 flag non-convergence (e.g. chains stuck
+// in different modes of the damper/confounder posterior).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace because::stats {
+
+/// Split-R-hat over M chains of equal length for one scalar parameter.
+/// Each chain is split in half (so M*2 segments), which also detects
+/// within-chain drift. Requires >= 2 chains with >= 4 samples each.
+/// Returns 1.0 for perfectly agreeing constant chains.
+double gelman_rubin(const std::vector<std::vector<double>>& chains);
+
+}  // namespace because::stats

@@ -1,0 +1,73 @@
+#include "stats/rng.hpp"
+
+#include <stdexcept>
+
+namespace because::stats {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::gamma(double shape, double scale) {
+  return std::gamma_distribution<double>(shape, scale)(engine_);
+}
+
+double Rng::beta(double alpha, double beta) {
+  if (alpha <= 0.0 || beta <= 0.0)
+    throw std::invalid_argument("Rng::beta: parameters must be positive");
+  const double x = gamma(alpha, 1.0);
+  const double y = gamma(beta, 1.0);
+  if (x + y == 0.0) return 0.5;
+  return x / (x + y);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(
+      std::uniform_int_distribution<std::uint64_t>(0, size - 1)(engine_));
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: only the first k slots need to be randomised.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::fork() {
+  const std::uint64_t child_seed = engine_() ^ 0x9e3779b97f4a7c15ULL;
+  return Rng(child_seed);
+}
+
+}  // namespace because::stats

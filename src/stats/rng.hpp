@@ -1,0 +1,71 @@
+// Seeded random number generation.
+//
+// A single wrapper type so every stochastic component (topology generator,
+// deployment sampler, MCMC proposals, noise injection) draws from an
+// explicitly seeded stream and experiments replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace because::stats {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal draw.
+  double normal();
+
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with success probability `p`.
+  bool bernoulli(double p);
+
+  /// Gamma(shape, scale) draw; used to build Beta variates.
+  double gamma(double shape, double scale);
+
+  /// Beta(alpha, beta) draw via two Gammas.
+  double beta(double alpha, double beta);
+
+  /// Exponential with given mean.
+  double exponential(double mean);
+
+  /// Choose an index in [0, size) uniformly. `size` must be > 0.
+  std::size_t index(std::size_t size);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample `k` distinct indices from [0, n) without replacement.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Fork a child stream whose seed derives from this stream. Children are
+  /// independent for all practical purposes and keep module seeds decoupled.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace because::stats

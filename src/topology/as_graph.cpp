@@ -1,0 +1,111 @@
+#include "topology/as_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace because::topology {
+
+Relation reverse(Relation r) {
+  switch (r) {
+    case Relation::kCustomer: return Relation::kProvider;
+    case Relation::kProvider: return Relation::kCustomer;
+    case Relation::kPeer: return Relation::kPeer;
+  }
+  throw std::logic_error("reverse: bad relation");
+}
+
+std::string to_string(Relation r) {
+  switch (r) {
+    case Relation::kCustomer: return "customer";
+    case Relation::kProvider: return "provider";
+    case Relation::kPeer: return "peer";
+  }
+  return "?";
+}
+
+std::string to_string(Tier t) {
+  switch (t) {
+    case Tier::kTier1: return "tier1";
+    case Tier::kTransit: return "transit";
+    case Tier::kStub: return "stub";
+  }
+  return "?";
+}
+
+void AsGraph::add_as(AsId id, Tier tier) {
+  auto [it, inserted] = nodes_.try_emplace(id, Node{tier, {}});
+  if (!inserted && it->second.tier != tier)
+    throw std::invalid_argument("AsGraph: AS re-added with different tier");
+}
+
+AsGraph::Node& AsGraph::node(AsId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("AsGraph: unknown AS");
+  return it->second;
+}
+
+const AsGraph::Node& AsGraph::node(AsId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("AsGraph: unknown AS");
+  return it->second;
+}
+
+void AsGraph::add_edge(AsId from, AsId to, Relation rel) {
+  node(from).neighbors.push_back(Neighbor{to, rel});
+}
+
+void AsGraph::add_provider_customer(AsId provider, AsId customer) {
+  if (provider == customer)
+    throw std::invalid_argument("AsGraph: self link");
+  if (has_link(provider, customer))
+    throw std::invalid_argument("AsGraph: duplicate link");
+  add_edge(provider, customer, Relation::kCustomer);
+  add_edge(customer, provider, Relation::kProvider);
+  ++link_count_;
+}
+
+void AsGraph::add_peering(AsId a, AsId b) {
+  if (a == b) throw std::invalid_argument("AsGraph: self link");
+  if (has_link(a, b)) throw std::invalid_argument("AsGraph: duplicate link");
+  add_edge(a, b, Relation::kPeer);
+  add_edge(b, a, Relation::kPeer);
+  ++link_count_;
+}
+
+bool AsGraph::contains(AsId id) const { return nodes_.count(id) != 0; }
+
+bool AsGraph::has_link(AsId a, AsId b) const {
+  if (!contains(a) || !contains(b)) return false;
+  const auto& nbrs = node(a).neighbors;
+  return std::any_of(nbrs.begin(), nbrs.end(),
+                     [b](const Neighbor& n) { return n.id == b; });
+}
+
+std::optional<Relation> AsGraph::relation(AsId a, AsId b) const {
+  for (const Neighbor& n : node(a).neighbors)
+    if (n.id == b) return n.relation;
+  return std::nullopt;
+}
+
+Tier AsGraph::tier(AsId id) const { return node(id).tier; }
+
+const std::vector<Neighbor>& AsGraph::neighbors(AsId id) const {
+  return node(id).neighbors;
+}
+
+std::vector<AsId> AsGraph::neighbors_with(AsId id, Relation r) const {
+  std::vector<AsId> out;
+  for (const Neighbor& n : node(id).neighbors)
+    if (n.relation == r) out.push_back(n.id);
+  return out;
+}
+
+std::vector<AsId> AsGraph::as_ids() const {
+  std::vector<AsId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, _] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace because::topology

@@ -1,0 +1,80 @@
+// AS-level topology with business relationships.
+//
+// Inter-domain routing policy (Gao-Rexford) is driven by the relationship on
+// each link: customer-provider or peer-peer. The graph stores, for every AS,
+// its neighbor set annotated with the relationship *as seen from that AS*.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace because::topology {
+
+/// Autonomous system number.
+using AsId = std::uint32_t;
+
+/// Relationship of a neighbor as seen from the local AS.
+enum class Relation : std::uint8_t {
+  kCustomer,  ///< the neighbor pays us for transit
+  kProvider,  ///< we pay the neighbor for transit
+  kPeer,      ///< settlement-free peering
+};
+
+Relation reverse(Relation r);
+std::string to_string(Relation r);
+
+/// Tier annotation used by the generator and by scenario builders.
+enum class Tier : std::uint8_t { kTier1, kTransit, kStub };
+std::string to_string(Tier t);
+
+struct Neighbor {
+  AsId id;
+  Relation relation;
+};
+
+class AsGraph {
+ public:
+  /// Add an AS; idempotent for an existing id with the same tier.
+  void add_as(AsId id, Tier tier);
+
+  /// Add a link where `provider` sells transit to `customer`.
+  void add_provider_customer(AsId provider, AsId customer);
+
+  /// Add a settlement-free peering link.
+  void add_peering(AsId a, AsId b);
+
+  bool contains(AsId id) const;
+  bool has_link(AsId a, AsId b) const;
+
+  /// Relationship of `b` as seen from `a`; nullopt if not adjacent.
+  std::optional<Relation> relation(AsId a, AsId b) const;
+
+  Tier tier(AsId id) const;
+
+  const std::vector<Neighbor>& neighbors(AsId id) const;
+
+  /// Neighbors of `id` filtered by relation.
+  std::vector<AsId> neighbors_with(AsId id, Relation r) const;
+
+  std::vector<AsId> as_ids() const;  // sorted ascending
+  std::size_t as_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return link_count_; }
+
+ private:
+  struct Node {
+    Tier tier;
+    std::vector<Neighbor> neighbors;
+  };
+
+  Node& node(AsId id);
+  const Node& node(AsId id) const;
+  void add_edge(AsId from, AsId to, Relation rel);
+
+  std::unordered_map<AsId, Node> nodes_;
+  std::size_t link_count_ = 0;
+};
+
+}  // namespace because::topology

@@ -1,0 +1,104 @@
+#include "topology/generator.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace because::topology {
+
+namespace {
+
+void validate(const GeneratorConfig& c) {
+  if (c.tier1_count == 0)
+    throw std::invalid_argument("generate: need at least one tier-1 AS");
+  if (c.transit_min_providers == 0 || c.transit_min_providers > c.transit_max_providers)
+    throw std::invalid_argument("generate: bad transit provider range");
+  if (c.stub_min_providers == 0 || c.stub_min_providers > c.stub_max_providers)
+    throw std::invalid_argument("generate: bad stub provider range");
+  if (c.transit_count == 0 && c.stub_count > 0 && c.stub_tier1_provider_prob < 1.0)
+    throw std::invalid_argument("generate: stubs need transit providers");
+}
+
+/// Pick a provider from `candidates` that is not already linked to `as`.
+/// Returns false if every candidate is exhausted.
+bool pick_provider(const std::vector<AsId>& candidates, AsId as, const AsGraph& graph,
+                   stats::Rng& rng, AsId& out) {
+  // Rejection-sample a few times, then scan; candidate lists are small.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const AsId cand = candidates[rng.index(candidates.size())];
+    if (cand != as && !graph.has_link(cand, as)) {
+      out = cand;
+      return true;
+    }
+  }
+  for (AsId cand : candidates) {
+    if (cand != as && !graph.has_link(cand, as)) {
+      out = cand;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AsGraph generate(const GeneratorConfig& config, stats::Rng& rng) {
+  validate(config);
+  AsGraph graph;
+
+  std::vector<AsId> tier1s, transits;
+  AsId next = config.first_as;
+
+  for (std::uint32_t i = 0; i < config.tier1_count; ++i) {
+    graph.add_as(next, Tier::kTier1);
+    tier1s.push_back(next++);
+  }
+  // Tier-1 full mesh of peerings: the defining property of the core clique.
+  for (std::size_t i = 0; i < tier1s.size(); ++i)
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j)
+      graph.add_peering(tier1s[i], tier1s[j]);
+
+  for (std::uint32_t i = 0; i < config.transit_count; ++i) {
+    const AsId as = next++;
+    graph.add_as(as, Tier::kTransit);
+    const auto want = static_cast<std::uint32_t>(rng.uniform_int(
+        config.transit_min_providers, config.transit_max_providers));
+    for (std::uint32_t k = 0; k < want; ++k) {
+      const bool use_tier1 =
+          transits.empty() || rng.bernoulli(config.transit_tier1_provider_prob);
+      const auto& pool = use_tier1 ? tier1s : transits;
+      AsId provider;
+      if (pick_provider(pool, as, graph, rng, provider))
+        graph.add_provider_customer(provider, as);
+    }
+    transits.push_back(as);
+  }
+
+  // Lateral transit peerings (IXP-style shortcuts).
+  if (transits.size() >= 2) {
+    for (std::uint32_t i = 0; i < config.transit_count; ++i) {
+      if (!rng.bernoulli(config.transit_peering_prob)) continue;
+      const AsId a = transits[rng.index(transits.size())];
+      const AsId b = transits[rng.index(transits.size())];
+      if (a != b && !graph.has_link(a, b)) graph.add_peering(a, b);
+    }
+  }
+
+  for (std::uint32_t i = 0; i < config.stub_count; ++i) {
+    const AsId as = next++;
+    graph.add_as(as, Tier::kStub);
+    const auto want = static_cast<std::uint32_t>(
+        rng.uniform_int(config.stub_min_providers, config.stub_max_providers));
+    for (std::uint32_t k = 0; k < want; ++k) {
+      const bool use_tier1 =
+          transits.empty() || rng.bernoulli(config.stub_tier1_provider_prob);
+      const auto& pool = use_tier1 ? tier1s : transits;
+      AsId provider;
+      if (pick_provider(pool, as, graph, rng, provider))
+        graph.add_provider_customer(provider, as);
+    }
+  }
+
+  return graph;
+}
+
+}  // namespace because::topology

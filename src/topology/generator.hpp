@@ -1,0 +1,53 @@
+// Synthetic Internet-like AS topology generator.
+//
+// Three-tier hierarchy mirroring the measured Internet's structure:
+//   - a clique of tier-1 providers (settlement-free peers of each other),
+//   - transit ASs buying from tier-1s / other transits, with some lateral
+//     peering (IXP-style),
+//   - stub ASs multi-homed to one or more transit providers.
+//
+// The generator is fully seeded; a (config, seed) pair always yields the
+// same graph, which keeps every experiment reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+#include "topology/as_graph.hpp"
+
+namespace because::topology {
+
+struct GeneratorConfig {
+  std::uint32_t tier1_count = 8;
+  std::uint32_t transit_count = 120;
+  std::uint32_t stub_count = 600;
+
+  /// Providers per transit AS are drawn uniformly from this range.
+  std::uint32_t transit_min_providers = 1;
+  std::uint32_t transit_max_providers = 3;
+
+  /// Probability that a transit AS's provider is a tier-1 (otherwise an
+  /// earlier transit AS, producing deeper hierarchies).
+  double transit_tier1_provider_prob = 0.5;
+
+  /// Probability of a lateral peering between two random transit ASs,
+  /// applied `transit_count` times.
+  double transit_peering_prob = 0.3;
+
+  /// Providers per stub AS are drawn uniformly from this range (multi-homing).
+  std::uint32_t stub_min_providers = 1;
+  std::uint32_t stub_max_providers = 2;
+
+  /// Probability a stub homes directly to a tier-1 instead of a transit.
+  double stub_tier1_provider_prob = 0.05;
+
+  /// First AS number assigned; ASs are numbered consecutively from here,
+  /// tier-1s first, then transits, then stubs.
+  AsId first_as = 10;
+};
+
+/// Generate a topology. Throws std::invalid_argument for degenerate configs
+/// (no tier-1s, provider ranges inverted, ...).
+AsGraph generate(const GeneratorConfig& config, stats::Rng& rng);
+
+}  // namespace because::topology

@@ -1,0 +1,84 @@
+#include "topology/paths.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace because::topology {
+
+bool has_loop(const AsPath& path) {
+  std::unordered_set<AsId> seen;
+  for (AsId as : path)
+    if (!seen.insert(as).second) return true;
+  return false;
+}
+
+AsPath strip_prepending(const AsPath& path) {
+  AsPath out;
+  out.reserve(path.size());
+  for (AsId as : path)
+    if (out.empty() || out.back() != as) out.push_back(as);
+  return out;
+}
+
+bool is_valley_free(const AsGraph& graph, const AsPath& path) {
+  if (path.size() < 2) return true;
+  // Walk origin -> observer. Phases: climbing (customer->provider), one
+  // optional peer crossing, then descending (provider->customer).
+  enum class Phase { kClimb, kDescend };
+  Phase phase = Phase::kClimb;
+  bool crossed_peer = false;
+
+  for (std::size_t i = path.size() - 1; i > 0; --i) {
+    const AsId from = path[i];
+    const AsId to = path[i - 1];
+    const auto rel = graph.relation(from, to);
+    if (!rel.has_value()) return false;  // not adjacent: not a real path
+    switch (*rel) {
+      case Relation::kProvider:
+        // from's provider carries the route upward; only legal while climbing.
+        if (phase != Phase::kClimb || crossed_peer) return false;
+        break;
+      case Relation::kPeer:
+        if (phase != Phase::kClimb || crossed_peer) return false;
+        crossed_peer = true;
+        phase = Phase::kDescend;
+        break;
+      case Relation::kCustomer:
+        phase = Phase::kDescend;
+        break;
+    }
+  }
+  return true;
+}
+
+std::unordered_set<AsId> customer_cone(const AsGraph& graph, AsId as) {
+  std::unordered_set<AsId> cone;
+  std::deque<AsId> frontier{as};
+  while (!frontier.empty()) {
+    const AsId current = frontier.front();
+    frontier.pop_front();
+    for (AsId customer : graph.neighbors_with(current, Relation::kCustomer)) {
+      if (customer == as) continue;
+      if (cone.insert(customer).second) frontier.push_back(customer);
+    }
+  }
+  return cone;
+}
+
+std::size_t customer_cone_size(const AsGraph& graph, AsId as) {
+  return customer_cone(graph, as).size();
+}
+
+std::vector<std::pair<AsId, AsId>> links_on_path(const AsPath& path) {
+  std::vector<std::pair<AsId, AsId>> out;
+  if (path.size() < 2) return out;
+  out.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const AsId a = std::min(path[i], path[i + 1]);
+    const AsId b = std::max(path[i], path[i + 1]);
+    if (a != b) out.emplace_back(a, b);
+  }
+  return out;
+}
+
+}  // namespace because::topology

@@ -1,0 +1,41 @@
+// AS-path utilities: valley-free validation, prepending cleanup,
+// customer cones and reachability.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace because::topology {
+
+/// An AS path in BGP order: path.front() is the AS nearest the observer,
+/// path.back() the origin AS.
+using AsPath = std::vector<AsId>;
+
+/// True if the path contains the same AS twice (routing loop).
+bool has_loop(const AsPath& path);
+
+/// Remove consecutive duplicates (AS-path prepending), preserving order.
+/// "A A B C C" -> "A B C". Matches the paper's path cleaning step (§4.2).
+AsPath strip_prepending(const AsPath& path);
+
+/// Valley-free (Gao-Rexford) check. Walking from the origin towards the
+/// observer, a path must climb customer->provider links, optionally cross
+/// at most one peer link at the top, then descend provider->customer links.
+/// Every AS on the path must be adjacent to the next under `graph`.
+bool is_valley_free(const AsGraph& graph, const AsPath& path);
+
+/// The customer cone of `as`: all ASs reachable by repeatedly following
+/// provider->customer edges, excluding `as` itself.
+std::unordered_set<AsId> customer_cone(const AsGraph& graph, AsId as);
+
+/// Number of ASs in the customer cone.
+std::size_t customer_cone_size(const AsGraph& graph, AsId as);
+
+/// Adjacent AS pairs appearing on `path`, normalised so that pair.first <
+/// pair.second. Used for the Figure 6 link-overlap analysis.
+std::vector<std::pair<AsId, AsId>> links_on_path(const AsPath& path);
+
+}  // namespace because::topology

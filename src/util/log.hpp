@@ -1,0 +1,51 @@
+// Minimal leveled logger used across the library.
+//
+// The library is deterministic and single-threaded by design (the discrete
+// event simulator owns the clock), so the logger keeps no locks. Output goes
+// to stderr so bench/table output on stdout stays machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace because::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// tests and benches are quiet unless a caller opts in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (no trailing newline required in `message`).
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace because::util

@@ -1,0 +1,31 @@
+// Small string helpers shared by table rendering and bench output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace because::util {
+
+/// Join `parts` with `sep` ("a", "b" -> "a,b").
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split `text` on `sep` (no empty-token collapsing).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Render a double with `digits` decimal places ("3.14").
+std::string fmt_double(double value, int digits = 3);
+
+/// Render a fraction in [0,1] as a percentage string ("12.5%").
+std::string fmt_percent(double fraction, int digits = 1);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Left-pad with spaces to at least `width` characters.
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pad with spaces to at least `width` characters.
+std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace because::util

@@ -1,0 +1,32 @@
+// ASCII table and CSV rendering for bench binaries.
+//
+// Every bench prints the rows/series of one paper table or figure; Table
+// keeps that output uniform and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace because::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with aligned columns, a header underline, and `title` on top.
+  std::string render(const std::string& title = "") const;
+
+  /// Render as CSV (header first). Cells containing commas are quoted.
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace because::util

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "baselines/binary_sat.hpp"
+#include "core/mle.hpp"
+
+namespace because {
+namespace {
+
+// ---------------------------------------------------------------- MLE
+
+TEST(Mle, SingleAsFractionRecovered) {
+  // One AS on 3 RFD paths and 1 clean path: MLE of p is 0.75.
+  labeling::PathDataset d;
+  d.add_path({10}, true);
+  d.add_path({10}, true);
+  d.add_path({10}, true);
+  d.add_path({10}, false);
+  const core::Likelihood lik(d);
+  const auto result = core::maximize_likelihood(lik);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.p[0], 0.75, 0.02);
+}
+
+TEST(Mle, PlantedDamperGetsHighP) {
+  labeling::PathDataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.add_path({10, 20}, true);
+    d.add_path({20, 30}, false);
+    d.add_path({30}, false);
+  }
+  const core::Likelihood lik(d);
+  const auto result = core::maximize_likelihood(lik);
+  EXPECT_GT(result.p[*d.index_of(10)], 0.9);
+  EXPECT_LT(result.p[*d.index_of(20)], 0.1);
+  EXPECT_LT(result.p[*d.index_of(30)], 0.1);
+}
+
+TEST(Mle, LikelihoodNeverDecreases) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({20, 30}, false);
+  const core::Likelihood lik(d);
+  core::MleConfig config;
+  config.max_iterations = 1;
+  std::vector<double> start(d.as_count(), 0.5);
+  const double initial = lik.log_likelihood(start);
+  const auto result = core::maximize_likelihood(lik, config);
+  EXPECT_GE(result.log_likelihood, initial - 1e-9);
+}
+
+TEST(Mle, Validation) {
+  labeling::PathDataset d;
+  d.add_path({10}, true);
+  const core::Likelihood lik(d);
+  core::MleConfig config;
+  config.grid_points = 1;
+  EXPECT_THROW(core::maximize_likelihood(lik, config), std::invalid_argument);
+  config = core::MleConfig{};
+  config.initial_p = 2.0;
+  EXPECT_THROW(core::maximize_likelihood(lik, config), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- SAT
+
+TEST(BinarySat, ConsistentInstanceSatisfiable) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);   // 10 or 20 damps
+  d.add_path({20, 30}, false);  // 20, 30 clean
+  const auto result = baselines::solve_binary_tomography(d);
+  EXPECT_TRUE(result.satisfiable);
+  EXPECT_TRUE(result.forced_clean.count(20));
+  EXPECT_TRUE(result.forced_clean.count(30));
+  // The only explanation left is AS 10.
+  EXPECT_TRUE(result.greedy_dampers.count(10));
+}
+
+TEST(BinarySat, InconsistentDeploymentUnsat) {
+  // AS 701 damps some paths and not others (the paper's exact argument for
+  // why SAT-based binary tomography fails): the instance has no solution.
+  labeling::PathDataset d;
+  d.add_path({701, 2497}, false);  // forces both clean
+  d.add_path({701, 3356}, true);
+  d.add_path({3356}, false);       // forces 3356 clean -> conflict
+  const auto result = baselines::solve_binary_tomography(d);
+  EXPECT_FALSE(result.satisfiable);
+  ASSERT_EQ(result.conflicting_paths.size(), 1u);
+  EXPECT_TRUE(d.observations()[result.conflicting_paths[0]].shows_property);
+}
+
+TEST(BinarySat, GreedyHittingSetCoversAllRfdPaths) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({10, 30}, true);
+  d.add_path({40, 50}, true);
+  const auto result = baselines::solve_binary_tomography(d);
+  ASSERT_TRUE(result.satisfiable);
+  for (const auto& obs : d.observations()) {
+    if (!obs.shows_property) continue;
+    bool hit = false;
+    for (std::size_t n : obs.nodes)
+      if (result.greedy_dampers.count(d.as_at(n))) hit = true;
+    EXPECT_TRUE(hit);
+  }
+  // Greedy picks 10 (covers two paths) and one of 40/50.
+  EXPECT_TRUE(result.greedy_dampers.count(10));
+  EXPECT_EQ(result.greedy_dampers.size(), 2u);
+}
+
+TEST(BinarySat, ManySolutionsReportedViaFreeVariables) {
+  labeling::PathDataset d;
+  d.add_path({10, 20, 30}, true);
+  const auto result = baselines::solve_binary_tomography(d);
+  EXPECT_TRUE(result.satisfiable);
+  EXPECT_EQ(result.free_variables, 3u);  // 2^3 - 1 assignments satisfy it
+  EXPECT_EQ(result.greedy_dampers.size(), 1u);
+}
+
+TEST(BinarySat, EmptyDatasetTriviallySat) {
+  labeling::PathDataset d;
+  const auto result = baselines::solve_binary_tomography(d);
+  EXPECT_TRUE(result.satisfiable);
+  EXPECT_TRUE(result.greedy_dampers.empty());
+}
+
+TEST(BinarySat, AllCleanInstance) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, false);
+  d.add_path({20, 30}, false);
+  const auto result = baselines::solve_binary_tomography(d);
+  EXPECT_TRUE(result.satisfiable);
+  EXPECT_EQ(result.forced_clean.size(), 3u);
+  EXPECT_EQ(result.free_variables, 0u);
+}
+
+}  // namespace
+}  // namespace because

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "beacon/controller.hpp"
+#include "beacon/schedule.hpp"
+#include "bgp/network.hpp"
+
+namespace because::beacon {
+namespace {
+
+BeaconSchedule schedule_1min() {
+  BeaconSchedule s;
+  s.update_interval = sim::minutes(1);
+  s.burst_length = sim::minutes(10);
+  s.break_length = sim::minutes(30);
+  s.pairs = 2;
+  s.warmup = sim::minutes(5);
+  return s;
+}
+
+TEST(Schedule, ValidateRejectsDegenerate) {
+  BeaconSchedule s = schedule_1min();
+  s.update_interval = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = schedule_1min();
+  s.burst_length = sim::seconds(30);  // too short for one flap at 1 min
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = schedule_1min();
+  s.pairs = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Schedule, ExpandStartsWithInitialAnnouncement) {
+  const auto events = expand(schedule_1min());
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().when, 0);
+  EXPECT_EQ(events.front().type, bgp::UpdateType::kAnnouncement);
+}
+
+TEST(Schedule, BurstsAlternateStartWithdrawalEndAnnouncement) {
+  const BeaconSchedule s = schedule_1min();
+  const auto events = expand(s);
+  const auto bursts = burst_windows(s);
+  for (const Window& burst : bursts) {
+    std::vector<BeaconEvent> in_burst;
+    for (const BeaconEvent& e : events)
+      if (e.when >= burst.begin && e.when < burst.end) in_burst.push_back(e);
+    ASSERT_FALSE(in_burst.empty());
+    EXPECT_EQ(in_burst.front().type, bgp::UpdateType::kWithdrawal);
+    EXPECT_EQ(in_burst.back().type, bgp::UpdateType::kAnnouncement);
+    for (std::size_t i = 0; i < in_burst.size(); ++i) {
+      const auto expected = (i % 2 == 0) ? bgp::UpdateType::kWithdrawal
+                                         : bgp::UpdateType::kAnnouncement;
+      EXPECT_EQ(in_burst[i].type, expected);
+      if (i > 0)
+        EXPECT_EQ(in_burst[i].when - in_burst[i - 1].when, s.update_interval);
+    }
+  }
+}
+
+TEST(Schedule, NoEventsDuringBreaks) {
+  const BeaconSchedule s = schedule_1min();
+  const auto events = expand(s);
+  for (const Window& brk : break_windows(s))
+    for (const BeaconEvent& e : events)
+      EXPECT_FALSE(e.when > brk.begin && e.when < brk.end)
+          << "event at " << e.when << " inside break";
+}
+
+TEST(Schedule, WindowsAreContiguous) {
+  const BeaconSchedule s = schedule_1min();
+  const auto bursts = burst_windows(s);
+  const auto breaks = break_windows(s);
+  ASSERT_EQ(bursts.size(), s.pairs);
+  ASSERT_EQ(breaks.size(), s.pairs);
+  EXPECT_EQ(bursts[0].begin, s.start + s.warmup);
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    EXPECT_EQ(bursts[i].end - bursts[i].begin, s.burst_length);
+    EXPECT_EQ(breaks[i].begin, bursts[i].end);
+    if (i + 1 < bursts.size()) EXPECT_EQ(bursts[i + 1].begin, breaks[i].end);
+  }
+  EXPECT_EQ(s.end(), breaks.back().end);
+}
+
+TEST(Schedule, EventCountMatchesInterval) {
+  BeaconSchedule s = schedule_1min();
+  const auto n1 = expand(s).size();
+  s.update_interval = sim::minutes(2);
+  const auto n2 = expand(s).size();
+  EXPECT_GT(n1, n2);  // faster flapping -> more events
+}
+
+TEST(Schedule, AnchorAlternatesOnOff) {
+  AnchorSchedule s;
+  s.period = sim::hours(2);
+  s.cycles = 3;
+  const auto events = expand(s);
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto expected = (i % 2 == 0) ? bgp::UpdateType::kAnnouncement
+                                       : bgp::UpdateType::kWithdrawal;
+    EXPECT_EQ(events[i].type, expected);
+  }
+  EXPECT_EQ(events[1].when - events[0].when, sim::hours(2));
+  EXPECT_EQ(s.end(), sim::hours(12));
+}
+
+TEST(Schedule, AnchorRejectsDegenerate) {
+  AnchorSchedule s;
+  s.period = 0;
+  EXPECT_THROW(expand(s), std::invalid_argument);
+  s.period = sim::hours(1);
+  s.cycles = 0;
+  EXPECT_THROW(expand(s), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- controller
+
+struct ControllerFixture {
+  topology::AsGraph graph;
+  sim::EventQueue queue;
+  stats::Rng rng{1};
+
+  ControllerFixture() {
+    graph.add_as(1, topology::Tier::kStub);
+    graph.add_as(2, topology::Tier::kTier1);
+    graph.add_provider_customer(2, 1);
+  }
+};
+
+TEST(Controller, DrivesOriginRouter) {
+  ControllerFixture f;
+  bgp::Network net(f.graph, bgp::NetworkConfig{}, f.queue, f.rng);
+  beacon::Controller controller(net);
+  const bgp::Prefix prefix{1, 24};
+  BeaconSchedule s = schedule_1min();
+  controller.deploy(1, prefix, s);
+  EXPECT_EQ(controller.origin(prefix), 1u);
+  EXPECT_FALSE(controller.events(prefix).empty());
+
+  f.queue.run();
+  // The schedule ends with an announcement; router 2 must hold the route
+  // with the timestamp of the last burst announcement.
+  const auto* sel = net.router(2).loc_rib().find(prefix);
+  ASSERT_NE(sel, nullptr);
+  const auto& events = controller.events(prefix);
+  EXPECT_EQ(sel->route.beacon_timestamp, events.back().when);
+}
+
+TEST(Controller, RejectsUnknownOrigin) {
+  ControllerFixture f;
+  bgp::Network net(f.graph, bgp::NetworkConfig{}, f.queue, f.rng);
+  beacon::Controller controller(net);
+  EXPECT_THROW(controller.deploy(99, bgp::Prefix{1, 24}, schedule_1min()),
+               std::invalid_argument);
+}
+
+TEST(Controller, RejectsDuplicatePrefix) {
+  ControllerFixture f;
+  bgp::Network net(f.graph, bgp::NetworkConfig{}, f.queue, f.rng);
+  beacon::Controller controller(net);
+  controller.deploy(1, bgp::Prefix{1, 24}, schedule_1min());
+  EXPECT_THROW(controller.deploy(1, bgp::Prefix{1, 24}, schedule_1min()),
+               std::invalid_argument);
+}
+
+TEST(Controller, UnknownPrefixQueriesThrow) {
+  ControllerFixture f;
+  bgp::Network net(f.graph, bgp::NetworkConfig{}, f.queue, f.rng);
+  beacon::Controller controller(net);
+  EXPECT_THROW(controller.events(bgp::Prefix{5, 24}), std::out_of_range);
+  EXPECT_THROW(controller.origin(bgp::Prefix{5, 24}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace because::beacon

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/beta.hpp"
+
+namespace because::stats {
+namespace {
+
+TEST(Beta, LogBetaKnownValues) {
+  // B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = pi.
+  EXPECT_NEAR(log_beta(1, 1), 0.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_beta(2, 3)), 1.0 / 12.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_beta(0.5, 0.5)), M_PI, 1e-9);
+}
+
+TEST(Beta, PdfUniform) {
+  for (double x : {0.1, 0.5, 0.9}) EXPECT_NEAR(beta_pdf(x, 1, 1), 1.0, 1e-12);
+}
+
+TEST(Beta, PdfIntegratesToOne) {
+  const int n = 20000;
+  double integral = 0.0;
+  for (int i = 0; i < n; ++i)
+    integral += beta_pdf((i + 0.5) / n, 2.5, 4.0) / n;
+  EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+TEST(Beta, CdfUniformIsIdentity) {
+  for (double x : {0.0, 0.25, 0.5, 0.75, 1.0})
+    EXPECT_NEAR(beta_cdf(x, 1, 1), x, 1e-12);
+}
+
+TEST(Beta, CdfKnownValues) {
+  // Beta(2,2): CDF(x) = 3x^2 - 2x^3.
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(beta_cdf(x, 2, 2), 3 * x * x - 2 * x * x * x, 1e-10);
+  }
+  // Beta(1,b): CDF(x) = 1 - (1-x)^b.
+  EXPECT_NEAR(beta_cdf(0.3, 1, 5), 1.0 - std::pow(0.7, 5), 1e-10);
+}
+
+TEST(Beta, CdfMatchesNumericalIntegral) {
+  const double a = 3.7, b = 1.4;
+  const int n = 200000;
+  double integral = 0.0;
+  int checkpoint = 0;
+  const double checkpoints[] = {0.2, 0.5, 0.9};
+  for (int i = 0; i < n && checkpoint < 3; ++i) {
+    const double x = (i + 0.5) / n;
+    integral += beta_pdf(x, a, b) / n;
+    if (x >= checkpoints[checkpoint]) {
+      EXPECT_NEAR(beta_cdf(checkpoints[checkpoint], a, b), integral, 1e-3);
+      ++checkpoint;
+    }
+  }
+}
+
+TEST(Beta, CdfMonotone) {
+  double prev = 0.0;
+  for (int i = 1; i <= 50; ++i) {
+    const double x = i / 50.0;
+    const double c = beta_cdf(x, 5.0, 2.0);
+    EXPECT_GE(c, prev - 1e-15);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(Beta, SymmetryRelation) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.15, 0.4, 0.77}) {
+    EXPECT_NEAR(beta_cdf(x, 2.3, 6.1), 1.0 - beta_cdf(1.0 - x, 6.1, 2.3), 1e-10);
+  }
+}
+
+TEST(Beta, QuantileRoundTrip) {
+  for (double q : {0.025, 0.25, 0.5, 0.75, 0.975}) {
+    const double x = beta_quantile(q, 4.0, 9.0);
+    EXPECT_NEAR(beta_cdf(x, 4.0, 9.0), q, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(beta_quantile(0.0, 2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(beta_quantile(1.0, 2, 2), 1.0);
+}
+
+TEST(Beta, Validation) {
+  EXPECT_THROW(log_beta(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(beta_cdf(0.5, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(beta_quantile(1.5, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Beta, EdgeCases) {
+  EXPECT_DOUBLE_EQ(beta_cdf(-0.5, 2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(beta_cdf(1.5, 2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(beta_pdf(-0.1, 2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(beta_pdf(1.1, 2, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace because::stats

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "bgp/network.hpp"
+#include "topology/generator.hpp"
+#include "topology/paths.hpp"
+
+namespace because::bgp {
+namespace {
+
+using topology::AsGraph;
+using topology::AsId;
+using topology::Relation;
+using topology::Tier;
+
+const Prefix kPrefix{1, 24};
+
+AsGraph diamond() {
+  AsGraph g;
+  g.add_as(1, Tier::kStub);
+  g.add_as(2, Tier::kTransit);
+  g.add_as(3, Tier::kTransit);
+  g.add_as(4, Tier::kTier1);
+  g.add_provider_customer(2, 1);
+  g.add_provider_customer(3, 1);
+  g.add_provider_customer(4, 2);
+  g.add_provider_customer(4, 3);
+  return g;
+}
+
+TEST(Network, BuildsRoutersAndSessions) {
+  sim::EventQueue queue;
+  stats::Rng rng(1);
+  const AsGraph g = diamond();
+  Network net(g, NetworkConfig{}, queue, rng);
+  EXPECT_EQ(net.router_count(), 4u);
+  EXPECT_NE(net.router(1).session(2), nullptr);
+  EXPECT_NE(net.router(2).session(1), nullptr);
+  EXPECT_EQ(net.router(1).session(4), nullptr);  // not adjacent
+}
+
+TEST(Network, LinkDelaysSymmetricAndBounded) {
+  sim::EventQueue queue;
+  stats::Rng rng(2);
+  NetworkConfig config;
+  config.min_link_delay = sim::milliseconds(50);
+  config.max_link_delay = sim::milliseconds(200);
+  const AsGraph g = diamond();
+  Network net(g, config, queue, rng);
+  for (auto [a, b] : {std::pair<AsId, AsId>{1, 2}, {1, 3}, {2, 4}, {3, 4}}) {
+    const sim::Duration d = net.link_delay(a, b);
+    EXPECT_EQ(d, net.link_delay(b, a));
+    EXPECT_GE(d, config.min_link_delay);
+    EXPECT_LE(d, config.max_link_delay);
+  }
+  EXPECT_THROW(net.link_delay(1, 4), std::out_of_range);
+}
+
+TEST(Network, RouteReachesEveryAs) {
+  sim::EventQueue queue;
+  stats::Rng rng(3);
+  const AsGraph g = diamond();
+  Network net(g, NetworkConfig{}, queue, rng);
+  net.router(1).originate(kPrefix, 0);
+  queue.run();
+  for (AsId as : g.as_ids()) {
+    if (as == 1) continue;
+    EXPECT_NE(net.router(as).loc_rib().find(kPrefix), nullptr)
+        << "AS " << as << " did not learn the route";
+  }
+}
+
+TEST(Network, AllSelectedPathsAreValleyFree) {
+  sim::EventQueue queue;
+  stats::Rng rng(4);
+  topology::GeneratorConfig tconfig;
+  tconfig.tier1_count = 3;
+  tconfig.transit_count = 15;
+  tconfig.stub_count = 40;
+  const AsGraph g = topology::generate(tconfig, rng);
+  Network net(g, NetworkConfig{}, queue, rng);
+
+  const AsId origin = g.as_ids().back();  // a stub
+  net.router(origin).originate(kPrefix, 0);
+  queue.run();
+
+  for (AsId as : g.as_ids()) {
+    const Selected* sel = net.router(as).loc_rib().find(kPrefix);
+    if (sel == nullptr || !sel->neighbor.has_value()) continue;
+    // Full path from this AS to the origin.
+    topology::AsPath path{as};
+    path.insert(path.end(), sel->route.as_path.begin(), sel->route.as_path.end());
+    EXPECT_TRUE(topology::is_valley_free(g, path))
+        << "AS " << as << " selected a non-valley-free path";
+    EXPECT_FALSE(topology::has_loop(path));
+    EXPECT_EQ(path.back(), origin);
+  }
+}
+
+TEST(Network, MraiLimitsUpdateRate) {
+  sim::EventQueue queue;
+  stats::Rng rng(5);
+  NetworkConfig config;
+  config.mrai = sim::seconds(30);
+  const AsGraph g = diamond();
+  Network net(g, config, queue, rng);
+
+  // Rapid re-originations (attribute changes) within one MRAI window: the
+  // sessions must coalesce them.
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_at(sim::seconds(i), [&net, i] {
+      net.router(1).originate(kPrefix, sim::seconds(i));
+    });
+  }
+  queue.run();
+  const Session* session = net.router(1).session(2);
+  ASSERT_NE(session, nullptr);
+  EXPECT_LE(session->updates_sent(), 3u);  // immediate + ~1 flush per window
+
+  // The final state still converges to the latest timestamp everywhere.
+  const Selected* sel = net.router(4).loc_rib().find(kPrefix);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->route.beacon_timestamp, sim::seconds(9));
+}
+
+TEST(Network, ResetSessionRecovers) {
+  sim::EventQueue queue;
+  stats::Rng rng(6);
+  const AsGraph g = diamond();
+  Network net(g, NetworkConfig{}, queue, rng);
+  net.router(1).originate(kPrefix, 0);
+  queue.run();
+  ASSERT_NE(net.router(4).loc_rib().find(kPrefix), nullptr);
+
+  net.reset_session(1, 2);
+  queue.run();
+  // Both branches converge again after the reset.
+  EXPECT_NE(net.router(2).loc_rib().find(kPrefix), nullptr);
+  EXPECT_NE(net.router(4).loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Network, UnknownAsThrows) {
+  sim::EventQueue queue;
+  stats::Rng rng(7);
+  const AsGraph g = diamond();
+  Network net(g, NetworkConfig{}, queue, rng);
+  EXPECT_THROW(net.router(99), std::out_of_range);
+}
+
+TEST(Network, RejectsBadDelayRange) {
+  sim::EventQueue queue;
+  stats::Rng rng(8);
+  NetworkConfig config;
+  config.min_link_delay = sim::milliseconds(100);
+  config.max_link_delay = sim::milliseconds(10);
+  const AsGraph g = diamond();
+  EXPECT_THROW(Network(g, config, queue, rng), std::invalid_argument);
+}
+
+TEST(Network, DeterministicForSeed) {
+  const AsGraph g = diamond();
+  sim::EventQueue q1, q2;
+  stats::Rng r1(9), r2(9);
+  Network n1(g, NetworkConfig{}, q1, r1);
+  Network n2(g, NetworkConfig{}, q2, r2);
+  for (auto [a, b] : {std::pair<AsId, AsId>{1, 2}, {2, 4}})
+    EXPECT_EQ(n1.link_delay(a, b), n2.link_delay(a, b));
+}
+
+}  // namespace
+}  // namespace because::bgp

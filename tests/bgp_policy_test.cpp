@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "bgp/policy.hpp"
+
+namespace because::bgp {
+namespace {
+
+using topology::Relation;
+
+Route make_route(std::vector<topology::AsId> path) {
+  Route r;
+  r.prefix = Prefix{1, 24};
+  r.as_path = std::move(path);
+  return r;
+}
+
+TEST(Policy, LocalPrefOrdering) {
+  EXPECT_GT(local_pref(Relation::kCustomer), local_pref(Relation::kPeer));
+  EXPECT_GT(local_pref(Relation::kPeer), local_pref(Relation::kProvider));
+}
+
+TEST(Policy, PrefersCustomerOverShorterProviderPath) {
+  const Route customer_route = make_route({10, 20, 30});
+  const Route provider_route = make_route({40});
+  const Candidate a{10, Relation::kCustomer, &customer_route};
+  const Candidate b{40, Relation::kProvider, &provider_route};
+  EXPECT_TRUE(prefer(a, b));
+  EXPECT_FALSE(prefer(b, a));
+}
+
+TEST(Policy, PrefersShorterPathAtSamePref) {
+  const Route shorter = make_route({10, 30});
+  const Route longer = make_route({20, 30, 40});
+  const Candidate a{10, Relation::kPeer, &shorter};
+  const Candidate b{20, Relation::kPeer, &longer};
+  EXPECT_TRUE(prefer(a, b));
+  EXPECT_FALSE(prefer(b, a));
+}
+
+TEST(Policy, TieBreaksByLowestNeighbor) {
+  const Route r1 = make_route({10, 30});
+  const Route r2 = make_route({20, 30});
+  const Candidate a{10, Relation::kPeer, &r1};
+  const Candidate b{20, Relation::kPeer, &r2};
+  EXPECT_TRUE(prefer(a, b));
+  EXPECT_FALSE(prefer(b, a));
+}
+
+TEST(Policy, LocalRouteBeatsEverything) {
+  const Route local = make_route({});
+  const Route learned = make_route({10});
+  const Candidate a{std::nullopt, Relation::kCustomer, &local};
+  const Candidate b{10, Relation::kCustomer, &learned};
+  EXPECT_TRUE(prefer(a, b));
+  EXPECT_FALSE(prefer(b, a));
+}
+
+TEST(Policy, PreferIsIrreflexive) {
+  const Route r = make_route({10, 30});
+  const Candidate a{10, Relation::kPeer, &r};
+  EXPECT_FALSE(prefer(a, a));
+}
+
+TEST(Policy, PreferRejectsNullRoute) {
+  const Route r = make_route({10});
+  const Candidate ok{10, Relation::kPeer, &r};
+  const Candidate bad{11, Relation::kPeer, nullptr};
+  EXPECT_THROW(prefer(ok, bad), std::invalid_argument);
+}
+
+TEST(Policy, ExportRulesGaoRexford) {
+  // Customer routes go everywhere.
+  EXPECT_TRUE(should_export(Relation::kCustomer, Relation::kCustomer));
+  EXPECT_TRUE(should_export(Relation::kCustomer, Relation::kPeer));
+  EXPECT_TRUE(should_export(Relation::kCustomer, Relation::kProvider));
+  // Peer routes only to customers.
+  EXPECT_TRUE(should_export(Relation::kPeer, Relation::kCustomer));
+  EXPECT_FALSE(should_export(Relation::kPeer, Relation::kPeer));
+  EXPECT_FALSE(should_export(Relation::kPeer, Relation::kProvider));
+  // Provider routes only to customers.
+  EXPECT_TRUE(should_export(Relation::kProvider, Relation::kCustomer));
+  EXPECT_FALSE(should_export(Relation::kProvider, Relation::kPeer));
+  EXPECT_FALSE(should_export(Relation::kProvider, Relation::kProvider));
+}
+
+TEST(Policy, OwnRoutesExportEverywhere) {
+  EXPECT_TRUE(should_export(std::nullopt, Relation::kCustomer));
+  EXPECT_TRUE(should_export(std::nullopt, Relation::kPeer));
+  EXPECT_TRUE(should_export(std::nullopt, Relation::kProvider));
+}
+
+}  // namespace
+}  // namespace because::bgp

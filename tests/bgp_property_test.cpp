@@ -1,0 +1,222 @@
+// Generative property tests for the BGP substrate: random topologies and
+// random event sequences (originations, withdrawals, session resets, RFD
+// configs) must never violate the protocol invariants:
+//
+//   I1. every selected route's full path is loop-free,
+//   I2. every selected route's full path is valley-free,
+//   I3. every selected route actually leads to an AS currently originating
+//       the prefix,
+//   I4. after quiescence with no RFD, reachability equals the Gao-Rexford
+//       reachable set computed independently on the graph,
+//   I5. the whole run is deterministic for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "bgp/network.hpp"
+#include "topology/generator.hpp"
+#include "topology/paths.hpp"
+
+namespace because::bgp {
+namespace {
+
+using topology::AsGraph;
+using topology::AsId;
+using topology::Relation;
+
+const Prefix kPrefix{1, 24};
+
+AsGraph random_graph(std::uint64_t seed) {
+  topology::GeneratorConfig config;
+  config.tier1_count = 3;
+  config.transit_count = 12;
+  config.stub_count = 25;
+  stats::Rng rng(seed);
+  return topology::generate(config, rng);
+}
+
+/// Ground truth for I4: the set of ASs that can reach `origin` under
+/// Gao-Rexford export rules, computed by BFS over route propagation states.
+/// A route announcement reaches an AS either "from a customer" (may be
+/// re-exported to anyone) or "from a peer/provider" (re-exported only to
+/// customers).
+std::unordered_set<AsId> gao_rexford_reachable(const AsGraph& graph, AsId origin) {
+  std::unordered_set<AsId> customer_route;  // holds a customer/own route
+  std::unordered_set<AsId> any_route;
+  customer_route.insert(origin);
+  any_route.insert(origin);
+
+  std::deque<AsId> frontier{origin};
+  while (!frontier.empty()) {
+    const AsId current = frontier.front();
+    frontier.pop_front();
+    const bool exportable_everywhere = customer_route.count(current) != 0;
+    for (const topology::Neighbor& nb : graph.neighbors(current)) {
+      // `current` exports to nb iff the route is its own/customer route, or
+      // nb is a customer.
+      const bool to_customer = nb.relation == Relation::kCustomer;
+      if (!exportable_everywhere && !to_customer) continue;
+      // At nb, the route arrives from `current`, whose relationship as seen
+      // from nb is reverse(nb.relation).
+      const bool arrives_from_customer = nb.relation == Relation::kCustomer
+                                             ? false
+                                             : reverse(nb.relation) ==
+                                                   Relation::kCustomer;
+      bool changed = false;
+      if (any_route.insert(nb.id).second) changed = true;
+      if (arrives_from_customer && customer_route.insert(nb.id).second)
+        changed = true;
+      if (changed) frontier.push_back(nb.id);
+    }
+  }
+  return any_route;
+}
+
+struct RunResult {
+  std::vector<std::pair<AsId, topology::AsPath>> selected;  // full paths
+  std::unordered_set<AsId> have_route;
+  std::uint64_t events = 0;
+};
+
+RunResult run_random_scenario(const AsGraph& graph, std::uint64_t seed,
+                              bool with_rfd, bool end_announced) {
+  sim::EventQueue queue;
+  stats::Rng rng(seed);
+  Network net(graph, NetworkConfig{}, queue, rng);
+
+  const auto ids = graph.as_ids();
+  const AsId origin = ids[rng.index(ids.size())];
+
+  if (with_rfd) {
+    // A couple of random dampers (never the origin).
+    stats::Rng damp_rng = rng.fork();
+    for (int k = 0; k < 3; ++k) {
+      const AsId damper = ids[damp_rng.index(ids.size())];
+      if (damper == origin) continue;
+      DampingRule rule;
+      rule.params = rfd::cisco_defaults();
+      net.router(damper).add_damping_rule(rule);
+    }
+  }
+
+  // Random flapping plus session resets.
+  sim::Time t = 0;
+  Router& origin_router = net.router(origin);
+  for (int k = 0; k < 12; ++k) {
+    const sim::Time when = t;
+    if (k % 2 == 0) {
+      queue.schedule_at(when, [&origin_router, when] {
+        origin_router.originate(kPrefix, when);
+      });
+    } else {
+      queue.schedule_at(when,
+                        [&origin_router] { origin_router.withdraw_origin(kPrefix); });
+    }
+    t += sim::minutes(rng.uniform_int(1, 5));
+  }
+  // End state: announced (or withdrawn).
+  if (end_announced) {
+    const sim::Time when = t;
+    queue.schedule_at(when, [&origin_router, when] {
+      origin_router.originate(kPrefix, when);
+    });
+  }
+  // Random session resets mid-run.
+  stats::Rng reset_rng = rng.fork();
+  for (int k = 0; k < 2; ++k) {
+    const AsId a = ids[reset_rng.index(ids.size())];
+    const auto& nbrs = graph.neighbors(a);
+    if (nbrs.empty()) continue;
+    const AsId b = nbrs[reset_rng.index(nbrs.size())].id;
+    queue.schedule_at(sim::minutes(reset_rng.uniform_int(1, 30)),
+                      [&net, a, b] { net.reset_session(a, b); });
+  }
+
+  queue.run();  // quiescence: all timers (MRAI, RFD releases) drained
+
+  RunResult result;
+  result.events = queue.executed();
+  for (AsId as : ids) {
+    const Selected* sel = net.router(as).loc_rib().find(kPrefix);
+    if (sel == nullptr) continue;
+    result.have_route.insert(as);
+    topology::AsPath full{as};
+    full.insert(full.end(), sel->route.as_path.begin(), sel->route.as_path.end());
+    result.selected.emplace_back(as, std::move(full));
+  }
+  return result;
+}
+
+class BgpInvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpInvariantSweep, SelectedPathsAreLoopAndValleyFree) {
+  const AsGraph graph = random_graph(GetParam());
+  const RunResult result = run_random_scenario(graph, GetParam() * 31 + 7,
+                                               /*with_rfd=*/true,
+                                               /*end_announced=*/true);
+  for (const auto& [as, path] : result.selected) {
+    EXPECT_FALSE(topology::has_loop(path)) << "AS " << as;           // I1
+    EXPECT_TRUE(topology::is_valley_free(graph, path)) << "AS " << as;  // I2
+  }
+}
+
+TEST_P(BgpInvariantSweep, RoutesLeadToTheOrigin) {
+  const AsGraph graph = random_graph(GetParam());
+  const RunResult result = run_random_scenario(graph, GetParam() * 17 + 3,
+                                               /*with_rfd=*/true,
+                                               /*end_announced=*/true);
+  if (result.selected.empty()) return;
+  // All selected paths must end at the same origin AS (I3): the only AS
+  // ever originating kPrefix.
+  const AsId origin = result.selected.front().second.back();
+  for (const auto& [as, path] : result.selected)
+    EXPECT_EQ(path.back(), origin) << "AS " << as;
+  EXPECT_TRUE(result.have_route.count(origin));
+}
+
+TEST_P(BgpInvariantSweep, WithdrawnEndStateLeavesNoRoutes) {
+  const AsGraph graph = random_graph(GetParam());
+  const RunResult result = run_random_scenario(graph, GetParam() * 13 + 1,
+                                               /*with_rfd=*/false,
+                                               /*end_announced=*/false);
+  EXPECT_TRUE(result.have_route.empty());
+}
+
+TEST_P(BgpInvariantSweep, QuiescentReachabilityMatchesGaoRexford) {
+  // Without RFD, after quiescence every AS in the Gao-Rexford reachable set
+  // (and no other) holds a route (I4).
+  const AsGraph graph = random_graph(GetParam());
+  const std::uint64_t seed = GetParam() * 7 + 5;
+
+  sim::EventQueue queue;
+  stats::Rng rng(seed);
+  Network net(graph, NetworkConfig{}, queue, rng);
+  const auto ids = graph.as_ids();
+  const AsId origin = ids[rng.index(ids.size())];
+  net.router(origin).originate(kPrefix, 0);
+  queue.run();
+
+  const auto expected = gao_rexford_reachable(graph, origin);
+  for (AsId as : ids) {
+    const bool has = net.router(as).loc_rib().find(kPrefix) != nullptr;
+    EXPECT_EQ(has, expected.count(as) != 0) << "AS " << as;
+  }
+}
+
+TEST_P(BgpInvariantSweep, DeterministicForSeed) {
+  const AsGraph graph = random_graph(GetParam());
+  const RunResult a = run_random_scenario(graph, GetParam() * 3 + 11, true, true);
+  const RunResult b = run_random_scenario(graph, GetParam() * 3 + 11, true, true);
+  EXPECT_EQ(a.events, b.events);  // I5
+  ASSERT_EQ(a.selected.size(), b.selected.size());
+  for (std::size_t i = 0; i < a.selected.size(); ++i) {
+    EXPECT_EQ(a.selected[i].first, b.selected[i].first);
+    EXPECT_EQ(a.selected[i].second, b.selected[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpInvariantSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace because::bgp

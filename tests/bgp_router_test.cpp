@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bgp/router.hpp"
+#include "sim/event_queue.hpp"
+
+namespace because::bgp {
+namespace {
+
+using topology::AsId;
+using topology::Relation;
+
+const Prefix kPrefix{1, 24};
+
+/// Minimal harness wiring Router instances directly (no Network), with a
+/// fixed link delay and no MRAI unless requested.
+struct Net {
+  sim::EventQueue queue;
+  std::map<AsId, std::unique_ptr<Router>> routers;
+  sim::Duration delay = sim::milliseconds(10);
+  sim::Duration mrai = 0;
+
+  Router& add(AsId id) {
+    auto [it, _] = routers.emplace(id, std::make_unique<Router>(id, queue));
+    return *it->second;
+  }
+
+  /// Bidirectional link; `rel_ab` = relationship of b as seen from a.
+  void link(AsId a, AsId b, Relation rel_ab) {
+    connect_one(a, b, rel_ab);
+    connect_one(b, a, topology::reverse(rel_ab));
+  }
+
+  void connect_one(AsId from, AsId to, Relation rel) {
+    Router* target = routers.at(to).get();
+    routers.at(from)->connect(to, rel, mrai, false,
+                              [this, target, from](const Update& u) {
+                                queue.schedule_in(delay, [target, from, u] {
+                                  target->receive(from, u);
+                                });
+                              });
+  }
+};
+
+TEST(Router, OriginationPropagatesOverChain) {
+  Net net;
+  Router& a = net.add(1);
+  net.add(2);
+  Router& c = net.add(3);
+  net.link(1, 2, Relation::kProvider);  // 2 is provider of 1
+  net.link(2, 3, Relation::kProvider);  // 3 is provider of 2
+  a.originate(kPrefix, 0);
+  net.queue.run();
+
+  const Selected* sel = c.loc_rib().find(kPrefix);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->route.as_path, (topology::AsPath{2, 1}));
+  EXPECT_EQ(sel->route.beacon_timestamp, 0);
+}
+
+TEST(Router, WithdrawalPropagates) {
+  Net net;
+  Router& a = net.add(1);
+  net.add(2);
+  Router& c = net.add(3);
+  net.link(1, 2, Relation::kProvider);
+  net.link(2, 3, Relation::kProvider);
+  a.originate(kPrefix, 0);
+  net.queue.run();
+  ASSERT_NE(c.loc_rib().find(kPrefix), nullptr);
+
+  a.withdraw_origin(kPrefix);
+  net.queue.run();
+  EXPECT_EQ(c.loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Router, LoopPreventionDropsOwnAs) {
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  net.link(1, 2, Relation::kProvider);
+  a.originate(kPrefix, 0);
+  net.queue.run();
+  // 2 must not have learned its own announcement back; 1 never re-receives
+  // its own path (2 does not export back to the source), but inject one
+  // manually to confirm the loop check.
+  Update looped;
+  looped.type = UpdateType::kAnnouncement;
+  looped.prefix = Prefix{9, 24};
+  looped.as_path = {1, 7, 2};
+  b.receive(1, looped);
+  EXPECT_EQ(b.loc_rib().find(Prefix{9, 24}), nullptr);
+}
+
+TEST(Router, ValleyFreeExportPeerRouteNotToPeer) {
+  // 1 originates; 2 learns from customer 1; 3 peers with 2; 4 peers with 3.
+  // 3 must not export the peer-learned route to its peer 4.
+  Net net;
+  Router& a = net.add(1);
+  net.add(2);
+  net.add(3);
+  Router& d = net.add(4);
+  net.link(1, 2, Relation::kProvider);
+  net.link(2, 3, Relation::kPeer);
+  net.link(3, 4, Relation::kPeer);
+  a.originate(kPrefix, 0);
+  net.queue.run();
+  EXPECT_NE(net.routers.at(3)->loc_rib().find(kPrefix), nullptr);
+  EXPECT_EQ(d.loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Router, ValleyFreeExportProviderRouteOnlyToCustomers) {
+  // 2 is provider of 1 and customer of 3; 3 is peer of 4.
+  // 1 learns the route from its provider 2 only if 2 learned it from... here
+  // 3 originates: 2 learns from provider 3, exports to customer 1 but not to
+  // its other provider 5.
+  Net net;
+  net.add(1);
+  net.add(2);
+  Router& c = net.add(3);
+  Router& e = net.add(5);
+  net.link(2, 1, Relation::kCustomer);   // 1 is customer of 2
+  net.link(2, 3, Relation::kProvider);   // 3 is provider of 2
+  net.link(2, 5, Relation::kProvider);   // 5 is another provider of 2
+  c.originate(kPrefix, 0);
+  net.queue.run();
+  EXPECT_NE(net.routers.at(1)->loc_rib().find(kPrefix), nullptr);
+  EXPECT_EQ(e.loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Router, PrefersCustomerRoute) {
+  // 4 can reach origin 1 via customer 2 or provider 3; it must pick 2.
+  Net net;
+  Router& origin = net.add(1);
+  net.add(2);
+  net.add(3);
+  Router& d = net.add(4);
+  net.link(1, 2, Relation::kProvider);
+  net.link(1, 3, Relation::kProvider);
+  net.link(4, 2, Relation::kCustomer);  // 2 is customer of 4
+  net.link(4, 3, Relation::kProvider);  // 3 is provider of 4
+  origin.originate(kPrefix, 0);
+  net.queue.run();
+  const Selected* sel = d.loc_rib().find(kPrefix);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->neighbor, std::optional<AsId>(2));
+}
+
+TEST(Router, PathHuntingFailsOverToAlternative) {
+  // Diamond: origin 1 under 2 and 3, observer 4 over both. 2 damps updates
+  // from 1; once 2 suppresses the prefix, 4 must fail over to the branch
+  // through 3 (path hunting made the alternative visible).
+  Net net;
+  Router& origin = net.add(1);
+  Router& b = net.add(2);
+  net.add(3);
+  Router& d = net.add(4);
+  net.link(1, 2, Relation::kProvider);
+  net.link(1, 3, Relation::kProvider);
+  net.link(2, 4, Relation::kProvider);
+  net.link(3, 4, Relation::kProvider);
+  DampingRule rule;
+  rule.params = rfd::cisco_defaults();
+  b.add_damping_rule(rule);
+
+  sim::Time t = 0;
+  origin.originate(kPrefix, t);
+  for (int i = 0; i < 6; ++i) {
+    t += sim::minutes(1);
+    net.queue.schedule_at(t, [&origin] { origin.withdraw_origin(kPrefix); });
+    t += sim::minutes(1);
+    net.queue.schedule_at(t, [&origin, t] { origin.originate(kPrefix, t); });
+  }
+  net.queue.run_until(t + sim::minutes(1));
+
+  ASSERT_TRUE(b.damping_suppressed(1, kPrefix));
+  const Selected* sel = d.loc_rib().find(kPrefix);
+  ASSERT_NE(sel, nullptr);  // alternative branch keeps 4 connected
+  EXPECT_EQ(sel->route.as_path, (topology::AsPath{3, 1}));
+
+  // After the release, 4 may switch back; either way it stays connected and
+  // the suppressed branch is usable again.
+  net.queue.run();
+  EXPECT_FALSE(b.damping_suppressed(1, kPrefix));
+  ASSERT_NE(d.loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Router, RfdSuppressionWithdrawsDownstream) {
+  // 1 - 2 - 3 chain, 2 damps updates from 1 (Cisco defaults). Flapping the
+  // prefix fast enough gets it suppressed at 2 and withdrawn at 3.
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  Router& c = net.add(3);
+  net.link(1, 2, Relation::kProvider);
+  net.link(2, 3, Relation::kProvider);
+  DampingRule rule;
+  rule.params = rfd::cisco_defaults();
+  b.add_damping_rule(rule);
+
+  sim::Time t = 0;
+  a.originate(kPrefix, t);
+  for (int i = 0; i < 6; ++i) {
+    t += sim::minutes(1);
+    net.queue.schedule_at(t, [&a] { a.withdraw_origin(kPrefix); });
+    t += sim::minutes(1);
+    net.queue.schedule_at(t, [&a, t] { a.originate(kPrefix, t); });
+  }
+  net.queue.run_until(t + sim::minutes(1));
+
+  EXPECT_TRUE(b.damping_suppressed(1, kPrefix));
+  EXPECT_GT(b.damping_penalty(1, kPrefix), 750.0);
+  // The last flap ended announced, but 2 suppresses it: 3 has no route.
+  EXPECT_EQ(c.loc_rib().find(kPrefix), nullptr);
+
+  // After the penalty decays, the stored announcement is released and 3
+  // learns the route again: the RFD signature's re-advertisement.
+  net.queue.run();
+  EXPECT_FALSE(b.damping_suppressed(1, kPrefix));
+  EXPECT_NE(c.loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Router, DampingRuleScopes) {
+  DampingRule rule;
+  rule.params = rfd::cisco_defaults();
+  rule.relation_scope = Relation::kCustomer;
+  EXPECT_TRUE(rule.matches(Relation::kCustomer, 7, kPrefix));
+  EXPECT_FALSE(rule.matches(Relation::kProvider, 7, kPrefix));
+
+  DampingRule exempt;
+  exempt.params = rfd::cisco_defaults();
+  exempt.exempt_neighbors = {7};
+  EXPECT_FALSE(exempt.matches(Relation::kPeer, 7, kPrefix));
+  EXPECT_TRUE(exempt.matches(Relation::kPeer, 8, kPrefix));
+
+  DampingRule only;
+  only.params = rfd::cisco_defaults();
+  only.only_neighbors = {7};
+  EXPECT_TRUE(only.matches(Relation::kPeer, 7, kPrefix));
+  EXPECT_FALSE(only.matches(Relation::kPeer, 8, kPrefix));
+
+  DampingRule length;
+  length.params = rfd::cisco_defaults();
+  length.min_prefix_length = 25;
+  EXPECT_FALSE(length.matches(Relation::kPeer, 7, kPrefix));  // /24
+  EXPECT_TRUE(length.matches(Relation::kPeer, 7, Prefix{1, 25}));
+}
+
+TEST(Router, ExemptNeighborNotDamped) {
+  // 2 damps everyone except neighbor 1: flaps from 1 pass through.
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  Router& c = net.add(3);
+  net.link(1, 2, Relation::kProvider);
+  net.link(2, 3, Relation::kProvider);
+  DampingRule rule;
+  rule.params = rfd::cisco_defaults();
+  rule.exempt_neighbors = {1};
+  b.add_damping_rule(rule);
+
+  sim::Time t = 0;
+  a.originate(kPrefix, t);
+  for (int i = 0; i < 8; ++i) {
+    t += sim::minutes(1);
+    net.queue.schedule_at(t, [&a] { a.withdraw_origin(kPrefix); });
+    t += sim::minutes(1);
+    net.queue.schedule_at(t, [&a, t] { a.originate(kPrefix, t); });
+  }
+  net.queue.run();
+  EXPECT_FALSE(b.damping_suppressed(1, kPrefix));
+  EXPECT_NE(c.loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Router, ExportTapSeesFullFeed) {
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  net.link(1, 2, Relation::kProvider);
+  std::vector<Update> tapped;
+  b.attach_export_tap([&](const Update& u) { tapped.push_back(u); });
+  a.originate(kPrefix, 5);
+  net.queue.run();
+  ASSERT_FALSE(tapped.empty());
+  EXPECT_TRUE(tapped.back().is_announcement());
+  EXPECT_EQ(tapped.back().as_path, (topology::AsPath{2, 1}));
+  EXPECT_EQ(tapped.back().beacon_timestamp, 5);
+}
+
+TEST(Router, ExportTapReplaysExistingTable) {
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  net.link(1, 2, Relation::kProvider);
+  a.originate(kPrefix, 5);
+  net.queue.run();
+
+  std::vector<Update> tapped;
+  b.attach_export_tap([&](const Update& u) { tapped.push_back(u); });
+  ASSERT_EQ(tapped.size(), 1u);  // replayed on attach
+  EXPECT_TRUE(tapped[0].is_announcement());
+}
+
+TEST(Router, SessionResetReAdvertises) {
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  net.link(1, 2, Relation::kProvider);
+  a.originate(kPrefix, 0);
+  net.queue.run();
+  ASSERT_NE(b.loc_rib().find(kPrefix), nullptr);
+
+  b.reset_session(1);
+  EXPECT_EQ(b.loc_rib().find(kPrefix), nullptr);  // learned state dropped
+  a.reset_session(2);                              // other side resends
+  net.queue.run();
+  EXPECT_NE(b.loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Router, RejectsDuplicateAndSelfSessions) {
+  sim::EventQueue queue;
+  Router r(1, queue);
+  EXPECT_THROW(r.connect(1, Relation::kPeer, 0, false, [](const Update&) {}),
+               std::invalid_argument);
+  r.connect(2, Relation::kPeer, 0, false, [](const Update&) {});
+  EXPECT_THROW(r.connect(2, Relation::kPeer, 0, false, [](const Update&) {}),
+               std::invalid_argument);
+}
+
+TEST(Router, SpuriousWithdrawalIgnored) {
+  Net net;
+  net.add(1);
+  Router& b = net.add(2);
+  net.link(1, 2, Relation::kProvider);
+  Update w;
+  w.type = UpdateType::kWithdrawal;
+  w.prefix = kPrefix;
+  b.receive(1, w);  // never announced
+  EXPECT_EQ(b.loc_rib().find(kPrefix), nullptr);
+  EXPECT_EQ(b.updates_received(), 1u);
+}
+
+TEST(Router, ExportPrependingAddsOwnAs) {
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  Router& c = net.add(3);
+  net.link(1, 2, Relation::kProvider);
+  net.link(2, 3, Relation::kProvider);
+  b.set_export_prepending(3, 2);  // 2 exports to 3 with 2 extra hops
+  a.originate(kPrefix, 0);
+  net.queue.run();
+  const Selected* sel = c.loc_rib().find(kPrefix);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->route.as_path, (topology::AsPath{2, 2, 2, 1}));
+}
+
+TEST(Router, PrependingInfluencesPathSelection) {
+  // Diamond: 4 reaches origin 1 via 2 or 3 (equal length). 2 prepends, so
+  // 4 must prefer the branch through 3 despite 2's lower tie-break id.
+  Net net;
+  Router& origin = net.add(1);
+  Router& b = net.add(2);
+  net.add(3);
+  Router& d = net.add(4);
+  net.link(1, 2, Relation::kProvider);
+  net.link(1, 3, Relation::kProvider);
+  net.link(2, 4, Relation::kProvider);
+  net.link(3, 4, Relation::kProvider);
+  b.set_export_prepending(4, 3);
+  origin.originate(kPrefix, 0);
+  net.queue.run();
+  const Selected* sel = d.loc_rib().find(kPrefix);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->route.as_path, (topology::AsPath{3, 1}));
+}
+
+TEST(Router, PrependingValidationAndRemoval) {
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  net.link(1, 2, Relation::kProvider);
+  EXPECT_THROW(a.set_export_prepending(99, 1), std::invalid_argument);
+  a.set_export_prepending(2, 1);
+  a.set_export_prepending(2, 0);  // removal
+  a.originate(kPrefix, 0);
+  net.queue.run();
+  const Selected* sel = b.loc_rib().find(kPrefix);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->route.as_path, (topology::AsPath{1}));
+}
+
+TEST(Router, ReOriginationRefreshesTimestamp) {
+  Net net;
+  Router& a = net.add(1);
+  Router& b = net.add(2);
+  net.link(1, 2, Relation::kProvider);
+  a.originate(kPrefix, 1);
+  net.queue.run();
+  a.originate(kPrefix, 2);
+  net.queue.run();
+  const Selected* sel = b.loc_rib().find(kPrefix);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->route.beacon_timestamp, 2);
+}
+
+}  // namespace
+}  // namespace because::bgp

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "experiment/campaign.hpp"
+#include "experiment/figures.hpp"
+#include "stats/descriptive.hpp"
+#include "topology/paths.hpp"
+
+namespace because::experiment {
+namespace {
+
+/// One small campaign shared by all tests in this file (it is the expensive
+/// part; run it once).
+const CampaignResult& shared_campaign() {
+  static const CampaignResult result = [] {
+    CampaignConfig config = CampaignConfig::small();
+    config.seed = 1234;
+    return run_campaign(config);
+  }();
+  return result;
+}
+
+TEST(Campaign, SitesAreCloseToTier1) {
+  const CampaignResult& c = shared_campaign();
+  ASSERT_EQ(c.sites.size(), c.config.beacon_sites);
+  for (topology::AsId site : c.sites) {
+    // Site is a customer of a tier-1 or of a transit (two hops from tier-1).
+    bool ok = false;
+    for (const topology::Neighbor& nb : c.graph.neighbors(site)) {
+      if (nb.relation != topology::Relation::kProvider) continue;
+      const topology::Tier t = c.graph.tier(nb.id);
+      if (t == topology::Tier::kTier1 || t == topology::Tier::kTransit) ok = true;
+    }
+    EXPECT_TRUE(ok) << "site " << site;
+  }
+}
+
+TEST(Campaign, SitesAndUpstreamsNeverDamp) {
+  const CampaignResult& c = shared_campaign();
+  const auto dampers = c.plan.dampers();
+  for (topology::AsId site : c.sites) {
+    EXPECT_EQ(dampers.count(site), 0u);
+    for (const topology::Neighbor& nb : c.graph.neighbors(site))
+      EXPECT_EQ(dampers.count(nb.id), 0u) << "upstream of " << site;
+  }
+}
+
+TEST(Campaign, DeploysOnePrefixPerSitePerInterval) {
+  const CampaignResult& c = shared_campaign();
+  EXPECT_EQ(c.beacons.size(), c.config.beacon_sites *
+                                  c.config.update_intervals.size() *
+                                  c.config.prefixes_per_interval);
+  // Anchor + RIPE reference per site.
+  EXPECT_EQ(c.anchors.size(), 2 * c.config.beacon_sites);
+}
+
+TEST(Campaign, CollectsUpdates) {
+  const CampaignResult& c = shared_campaign();
+  // Some VP ASs feed a second collector project, so the VP count is at
+  // least the configured number of VP ASs.
+  EXPECT_GE(c.vps.size(), c.config.vantage_points);
+  EXPECT_GT(c.store.size(), 100u);
+  EXPECT_GT(c.events_executed, 1000u);
+}
+
+TEST(Campaign, InvalidAggregatorsWereDiscarded) {
+  const CampaignResult& c = shared_campaign();
+  // ~1% of announcements lose the timestamp and must have been dropped.
+  EXPECT_GT(c.store.discarded_invalid_aggregator(), 0u);
+  for (const collector::RecordedUpdate& r : c.store.all()) {
+    if (r.update.is_announcement())
+      EXPECT_NE(r.update.beacon_timestamp, bgp::kNoBeaconTimestamp);
+  }
+}
+
+TEST(Campaign, ProducesLabeledPaths) {
+  const CampaignResult& c = shared_campaign();
+  EXPECT_GT(c.labeled.size(), 10u);
+  std::size_t rfd_paths = 0;
+  for (const labeling::LabeledPath& p : c.labeled) {
+    EXPECT_FALSE(p.path.empty());
+    EXPECT_FALSE(topology::has_loop(p.path));
+    // Paths end at a beacon site (the origin).
+    EXPECT_TRUE(c.site_set().count(p.path.back())) << "path must end at a site";
+    if (p.rfd) ++rfd_paths;
+  }
+  // With ~12% dampers, some paths must show the signature.
+  EXPECT_GT(rfd_paths, 0u);
+  EXPECT_LT(rfd_paths, c.labeled.size());
+}
+
+TEST(Campaign, RfdPathsContainADetectableDamper) {
+  const CampaignResult& c = shared_campaign();
+  const auto dampers = c.plan.dampers();
+  std::size_t with_damper = 0, total = 0;
+  for (const labeling::LabeledPath& p : c.labeled) {
+    if (!p.rfd) continue;
+    ++total;
+    for (topology::AsId as : p.path)
+      if (dampers.count(as)) {
+        ++with_damper;
+        break;
+      }
+  }
+  ASSERT_GT(total, 0u);
+  // Every RFD-labeled path should be explainable by a planted damper.
+  EXPECT_EQ(with_damper, total);
+}
+
+TEST(Campaign, LabeledForIntervalFilters) {
+  const CampaignResult& c = shared_campaign();
+  const auto one_min = c.labeled_for_interval(sim::minutes(1));
+  EXPECT_EQ(one_min.size(), c.labeled.size());  // small() has one interval
+  EXPECT_TRUE(c.labeled_for_interval(sim::minutes(42)).empty());
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  CampaignConfig config = CampaignConfig::small();
+  config.seed = 77;
+  config.vantage_points = 4;
+  config.pairs = 2;
+  const CampaignResult a = run_campaign(config);
+  const CampaignResult b = run_campaign(config);
+  EXPECT_EQ(a.store.size(), b.store.size());
+  EXPECT_EQ(a.labeled.size(), b.labeled.size());
+  ASSERT_EQ(a.plan.deployments.size(), b.plan.deployments.size());
+  for (std::size_t i = 0; i < a.labeled.size(); ++i) {
+    EXPECT_EQ(a.labeled[i].path, b.labeled[i].path);
+    EXPECT_EQ(a.labeled[i].rfd, b.labeled[i].rfd);
+  }
+}
+
+TEST(Campaign, MonthlyPresetsMirrorSection43) {
+  const CampaignConfig march = CampaignConfig::march2020();
+  EXPECT_EQ(march.update_intervals,
+            (std::vector<sim::Duration>{sim::minutes(1), sim::minutes(2),
+                                        sim::minutes(3)}));
+  const CampaignConfig april = CampaignConfig::april2020();
+  EXPECT_EQ(april.update_intervals,
+            (std::vector<sim::Duration>{sim::minutes(5), sim::minutes(10),
+                                        sim::minutes(15)}));
+  // March waits longer for slowly decaying penalties than April.
+  EXPECT_GT(march.break_length, april.break_length);
+  // Both Breaks must outlast the 60 min default max-suppress-time.
+  EXPECT_GT(april.break_length, sim::minutes(60));
+}
+
+TEST(Campaign, BackgroundChurnRecordsExtraPrefixes) {
+  CampaignConfig config = CampaignConfig::small();
+  config.seed = 41;
+  config.background_prefixes = 10;
+  config.pairs = 2;
+  const CampaignResult c = run_campaign(config);
+  EXPECT_EQ(c.background.size(), 10u);
+  // At least one churn prefix actually reached a vantage point.
+  std::size_t churn_records = 0;
+  for (const auto& p : c.background)
+    churn_records += c.store.for_prefix(p).size();
+  EXPECT_GT(churn_records, 0u);
+  // Labeling still keys per beacon prefix: churn does not pollute labels.
+  for (const auto& lp : c.labeled) {
+    bool is_beacon = false;
+    for (const auto& b : c.beacons)
+      if (b.prefix == lp.prefix) is_beacon = true;
+    EXPECT_TRUE(is_beacon);
+  }
+}
+
+TEST(Campaign, BeaconPrefixLengthConfigurable) {
+  CampaignConfig config = CampaignConfig::small();
+  config.seed = 43;
+  config.pairs = 2;
+  config.beacon_prefix_length = 25;
+  const CampaignResult c = run_campaign(config);
+  for (const auto& b : c.beacons) EXPECT_EQ(b.prefix.length, 25);
+  for (const auto& a : c.anchors) EXPECT_EQ(a.prefix.length, 25);
+}
+
+TEST(Campaign, SessionResetInjectionStillProducesLabels) {
+  CampaignConfig config = CampaignConfig::small();
+  config.seed = 21;
+  config.session_resets = 6;
+  const CampaignResult c = run_campaign(config);
+  EXPECT_GT(c.labeled.size(), 5u);
+  // Determinism holds with failure injection too.
+  const CampaignResult c2 = run_campaign(config);
+  EXPECT_EQ(c.labeled.size(), c2.labeled.size());
+  EXPECT_EQ(c.store.size(), c2.store.size());
+}
+
+TEST(Campaign, RejectsBadConfig) {
+  CampaignConfig config = CampaignConfig::small();
+  config.beacon_sites = 0;
+  EXPECT_THROW(run_campaign(config), std::invalid_argument);
+  config = CampaignConfig::small();
+  config.update_intervals.clear();
+  EXPECT_THROW(run_campaign(config), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ figures
+
+TEST(Figures, LinkSimilarityShares) {
+  const CampaignResult& c = shared_campaign();
+  const LinkSimilarity sim = link_similarity(c);
+  EXPECT_GT(sim.total_links, 0u);
+  ASSERT_EQ(sim.share_per_site.size(), c.sites.size());
+  for (double share : sim.share_per_site) {
+    EXPECT_GT(share, 0.0);
+    EXPECT_LE(share, 1.0);
+  }
+  // Observing from all sites gives more paths per link than a single site.
+  EXPECT_GE(sim.median_paths_per_link_all, sim.median_paths_per_link_single);
+}
+
+TEST(Figures, ProjectOverlapCoversAllPaths) {
+  const CampaignResult& c = shared_campaign();
+  const ProjectOverlap overlap = project_overlap(c);
+  EXPECT_GT(overlap.total(), 0u);
+}
+
+TEST(Figures, PropagationTimesPopulated) {
+  const CampaignResult& c = shared_campaign();
+  const PropagationTimes times = propagation_times(c);
+  ASSERT_FALSE(times.anchor_seconds.empty());
+  ASSERT_FALSE(times.ripe_seconds.empty());
+  for (double s : times.anchor_seconds) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 600.0);  // noise-artifact samples are filtered out
+  }
+  // The typical first arrival stays within link + export delays.
+  EXPECT_LT(stats::median(times.anchor_seconds), 120.0);
+}
+
+TEST(Figures, RdeltaByIntervalOnlyDampedPaths) {
+  const CampaignResult& c = shared_campaign();
+  const auto rdeltas = rdelta_by_interval(c);
+  for (const auto& [interval, values] : rdeltas) {
+    EXPECT_EQ(interval, sim::minutes(1));
+    for (double v : values) EXPECT_GE(v, 5.0);  // min r-delta filter
+  }
+}
+
+TEST(Figures, CategoryCountsSumMatches) {
+  const std::vector<core::Category> cats{
+      core::Category::kHighlyLikelyNot, core::Category::kUncertain,
+      core::Category::kUncertain, core::Category::kHighlyLikelyDamping};
+  const auto counts = category_counts(cats);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[4], 1u);
+  EXPECT_NEAR(damping_share(cats), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace because::experiment

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/categorize.hpp"
+
+namespace because::core {
+namespace {
+
+MarginalSummary make_summary(double mean, double lo, double hi) {
+  MarginalSummary s;
+  s.mean = mean;
+  s.hdpi = stats::Interval{lo, hi};
+  return s;
+}
+
+TEST(Categorize, ConfidentNonDamperIsCategory1) {
+  // Figure 9(b): mass at 0, almost no spread.
+  EXPECT_EQ(categorize(make_summary(0.02, 0.0, 0.08)),
+            Category::kHighlyLikelyNot);
+}
+
+TEST(Categorize, LowMeanWideIntervalIsCategory2) {
+  // Low mean but the interval reaches into uncertain territory: only
+  // "likely" not damping.
+  EXPECT_EQ(categorize(make_summary(0.1, 0.0, 0.4)), Category::kLikelyNot);
+}
+
+TEST(Categorize, MidLowMeanIsCategory2) {
+  EXPECT_EQ(categorize(make_summary(0.2, 0.05, 0.35)), Category::kLikelyNot);
+}
+
+TEST(Categorize, UncertainBandIsCategory3) {
+  EXPECT_EQ(categorize(make_summary(0.5, 0.05, 0.95)), Category::kUncertain);
+  EXPECT_EQ(categorize(make_summary(0.35, 0.1, 0.6)), Category::kUncertain);
+  EXPECT_EQ(categorize(make_summary(0.69, 0.3, 0.9)), Category::kUncertain);
+}
+
+TEST(Categorize, PriorRecoveredIsCategory3) {
+  // Figure 9(d): the Beta prior persists for no-data ASs -> uncertain.
+  EXPECT_EQ(categorize(make_summary(0.5, 0.03, 0.97)), Category::kUncertain);
+}
+
+TEST(Categorize, HighMeanIsCategory4) {
+  EXPECT_EQ(categorize(make_summary(0.75, 0.4, 0.95)), Category::kLikelyDamping);
+}
+
+TEST(Categorize, ConfidentDamperIsCategory5) {
+  // Figure 9(a): mass at 1, very little spread.
+  EXPECT_EQ(categorize(make_summary(0.97, 0.9, 1.0)),
+            Category::kHighlyLikelyDamping);
+}
+
+TEST(Categorize, HighMeanWideIntervalOnlyCategory4) {
+  // Mean above 0.85 but the credible interval dips low: not "highly likely".
+  EXPECT_EQ(categorize(make_summary(0.87, 0.5, 1.0)), Category::kLikelyDamping);
+}
+
+TEST(Categorize, CutoffBoundaries) {
+  EXPECT_EQ(categorize(make_summary(0.15, 0.1, 0.2)), Category::kLikelyNot);
+  EXPECT_EQ(categorize(make_summary(0.3, 0.2, 0.4)), Category::kUncertain);
+  EXPECT_EQ(categorize(make_summary(0.7, 0.6, 0.8)), Category::kLikelyDamping);
+  EXPECT_EQ(categorize(make_summary(0.85, 0.85, 0.9)),
+            Category::kHighlyLikelyDamping);
+}
+
+TEST(Categorize, CustomCutoffs) {
+  CategoryCutoffs cutoffs;
+  cutoffs.mid_high = 0.6;
+  EXPECT_EQ(categorize(make_summary(0.65, 0.5, 0.8), cutoffs),
+            Category::kLikelyDamping);
+}
+
+TEST(Categorize, HighestFlagWins) {
+  EXPECT_EQ(highest(Category::kUncertain, Category::kLikelyDamping),
+            Category::kLikelyDamping);
+  EXPECT_EQ(highest(Category::kHighlyLikelyNot, Category::kLikelyNot),
+            Category::kLikelyNot);
+  EXPECT_EQ(highest(Category::kHighlyLikelyDamping, Category::kUncertain),
+            Category::kHighlyLikelyDamping);
+}
+
+TEST(Categorize, HighestAllElementwise) {
+  const std::vector<Category> a{Category::kUncertain, Category::kLikelyNot};
+  const std::vector<Category> b{Category::kLikelyDamping, Category::kHighlyLikelyNot};
+  const auto out = highest_all(a, b);
+  EXPECT_EQ(out[0], Category::kLikelyDamping);
+  EXPECT_EQ(out[1], Category::kLikelyNot);
+  EXPECT_THROW(highest_all(a, {Category::kUncertain}), std::invalid_argument);
+}
+
+TEST(Categorize, IsDampingThreshold) {
+  EXPECT_FALSE(is_damping(Category::kHighlyLikelyNot));
+  EXPECT_FALSE(is_damping(Category::kLikelyNot));
+  EXPECT_FALSE(is_damping(Category::kUncertain));
+  EXPECT_TRUE(is_damping(Category::kLikelyDamping));
+  EXPECT_TRUE(is_damping(Category::kHighlyLikelyDamping));
+}
+
+TEST(Categorize, CategorizeAllMapsEachSummary) {
+  const std::vector<MarginalSummary> summaries{
+      make_summary(0.02, 0.0, 0.05), make_summary(0.95, 0.9, 1.0)};
+  const auto cats = categorize_all(summaries);
+  ASSERT_EQ(cats.size(), 2u);
+  EXPECT_EQ(cats[0], Category::kHighlyLikelyNot);
+  EXPECT_EQ(cats[1], Category::kHighlyLikelyDamping);
+}
+
+TEST(CategorizeLiteral, NarrowMarginalsBehaveLikeDefault) {
+  // Crisp marginals agree under both interpretations.
+  EXPECT_EQ(categorize_literal(make_summary(0.02, 0.0, 0.08)),
+            Category::kHighlyLikelyNot);
+  EXPECT_EQ(categorize_literal(make_summary(0.2, 0.15, 0.28)),
+            Category::kLikelyNot);
+  EXPECT_EQ(categorize_literal(make_summary(0.97, 0.9, 1.0)),
+            Category::kHighlyLikelyDamping);
+  EXPECT_EQ(categorize_literal(make_summary(0.75, 0.72, 0.8)),
+            Category::kLikelyDamping);
+}
+
+TEST(CategorizeLiteral, PriorShapedMarginalBecomesCategory5) {
+  // The documented defect of the literal reading: a wide no-data marginal
+  // raises both the A-based cat-1 flag and the B-based cat-5 flag, and the
+  // "highest flag" rule lands at 5 (the default interpretation keeps it 3).
+  const auto prior_shaped = make_summary(0.5, 0.03, 0.97);
+  EXPECT_EQ(categorize_literal(prior_shaped), Category::kHighlyLikelyDamping);
+  EXPECT_EQ(categorize(prior_shaped), Category::kUncertain);
+}
+
+TEST(CategorizeLiteral, ElseIsTheFallbackOnly) {
+  // Mid-mean, mid-interval: no row matches, Table 1's 'Else' applies.
+  EXPECT_EQ(categorize_literal(make_summary(0.5, 0.35, 0.65)),
+            Category::kUncertain);
+}
+
+TEST(Categorize, ToStringDescriptive) {
+  EXPECT_NE(to_string(Category::kUncertain).find("uncertain"), std::string::npos);
+  EXPECT_NE(to_string(Category::kHighlyLikelyDamping).find("damping"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace because::core

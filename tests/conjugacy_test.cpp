@@ -1,0 +1,112 @@
+// Analytic cross-checks: a single-AS tomography dataset with k
+// property-showing paths out of n has the exact conjugate posterior
+// Beta(alpha + k, beta + n - k). Every sampler's marginal must match it.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/gibbs.hpp"
+#include "core/hmc.hpp"
+#include "core/metropolis.hpp"
+#include "stats/beta.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/hdpi.hpp"
+
+namespace because::core {
+namespace {
+
+labeling::PathDataset single_as(int shows, int total) {
+  labeling::PathDataset d;
+  for (int i = 0; i < total; ++i) d.add_path({42}, i < shows);
+  return d;
+}
+
+/// (shows, total, prior_alpha, prior_beta)
+using Case = std::tuple<int, int, double, double>;
+
+class ConjugacySweep : public ::testing::TestWithParam<Case> {
+ protected:
+  void check_chain(const Chain& chain, const char* name) {
+    const auto [k, n, alpha, beta] = GetParam();
+    const double post_a = alpha + k;
+    const double post_b = beta + (n - k);
+
+    const auto samples = chain.marginal(0);
+    const double analytic_mean = post_a / (post_a + post_b);
+    EXPECT_NEAR(stats::mean(samples), analytic_mean, 0.03)
+        << name << " mean, posterior Beta(" << post_a << "," << post_b << ")";
+
+    // Compare the empirical CDF to the analytic CDF at a few quantiles.
+    for (double q : {0.25, 0.5, 0.75}) {
+      const double x = stats::beta_quantile(q, post_a, post_b);
+      std::size_t below = 0;
+      for (double s : samples)
+        if (s <= x) ++below;
+      EXPECT_NEAR(static_cast<double>(below) / samples.size(), q, 0.06)
+          << name << " CDF at q=" << q;
+    }
+  }
+};
+
+TEST_P(ConjugacySweep, MetropolisMatchesAnalyticPosterior) {
+  const auto [k, n, alpha, beta] = GetParam();
+  const auto data = single_as(k, n);
+  const Likelihood lik(data);
+  MetropolisConfig config;
+  config.samples = 4000;
+  config.burn_in = 1000;
+  config.seed = 101;
+  check_chain(run_metropolis(lik, Prior::beta(alpha, beta), config), "MH");
+}
+
+TEST_P(ConjugacySweep, HmcMatchesAnalyticPosterior) {
+  const auto [k, n, alpha, beta] = GetParam();
+  const auto data = single_as(k, n);
+  const Likelihood lik(data);
+  HmcConfig config;
+  config.samples = 1500;
+  config.burn_in = 300;
+  config.seed = 102;
+  check_chain(run_hmc(lik, Prior::beta(alpha, beta), config), "HMC");
+}
+
+TEST_P(ConjugacySweep, GibbsMatchesAnalyticPosterior) {
+  const auto [k, n, alpha, beta] = GetParam();
+  const auto data = single_as(k, n);
+  const Likelihood lik(data);
+  GibbsConfig config;
+  config.samples = 2500;
+  config.burn_in = 300;
+  config.grid_points = 256;
+  config.seed = 103;
+  check_chain(run_gibbs(lik, Prior::beta(alpha, beta), config), "Gibbs");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Posteriors, ConjugacySweep,
+    ::testing::Values(Case{0, 10, 1.0, 1.0},   // strong clean evidence
+                      Case{10, 10, 1.0, 1.0},  // strong damping evidence
+                      Case{3, 10, 1.0, 1.0},   // partial damping
+                      Case{5, 20, 2.0, 2.0},   // informative prior
+                      Case{1, 3, 1.0, 3.0},    // sparse prior, little data
+                      Case{7, 9, 0.5, 0.5}));  // Jeffreys prior
+
+TEST(Conjugacy, HdpiCoversAnalyticInterval) {
+  // The sampled 95% HDPI must roughly bracket the analytic central mass.
+  const auto data = single_as(6, 20);
+  const Likelihood lik(data);
+  MetropolisConfig config;
+  config.samples = 4000;
+  config.burn_in = 1000;
+  config.seed = 104;
+  const Chain chain = run_metropolis(lik, Prior::uniform(), config);
+  const auto interval = stats::hdpi(chain.marginal(0), 0.95);
+  // Posterior is Beta(7, 15): compare against the exact central interval.
+  const double lo = stats::beta_quantile(0.025, 7, 15);
+  const double hi = stats::beta_quantile(0.975, 7, 15);
+  EXPECT_NEAR(interval.lo, lo, 0.06);
+  EXPECT_NEAR(interval.hi, hi, 0.06);
+}
+
+}  // namespace
+}  // namespace because::core

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "labeling/dataset.hpp"
+
+namespace because::labeling {
+namespace {
+
+TEST(Dataset, InternsAsesDensely) {
+  PathDataset d;
+  d.add_path({10, 20, 30}, true);
+  d.add_path({20, 40}, false);
+  EXPECT_EQ(d.as_count(), 4u);
+  EXPECT_EQ(d.path_count(), 2u);
+  EXPECT_TRUE(d.index_of(20).has_value());
+  EXPECT_FALSE(d.index_of(99).has_value());
+  EXPECT_EQ(d.as_at(*d.index_of(10)), 10u);
+}
+
+TEST(Dataset, ObservationsPreserveLabels) {
+  PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({10, 30}, false);
+  ASSERT_EQ(d.observations().size(), 2u);
+  EXPECT_TRUE(d.observations()[0].shows_property);
+  EXPECT_FALSE(d.observations()[1].shows_property);
+}
+
+TEST(Dataset, ExcludeDropsAses) {
+  PathDataset d;
+  d.add_path({10, 20, 30}, true, {20});
+  EXPECT_EQ(d.as_count(), 2u);
+  EXPECT_FALSE(d.index_of(20).has_value());
+  EXPECT_EQ(d.observations()[0].nodes.size(), 2u);
+}
+
+TEST(Dataset, FullyExcludedPathIgnored) {
+  PathDataset d;
+  d.add_path({10}, true, {10});
+  EXPECT_EQ(d.path_count(), 0u);
+  EXPECT_EQ(d.as_count(), 0u);
+}
+
+TEST(Dataset, DuplicateAsesOnPathCollapsed) {
+  PathDataset d;
+  d.add_path({10, 20, 10}, true);  // pathological, but must not double-count
+  ASSERT_EQ(d.observations().size(), 1u);
+  EXPECT_EQ(d.observations()[0].nodes.size(), 2u);
+}
+
+TEST(Dataset, PerNodeIndices) {
+  PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({10, 30}, false);
+  d.add_path({40}, true);
+  const auto node10 = *d.index_of(10);
+  const auto& with10 = d.observations_with(node10);
+  EXPECT_EQ(with10, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(d.property_paths(node10), 1u);
+  EXPECT_EQ(d.clean_paths(node10), 1u);
+
+  const auto node40 = *d.index_of(40);
+  EXPECT_EQ(d.property_paths(node40), 1u);
+  EXPECT_EQ(d.clean_paths(node40), 0u);
+}
+
+TEST(Dataset, ContradictoryLabelsBothKept) {
+  // The same path can be measured RFD in one experiment and clean in
+  // another (inconsistent damping); both observations must persist.
+  PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({10, 20}, false);
+  EXPECT_EQ(d.path_count(), 2u);
+  const auto node = *d.index_of(10);
+  EXPECT_EQ(d.property_paths(node), 1u);
+  EXPECT_EQ(d.clean_paths(node), 1u);
+}
+
+TEST(Dataset, EmptyDataset) {
+  PathDataset d;
+  EXPECT_EQ(d.as_count(), 0u);
+  EXPECT_EQ(d.path_count(), 0u);
+}
+
+}  // namespace
+}  // namespace because::labeling

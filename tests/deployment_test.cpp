@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "experiment/deployment.hpp"
+#include "topology/generator.hpp"
+
+namespace because::experiment {
+namespace {
+
+topology::AsGraph make_graph(std::uint64_t seed = 1) {
+  topology::GeneratorConfig config;
+  config.tier1_count = 4;
+  config.transit_count = 30;
+  config.stub_count = 80;
+  stats::Rng rng(seed);
+  return topology::generate(config, rng);
+}
+
+TEST(Variants, StandardSetIsValid) {
+  const auto variants = standard_variants();
+  ASSERT_EQ(variants.size(), 5u);
+  for (const RfdVariant& v : variants) EXPECT_NO_THROW(v.params.validate());
+  // Exactly two vendor-default presets (cisco-60, juniper-60).
+  std::size_t vendor = 0;
+  for (const RfdVariant& v : variants)
+    if (v.vendor_default) ++vendor;
+  EXPECT_EQ(vendor, 2u);
+}
+
+TEST(Variants, TriggeringIntervalsMatchPaperNarrative) {
+  // "A router with deprecated default values would start damping at the
+  // 5 minutes update interval" and "an update interval of 2 minutes would
+  // trigger RFD with the recommended parameters" (a 3 min interval is the
+  // analytic boundary, so we accept 2-5 minutes for rfc7454).
+  const auto variants = standard_variants();
+  for (const RfdVariant& v : variants) {
+    const sim::Duration trigger = v.max_triggering_interval();
+    if (v.name == "cisco-60" || v.name == "juniper-60" || v.name == "cisco-30") {
+      EXPECT_GE(trigger, sim::minutes(5)) << v.name;
+      EXPECT_LT(trigger, sim::minutes(10)) << v.name;
+    } else if (v.name == "rfc7454-60") {
+      EXPECT_GE(trigger, sim::minutes(2)) << v.name;
+      EXPECT_LE(trigger, sim::minutes(5)) << v.name;
+    } else if (v.name == "cisco-10") {
+      EXPECT_GE(trigger, sim::minutes(1)) << v.name;
+      EXPECT_LE(trigger, sim::minutes(3)) << v.name;
+    }
+  }
+}
+
+TEST(Deployment, FractionApproximatelyHonored) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.1;
+  stats::Rng rng(2);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  const double fraction =
+      static_cast<double>(plan.deployments.size()) /
+      static_cast<double>(graph.as_count());
+  EXPECT_NEAR(fraction, 0.1, 0.01);
+}
+
+TEST(Deployment, NeverDampRespected) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.5;
+  const topology::AsId protected_as = graph.as_ids().front();
+  config.never_damp = {protected_as};
+  stats::Rng rng(3);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  EXPECT_EQ(plan.find(protected_as), nullptr);
+}
+
+TEST(Deployment, VendorDefaultShareNearSixtyPercent) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.5;  // many dampers for a stable estimate
+  stats::Rng rng(4);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  EXPECT_NEAR(plan.vendor_default_share(), 0.6, 0.15);
+}
+
+TEST(Deployment, DetectableExcludesHiddenScopes) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.5;
+  stats::Rng rng(5);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  const auto all = plan.dampers();
+  const auto detectable = plan.detectable_dampers();
+  EXPECT_LE(detectable.size(), all.size());
+  for (const AsDeployment& d : plan.deployments) {
+    const bool hidden = d.scope == Scope::kCustomersOnly ||
+                        d.scope == Scope::kLongPrefixes;
+    EXPECT_EQ(detectable.count(d.as) == 0, hidden) << "AS " << d.as;
+  }
+}
+
+TEST(Deployment, ExemptNeighborIsARealNeighbor) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.6;
+  stats::Rng rng(6);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  for (const AsDeployment& d : plan.deployments) {
+    if (d.scope != Scope::kExemptOneNeighbor) continue;
+    EXPECT_TRUE(graph.has_link(d.as, d.exempt_neighbor));
+  }
+}
+
+TEST(Deployment, CustomersOnlyNeverOnStubs) {
+  // Stubs have no customers; the planner must fall back to all-sessions.
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.8;
+  stats::Rng rng(7);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  for (const AsDeployment& d : plan.deployments) {
+    if (d.scope != Scope::kCustomersOnly) continue;
+    EXPECT_FALSE(
+        graph.neighbors_with(d.as, topology::Relation::kCustomer).empty());
+  }
+}
+
+TEST(Deployment, DeterministicForSeed) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  stats::Rng a(8), b(8);
+  const auto p1 = plan_deployment(graph, config, a);
+  const auto p2 = plan_deployment(graph, config, b);
+  ASSERT_EQ(p1.deployments.size(), p2.deployments.size());
+  for (std::size_t i = 0; i < p1.deployments.size(); ++i) {
+    EXPECT_EQ(p1.deployments[i].as, p2.deployments[i].as);
+    EXPECT_EQ(p1.deployments[i].scope, p2.deployments[i].scope);
+    EXPECT_EQ(p1.deployments[i].variant.name, p2.deployments[i].variant.name);
+  }
+}
+
+TEST(Deployment, RejectsBadConfigs) {
+  const auto graph = make_graph();
+  stats::Rng rng(9);
+  DeploymentConfig config;
+  config.damping_fraction = 1.5;
+  EXPECT_THROW(plan_deployment(graph, config, rng), std::invalid_argument);
+  config = DeploymentConfig{};
+  config.variant_weights = {1.0};
+  EXPECT_THROW(plan_deployment(graph, config, rng), std::invalid_argument);
+  config = DeploymentConfig{};
+  config.scope_weights = {1.0, 1.0};
+  EXPECT_THROW(plan_deployment(graph, config, rng), std::invalid_argument);
+}
+
+// The triggering boundary is monotone in the suppress threshold: raising
+// the threshold can only shrink the set of triggering intervals.
+TEST(Variants, TriggeringMonotoneInSuppressThreshold) {
+  rfd::Params base = rfd::cisco_defaults();
+  sim::Duration previous = sim::minutes(60);
+  for (double threshold : {1500.0, 2000.0, 3000.0, 4000.0}) {
+    rfd::Params p = base;
+    p.suppress_threshold = threshold;
+    RfdVariant v{"sweep", p, false};
+    const sim::Duration trigger = v.max_triggering_interval();
+    EXPECT_LE(trigger, previous) << "threshold " << threshold;
+    previous = trigger;
+  }
+}
+
+// Shorter half-life decays penalties faster: the triggering interval can
+// only shrink.
+TEST(Variants, TriggeringMonotoneInHalfLife) {
+  sim::Duration previous = 0;
+  for (int hl : {5, 10, 15, 20}) {
+    rfd::Params p = rfd::cisco_defaults();
+    p.half_life = sim::minutes(hl);
+    p.max_suppress_time = sim::minutes(4 * hl);  // keep ceiling valid
+    RfdVariant v{"sweep", p, false};
+    const sim::Duration trigger = v.max_triggering_interval();
+    EXPECT_GE(trigger, previous) << "half-life " << hl;
+    previous = trigger;
+  }
+}
+
+class ScopeWeightSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScopeWeightSweep, SingleScopeConfigsProduceOnlyThatScope) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.3;
+  config.scope_weights = {0, 0, 0, 0, 0};
+  config.scope_weights[GetParam()] = 1.0;
+  stats::Rng rng(31);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  const auto wanted = static_cast<Scope>(GetParam());
+  for (const AsDeployment& d : plan.deployments) {
+    // Fallbacks: exempt-one-neighbor falls back to all-sessions when an AS
+    // has no neighbors; customers-only falls back for stubs.
+    if (d.scope == Scope::kAllSessions &&
+        (wanted == Scope::kExemptOneNeighbor || wanted == Scope::kCustomersOnly))
+      continue;
+    EXPECT_EQ(d.scope, wanted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scopes, ScopeWeightSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+TEST(Deployment, TierWeightsBiasSelection) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.2;
+  config.transit_weight = 50.0;
+  config.stub_weight = 0.1;
+  stats::Rng rng(33);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  std::size_t transit = 0;
+  for (const AsDeployment& d : plan.deployments)
+    if (graph.tier(d.as) == topology::Tier::kTransit) ++transit;
+  // With 30 transits vs 80 stubs but 500x relative weight, the overwhelming
+  // majority of picks must be transits.
+  EXPECT_GT(static_cast<double>(transit) /
+                static_cast<double>(plan.deployments.size()),
+            0.8);
+}
+
+TEST(Deployment, ZeroWeightTierNeverPicked) {
+  const auto graph = make_graph();
+  DeploymentConfig config;
+  config.damping_fraction = 0.3;
+  config.stub_weight = 0.0;
+  stats::Rng rng(35);
+  const DeploymentPlan plan = plan_deployment(graph, config, rng);
+  for (const AsDeployment& d : plan.deployments)
+    EXPECT_NE(graph.tier(d.as), topology::Tier::kStub);
+}
+
+TEST(Deployment, ScopeNames) {
+  EXPECT_EQ(to_string(Scope::kAllSessions), "all-sessions");
+  EXPECT_EQ(to_string(Scope::kCustomersOnly), "customers-only");
+  EXPECT_EQ(to_string(Scope::kExemptOneNeighbor), "exempt-one-neighbor");
+  EXPECT_EQ(to_string(Scope::kShortPrefixes), "short-prefixes");
+  EXPECT_EQ(to_string(Scope::kLongPrefixes), "long-prefixes");
+}
+
+}  // namespace
+}  // namespace because::experiment

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+
+namespace because::core {
+namespace {
+
+labeling::PathDataset four_as_dataset() {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({30, 40}, false);
+  return d;
+}
+
+TEST(Evaluate, PerfectPrediction) {
+  const auto d = four_as_dataset();
+  std::vector<Category> cats(d.as_count(), Category::kLikelyNot);
+  cats[*d.index_of(10)] = Category::kHighlyLikelyDamping;
+  const auto eval = evaluate(d, cats, {10});
+  EXPECT_DOUBLE_EQ(eval.matrix.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.matrix.recall(), 1.0);
+  EXPECT_TRUE(eval.false_positives.empty());
+  EXPECT_TRUE(eval.false_negatives.empty());
+}
+
+TEST(Evaluate, FalsePositiveLowersPrecision) {
+  const auto d = four_as_dataset();
+  std::vector<Category> cats(d.as_count(), Category::kLikelyNot);
+  cats[*d.index_of(10)] = Category::kLikelyDamping;
+  cats[*d.index_of(20)] = Category::kLikelyDamping;  // wrong
+  const auto eval = evaluate(d, cats, {10});
+  EXPECT_DOUBLE_EQ(eval.matrix.precision(), 0.5);
+  ASSERT_EQ(eval.false_positives.size(), 1u);
+  EXPECT_EQ(eval.false_positives[0], 20u);
+}
+
+TEST(Evaluate, FalseNegativeLowersRecall) {
+  const auto d = four_as_dataset();
+  const std::vector<Category> cats(d.as_count(), Category::kUncertain);
+  const auto eval = evaluate(d, cats, {10});
+  EXPECT_DOUBLE_EQ(eval.matrix.recall(), 0.0);
+  ASSERT_EQ(eval.false_negatives.size(), 1u);
+  EXPECT_EQ(eval.false_negatives[0], 10u);
+  // No positive predictions: vacuous precision convention = 1.0.
+  EXPECT_DOUBLE_EQ(eval.matrix.precision(), 1.0);
+}
+
+TEST(Evaluate, ScopeRestrictsScoring) {
+  const auto d = four_as_dataset();
+  std::vector<Category> cats(d.as_count(), Category::kLikelyNot);
+  cats[*d.index_of(20)] = Category::kLikelyDamping;  // FP, but out of scope
+  const auto eval = evaluate(d, cats, {10}, {10, 30});
+  EXPECT_EQ(eval.matrix.total(), 2u);
+  EXPECT_TRUE(eval.false_positives.empty());
+}
+
+TEST(Evaluate, BoolVariant) {
+  const auto d = four_as_dataset();
+  std::vector<bool> predicted(d.as_count(), false);
+  predicted[*d.index_of(10)] = true;
+  const auto eval = evaluate_bool(d, predicted, {10});
+  EXPECT_DOUBLE_EQ(eval.matrix.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.matrix.recall(), 1.0);
+}
+
+TEST(Evaluate, SizeMismatchThrows) {
+  const auto d = four_as_dataset();
+  EXPECT_THROW(evaluate(d, std::vector<Category>(1, Category::kUncertain), {}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_bool(d, std::vector<bool>(1, false), {}),
+               std::invalid_argument);
+}
+
+TEST(Evaluate, TruthOutsideDatasetNotCounted) {
+  // A damper that was never measured cannot be a false negative here; the
+  // paper handles such ASs by removing them from the ground-truth set.
+  const auto d = four_as_dataset();
+  const std::vector<Category> cats(d.as_count(), Category::kLikelyNot);
+  const auto eval = evaluate(d, cats, {999});
+  EXPECT_EQ(eval.matrix.false_negatives, 0u);
+  EXPECT_EQ(eval.matrix.total(), d.as_count());
+}
+
+}  // namespace
+}  // namespace because::core

@@ -1,0 +1,113 @@
+// Direct unit tests for the figure-extraction helpers, on hand-built
+// campaign results (the campaign-driven behaviour is covered by
+// campaign_test.cpp; these pin the arithmetic).
+#include <gtest/gtest.h>
+
+#include "experiment/figures.hpp"
+
+namespace because::experiment {
+namespace {
+
+labeling::LabeledPath make_labeled(collector::VpId vp, std::uint32_t prefix_id,
+                                   topology::AsPath path, bool rfd,
+                                   std::vector<double> rdeltas = {}) {
+  labeling::LabeledPath p;
+  p.vp = vp;
+  p.prefix = bgp::Prefix{prefix_id, 24};
+  p.path = std::move(path);
+  p.rfd = rfd;
+  p.rdeltas_minutes = std::move(rdeltas);
+  return p;
+}
+
+BeaconDeployment make_beacon(std::uint32_t prefix_id, std::size_t site_index,
+                             topology::AsId site, sim::Duration interval) {
+  BeaconDeployment b;
+  b.prefix = bgp::Prefix{prefix_id, 24};
+  b.site_index = site_index;
+  b.site = site;
+  b.update_interval = interval;
+  return b;
+}
+
+TEST(FiguresUnit, LinkSimilarityCountsSharedLinks) {
+  CampaignResult campaign;
+  campaign.sites = {900, 901};
+  campaign.beacons.push_back(make_beacon(1, 0, 900, sim::minutes(1)));
+  campaign.beacons.push_back(make_beacon(2, 1, 901, sim::minutes(1)));
+
+  // Site 0 sees links (10,20) and (20,900); site 1 sees (10,20), (20,901).
+  campaign.labeled.push_back(make_labeled(0, 1, {10, 20, 900}, false));
+  campaign.labeled.push_back(make_labeled(0, 2, {10, 20, 901}, false));
+
+  const LinkSimilarity sim = link_similarity(campaign);
+  EXPECT_EQ(sim.total_links, 3u);  // (10,20), (20,900), (20,901)
+  ASSERT_EQ(sim.share_per_site.size(), 2u);
+  EXPECT_NEAR(sim.share_per_site[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sim.share_per_site[1], 2.0 / 3.0, 1e-12);
+  // Link (10,20) appears on 2 paths; the others on 1 -> median 1.
+  EXPECT_NEAR(sim.median_paths_per_link_all, 1.0, 1e-12);
+}
+
+TEST(FiguresUnit, LinkSimilarityEmptyCampaign) {
+  CampaignResult campaign;
+  campaign.sites = {900};
+  const LinkSimilarity sim = link_similarity(campaign);
+  EXPECT_EQ(sim.total_links, 0u);
+  EXPECT_DOUBLE_EQ(sim.share_per_site[0], 0.0);
+}
+
+TEST(FiguresUnit, RdeltaByIntervalBucketsAndFilters) {
+  CampaignResult campaign;
+  campaign.beacons.push_back(make_beacon(1, 0, 900, sim::minutes(1)));
+  campaign.beacons.push_back(make_beacon(2, 0, 900, sim::minutes(3)));
+
+  campaign.labeled.push_back(
+      make_labeled(0, 1, {10, 900}, true, {58.0, 59.0}));
+  campaign.labeled.push_back(make_labeled(0, 2, {10, 900}, true, {30.0}));
+  campaign.labeled.push_back(
+      make_labeled(0, 1, {11, 900}, false, {}));  // clean: excluded
+  campaign.labeled.push_back(
+      make_labeled(0, 99, {12, 900}, true, {10.0}));  // unknown prefix: excluded
+
+  const auto buckets = rdelta_by_interval(campaign);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets.at(sim::minutes(1)), (std::vector<double>{58.0, 59.0}));
+  EXPECT_EQ(buckets.at(sim::minutes(3)), (std::vector<double>{30.0}));
+}
+
+TEST(FiguresUnit, ProjectOverlapBuckets) {
+  CampaignResult campaign;
+  // Three VPs in three projects; two of them are the same AS (id differs).
+  const auto ris = campaign.store.register_vp(100, collector::Project::kRipeRis, 0);
+  const auto rv = campaign.store.register_vp(100, collector::Project::kRouteViews, 0);
+  const auto iso = campaign.store.register_vp(200, collector::Project::kIsolario, 0);
+
+  // Same (prefix, path) seen by RIS and RouteViews; a second path only ISO.
+  campaign.labeled.push_back(make_labeled(ris, 1, {100, 10}, false));
+  campaign.labeled.push_back(make_labeled(rv, 1, {100, 10}, false));
+  campaign.labeled.push_back(make_labeled(iso, 1, {200, 10}, false));
+
+  const ProjectOverlap overlap = project_overlap(campaign);
+  EXPECT_EQ(overlap.ris_routeviews, 1u);
+  EXPECT_EQ(overlap.only_isolario, 1u);
+  EXPECT_EQ(overlap.all_three, 0u);
+  EXPECT_EQ(overlap.total(), 2u);
+}
+
+TEST(FiguresUnit, DampingShareEmpty) {
+  EXPECT_DOUBLE_EQ(damping_share({}), 0.0);
+}
+
+TEST(FiguresUnit, CategoryCountsAllLevels) {
+  std::vector<core::Category> cats;
+  for (int c = 1; c <= 5; ++c)
+    for (int k = 0; k < c; ++k)
+      cats.push_back(static_cast<core::Category>(c));
+  const auto counts = category_counts(cats);
+  for (std::size_t c = 0; c < 5; ++c) EXPECT_EQ(counts[c], c + 1);
+  EXPECT_NEAR(damping_share(cats), 9.0 / 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace because::experiment

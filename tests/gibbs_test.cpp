@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/gibbs.hpp"
+#include "core/metropolis.hpp"
+
+namespace because::core {
+namespace {
+
+labeling::PathDataset planted_dataset(int copies) {
+  labeling::PathDataset d;
+  for (int i = 0; i < copies; ++i) {
+    d.add_path({10, 20}, true);
+    d.add_path({10, 30}, true);
+    d.add_path({20, 30}, false);
+    d.add_path({30, 40}, false);
+  }
+  return d;
+}
+
+TEST(Gibbs, RecoversPlantedDamper) {
+  const auto data = planted_dataset(10);
+  const Likelihood lik(data);
+  GibbsConfig config;
+  config.samples = 500;
+  config.burn_in = 100;
+  config.seed = 1;
+  const Chain chain = run_gibbs(lik, Prior::uniform(), config);
+  EXPECT_GT(chain.mean(*data.index_of(10)), 0.8);
+  EXPECT_LT(chain.mean(*data.index_of(20)), 0.2);
+  EXPECT_LT(chain.mean(*data.index_of(30)), 0.2);
+}
+
+TEST(Gibbs, SamplesStayInUnitInterval) {
+  const auto data = planted_dataset(3);
+  const Likelihood lik(data);
+  GibbsConfig config;
+  config.samples = 200;
+  config.burn_in = 50;
+  config.seed = 2;
+  const Chain chain = run_gibbs(lik, Prior::uniform(), config);
+  for (std::size_t t = 0; t < chain.size(); ++t)
+    for (double x : chain.sample(t)) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+}
+
+TEST(Gibbs, AgreesWithMetropolis) {
+  const auto data = planted_dataset(8);
+  const Likelihood lik(data);
+
+  GibbsConfig gibbs_config;
+  gibbs_config.samples = 600;
+  gibbs_config.burn_in = 150;
+  gibbs_config.seed = 3;
+  const Chain gibbs_chain = run_gibbs(lik, Prior::uniform(), gibbs_config);
+
+  MetropolisConfig mh_config;
+  mh_config.samples = 2000;
+  mh_config.burn_in = 600;
+  mh_config.seed = 4;
+  const Chain mh_chain = run_metropolis(lik, Prior::uniform(), mh_config);
+
+  for (std::size_t i = 0; i < data.as_count(); ++i)
+    EXPECT_NEAR(gibbs_chain.mean(i), mh_chain.mean(i), 0.1)
+        << "AS " << data.as_at(i);
+}
+
+TEST(Gibbs, DeterministicForSeed) {
+  const auto data = planted_dataset(2);
+  const Likelihood lik(data);
+  GibbsConfig config;
+  config.samples = 50;
+  config.burn_in = 20;
+  config.seed = 5;
+  const Chain a = run_gibbs(lik, Prior::uniform(), config);
+  const Chain b = run_gibbs(lik, Prior::uniform(), config);
+  for (std::size_t t = 0; t < a.size(); t += 7)
+    for (std::size_t i = 0; i < a.dim(); ++i)
+      EXPECT_DOUBLE_EQ(a.sample(t)[i], b.sample(t)[i]);
+}
+
+TEST(Gibbs, RespectsInformativePriorWithoutData) {
+  // Single AS on no informative paths... use an AS on one ambiguous path
+  // pair so the prior dominates.
+  labeling::PathDataset d;
+  d.add_path({10, 99}, true);
+  d.add_path({10}, true);  // 10 explains everything; 99 has no information
+  const Likelihood lik(d);
+  GibbsConfig config;
+  config.samples = 800;
+  config.burn_in = 200;
+  config.seed = 6;
+  const Chain chain = run_gibbs(lik, Prior::beta(2.0, 6.0), config);
+  // 99's marginal should hug the Beta(2,6) prior mean 0.25.
+  EXPECT_NEAR(chain.mean(*d.index_of(99)), 0.25, 0.12);
+}
+
+TEST(Gibbs, ConfigValidation) {
+  const auto data = planted_dataset(1);
+  const Likelihood lik(data);
+  GibbsConfig config;
+  config.samples = 0;
+  EXPECT_THROW(run_gibbs(lik, Prior::uniform(), config), std::invalid_argument);
+  config = GibbsConfig{};
+  config.grid_points = 1;
+  EXPECT_THROW(run_gibbs(lik, Prior::uniform(), config), std::invalid_argument);
+  config = GibbsConfig{};
+  config.thin = 0;
+  EXPECT_THROW(run_gibbs(lik, Prior::uniform(), config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace because::core

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "heuristics/combined.hpp"
+
+namespace because::heuristics {
+namespace {
+
+// ---------------------------------------------------------------- M1
+
+TEST(PathRatio, MatchesDefinition) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({10, 30}, true);
+  d.add_path({10, 40}, false);
+  d.add_path({20, 40}, false);
+  const auto m1 = rfd_path_ratio(d);
+  EXPECT_NEAR(m1[*d.index_of(10)], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m1[*d.index_of(20)], 0.5, 1e-12);
+  EXPECT_NEAR(m1[*d.index_of(40)], 0.0, 1e-12);
+}
+
+TEST(PathRatio, StubBiasFalsePositive) {
+  // The paper's caveat: a stub whose only upstream damps looks like a
+  // damper under M1.
+  labeling::PathDataset d;
+  d.add_path({10, 99}, true);  // 10 damps; 99 is an innocent stub behind it
+  d.add_path({10, 99}, true);
+  const auto m1 = rfd_path_ratio(d);
+  EXPECT_DOUBLE_EQ(m1[*d.index_of(99)], 1.0);  // false positive by design
+}
+
+TEST(PathRatio, EmptyDataset) {
+  labeling::PathDataset d;
+  EXPECT_TRUE(rfd_path_ratio(d).empty());
+}
+
+// ---------------------------------------------------------------- M2
+
+labeling::LabeledPath make_labeled(collector::VpId vp, std::uint32_t prefix_id,
+                                   topology::AsPath path, bool rfd) {
+  labeling::LabeledPath p;
+  p.vp = vp;
+  p.prefix = bgp::Prefix{prefix_id, 24};
+  p.path = std::move(path);
+  p.rfd = rfd;
+  return p;
+}
+
+labeling::ObservedPath make_observed(collector::VpId vp, std::uint32_t prefix_id,
+                                     topology::AsPath path) {
+  labeling::ObservedPath p;
+  p.vp = vp;
+  p.prefix = bgp::Prefix{prefix_id, 24};
+  p.path = std::move(path);
+  return p;
+}
+
+TEST(AltPath, DamperAbsentFromAlternatives) {
+  // Damped path {100, 50, 10} and observed alternative {100, 60, 10} at the
+  // same (vp, prefix): AS 50 is missing from the alternative (score 1),
+  // ASs 100 and 10 appear on it (score 0).
+  labeling::PathDataset d;
+  d.add_path({100, 50, 10}, true);
+  d.add_path({100, 60, 10}, false);
+  const std::vector<labeling::LabeledPath> paths{
+      make_labeled(0, 1, {100, 50, 10}, true),
+  };
+  const std::vector<labeling::ObservedPath> observed{
+      make_observed(0, 1, {100, 50, 10}),
+      make_observed(0, 1, {100, 60, 10}),
+  };
+  const auto m2 = alternative_path_metric(d, paths, observed);
+  EXPECT_DOUBLE_EQ(m2[*d.index_of(50)], 1.0);
+  EXPECT_DOUBLE_EQ(m2[*d.index_of(100)], 0.0);
+  EXPECT_DOUBLE_EQ(m2[*d.index_of(10)], 0.0);
+  EXPECT_DOUBLE_EQ(m2[*d.index_of(60)], 0.0);  // not on any damped path
+}
+
+TEST(AltPath, SeparateStreamsDoNotMix) {
+  // The alternative lives at a different VP: no alternatives in-stream, so
+  // no evidence is produced.
+  labeling::PathDataset d;
+  d.add_path({100, 50, 10}, true);
+  d.add_path({200, 60, 10}, false);
+  const std::vector<labeling::LabeledPath> paths{
+      make_labeled(0, 1, {100, 50, 10}, true),
+  };
+  const std::vector<labeling::ObservedPath> observed{
+      make_observed(0, 1, {100, 50, 10}),
+      make_observed(1, 1, {200, 60, 10}),
+  };
+  const auto m2 = alternative_path_metric(d, paths, observed);
+  EXPECT_DOUBLE_EQ(m2[*d.index_of(50)], 0.0);
+}
+
+TEST(AltPath, AveragesOverAlternatives) {
+  // Two alternatives, AS 50 absent from one of them: score 0.5.
+  labeling::PathDataset d;
+  d.add_path({100, 50, 10}, true);
+  d.add_path({100, 60, 10}, false);
+  d.add_path({100, 50, 70, 10}, false);
+  const std::vector<labeling::LabeledPath> paths{
+      make_labeled(0, 1, {100, 50, 10}, true),
+  };
+  const std::vector<labeling::ObservedPath> observed{
+      make_observed(0, 1, {100, 50, 10}),
+      make_observed(0, 1, {100, 60, 10}),
+      make_observed(0, 1, {100, 50, 70, 10}),
+  };
+  const auto m2 = alternative_path_metric(d, paths, observed);
+  EXPECT_DOUBLE_EQ(m2[*d.index_of(50)], 0.5);
+}
+
+// ---------------------------------------------------------------- M3
+
+TEST(BurstSlope, DecreasingHistogramScoresHigh) {
+  const std::vector<double> falling{20, 18, 15, 12, 9, 6, 3, 1};
+  EXPECT_GT(slope_score(falling), 0.8);
+}
+
+TEST(BurstSlope, FlatHistogramScoresZero) {
+  const std::vector<double> flat{10, 10, 10, 10, 10};
+  EXPECT_NEAR(slope_score(flat), 0.0, 1e-9);
+}
+
+TEST(BurstSlope, RisingHistogramScoresZero) {
+  const std::vector<double> rising{1, 3, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(slope_score(rising), 0.0);
+}
+
+TEST(BurstSlope, NoDataIsNeutral) {
+  const std::vector<double> empty(40, 0.0);
+  EXPECT_DOUBLE_EQ(slope_score(empty), 0.5);
+  EXPECT_DOUBLE_EQ(slope_score({}), 0.5);
+}
+
+TEST(BurstSlope, HistogramFromStore) {
+  // Announcements through AS 50 concentrated early in the burst.
+  collector::UpdateStore store;
+  const auto vp = store.register_vp(100, collector::Project::kRipeRis, 0);
+
+  Experiment exp;
+  exp.prefix = bgp::Prefix{1, 24};
+  exp.schedule.update_interval = sim::minutes(1);
+  exp.schedule.burst_length = sim::minutes(20);
+  exp.schedule.break_length = sim::minutes(40);
+  exp.schedule.pairs = 1;
+  exp.schedule.warmup = sim::minutes(5);
+
+  const auto burst = beacon::burst_windows(exp.schedule)[0];
+  for (int i = 0; i < 8; ++i) {
+    bgp::Update u;
+    u.type = bgp::UpdateType::kAnnouncement;
+    u.prefix = exp.prefix;
+    u.as_path = {100, 50, 10};
+    u.beacon_timestamp = 0;
+    store.record(vp, burst.begin + sim::minutes(i), u);
+  }
+
+  BurstSlopeConfig config;
+  config.bins = 10;
+  const auto heights = burst_histogram(50, store, {exp}, config);
+  double total = 0.0;
+  for (double h : heights) total += h;
+  EXPECT_DOUBLE_EQ(total, 8.0);
+  EXPECT_GT(heights[0], 0.0);
+  EXPECT_DOUBLE_EQ(heights.back(), 0.0);
+  EXPECT_GT(slope_score(heights), 0.3);
+
+  // An AS not on the path sees nothing.
+  const auto none = burst_histogram(77, store, {exp}, config);
+  for (double h : none) EXPECT_DOUBLE_EQ(h, 0.0);
+}
+
+// ---------------------------------------------------------------- combined
+
+TEST(Combined, AveragesThreeMetrics) {
+  labeling::PathDataset d;
+  d.add_path({100, 50, 10}, true);
+  d.add_path({100, 60, 10}, false);
+  const std::vector<labeling::LabeledPath> paths{
+      make_labeled(0, 1, {100, 50, 10}, true),
+      make_labeled(0, 1, {100, 60, 10}, false),
+  };
+  const std::vector<labeling::ObservedPath> observed{
+      make_observed(0, 1, {100, 50, 10}),
+      make_observed(0, 1, {100, 60, 10}),
+  };
+  collector::UpdateStore store;
+  store.register_vp(100, collector::Project::kRipeRis, 0);
+  Experiment exp;
+  exp.prefix = bgp::Prefix{1, 24};
+  exp.schedule.update_interval = sim::minutes(1);
+  exp.schedule.burst_length = sim::minutes(20);
+  exp.schedule.break_length = sim::minutes(40);
+  exp.schedule.pairs = 1;
+
+  const auto scores = run_heuristics(d, paths, observed, store, {exp});
+  ASSERT_EQ(scores.combined.size(), d.as_count());
+  for (std::size_t n = 0; n < d.as_count(); ++n) {
+    EXPECT_NEAR(scores.combined[n],
+                (scores.path_ratio[n] + scores.alt_path[n] +
+                 scores.burst_slope[n]) / 3.0,
+                1e-12);
+  }
+  // AS 50 (the damper) must outscore the clean alternative AS 60.
+  EXPECT_GT(scores.combined[*d.index_of(50)], scores.combined[*d.index_of(60)]);
+}
+
+TEST(Combined, PredictionThreshold) {
+  const std::vector<double> combined{0.2, 0.5, 0.8};
+  const auto pred = heuristic_prediction(combined, 0.5);
+  EXPECT_FALSE(pred[0]);
+  EXPECT_TRUE(pred[1]);
+  EXPECT_TRUE(pred[2]);
+  EXPECT_THROW(heuristic_prediction(combined, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace because::heuristics

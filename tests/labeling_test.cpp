@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "beacon/schedule.hpp"
+#include "labeling/path_key.hpp"
+#include "labeling/signature.hpp"
+
+namespace because::labeling {
+namespace {
+
+const bgp::Prefix kPrefix{1, 24};
+
+// ---------------------------------------------------------------- path_key
+
+TEST(PathKey, CleanStripsPrepending) {
+  EXPECT_EQ(clean_path({1, 1, 2, 3}), (topology::AsPath{1, 2, 3}));
+}
+
+TEST(PathKey, CleanDropsLoopedPaths) {
+  EXPECT_TRUE(clean_path({1, 2, 1}).empty());
+}
+
+TEST(PathKey, ToString) {
+  EXPECT_EQ(path_to_string({701, 2497}), "701 2497");
+  EXPECT_EQ(path_to_string({}), "");
+}
+
+TEST(PathKey, HashDistinguishesPaths) {
+  PathHash h;
+  EXPECT_NE(h({1, 2, 3}), h({3, 2, 1}));
+  EXPECT_EQ(h({1, 2, 3}), h({1, 2, 3}));
+}
+
+// ---------------------------------------------------------------- signature
+
+/// Fixture building a beacon schedule and recording synthetic VP streams.
+struct SignatureFixture {
+  beacon::BeaconSchedule schedule;
+  collector::UpdateStore store;
+  collector::VpId vp;
+  topology::AsPath path{100, 50, 10};
+
+  SignatureFixture() {
+    schedule.update_interval = sim::minutes(1);
+    schedule.burst_length = sim::minutes(20);
+    schedule.break_length = sim::hours(1);
+    schedule.pairs = 3;
+    schedule.warmup = sim::minutes(5);
+    vp = store.register_vp(100, collector::Project::kRipeRis, 0);
+  }
+
+  void add_announcement(sim::Time at, topology::AsPath p = {}) {
+    bgp::Update u;
+    u.type = bgp::UpdateType::kAnnouncement;
+    u.prefix = kPrefix;
+    u.as_path = p.empty() ? path : std::move(p);
+    u.beacon_timestamp = at;
+    store.record(vp, at, u);
+  }
+
+  void add_withdrawal(sim::Time at) {
+    bgp::Update u;
+    u.type = bgp::UpdateType::kWithdrawal;
+    u.prefix = kPrefix;
+    store.record(vp, at, u);
+  }
+
+  /// Replay the whole burst at the VP (no damping): every beacon event
+  /// arrives `delay` later.
+  void replay_clean(sim::Duration delay = sim::seconds(30)) {
+    for (const beacon::BeaconEvent& e : beacon::expand(schedule)) {
+      if (e.type == bgp::UpdateType::kAnnouncement)
+        add_announcement(e.when + delay);
+      else
+        add_withdrawal(e.when + delay);
+    }
+  }
+
+  /// Replay with damping: bursts go quiet after `quiet_after` into each
+  /// burst and a re-advertisement arrives `rdelta` after the burst's last
+  /// event.
+  void replay_damped(sim::Duration quiet_after, sim::Duration rdelta) {
+    const auto bursts = beacon::burst_windows(schedule);
+    const auto events = beacon::expand(schedule);
+    for (const beacon::BeaconEvent& e : events) {
+      bool suppressed = false;
+      for (const beacon::Window& burst : bursts)
+        if (e.when >= burst.begin + quiet_after && e.when < burst.end)
+          suppressed = true;
+      if (suppressed) continue;
+      if (e.type == bgp::UpdateType::kAnnouncement)
+        add_announcement(e.when + sim::seconds(30));
+      else
+        add_withdrawal(e.when + sim::seconds(30));
+    }
+    // Re-advertisements in each break.
+    for (const beacon::Window& burst : bursts) {
+      sim::Time last = burst.begin;
+      for (const beacon::BeaconEvent& e : events)
+        if (e.when >= burst.begin && e.when < burst.end)
+          last = std::max(last, e.when);
+      add_announcement(last + rdelta);
+    }
+  }
+};
+
+TEST(Signature, CleanPathLabeledNonRfd) {
+  SignatureFixture f;
+  f.replay_clean();
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_FALSE(labels[0].rfd);
+  EXPECT_EQ(labels[0].path, f.path);
+  EXPECT_GT(labels[0].relevant_pairs, 0u);
+  EXPECT_EQ(labels[0].matching_pairs, 0u);
+}
+
+TEST(Signature, DampedPathLabeledRfd) {
+  SignatureFixture f;
+  f.replay_damped(sim::minutes(6), sim::minutes(25));
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_TRUE(labels[0].rfd);
+  EXPECT_EQ(labels[0].matching_pairs, labels[0].relevant_pairs);
+  EXPECT_NEAR(labels[0].mean_rdelta_minutes, 25.0, 0.5);
+  EXPECT_EQ(labels[0].rdeltas_minutes.size(), labels[0].matching_pairs);
+}
+
+TEST(Signature, ShortRdeltaIsNotRfd) {
+  // Re-advertisements within the 5 min propagation window do not count.
+  SignatureFixture f;
+  f.replay_damped(sim::minutes(6), sim::minutes(3));
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_FALSE(labels[0].rfd);
+}
+
+TEST(Signature, NinetyPercentRuleToleratesOnePairMiss) {
+  SignatureFixture f;
+  f.schedule.pairs = 10;
+  const auto bursts = beacon::burst_windows(f.schedule);
+  const auto events = beacon::expand(f.schedule);
+  f.add_announcement(0);  // initial steady state before the first burst
+  // All pairs match except the first (session-reset style failure).
+  for (std::size_t k = 0; k < bursts.size(); ++k) {
+    sim::Time last = bursts[k].begin;
+    for (const beacon::BeaconEvent& e : events)
+      if (e.when >= bursts[k].begin && e.when < bursts[k].end)
+        last = std::max(last, e.when);
+    if (k != 0) f.add_announcement(last + sim::minutes(20));
+  }
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].relevant_pairs, 10u);
+  EXPECT_EQ(labels[0].matching_pairs, 9u);
+  EXPECT_TRUE(labels[0].rfd);  // 9/10 = 90% >= threshold
+}
+
+TEST(Signature, BelowNinetyPercentIsNotRfd) {
+  SignatureFixture f;
+  f.schedule.pairs = 10;
+  const auto bursts = beacon::burst_windows(f.schedule);
+  const auto events = beacon::expand(f.schedule);
+  f.add_announcement(0);
+  for (std::size_t k = 0; k < bursts.size(); ++k) {
+    sim::Time last = bursts[k].begin;
+    for (const beacon::BeaconEvent& e : events)
+      if (e.when >= bursts[k].begin && e.when < bursts[k].end)
+        last = std::max(last, e.when);
+    if (k >= 2) f.add_announcement(last + sim::minutes(20));  // 8/10 match
+  }
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_FALSE(labels[0].rfd);
+}
+
+TEST(Signature, SteadyStatePathIsTheUnitUnderTest) {
+  // A path announced only *inside* a burst (transient hunting path) gets no
+  // label; the steady path entering the burst does.
+  SignatureFixture f;
+  const auto bursts = beacon::burst_windows(f.schedule);
+  f.add_announcement(0);  // steady path {100,50,10}
+  f.add_announcement(bursts[0].begin + sim::minutes(2), {100, 60, 10});
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  // Burst 0 tests the steady path; bursts 1,2 test {100,60,10}, which
+  // became current mid-burst-0 and stayed current.
+  bool steady_found = false;
+  for (const LabeledPath& l : labels)
+    if (l.path == f.path) steady_found = true;
+  EXPECT_TRUE(steady_found);
+
+  // observed_paths() still surfaces the transient alternative for M2.
+  const auto observed = observed_paths(f.store, kPrefix);
+  ASSERT_EQ(observed.size(), 2u);
+}
+
+TEST(Signature, DistinctPathsLabeledIndependently) {
+  // The steady path alternates across the campaign: clean path before
+  // burst 0, damped alternative from burst 1 on (it re-advertises in every
+  // break and is thus current at the following burst start).
+  SignatureFixture f;
+  f.replay_clean();  // path {100,50,10} clean, flaps every burst
+  const topology::AsPath alt{100, 60, 10};
+  const auto bursts = beacon::burst_windows(f.schedule);
+  const auto events = beacon::expand(f.schedule);
+  for (const beacon::Window& burst : bursts) {
+    sim::Time last = burst.begin;
+    for (const beacon::BeaconEvent& e : events)
+      if (e.when >= burst.begin && e.when < burst.end)
+        last = std::max(last, e.when);
+    f.add_announcement(last + sim::minutes(22), alt);
+  }
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 2u);
+  bool clean_found = false, damped_found = false;
+  for (const LabeledPath& l : labels) {
+    if (l.path == f.path) {
+      EXPECT_FALSE(l.rfd);  // burst 0: steady, no re-adv
+      clean_found = true;
+    }
+    if (l.path == alt) {
+      EXPECT_TRUE(l.rfd);  // bursts 1..: steady with matching re-adv
+      damped_found = true;
+    }
+  }
+  EXPECT_TRUE(clean_found);
+  EXPECT_TRUE(damped_found);
+}
+
+TEST(Signature, PrependedPathsCollapse) {
+  SignatureFixture f;
+  f.add_announcement(sim::minutes(1), {100, 50, 50, 10});  // before burst 0
+  const auto bursts = beacon::burst_windows(f.schedule);
+  f.add_announcement(bursts[0].begin + sim::seconds(65), {100, 50, 10});
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 1u);  // same cleaned path
+  EXPECT_EQ(labels[0].path, (topology::AsPath{100, 50, 10}));
+  EXPECT_GE(labels[0].relevant_pairs, 1u);
+}
+
+TEST(Signature, EmptyStoreYieldsNoLabels) {
+  SignatureFixture f;
+  EXPECT_TRUE(label_paths(f.store, kPrefix, f.schedule).empty());
+  EXPECT_TRUE(observed_paths(f.store, kPrefix).empty());
+}
+
+TEST(Signature, QuietSteadyPathLabeledCleanAcrossPairs) {
+  // A route announced once before the bursts and never updated again stays
+  // the VP's best path: it is tested in every pair and labeled non-RFD.
+  SignatureFixture f;
+  f.add_announcement(sim::minutes(1));  // during warmup, before burst 0
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].relevant_pairs, f.schedule.pairs);
+  EXPECT_FALSE(labels[0].rfd);
+}
+
+class RdeltaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RdeltaSweep, RdeltaMeasuredAccurately) {
+  SignatureFixture f;
+  const int rdelta_min = GetParam();
+  f.replay_damped(sim::minutes(6), sim::minutes(rdelta_min));
+  const auto labels = label_paths(f.store, kPrefix, f.schedule);
+  ASSERT_EQ(labels.size(), 1u);
+  ASSERT_TRUE(labels[0].rfd);
+  EXPECT_NEAR(labels[0].mean_rdelta_minutes, rdelta_min, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rdeltas, RdeltaSweep, ::testing::Values(10, 30, 45, 58));
+
+}  // namespace
+}  // namespace because::labeling

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/likelihood.hpp"
+
+namespace because::core {
+namespace {
+
+labeling::PathDataset two_path_dataset() {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);    // shows property
+  d.add_path({20, 30}, false);   // clean
+  return d;
+}
+
+TEST(Likelihood, DimMatchesDataset) {
+  const auto d = two_path_dataset();
+  const Likelihood lik(d);
+  EXPECT_EQ(lik.dim(), 3u);
+}
+
+TEST(Likelihood, HandComputedValue) {
+  const auto d = two_path_dataset();
+  const Likelihood lik(d);
+  // p = (p10, p20, p30) in interning order 10,20,30.
+  const std::vector<double> p{0.5, 0.2, 0.1};
+  // Path {10,20} shows: log(1 - 0.5*0.8) = log(0.6)
+  // Path {20,30} clean: log(0.8*0.9) = log(0.72)
+  const double expected = std::log(1.0 - 0.5 * 0.8) + std::log(0.8 * 0.9);
+  EXPECT_NEAR(lik.log_likelihood(p), expected, 1e-12);
+}
+
+TEST(Likelihood, ProductsMatchDefinition) {
+  const auto d = two_path_dataset();
+  const Likelihood lik(d);
+  const std::vector<double> p{0.5, 0.2, 0.1};
+  const auto prods = lik.products(p);
+  ASSERT_EQ(prods.size(), 2u);
+  EXPECT_NEAR(prods[0], 0.5 * 0.8, 1e-12);
+  EXPECT_NEAR(prods[1], 0.8 * 0.9, 1e-12);
+}
+
+TEST(Likelihood, ObservationLogLik) {
+  const auto d = two_path_dataset();
+  const Likelihood lik(d);
+  EXPECT_NEAR(lik.observation_log_lik(0.3, false), std::log(0.3), 1e-12);
+  EXPECT_NEAR(lik.observation_log_lik(0.3, true), std::log(0.7), 1e-12);
+  // Floors keep logs finite at the boundary.
+  EXPECT_TRUE(std::isfinite(lik.observation_log_lik(0.0, false)));
+  EXPECT_TRUE(std::isfinite(lik.observation_log_lik(1.0, true)));
+}
+
+TEST(Likelihood, NoiseModelFlipsLabels) {
+  const auto d = two_path_dataset();
+  NoiseModel noise;
+  noise.false_signature = 0.1;
+  noise.missed_signature = 0.2;
+  const Likelihood lik(d, noise);
+  // shows: fs*prod + (1-ms)*(1-prod) = 0.1*0.4 + 0.8*0.6
+  EXPECT_NEAR(lik.observation_log_lik(0.4, true),
+              std::log(0.1 * 0.4 + 0.8 * 0.6), 1e-12);
+  // clean: (1-fs)*prod + ms*(1-prod) = 0.9*0.4 + 0.2*0.6
+  EXPECT_NEAR(lik.observation_log_lik(0.4, false),
+              std::log(0.9 * 0.4 + 0.2 * 0.6), 1e-12);
+  // A clean path with every q = 1 still shows with probability fs.
+  EXPECT_NEAR(lik.observation_log_lik(1.0, true), std::log(0.1), 1e-12);
+}
+
+TEST(Likelihood, NoiseModelValidation) {
+  const auto d = two_path_dataset();
+  NoiseModel bad;
+  bad.false_signature = 0.6;
+  EXPECT_THROW(Likelihood(d, bad), std::invalid_argument);
+  bad = NoiseModel{};
+  bad.missed_signature = -0.1;
+  EXPECT_THROW(Likelihood(d, bad), std::invalid_argument);
+}
+
+TEST(Likelihood, NoisyGradientMatchesFiniteDifferences) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({20, 30}, false);
+  d.add_path({10, 30}, true);
+  NoiseModel noise;
+  noise.false_signature = 0.05;
+  noise.missed_signature = 0.08;
+  const Likelihood lik(d, noise);
+  const std::vector<double> p{0.4, 0.25, 0.6};
+
+  std::vector<double> grad(3);
+  lik.gradient(p, grad);
+  const double h = 1e-7;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    std::vector<double> plus = p, minus = p;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd =
+        (lik.log_likelihood(plus) - lik.log_likelihood(minus)) / (2 * h);
+    EXPECT_NEAR(grad[i], fd, 1e-4) << "coordinate " << i;
+  }
+}
+
+TEST(Likelihood, CleanPathsPullTowardZero) {
+  labeling::PathDataset d;
+  d.add_path({10}, false);
+  const Likelihood lik(d);
+  EXPECT_GT(lik.log_likelihood(std::vector<double>{0.1}),
+            lik.log_likelihood(std::vector<double>{0.9}));
+}
+
+TEST(Likelihood, PropertyPathsPullTowardOne) {
+  labeling::PathDataset d;
+  d.add_path({10}, true);
+  const Likelihood lik(d);
+  EXPECT_GT(lik.log_likelihood(std::vector<double>{0.9}),
+            lik.log_likelihood(std::vector<double>{0.1}));
+}
+
+TEST(Likelihood, GradientMatchesFiniteDifferences) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({20, 30}, false);
+  d.add_path({10, 30}, true);
+  const Likelihood lik(d);
+  const std::vector<double> p{0.4, 0.25, 0.6};
+
+  std::vector<double> grad(3);
+  lik.gradient(p, grad);
+
+  const double h = 1e-7;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    std::vector<double> plus = p, minus = p;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd =
+        (lik.log_likelihood(plus) - lik.log_likelihood(minus)) / (2 * h);
+    EXPECT_NEAR(grad[i], fd, 1e-4) << "coordinate " << i;
+  }
+}
+
+TEST(Likelihood, GradientSignConventions) {
+  labeling::PathDataset d;
+  d.add_path({10}, true);
+  d.add_path({20}, false);
+  const Likelihood lik(d);
+  std::vector<double> grad(2);
+  lik.gradient(std::vector<double>{0.5, 0.5}, grad);
+  EXPECT_GT(grad[0], 0.0);  // increase p on property-showing path
+  EXPECT_LT(grad[1], 0.0);  // decrease p on clean path
+}
+
+TEST(Likelihood, DimMismatchThrows) {
+  const auto d = two_path_dataset();
+  const Likelihood lik(d);
+  std::vector<double> wrong(2, 0.5);
+  EXPECT_THROW(lik.log_likelihood(wrong), std::invalid_argument);
+  std::vector<double> grad(2);
+  std::vector<double> p(3, 0.5);
+  EXPECT_THROW(lik.gradient(p, grad), std::invalid_argument);
+}
+
+TEST(Likelihood, MleOfSingleAsMatchesFraction) {
+  // One AS on 3 property paths and 1 clean path: the MLE of p is 0.75 and
+  // the log-likelihood must peak there.
+  labeling::PathDataset d;
+  d.add_path({10}, true);
+  d.add_path({10}, true);
+  d.add_path({10}, true);
+  d.add_path({10}, false);
+  const Likelihood lik(d);
+  const double at_mle = lik.log_likelihood(std::vector<double>{0.75});
+  for (double p : {0.3, 0.5, 0.6, 0.9}) {
+    EXPECT_LT(lik.log_likelihood(std::vector<double>{p}), at_mle);
+  }
+}
+
+}  // namespace
+}  // namespace because::core

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "collector/mrt.hpp"
+
+namespace because::collector {
+namespace {
+
+UpdateStore sample_store() {
+  UpdateStore store;
+  const VpId a = store.register_vp(100, Project::kRipeRis, sim::seconds(40));
+  const VpId b = store.register_vp(200, Project::kIsolario, sim::seconds(9));
+
+  bgp::Update announce;
+  announce.type = bgp::UpdateType::kAnnouncement;
+  announce.prefix = bgp::Prefix{7, 24};
+  announce.as_path = {100, 50, 10};
+  announce.beacon_timestamp = sim::minutes(3);
+  store.record(a, sim::minutes(4), announce);
+
+  bgp::Update withdraw;
+  withdraw.type = bgp::UpdateType::kWithdrawal;
+  withdraw.prefix = bgp::Prefix{7, 24};
+  store.record(b, sim::minutes(5), withdraw);
+
+  bgp::Update missing = announce;
+  missing.beacon_timestamp = bgp::kNoBeaconTimestamp;
+  store.record(b, sim::minutes(6), missing);
+  return store;
+}
+
+TEST(Mrt, RoundTripPreservesEverything) {
+  const UpdateStore original = sample_store();
+  std::stringstream buffer;
+  write_mrt(buffer, original);
+  const UpdateStore loaded = read_mrt(buffer);
+
+  ASSERT_EQ(loaded.vantage_points().size(), original.vantage_points().size());
+  for (std::size_t i = 0; i < original.vantage_points().size(); ++i) {
+    const VpInfo& a = original.vantage_points()[i];
+    const VpInfo& b = loaded.vantage_points()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.as, b.as);
+    EXPECT_EQ(a.project, b.project);
+    EXPECT_EQ(a.export_delay, b.export_delay);
+  }
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const RecordedUpdate& a = original.all()[i];
+    const RecordedUpdate& b = loaded.all()[i];
+    EXPECT_EQ(a.recorded_at, b.recorded_at);
+    EXPECT_EQ(a.vp, b.vp);
+    EXPECT_EQ(a.update.type, b.update.type);
+    EXPECT_EQ(a.update.prefix, b.update.prefix);
+    EXPECT_EQ(a.update.as_path, b.update.as_path);
+    EXPECT_EQ(a.update.beacon_timestamp, b.update.beacon_timestamp);
+  }
+}
+
+TEST(Mrt, QueriesWorkOnLoadedStore) {
+  std::stringstream buffer;
+  write_mrt(buffer, sample_store());
+  const UpdateStore loaded = read_mrt(buffer);
+  const auto stream = loaded.for_vp_prefix(0, bgp::Prefix{7, 24});
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].update.as_path, (topology::AsPath{100, 50, 10}));
+}
+
+TEST(Mrt, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "becmrt 1\n"
+      "\n"
+      "VP 0 100 0 1000\n"
+      "# another comment\n"
+      "U 500 0 A 1/24 100 100 50\n");
+  const UpdateStore store = read_mrt(in);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Mrt, RejectsMalformedInput) {
+  {
+    std::stringstream in("VP 0 100 0 1000\n");  // missing header
+    EXPECT_THROW(read_mrt(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("becmrt 99\n");  // bad version
+    EXPECT_THROW(read_mrt(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("becmrt 1\nU 5 0 A 1/24 0 7\n");  // unknown VP
+    EXPECT_THROW(read_mrt(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("becmrt 1\nVP 0 100 0 0\nU 5 0 W 1/24 -1 7 8\n");
+    EXPECT_THROW(read_mrt(in), std::runtime_error);  // withdrawal with path
+  }
+  {
+    std::stringstream in("becmrt 1\nVP 0 100 0 0\nU 5 0 X 1/24 0\n");
+    EXPECT_THROW(read_mrt(in), std::runtime_error);  // bad type
+  }
+  {
+    std::stringstream in("becmrt 1\nVP 0 100 7 0\n");  // bad project
+    EXPECT_THROW(read_mrt(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("becmrt 1\nXYZ\n");  // unknown tag
+    EXPECT_THROW(read_mrt(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("");  // empty
+    EXPECT_THROW(read_mrt(in), std::runtime_error);
+  }
+}
+
+TEST(Mrt, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/because_mrt_test.dump";
+  save_mrt_file(path, sample_store());
+  const UpdateStore loaded = load_mrt_file(path);
+  EXPECT_EQ(loaded.size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_mrt_file("/nonexistent/dir/file.dump"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace because::collector

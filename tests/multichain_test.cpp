@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/multichain.hpp"
+#include "stats/rhat.hpp"
+#include "stats/rng.hpp"
+
+namespace because {
+namespace {
+
+// ---------------------------------------------------------------- rhat
+
+TEST(GelmanRubin, AgreeingChainsNearOne) {
+  stats::Rng rng(1);
+  std::vector<std::vector<double>> chains(4);
+  for (auto& chain : chains)
+    for (int i = 0; i < 500; ++i) chain.push_back(rng.normal(0.5, 0.1));
+  EXPECT_LT(stats::gelman_rubin(chains), 1.05);
+}
+
+TEST(GelmanRubin, DivergentChainsLarge) {
+  stats::Rng rng(2);
+  std::vector<std::vector<double>> chains(2);
+  for (int i = 0; i < 500; ++i) {
+    chains[0].push_back(rng.normal(0.1, 0.05));  // stuck in one mode
+    chains[1].push_back(rng.normal(0.9, 0.05));  // stuck in the other
+  }
+  EXPECT_GT(stats::gelman_rubin(chains), 2.0);
+}
+
+TEST(GelmanRubin, DetectsWithinChainDrift) {
+  // Split-R-hat: a single drifting chain disagrees with itself.
+  std::vector<std::vector<double>> chains(2);
+  for (int i = 0; i < 400; ++i) {
+    chains[0].push_back(i / 400.0);
+    chains[1].push_back(i / 400.0);
+  }
+  EXPECT_GT(stats::gelman_rubin(chains), 1.5);
+}
+
+TEST(GelmanRubin, ConstantAgreeingChainsAreOne) {
+  const std::vector<std::vector<double>> chains{std::vector<double>(100, 0.3),
+                                                std::vector<double>(100, 0.3)};
+  EXPECT_DOUBLE_EQ(stats::gelman_rubin(chains), 1.0);
+}
+
+TEST(GelmanRubin, Validation) {
+  EXPECT_THROW(stats::gelman_rubin({{1.0, 2.0, 3.0, 4.0}}), std::invalid_argument);
+  EXPECT_THROW(stats::gelman_rubin({{1.0, 2.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(stats::gelman_rubin({{1.0, 2.0, 3.0, 4.0}, {1.0, 2.0, 3.0}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- multichain
+
+labeling::PathDataset planted_dataset() {
+  labeling::PathDataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.add_path({10, 20}, true);
+    d.add_path({20, 30}, false);
+    d.add_path({30}, false);
+  }
+  return d;
+}
+
+TEST(MultiChain, ConvergesOnWellIdentifiedPosterior) {
+  const auto data = planted_dataset();
+  const core::Likelihood lik(data);
+  core::MetropolisConfig config;
+  config.samples = 600;
+  config.burn_in = 300;
+  config.seed = 3;
+  const auto result =
+      core::run_metropolis_chains(lik, core::Prior::uniform(), config, 4);
+
+  ASSERT_EQ(result.chains.size(), 4u);
+  ASSERT_EQ(result.rhat.size(), data.as_count());
+  EXPECT_TRUE(result.converged(1.2)) << "max rhat " << result.max_rhat();
+  EXPECT_EQ(result.pooled.size(), 4u * 600u);
+  EXPECT_GT(result.pooled.mean(*data.index_of(10)), 0.8);
+}
+
+TEST(MultiChain, SeedsDifferAcrossChains) {
+  const auto data = planted_dataset();
+  const core::Likelihood lik(data);
+  core::MetropolisConfig config;
+  config.samples = 50;
+  config.burn_in = 20;
+  config.seed = 4;
+  const auto result =
+      core::run_metropolis_chains(lik, core::Prior::uniform(), config, 2);
+  bool any_diff = false;
+  for (std::size_t t = 0; t < result.chains[0].size(); ++t)
+    if (result.chains[0].sample(t)[0] != result.chains[1].sample(t)[0])
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MultiChain, DeterministicAcrossRuns) {
+  const auto data = planted_dataset();
+  const core::Likelihood lik(data);
+  core::MetropolisConfig config;
+  config.samples = 60;
+  config.burn_in = 30;
+  config.seed = 5;
+  const auto a = core::run_metropolis_chains(lik, core::Prior::uniform(), config, 3);
+  const auto b = core::run_metropolis_chains(lik, core::Prior::uniform(), config, 3);
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t t = 0; t < a.chains[c].size(); t += 11)
+      for (std::size_t i = 0; i < a.chains[c].dim(); ++i)
+        EXPECT_DOUBLE_EQ(a.chains[c].sample(t)[i], b.chains[c].sample(t)[i]);
+  ASSERT_EQ(a.rhat.size(), b.rhat.size());
+  for (std::size_t i = 0; i < a.rhat.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.rhat[i], b.rhat[i]);
+}
+
+TEST(MultiChain, RejectsSingleChain) {
+  const auto data = planted_dataset();
+  const core::Likelihood lik(data);
+  EXPECT_THROW(core::run_metropolis_chains(lik, core::Prior::uniform(),
+                                           core::MetropolisConfig{}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace because

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "experiment/parameter_inference.hpp"
+
+namespace because::experiment {
+namespace {
+
+labeling::LabeledPath damped_path(topology::AsPath path,
+                                  std::vector<double> rdeltas,
+                                  std::uint32_t prefix = 1) {
+  labeling::LabeledPath p;
+  p.prefix = bgp::Prefix{prefix, 24};
+  p.path = std::move(path);
+  p.rfd = true;
+  p.rdeltas_minutes = std::move(rdeltas);
+  return p;
+}
+
+TEST(AttributeRdeltas, UniqueFlaggedAsOwnsTheSamples) {
+  const std::vector<labeling::LabeledPath> paths{
+      damped_path({100, 50, 10}, {58.0, 59.0}),
+      damped_path({200, 50, 10}, {57.5}),
+  };
+  const auto attributed = attribute_rdeltas(paths, {50});
+  ASSERT_EQ(attributed.size(), 1u);
+  EXPECT_EQ(attributed[0].as, 50u);
+  EXPECT_EQ(attributed[0].rdeltas_minutes.size(), 3u);
+}
+
+TEST(AttributeRdeltas, AmbiguousPathsSkipped) {
+  const std::vector<labeling::LabeledPath> paths{
+      damped_path({100, 50, 60, 10}, {58.0}),  // two flagged ASs
+      damped_path({100, 70, 10}, {30.0}),      // no flagged AS
+  };
+  const auto attributed = attribute_rdeltas(paths, {50, 60});
+  EXPECT_TRUE(attributed.empty());
+}
+
+TEST(AttributeRdeltas, CleanPathsIgnored) {
+  std::vector<labeling::LabeledPath> paths{damped_path({100, 50}, {58.0})};
+  paths.push_back(paths[0]);
+  paths[1].rfd = false;
+  const auto attributed = attribute_rdeltas(paths, {50});
+  ASSERT_EQ(attributed.size(), 1u);
+  EXPECT_EQ(attributed[0].rdeltas_minutes.size(), 1u);
+}
+
+TEST(InferParameters, SnapsToCanonicalGrid) {
+  std::vector<AsRdeltas> rdeltas;
+  rdeltas.push_back({50, {57.0, 58.5, 59.0, 58.0}});   // ~60
+  rdeltas.push_back({60, {28.0, 29.5, 30.5}});          // ~30
+  rdeltas.push_back({70, {9.0, 9.5, 8.7}});             // ~10
+  const auto estimates = infer_parameters(rdeltas);
+  ASSERT_EQ(estimates.size(), 3u);
+  EXPECT_DOUBLE_EQ(estimates[0].max_suppress_minutes, 60.0);
+  EXPECT_TRUE(estimates[0].snapped);
+  EXPECT_EQ(estimates[0].preset, "cisco-60/juniper-60");
+  EXPECT_TRUE(estimates[0].vendor_default);
+  EXPECT_DOUBLE_EQ(estimates[1].max_suppress_minutes, 30.0);
+  EXPECT_EQ(estimates[1].preset, "cisco-30");
+  EXPECT_FALSE(estimates[1].vendor_default);
+  EXPECT_DOUBLE_EQ(estimates[2].max_suppress_minutes, 10.0);
+  EXPECT_EQ(estimates[2].preset, "cisco-10");
+}
+
+TEST(InferParameters, TriggeringIntervalDisambiguatesRfc7454) {
+  std::vector<AsRdeltas> rdeltas;
+  rdeltas.push_back({50, {58.0, 59.0, 57.5}});
+  rdeltas.push_back({60, {58.0, 59.0, 57.5}});
+  std::unordered_map<topology::AsId, sim::Duration> triggering{
+      {50, sim::minutes(5)},  // deprecated defaults still trigger at 5 min
+      {60, sim::minutes(2)},  // recommended parameters stop above ~3 min
+  };
+  const auto estimates = infer_parameters(rdeltas, triggering);
+  ASSERT_EQ(estimates.size(), 2u);
+  EXPECT_EQ(estimates[0].preset, "cisco-60/juniper-60");
+  EXPECT_TRUE(estimates[0].vendor_default);
+  EXPECT_EQ(estimates[1].preset, "rfc7454-60");
+  EXPECT_FALSE(estimates[1].vendor_default);
+}
+
+TEST(InferParameters, UnsnappedIsUnknown) {
+  std::vector<AsRdeltas> rdeltas;
+  rdeltas.push_back({50, {43.0, 44.0, 45.0}});  // no canonical value nearby
+  const auto estimates = infer_parameters(rdeltas);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_FALSE(estimates[0].snapped);
+  EXPECT_EQ(estimates[0].preset, "unknown");
+  EXPECT_NEAR(estimates[0].max_suppress_minutes, 44.0, 0.01);
+}
+
+TEST(InferParameters, MinSamplesEnforced) {
+  std::vector<AsRdeltas> rdeltas;
+  rdeltas.push_back({50, {58.0}});  // too few samples
+  EXPECT_TRUE(infer_parameters(rdeltas).empty());
+}
+
+TEST(InferParameters, VendorDefaultShare) {
+  std::vector<ParameterEstimate> estimates(5);
+  estimates[0].vendor_default = true;
+  estimates[1].vendor_default = true;
+  estimates[2].vendor_default = true;
+  EXPECT_DOUBLE_EQ(vendor_default_share(estimates), 0.6);
+  EXPECT_DOUBLE_EQ(vendor_default_share({}), 0.0);
+}
+
+}  // namespace
+}  // namespace because::experiment

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/pinpoint.hpp"
+#include "stats/rng.hpp"
+
+namespace because::core {
+namespace {
+
+/// Chain where coordinate `hot` is consistently the largest.
+Chain chain_with_hot(std::size_t dim, std::size_t hot, std::size_t samples) {
+  Chain chain(dim);
+  stats::Rng rng(1);
+  std::vector<double> p(dim);
+  for (std::size_t t = 0; t < samples; ++t) {
+    for (std::size_t i = 0; i < dim; ++i)
+      p[i] = (i == hot) ? rng.uniform(0.5, 0.9) : rng.uniform(0.0, 0.3);
+    chain.push(p);
+  }
+  return chain;
+}
+
+TEST(Pinpoint, UpgradesMostLikelyDamper) {
+  labeling::PathDataset d;
+  d.add_path({701, 2497}, true);  // RFD path with no cat-4/5 AS
+  d.add_path({2497}, false);
+  const auto chain = chain_with_hot(d.as_count(), *d.index_of(701), 200);
+
+  std::vector<Category> cats(d.as_count(), Category::kLikelyNot);
+  const auto result = pinpoint_inconsistent(chain, d, cats, 0.8);
+  EXPECT_EQ(result.categories[*d.index_of(701)], Category::kLikelyDamping);
+  EXPECT_EQ(result.categories[*d.index_of(2497)], Category::kLikelyNot);
+  ASSERT_EQ(result.upgraded.size(), 1u);
+  EXPECT_EQ(result.upgraded[0], 701u);
+  EXPECT_EQ(result.unexplained_paths, 0u);
+}
+
+TEST(Pinpoint, ExplainedPathsUntouched) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  const auto chain = chain_with_hot(d.as_count(), *d.index_of(20), 100);
+
+  std::vector<Category> cats(d.as_count(), Category::kLikelyNot);
+  cats[*d.index_of(10)] = Category::kHighlyLikelyDamping;  // already explained
+  const auto result = pinpoint_inconsistent(chain, d, cats, 0.8);
+  EXPECT_TRUE(result.upgraded.empty());
+  EXPECT_EQ(result.categories[*d.index_of(20)], Category::kLikelyNot);
+}
+
+TEST(Pinpoint, AmbiguousPathStaysUnexplained) {
+  // Two coordinates with identical distributions: neither wins > 80%.
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  Chain chain(2);
+  stats::Rng rng(2);
+  for (int t = 0; t < 400; ++t) {
+    chain.push(std::vector<double>{rng.uniform(), rng.uniform()});
+  }
+  std::vector<Category> cats(2, Category::kUncertain);
+  const auto result = pinpoint_inconsistent(chain, d, cats, 0.8);
+  EXPECT_TRUE(result.upgraded.empty());
+  EXPECT_EQ(result.unexplained_paths, 1u);
+}
+
+TEST(Pinpoint, CleanPathsIgnored) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, false);
+  const auto chain = chain_with_hot(2, 0, 100);
+  std::vector<Category> cats(2, Category::kLikelyNot);
+  const auto result = pinpoint_inconsistent(chain, d, cats, 0.8);
+  EXPECT_TRUE(result.upgraded.empty());
+  EXPECT_EQ(result.unexplained_paths, 0u);
+}
+
+TEST(Pinpoint, OneUpgradeExplainsAllItsPaths) {
+  // The same hot AS sits on several unexplained RFD paths; it must be
+  // upgraded once and explain all of them.
+  labeling::PathDataset d;
+  d.add_path({701, 20}, true);
+  d.add_path({701, 30}, true);
+  d.add_path({701, 40}, true);
+  const auto chain = chain_with_hot(d.as_count(), *d.index_of(701), 200);
+  std::vector<Category> cats(d.as_count(), Category::kLikelyNot);
+  const auto result = pinpoint_inconsistent(chain, d, cats, 0.8);
+  EXPECT_EQ(result.upgraded.size(), 1u);
+  EXPECT_EQ(result.unexplained_paths, 0u);
+}
+
+TEST(Pinpoint, NoiseGuardSkipsImplausiblePaths) {
+  // A "shows" path whose posterior says it is almost surely undamped
+  // (both coordinates hover near 0) should be attributed to label noise
+  // rather than force an upgrade.
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  Chain chain(2);
+  stats::Rng rng(9);
+  for (int t = 0; t < 300; ++t)
+    chain.push(std::vector<double>{rng.uniform(0.03, 0.06),
+                                   rng.uniform(0.0, 0.02)});
+  std::vector<Category> cats(2, Category::kLikelyNot);
+
+  const auto guarded = pinpoint_inconsistent(chain, d, cats, 0.8, 0.5);
+  EXPECT_TRUE(guarded.upgraded.empty());
+  EXPECT_EQ(guarded.noise_explained_paths, 1u);
+  EXPECT_EQ(guarded.unexplained_paths, 0u);
+
+  // Without the guard the same chain would still upgrade (10 wins argmax).
+  const auto unguarded = pinpoint_inconsistent(chain, d, cats, 0.8, 0.0);
+  EXPECT_EQ(unguarded.noise_explained_paths, 0u);
+  EXPECT_FALSE(unguarded.upgraded.empty());
+}
+
+TEST(Pinpoint, NoiseGuardKeepsPlausiblePaths) {
+  // The guard must not block genuinely damped-looking paths.
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  const auto chain = chain_with_hot(2, 0, 200);  // p10 ~ U(0.5, 0.9)
+  std::vector<Category> cats(2, Category::kLikelyNot);
+  const auto result = pinpoint_inconsistent(chain, d, cats, 0.8, 0.5);
+  EXPECT_EQ(result.noise_explained_paths, 0u);
+  ASSERT_EQ(result.upgraded.size(), 1u);
+  EXPECT_EQ(result.upgraded[0], 10u);
+}
+
+TEST(Pinpoint, Validation) {
+  labeling::PathDataset d;
+  d.add_path({10}, true);
+  Chain chain(1);
+  chain.push(std::vector<double>{0.5});
+  EXPECT_THROW(
+      pinpoint_inconsistent(chain, d, std::vector<Category>(2, Category::kUncertain)),
+      std::invalid_argument);
+  Chain wrong_dim(2);
+  wrong_dim.push(std::vector<double>{0.5, 0.5});
+  EXPECT_THROW(
+      pinpoint_inconsistent(wrong_dim, d,
+                            std::vector<Category>(1, Category::kUncertain)),
+      std::invalid_argument);
+  Chain empty(1);
+  EXPECT_THROW(
+      pinpoint_inconsistent(empty, d,
+                            std::vector<Category>(1, Category::kUncertain)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace because::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "experiment/pipeline.hpp"
+
+namespace because::experiment {
+namespace {
+
+labeling::LabeledPath make_labeled(topology::AsPath path, bool rfd) {
+  // Each synthetic measurement gets its own prefix: they model independent
+  // beacon experiments, which the pipeline's deduplication must not merge.
+  static std::uint32_t next_prefix = 1;
+  labeling::LabeledPath p;
+  p.vp = 0;
+  p.prefix = bgp::Prefix{next_prefix++, 24};
+  p.path = std::move(path);
+  p.rfd = rfd;
+  return p;
+}
+
+std::vector<labeling::LabeledPath> planted_paths() {
+  std::vector<labeling::LabeledPath> out;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(make_labeled({10, 50, 900}, true));   // 50 damps
+    out.push_back(make_labeled({11, 50, 900}, true));
+    out.push_back(make_labeled({10, 60, 900}, false));
+    out.push_back(make_labeled({11, 60, 900}, false));
+    out.push_back(make_labeled({10, 11, 900}, false));
+  }
+  return out;
+}
+
+TEST(Pipeline, IdentifiesPlantedDamper) {
+  const auto result =
+      run_inference(planted_paths(), {900}, InferenceConfig::fast());
+  EXPECT_TRUE(core::is_damping(result.category_of(50)));
+  EXPECT_FALSE(core::is_damping(result.category_of(10)));
+  EXPECT_FALSE(core::is_damping(result.category_of(60)));
+  const auto damping = result.damping_ases();
+  EXPECT_TRUE(damping.count(50));
+  EXPECT_EQ(damping.size(), 1u);
+}
+
+TEST(Pipeline, ExcludedAsNotInDataset) {
+  const auto result =
+      run_inference(planted_paths(), {900}, InferenceConfig::fast());
+  EXPECT_FALSE(result.dataset.index_of(900).has_value());
+  EXPECT_THROW(result.category_of(900), std::out_of_range);
+}
+
+TEST(Pipeline, ProducesBothChainsAndSummaries) {
+  const auto result =
+      run_inference(planted_paths(), {}, InferenceConfig::fast());
+  ASSERT_TRUE(result.mh_chain.has_value());
+  ASSERT_TRUE(result.hmc_chain.has_value());
+  EXPECT_EQ(result.mh_summaries.size(), result.dataset.as_count());
+  EXPECT_EQ(result.hmc_summaries.size(), result.dataset.as_count());
+  EXPECT_EQ(result.categories.size(), result.dataset.as_count());
+  EXPECT_EQ(result.base_categories.size(), result.dataset.as_count());
+}
+
+TEST(Pipeline, MhOnlyMode) {
+  InferenceConfig config = InferenceConfig::fast();
+  config.use_hmc = false;
+  const auto result = run_inference(planted_paths(), {}, config);
+  EXPECT_TRUE(result.mh_chain.has_value());
+  EXPECT_FALSE(result.hmc_chain.has_value());
+  EXPECT_TRUE(result.hmc_summaries.empty());
+  EXPECT_TRUE(core::is_damping(result.category_of(50)));
+}
+
+TEST(Pipeline, PinpointUpgradesInconsistentDamper) {
+  // AS 701 damps only the paths not via 2497 (heterogeneous config).
+  // Most of its paths look clean -> low mean; the damped paths have no
+  // other candidate, so step 2 must upgrade it.
+  // 3356 has overwhelming clean evidence (it is a large clean transit), so
+  // the damped {701, 3356} paths can only be explained by 701 - yet 701's
+  // own mean stays low because most of its paths (via the exempt neighbor
+  // 2497) are clean.
+  std::vector<labeling::LabeledPath> paths;
+  for (int i = 0; i < 8; ++i)
+    paths.push_back(make_labeled({701, 2497, 900}, false));  // exempt neighbor
+  for (int i = 0; i < 30; ++i)
+    paths.push_back(make_labeled({3356, 900}, false));  // 3356 itself clean
+  for (int i = 0; i < 6; ++i)
+    paths.push_back(make_labeled({701, 3356, 900}, true));  // damped branch
+  InferenceConfig config = InferenceConfig::fast();
+  config.mh.samples = 800;
+  config.mh.burn_in = 400;
+  const auto result = run_inference(paths, {900}, config);
+
+  EXPECT_FALSE(core::is_damping(result.base_categories[
+      *result.dataset.index_of(701)]))
+      << "701's mean must look clean before pinpointing";
+  EXPECT_TRUE(core::is_damping(result.category_of(701)))
+      << "pinpointing must flag the inconsistent damper";
+  EXPECT_FALSE(result.upgraded.empty());
+}
+
+TEST(Pipeline, NoDataAsIsUncertain) {
+  // 77 only ever appears behind the strong damper 50.
+  auto paths = planted_paths();
+  for (int i = 0; i < 8; ++i)
+    paths.push_back(make_labeled({77, 50, 900}, true));
+  InferenceConfig config = InferenceConfig::fast();
+  config.prior_alpha = 2.0;  // keep the no-data marginal centred
+  config.prior_beta = 2.0;
+  const auto result = run_inference(paths, {900}, config);
+  const auto cat = result.category_of(77);
+  EXPECT_FALSE(core::is_damping(cat));
+}
+
+TEST(Pipeline, EmptyInputThrows) {
+  EXPECT_THROW(run_inference({}, {}, InferenceConfig::fast()),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, DeterministicForSeeds) {
+  const auto a = run_inference(planted_paths(), {}, InferenceConfig::fast());
+  const auto b = run_inference(planted_paths(), {}, InferenceConfig::fast());
+  ASSERT_EQ(a.categories.size(), b.categories.size());
+  for (std::size_t i = 0; i < a.categories.size(); ++i)
+    EXPECT_EQ(a.categories[i], b.categories[i]);
+}
+
+}  // namespace
+}  // namespace because::experiment

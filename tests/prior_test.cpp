@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/prior.hpp"
+#include "stats/descriptive.hpp"
+
+namespace because::core {
+namespace {
+
+TEST(Prior, UniformHasZeroLogDensity) {
+  const Prior u = Prior::uniform();
+  EXPECT_NEAR(u.log_density_coord(0.3), 0.0, 1e-12);
+  EXPECT_NEAR(u.log_density_coord(0.9), 0.0, 1e-12);
+}
+
+TEST(Prior, BetaDensityIntegratesToOne) {
+  // Trapezoidal integration of exp(log_density) over (0,1).
+  const Prior prior = Prior::beta(2.0, 5.0);
+  const int n = 20000;
+  double integral = 0.0;
+  for (int i = 1; i < n; ++i) {
+    const double x = static_cast<double>(i) / n;
+    integral += std::exp(prior.log_density_coord(x)) / n;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(Prior, BetaModeLocation) {
+  // Beta(2,5) mode at (a-1)/(a+b-2) = 0.2.
+  const Prior prior = Prior::beta(2.0, 5.0);
+  const double at_mode = prior.log_density_coord(0.2);
+  for (double x : {0.05, 0.4, 0.6, 0.9})
+    EXPECT_LT(prior.log_density_coord(x), at_mode);
+}
+
+TEST(Prior, LogDensitySumsCoordinates) {
+  const Prior prior = Prior::beta(2.0, 3.0);
+  const std::vector<double> p{0.2, 0.7};
+  EXPECT_NEAR(prior.log_density(p),
+              prior.log_density_coord(0.2) + prior.log_density_coord(0.7), 1e-12);
+}
+
+TEST(Prior, GradientMatchesFiniteDifferences) {
+  const Prior prior = Prior::beta(2.5, 4.0);
+  const std::vector<double> p{0.3, 0.8};
+  std::vector<double> grad(2, 0.0);
+  prior.add_gradient(p, grad);
+  const double h = 1e-7;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    std::vector<double> plus = p, minus = p;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd = (prior.log_density(plus) - prior.log_density(minus)) / (2 * h);
+    EXPECT_NEAR(grad[i], fd, 1e-4);
+  }
+}
+
+TEST(Prior, GradientAccumulates) {
+  const Prior prior = Prior::beta(2.0, 2.0);
+  std::vector<double> grad{5.0};
+  const std::vector<double> p{0.5};
+  prior.add_gradient(p, grad);
+  // Beta(2,2) gradient at 0.5 is 0, so the existing value is preserved.
+  EXPECT_NEAR(grad[0], 5.0, 1e-9);
+}
+
+TEST(Prior, SampleMatchesMean) {
+  const Prior prior = Prior::beta(3.0, 7.0);
+  stats::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(prior.sample_coord(rng));
+  EXPECT_NEAR(stats::mean(xs), 0.3, 0.01);
+}
+
+TEST(Prior, RejectsBadParameters) {
+  EXPECT_THROW(Prior::beta(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Prior::beta(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(Prior, BoundaryValuesFinite) {
+  const Prior prior = Prior::beta(0.5, 0.5);
+  EXPECT_TRUE(std::isfinite(prior.log_density_coord(0.0)));
+  EXPECT_TRUE(std::isfinite(prior.log_density_coord(1.0)));
+}
+
+}  // namespace
+}  // namespace because::core

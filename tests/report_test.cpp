@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "experiment/report.hpp"
+
+namespace because::experiment {
+namespace {
+
+struct ReportFixture {
+  CampaignResult campaign;
+  InferenceResult inference;
+
+  ReportFixture() {
+    CampaignConfig config = CampaignConfig::small();
+    config.seed = 77;
+    campaign = run_campaign(config);
+    inference = run_inference(campaign.labeled, campaign.site_set(),
+                              InferenceConfig::fast());
+  }
+};
+
+const ReportFixture& fixture() {
+  static const ReportFixture f;
+  return f;
+}
+
+TEST(Report, ContainsEverySection) {
+  const std::string report =
+      render_study_report(fixture().campaign, fixture().inference);
+  EXPECT_NE(report.find("Measurement campaign"), std::string::npos);
+  EXPECT_NE(report.find("BeCAUSe inference"), std::string::npos);
+  EXPECT_NE(report.find("Evaluation against planted ground truth"),
+            std::string::npos);
+  EXPECT_NE(report.find("Deployed RFD parameters"), std::string::npos);
+  EXPECT_NE(report.find("RFD deployment lower bound"), std::string::npos);
+}
+
+TEST(Report, OptionsToggleSections) {
+  ReportOptions options;
+  options.include_ground_truth = false;
+  options.include_parameter_estimates = false;
+  const std::string report =
+      render_study_report(fixture().campaign, fixture().inference, options);
+  EXPECT_EQ(report.find("Evaluation against planted ground truth"),
+            std::string::npos);
+  EXPECT_EQ(report.find("Deployed RFD parameters"), std::string::npos);
+}
+
+TEST(Report, ScatterRowsWhenRequested) {
+  ReportOptions options;
+  options.include_scatter = true;
+  const std::string report =
+      render_study_report(fixture().campaign, fixture().inference, options);
+  EXPECT_NE(report.find("per-AS marginals"), std::string::npos);
+  // One row per measured AS: the AS id of the first dataset entry appears.
+  EXPECT_NE(report.find(std::to_string(fixture().inference.dataset.as_at(0))),
+            std::string::npos);
+}
+
+TEST(Report, ReportsCampaignScaleNumbers) {
+  const std::string report =
+      render_study_report(fixture().campaign, fixture().inference);
+  EXPECT_NE(report.find(std::to_string(fixture().campaign.store.size())),
+            std::string::npos);
+  EXPECT_NE(report.find(std::to_string(fixture().campaign.labeled.size())),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace because::experiment

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rfd/damper.hpp"
+#include "rfd/params.hpp"
+#include "rfd/penalty.hpp"
+
+namespace because::rfd {
+namespace {
+
+const bgp::Prefix kPrefix{1, 24};
+
+// ---------------------------------------------------------------- params
+
+TEST(Params, AppendixBDefaults) {
+  const Params cisco = cisco_defaults();
+  EXPECT_DOUBLE_EQ(cisco.withdrawal_penalty, 1000.0);
+  EXPECT_DOUBLE_EQ(cisco.readvertisement_penalty, 0.0);
+  EXPECT_DOUBLE_EQ(cisco.attribute_change_penalty, 500.0);
+  EXPECT_DOUBLE_EQ(cisco.suppress_threshold, 2000.0);
+  EXPECT_EQ(cisco.half_life, sim::minutes(15));
+  EXPECT_DOUBLE_EQ(cisco.reuse_threshold, 750.0);
+  EXPECT_EQ(cisco.max_suppress_time, sim::minutes(60));
+
+  const Params juniper = juniper_defaults();
+  EXPECT_DOUBLE_EQ(juniper.readvertisement_penalty, 1000.0);
+  EXPECT_DOUBLE_EQ(juniper.suppress_threshold, 3000.0);
+
+  const Params ripe = rfc7454_recommended();
+  EXPECT_DOUBLE_EQ(ripe.suppress_threshold, 6000.0);
+}
+
+TEST(Params, PresetsValidate) {
+  EXPECT_NO_THROW(cisco_defaults().validate());
+  EXPECT_NO_THROW(juniper_defaults().validate());
+  EXPECT_NO_THROW(rfc7454_recommended().validate());
+}
+
+TEST(Params, PresetNames) {
+  EXPECT_EQ(preset_name(cisco_defaults()), "cisco");
+  EXPECT_EQ(preset_name(juniper_defaults()), "juniper");
+  EXPECT_EQ(preset_name(rfc7454_recommended()), "rfc7454");
+  Params p = cisco_defaults();
+  p.suppress_threshold = 2500.0;
+  EXPECT_EQ(preset_name(p), "custom");
+}
+
+TEST(Params, CeilingFormula) {
+  const Params p = cisco_defaults();
+  // reuse * 2^(60/15) = 750 * 16 = 12000.
+  EXPECT_NEAR(p.ceiling(), 12000.0, 1e-9);
+}
+
+TEST(Params, ValidateRejectsInconsistent) {
+  Params p = cisco_defaults();
+  p.reuse_threshold = 3000.0;  // above suppress
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = cisco_defaults();
+  p.half_life = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = cisco_defaults();
+  p.withdrawal_penalty = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  // 10 min max-suppress with 15 min half-life: ceiling 750*2^(2/3) < 2000.
+  p = cisco_defaults();
+  p.max_suppress_time = sim::minutes(10);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- penalty
+
+TEST(Penalty, HalfLifeDecay) {
+  const Params p = cisco_defaults();
+  PenaltyState state;
+  state.apply(p, UpdateKind::kWithdrawal, 0);
+  EXPECT_NEAR(state.value_at(p, sim::minutes(15)), 500.0, 1e-9);
+  EXPECT_NEAR(state.value_at(p, sim::minutes(30)), 250.0, 1e-9);
+}
+
+TEST(Penalty, AccumulatesAcrossUpdates) {
+  const Params p = juniper_defaults();
+  PenaltyState state;
+  state.apply(p, UpdateKind::kWithdrawal, 0);
+  const double v = state.apply(p, UpdateKind::kReadvertisement, sim::minutes(15));
+  EXPECT_NEAR(v, 500.0 + 1000.0, 1e-9);
+}
+
+TEST(Penalty, InitialAdvertisementIsFree) {
+  const Params p = juniper_defaults();
+  PenaltyState state;
+  EXPECT_DOUBLE_EQ(state.apply(p, UpdateKind::kInitialAdvertisement, 0), 0.0);
+}
+
+TEST(Penalty, AttributeChangePenalty) {
+  const Params p = cisco_defaults();
+  PenaltyState state;
+  EXPECT_NEAR(state.apply(p, UpdateKind::kAttributeChange, 0), 500.0, 1e-9);
+}
+
+TEST(Penalty, ClampedAtCeiling) {
+  const Params p = cisco_defaults();
+  PenaltyState state;
+  for (int i = 0; i < 100; ++i)
+    state.apply(p, UpdateKind::kWithdrawal, sim::seconds(i));
+  EXPECT_LE(state.value_at(p, sim::seconds(100)), p.ceiling() + 1e-9);
+}
+
+TEST(Penalty, TimeUntilReuse) {
+  const Params p = cisco_defaults();
+  PenaltyState state;
+  // Two quick withdrawals: penalty ~2000; reuse at 750 needs
+  // log2(2000/750) ~ 1.415 half-lives ~ 21.2 minutes.
+  state.apply(p, UpdateKind::kWithdrawal, 0);
+  state.apply(p, UpdateKind::kWithdrawal, 1);
+  const sim::Duration d = state.time_until_reuse(p, 1);
+  EXPECT_NEAR(sim::to_minutes(d), 15.0 * std::log2(2000.0 / 750.0), 0.1);
+}
+
+TEST(Penalty, TimeUntilReuseZeroWhenBelow) {
+  const Params p = cisco_defaults();
+  PenaltyState state;
+  state.apply(p, UpdateKind::kAttributeChange, 0);  // 500 < 750
+  EXPECT_EQ(state.time_until_reuse(p, 0), 0);
+}
+
+TEST(Penalty, GenerationBumpsOnApply) {
+  const Params p = cisco_defaults();
+  PenaltyState state;
+  const auto g0 = state.generation();
+  state.apply(p, UpdateKind::kWithdrawal, 0);
+  EXPECT_GT(state.generation(), g0);
+}
+
+TEST(Penalty, MaxSuppressTimeBoundsSuppression) {
+  // At the ceiling, decay to the reuse threshold takes exactly
+  // max_suppress_time.
+  const Params p = cisco_defaults();
+  PenaltyState state;
+  for (int i = 0; i < 200; ++i)
+    state.apply(p, UpdateKind::kWithdrawal, sim::seconds(i));
+  const sim::Duration d = state.time_until_reuse(p, sim::seconds(200));
+  EXPECT_NEAR(sim::to_minutes(d), 60.0, 0.5);
+}
+
+// ---------------------------------------------------------------- damper
+
+TEST(Damper, SuppressesWhenThresholdCrossed) {
+  Damper damper(cisco_defaults());
+  sim::Time t = 0;
+  bool suppressed = false;
+  // Withdrawals every 2 simulated minutes add 1000 each with little decay.
+  for (int i = 0; i < 5 && !suppressed; ++i) {
+    const Outcome out = damper.on_update(kPrefix, UpdateKind::kWithdrawal, t);
+    suppressed = out.suppressed;
+    if (out.became_suppressed) EXPECT_TRUE(out.suppressed);
+    t += sim::minutes(2);
+  }
+  EXPECT_TRUE(suppressed);
+  EXPECT_TRUE(damper.is_suppressed(kPrefix));
+}
+
+TEST(Damper, CiscoNeverSuppressesOnSlowFlaps) {
+  // Withdrawals spaced 32 minutes: the steady-state penalty stays below the
+  // 2000 suppress threshold (limit = 1000 / (1 - 2^(-32/15)) ~ 1298).
+  Damper damper(cisco_defaults());
+  sim::Time t = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Outcome out = damper.on_update(kPrefix, UpdateKind::kWithdrawal, t);
+    EXPECT_FALSE(out.suppressed);
+    t += sim::minutes(32);
+  }
+}
+
+TEST(Damper, TryReleaseRespectsGeneration) {
+  Damper damper(cisco_defaults());
+  Outcome out;
+  sim::Time t = 0;
+  for (int i = 0; i < 4; ++i) {
+    out = damper.on_update(kPrefix, UpdateKind::kWithdrawal, t);
+    t += sim::minutes(1);
+  }
+  ASSERT_TRUE(out.suppressed);
+  const auto stale_generation = out.generation;
+
+  // Another update supersedes the scheduled release.
+  out = damper.on_update(kPrefix, UpdateKind::kWithdrawal, t);
+  const sim::Time much_later = t + sim::hours(3);
+  EXPECT_FALSE(damper.try_release(kPrefix, stale_generation, much_later));
+  EXPECT_TRUE(damper.try_release(kPrefix, out.generation, much_later));
+  EXPECT_FALSE(damper.is_suppressed(kPrefix));
+}
+
+TEST(Damper, TryReleaseRefusesEarly) {
+  Damper damper(cisco_defaults());
+  Outcome out;
+  sim::Time t = 0;
+  for (int i = 0; i < 4; ++i) {
+    out = damper.on_update(kPrefix, UpdateKind::kWithdrawal, t);
+    t += sim::minutes(1);
+  }
+  ASSERT_TRUE(out.suppressed);
+  EXPECT_FALSE(damper.try_release(kPrefix, out.generation, t));  // too early
+  EXPECT_TRUE(damper.is_suppressed(kPrefix));
+}
+
+TEST(Damper, UnknownPrefixQueries) {
+  Damper damper(cisco_defaults());
+  EXPECT_FALSE(damper.is_suppressed(kPrefix));
+  EXPECT_DOUBLE_EQ(damper.penalty(kPrefix, 0), 0.0);
+  EXPECT_EQ(damper.time_until_reuse(kPrefix, 0), 0);
+  EXPECT_FALSE(damper.try_release(kPrefix, 0, 0));
+}
+
+TEST(Damper, IndependentPrefixes) {
+  Damper damper(cisco_defaults());
+  const bgp::Prefix other{2, 24};
+  sim::Time t = 0;
+  for (int i = 0; i < 4; ++i) {
+    damper.on_update(kPrefix, UpdateKind::kWithdrawal, t);
+    t += sim::minutes(1);
+  }
+  EXPECT_TRUE(damper.is_suppressed(kPrefix));
+  EXPECT_FALSE(damper.is_suppressed(other));
+  EXPECT_EQ(damper.tracked_prefixes(), 1u);
+}
+
+TEST(Damper, RejectsInvalidParams) {
+  Params p = cisco_defaults();
+  p.reuse_threshold = 5000.0;
+  EXPECT_THROW(Damper{p}, std::invalid_argument);
+}
+
+TEST(Damper, ReleaseOnUpdateWhenDecayed) {
+  // A suppressed prefix whose penalty fully decayed is released by the next
+  // update itself (no timer needed).
+  Damper damper(cisco_defaults());
+  sim::Time t = 0;
+  Outcome out;
+  for (int i = 0; i < 4; ++i) {
+    out = damper.on_update(kPrefix, UpdateKind::kWithdrawal, t);
+    t += sim::minutes(1);
+  }
+  ASSERT_TRUE(out.suppressed);
+  // Hours later the penalty has decayed to ~0; a readvertisement (Cisco
+  // penalty 0) arrives and the route is immediately usable.
+  out = damper.on_update(kPrefix, UpdateKind::kReadvertisement, t + sim::hours(6));
+  EXPECT_FALSE(out.suppressed);
+}
+
+// Parameterised sweep: every standard preset eventually suppresses under a
+// fast flap and eventually releases during silence.
+class PresetSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(PresetSweep, SuppressThenRelease) {
+  Damper damper(GetParam());
+  const Params& p = damper.params();
+  sim::Time t = 0;
+  bool suppressed = false;
+  Outcome out;
+  for (int i = 0; i < 240; ++i) {
+    const UpdateKind kind = (i % 2 == 0) ? UpdateKind::kWithdrawal
+                                         : UpdateKind::kReadvertisement;
+    out = damper.on_update(kPrefix, kind, t);
+    if (out.suppressed) {
+      suppressed = true;
+      break;
+    }
+    t += sim::minutes(1);
+  }
+  ASSERT_TRUE(suppressed);
+
+  const sim::Duration until = damper.time_until_reuse(kPrefix, t);
+  EXPECT_GT(until, 0);
+  EXPECT_LE(until, p.max_suppress_time + sim::seconds(1));
+  EXPECT_TRUE(damper.try_release(kPrefix, out.generation, t + until));
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, PresetSweep,
+                         ::testing::Values(cisco_defaults(), juniper_defaults(),
+                                           rfc7454_recommended()));
+
+// Penalty decay is monotone between updates for every preset.
+class DecaySweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DecaySweep, MonotoneDecay) {
+  PenaltyState state;
+  const Params& p = GetParam();
+  state.apply(p, UpdateKind::kWithdrawal, 0);
+  state.apply(p, UpdateKind::kWithdrawal, sim::minutes(1));
+  double prev = state.value_at(p, sim::minutes(1));
+  for (int m = 2; m < 120; m += 3) {
+    const double v = state.value_at(p, sim::minutes(m));
+    EXPECT_LE(v, prev + 1e-12);
+    EXPECT_GE(v, 0.0);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, DecaySweep,
+                         ::testing::Values(cisco_defaults(), juniper_defaults(),
+                                           rfc7454_recommended()));
+
+}  // namespace
+}  // namespace because::rfd

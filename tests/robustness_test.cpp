@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "experiment/robustness.hpp"
+
+namespace because::experiment {
+namespace {
+
+TEST(Robustness, SweepsAcrossSeedsAndAggregates) {
+  CampaignConfig config = CampaignConfig::small();
+  config.pairs = 2;
+  config.vantage_points = 10;
+  const auto summary = run_seed_sweep(config, InferenceConfig::fast(),
+                                      {3u, 5u, 8u});
+  ASSERT_EQ(summary.outcomes.size(), 3u);
+  for (const auto& o : summary.outcomes) {
+    EXPECT_GT(o.labeled_paths, 0u);
+    EXPECT_GT(o.measured_ases, 0u);
+    EXPECT_GE(o.precision, 0.0);
+    EXPECT_LE(o.precision, 1.0);
+  }
+  EXPECT_GE(summary.mean_precision, summary.min_precision);
+  EXPECT_GE(summary.mean_recall, summary.min_recall);
+}
+
+TEST(Robustness, DistinctSeedsProduceDistinctCampaigns) {
+  CampaignConfig config = CampaignConfig::small();
+  config.pairs = 2;
+  config.vantage_points = 8;
+  const auto summary = run_seed_sweep(config, InferenceConfig::fast(),
+                                      {1u, 2u});
+  EXPECT_NE(summary.outcomes[0].labeled_paths,
+            summary.outcomes[1].labeled_paths);
+}
+
+TEST(Robustness, RejectsEmptySeedList) {
+  EXPECT_THROW(run_seed_sweep(CampaignConfig::small(), InferenceConfig::fast(),
+                              {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace because::experiment

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "bgp/network.hpp"
+#include "rov/rov.hpp"
+#include "topology/generator.hpp"
+
+namespace because::rov {
+namespace {
+
+std::vector<topology::AsPath> sample_paths() {
+  return {
+      {100, 50, 10}, {100, 60, 10}, {200, 50, 11},
+      {200, 70, 11}, {300, 80, 12}, {300, 50, 12},
+  };
+}
+
+TEST(Rov, LabelsPathsByMembership) {
+  const auto bench = make_rov_benchmark(sample_paths(), {50});
+  EXPECT_EQ(bench.dataset.path_count(), 6u);
+  // 3 of 6 paths contain AS 50.
+  EXPECT_NEAR(bench.rov_path_share, 0.5, 1e-12);
+  std::size_t rov_paths = 0;
+  for (const auto& obs : bench.dataset.observations())
+    if (obs.shows_property) ++rov_paths;
+  EXPECT_EQ(rov_paths, 3u);
+}
+
+TEST(Rov, EmptyRovSetLabelsNothing) {
+  const auto bench = make_rov_benchmark(sample_paths(), {});
+  EXPECT_DOUBLE_EQ(bench.rov_path_share, 0.0);
+}
+
+TEST(Rov, PlantReachesTargetShare) {
+  stats::Rng rng(3);
+  const auto paths = sample_paths();
+  const auto rov = plant_rov_ases(paths, 0.8, 100, rng);
+  const auto bench = make_rov_benchmark(paths, rov);
+  EXPECT_GE(bench.rov_path_share, 0.8);
+}
+
+TEST(Rov, PlantRespectsMaxAses) {
+  stats::Rng rng(5);
+  const auto rov = plant_rov_ases(sample_paths(), 1.0, 2, rng);
+  EXPECT_LE(rov.size(), 2u);
+}
+
+TEST(Rov, PlantOnEmptyPathsIsEmpty) {
+  stats::Rng rng(7);
+  EXPECT_TRUE(plant_rov_ases({}, 0.9, 10, rng).empty());
+}
+
+TEST(Rov, BenchmarkKeepsGroundTruth) {
+  const auto bench = make_rov_benchmark(sample_paths(), {50, 70});
+  EXPECT_EQ(bench.rov_ases.size(), 2u);
+  EXPECT_TRUE(bench.rov_ases.count(50));
+  EXPECT_TRUE(bench.rov_ases.count(70));
+}
+
+// ------------------------------------------------ RFC 6811 drop-invalid
+
+TEST(RovFilter, InvalidPrefixDroppedOnImport) {
+  // Chain 1 - 2 - 3; AS 2 filters the invalid prefix, so 3 never learns it
+  // while the valid twin flows through.
+  topology::AsGraph graph;
+  graph.add_as(1, topology::Tier::kStub);
+  graph.add_as(2, topology::Tier::kTransit);
+  graph.add_as(3, topology::Tier::kTier1);
+  graph.add_provider_customer(2, 1);
+  graph.add_provider_customer(3, 2);
+
+  sim::EventQueue queue;
+  stats::Rng rng(1);
+  bgp::Network net(graph, bgp::NetworkConfig{}, queue, rng);
+  const bgp::Prefix valid{1, 24}, invalid{2, 24};
+  net.router(2).add_rov_invalid(invalid);
+  EXPECT_TRUE(net.router(2).rov_filters(invalid));
+  EXPECT_FALSE(net.router(2).rov_filters(valid));
+
+  net.router(1).originate(valid, 0);
+  net.router(1).originate(invalid, 0);
+  queue.run();
+
+  EXPECT_NE(net.router(3).loc_rib().find(valid), nullptr);
+  EXPECT_EQ(net.router(2).loc_rib().find(invalid), nullptr);
+  EXPECT_EQ(net.router(3).loc_rib().find(invalid), nullptr);
+}
+
+TEST(RovFilter, InvalidRoutesAroundTheFilter) {
+  // Diamond: the invalid prefix is filtered on one branch but reaches the
+  // top via the other - the path-hunting effect Reuter-style setups must
+  // control for.
+  topology::AsGraph graph;
+  graph.add_as(1, topology::Tier::kStub);
+  graph.add_as(2, topology::Tier::kTransit);
+  graph.add_as(3, topology::Tier::kTransit);
+  graph.add_as(4, topology::Tier::kTier1);
+  graph.add_provider_customer(2, 1);
+  graph.add_provider_customer(3, 1);
+  graph.add_provider_customer(4, 2);
+  graph.add_provider_customer(4, 3);
+
+  sim::EventQueue queue;
+  stats::Rng rng(2);
+  bgp::Network net(graph, bgp::NetworkConfig{}, queue, rng);
+  const bgp::Prefix invalid{2, 24};
+  net.router(2).add_rov_invalid(invalid);
+  net.router(1).originate(invalid, 0);
+  queue.run();
+
+  const auto* sel = net.router(4).loc_rib().find(invalid);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->route.as_path, (topology::AsPath{3, 1}));
+}
+
+TEST(RovMeasurement, MeasuredLabelsMatchMembership) {
+  topology::GeneratorConfig tconfig;
+  tconfig.tier1_count = 3;
+  tconfig.transit_count = 15;
+  tconfig.stub_count = 40;
+  stats::Rng trng(5);
+  const auto graph = topology::generate(tconfig, trng);
+
+  // Plant ROV at a few transit ASs.
+  std::unordered_set<topology::AsId> rov;
+  for (topology::AsId as : graph.as_ids()) {
+    if (graph.tier(as) == topology::Tier::kTransit && rov.size() < 4)
+      rov.insert(as);
+  }
+
+  RovMeasurementConfig config;
+  config.origins = 3;
+  config.vantage_points = 20;
+  const auto measurement = run_rov_measurement(graph, rov, config);
+
+  EXPECT_GT(measurement.paths_total, 10u);
+  // Measured labels should almost always equal exact set membership; the
+  // reroute edge case is rare.
+  EXPECT_LE(measurement.label_disagreements, measurement.paths_total / 10);
+  EXPECT_GT(measurement.rov_path_share, 0.0);
+  EXPECT_LT(measurement.rov_path_share, 1.0);
+}
+
+TEST(RovMeasurement, NoRovMeansNoLabels) {
+  topology::GeneratorConfig tconfig;
+  tconfig.tier1_count = 2;
+  tconfig.transit_count = 6;
+  tconfig.stub_count = 10;
+  stats::Rng trng(6);
+  const auto graph = topology::generate(tconfig, trng);
+  const auto measurement = run_rov_measurement(graph, {}, RovMeasurementConfig{});
+  EXPECT_DOUBLE_EQ(measurement.rov_path_share, 0.0);
+  EXPECT_EQ(measurement.label_disagreements, 0u);
+}
+
+}  // namespace
+}  // namespace because::rov

@@ -1,0 +1,475 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/classification.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/ess.hpp"
+#include "stats/hdpi.hpp"
+#include "stats/histogram.hpp"
+#include "stats/linreg.hpp"
+#include "stats/rng.hpp"
+
+namespace because::stats {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    if (a.uniform() != b.uniform()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    if (v == 0) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(mean(xs), 2.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 3.0, 0.1);
+}
+
+TEST(Rng, BetaMean) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.beta(2.0, 6.0));
+  EXPECT_NEAR(mean(xs), 0.25, 0.01);  // alpha/(alpha+beta)
+  for (double x : xs) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, BetaRejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(rng.beta(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.beta(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.exponential(4.0));
+  EXPECT_NEAR(mean(xs), 4.0, 0.15);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.index(5), 5u);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  const auto picks = rng.sample_without_replacement(10, 10);
+  std::vector<bool> seen(10, false);
+  for (std::size_t p : picks) {
+    EXPECT_LT(p, 10u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(7);
+  b.fork();
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());  // parent streams stay in sync
+  (void)child;
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> xs{1, 2, 3, 4, 5, 6, 7};
+  auto copy = xs;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, xs);
+}
+
+// ---------------------------------------------------------------- descriptive
+
+TEST(Descriptive, Mean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+}
+
+TEST(Descriptive, MeanRejectsEmpty) {
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, VarianceUnbiased) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Descriptive, VarianceNeedsTwo) {
+  EXPECT_THROW(variance(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 3.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Descriptive, QuantileRejectsOutOfRange) {
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, CorrelationPerfect) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationRejectsConstant) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(correlation(xs, ys), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, NormalizedSumsToOne) {
+  Histogram h(0.0, 1.0, 5);
+  for (int i = 0; i < 20; ++i) h.add(0.1 * (i % 10));
+  double sum = 0.0;
+  for (double x : h.normalized()) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyNormalizedIsZeros) {
+  Histogram h(0.0, 1.0, 3);
+  for (double x : h.normalized()) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- ecdf
+
+TEST(Ecdf, BasicFractions) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(10.0), 1.0);
+}
+
+TEST(Ecdf, QuantileRoundTrip) {
+  Ecdf e({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 30.0);
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  Ecdf e({1.0, 5.0, 2.0, 8.0, 3.0});
+  const auto curve = e.curve(10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Ecdf, RejectsEmpty) {
+  EXPECT_THROW(Ecdf({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- hdpi
+
+TEST(Hdpi, FullMassIsRange) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const Interval iv = hdpi(xs, 1.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 1.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 3.0);
+}
+
+TEST(Hdpi, FindsDenseCluster) {
+  // 90 points near 0.5, 10 outliers near 0 and 1.
+  std::vector<double> xs;
+  for (int i = 0; i < 90; ++i) xs.push_back(0.5 + 0.001 * i);
+  for (int i = 0; i < 5; ++i) xs.push_back(0.0 + 0.01 * i);
+  for (int i = 0; i < 5; ++i) xs.push_back(1.0 - 0.01 * i);
+  const Interval iv = hdpi(xs, 0.9);
+  EXPECT_GE(iv.lo, 0.4);
+  EXPECT_LE(iv.hi, 0.6);
+}
+
+TEST(Hdpi, WidthShrinksWithConcentration) {
+  Rng rng(37);
+  std::vector<double> wide, narrow;
+  for (int i = 0; i < 2000; ++i) {
+    wide.push_back(rng.uniform());
+    narrow.push_back(0.5 + 0.01 * rng.normal());
+  }
+  EXPECT_LT(hdpi(narrow).width(), hdpi(wide).width());
+}
+
+TEST(Hdpi, ContainsRequestedMass) {
+  Rng rng(41);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.normal());
+  const Interval iv = hdpi(xs, 0.95);
+  std::size_t inside = 0;
+  for (double x : xs)
+    if (iv.contains(x)) ++inside;
+  EXPECT_GE(static_cast<double>(inside) / xs.size(), 0.95 - 1e-9);
+}
+
+TEST(Hdpi, RejectsBadInput) {
+  EXPECT_THROW(hdpi(std::vector<double>{}, 0.9), std::invalid_argument);
+  EXPECT_THROW(hdpi(std::vector<double>{1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(hdpi(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Hdpi, SinglePointDegenerate) {
+  const Interval iv = hdpi(std::vector<double>{0.7}, 0.95);
+  EXPECT_DOUBLE_EQ(iv.lo, 0.7);
+  EXPECT_DOUBLE_EQ(iv.hi, 0.7);
+  EXPECT_DOUBLE_EQ(iv.width(), 0.0);
+}
+
+// ---------------------------------------------------------------- linreg
+
+TEST(LinReg, ExactLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinReg, IndexedFit) {
+  const std::vector<double> ys{10.0, 8.0, 6.0, 4.0};
+  const LinearFit fit = linear_fit_indexed(ys);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.at(0.0), 10.0, 1e-12);
+}
+
+TEST(LinReg, FlatLineZeroSlope) {
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  const LinearFit fit = linear_fit_indexed(ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 0.0, 1e-12);
+}
+
+TEST(LinReg, RejectsDegenerate) {
+  EXPECT_THROW(linear_fit(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(linear_fit(std::vector<double>{1.0, 1.0},
+                          std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(linear_fit(std::vector<double>{1.0, 2.0},
+                          std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- classification
+
+TEST(Classification, CountsCells) {
+  ConfusionMatrix m;
+  m.add(true, true);
+  m.add(true, false);
+  m.add(false, true);
+  m.add(false, false);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.true_negatives, 1u);
+  EXPECT_EQ(m.total(), 4u);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.5);
+}
+
+TEST(Classification, PerfectScores) {
+  ConfusionMatrix m;
+  m.add(true, true);
+  m.add(false, false);
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 1.0);
+}
+
+TEST(Classification, VacuousConventions) {
+  ConfusionMatrix m;  // empty
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+TEST(Classification, ZeroF1WhenNothingRight) {
+  ConfusionMatrix m;
+  m.add(true, false);
+  m.add(false, true);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.0);
+}
+
+// ---------------------------------------------------------------- ess
+
+TEST(Ess, IndependentSamplesNearN) {
+  Rng rng(43);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(rng.normal());
+  EXPECT_GT(effective_sample_size(xs), 2000.0);
+}
+
+TEST(Ess, CorrelatedChainMuchSmaller) {
+  Rng rng(47);
+  std::vector<double> xs;
+  double x = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    x = 0.99 * x + 0.1 * rng.normal();  // AR(1), strongly autocorrelated
+    xs.push_back(x);
+  }
+  EXPECT_LT(effective_sample_size(xs), 500.0);
+}
+
+TEST(Ess, AutocorrelationLagZeroIsOne) {
+  Rng rng(53);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(Ess, ConstantChainIsZeroAutocorrelation) {
+  const std::vector<double> xs(50, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+}
+
+// ------------------------------------------------ property sweeps (TEST_P)
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, QuantileWithinRange) {
+  Rng rng(61);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(-3.0, 9.0));
+  const double q = quantile(xs, GetParam());
+  EXPECT_GE(q, min(xs));
+  EXPECT_LE(q, max(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+class HdpiMassSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HdpiMassSweep, CoverageAtLeastMass) {
+  Rng rng(67);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.beta(2.0, 5.0));
+  const double mass = GetParam();
+  const Interval iv = hdpi(xs, mass);
+  std::size_t inside = 0;
+  for (double x : xs)
+    if (iv.contains(x)) ++inside;
+  EXPECT_GE(static_cast<double>(inside) / xs.size(), mass - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masses, HdpiMassSweep,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.95, 0.99));
+
+}  // namespace
+}  // namespace because::stats

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/summary.hpp"
+
+namespace because::core {
+namespace {
+
+labeling::PathDataset one_as_dataset() {
+  labeling::PathDataset d;
+  d.add_path({10}, true);
+  return d;
+}
+
+TEST(Summary, MeanAndHdpiFromChain) {
+  const auto data = one_as_dataset();
+  Chain chain(1);
+  for (int i = 0; i < 100; ++i)
+    chain.push(std::vector<double>{0.8 + 0.001 * (i % 10)});
+  const auto summaries = summarize(chain, data);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].as, 10u);
+  EXPECT_NEAR(summaries[0].mean, 0.8045, 1e-9);
+  EXPECT_GE(summaries[0].hdpi.lo, 0.8);
+  EXPECT_LE(summaries[0].hdpi.hi, 0.81);
+  EXPECT_GT(summaries[0].certainty(), 0.98);
+}
+
+TEST(Summary, CertaintyIsOneMinusWidth) {
+  MarginalSummary s;
+  s.hdpi = stats::Interval{0.2, 0.5};
+  EXPECT_NEAR(s.certainty(), 0.7, 1e-12);
+}
+
+TEST(Summary, MultiCoordinate) {
+  labeling::PathDataset d;
+  d.add_path({10, 20}, true);
+  Chain chain(2);
+  chain.push(std::vector<double>{0.9, 0.1});
+  chain.push(std::vector<double>{0.8, 0.2});
+  const auto summaries = summarize(chain, d);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_NEAR(summaries[0].mean, 0.85, 1e-12);
+  EXPECT_NEAR(summaries[1].mean, 0.15, 1e-12);
+  EXPECT_EQ(summaries[0].node, 0u);
+  EXPECT_EQ(summaries[1].node, 1u);
+}
+
+TEST(Summary, DimensionMismatchThrows) {
+  const auto data = one_as_dataset();
+  Chain chain(2);
+  chain.push(std::vector<double>{0.5, 0.5});
+  EXPECT_THROW(summarize(chain, data), std::invalid_argument);
+}
+
+TEST(Summary, EmptyChainThrows) {
+  const auto data = one_as_dataset();
+  Chain chain(1);
+  EXPECT_THROW(summarize(chain, data), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace because::core

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "topology/as_graph.hpp"
+#include "topology/generator.hpp"
+#include "topology/paths.hpp"
+
+namespace because::topology {
+namespace {
+
+AsGraph diamond() {
+  // 1 (tier1) over 2,3 (transit), both over 4 (stub); 2-3 peer.
+  AsGraph g;
+  g.add_as(1, Tier::kTier1);
+  g.add_as(2, Tier::kTransit);
+  g.add_as(3, Tier::kTransit);
+  g.add_as(4, Tier::kStub);
+  g.add_provider_customer(1, 2);
+  g.add_provider_customer(1, 3);
+  g.add_provider_customer(2, 4);
+  g.add_provider_customer(3, 4);
+  g.add_peering(2, 3);
+  return g;
+}
+
+// ---------------------------------------------------------------- AsGraph
+
+TEST(AsGraph, RelationshipsAreReciprocal) {
+  const AsGraph g = diamond();
+  EXPECT_EQ(g.relation(1, 2), Relation::kCustomer);
+  EXPECT_EQ(g.relation(2, 1), Relation::kProvider);
+  EXPECT_EQ(g.relation(2, 3), Relation::kPeer);
+  EXPECT_EQ(g.relation(3, 2), Relation::kPeer);
+}
+
+TEST(AsGraph, RelationOfNonAdjacent) {
+  const AsGraph g = diamond();
+  EXPECT_FALSE(g.relation(1, 4).has_value());
+}
+
+TEST(AsGraph, ReverseRelation) {
+  EXPECT_EQ(reverse(Relation::kCustomer), Relation::kProvider);
+  EXPECT_EQ(reverse(Relation::kProvider), Relation::kCustomer);
+  EXPECT_EQ(reverse(Relation::kPeer), Relation::kPeer);
+}
+
+TEST(AsGraph, RejectsSelfLink) {
+  AsGraph g;
+  g.add_as(1, Tier::kTier1);
+  EXPECT_THROW(g.add_peering(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_provider_customer(1, 1), std::invalid_argument);
+}
+
+TEST(AsGraph, RejectsDuplicateLink) {
+  AsGraph g = diamond();
+  EXPECT_THROW(g.add_peering(2, 3), std::invalid_argument);
+  EXPECT_THROW(g.add_provider_customer(1, 2), std::invalid_argument);
+  EXPECT_THROW(g.add_provider_customer(2, 1), std::invalid_argument);
+}
+
+TEST(AsGraph, RejectsTierChange) {
+  AsGraph g;
+  g.add_as(1, Tier::kTier1);
+  g.add_as(1, Tier::kTier1);  // idempotent
+  EXPECT_THROW(g.add_as(1, Tier::kStub), std::invalid_argument);
+}
+
+TEST(AsGraph, UnknownAsThrows) {
+  const AsGraph g = diamond();
+  EXPECT_THROW(g.neighbors(99), std::out_of_range);
+  EXPECT_THROW(g.tier(99), std::out_of_range);
+}
+
+TEST(AsGraph, NeighborsWithFilters) {
+  const AsGraph g = diamond();
+  const auto customers = g.neighbors_with(1, Relation::kCustomer);
+  EXPECT_EQ(customers.size(), 2u);
+  const auto peers = g.neighbors_with(2, Relation::kPeer);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0], 3u);
+}
+
+TEST(AsGraph, CountsAndIds) {
+  const AsGraph g = diamond();
+  EXPECT_EQ(g.as_count(), 4u);
+  EXPECT_EQ(g.link_count(), 5u);
+  EXPECT_EQ(g.as_ids(), (std::vector<AsId>{1, 2, 3, 4}));
+}
+
+// ---------------------------------------------------------------- paths
+
+TEST(Paths, LoopDetection) {
+  EXPECT_TRUE(has_loop({1, 2, 1}));
+  EXPECT_FALSE(has_loop({1, 2, 3}));
+  EXPECT_FALSE(has_loop({}));
+}
+
+TEST(Paths, StripPrepending) {
+  EXPECT_EQ(strip_prepending({1, 1, 2, 3, 3, 3}), (AsPath{1, 2, 3}));
+  EXPECT_EQ(strip_prepending({1, 2, 3}), (AsPath{1, 2, 3}));
+  EXPECT_EQ(strip_prepending({}), AsPath{});
+  // Prepending removal keeps non-consecutive duplicates (real loops).
+  EXPECT_EQ(strip_prepending({1, 2, 1}), (AsPath{1, 2, 1}));
+}
+
+TEST(Paths, ValleyFreeAccepts) {
+  const AsGraph g = diamond();
+  // Origin 4 -> up to 2 -> up to 1 (observer): pure climb.
+  EXPECT_TRUE(is_valley_free(g, {1, 2, 4}));
+  // Peer crossing at the top: 4 up to 2, peer to 3 (observer).
+  EXPECT_TRUE(is_valley_free(g, {3, 2, 4}));
+  // Down only: 1 -> 2 observed from below? origin 1, down to 2, down to 4.
+  EXPECT_TRUE(is_valley_free(g, {4, 2, 1}));
+}
+
+TEST(Paths, ValleyFreeRejectsValley) {
+  AsGraph g = diamond();
+  // Path 2 -> 4 -> 3 read as origin 3, down to 4, then up to 2: a valley.
+  EXPECT_FALSE(is_valley_free(g, {2, 4, 3}));
+}
+
+TEST(Paths, ValleyFreeRejectsNonAdjacent) {
+  const AsGraph g = diamond();
+  EXPECT_FALSE(is_valley_free(g, {1, 4}));
+}
+
+TEST(Paths, ValleyFreeTrivialPaths) {
+  const AsGraph g = diamond();
+  EXPECT_TRUE(is_valley_free(g, {1}));
+  EXPECT_TRUE(is_valley_free(g, {}));
+}
+
+TEST(Paths, ValleyFreeRejectsDoublePeer) {
+  AsGraph g;
+  g.add_as(1, Tier::kTransit);
+  g.add_as(2, Tier::kTransit);
+  g.add_as(3, Tier::kTransit);
+  g.add_peering(1, 2);
+  g.add_peering(2, 3);
+  // Origin 3, peer to 2, peer to 1: two peer crossings are not valley-free.
+  EXPECT_FALSE(is_valley_free(g, {1, 2, 3}));
+}
+
+TEST(Paths, CustomerCone) {
+  const AsGraph g = diamond();
+  const auto cone1 = customer_cone(g, 1);
+  EXPECT_EQ(cone1.size(), 3u);  // 2, 3, 4
+  const auto cone2 = customer_cone(g, 2);
+  EXPECT_EQ(cone2.size(), 1u);
+  EXPECT_TRUE(cone2.count(4));
+  EXPECT_EQ(customer_cone_size(g, 4), 0u);
+}
+
+TEST(Paths, LinksOnPathNormalised) {
+  const auto links = links_on_path({3, 1, 2});
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], std::make_pair(AsId{1}, AsId{3}));
+  EXPECT_EQ(links[1], std::make_pair(AsId{1}, AsId{2}));
+}
+
+TEST(Paths, LinksOnShortPaths) {
+  EXPECT_TRUE(links_on_path({1}).empty());
+  EXPECT_TRUE(links_on_path({}).empty());
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(Generator, ProducesRequestedCounts) {
+  GeneratorConfig config;
+  config.tier1_count = 4;
+  config.transit_count = 20;
+  config.stub_count = 50;
+  stats::Rng rng(1);
+  const AsGraph g = generate(config, rng);
+  EXPECT_EQ(g.as_count(), 74u);
+
+  std::size_t t1 = 0, tr = 0, st = 0;
+  for (AsId as : g.as_ids()) {
+    switch (g.tier(as)) {
+      case Tier::kTier1: ++t1; break;
+      case Tier::kTransit: ++tr; break;
+      case Tier::kStub: ++st; break;
+    }
+  }
+  EXPECT_EQ(t1, 4u);
+  EXPECT_EQ(tr, 20u);
+  EXPECT_EQ(st, 50u);
+}
+
+TEST(Generator, Tier1Clique) {
+  GeneratorConfig config;
+  config.tier1_count = 5;
+  config.transit_count = 0;
+  config.stub_count = 0;
+  config.stub_tier1_provider_prob = 1.0;
+  stats::Rng rng(2);
+  const AsGraph g = generate(config, rng);
+  const auto ids = g.as_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    for (std::size_t j = i + 1; j < ids.size(); ++j)
+      EXPECT_EQ(g.relation(ids[i], ids[j]), Relation::kPeer);
+}
+
+TEST(Generator, EveryNonTier1HasAProvider) {
+  GeneratorConfig config;
+  stats::Rng rng(3);
+  const AsGraph g = generate(config, rng);
+  for (AsId as : g.as_ids()) {
+    if (g.tier(as) == Tier::kTier1) continue;
+    EXPECT_FALSE(g.neighbors_with(as, Relation::kProvider).empty())
+        << "AS " << as << " has no provider";
+  }
+}
+
+TEST(Generator, Tier1sHaveNoProviders) {
+  GeneratorConfig config;
+  stats::Rng rng(4);
+  const AsGraph g = generate(config, rng);
+  for (AsId as : g.as_ids()) {
+    if (g.tier(as) != Tier::kTier1) continue;
+    EXPECT_TRUE(g.neighbors_with(as, Relation::kProvider).empty());
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.transit_count = 30;
+  config.stub_count = 80;
+  stats::Rng a(7), b(7);
+  const AsGraph g1 = generate(config, a);
+  const AsGraph g2 = generate(config, b);
+  EXPECT_EQ(g1.as_count(), g2.as_count());
+  EXPECT_EQ(g1.link_count(), g2.link_count());
+  for (AsId as : g1.as_ids()) {
+    const auto& n1 = g1.neighbors(as);
+    const auto& n2 = g2.neighbors(as);
+    ASSERT_EQ(n1.size(), n2.size());
+    for (std::size_t i = 0; i < n1.size(); ++i) {
+      EXPECT_EQ(n1[i].id, n2[i].id);
+      EXPECT_EQ(n1[i].relation, n2[i].relation);
+    }
+  }
+}
+
+TEST(Generator, RejectsDegenerateConfigs) {
+  stats::Rng rng(1);
+  GeneratorConfig no_tier1;
+  no_tier1.tier1_count = 0;
+  EXPECT_THROW(generate(no_tier1, rng), std::invalid_argument);
+
+  GeneratorConfig bad_range;
+  bad_range.transit_min_providers = 3;
+  bad_range.transit_max_providers = 1;
+  EXPECT_THROW(generate(bad_range, rng), std::invalid_argument);
+}
+
+TEST(Generator, StubsHaveNoCustomers) {
+  GeneratorConfig config;
+  stats::Rng rng(9);
+  const AsGraph g = generate(config, rng);
+  for (AsId as : g.as_ids()) {
+    if (g.tier(as) != Tier::kStub) continue;
+    EXPECT_TRUE(g.neighbors_with(as, Relation::kCustomer).empty());
+  }
+}
+
+class GeneratorSizeSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(GeneratorSizeSweep, ConnectedToCore) {
+  // Every AS should be able to climb provider links to a tier-1.
+  GeneratorConfig config;
+  config.transit_count = std::get<0>(GetParam());
+  config.stub_count = std::get<1>(GetParam());
+  stats::Rng rng(11);
+  const AsGraph g = generate(config, rng);
+  for (AsId as : g.as_ids()) {
+    AsId current = as;
+    int hops = 0;
+    while (g.tier(current) != Tier::kTier1 && hops < 32) {
+      const auto providers = g.neighbors_with(current, Relation::kProvider);
+      ASSERT_FALSE(providers.empty()) << "AS " << current << " stranded";
+      current = providers.front();
+      ++hops;
+    }
+    EXPECT_EQ(g.tier(current), Tier::kTier1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSizeSweep,
+                         ::testing::Values(std::make_tuple(10u, 20u),
+                                           std::make_tuple(40u, 100u),
+                                           std::make_tuple(80u, 300u)));
+
+}  // namespace
+}  // namespace because::topology

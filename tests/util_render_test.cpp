@@ -1,0 +1,60 @@
+// Rendering helpers that the bench output depends on.
+#include <gtest/gtest.h>
+
+#include "bgp/message.hpp"
+#include "bgp/prefix.hpp"
+#include "stats/histogram.hpp"
+
+namespace because {
+namespace {
+
+TEST(PrefixRender, ToString) {
+  EXPECT_EQ(bgp::to_string(bgp::Prefix{7, 24}), "pfx7/24");
+  EXPECT_EQ(bgp::to_string(bgp::Prefix{0, 25}), "pfx0/25");
+}
+
+TEST(PrefixRender, OrderingAndHash) {
+  const bgp::Prefix a{1, 24}, b{1, 25}, c{2, 24};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_NE(std::hash<bgp::Prefix>()(a), std::hash<bgp::Prefix>()(b));
+  EXPECT_EQ(std::hash<bgp::Prefix>()(a), std::hash<bgp::Prefix>()(bgp::Prefix{1, 24}));
+}
+
+TEST(UpdateRender, AnnouncementShowsPath) {
+  bgp::Update u;
+  u.type = bgp::UpdateType::kAnnouncement;
+  u.prefix = bgp::Prefix{3, 24};
+  u.as_path = {10, 20};
+  const std::string text = bgp::to_string(u);
+  EXPECT_NE(text.find("A pfx3/24"), std::string::npos);
+  EXPECT_NE(text.find("path=[10 20]"), std::string::npos);
+}
+
+TEST(UpdateRender, WithdrawalHasNoPath) {
+  bgp::Update u;
+  u.type = bgp::UpdateType::kWithdrawal;
+  u.prefix = bgp::Prefix{3, 24};
+  const std::string text = bgp::to_string(u);
+  EXPECT_NE(text.find("W pfx3/24"), std::string::npos);
+  EXPECT_EQ(text.find("path"), std::string::npos);
+}
+
+TEST(HistogramRender, AsciiScalesToPeak) {
+  stats::Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.1);
+  h.add(0.9);
+  const std::string art = h.ascii(10);
+  // First bin is the peak (10 hashes), second proportional (1).
+  EXPECT_NE(art.find("##########  (10)"), std::string::npos);
+  EXPECT_NE(art.find("#  (1)"), std::string::npos);
+}
+
+TEST(HistogramRender, AsciiEmptyHistogram) {
+  stats::Histogram h(0.0, 1.0, 3);
+  const std::string art = h.ascii();
+  EXPECT_NE(art.find("(0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace because
