@@ -40,7 +40,7 @@ int main() {
     for (std::size_t j : result.conflicting_paths) {
       if (shown++ >= 5) break;
       std::printf("  path:");
-      for (std::size_t n : dataset.observations()[j].nodes)
+      for (std::size_t n : dataset.path_nodes(j))
         std::printf(" %u", dataset.as_at(n));
       std::printf("\n");
     }
@@ -52,12 +52,11 @@ int main() {
   {
     std::unordered_set<std::size_t> conflict_set(result.conflicting_paths.begin(),
                                                  result.conflicting_paths.end());
-    for (std::size_t j = 0; j < dataset.observations().size(); ++j) {
+    for (std::size_t j = 0; j < dataset.path_count(); ++j) {
       if (conflict_set.count(j) != 0) continue;
-      const auto& obs = dataset.observations()[j];
       topology::AsPath path;
-      for (std::size_t n : obs.nodes) path.push_back(dataset.as_at(n));
-      consistent.add_path(path, obs.shows_property);
+      for (std::size_t n : dataset.path_nodes(j)) path.push_back(dataset.as_at(n));
+      consistent.add_path(path, dataset.shows_property(j));
     }
   }
   const auto relaxed = baselines::solve_binary_tomography(consistent);

@@ -73,6 +73,45 @@ inline experiment::InferenceConfig inference_config() {
 /// heuristics "need tuning that is absent from the Bayesian approach").
 inline constexpr double kHeuristicThreshold = 0.7;
 
+/// One micro-benchmark measurement destined for a machine-readable BENCH
+/// JSON file. Perf PRs record before/after from these files, so every
+/// future optimisation has a trajectory to compare against.
+struct KernelBenchRecord {
+  std::string name;              ///< e.g. "BM_LogLikelihood/1024"
+  double ns_per_op = 0.0;        ///< wall-clock ns per iteration
+  double items_per_second = 0.0; ///< 0 when the bench reports no items
+  long long iterations = 0;
+};
+
+/// Write records as `{"benchmarks": [{name, ns_per_op, items_per_second,
+/// iterations}, ...]}`. Overwrites `path`; returns false when the file
+/// cannot be opened.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<KernelBenchRecord>& records) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const auto escape = [](const std::string& s) {
+    std::string r;
+    for (char c : s) {
+      if (c == '"' || c == '\\') r.push_back('\\');
+      r.push_back(c);
+    }
+    return r;
+  };
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const KernelBenchRecord& r = records[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                 "\"items_per_second\": %.1f, \"iterations\": %lld}%s\n",
+                 escape(r.name).c_str(), r.ns_per_op, r.items_per_second,
+                 r.iterations, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
 /// Print an empirical CDF as a fixed set of (x, F(x)) rows. The x grid is
 /// clipped at the 99th percentile so a handful of outliers cannot flatten
 /// the interesting part of the curve.

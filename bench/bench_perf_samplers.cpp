@@ -3,13 +3,19 @@
 // of increasing size, plus the likelihood/gradient kernels they are built
 // on. These justify the paper's remark that naive computational Bayes was
 // "computationally costly" while MH/HMC make it practical.
+//
+// Besides the console table, every run writes BENCH_samplers.json (ns/op
+// and items/s per kernel and size) so perf PRs can record before/after.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/hmc.hpp"
 #include "core/likelihood.hpp"
 #include "core/metropolis.hpp"
+#include "core/multichain.hpp"
 #include "core/prior.hpp"
 #include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -105,6 +111,80 @@ void BM_HmcTrajectories(benchmark::State& state) {
 BENCHMARK(BM_HmcTrajectories)->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
+void BM_GradientSharded(benchmark::State& state) {
+  const auto data = synthetic_dataset(1024, 4096);
+  const core::Likelihood lik(data);
+  util::ThreadPool pool;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::vector<double> p(lik.dim(), 0.3), grad(lik.dim());
+  for (auto _ : state) {
+    lik.gradient(p, grad, pool, shards);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.path_count()));
+}
+BENCHMARK(BM_GradientSharded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MetropolisChainsPooled(benchmark::State& state) {
+  const auto data = synthetic_dataset(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const core::Likelihood lik(data);
+  const core::Prior prior = core::Prior::uniform();
+  core::MetropolisConfig config;
+  config.samples = 20;
+  config.burn_in = 0;
+  config.thin = 1;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(
+        core::run_metropolis_chains(lik, prior, config, 4));
+  }
+  // One item = one full coordinate sweep across all chains.
+  state.SetItemsProcessed(state.iterations() * 20 * 4);
+}
+BENCHMARK(BM_MetropolisChainsPooled)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+/// Console output plus a machine-readable capture of every iteration run.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      because::bench::KernelBenchRecord record;
+      record.name = run.benchmark_name();
+      // GetAdjustedRealTime is in the benchmark's display unit; rescale to ns.
+      record.ns_per_op = run.GetAdjustedRealTime() * 1e9 /
+                         benchmark::GetTimeUnitMultiplier(run.time_unit);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) record.items_per_second = it->second.value;
+      record.iterations = static_cast<long long>(run.iterations);
+      records_.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<because::bench::KernelBenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<because::bench::KernelBenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!because::bench::write_bench_json("BENCH_samplers.json",
+                                        reporter.records()))
+    std::fprintf(stderr, "warning: could not write BENCH_samplers.json\n");
+  return 0;
+}

@@ -10,19 +10,19 @@ SatResult solve_binary_tomography(const labeling::PathDataset& data) {
 
   // Unit propagation: clean paths force every AS on them to "not damping".
   std::vector<bool> forced(data.as_count(), false);
-  for (const labeling::Observation& obs : data.observations()) {
-    if (obs.shows_property) continue;
-    for (std::size_t node : obs.nodes) forced[node] = true;
+  for (std::size_t j = 0; j < data.path_count(); ++j) {
+    if (data.shows_property(j)) continue;
+    for (std::size_t node : data.path_nodes(j)) forced[node] = true;
   }
   for (std::size_t n = 0; n < data.as_count(); ++n)
     if (forced[n]) result.forced_clean.insert(data.as_at(n));
 
   // Conflicts: RFD paths with no unforced AS left.
   std::vector<std::size_t> open_paths;  // satisfiable RFD clauses
-  for (std::size_t j = 0; j < data.observations().size(); ++j) {
-    const labeling::Observation& obs = data.observations()[j];
-    if (!obs.shows_property) continue;
-    const bool all_forced = std::all_of(obs.nodes.begin(), obs.nodes.end(),
+  for (std::size_t j = 0; j < data.path_count(); ++j) {
+    if (!data.shows_property(j)) continue;
+    const auto nodes = data.path_nodes(j);
+    const bool all_forced = std::all_of(nodes.begin(), nodes.end(),
                                         [&](std::size_t n) { return forced[n]; });
     if (all_forced) result.conflicting_paths.push_back(j);
     else open_paths.push_back(j);
@@ -33,13 +33,13 @@ SatResult solve_binary_tomography(const labeling::PathDataset& data) {
 
   // Greedy hitting set over the open RFD clauses: repeatedly pick the
   // unforced AS covering the most uncovered clauses.
-  std::vector<bool> covered(data.observations().size(), false);
+  std::vector<bool> covered(data.path_count(), false);
   std::size_t uncovered = open_paths.size();
   while (uncovered > 0) {
     std::unordered_map<std::size_t, std::size_t> gain;
     for (std::size_t j : open_paths) {
       if (covered[j]) continue;
-      for (std::size_t node : data.observations()[j].nodes)
+      for (std::size_t node : data.path_nodes(j))
         if (!forced[node]) ++gain[node];
     }
     std::size_t best_node = 0, best_gain = 0;
@@ -55,7 +55,7 @@ SatResult solve_binary_tomography(const labeling::PathDataset& data) {
     result.greedy_dampers.insert(data.as_at(best_node));
     for (std::size_t j : open_paths) {
       if (covered[j]) continue;
-      const auto& nodes = data.observations()[j].nodes;
+      const auto nodes = data.path_nodes(j);
       if (std::find(nodes.begin(), nodes.end(), best_node) != nodes.end()) {
         covered[j] = true;
         --uncovered;

@@ -8,14 +8,6 @@
 
 namespace because::core {
 
-namespace {
-constexpr double kQFloor = Likelihood::kQFloor;
-
-inline double q_of(double p) {
-  return std::max(kQFloor, std::min(1.0, 1.0 - p));
-}
-}  // namespace
-
 void GibbsConfig::validate() const {
   if (samples == 0) throw std::invalid_argument("GibbsConfig: samples == 0");
   if (thin == 0) throw std::invalid_argument("GibbsConfig: thin == 0");
@@ -40,7 +32,7 @@ Chain run_gibbs(const Likelihood& likelihood, const Prior& prior,
   std::vector<double> grid_p(grid), grid_q(grid);
   for (std::size_t g = 0; g < grid; ++g) {
     grid_p[g] = (static_cast<double>(g) + 0.5) / static_cast<double>(grid);
-    grid_q[g] = q_of(grid_p[g]);
+    grid_q[g] = clamp_q(grid_p[g]);
   }
 
   Chain chain(dim);
@@ -50,14 +42,14 @@ Chain run_gibbs(const Likelihood& likelihood, const Prior& prior,
   const std::size_t total_sweeps = config.burn_in + config.samples * config.thin;
   for (std::size_t sweep = 0; sweep < total_sweeps; ++sweep) {
     for (std::size_t i = 0; i < dim; ++i) {
-      const double old_q = q_of(p[i]);
+      const double old_q = clamp_q(p[i]);
 
       // Unnormalised log conditional on the grid.
       for (std::size_t g = 0; g < grid; ++g)
         log_cond[g] = prior.log_density_coord(grid_p[g]);
       for (std::size_t obs_idx : data.observations_with(i)) {
         const double base = products[obs_idx] / old_q;  // product without q_i
-        const bool shows = data.observations()[obs_idx].shows_property;
+        const bool shows = data.shows_property(obs_idx);
         for (std::size_t g = 0; g < grid; ++g)
           log_cond[g] += likelihood.observation_log_lik(base * grid_q[g], shows);
       }
@@ -85,7 +77,7 @@ Chain run_gibbs(const Likelihood& likelihood, const Prior& prior,
       double new_p = grid_p[pick] + (rng.uniform() - 0.5) * cell;
       new_p = std::min(1.0, std::max(0.0, new_p));
 
-      const double ratio = q_of(new_p) / old_q;
+      const double ratio = clamp_q(new_p) / old_q;
       p[i] = new_p;
       for (std::size_t obs_idx : data.observations_with(i))
         products[obs_idx] *= ratio;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace because::core {
 
@@ -32,12 +33,17 @@ double log_target(const Likelihood& lik, const Prior& prior,
   return lik.log_likelihood(p_buf) + prior.log_density(p_buf) + jacobian;
 }
 
-/// Gradient of log_target with respect to theta.
+/// Gradient of log_target with respect to theta. When `pool` is non-null
+/// and `shards` > 1 the likelihood gradient is range-split across it.
 void grad_log_target(const Likelihood& lik, const Prior& prior,
                      std::span<const double> theta, std::vector<double>& p_buf,
-                     std::vector<double>& grad_p, std::span<double> grad_theta) {
+                     std::vector<double>& grad_p, std::span<double> grad_theta,
+                     util::ThreadPool* pool, std::size_t shards) {
   to_p(theta, p_buf);
-  lik.gradient(p_buf, grad_p);
+  if (pool != nullptr && shards > 1)
+    lik.gradient(p_buf, grad_p, *pool, shards);
+  else
+    lik.gradient(p_buf, grad_p);
   prior.add_gradient(p_buf, grad_p);
   for (std::size_t i = 0; i < theta.size(); ++i) {
     const double p = std::clamp(p_buf[i], 1e-12, 1.0 - 1e-12);
@@ -53,10 +59,12 @@ void HmcConfig::validate() const {
   if (step_size <= 0.0) throw std::invalid_argument("HmcConfig: step_size <= 0");
   if (leapfrog_steps == 0)
     throw std::invalid_argument("HmcConfig: leapfrog_steps == 0");
+  if (gradient_shards == 0)
+    throw std::invalid_argument("HmcConfig: gradient_shards == 0");
 }
 
 Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
-              const HmcConfig& config) {
+              const HmcConfig& config, util::ThreadPool* pool) {
   config.validate();
   const std::size_t dim = likelihood.dim();
   if (dim == 0) throw std::invalid_argument("run_hmc: empty dataset");
@@ -84,7 +92,8 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
     for (double m : momentum) kinetic0 += 0.5 * m * m;
 
     theta_prop = theta;
-    grad_log_target(likelihood, prior, theta_prop, p_buf, grad_p, grad_prop);
+    grad_log_target(likelihood, prior, theta_prop, p_buf, grad_p, grad_prop,
+                    pool, config.gradient_shards);
 
     // Leapfrog integration.
     for (std::size_t step = 0; step < config.leapfrog_steps; ++step) {
@@ -94,7 +103,8 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
         theta_prop[i] += config.step_size * momentum[i];
         theta_prop[i] = std::clamp(theta_prop[i], -kThetaClamp, kThetaClamp);
       }
-      grad_log_target(likelihood, prior, theta_prop, p_buf, grad_p, grad_prop);
+      grad_log_target(likelihood, prior, theta_prop, p_buf, grad_p, grad_prop,
+                      pool, config.gradient_shards);
       for (std::size_t i = 0; i < dim; ++i)
         momentum[i] += 0.5 * config.step_size * grad_prop[i];
     }

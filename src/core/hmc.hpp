@@ -14,6 +14,10 @@
 #include "core/likelihood.hpp"
 #include "core/prior.hpp"
 
+namespace because::util {
+class ThreadPool;
+}
+
 namespace because::core {
 
 struct HmcConfig {
@@ -22,13 +26,20 @@ struct HmcConfig {
   double step_size = 0.05;     ///< leapfrog step epsilon
   std::size_t leapfrog_steps = 20;
   std::uint64_t seed = 2;
+  /// When > 1 and a pool is passed to run_hmc, each leapfrog gradient is
+  /// split into this many observation ranges evaluated on idle pool
+  /// workers. The shard count (not the pool size) fixes the reduction
+  /// order, so results are deterministic for a given value.
+  std::size_t gradient_shards = 1;
 
   void validate() const;
 };
 
 /// Run the sampler; the initial state is drawn from the prior. The returned
-/// chain stores samples of p (already mapped back from theta).
+/// chain stores samples of p (already mapped back from theta). When `pool`
+/// is non-null and config.gradient_shards > 1, gradient evaluations are
+/// range-split across the pool.
 Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
-              const HmcConfig& config);
+              const HmcConfig& config, util::ThreadPool* pool = nullptr);
 
 }  // namespace because::core

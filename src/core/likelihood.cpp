@@ -4,13 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
-namespace because::core {
+#include "util/thread_pool.hpp"
 
-namespace {
-inline double q_of(double p) {
-  return std::max(Likelihood::kQFloor, std::min(1.0, 1.0 - p));
-}
-}  // namespace
+namespace because::core {
 
 void NoiseModel::validate() const {
   if (false_signature < 0.0 || false_signature >= 0.5)
@@ -26,12 +22,19 @@ Likelihood::Likelihood(const labeling::PathDataset& data, NoiseModel noise)
 
 std::vector<double> Likelihood::products(std::span<const double> p) const {
   if (p.size() != dim()) throw std::invalid_argument("Likelihood: dim mismatch");
-  std::vector<double> prods;
-  prods.reserve(data_.path_count());
-  for (const labeling::Observation& obs : data_.observations()) {
+  std::vector<double> q(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) q[i] = clamp_q(p[i]);
+
+  const std::span<const std::uint32_t> nodes = data_.flat_nodes();
+  const std::span<const std::uint32_t> offsets = data_.flat_offsets();
+  const std::size_t paths = data_.path_count();
+
+  std::vector<double> prods(paths);
+  for (std::size_t j = 0; j < paths; ++j) {
     double prod = 1.0;
-    for (std::size_t node : obs.nodes) prod *= q_of(p[node]);
-    prods.push_back(prod);
+    for (std::size_t k = offsets[j]; k < offsets[j + 1]; ++k)
+      prod *= q[nodes[k]];
+    prods[j] = prod;
   }
   return prods;
 }
@@ -49,43 +52,134 @@ double Likelihood::observation_log_lik(double product, bool shows_property) cons
 
 double Likelihood::log_likelihood(std::span<const double> p) const {
   if (p.size() != dim()) throw std::invalid_argument("Likelihood: dim mismatch");
+  std::vector<double> q(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) q[i] = clamp_q(p[i]);
+
+  const std::span<const std::uint32_t> nodes = data_.flat_nodes();
+  const std::span<const std::uint32_t> offsets = data_.flat_offsets();
+  const std::span<const std::uint64_t> labels = data_.label_bits();
+  const std::size_t paths = data_.path_count();
+
+  // P(obs) = c0[label] + c1[label] * prod (branchless label select).
+  const double fs = noise_.false_signature;
+  const double ms = noise_.missed_signature;
+  const double c0[2] = {ms, 1.0 - ms};
+  const double c1[2] = {(1.0 - fs) - ms, fs - (1.0 - ms)};
+
+  // sum_j log P_j = log prod_j P_j: accumulate the probability product and
+  // take a log only when it nears the underflow range, so the kernel is a
+  // pure multiply stream with a handful of transcendentals total.
   double total = 0.0;
-  for (const labeling::Observation& obs : data_.observations()) {
-    double prod = 1.0;
-    for (std::size_t node : obs.nodes) prod *= q_of(p[node]);
-    total += observation_log_lik(prod, obs.shows_property);
+  double acc = 1.0;
+  for (std::size_t j = 0; j < paths; ++j) {
+    // Two interleaved partial products halve the multiply dependency chain.
+    double prod_a = 1.0, prod_b = 1.0;
+    std::size_t k = offsets[j];
+    const std::size_t hi = offsets[j + 1];
+    for (; k + 1 < hi; k += 2) {
+      prod_a *= q[nodes[k]];
+      prod_b *= q[nodes[k + 1]];
+    }
+    if (k < hi) prod_a *= q[nodes[k]];
+    const double prod = prod_a * prod_b;
+    const std::size_t label = (labels[j >> 6] >> (j & 63)) & 1u;
+    const double prob = std::max(kProbFloor, c0[label] + c1[label] * prod);
+    if (prob < 1e-30) {
+      total += std::log(prob);  // too small to fold into acc safely
+    } else {
+      acc *= prob;
+      if (acc < 1e-270) {
+        total += std::log(acc);
+        acc = 1.0;
+      }
+    }
   }
-  return total;
+  return total + std::log(acc);
+}
+
+void Likelihood::gradient_range(std::span<const double> q,
+                                std::span<double> grad, std::size_t begin,
+                                std::size_t end) const {
+  const std::span<const std::uint32_t> nodes = data_.flat_nodes();
+  const std::span<const std::uint32_t> offsets = data_.flat_offsets();
+  const std::span<const std::uint64_t> labels = data_.label_bits();
+
+  // P = c0[label] + c1[label] * prod; d log P / dp_k = -c1 * (prod / q_k) / P.
+  // Each observation scatters the per-path weight w = -c1 * prod / P; the
+  // caller divides the accumulated grad by q afterwards, so the inner loops
+  // are a gather-multiply followed by a scatter-add of one register.
+  const double fs = noise_.false_signature;
+  const double ms = noise_.missed_signature;
+  const double c0[2] = {ms, 1.0 - ms};
+  const double c1[2] = {(1.0 - fs) - ms, fs - (1.0 - ms)};
+
+  for (std::size_t j = begin; j < end; ++j) {
+    const std::size_t lo = offsets[j], hi = offsets[j + 1];
+    double prod_a = 1.0, prod_b = 1.0;
+    std::size_t k = lo;
+    for (; k + 1 < hi; k += 2) {
+      prod_a *= q[nodes[k]];
+      prod_b *= q[nodes[k + 1]];
+    }
+    if (k < hi) prod_a *= q[nodes[k]];
+    const double prod = prod_a * prod_b;
+    const std::size_t label = (labels[j >> 6] >> (j & 63)) & 1u;
+    const double prob = std::max(kProbFloor, c0[label] + c1[label] * prod);
+    const double w = -c1[label] * (prod / prob);
+    for (std::size_t k = lo; k < hi; ++k) grad[nodes[k]] += w;
+  }
 }
 
 void Likelihood::gradient(std::span<const double> p, std::span<double> grad) const {
   if (p.size() != dim() || grad.size() != dim())
     throw std::invalid_argument("Likelihood::gradient: dim mismatch");
+  std::vector<double> q(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) q[i] = clamp_q(p[i]);
   std::fill(grad.begin(), grad.end(), 0.0);
+  gradient_range(q, grad, 0, data_.path_count());
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] /= q[i];
+}
 
-  const double fs = noise_.false_signature;
-  const double ms = noise_.missed_signature;
+void Likelihood::gradient(std::span<const double> p, std::span<double> grad,
+                          util::ThreadPool& pool, std::size_t shards) const {
+  if (p.size() != dim() || grad.size() != dim())
+    throw std::invalid_argument("Likelihood::gradient: dim mismatch");
+  const std::size_t paths = data_.path_count();
+  shards = std::max<std::size_t>(1, std::min(shards, paths == 0 ? 1 : paths));
+  if (shards == 1) {
+    gradient(p, grad);
+    return;
+  }
 
-  for (const labeling::Observation& obs : data_.observations()) {
-    double prod = 1.0;
-    for (std::size_t node : obs.nodes) prod *= q_of(p[node]);
+  std::vector<double> q(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) q[i] = clamp_q(p[i]);
 
-    // P = c0 + c1 * prod with coefficients depending on the label;
-    // d log P / dp_k = -c1 * (prod / q_k) / P.
-    double c0, c1;
-    if (obs.shows_property) {
-      c0 = 1.0 - ms;
-      c1 = fs - (1.0 - ms);
-    } else {
-      c0 = ms;
-      c1 = (1.0 - fs) - ms;
-    }
-    const double prob = std::max(kProbFloor, c0 + c1 * prod);
-    for (std::size_t node : obs.nodes) {
-      const double qk = q_of(p[node]);
-      grad[node] -= c1 * (prod / qk) / prob;
+  std::vector<std::vector<double>> partial(shards,
+                                           std::vector<double>(dim(), 0.0));
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = paths * s / shards;
+    const std::size_t end = paths * (s + 1) / shards;
+    futures.push_back(pool.submit([this, &q, &partial, s, begin, end] {
+      gradient_range(q, partial[s], begin, end);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
     }
   }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Shard-order reduction: fixed shard count => fixed summation order.
+  std::fill(grad.begin(), grad.end(), 0.0);
+  for (std::size_t s = 0; s < shards; ++s)
+    for (std::size_t i = 0; i < grad.size(); ++i) grad[i] += partial[s][i];
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] /= q[i];
 }
 
 }  // namespace because::core

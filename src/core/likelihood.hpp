@@ -16,12 +16,23 @@
 //   P(J clean | q)  =  (1 - fs) * prod + ms * (1 - prod)
 //
 // which degrades gracefully to Eq. 4-5 at fs = ms = 0.
+//
+// The kernels stream the dataset's CSR arrays: q (and log q) are clamped
+// once per coordinate instead of once per path element, noise-free clean
+// paths reduce to a sum of precomputed log q (no transcendental per path),
+// and the gradient uses one division per observation instead of two per
+// path element.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
 #include "labeling/dataset.hpp"
+
+namespace because::util {
+class ThreadPool;
+}
 
 namespace because::core {
 
@@ -57,14 +68,35 @@ class Likelihood {
   /// overwrites `grad`.
   void gradient(std::span<const double> p, std::span<double> grad) const;
 
+  /// Range-split gradient: the observations are partitioned into `shards`
+  /// contiguous ranges evaluated on `pool`, each accumulating into its own
+  /// buffer, then reduced in shard order. Deterministic for a fixed shard
+  /// count (independent of pool size); lets a single HMC chain use idle
+  /// pool workers.
+  void gradient(std::span<const double> p, std::span<double> grad,
+                util::ThreadPool& pool, std::size_t shards) const;
+
   /// Numerical floor for q = 1 - p, keeping logs finite.
   static constexpr double kQFloor = 1e-12;
   /// Floor for observation probabilities.
   static constexpr double kProbFloor = 1e-300;
 
  private:
+  /// Serial gradient accumulation over observations [begin, end); `grad`
+  /// must be zeroed by the caller and is left *un-divided* by q — the
+  /// caller applies the final per-coordinate 1/q scaling after reduction.
+  void gradient_range(std::span<const double> q, std::span<double> grad,
+                      std::size_t begin, std::size_t end) const;
+
   const labeling::PathDataset& data_;
   NoiseModel noise_;
 };
+
+/// The shared clamp q = 1 - p into [kQFloor, 1] used by every kernel that
+/// walks the likelihood (samplers included) — one definition so the cached
+/// per-observation products and the full kernels agree bit-for-bit.
+inline double clamp_q(double p) {
+  return std::max(Likelihood::kQFloor, std::min(1.0, 1.0 - p));
+}
 
 }  // namespace because::core

@@ -1,16 +1,17 @@
 #include "core/metropolis.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
 namespace because::core {
 
-namespace {
+namespace detail {
 
-/// Reflect a proposal back into [0,1] (handles a single overshoot; sigma is
-/// well below 1 so multiple reflections cannot occur for sane configs).
+/// Handles any number of overshoots (sigma < 1 keeps it to one in practice).
 double reflect_into_unit(double x) {
+  if (!std::isfinite(x)) return std::numeric_limits<double>::quiet_NaN();
   while (x < 0.0 || x > 1.0) {
     if (x < 0.0) x = -x;
     if (x > 1.0) x = 2.0 - x;
@@ -18,13 +19,9 @@ double reflect_into_unit(double x) {
   return x;
 }
 
-constexpr double kQFloor = Likelihood::kQFloor;
+}  // namespace detail
 
-inline double q_of(double p) {
-  return std::max(kQFloor, std::min(1.0, 1.0 - p));
-}
-
-}  // namespace
+using detail::reflect_into_unit;
 
 void MetropolisConfig::validate() const {
   if (samples == 0) throw std::invalid_argument("MetropolisConfig: samples == 0");
@@ -56,8 +53,12 @@ Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
       const double old_p = p[i];
       const double new_p =
           reflect_into_unit(old_p + rng.normal(0.0, config.proposal_sigma));
-      const double old_q = q_of(old_p);
-      const double new_q = q_of(new_p);
+      if (!std::isfinite(new_p)) {
+        ++proposals;  // non-finite proposal: reject outright
+        continue;
+      }
+      const double old_q = clamp_q(old_p);
+      const double new_q = clamp_q(new_p);
       const double ratio = new_q / old_q;
 
       // Likelihood delta over the observations containing coordinate i.
@@ -65,7 +66,7 @@ Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
       for (std::size_t obs_idx : data.observations_with(i)) {
         const double old_prod = products[obs_idx];
         const double new_prod = old_prod * ratio;
-        const bool shows = data.observations()[obs_idx].shows_property;
+        const bool shows = data.shows_property(obs_idx);
         delta += likelihood.observation_log_lik(new_prod, shows) -
                  likelihood.observation_log_lik(old_prod, shows);
       }

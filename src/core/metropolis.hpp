@@ -31,4 +31,11 @@ struct MetropolisConfig {
 Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
                      const MetropolisConfig& config);
 
+namespace detail {
+/// Reflect a random-walk proposal back into [0,1]. Non-finite input (NaN or
+/// infinite — possible only from pathological states) maps to NaN so the
+/// sweep rejects the proposal instead of looping forever.
+double reflect_into_unit(double x);
+}  // namespace detail
+
 }  // namespace because::core

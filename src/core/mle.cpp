@@ -6,12 +6,6 @@
 
 namespace because::core {
 
-namespace {
-inline double q_of(double p) {
-  return std::max(Likelihood::kQFloor, std::min(1.0, 1.0 - p));
-}
-}  // namespace
-
 MleResult maximize_likelihood(const Likelihood& likelihood,
                               const MleConfig& config) {
   const std::size_t dim = likelihood.dim();
@@ -31,17 +25,17 @@ MleResult maximize_likelihood(const Likelihood& likelihood,
   const std::size_t grid = config.grid_points;
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
     for (std::size_t i = 0; i < dim; ++i) {
-      const double old_q = q_of(result.p[i]);
+      const double old_q = clamp_q(result.p[i]);
       double best_p = result.p[i];
       double best_delta = 0.0;
 
       for (std::size_t g = 0; g <= grid; ++g) {
         const double cand_p = static_cast<double>(g) / static_cast<double>(grid);
-        const double cand_q = q_of(cand_p);
+        const double cand_q = clamp_q(cand_p);
         double delta = 0.0;
         for (std::size_t obs_idx : data.observations_with(i)) {
           const double base = products[obs_idx] / old_q;
-          const bool shows = data.observations()[obs_idx].shows_property;
+          const bool shows = data.shows_property(obs_idx);
           delta += likelihood.observation_log_lik(base * cand_q, shows) -
                    likelihood.observation_log_lik(products[obs_idx], shows);
         }
@@ -52,7 +46,7 @@ MleResult maximize_likelihood(const Likelihood& likelihood,
       }
 
       if (best_delta > 0.0) {
-        const double ratio = q_of(best_p) / old_q;
+        const double ratio = clamp_q(best_p) / old_q;
         result.p[i] = best_p;
         for (std::size_t obs_idx : data.observations_with(i))
           products[obs_idx] *= ratio;

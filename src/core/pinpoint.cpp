@@ -18,25 +18,26 @@ PinpointResult pinpoint_inconsistent(const Chain& chain,
   PinpointResult result;
   std::vector<bool> upgraded(data.as_count(), false);
 
-  for (const labeling::Observation& obs : data.observations()) {
-    if (!obs.shows_property) continue;
+  for (std::size_t j = 0; j < data.path_count(); ++j) {
+    if (!data.shows_property(j)) continue;
+    const auto nodes = data.path_nodes(j);
     const bool explained =
-        std::any_of(obs.nodes.begin(), obs.nodes.end(), [&](std::size_t n) {
+        std::any_of(nodes.begin(), nodes.end(), [&](std::size_t n) {
           return is_damping(categories[n]) || upgraded[n];
         });
     if (explained) continue;
 
     // Posterior probability that each on-path AS has the largest p, and the
     // posterior expected probability that the path is damped at all.
-    std::vector<std::size_t> wins(obs.nodes.size(), 0);
+    std::vector<std::size_t> wins(nodes.size(), 0);
     double damped_mass = 0.0;
     for (std::size_t t = 0; t < chain.size(); ++t) {
       const auto sample = chain.sample(t);
       std::size_t best = 0;
-      double best_p = sample[obs.nodes[0]];
+      double best_p = sample[nodes[0]];
       double prod_q = 1.0;
-      for (std::size_t k = 0; k < obs.nodes.size(); ++k) {
-        const double p = sample[obs.nodes[k]];
+      for (std::size_t k = 0; k < nodes.size(); ++k) {
+        const double p = sample[nodes[k]];
         prod_q *= (1.0 - p);
         if (k > 0 && p > best_p) {
           best_p = p;
@@ -57,7 +58,7 @@ PinpointResult pinpoint_inconsistent(const Chain& chain,
     const double prob = static_cast<double>(*max_it) /
                         static_cast<double>(chain.size());
     if (prob > threshold) {
-      const std::size_t node = obs.nodes[static_cast<std::size_t>(
+      const std::size_t node = nodes[static_cast<std::size_t>(
           max_it - wins.begin())];
       upgraded[node] = true;
     } else {

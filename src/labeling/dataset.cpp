@@ -1,17 +1,65 @@
 #include "labeling/dataset.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace because::labeling {
+
+void PathDataset::copy_from(const PathDataset& other) {
+  as_ids_ = other.as_ids_;
+  index_ = other.index_;
+  obs_nodes_ = other.obs_nodes_;
+  obs_offsets_ = other.obs_offsets_;
+  label_bits_ = other.label_bits_;
+  property_count_ = other.property_count_;
+  clean_count_ = other.clean_count_;
+  node_obs_ = other.node_obs_;
+  node_offsets_ = other.node_offsets_;
+  transposed_valid_.store(other.transposed_valid_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+}
+
+void PathDataset::move_from(PathDataset&& other) noexcept {
+  as_ids_ = std::move(other.as_ids_);
+  index_ = std::move(other.index_);
+  obs_nodes_ = std::move(other.obs_nodes_);
+  obs_offsets_ = std::move(other.obs_offsets_);
+  label_bits_ = std::move(other.label_bits_);
+  property_count_ = std::move(other.property_count_);
+  clean_count_ = std::move(other.clean_count_);
+  node_obs_ = std::move(other.node_obs_);
+  node_offsets_ = std::move(other.node_offsets_);
+  transposed_valid_.store(other.transposed_valid_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  other.obs_offsets_ = {0};
+  other.transposed_valid_.store(false, std::memory_order_release);
+}
+
+PathDataset::PathDataset(const PathDataset& other) { copy_from(other); }
+
+PathDataset::PathDataset(PathDataset&& other) noexcept {
+  move_from(std::move(other));
+}
+
+PathDataset& PathDataset::operator=(const PathDataset& other) {
+  if (this != &other) copy_from(other);
+  return *this;
+}
+
+PathDataset& PathDataset::operator=(PathDataset&& other) noexcept {
+  if (this != &other) move_from(std::move(other));
+  return *this;
+}
 
 std::size_t PathDataset::intern(topology::AsId as) {
   const auto it = index_.find(as);
   if (it != index_.end()) return it->second;
   const std::size_t idx = as_ids_.size();
+  if (idx > std::numeric_limits<std::uint32_t>::max())
+    throw std::length_error("PathDataset: AS index overflows 32 bits");
   as_ids_.push_back(as);
   index_.emplace(as, idx);
-  by_node_.emplace_back();
   property_count_.push_back(0);
   clean_count_.push_back(0);
   return idx;
@@ -19,23 +67,26 @@ std::size_t PathDataset::intern(topology::AsId as) {
 
 void PathDataset::add_path(const topology::AsPath& path, bool shows_property,
                            const std::unordered_set<topology::AsId>& exclude) {
-  Observation obs;
-  obs.shows_property = shows_property;
+  const std::size_t start = obs_nodes_.size();
   for (topology::AsId as : path) {
     if (exclude.count(as) != 0) continue;
-    const std::size_t idx = intern(as);
-    if (std::find(obs.nodes.begin(), obs.nodes.end(), idx) == obs.nodes.end())
-      obs.nodes.push_back(idx);
+    const auto idx = static_cast<std::uint32_t>(intern(as));
+    if (std::find(obs_nodes_.begin() + static_cast<std::ptrdiff_t>(start),
+                  obs_nodes_.end(), idx) == obs_nodes_.end())
+      obs_nodes_.push_back(idx);
   }
-  if (obs.nodes.empty()) return;
+  if (obs_nodes_.size() == start) return;  // path became empty
 
-  const std::size_t obs_index = observations_.size();
-  for (std::size_t node : obs.nodes) {
-    by_node_[node].push_back(obs_index);
+  const std::size_t obs_index = path_count();
+  for (std::size_t k = start; k < obs_nodes_.size(); ++k) {
+    const std::uint32_t node = obs_nodes_[k];
     if (shows_property) ++property_count_[node];
     else ++clean_count_[node];
   }
-  observations_.push_back(std::move(obs));
+  obs_offsets_.push_back(static_cast<std::uint32_t>(obs_nodes_.size()));
+  if (label_bits_.size() * 64 <= obs_index) label_bits_.push_back(0);
+  if (shows_property) label_bits_[obs_index >> 6] |= std::uint64_t{1} << (obs_index & 63);
+  transposed_valid_.store(false, std::memory_order_release);
 }
 
 std::optional<std::size_t> PathDataset::index_of(topology::AsId as) const {
@@ -44,9 +95,33 @@ std::optional<std::size_t> PathDataset::index_of(topology::AsId as) const {
   return it->second;
 }
 
-const std::vector<std::size_t>& PathDataset::observations_with(
+void PathDataset::ensure_transposed() const {
+  if (transposed_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (transposed_valid_.load(std::memory_order_relaxed)) return;
+
+  const std::size_t nodes = as_ids_.size();
+  node_offsets_.assign(nodes + 1, 0);
+  for (std::uint32_t node : obs_nodes_) ++node_offsets_[node + 1];
+  for (std::size_t i = 0; i < nodes; ++i) node_offsets_[i + 1] += node_offsets_[i];
+
+  node_obs_.resize(obs_nodes_.size());
+  std::vector<std::uint32_t> cursor(node_offsets_.begin(), node_offsets_.end() - 1);
+  const std::size_t paths = path_count();
+  for (std::size_t j = 0; j < paths; ++j)
+    for (std::uint32_t node : path_nodes(j))
+      node_obs_[cursor[node]++] = static_cast<std::uint32_t>(j);
+
+  transposed_valid_.store(true, std::memory_order_release);
+}
+
+std::span<const std::uint32_t> PathDataset::observations_with(
     std::size_t node) const {
-  return by_node_.at(node);
+  ensure_transposed();
+  if (node >= as_ids_.size())
+    throw std::out_of_range("PathDataset::observations_with: bad node");
+  return {node_obs_.data() + node_offsets_[node],
+          node_obs_.data() + node_offsets_[node + 1]};
 }
 
 std::size_t PathDataset::property_paths(std::size_t node) const {

@@ -1,14 +1,25 @@
-// The binary-tomography dataset: labeled paths over a dense AS index.
+// The binary-tomography dataset: labeled paths over a dense AS index,
+// stored in CSR (compressed-sparse-row) form.
 //
 // This is the interface between measurement (labeling) and inference
 // (BeCAUSe): a list of observations, each a set of AS indices plus the
 // binary path label y_j of Eq. (3). The dense index keeps the samplers'
-// parameter vectors compact, and the per-AS observation index lets
-// single-coordinate Metropolis updates touch only the paths that contain
-// the coordinate being updated.
+// parameter vectors compact.
+//
+// Layout: all path memberships live in one contiguous `obs_nodes_` array
+// sliced by `obs_offsets_` (one slice per observation), labels live in a
+// packed bitmap, and the transposed node -> observation incidence is a
+// second CSR built lazily on first query. The samplers' inner loops walk
+// these flat arrays with zero pointer chasing; the transposed CSR lets
+// single-coordinate updates touch only the paths containing the updated
+// coordinate.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -17,15 +28,14 @@
 
 namespace because::labeling {
 
-struct Observation {
-  /// Dense indices of the ASs on the path (no duplicates).
-  std::vector<std::size_t> nodes;
-  /// True when the path shows property A (e.g., the RFD signature).
-  bool shows_property = false;
-};
-
 class PathDataset {
  public:
+  PathDataset() = default;
+  PathDataset(const PathDataset& other);
+  PathDataset(PathDataset&& other) noexcept;
+  PathDataset& operator=(const PathDataset& other);
+  PathDataset& operator=(PathDataset&& other) noexcept;
+
   /// Add a labeled path. ASs in `exclude` (e.g. the beacon origin, known not
   /// to damp) are dropped from the observation. Paths that become empty are
   /// ignored. Duplicate ASs on a path are collapsed.
@@ -33,15 +43,32 @@ class PathDataset {
                 const std::unordered_set<topology::AsId>& exclude = {});
 
   std::size_t as_count() const { return as_ids_.size(); }
-  std::size_t path_count() const { return observations_.size(); }
+  std::size_t path_count() const { return obs_offsets_.size() - 1; }
 
   topology::AsId as_at(std::size_t index) const { return as_ids_.at(index); }
   std::optional<std::size_t> index_of(topology::AsId as) const;
 
-  const std::vector<Observation>& observations() const { return observations_; }
+  /// Dense AS indices on observation `obs` (a slice of the flat CSR array).
+  std::span<const std::uint32_t> path_nodes(std::size_t obs) const {
+    return {obs_nodes_.data() + obs_offsets_[obs],
+            obs_nodes_.data() + obs_offsets_[obs + 1]};
+  }
 
-  /// Observation indices containing AS index `node`.
-  const std::vector<std::size_t>& observations_with(std::size_t node) const;
+  /// True when observation `obs` shows property A (e.g. the RFD signature).
+  bool shows_property(std::size_t obs) const {
+    return ((label_bits_[obs >> 6] >> (obs & 63)) & 1u) != 0;
+  }
+
+  /// The flat CSR arrays, for kernels that stream every observation.
+  std::span<const std::uint32_t> flat_nodes() const { return obs_nodes_; }
+  std::span<const std::uint32_t> flat_offsets() const { return obs_offsets_; }
+  /// Packed labels, bit `j` of word `j / 64` = label of observation `j`.
+  std::span<const std::uint64_t> label_bits() const { return label_bits_; }
+
+  /// Observation indices containing AS index `node` (transposed CSR slice,
+  /// in insertion order). Thread-safe after the first call on a fully built
+  /// dataset; a later add_path invalidates and rebuilds on next query.
+  std::span<const std::uint32_t> observations_with(std::size_t node) const;
 
   /// Number of RFD-labeled / clean-labeled paths containing the AS.
   std::size_t property_paths(std::size_t node) const;
@@ -49,13 +76,28 @@ class PathDataset {
 
  private:
   std::size_t intern(topology::AsId as);
+  void copy_from(const PathDataset& other);
+  void move_from(PathDataset&& other) noexcept;
+  /// Build the node -> observation CSR (double-checked under `mutex_`).
+  void ensure_transposed() const;
 
   std::vector<topology::AsId> as_ids_;
   std::unordered_map<topology::AsId, std::size_t> index_;
-  std::vector<Observation> observations_;
-  std::vector<std::vector<std::size_t>> by_node_;
-  std::vector<std::size_t> property_count_;
-  std::vector<std::size_t> clean_count_;
+
+  // Forward CSR: observation -> nodes, maintained eagerly by add_path.
+  std::vector<std::uint32_t> obs_nodes_;
+  std::vector<std::uint32_t> obs_offsets_{0};
+  std::vector<std::uint64_t> label_bits_;
+
+  std::vector<std::uint32_t> property_count_;
+  std::vector<std::uint32_t> clean_count_;
+
+  // Transposed CSR: node -> observations, built lazily because it needs a
+  // full counting pass; guarded so concurrent sampler threads may trigger it.
+  mutable std::vector<std::uint32_t> node_obs_;
+  mutable std::vector<std::uint32_t> node_offsets_;
+  mutable std::atomic<bool> transposed_valid_{false};
+  mutable std::mutex mutex_;
 };
 
 }  // namespace because::labeling

@@ -1,0 +1,104 @@
+// A fixed-size persistent worker pool with future-based exception
+// propagation.
+//
+// The multi-chain MCMC runners previously spawned fresh std::threads per
+// invocation; a throwing chain body would std::terminate and repeated
+// invocations paid thread creation each time. This pool keeps a fixed set
+// of workers alive for the process, hands results (and exceptions) back
+// through std::future, and deliberately avoids work stealing: tasks here
+// are coarse (whole MCMC chains, coordinate ranges), so a single locked
+// queue is contention-free in practice and keeps execution order easy to
+// reason about.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace because::util {
+
+class ThreadPool {
+ public:
+  /// Hardware thread count with a floor of 1 (hardware_concurrency may
+  /// legally report 0).
+  static std::size_t hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+  }
+
+  explicit ThreadPool(std::size_t threads = hardware_threads()) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue `fn` and return a future for its result. An exception escaping
+  /// `fn` is captured and rethrown from future::get(); the worker survives.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool::submit: pool is stopping");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// The process-wide pool shared by the multi-chain runners, sized to the
+/// hardware so nested invocations cannot oversubscribe the machine.
+inline ThreadPool& shared_pool() {
+  static ThreadPool pool(ThreadPool::hardware_threads());
+  return pool;
+}
+
+}  // namespace because::util

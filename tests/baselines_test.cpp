@@ -84,7 +84,7 @@ TEST(BinarySat, InconsistentDeploymentUnsat) {
   const auto result = baselines::solve_binary_tomography(d);
   EXPECT_FALSE(result.satisfiable);
   ASSERT_EQ(result.conflicting_paths.size(), 1u);
-  EXPECT_TRUE(d.observations()[result.conflicting_paths[0]].shows_property);
+  EXPECT_TRUE(d.shows_property(result.conflicting_paths[0]));
 }
 
 TEST(BinarySat, GreedyHittingSetCoversAllRfdPaths) {
@@ -94,10 +94,10 @@ TEST(BinarySat, GreedyHittingSetCoversAllRfdPaths) {
   d.add_path({40, 50}, true);
   const auto result = baselines::solve_binary_tomography(d);
   ASSERT_TRUE(result.satisfiable);
-  for (const auto& obs : d.observations()) {
-    if (!obs.shows_property) continue;
+  for (std::size_t j = 0; j < d.path_count(); ++j) {
+    if (!d.shows_property(j)) continue;
     bool hit = false;
-    for (std::size_t n : obs.nodes)
+    for (std::size_t n : d.path_nodes(j))
       if (result.greedy_dampers.count(d.as_at(n))) hit = true;
     EXPECT_TRUE(hit);
   }

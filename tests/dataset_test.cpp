@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "labeling/dataset.hpp"
 
 namespace because::labeling {
@@ -20,9 +22,12 @@ TEST(Dataset, ObservationsPreserveLabels) {
   PathDataset d;
   d.add_path({10, 20}, true);
   d.add_path({10, 30}, false);
-  ASSERT_EQ(d.observations().size(), 2u);
-  EXPECT_TRUE(d.observations()[0].shows_property);
-  EXPECT_FALSE(d.observations()[1].shows_property);
+  ASSERT_EQ(d.path_count(), 2u);
+  EXPECT_TRUE(d.shows_property(0));
+  EXPECT_FALSE(d.shows_property(1));
+  // The packed bitmap agrees with the per-observation accessor.
+  ASSERT_EQ(d.label_bits().size(), 1u);
+  EXPECT_EQ(d.label_bits()[0], 0b01u);
 }
 
 TEST(Dataset, ExcludeDropsAses) {
@@ -30,7 +35,7 @@ TEST(Dataset, ExcludeDropsAses) {
   d.add_path({10, 20, 30}, true, {20});
   EXPECT_EQ(d.as_count(), 2u);
   EXPECT_FALSE(d.index_of(20).has_value());
-  EXPECT_EQ(d.observations()[0].nodes.size(), 2u);
+  EXPECT_EQ(d.path_nodes(0).size(), 2u);
 }
 
 TEST(Dataset, FullyExcludedPathIgnored) {
@@ -43,8 +48,23 @@ TEST(Dataset, FullyExcludedPathIgnored) {
 TEST(Dataset, DuplicateAsesOnPathCollapsed) {
   PathDataset d;
   d.add_path({10, 20, 10}, true);  // pathological, but must not double-count
-  ASSERT_EQ(d.observations().size(), 1u);
-  EXPECT_EQ(d.observations()[0].nodes.size(), 2u);
+  ASSERT_EQ(d.path_count(), 1u);
+  EXPECT_EQ(d.path_nodes(0).size(), 2u);
+}
+
+TEST(Dataset, CsrLayoutIsFlatAndContiguous) {
+  PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({20, 30, 40}, false);
+  const auto offsets = d.flat_offsets();
+  ASSERT_EQ(offsets.size(), 3u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 2u);
+  EXPECT_EQ(offsets[2], 5u);
+  const auto nodes = d.flat_nodes();
+  ASSERT_EQ(nodes.size(), 5u);
+  // path_nodes slices alias the flat array.
+  EXPECT_EQ(d.path_nodes(1).data(), nodes.data() + 2);
 }
 
 TEST(Dataset, PerNodeIndices) {
@@ -53,14 +73,44 @@ TEST(Dataset, PerNodeIndices) {
   d.add_path({10, 30}, false);
   d.add_path({40}, true);
   const auto node10 = *d.index_of(10);
-  const auto& with10 = d.observations_with(node10);
-  EXPECT_EQ(with10, (std::vector<std::size_t>{0, 1}));
+  const auto with10 = d.observations_with(node10);
+  ASSERT_EQ(with10.size(), 2u);
+  EXPECT_EQ(with10[0], 0u);
+  EXPECT_EQ(with10[1], 1u);
   EXPECT_EQ(d.property_paths(node10), 1u);
   EXPECT_EQ(d.clean_paths(node10), 1u);
 
   const auto node40 = *d.index_of(40);
   EXPECT_EQ(d.property_paths(node40), 1u);
   EXPECT_EQ(d.clean_paths(node40), 0u);
+}
+
+TEST(Dataset, TransposedCsrRebuildsAfterLaterAdds) {
+  PathDataset d;
+  d.add_path({10, 20}, true);
+  ASSERT_EQ(d.observations_with(*d.index_of(10)).size(), 1u);  // builds CSR
+  d.add_path({10, 30}, false);  // invalidates it
+  const auto with10 = d.observations_with(*d.index_of(10));
+  ASSERT_EQ(with10.size(), 2u);
+  EXPECT_EQ(with10[0], 0u);
+  EXPECT_EQ(with10[1], 1u);
+  EXPECT_EQ(d.observations_with(*d.index_of(30)).size(), 1u);
+}
+
+TEST(Dataset, CopyAndMovePreserveLayout) {
+  PathDataset d;
+  d.add_path({10, 20}, true);
+  d.add_path({20, 30}, false);
+  (void)d.observations_with(0);  // force the transposed CSR
+
+  PathDataset copy = d;
+  EXPECT_EQ(copy.path_count(), 2u);
+  EXPECT_TRUE(copy.shows_property(0));
+  EXPECT_EQ(copy.observations_with(*copy.index_of(20)).size(), 2u);
+
+  PathDataset moved = std::move(copy);
+  EXPECT_EQ(moved.path_count(), 2u);
+  EXPECT_EQ(moved.observations_with(*moved.index_of(20)).size(), 2u);
 }
 
 TEST(Dataset, ContradictoryLabelsBothKept) {

@@ -20,8 +20,8 @@ TEST(Rov, LabelsPathsByMembership) {
   // 3 of 6 paths contain AS 50.
   EXPECT_NEAR(bench.rov_path_share, 0.5, 1e-12);
   std::size_t rov_paths = 0;
-  for (const auto& obs : bench.dataset.observations())
-    if (obs.shows_property) ++rov_paths;
+  for (std::size_t j = 0; j < bench.dataset.path_count(); ++j)
+    if (bench.dataset.shows_property(j)) ++rov_paths;
   EXPECT_EQ(rov_paths, 3u);
 }
 

@@ -1,0 +1,207 @@
+// ThreadPool semantics (results, exception propagation, shutdown) and the
+// pooled multi-chain / sharded-gradient determinism guarantees built on it:
+// the same seed must give bit-identical results whether the work runs on a
+// 1-thread or a 4-thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hmc.hpp"
+#include "core/likelihood.hpp"
+#include "core/metropolis.hpp"
+#include "core/multichain.hpp"
+#include "core/prior.hpp"
+#include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace because {
+namespace {
+
+labeling::PathDataset small_dataset(std::size_t ases = 12,
+                                    std::size_t paths = 60) {
+  stats::Rng rng(17);
+  labeling::PathDataset data;
+  for (std::size_t j = 0; j < paths; ++j) {
+    topology::AsPath path;
+    const std::size_t len = 2 + rng.index(4);
+    for (std::size_t k = 0; k < len; ++k)
+      path.push_back(static_cast<topology::AsId>(1 + rng.index(ases)));
+    data.add_path(path, rng.bernoulli(0.35));
+  }
+  return data;
+}
+
+bool chains_identical(const core::Chain& a, const core::Chain& b) {
+  if (a.dim() != b.dim() || a.size() != b.size()) return false;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    const auto sa = a.sample(t);
+    const auto sb = b.sample(t);
+    for (std::size_t i = 0; i < a.dim(); ++i)
+      if (sa[i] != sb[i]) return false;  // bit-identical, not approximate
+  }
+  return true;
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  util::ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  util::ThreadPool pool(1);
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker must survive a throwing task.
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, RunsAllTasksOnSingleWorker) {
+  util::ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, HardwareThreadsHasFloorOfOne) {
+  EXPECT_GE(util::ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(MultiChainPooled, MetropolisIdenticalAcrossPoolSizes) {
+  const auto data = small_dataset();
+  const core::Likelihood lik(data);
+  const core::Prior prior = core::Prior::uniform();
+  core::MetropolisConfig config;
+  config.samples = 40;
+  config.burn_in = 10;
+  config.thin = 1;
+  config.seed = 99;
+
+  util::ThreadPool pool1(1), pool4(4);
+  const auto r1 = core::run_metropolis_chains(lik, prior, config, 3, &pool1);
+  const auto r4 = core::run_metropolis_chains(lik, prior, config, 3, &pool4);
+
+  ASSERT_EQ(r1.chains.size(), 3u);
+  ASSERT_EQ(r4.chains.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_TRUE(chains_identical(r1.chains[c], r4.chains[c])) << "chain " << c;
+  EXPECT_TRUE(chains_identical(r1.pooled, r4.pooled));
+  ASSERT_EQ(r1.rhat.size(), r4.rhat.size());
+  for (std::size_t i = 0; i < r1.rhat.size(); ++i)
+    EXPECT_EQ(r1.rhat[i], r4.rhat[i]) << "coordinate " << i;
+}
+
+TEST(MultiChainPooled, HmcIdenticalAcrossPoolSizes) {
+  const auto data = small_dataset();
+  const core::Likelihood lik(data);
+  const core::Prior prior = core::Prior::uniform();
+  core::HmcConfig config;
+  config.samples = 15;
+  config.burn_in = 5;
+  config.leapfrog_steps = 8;
+  config.seed = 5;
+
+  util::ThreadPool pool1(1), pool4(4);
+  const auto r1 = core::run_hmc_chains(lik, prior, config, 2, &pool1);
+  const auto r4 = core::run_hmc_chains(lik, prior, config, 2, &pool4);
+
+  ASSERT_EQ(r1.chains.size(), 2u);
+  for (std::size_t c = 0; c < 2; ++c)
+    EXPECT_TRUE(chains_identical(r1.chains[c], r4.chains[c])) << "chain " << c;
+  EXPECT_TRUE(chains_identical(r1.pooled, r4.pooled));
+}
+
+TEST(MultiChainPooled, InvalidConfigThrowsInsteadOfTerminating) {
+  const auto data = small_dataset();
+  const core::Likelihood lik(data);
+  const core::Prior prior = core::Prior::uniform();
+  core::MetropolisConfig config;
+  config.samples = 0;  // rejected inside the chain body
+  EXPECT_THROW(core::run_metropolis_chains(lik, prior, config, 3),
+               std::invalid_argument);
+  EXPECT_THROW(core::run_metropolis_chains(lik, prior, config, 1),
+               std::invalid_argument);  // n_chains < 2
+}
+
+TEST(ShardedGradient, MatchesSerialAndIsPoolSizeInvariant) {
+  const auto data = small_dataset(20, 200);
+  const core::Likelihood lik(data);
+  stats::Rng rng(3);
+  std::vector<double> p(lik.dim());
+  for (double& x : p) x = rng.uniform();
+
+  std::vector<double> serial(lik.dim());
+  lik.gradient(p, serial);
+
+  util::ThreadPool pool1(1), pool4(4);
+  for (std::size_t shards : {1u, 2u, 3u, 7u}) {
+    std::vector<double> g1(lik.dim()), g4(lik.dim());
+    lik.gradient(p, g1, pool1, shards);
+    lik.gradient(p, g4, pool4, shards);
+    for (std::size_t i = 0; i < lik.dim(); ++i) {
+      // Same shard count => same reduction order => bit-identical.
+      EXPECT_EQ(g1[i], g4[i]) << "shards " << shards << " coord " << i;
+      EXPECT_NEAR(g1[i], serial[i],
+                  1e-12 * std::max(1.0, std::abs(serial[i])))
+          << "shards " << shards << " coord " << i;
+    }
+  }
+}
+
+TEST(ShardedGradient, HmcWithShardsMatchesSingleShard) {
+  const auto data = small_dataset();
+  const core::Likelihood lik(data);
+  const core::Prior prior = core::Prior::uniform();
+  core::HmcConfig config;
+  config.samples = 10;
+  config.burn_in = 2;
+  config.leapfrog_steps = 5;
+  config.seed = 8;
+
+  const core::Chain serial = core::run_hmc(lik, prior, config);
+  util::ThreadPool pool(2);
+  config.gradient_shards = 3;
+  const core::Chain sharded = core::run_hmc(lik, prior, config, &pool);
+  // Sharded reduction reorders floating-point sums, so samples are only
+  // statistically equivalent — but shapes and finiteness must hold.
+  ASSERT_EQ(sharded.dim(), serial.dim());
+  ASSERT_EQ(sharded.size(), serial.size());
+  for (std::size_t t = 0; t < sharded.size(); ++t)
+    for (double v : sharded.sample(t)) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(MetropolisGuards, ReflectIntoUnitHandlesNonFiniteInput) {
+  // A non-finite proposal must come back as NaN (so the sweep rejects it)
+  // instead of spinning forever in the reflection loop.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(core::detail::reflect_into_unit(inf)));
+  EXPECT_TRUE(std::isnan(core::detail::reflect_into_unit(-inf)));
+  EXPECT_TRUE(std::isnan(core::detail::reflect_into_unit(nan)));
+  // Finite values still reflect as before.
+  EXPECT_DOUBLE_EQ(core::detail::reflect_into_unit(0.4), 0.4);
+  EXPECT_DOUBLE_EQ(core::detail::reflect_into_unit(-0.25), 0.25);
+  EXPECT_DOUBLE_EQ(core::detail::reflect_into_unit(1.3), 0.7);
+  EXPECT_DOUBLE_EQ(core::detail::reflect_into_unit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(core::detail::reflect_into_unit(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(core::detail::reflect_into_unit(-2.6), 0.6);
+}
+
+}  // namespace
+}  // namespace because
