@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-merge check: the release-preset tier-1 suite, then the thread-sanitizer
+# pass over the concurrency-labeled tests (thread pool, pooled multi-chain
+# MCMC, parallel campaign runner).
+#
+# The same two stages exist as CMake workflow presets, so this script is just
+#   cmake --workflow --preset check-release
+#   cmake --workflow --preset check-tsan
+# in order, stopping at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== check 1/2: release tier-1 suite =="
+cmake --workflow --preset check-release
+
+echo "== check 2/2: tsan over concurrency-labeled tests =="
+cmake --workflow --preset check-tsan
+
+echo "== check: all stages passed =="

@@ -4,6 +4,26 @@
 
 namespace because::beacon {
 
+namespace {
+
+/// Typed kBeacon event payload: `a` is the packed prefix with the announce
+/// flag in bit 63 (prefix packing only uses the low 40 bits), `b` the beacon
+/// timestamp to encode in the announcement.
+constexpr std::uint64_t kAnnounceBit = std::uint64_t{1} << 63;
+
+void beacon_event(sim::EventQueue& /*queue*/, void* ctx, std::uint64_t a,
+                  std::uint64_t b) {
+  auto* router = static_cast<bgp::Router*>(ctx);
+  const bgp::Prefix prefix = bgp::unpack_prefix(a & ~kAnnounceBit);
+  if ((a & kAnnounceBit) != 0) {
+    router->originate(prefix, static_cast<sim::Time>(b));
+  } else {
+    router->withdraw_origin(prefix);
+  }
+}
+
+}  // namespace
+
 void Controller::deploy(topology::AsId origin, const bgp::Prefix& prefix,
                         const BeaconSchedule& schedule) {
   schedule_events(origin, prefix, expand(schedule));
@@ -23,14 +43,12 @@ void Controller::schedule_events(topology::AsId origin, const bgp::Prefix& prefi
 
   bgp::Router& router = network_.router(origin);
   sim::EventQueue& queue = network_.queue();
+  const std::uint64_t packed = bgp::pack(prefix);
   for (const BeaconEvent& event : events) {
-    const bgp::Prefix p = prefix;
-    if (event.type == bgp::UpdateType::kAnnouncement) {
-      const sim::Time ts = event.when;
-      queue.schedule_at(event.when, [&router, p, ts] { router.originate(p, ts); });
-    } else {
-      queue.schedule_at(event.when, [&router, p] { router.withdraw_origin(p); });
-    }
+    const bool announce = event.type == bgp::UpdateType::kAnnouncement;
+    queue.schedule_event_at(event.when, sim::EventKind::kBeacon, &beacon_event,
+                            &router, announce ? (packed | kAnnounceBit) : packed,
+                            static_cast<std::uint64_t>(event.when));
   }
   logs_.emplace(prefix, std::move(events));
   origins_.emplace(prefix, origin);

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace because::bgp {
 
-std::uint64_t Network::link_key(topology::AsId a, topology::AsId b) {
+namespace {
+
+/// Undirected link key used only during construction to dedupe delay draws.
+std::uint64_t link_key(topology::AsId a, topology::AsId b) {
   const topology::AsId lo = std::min(a, b);
   const topology::AsId hi = std::max(a, b);
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
+
+}  // namespace
 
 Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
                  sim::EventQueue& queue, stats::Rng& rng)
@@ -17,56 +23,139 @@ Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
   if (config_.min_link_delay < 0 || config_.max_link_delay < config_.min_link_delay)
     throw std::invalid_argument("Network: bad link delay range");
 
-  // Create routers in ascending AS order for deterministic construction.
-  const std::vector<topology::AsId> ids = graph.as_ids();
-  for (topology::AsId id : ids)
-    routers_.emplace(id, std::make_unique<Router>(id, queue_));
+  // Create routers in ascending AS order; the sorted id list doubles as the
+  // dense-index directory.
+  ids_ = graph.as_ids();
+  routers_.reserve(ids_.size());
+  for (topology::AsId id : ids_)
+    routers_.push_back(std::make_unique<Router>(id, queue_));
 
-  // Draw one delay per undirected link, then create both directed sessions.
-  for (topology::AsId id : ids) {
+  // Draw one delay per undirected link. The iteration order (sorted ids, then
+  // adjacency order) is the replay contract: a (topology, seed) pair must
+  // yield the same delays regardless of how the delays are stored.
+  std::unordered_map<std::uint64_t, sim::Duration> drawn;
+  for (topology::AsId id : ids_) {
     for (const topology::Neighbor& nb : graph.neighbors(id)) {
       const std::uint64_t key = link_key(id, nb.id);
-      if (delays_.count(key) == 0) {
-        delays_[key] = rng.uniform_int(config_.min_link_delay,
-                                       config_.max_link_delay);
+      if (drawn.count(key) == 0) {
+        drawn[key] = rng.uniform_int(config_.min_link_delay,
+                                     config_.max_link_delay);
       }
     }
   }
-  for (topology::AsId id : ids) {
-    Router& local = *routers_.at(id);
-    for (const topology::Neighbor& nb : graph.neighbors(id)) {
-      const topology::AsId remote_id = nb.id;
-      const sim::Duration delay = delays_.at(link_key(id, remote_id));
-      Router* remote = routers_.at(remote_id).get();
-      const topology::AsId local_id = id;
-      local.connect(remote_id, nb.relation, config_.mrai,
+
+  // Flatten the delays into a CSR table over dense indices, each row sorted
+  // by destination for binary-searched lookup.
+  link_offsets_.assign(ids_.size() + 1, 0);
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    link_offsets_[i + 1] =
+        link_offsets_[i] +
+        static_cast<std::uint32_t>(graph.neighbors(ids_[i]).size());
+  }
+  links_.resize(link_offsets_.back());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    std::size_t off = link_offsets_[i];
+    for (const topology::Neighbor& nb : graph.neighbors(ids_[i])) {
+      links_[off++] = Link{static_cast<std::uint32_t>(find_index(nb.id)),
+                           drawn.at(link_key(ids_[i], nb.id))};
+    }
+    std::sort(links_.begin() + link_offsets_[i],
+              links_.begin() + link_offsets_[i + 1],
+              [](const Link& x, const Link& y) { return x.to < y.to; });
+  }
+
+  // Wire sessions. The send function captures dense indices once; per-message
+  // delivery goes through the typed-event slab, not a fresh closure.
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    Router& local = *routers_[i];
+    const topology::AsId local_id = ids_[i];
+    for (const topology::Neighbor& nb : graph.neighbors(local_id)) {
+      const auto to = static_cast<std::uint32_t>(find_index(nb.id));
+      const sim::Duration delay = drawn.at(link_key(local_id, nb.id));
+      local.connect(nb.id, nb.relation, config_.mrai,
                     config_.mrai_on_withdrawals,
-                    [this, remote, local_id, delay](const Update& update) {
-                      queue_.schedule_in(delay, [remote, local_id, update] {
-                        remote->receive(local_id, update);
-                      });
+                    [this, to, local_id, delay](const Update& update) {
+                      deliver_in(delay, to, local_id, update);
                     },
                     &rng, config_.mrai_jitter);
     }
   }
 }
 
+std::ptrdiff_t Network::find_index(topology::AsId id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  return it != ids_.end() && *it == id ? it - ids_.begin() : -1;
+}
+
+void Network::deliver_in(sim::Duration delay, std::uint32_t to_index,
+                         topology::AsId from, const Update& update) {
+  if (queue_.backend() == sim::EngineBackend::kFunctionHeap) {
+    // Reference path: capture the Update by value in a per-message closure,
+    // exactly like the pre-calendar engine. Keeps bench_sim's "before"
+    // measurement honest about the allocation cost the slab removes.
+    Router* to = routers_[to_index].get();
+    queue_.schedule_in(delay, [to, from, update] { to->receive(from, update); });
+    return;
+  }
+  std::uint32_t slot;
+  if (!free_deliveries_.empty()) {
+    slot = free_deliveries_.back();
+    free_deliveries_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(deliveries_.size());
+    deliveries_.emplace_back();
+  }
+  PendingDelivery& pending = deliveries_[slot];
+  pending.to = routers_[to_index].get();
+  pending.from = from;
+  pending.update = update;  // copy-assign reuses the slot's as_path capacity
+  queue_.schedule_event_in(delay, sim::EventKind::kBgpDelivery,
+                           &Network::delivery_event, this, slot);
+}
+
+void Network::delivery_event(sim::EventQueue& /*queue*/, void* ctx,
+                             std::uint64_t a, std::uint64_t /*b*/) {
+  static_cast<Network*>(ctx)->on_delivery(static_cast<std::uint32_t>(a));
+}
+
+void Network::on_delivery(std::uint32_t slot) {
+  // Move the payload into the scratch update and free the slot *before*
+  // receive(): the receive cascade schedules further deliveries, which may
+  // reuse this slot or grow the slab. Dispatch never nests, so one scratch
+  // buffer suffices.
+  PendingDelivery& pending = deliveries_[slot];
+  Router* to = pending.to;
+  const topology::AsId from = pending.from;
+  std::swap(scratch_, pending.update);
+  free_deliveries_.push_back(slot);
+  to->receive(from, scratch_);
+}
+
 Router& Network::router(topology::AsId id) {
-  const auto it = routers_.find(id);
-  if (it == routers_.end()) throw std::out_of_range("Network: unknown AS");
-  return *it->second;
+  const std::ptrdiff_t index = find_index(id);
+  if (index < 0) throw std::out_of_range("Network: unknown AS");
+  return *routers_[static_cast<std::size_t>(index)];
 }
 
 const Router& Network::router(topology::AsId id) const {
-  const auto it = routers_.find(id);
-  if (it == routers_.end()) throw std::out_of_range("Network: unknown AS");
-  return *it->second;
+  const std::ptrdiff_t index = find_index(id);
+  if (index < 0) throw std::out_of_range("Network: unknown AS");
+  return *routers_[static_cast<std::size_t>(index)];
 }
 
 sim::Duration Network::link_delay(topology::AsId a, topology::AsId b) const {
-  const auto it = delays_.find(link_key(a, b));
-  if (it == delays_.end()) throw std::out_of_range("Network: unknown link");
-  return it->second;
+  const std::ptrdiff_t ia = find_index(a);
+  const std::ptrdiff_t ib = find_index(b);
+  if (ia < 0 || ib < 0) throw std::out_of_range("Network: unknown link");
+  const auto target = static_cast<std::uint32_t>(ib);
+  const auto first = links_.begin() + link_offsets_[static_cast<std::size_t>(ia)];
+  const auto last = links_.begin() + link_offsets_[static_cast<std::size_t>(ia) + 1];
+  const auto it = std::lower_bound(
+      first, last, target,
+      [](const Link& link, std::uint32_t to) { return link.to < to; });
+  if (it == last || it->to != target)
+    throw std::out_of_range("Network: unknown link");
+  return it->delay;
 }
 
 void Network::reset_session(topology::AsId a, topology::AsId b) {

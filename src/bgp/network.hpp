@@ -3,10 +3,18 @@
 //
 // Link propagation delays are drawn once per link (both directions equal)
 // from a seeded RNG, so a (topology, seed) pair replays identically.
+//
+// Storage is dense: routers live in a contiguous vector addressed by the AS's
+// rank in the sorted id list, and link delays sit in a CSR table over those
+// dense indices. Message delivery is a typed simulator event whose payload
+// (destination, sender, Update) is slab-allocated and recycled, so the per-
+// message cost is a couple of binary searches instead of hash lookups plus
+// closure allocations.
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "bgp/router.hpp"
 #include "sim/event_queue.hpp"
@@ -37,7 +45,7 @@ class Network {
 
   Router& router(topology::AsId id);
   const Router& router(topology::AsId id) const;
-  bool contains(topology::AsId id) const { return routers_.count(id) != 0; }
+  bool contains(topology::AsId id) const { return find_index(id) >= 0; }
 
   const topology::AsGraph& graph() const { return graph_; }
   sim::EventQueue& queue() { return queue_; }
@@ -52,13 +60,45 @@ class Network {
   std::size_t router_count() const { return routers_.size(); }
 
  private:
-  static std::uint64_t link_key(topology::AsId a, topology::AsId b);
+  /// CSR edge: neighbor's dense index plus the undirected link delay.
+  struct Link {
+    std::uint32_t to = 0;
+    sim::Duration delay = 0;
+  };
+
+  /// Slab-allocated payload of an in-flight kBgpDelivery event.
+  struct PendingDelivery {
+    Router* to = nullptr;
+    topology::AsId from = 0;
+    Update update;
+  };
+
+  /// Dense index of `id`, or -1 when the AS is unknown.
+  std::ptrdiff_t find_index(topology::AsId id) const;
+
+  static void delivery_event(sim::EventQueue& queue, void* ctx,
+                             std::uint64_t a, std::uint64_t b);
+  void on_delivery(std::uint32_t slot);
+  void deliver_in(sim::Duration delay, std::uint32_t to_index,
+                  topology::AsId from, const Update& update);
 
   const topology::AsGraph& graph_;
   NetworkConfig config_;
   sim::EventQueue& queue_;
-  std::unordered_map<topology::AsId, std::unique_ptr<Router>> routers_;
-  std::unordered_map<std::uint64_t, sim::Duration> delays_;
+  /// Sorted AS ids; position = dense index used by routers_ and the CSR.
+  std::vector<topology::AsId> ids_;
+  /// Routers by dense index; unique_ptr keeps addresses stable for the
+  /// delivery slab and session callbacks.
+  std::vector<std::unique_ptr<Router>> routers_;
+  /// CSR link table: links_[link_offsets_[i] .. link_offsets_[i+1]) are the
+  /// edges of dense index i, sorted by `to`.
+  std::vector<std::uint32_t> link_offsets_;
+  std::vector<Link> links_;
+  /// In-flight delivery payloads; free_deliveries_ recycles slots and
+  /// scratch_ recycles the Update's as_path capacity across deliveries.
+  std::vector<PendingDelivery> deliveries_;
+  std::vector<std::uint32_t> free_deliveries_;
+  Update scratch_;
 };
 
 }  // namespace because::bgp

@@ -24,6 +24,17 @@ inline std::string to_string(const Prefix& p) {
   return "pfx" + std::to_string(p.id) + "/" + std::to_string(p.length);
 }
 
+/// Collision-free 40-bit packing, used as flat-map key and as the immediate
+/// argument of typed simulator events (MRAI flush, RFD release, beacon).
+inline constexpr std::uint64_t pack(const Prefix& p) {
+  return (static_cast<std::uint64_t>(p.id) << 8) | p.length;
+}
+
+inline constexpr Prefix unpack_prefix(std::uint64_t packed) {
+  return Prefix{static_cast<std::uint32_t>(packed >> 8),
+                static_cast<std::uint8_t>(packed & 0xff)};
+}
+
 }  // namespace because::bgp
 
 template <>

@@ -33,17 +33,37 @@ bool DampingRule::matches(topology::Relation neighbor_relation,
 Router::Router(topology::AsId id, sim::EventQueue& queue)
     : id_(id), queue_(queue) {}
 
+Router::NeighborEntry* Router::find_neighbor(topology::AsId id) {
+  const auto it = std::lower_bound(
+      neighbors_.begin(), neighbors_.end(), id,
+      [](const NeighborEntry& e, topology::AsId key) { return e.id < key; });
+  return it != neighbors_.end() && it->id == id ? &*it : nullptr;
+}
+
+const Router::NeighborEntry* Router::find_neighbor(topology::AsId id) const {
+  const auto it = std::lower_bound(
+      neighbors_.begin(), neighbors_.end(), id,
+      [](const NeighborEntry& e, topology::AsId key) { return e.id < key; });
+  return it != neighbors_.end() && it->id == id ? &*it : nullptr;
+}
+
 void Router::connect(topology::AsId neighbor, topology::Relation relation,
                      sim::Duration mrai, bool mrai_on_withdrawals,
                      Session::SendFn deliver, stats::Rng* jitter_rng,
                      double jitter) {
   if (neighbor == id_) throw std::invalid_argument("Router: self session");
-  auto [it, inserted] = neighbors_.try_emplace(neighbor);
-  if (!inserted) throw std::invalid_argument("Router: duplicate session");
-  it->second.relation = relation;
-  it->second.session = std::make_unique<Session>(
+  const auto it = std::lower_bound(
+      neighbors_.begin(), neighbors_.end(), neighbor,
+      [](const NeighborEntry& e, topology::AsId key) { return e.id < key; });
+  if (it != neighbors_.end() && it->id == neighbor)
+    throw std::invalid_argument("Router: duplicate session");
+  NeighborEntry entry;
+  entry.id = neighbor;
+  entry.relation = relation;
+  entry.session = std::make_unique<Session>(
       id_, neighbor, relation, mrai, mrai_on_withdrawals, std::move(deliver),
       jitter_rng, jitter);
+  neighbors_.insert(it, std::move(entry));
 }
 
 void Router::add_damping_rule(DampingRule rule) {
@@ -60,7 +80,7 @@ bool Router::rov_filters(const Prefix& prefix) const {
 }
 
 void Router::set_export_prepending(topology::AsId neighbor, std::size_t extra) {
-  if (neighbors_.find(neighbor) == neighbors_.end())
+  if (find_neighbor(neighbor) == nullptr)
     throw std::invalid_argument("Router: prepending for unknown neighbor");
   if (extra == 0) export_prepending_.erase(neighbor);
   else export_prepending_[neighbor] = extra;
@@ -75,11 +95,11 @@ void Router::attach_export_tap(ExportTap tap) {
 }
 
 rfd::Damper* Router::damper_for(topology::AsId from, const Prefix& prefix) {
-  const auto nb = neighbors_.find(from);
-  if (nb == neighbors_.end()) return nullptr;
+  const NeighborEntry* nb = find_neighbor(from);
+  if (nb == nullptr) return nullptr;
   for (std::size_t r = 0; r < damping_rules_.size(); ++r) {
     const DampingRule& rule = damping_rules_[r];
-    if (!rule.matches(nb->second.relation, from, prefix)) continue;
+    if (!rule.matches(nb->relation, from, prefix)) continue;
     const DamperKey key = damper_key(from, r);
     auto it = dampers_.find(key);
     if (it == dampers_.end())
@@ -91,10 +111,10 @@ rfd::Damper* Router::damper_for(topology::AsId from, const Prefix& prefix) {
 
 const rfd::Damper* Router::damper_for(topology::AsId from,
                                       const Prefix& prefix) const {
-  const auto nb = neighbors_.find(from);
-  if (nb == neighbors_.end()) return nullptr;
+  const NeighborEntry* nb = find_neighbor(from);
+  if (nb == nullptr) return nullptr;
   for (std::size_t r = 0; r < damping_rules_.size(); ++r) {
-    if (!damping_rules_[r].matches(nb->second.relation, from, prefix)) continue;
+    if (!damping_rules_[r].matches(nb->relation, from, prefix)) continue;
     const auto it = dampers_.find(damper_key(from, r));
     return it == dampers_.end() ? nullptr : &it->second;
   }
@@ -163,19 +183,52 @@ void Router::receive(topology::AsId from, const Update& update) {
   run_decision(prefix);
 }
 
+void Router::release_event(sim::EventQueue& /*queue*/, void* ctx,
+                           std::uint64_t a, std::uint64_t /*b*/) {
+  static_cast<Router*>(ctx)->on_release_timer(static_cast<std::uint32_t>(a));
+}
+
+void Router::on_release_timer(std::uint32_t slot) {
+  // Copy the record and free the slot up front: try_release -> run_decision
+  // can schedule further release timers, which may reuse (or grow past) it.
+  const ReleaseRecord rec = releases_[slot];
+  free_releases_.push_back(slot);
+  rfd::Damper* d = damper_for(rec.from, rec.prefix);
+  if (d == nullptr) return;
+  if (d->try_release(rec.prefix, rec.generation, queue_.now())) {
+    adj_rib_in_.set_suppressed(rec.from, rec.prefix, false);
+    run_decision(rec.prefix);
+  }
+}
+
 void Router::schedule_release(topology::AsId from, const Prefix& prefix,
                               std::uint64_t generation) {
   rfd::Damper* damper = damper_for(from, prefix);
   if (damper == nullptr) return;
   const sim::Duration delay = damper->time_until_reuse(prefix, queue_.now());
-  queue_.schedule_in(delay, [this, from, prefix, generation] {
-    rfd::Damper* d = damper_for(from, prefix);
-    if (d == nullptr) return;
-    if (d->try_release(prefix, generation, queue_.now())) {
-      adj_rib_in_.set_suppressed(from, prefix, false);
-      run_decision(prefix);
-    }
-  });
+  if (queue_.backend() == sim::EngineBackend::kFunctionHeap) {
+    // Reference path: per-timer closure, as the pre-calendar engine did.
+    queue_.schedule_in(delay, [this, from, prefix, generation] {
+      rfd::Damper* d = damper_for(from, prefix);
+      if (d == nullptr) return;
+      if (d->try_release(prefix, generation, queue_.now())) {
+        adj_rib_in_.set_suppressed(from, prefix, false);
+        run_decision(prefix);
+      }
+    });
+    return;
+  }
+  std::uint32_t slot;
+  if (!free_releases_.empty()) {
+    slot = free_releases_.back();
+    free_releases_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(releases_.size());
+    releases_.emplace_back();
+  }
+  releases_[slot] = ReleaseRecord{from, prefix, generation};
+  queue_.schedule_event_in(delay, sim::EventKind::kRfdReuse,
+                           &Router::release_event, this, slot);
 }
 
 void Router::run_decision(const Prefix& prefix) {
@@ -189,7 +242,7 @@ void Router::run_decision(const Prefix& prefix) {
     have_best = true;
   }
   for (const auto& [neighbor, route] : adj_rib_in_.usable(prefix)) {
-    const Candidate cand{neighbor, neighbors_.at(neighbor).relation, route};
+    const Candidate cand{neighbor, find_neighbor(neighbor)->relation, route};
     if (!have_best || prefer(cand, best)) {
       best = cand;
       have_best = true;
@@ -232,19 +285,20 @@ void Router::propagate(const Prefix& prefix) {
   const Selected* selected = loc_rib_.find(prefix);
   const Update full_feed = desired_update_for(prefix, selected);
 
-  for (auto& [neighbor, info] : neighbors_) {
+  const std::optional<topology::Relation> learned_from =
+      selected != nullptr && selected->neighbor.has_value()
+          ? std::optional(find_neighbor(*selected->neighbor)->relation)
+          : std::nullopt;
+
+  for (NeighborEntry& info : neighbors_) {
     Update update = full_feed;
     if (selected != nullptr) {
-      const std::optional<topology::Relation> learned_from =
-          selected->neighbor.has_value()
-              ? std::optional(neighbors_.at(*selected->neighbor).relation)
-              : std::nullopt;
       const bool back_to_source =
-          selected->neighbor.has_value() && *selected->neighbor == neighbor;
+          selected->neighbor.has_value() && *selected->neighbor == info.id;
       if (back_to_source || !should_export(learned_from, info.relation))
         update = Update{UpdateType::kWithdrawal, prefix, {}, kNoBeaconTimestamp};
     }
-    if (update.is_announcement()) apply_prepending(neighbor, update);
+    if (update.is_announcement()) apply_prepending(info.id, update);
     info.session->submit(update, queue_);
   }
 
@@ -252,8 +306,8 @@ void Router::propagate(const Prefix& prefix) {
 }
 
 void Router::reset_session(topology::AsId neighbor) {
-  auto nb = neighbors_.find(neighbor);
-  if (nb == neighbors_.end()) throw std::invalid_argument("Router: unknown session");
+  NeighborEntry* nb = find_neighbor(neighbor);
+  if (nb == nullptr) throw std::invalid_argument("Router: unknown session");
 
   // Drop damping history for the neighbor (a fresh session starts clean;
   // pending release events are orphaned by the erased state).
@@ -265,27 +319,27 @@ void Router::reset_session(topology::AsId neighbor) {
   for (const Prefix& prefix : lost) run_decision(prefix);
 
   // Re-advertise our table on the fresh session.
-  nb->second.session->reset();
+  nb->session->reset();
   for (const Prefix& prefix : loc_rib_.prefixes()) propagate_to(neighbor, prefix);
 }
 
 void Router::propagate_to(topology::AsId neighbor, const Prefix& prefix) {
-  auto nb = neighbors_.find(neighbor);
-  if (nb == neighbors_.end()) return;
+  NeighborEntry* nb = find_neighbor(neighbor);
+  if (nb == nullptr) return;
   const Selected* selected = loc_rib_.find(prefix);
   Update update = desired_update_for(prefix, selected);
   if (selected != nullptr) {
     const std::optional<topology::Relation> learned_from =
         selected->neighbor.has_value()
-            ? std::optional(neighbors_.at(*selected->neighbor).relation)
+            ? std::optional(find_neighbor(*selected->neighbor)->relation)
             : std::nullopt;
     const bool back_to_source =
         selected->neighbor.has_value() && *selected->neighbor == neighbor;
-    if (back_to_source || !should_export(learned_from, nb->second.relation))
+    if (back_to_source || !should_export(learned_from, nb->relation))
       update = Update{UpdateType::kWithdrawal, prefix, {}, kNoBeaconTimestamp};
   }
   if (update.is_announcement()) apply_prepending(neighbor, update);
-  nb->second.session->submit(update, queue_);
+  nb->session->submit(update, queue_);
 }
 
 void Router::apply_prepending(topology::AsId neighbor, Update& update) const {
@@ -295,8 +349,8 @@ void Router::apply_prepending(topology::AsId neighbor, Update& update) const {
 }
 
 const Session* Router::session(topology::AsId neighbor) const {
-  const auto it = neighbors_.find(neighbor);
-  return it == neighbors_.end() ? nullptr : it->second.session.get();
+  const NeighborEntry* nb = find_neighbor(neighbor);
+  return nb == nullptr ? nullptr : nb->session.get();
 }
 
 double Router::damping_penalty(topology::AsId neighbor,

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -109,8 +108,13 @@ class Router {
   std::uint64_t updates_received() const { return updates_received_; }
 
  private:
-  struct NeighborInfo {
-    topology::Relation relation;
+  /// One neighbor slot: flat, sorted by `id`, binary-searched on the message
+  /// hot path (the old std::map cost a tree walk per received update).
+  /// Sessions stay behind unique_ptr so their address is stable for typed
+  /// MRAI-timer events even when the vector reallocates.
+  struct NeighborEntry {
+    topology::AsId id = 0;
+    topology::Relation relation = topology::Relation::kCustomer;
     std::unique_ptr<Session> session;
   };
 
@@ -120,6 +124,21 @@ class Router {
     return (static_cast<std::uint64_t>(neighbor) << 16) |
            static_cast<std::uint64_t>(rule & 0xffff);
   }
+
+  /// Payload of a pending RFD reuse-timer event, slab-allocated so the typed
+  /// event only needs a slot index.
+  struct ReleaseRecord {
+    topology::AsId from = 0;
+    Prefix prefix;
+    std::uint64_t generation = 0;
+  };
+
+  static void release_event(sim::EventQueue& queue, void* ctx, std::uint64_t a,
+                            std::uint64_t b);
+  void on_release_timer(std::uint32_t slot);
+
+  NeighborEntry* find_neighbor(topology::AsId id);
+  const NeighborEntry* find_neighbor(topology::AsId id) const;
 
   /// Damper handling the (neighbor, prefix) pair, or nullptr if undamped.
   rfd::Damper* damper_for(topology::AsId from, const Prefix& prefix);
@@ -136,7 +155,7 @@ class Router {
 
   topology::AsId id_;
   sim::EventQueue& queue_;
-  std::map<topology::AsId, NeighborInfo> neighbors_;  // ordered: determinism
+  std::vector<NeighborEntry> neighbors_;  // sorted by id: determinism
   AdjRibIn adj_rib_in_;
   LocRib loc_rib_;
   std::unordered_map<Prefix, Route> originated_;
@@ -147,6 +166,8 @@ class Router {
   /// (neighbor, prefix) pairs we have ever had an announcement from; used to
   /// distinguish initial advertisements from re-advertisements for RFD.
   std::unordered_set<std::uint64_t> seen_announcement_;
+  std::vector<ReleaseRecord> releases_;
+  std::vector<std::uint32_t> free_releases_;
   std::vector<ExportTap> export_taps_;
   std::uint64_t updates_received_ = 0;
 };

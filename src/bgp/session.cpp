@@ -1,5 +1,6 @@
 #include "bgp/session.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace because::bgp {
@@ -28,8 +29,32 @@ sim::Duration Session::draw_mrai() {
   return static_cast<sim::Duration>(static_cast<double>(mrai_) * factor);
 }
 
+Session::PrefixState& Session::state_for(const Prefix& prefix) {
+  const std::uint64_t key = pack(prefix);
+  const auto it = std::lower_bound(
+      states_.begin(), states_.end(), key,
+      [](const PrefixState& s, std::uint64_t k) { return s.key < k; });
+  if (it != states_.end() && it->key == key) return *it;
+  PrefixState state;
+  state.key = key;
+  return *states_.insert(it, std::move(state));
+}
+
+const Session::PrefixState* Session::find_state(const Prefix& prefix) const {
+  const std::uint64_t key = pack(prefix);
+  const auto it = std::lower_bound(
+      states_.begin(), states_.end(), key,
+      [](const PrefixState& s, std::uint64_t k) { return s.key < k; });
+  return it != states_.end() && it->key == key ? &*it : nullptr;
+}
+
+void Session::flush_event(sim::EventQueue& queue, void* ctx, std::uint64_t a,
+                          std::uint64_t) {
+  static_cast<Session*>(ctx)->flush(unpack_prefix(a), queue);
+}
+
 void Session::submit(const Update& update, sim::EventQueue& queue) {
-  PrefixState& state = states_[update.prefix];
+  PrefixState& state = state_for(update.prefix);
   const sim::Time now = queue.now();
 
   const bool exempt_from_mrai =
@@ -51,9 +76,15 @@ void Session::submit(const Update& update, sim::EventQueue& queue) {
   }
   state.pending = update;
   state.flush_scheduled = true;
-  const Prefix prefix = update.prefix;
-  queue.schedule_at(state.next_allowed_at,
-                    [this, prefix, &queue] { flush(prefix, queue); });
+  if (queue.backend() == sim::EngineBackend::kFunctionHeap) {
+    // Reference path: per-timer closure, as the pre-calendar engine did.
+    const Prefix prefix = update.prefix;
+    queue.schedule_at(state.next_allowed_at,
+                      [this, prefix, &queue] { flush(prefix, queue); });
+    return;
+  }
+  queue.schedule_event_at(state.next_allowed_at, sim::EventKind::kMraiTimer,
+                          &Session::flush_event, this, pack(update.prefix));
 }
 
 void Session::send_or_skip(PrefixState& state, const Update& update,
@@ -75,9 +106,10 @@ void Session::send_or_skip(PrefixState& state, const Update& update,
 }
 
 void Session::flush(const Prefix& prefix, sim::EventQueue& queue) {
-  auto it = states_.find(prefix);
-  if (it == states_.end()) return;
-  PrefixState& state = it->second;
+  const PrefixState* found = find_state(prefix);
+  if (found == nullptr) return;
+  // Re-derive mutable access: nothing between find and here can reallocate.
+  PrefixState& state = const_cast<PrefixState&>(*found);
   state.flush_scheduled = false;
   if (!state.pending.has_value()) return;
   const Update update = *state.pending;
@@ -87,7 +119,7 @@ void Session::flush(const Prefix& prefix, sim::EventQueue& queue) {
 
 void Session::reset() {
   // Scheduled flush events become harmless: they find no pending update.
-  for (auto& [_, state] : states_) {
+  for (PrefixState& state : states_) {
     state.pending.reset();
     state.advertised.reset();
     state.next_allowed_at = 0;
@@ -95,8 +127,8 @@ void Session::reset() {
 }
 
 bool Session::advertised(const Prefix& prefix) const {
-  const auto it = states_.find(prefix);
-  return it != states_.end() && it->second.advertised.has_value();
+  const PrefixState* state = find_state(prefix);
+  return state != nullptr && state->advertised.has_value();
 }
 
 }  // namespace because::bgp

@@ -11,9 +11,10 @@
 // beacon updates propagate network-wide.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "bgp/message.hpp"
 #include "sim/event_queue.hpp"
@@ -55,6 +56,8 @@ class Session {
 
  private:
   struct PrefixState {
+    /// Flat-map key: bgp::pack(prefix). States are kept sorted by this key.
+    std::uint64_t key = 0;
     /// Next time an MRAI-governed update may be sent; 0 = immediately.
     sim::Time next_allowed_at = 0;
     std::optional<Update> pending;
@@ -63,7 +66,13 @@ class Session {
     std::optional<Update> advertised;
   };
 
+  /// Typed MRAI-timer event: `a` carries the packed prefix.
+  static void flush_event(sim::EventQueue& queue, void* ctx, std::uint64_t a,
+                          std::uint64_t b);
+
   sim::Duration draw_mrai();
+  PrefixState& state_for(const Prefix& prefix);
+  const PrefixState* find_state(const Prefix& prefix) const;
   void send_or_skip(PrefixState& state, const Update& update,
                     sim::EventQueue& queue);
   void flush(const Prefix& prefix, sim::EventQueue& queue);
@@ -76,7 +85,9 @@ class Session {
   SendFn send_;
   stats::Rng* jitter_rng_;
   double jitter_;
-  std::unordered_map<Prefix, PrefixState> states_;
+  /// Sorted by key; sessions see tens of prefixes, so a flat binary-searched
+  /// vector beats the old per-message unordered_map hashing.
+  std::vector<PrefixState> states_;
   std::uint64_t updates_sent_ = 0;
 };
 

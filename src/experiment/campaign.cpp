@@ -123,7 +123,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   stats::Rng deploy_rng = rng.fork();
   result.plan = plan_deployment(result.graph, deployment_config, deploy_rng);
 
-  sim::EventQueue queue;
+  sim::EventQueue queue(config.engine);
   stats::Rng net_rng = rng.fork();
   bgp::Network network(result.graph, config.network, queue, net_rng);
   result.plan.apply(network);

@@ -68,6 +68,11 @@ struct CampaignConfig {
   labeling::SignatureConfig signature;
   std::uint64_t seed = 42;
 
+  /// Event-engine backend to drive the simulation with. Both backends are
+  /// observably identical (the golden-trace test pins this); kFunctionHeap is
+  /// kept for before/after benchmarking.
+  sim::EngineBackend engine = sim::EngineBackend::kCalendar;
+
   /// Small, fast configuration for unit tests (seconds, not minutes, of
   /// wall time).
   static CampaignConfig small();

@@ -1,0 +1,75 @@
+#include "experiment/parallel_runner.hpp"
+
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+namespace because::experiment {
+
+std::vector<RfdPreset> standard_rfd_presets() {
+  // Weights are over standard_variants() in order:
+  //   cisco-60, juniper-60, rfc7454-60, cisco-30, cisco-10.
+  return {
+      {"paper-mix", {0.35, 0.25, 0.15, 0.15, 0.10}},
+      {"vendor-heavy", {0.45, 0.35, 0.05, 0.10, 0.05}},
+      {"rfc7454-only", {0.0, 0.0, 1.0, 0.0, 0.0}},
+  };
+}
+
+std::vector<CampaignScenario> CampaignGrid::expand() const {
+  const std::vector<std::uint8_t> lengths =
+      beacon_prefix_lengths.empty()
+          ? std::vector<std::uint8_t>{base.beacon_prefix_length}
+          : beacon_prefix_lengths;
+  const std::vector<RfdPreset> presets =
+      rfd_presets.empty()
+          ? std::vector<RfdPreset>{{"base", base.deployment.variant_weights}}
+          : rfd_presets;
+  const std::vector<std::uint64_t> seed_list =
+      seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+
+  std::vector<CampaignScenario> scenarios;
+  scenarios.reserve(seed_list.size() * lengths.size() * presets.size());
+  for (std::uint64_t seed : seed_list) {
+    for (std::uint8_t length : lengths) {
+      for (const RfdPreset& preset : presets) {
+        CampaignScenario scenario;
+        scenario.config = base;
+        scenario.config.seed = seed;
+        scenario.config.beacon_prefix_length = length;
+        scenario.config.deployment.variant_weights = preset.variant_weights;
+        scenario.name = "len" + std::to_string(length) + "/" + preset.name +
+                        "/seed" + std::to_string(seed);
+        scenarios.push_back(std::move(scenario));
+      }
+    }
+  }
+  return scenarios;
+}
+
+ParallelCampaignRunner::ParallelCampaignRunner(std::size_t threads)
+    : pool_(threads == 0 ? util::ThreadPool::hardware_threads() : threads) {}
+
+std::vector<CampaignResult> ParallelCampaignRunner::run(
+    const std::vector<CampaignScenario>& scenarios) {
+  std::vector<std::future<CampaignResult>> futures;
+  futures.reserve(scenarios.size());
+  for (const CampaignScenario& scenario : scenarios) {
+    futures.push_back(pool_.submit(
+        [config = &scenario.config] { return run_campaign(*config); }));
+  }
+  // Wait for everything first: a scenario that throws must not unwind while
+  // other workers still read the caller's scenario list.
+  for (std::future<CampaignResult>& f : futures) f.wait();
+  std::vector<CampaignResult> results;
+  results.reserve(futures.size());
+  for (std::future<CampaignResult>& f : futures) results.push_back(f.get());
+  return results;
+}
+
+std::vector<CampaignResult> ParallelCampaignRunner::run(
+    const CampaignGrid& grid) {
+  return run(grid.expand());
+}
+
+}  // namespace because::experiment

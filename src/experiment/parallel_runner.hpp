@@ -1,0 +1,71 @@
+// Parallel campaign fan-out.
+//
+// A measurement study is rarely one campaign: the paper varies beacon prefix
+// treatment, RFD deployment assumptions, and repeats runs across seeds. Each
+// such scenario is an independent simulation with its own EventQueue and its
+// own seeded RNG stream, so they parallelise embarrassingly. The runner fans
+// a scenario list across a ThreadPool and returns results in scenario order;
+// because no state is shared between scenarios, every result is bit-identical
+// to what a serial run_campaign() of the same config produces, regardless of
+// pool size or completion order (the parallel_campaign tests pin this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/campaign.hpp"
+#include "util/thread_pool.hpp"
+
+namespace because::experiment {
+
+/// A named weighting over standard_variants(): which RFD parameter sets the
+/// simulated Internet deploys (e.g. vendor-default-heavy vs RFC 7454 only).
+struct RfdPreset {
+  std::string name;
+  std::vector<double> variant_weights;
+};
+
+/// Presets spanning the deployment assumptions the paper's inference must be
+/// robust to: the measured mix, a deprecated-vendor-default-heavy Internet,
+/// and a fully RFC 7454-compliant one.
+std::vector<RfdPreset> standard_rfd_presets();
+
+/// One independent unit of work: a full campaign configuration plus a label
+/// for reports ("len24/vendor-heavy/seed7").
+struct CampaignScenario {
+  std::string name;
+  CampaignConfig config;
+};
+
+/// Cartesian scenario grid: beacon prefix lengths x RFD presets x seeds over
+/// a base configuration. Empty axes default to the base config's value.
+struct CampaignGrid {
+  CampaignConfig base;
+  std::vector<std::uint8_t> beacon_prefix_lengths;
+  std::vector<RfdPreset> rfd_presets;
+  std::vector<std::uint64_t> seeds;
+
+  /// Deterministic expansion order: seed-major, then prefix length, then
+  /// preset. The order is part of the replay contract.
+  std::vector<CampaignScenario> expand() const;
+};
+
+class ParallelCampaignRunner {
+ public:
+  /// `threads` = 0 sizes the pool to the hardware.
+  explicit ParallelCampaignRunner(std::size_t threads = 0);
+
+  std::size_t threads() const { return pool_.size(); }
+
+  /// Run every scenario; results come back in scenario order. If any
+  /// scenario throws, the first (by scenario order) exception is rethrown —
+  /// after all scenarios finished, so no worker still touches the inputs.
+  std::vector<CampaignResult> run(const std::vector<CampaignScenario>& scenarios);
+  std::vector<CampaignResult> run(const CampaignGrid& grid);
+
+ private:
+  util::ThreadPool pool_;
+};
+
+}  // namespace because::experiment

@@ -1,46 +1,312 @@
 #include "sim/event_queue.hpp"
 
-#include <stdexcept>
+#include <algorithm>
 #include <utility>
+
+#include "util/log.hpp"
 
 namespace because::sim {
 
+namespace {
+
+constexpr std::size_t kMinBuckets = 32;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+constexpr Duration kInitialWidth = milliseconds(100);
+constexpr Duration kMaxWidth = hours(1);
+// Width adaptation: every kWidthCheckPops pops, if the mean scan+skip work
+// per pop exceeded kWorkPerPopBudget, re-derive the width from the sim-time
+// those pops spanned and rebucket (with 2x hysteresis so a marginal estimate
+// doesn't thrash).
+constexpr std::uint64_t kWidthCheckPops = 128;
+constexpr std::uint64_t kWorkPerPopBudget = 8;
+
+}  // namespace
+
+EventQueue::EventQueue(EngineBackend backend) : backend_(backend) {
+  if (backend_ == EngineBackend::kCalendar) {
+    heads_.assign(kMinBuckets, kNil);
+    mask_ = kMinBuckets - 1;
+    width_ = kInitialWidth;
+    cursor_ = 0;
+    cursor_top_ = width_;
+  }
+}
+
+Time EventQueue::clamp_past(Time when) {
+  if (when >= now_) return when;
+  ++past_clamped_;
+  util::log_warn() << "EventQueue: schedule at t=" << when << " is "
+                   << (now_ - when) << "ms in the past; clamped to now=" << now_;
+  return now_;
+}
+
 void EventQueue::schedule_at(Time when, Action action) {
-  if (when < now_)
-    throw std::invalid_argument("EventQueue: scheduling into the past");
-  queue_.push(Entry{when, next_seq_++, std::move(action)});
+  when = clamp_past(when);
+  if (backend_ == EngineBackend::kFunctionHeap) {
+    heap_push(when, EventKind::kClosure, std::move(action));
+    return;
+  }
+  Event event;
+  event.when = when;
+  event.seq = next_seq_++;
+  event.fn = &EventQueue::run_closure_slot;
+  event.a = intern_closure(std::move(action));
+  event.kind = EventKind::kClosure;
+  cal_insert(event);
 }
 
 void EventQueue::schedule_in(Duration delay, Action action) {
   schedule_at(now_ + delay, std::move(action));
 }
 
+void EventQueue::schedule_event_at(Time when, EventKind kind, EventFn fn,
+                                   void* ctx, std::uint64_t a,
+                                   std::uint64_t b) {
+  when = clamp_past(when);
+  if (backend_ == EngineBackend::kFunctionHeap) {
+    // The reference engine runs everything as a closure, like the original
+    // std::function heap did.
+    heap_push(when, kind, [this, fn, ctx, a, b] { fn(*this, ctx, a, b); });
+    return;
+  }
+  cal_insert(Event{when, next_seq_++, fn, ctx, a, b, kind});
+}
+
+void EventQueue::schedule_event_in(Duration delay, EventKind kind, EventFn fn,
+                                   void* ctx, std::uint64_t a,
+                                   std::uint64_t b) {
+  schedule_event_at(now_ + delay, kind, fn, ctx, a, b);
+}
+
+std::uint32_t EventQueue::intern_closure(Action action) {
+  if (!free_closures_.empty()) {
+    const std::uint32_t slot = free_closures_.back();
+    free_closures_.pop_back();
+    closures_[slot] = std::move(action);
+    return slot;
+  }
+  closures_.push_back(std::move(action));
+  return static_cast<std::uint32_t>(closures_.size() - 1);
+}
+
+void EventQueue::run_closure_slot(EventQueue& queue, void*, std::uint64_t a,
+                                  std::uint64_t) {
+  const auto slot = static_cast<std::uint32_t>(a);
+  // Move the action out and free the slot first so re-entrant scheduling may
+  // reuse (or grow) the slab safely.
+  Action action = std::move(queue.closures_[slot]);
+  queue.closures_[slot] = nullptr;
+  queue.free_closures_.push_back(slot);
+  action();
+}
+
+void EventQueue::dispatch(const Event& event) {
+  now_ = event.when;
+  event.fn(*this, event.ctx, event.a, event.b);
+  ++executed_;
+  ++executed_by_kind_[static_cast<std::size_t>(event.kind)];
+}
+
 std::uint64_t EventQueue::run() {
   std::uint64_t count = 0;
-  while (!queue_.empty()) {
-    // Move the action out before popping so re-entrant scheduling is safe.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.when;
-    entry.action();
+  if (backend_ == EngineBackend::kFunctionHeap) {
+    while (!heap_.empty()) {
+      HeapEntry entry = std::move(const_cast<HeapEntry&>(heap_.top()));
+      heap_.pop();
+      --size_;
+      now_ = entry.when;
+      entry.action();
+      ++count;
+      ++executed_;
+      ++executed_by_kind_[static_cast<std::size_t>(entry.kind)];
+    }
+    return count;
+  }
+  Event event;
+  while (cal_pop(event)) {
+    dispatch(event);
     ++count;
-    ++executed_;
   }
   return count;
 }
 
 std::uint64_t EventQueue::run_until(Time deadline) {
   std::uint64_t count = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.when;
-    entry.action();
-    ++count;
-    ++executed_;
+  if (backend_ == EngineBackend::kFunctionHeap) {
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+      HeapEntry entry = std::move(const_cast<HeapEntry&>(heap_.top()));
+      heap_.pop();
+      --size_;
+      now_ = entry.when;
+      entry.action();
+      ++count;
+      ++executed_;
+      ++executed_by_kind_[static_cast<std::size_t>(entry.kind)];
+    }
+  } else {
+    Event event;
+    while (cal_pop(event)) {
+      if (event.when > deadline) {
+        cal_insert(event);  // keeps its original seq: ordering is unchanged
+        break;
+      }
+      dispatch(event);
+      ++count;
+    }
   }
   if (now_ < deadline) now_ = deadline;
   return count;
+}
+
+void EventQueue::heap_push(Time when, EventKind kind, Action action) {
+  heap_.push(HeapEntry{when, next_seq_++, kind, std::move(action)});
+  ++size_;
+}
+
+// ---------------------------------------------------------------------------
+// Calendar backend. Buckets partition time into windows of `width_` ms; an
+// event lands in bucket (when / width) % nbuckets. The cursor drains one
+// window at a time, so a bucket may hold events of far-future windows — the
+// `when < cursor_top_` guard skips those until their cycle comes around.
+// Popping always yields the globally minimal (when, seq): same-time events
+// share a bucket, so ties resolve by seq within one scan.
+// ---------------------------------------------------------------------------
+
+void EventQueue::cal_insert(const Event& event) {
+  std::uint32_t slot;
+  if (!free_nodes_.empty()) {
+    slot = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  std::uint32_t& head = heads_[bucket_index(event.when)];
+  nodes_[slot].event = event;
+  nodes_[slot].next = head;
+  head = slot;
+  ++size_;
+  if (size_ > heads_.size() * 2 && heads_.size() < kMaxBuckets)
+    cal_resize(heads_.size() * 2, width_);
+}
+
+bool EventQueue::cal_pop(Event& out) {
+  if (size_ == 0) return false;
+  const std::uint64_t work_before = cal_scan_steps_ + cal_window_skips_;
+  const std::size_t nbuckets = heads_.size();
+  for (std::size_t step = 0; step < nbuckets; ++step) {
+    // Find the minimal (when, seq) among this window's due entries, keeping
+    // the predecessor link so the winner can be unlinked. List order within
+    // a bucket is irrelevant: the scan is a full min-reduction.
+    std::uint32_t best = kNil, best_prev = kNil;
+    std::uint32_t prev = kNil;
+    for (std::uint32_t i = heads_[cursor_]; i != kNil; i = nodes_[i].next) {
+      ++cal_scan_steps_;
+      if (nodes_[i].event.when < cursor_top_ &&
+          (best == kNil || earlier(nodes_[i].event, nodes_[best].event))) {
+        best = i;
+        best_prev = prev;
+      }
+      prev = i;
+    }
+    if (best != kNil) {
+      out = nodes_[best].event;
+      if (best_prev == kNil) heads_[cursor_] = nodes_[best].next;
+      else nodes_[best_prev].next = nodes_[best].next;
+      free_nodes_.push_back(best);
+      --size_;
+      if (heads_.size() > kMinBuckets && size_ < heads_.size() / 4)
+        cal_resize(heads_.size() / 2, width_);
+      else
+        cal_retune(work_before);
+      return true;
+    }
+    cursor_ = (cursor_ + 1) & mask_;
+    cursor_top_ += width_;
+    ++cal_window_skips_;
+  }
+
+  // A full cycle found nothing due: the next event is far in the future
+  // (sparse phase, e.g. a beacon Break). Jump straight to the global minimum.
+  std::uint32_t best = kNil, best_prev = kNil;
+  std::size_t best_bucket = 0;
+  for (std::size_t bkt = 0; bkt < nbuckets; ++bkt) {
+    std::uint32_t prev = kNil;
+    for (std::uint32_t i = heads_[bkt]; i != kNil; i = nodes_[i].next) {
+      ++cal_scan_steps_;
+      if (best == kNil || earlier(nodes_[i].event, nodes_[best].event)) {
+        best = i;
+        best_prev = prev;
+        best_bucket = bkt;
+      }
+      prev = i;
+    }
+  }
+  out = nodes_[best].event;
+  if (best_prev == kNil) heads_[best_bucket] = nodes_[best].next;
+  else nodes_[best_prev].next = nodes_[best].next;
+  free_nodes_.push_back(best);
+  --size_;
+  cursor_top_ = (out.when / width_) * width_ + width_;
+  cursor_ = bucket_index(out.when);
+  if (heads_.size() > kMinBuckets && size_ < heads_.size() / 4)
+    cal_resize(heads_.size() / 2, width_);
+  else
+    cal_retune(work_before);
+  return true;
+}
+
+void EventQueue::cal_resize(std::size_t nbuckets, Duration width) {
+  ++cal_resizes_;
+  // Collect the live node indices; the Event payloads stay put in the slab
+  // and re-bucketing merely relinks chains.
+  std::vector<std::uint32_t> live;
+  live.reserve(size_);
+  for (const std::uint32_t head : heads_)
+    for (std::uint32_t i = head; i != kNil; i = nodes_[i].next)
+      live.push_back(i);
+  width_ = width;
+  heads_.assign(nbuckets, kNil);
+  mask_ = nbuckets - 1;
+  // Every pending event is at or after now_ (pops return the global min and
+  // schedules clamp), so restart the scan at now_'s window.
+  cursor_top_ = (now_ / width_) * width_ + width_;
+  cursor_ = bucket_index(now_);
+  for (const std::uint32_t i : live) {
+    std::uint32_t& head = heads_[bucket_index(nodes_[i].event.when)];
+    nodes_[i].next = head;
+    head = i;
+  }
+  pops_since_width_ = 0;
+  work_since_width_ = 0;
+  width_epoch_ = now_;
+}
+
+void EventQueue::cal_retune(std::uint64_t work_before) {
+  // Called after every pop that did not resize. The bucket width that makes
+  // pops cheap is the inter-event spacing at the *front* of the queue, and
+  // the stream of executed events measures exactly that for free: campaign
+  // workloads are a skewed mixture (sub-ms BGP delivery cascades pending next
+  // to RFD reuse timers an hour out), so any estimate over the pending set
+  // lands between the modes and serves neither. Width only moves when the
+  // measured work rate says the current bucketing is actually hurting, with
+  // 2x hysteresis; the same rule widens after a burst (full-cycle fallback
+  // scans dominate) and narrows when a new burst piles into one bucket.
+  work_since_width_ += (cal_scan_steps_ + cal_window_skips_) - work_before;
+  if (++pops_since_width_ < kWidthCheckPops) return;
+  if (work_since_width_ > kWorkPerPopBudget * pops_since_width_) {
+    const Time span = now_ - width_epoch_;
+    const Duration fresh = std::clamp<Duration>(
+        2 * span / static_cast<Time>(pops_since_width_), milliseconds(1),
+        kMaxWidth);
+    if (fresh >= 2 * width_ || width_ >= 2 * fresh) {
+      cal_resize(heads_.size(), fresh);  // also resets the width counters
+      return;
+    }
+  }
+  pops_since_width_ = 0;
+  work_since_width_ = 0;
+  width_epoch_ = now_;
 }
 
 }  // namespace because::sim

@@ -1,11 +1,29 @@
 // Deterministic discrete-event engine.
 //
-// Events are (time, sequence, action) triples; ties on time are broken by
+// Events are (time, sequence, payload) triples; ties on time are broken by
 // insertion order, which makes entire campaigns reproducible bit-for-bit for
-// a fixed RNG seed. The engine is intentionally minimal: the BGP network,
-// beacons and collectors schedule closures on it.
+// a fixed RNG seed.
+//
+// The hot path of a campaign is millions of BGP message deliveries and MRAI /
+// RFD timers, so the engine stores *typed* events: a tagged union of a raw
+// function pointer, a context pointer and two 64-bit immediates. The closure
+// form (`std::function`) survives as the generic fallback for cold callers
+// (campaign failure injection, collector export delays, tests). Typed events
+// never touch the heap; closures are interned in a free-listed slab so the
+// priority structure itself stays trivially copyable.
+//
+// Two backends share the same observable contract:
+//   - kCalendar (default): a bucketed calendar queue keyed on sim::Time.
+//     O(1) amortised schedule/pop at campaign densities; buckets resize and
+//     re-estimate their width from the pending-event spacing.
+//   - kFunctionHeap: the original binary heap of std::function entries, kept
+//     as the reference implementation for the determinism/property tests and
+//     for before/after benchmarks (bench_sim).
+// Both backends pop the globally minimal (time, seq) pair, so any workload
+// executes identically on either.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -15,22 +33,54 @@
 
 namespace because::sim {
 
+/// Discriminator of the typed-event union. The simulator layers tag their
+/// events so engine statistics (and the bench) can break down the workload;
+/// dispatch itself is uniform through the stored function pointer.
+enum class EventKind : std::uint8_t {
+  kClosure = 0,      ///< generic std::function fallback
+  kBgpDelivery = 1,  ///< BGP message delivery (payload slab owned by Network)
+  kMraiTimer = 2,    ///< per-(session, prefix) MRAI flush
+  kRfdReuse = 3,     ///< RFD reuse/release timer
+  kBeacon = 4,       ///< beacon origination / withdrawal action
+};
+inline constexpr std::size_t kEventKindCount = 5;
+
+/// Which internal priority structure an EventQueue uses. Observable behaviour
+/// is identical; only throughput differs.
+enum class EngineBackend : std::uint8_t { kCalendar, kFunctionHeap };
+
 class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  EventQueue() = default;
+  /// Typed event callback: invoked with the owning queue, the registered
+  /// context object and the event's two immediate arguments.
+  using EventFn = void (*)(EventQueue&, void* ctx, std::uint64_t a,
+                           std::uint64_t b);
+
+  explicit EventQueue(EngineBackend backend = EngineBackend::kCalendar);
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+
+  EngineBackend backend() const { return backend_; }
 
   /// Current simulation time; advances only inside run()/run_until().
   Time now() const { return now_; }
 
-  /// Schedule `action` at absolute time `when` (must be >= now()).
+  /// Schedule `action` at absolute time `when`. A `when` before now() is
+  /// clamped to now() (and counted + logged): timers can never fire in the
+  /// past, which would rewind the clock mid-run.
   void schedule_at(Time when, Action action);
 
   /// Schedule `action` `delay` after the current time.
   void schedule_in(Duration delay, Action action);
+
+  /// Schedule a typed event. `fn` is dispatched as fn(queue, ctx, a, b).
+  /// Same past-clamping rule as schedule_at.
+  void schedule_event_at(Time when, EventKind kind, EventFn fn, void* ctx,
+                         std::uint64_t a = 0, std::uint64_t b = 0);
+  void schedule_event_in(Duration delay, EventKind kind, EventFn fn, void* ctx,
+                         std::uint64_t a = 0, std::uint64_t b = 0);
 
   /// Run until the queue drains. Returns the number of events executed.
   std::uint64_t run();
@@ -38,27 +88,121 @@ class EventQueue {
   /// Run events with time <= `deadline`; the clock ends at `deadline`.
   std::uint64_t run_until(Time deadline);
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t pending() const { return size_; }
   std::uint64_t executed() const { return executed_; }
+  std::uint64_t executed_of(EventKind kind) const {
+    return executed_by_kind_[static_cast<std::size_t>(kind)];
+  }
+  /// Number of schedule calls whose `when` lay in the past and was clamped.
+  std::uint64_t past_clamped() const { return past_clamped_; }
+
+  // Calendar introspection (diagnostics/bench): nodes visited while scanning
+  // bucket chains, empty/future windows skipped, and resize count.
+  std::uint64_t cal_scan_steps() const { return cal_scan_steps_; }
+  std::uint64_t cal_window_skips() const { return cal_window_skips_; }
+  std::uint64_t cal_resizes() const { return cal_resizes_; }
 
  private:
-  struct Entry {
+  /// The tagged-union event record. Trivially copyable: closures live in the
+  /// slab below and are referenced by slot index through `a`.
+  struct Event {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    EventFn fn = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    EventKind kind = EventKind::kClosure;
+  };
+
+  static bool earlier(const Event& x, const Event& y) {
+    if (x.when != y.when) return x.when < y.when;
+    return x.seq < y.seq;
+  }
+
+  static void run_closure_slot(EventQueue& queue, void* ctx, std::uint64_t a,
+                               std::uint64_t b);
+
+  Time clamp_past(Time when);
+  std::uint32_t intern_closure(Action action);
+  void dispatch(const Event& event);
+
+  // -- calendar backend ------------------------------------------------------
+  /// Calendar events are intrusive singly-linked list nodes in one slab:
+  /// inserts never allocate after warm-up, and re-bucketing on resize relinks
+  /// indices instead of copying Event payloads.
+  struct Node {
+    Event event;
+    std::uint32_t next = 0;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  void cal_insert(const Event& event);
+  bool cal_pop(Event& out);
+  void cal_resize(std::size_t buckets, Duration width);
+  void cal_retune(std::uint64_t work_before);
+  std::size_t bucket_index(Time when) const {
+    return static_cast<std::size_t>(
+               static_cast<std::uint64_t>(when) /
+               static_cast<std::uint64_t>(width_)) &
+           mask_;
+  }
+
+  // -- function-heap backend (the pre-calendar reference engine) -------------
+  // Entries hold the closure inline, exactly like the original engine: typed
+  // events are wrapped into std::function at schedule time, so this backend
+  // reproduces the pre-calendar allocation and heap-sift cost profile and is
+  // a faithful "before" measurement for bench_sim.
+  struct HeapEntry {
     Time when;
     std::uint64_t seq;
+    EventKind kind;
     Action action;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+    bool operator()(const HeapEntry& x, const HeapEntry& y) const {
+      if (x.when != y.when) return x.when > y.when;
+      return x.seq > y.seq;
     }
   };
+  void heap_push(Time when, EventKind kind, Action action);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  EngineBackend backend_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t past_clamped_ = 0;
+  std::array<std::uint64_t, kEventKindCount> executed_by_kind_{};
+  std::size_t size_ = 0;
+
+  // Closure slab: slot-indexed so Event stays trivially copyable; freed slots
+  // are reused, which also recycles the std::function's captured storage.
+  std::vector<Action> closures_;
+  std::vector<std::uint32_t> free_closures_;
+
+  // Calendar state.
+  std::vector<Node> nodes_;             ///< node slab
+  std::vector<std::uint32_t> free_nodes_;
+  std::vector<std::uint32_t> heads_;    ///< per-bucket list head (kNil = empty)
+  std::size_t mask_ = 0;        ///< bucket count - 1 (power of two)
+  Duration width_ = 0;          ///< bucket time width in ms
+  std::size_t cursor_ = 0;      ///< bucket currently being drained
+  Time cursor_top_ = 0;         ///< events with when < cursor_top_ are due
+  std::uint64_t cal_scan_steps_ = 0;
+  std::uint64_t cal_window_skips_ = 0;
+  std::uint64_t cal_resizes_ = 0;
+  // Width adaptation: pops and scan/skip work since the last width check, and
+  // the sim-time at that check. When work per pop degrades, the width is
+  // re-derived from the observed spacing of *executed* events (the density at
+  // the queue's front, which is what pops actually pay for) — pending-event
+  // statistics are useless here because far-future RFD/MRAI timers skew them.
+  std::uint64_t pops_since_width_ = 0;
+  std::uint64_t work_since_width_ = 0;
+  Time width_epoch_ = 0;
+
+  // Heap state.
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
 };
 
 }  // namespace because::sim

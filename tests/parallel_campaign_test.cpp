@@ -1,0 +1,113 @@
+// ParallelCampaignRunner determinism and behaviour (ctest label: concurrency).
+//
+// The load-bearing property: fanning scenarios across a thread pool is purely
+// an execution-order optimisation. Every scenario must come back bit-identical
+// to a serial run_campaign() of the same config, at any pool size. The golden
+// digest machinery from sim_golden_trace_test is reused in miniature here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "experiment/parallel_runner.hpp"
+
+namespace because {
+namespace {
+
+std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t digest_result(const experiment::CampaignResult& result) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  hash = fnv1a_u64(hash, result.events_executed);
+  for (const collector::RecordedUpdate& rec : result.store.all()) {
+    hash = fnv1a_u64(hash, static_cast<std::uint64_t>(rec.recorded_at));
+    hash = fnv1a_u64(hash, rec.vp);
+    hash = fnv1a_u64(hash, static_cast<std::uint64_t>(rec.update.type));
+    hash = fnv1a_u64(hash, bgp::pack(rec.update.prefix));
+    hash = fnv1a_u64(hash, rec.update.as_path.size());
+    for (topology::AsId as : rec.update.as_path) hash = fnv1a_u64(hash, as);
+  }
+  return hash;
+}
+
+experiment::CampaignConfig tiny_config() {
+  experiment::CampaignConfig config = experiment::CampaignConfig::small();
+  config.pairs = 1;
+  config.burst_length = sim::minutes(6);
+  config.break_length = sim::minutes(20);
+  config.anchor_cycles = 1;
+  config.include_ripe_reference = false;
+  return config;
+}
+
+experiment::CampaignGrid tiny_grid() {
+  experiment::CampaignGrid grid;
+  grid.base = tiny_config();
+  grid.seeds = {5, 6};
+  grid.rfd_presets = experiment::standard_rfd_presets();
+  return grid;
+}
+
+TEST(ParallelCampaign, GridExpansionIsDeterministic) {
+  const auto a = tiny_grid().expand();
+  const auto b = tiny_grid().expand();
+  ASSERT_EQ(a.size(), 6u);  // 2 seeds x 1 length x 3 presets
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].config.seed, b[i].config.seed);
+    EXPECT_EQ(a[i].config.deployment.variant_weights,
+              b[i].config.deployment.variant_weights);
+  }
+  EXPECT_EQ(a[0].name, "len24/paper-mix/seed5");
+  EXPECT_EQ(a[5].name, "len24/rfc7454-only/seed6");
+}
+
+TEST(ParallelCampaign, ResultsAreBitIdenticalToSerialAtAnyPoolSize) {
+  const std::vector<experiment::CampaignScenario> scenarios =
+      tiny_grid().expand();
+
+  // Serial reference digests.
+  std::vector<std::uint64_t> expected;
+  for (const experiment::CampaignScenario& s : scenarios)
+    expected.push_back(digest_result(experiment::run_campaign(s.config)));
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    experiment::ParallelCampaignRunner runner(threads);
+    EXPECT_EQ(runner.threads(), threads);
+    const std::vector<experiment::CampaignResult> results =
+        runner.run(scenarios);
+    ASSERT_EQ(results.size(), scenarios.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(digest_result(results[i]), expected[i])
+          << "scenario " << scenarios[i].name << " diverged at pool size "
+          << threads;
+    }
+  }
+}
+
+TEST(ParallelCampaign, RunsAGridDirectly) {
+  experiment::ParallelCampaignRunner runner(2);
+  const std::vector<experiment::CampaignResult> results = runner.run(tiny_grid());
+  ASSERT_EQ(results.size(), 6u);
+  for (const experiment::CampaignResult& r : results) {
+    EXPECT_GT(r.events_executed, 0u);
+    EXPECT_GT(r.store.size(), 0u);
+  }
+}
+
+TEST(ParallelCampaign, PropagatesScenarioExceptions) {
+  std::vector<experiment::CampaignScenario> scenarios = tiny_grid().expand();
+  scenarios[1].config.beacon_sites = 0;  // run_campaign rejects this
+  experiment::ParallelCampaignRunner runner(2);
+  EXPECT_THROW(runner.run(scenarios), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace because

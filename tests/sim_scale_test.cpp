@@ -1,0 +1,83 @@
+// Scale smoke tests (ctest label: slow).
+//
+// These lock in the point of the typed engine and dense network storage:
+// thousands-of-ASes simulations must stay tractable. A ~5k-AS network has to
+// converge on a single originated prefix within explicit event and simulated-
+// time budgets, and a minimal 10k-AS beacon campaign has to run end to end.
+// The budgets are deliberately generous (they guard against algorithmic
+// blowups — unbounded path hunting, calendar-queue degeneration — not against
+// constant factors); bench/bench_sim tracks the actual throughput numbers.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "bgp/network.hpp"
+#include "experiment/campaign.hpp"
+#include "stats/rng.hpp"
+#include "topology/generator.hpp"
+
+namespace because {
+namespace {
+
+TEST(SimScale, FiveThousandAsNetworkConvergesWithinBudget) {
+  topology::GeneratorConfig tcfg;
+  tcfg.tier1_count = 10;
+  tcfg.transit_count = 600;
+  tcfg.stub_count = 4400;
+  stats::Rng rng(11);
+  const topology::AsGraph graph = topology::generate(tcfg, rng);
+  ASSERT_EQ(graph.as_count(), 5010u);
+
+  sim::EventQueue queue;
+  stats::Rng net_rng = rng.fork();
+  bgp::Network network(graph, bgp::NetworkConfig{}, queue, net_rng);
+
+  // Originate one prefix at a stub and let BGP converge.
+  topology::AsId origin = 0;
+  for (topology::AsId as : graph.as_ids())
+    if (graph.tier(as) == topology::Tier::kStub) {
+      origin = as;
+      break;
+    }
+  ASSERT_NE(origin, 0u);
+  const bgp::Prefix prefix{1, 24};
+  network.router(origin).originate(prefix, 0);
+  queue.run();
+
+  // Gao-Rexford export lets a customer-originated route reach every AS.
+  std::size_t reached = 0;
+  for (topology::AsId as : graph.as_ids())
+    if (network.router(as).loc_rib().find(prefix) != nullptr) ++reached;
+  EXPECT_GE(reached, (graph.as_count() * 95) / 100);
+
+  // Budgets: convergence is a bounded cascade, not an open-ended churn.
+  EXPECT_LT(queue.executed(), 5'000'000u);
+  EXPECT_LT(queue.now(), sim::hours(2));
+}
+
+TEST(SimScale, TenThousandAsCampaignCompletes) {
+  experiment::CampaignConfig config = experiment::CampaignConfig::small();
+  config.topology.tier1_count = 12;
+  config.topology.transit_count = 1000;
+  config.topology.stub_count = 9000;
+  config.beacon_sites = 1;
+  config.update_intervals = {sim::minutes(2)};
+  config.prefixes_per_interval = 1;
+  config.burst_length = sim::minutes(6);
+  config.break_length = sim::minutes(20);
+  config.pairs = 1;
+  config.include_anchor = false;
+  config.include_ripe_reference = false;
+  config.vantage_points = 8;
+  config.background_prefixes = 0;
+  config.session_resets = 0;
+  config.seed = 3;
+
+  const experiment::CampaignResult result = experiment::run_campaign(config);
+  EXPECT_GT(result.events_executed, 0u);
+  EXPECT_GT(result.store.size(), 0u);
+  EXPECT_FALSE(result.observed.empty());
+}
+
+}  // namespace
+}  // namespace because

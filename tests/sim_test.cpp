@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -16,8 +17,20 @@ TEST(Time, Conversions) {
   EXPECT_DOUBLE_EQ(to_minutes(minutes(7)), 7.0);
 }
 
-TEST(EventQueue, RunsInTimeOrder) {
-  EventQueue q;
+/// Core engine contract, asserted on both backends: they must be observably
+/// interchangeable (the golden-trace and property tests extend this to whole
+/// campaigns and random workloads).
+class EventQueueBackends : public ::testing::TestWithParam<EngineBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EventQueueBackends,
+    ::testing::Values(EngineBackend::kCalendar, EngineBackend::kFunctionHeap),
+    [](const ::testing::TestParamInfo<EngineBackend>& info) {
+      return info.param == EngineBackend::kCalendar ? "Calendar" : "FunctionHeap";
+    });
+
+TEST_P(EventQueueBackends, RunsInTimeOrder) {
+  EventQueue q(GetParam());
   std::vector<int> order;
   q.schedule_at(30, [&] { order.push_back(3); });
   q.schedule_at(10, [&] { order.push_back(1); });
@@ -26,8 +39,8 @@ TEST(EventQueue, RunsInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, TiesBreakByInsertionOrder) {
-  EventQueue q;
+TEST_P(EventQueueBackends, TiesBreakByInsertionOrder) {
+  EventQueue q(GetParam());
   std::vector<int> order;
   q.schedule_at(5, [&] { order.push_back(1); });
   q.schedule_at(5, [&] { order.push_back(2); });
@@ -36,8 +49,24 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, ClockAdvancesWithEvents) {
-  EventQueue q;
+TEST_P(EventQueueBackends, TypedAndClosureEventsInterleaveInOrder) {
+  EventQueue q(GetParam());
+  std::vector<std::string> order;
+  const EventQueue::EventFn record = [](EventQueue&, void* ctx, std::uint64_t a,
+                                        std::uint64_t) {
+    static_cast<std::vector<std::string>*>(ctx)->push_back("typed" +
+                                                           std::to_string(a));
+  };
+  q.schedule_event_at(5, EventKind::kMraiTimer, record, &order, 1);
+  q.schedule_at(5, [&] { order.push_back("closure"); });
+  q.schedule_event_at(5, EventKind::kBgpDelivery, record, &order, 2);
+  q.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"typed1", "closure", "typed2"}));
+}
+
+TEST_P(EventQueueBackends, ClockAdvancesWithEvents) {
+  EventQueue q(GetParam());
   Time seen = -1;
   q.schedule_at(42, [&] { seen = q.now(); });
   q.run();
@@ -45,8 +74,8 @@ TEST(EventQueue, ClockAdvancesWithEvents) {
   EXPECT_EQ(q.now(), 42);
 }
 
-TEST(EventQueue, ScheduleInIsRelative) {
-  EventQueue q;
+TEST_P(EventQueueBackends, ScheduleInIsRelative) {
+  EventQueue q(GetParam());
   Time seen = -1;
   q.schedule_at(100, [&] {
     q.schedule_in(50, [&] { seen = q.now(); });
@@ -55,15 +84,25 @@ TEST(EventQueue, ScheduleInIsRelative) {
   EXPECT_EQ(seen, 150);
 }
 
-TEST(EventQueue, RejectsPastScheduling) {
-  EventQueue q;
-  q.schedule_at(100, [] {});
-  q.run();
-  EXPECT_THROW(q.schedule_at(50, [] {}), std::invalid_argument);
+// Regression: the engine used to throw on a `when` before now(), which made
+// zero-delay timers racing the clock (e.g. an RFD reuse time just elapsed)
+// abort whole campaigns. Past times now clamp to now(), keeping FIFO order
+// among everything scheduled "immediately", and are counted for diagnostics.
+TEST_P(EventQueueBackends, PastSchedulingClampsToNow) {
+  EventQueue q(GetParam());
+  std::vector<int> order;
+  q.schedule_at(100, [&] {
+    q.schedule_at(50, [&] { order.push_back(1); });   // past: clamps to 100
+    q.schedule_in(0, [&] { order.push_back(2); });    // also "now"
+  });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 100);
+  EXPECT_EQ(q.past_clamped(), 1u);
 }
 
-TEST(EventQueue, ReentrantSchedulingDuringRun) {
-  EventQueue q;
+TEST_P(EventQueueBackends, ReentrantSchedulingDuringRun) {
+  EventQueue q(GetParam());
   int count = 0;
   q.schedule_at(0, [&] {
     ++count;
@@ -75,8 +114,8 @@ TEST(EventQueue, ReentrantSchedulingDuringRun) {
   EXPECT_EQ(count, 2);
 }
 
-TEST(EventQueue, RunUntilStopsAtDeadline) {
-  EventQueue q;
+TEST_P(EventQueueBackends, RunUntilStopsAtDeadline) {
+  EventQueue q(GetParam());
   int fired = 0;
   q.schedule_at(10, [&] { ++fired; });
   q.schedule_at(20, [&] { ++fired; });
@@ -89,14 +128,25 @@ TEST(EventQueue, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 3);
 }
 
-TEST(EventQueue, RunUntilAdvancesClockToDeadlineWhenIdle) {
-  EventQueue q;
+TEST_P(EventQueueBackends, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  EventQueue q(GetParam());
   q.run_until(500);
   EXPECT_EQ(q.now(), 500);
 }
 
-TEST(EventQueue, ExecutedCounterAccumulates) {
-  EventQueue q;
+TEST_P(EventQueueBackends, RunUntilPreservesTieOrderAcrossCalls) {
+  EventQueue q(GetParam());
+  std::vector<int> order;
+  q.schedule_at(20, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_until(10);  // deferred events keep their original sequence numbers
+  q.schedule_at(20, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(EventQueueBackends, ExecutedCounterAccumulates) {
+  EventQueue q(GetParam());
   q.schedule_at(1, [] {});
   q.schedule_at(2, [] {});
   q.run();
@@ -106,14 +156,63 @@ TEST(EventQueue, ExecutedCounterAccumulates) {
   EXPECT_EQ(q.executed(), 3u);
 }
 
-TEST(EventQueue, EmptyAndPending) {
-  EventQueue q;
+TEST_P(EventQueueBackends, ExecutedBreaksDownByKind) {
+  EventQueue q(GetParam());
+  const EventQueue::EventFn noop = [](EventQueue&, void*, std::uint64_t,
+                                      std::uint64_t) {};
+  q.schedule_event_at(1, EventKind::kBgpDelivery, noop, nullptr);
+  q.schedule_event_at(2, EventKind::kBgpDelivery, noop, nullptr);
+  q.schedule_event_at(3, EventKind::kRfdReuse, noop, nullptr);
+  q.schedule_at(4, [] {});
+  q.run();
+  EXPECT_EQ(q.executed_of(EventKind::kBgpDelivery), 2u);
+  EXPECT_EQ(q.executed_of(EventKind::kRfdReuse), 1u);
+  EXPECT_EQ(q.executed_of(EventKind::kClosure), 1u);
+  EXPECT_EQ(q.executed_of(EventKind::kBeacon), 0u);
+  EXPECT_EQ(q.executed(), 4u);
+}
+
+TEST_P(EventQueueBackends, TypedEventsReceiveArguments) {
+  EventQueue q(GetParam());
+  std::uint64_t got_a = 0, got_b = 0;
+  struct Ctx {
+    std::uint64_t* a;
+    std::uint64_t* b;
+  } ctx{&got_a, &got_b};
+  q.schedule_event_in(5, EventKind::kBeacon,
+                      [](EventQueue&, void* c, std::uint64_t a, std::uint64_t b) {
+                        auto* out = static_cast<Ctx*>(c);
+                        *out->a = a;
+                        *out->b = b;
+                      },
+                      &ctx, 77, 99);
+  q.run();
+  EXPECT_EQ(got_a, 77u);
+  EXPECT_EQ(got_b, 99u);
+}
+
+TEST_P(EventQueueBackends, EmptyAndPending) {
+  EventQueue q(GetParam());
   EXPECT_TRUE(q.empty());
   q.schedule_at(1, [] {});
   EXPECT_FALSE(q.empty());
   EXPECT_EQ(q.pending(), 1u);
   q.run();
   EXPECT_TRUE(q.empty());
+}
+
+/// Widely spread event times force the calendar to cycle through all buckets
+/// and fall back to direct-search; order must survive.
+TEST_P(EventQueueBackends, SparseFarApartEventsStayOrdered) {
+  EventQueue q(GetParam());
+  std::vector<int> order;
+  q.schedule_at(hours(500), [&] { order.push_back(3); });
+  q.schedule_at(1, [&] { order.push_back(1); });
+  q.schedule_at(hours(2), [&] { order.push_back(2); });
+  q.schedule_at(hours(5000), [&] { order.push_back(4); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.now(), hours(5000));
 }
 
 }  // namespace
