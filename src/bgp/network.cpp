@@ -56,8 +56,8 @@ Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     std::size_t off = link_offsets_[i];
     for (const topology::Neighbor& nb : graph.neighbors(ids_[i])) {
-      links_[off++] = Link{static_cast<std::uint32_t>(find_index(nb.id)),
-                           drawn.at(link_key(ids_[i], nb.id))};
+      links_[off++] =
+          Link{dense_index(nb.id), drawn.at(link_key(ids_[i], nb.id))};
     }
     std::sort(links_.begin() + link_offsets_[i],
               links_.begin() + link_offsets_[i + 1],
@@ -70,7 +70,7 @@ Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
     Router& local = *routers_[i];
     const topology::AsId local_id = ids_[i];
     for (const topology::Neighbor& nb : graph.neighbors(local_id)) {
-      const auto to = static_cast<std::uint32_t>(find_index(nb.id));
+      const std::uint32_t to = dense_index(nb.id);
       const sim::Duration delay = drawn.at(link_key(local_id, nb.id));
       local.connect(nb.id, nb.relation, config_.mrai,
                     config_.mrai_on_withdrawals,
@@ -85,6 +85,13 @@ Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
 std::ptrdiff_t Network::find_index(topology::AsId id) const {
   const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
   return it != ids_.end() && *it == id ? it - ids_.begin() : -1;
+}
+
+std::uint32_t Network::dense_index(topology::AsId id) const {
+  const std::ptrdiff_t index = find_index(id);
+  if (index < 0)
+    throw std::out_of_range("Network: neighbor AS missing from graph id set");
+  return static_cast<std::uint32_t>(index);
 }
 
 void Network::deliver_in(sim::Duration delay, std::uint32_t to_index,

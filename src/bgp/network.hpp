@@ -76,6 +76,11 @@ class Network {
   /// Dense index of `id`, or -1 when the AS is unknown.
   std::ptrdiff_t find_index(topology::AsId id) const;
 
+  /// Dense index of `id`; throws std::out_of_range when the AS is missing
+  /// from the sorted id directory (an inconsistent adjacency list would
+  /// otherwise produce a bogus uint32 index into routers_/links_).
+  std::uint32_t dense_index(topology::AsId id) const;
+
   static void delivery_event(sim::EventQueue& queue, void* ctx,
                              std::uint64_t a, std::uint64_t b);
   void on_delivery(std::uint32_t slot);

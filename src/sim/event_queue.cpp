@@ -34,9 +34,14 @@ EventQueue::EventQueue(EngineBackend backend) : backend_(backend) {
 
 Time EventQueue::clamp_past(Time when) {
   if (when >= now_) return when;
-  ++past_clamped_;
-  util::log_warn() << "EventQueue: schedule at t=" << when << " is "
-                   << (now_ - when) << "ms in the past; clamped to now=" << now_;
+  // Past clamps are expected steady-state behaviour (zero-delay timers racing
+  // the clock), so only the first occurrence logs; past_clamped() carries the
+  // full count for diagnostics.
+  if (past_clamped_++ == 0) {
+    util::log_warn() << "EventQueue: schedule at t=" << when << " is "
+                     << (now_ - when) << "ms in the past; clamped to now="
+                     << now_ << " (later clamps are counted, not logged)";
+  }
   return now_;
 }
 
@@ -155,6 +160,15 @@ std::uint64_t EventQueue::run_until(Time deadline) {
     }
   }
   if (now_ < deadline) now_ = deadline;
+  if (backend_ == EngineBackend::kCalendar) {
+    // The pop that overshot the deadline may have jumped the cursor to the
+    // deferred event's far-future window (full-cycle fallback). Rewind the
+    // scan to now_'s window, exactly as cal_resize does, so events scheduled
+    // after this call at earlier times are popped first. Safe because every
+    // pending event is now strictly after deadline == now_.
+    cursor_top_ = (now_ / width_) * width_ + width_;
+    cursor_ = bucket_index(now_);
+  }
   return count;
 }
 

@@ -174,6 +174,18 @@ void check_workload(std::uint64_t seed, std::size_t count, Time range,
         << "calendar diverged before deadline, seed " << seed;
     EXPECT_EQ(heap.run_until(deadline, true), expected)
         << "heap diverged before deadline, seed " << seed;
+    // Schedule fresh roots *between* the bounded and unbounded runs, earlier
+    // than any event the bounded run deferred (times < deadline clamp to
+    // now == deadline under the shared rule). Regression coverage for the
+    // calendar cursor rewind after run_until pops past its deadline.
+    for (std::size_t i = 0; i < count / 4; ++i) {
+      const Time when =
+          static_cast<Time>(rng() % static_cast<std::uint64_t>(range));
+      const std::uint64_t id = 2000000 + i;
+      model.schedule(when, id, 0);
+      calendar.schedule(when, id, 0);
+      heap.schedule(when, id, 0);
+    }
   }
 
   const Trace expected = model.run_until(0, false);

@@ -145,6 +145,25 @@ TEST_P(EventQueueBackends, RunUntilPreservesTieOrderAcrossCalls) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+// Regression: when run_until popped a past-deadline event (via the calendar's
+// full-cycle fallback, which jumps the cursor to that event's window) and
+// reinserted it, the cursor was left far in the future. An earlier event
+// scheduled afterwards then landed in a bucket behind the cursor and executed
+// *after* the far-future one, rewinding the clock. The cursor must rewind to
+// now()'s window when run_until defers an event.
+TEST_P(EventQueueBackends, EarlierScheduleAfterRunUntilRunsFirst) {
+  EventQueue q(GetParam());
+  std::vector<Time> fired;
+  q.schedule_at(1'000'000, [&] { fired.push_back(q.now()); });
+  EXPECT_EQ(q.run_until(1000), 0u);
+  EXPECT_EQ(q.now(), 1000);
+  q.schedule_at(2000, [&] { fired.push_back(q.now()); });
+  q.run();
+  // Strictly increasing fire times double as a clock-monotonicity check.
+  EXPECT_EQ(fired, (std::vector<Time>{2000, 1'000'000}));
+  EXPECT_EQ(q.now(), 1'000'000);
+}
+
 TEST_P(EventQueueBackends, ExecutedCounterAccumulates) {
   EventQueue q(GetParam());
   q.schedule_at(1, [] {});
