@@ -71,8 +71,13 @@ int main() {
     table.add_row(
         {util::fmt_double(sim::to_minutes(r.interval), 0),
          std::to_string(consistent), std::to_string(consistent + inconsistent),
-         denom > 0 ? util::fmt_percent(consistent / denom) : "-",
-         denom > 0 ? util::fmt_percent((consistent + inconsistent) / denom) : "-"});
+         denom > 0
+             ? util::fmt_percent(static_cast<double>(consistent) / denom)
+             : "-",
+         denom > 0
+             ? util::fmt_percent(
+                   static_cast<double>(consistent + inconsistent) / denom)
+             : "-"});
   }
   std::printf("%s", table.render(
       "Figure 12: share of damping ASs per update interval").c_str());

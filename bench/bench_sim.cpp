@@ -45,7 +45,9 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 struct EngineMeasurement {
   std::uint64_t events = 0;
   double seconds = 0.0;
-  double events_per_second() const { return events / seconds; }
+  double events_per_second() const {
+    return static_cast<double>(events) / seconds;
+  }
 };
 
 EngineMeasurement measure_engine(sim::EngineBackend backend,

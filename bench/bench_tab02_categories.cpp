@@ -21,7 +21,8 @@ int main() {
   std::vector<std::string> totals{"Total"}, shares{"Share"};
   for (std::size_t c = 0; c < counts.size(); ++c) {
     totals.push_back(std::to_string(counts[c]));
-    shares.push_back(util::fmt_percent(counts[c] / total));
+    shares.push_back(
+        util::fmt_percent(static_cast<double>(counts[c]) / total));
   }
   table.add_row(totals);
   table.add_row(shares);

@@ -1,19 +1,42 @@
 #!/usr/bin/env bash
-# Pre-merge check: the release-preset tier-1 suite, then the thread-sanitizer
-# pass over the concurrency-labeled tests (thread pool, pooled multi-chain
-# MCMC, parallel campaign runner).
+# Pre-merge gate, three stages in rising cost order:
 #
-# The same two stages exist as CMake workflow presets, so this script is just
-#   cmake --workflow --preset check-release
-#   cmake --workflow --preset check-tsan
-# in order, stopping at the first failure.
+#   1. static   zero-warning build (-Wconversion -Werror, clang-tidy when a
+#               binary exists) + the because-lint determinism linter
+#   2. release  tier-1 suite under the optimised preset (contracts compiled
+#               out — also proves BECAUSE_ASSERT has no Release footprint)
+#   3. tsan     thread sanitizer over the concurrency-labeled tests
+#
+# `--full` appends a fourth stage: address+UB sanitizers over the tier-1
+# suite minus slow-labeled tests.
+#
+# Each stage is a CMake workflow preset, so any one can be run alone:
+#   cmake --workflow --preset check-static    (or check-release / check-tsan /
+#                                              check-asan)
+# The script stops at the first failing stage and prints per-stage timing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== check 1/2: release tier-1 suite =="
-cmake --workflow --preset check-release
+STAGES=(check-static check-release check-tsan)
+if [[ "${1:-}" == "--full" ]]; then
+  STAGES+=(check-asan)
+elif [[ $# -gt 0 ]]; then
+  echo "usage: $0 [--full]" >&2
+  exit 2
+fi
 
-echo "== check 2/2: tsan over concurrency-labeled tests =="
-cmake --workflow --preset check-tsan
+declare -a TIMINGS=()
+total=${#STAGES[@]}
+n=0
+for stage in "${STAGES[@]}"; do
+  n=$((n + 1))
+  echo "== check ${n}/${total}: ${stage} =="
+  start=$SECONDS
+  cmake --workflow --preset "${stage}"
+  TIMINGS+=("$(printf '%-14s %4ds' "${stage}" $((SECONDS - start)))")
+done
 
-echo "== check: all stages passed =="
+echo "== check: all ${total} stages passed =="
+for line in "${TIMINGS[@]}"; do
+  echo "   ${line}"
+done

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/contracts.hpp"
+
 namespace because::bgp {
 
 namespace {
@@ -59,10 +61,17 @@ Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
       links_[off++] =
           Link{dense_index(nb.id), drawn.at(link_key(ids_[i], nb.id))};
     }
+    BECAUSE_ASSERT(off == link_offsets_[i + 1],
+                   "CSR row " << i << " filled " << off << " links, offsets say "
+                              << link_offsets_[i + 1]);
     std::sort(links_.begin() + link_offsets_[i],
               links_.begin() + link_offsets_[i + 1],
               [](const Link& x, const Link& y) { return x.to < y.to; });
   }
+  BECAUSE_ASSERT(link_offsets_.back() == links_.size(),
+                 "CSR link table: offsets end at " << link_offsets_.back()
+                                                   << " but " << links_.size()
+                                                   << " links stored");
 
   // Wire sessions. The send function captures dense indices once; per-message
   // delivery goes through the typed-event slab, not a fresh closure.
@@ -126,6 +135,9 @@ void Network::delivery_event(sim::EventQueue& /*queue*/, void* ctx,
 }
 
 void Network::on_delivery(std::uint32_t slot) {
+  BECAUSE_ASSERT(slot < deliveries_.size() && deliveries_[slot].to != nullptr,
+                 "delivery slot " << slot << " out of range or already freed ("
+                                  << deliveries_.size() << " slots)");
   // Move the payload into the scratch update and free the slot *before*
   // receive(): the receive cascade schedules further deliveries, which may
   // reuse this slot or grow the slab. Dispatch never nests, so one scratch
@@ -134,6 +146,7 @@ void Network::on_delivery(std::uint32_t slot) {
   Router* to = pending.to;
   const topology::AsId from = pending.from;
   std::swap(scratch_, pending.update);
+  pending.to = nullptr;  // marks the slot free for the contract above
   free_deliveries_.push_back(slot);
   to->receive(from, scratch_);
 }

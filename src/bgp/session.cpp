@@ -48,6 +48,14 @@ const Session::PrefixState* Session::find_state(const Prefix& prefix) const {
   return it != states_.end() && it->key == key ? &*it : nullptr;
 }
 
+Session::PrefixState* Session::find_state(const Prefix& prefix) {
+  const std::uint64_t key = pack(prefix);
+  const auto it = std::lower_bound(
+      states_.begin(), states_.end(), key,
+      [](const PrefixState& s, std::uint64_t k) { return s.key < k; });
+  return it != states_.end() && it->key == key ? &*it : nullptr;
+}
+
 void Session::flush_event(sim::EventQueue& queue, void* ctx, std::uint64_t a,
                           std::uint64_t) {
   static_cast<Session*>(ctx)->flush(unpack_prefix(a), queue);
@@ -106,10 +114,9 @@ void Session::send_or_skip(PrefixState& state, const Update& update,
 }
 
 void Session::flush(const Prefix& prefix, sim::EventQueue& queue) {
-  const PrefixState* found = find_state(prefix);
+  PrefixState* found = find_state(prefix);
   if (found == nullptr) return;
-  // Re-derive mutable access: nothing between find and here can reallocate.
-  PrefixState& state = const_cast<PrefixState&>(*found);
+  PrefixState& state = *found;
   state.flush_scheduled = false;
   if (!state.pending.has_value()) return;
   const Update update = *state.pending;

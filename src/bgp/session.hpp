@@ -73,6 +73,7 @@ class Session {
   sim::Duration draw_mrai();
   PrefixState& state_for(const Prefix& prefix);
   const PrefixState* find_state(const Prefix& prefix) const;
+  PrefixState* find_state(const Prefix& prefix);
   void send_or_skip(PrefixState& state, const Update& update,
                     sim::EventQueue& queue);
   void flush(const Prefix& prefix, sim::EventQueue& queue);

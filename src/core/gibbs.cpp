@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "stats/rng.hpp"
+#include "util/contracts.hpp"
 
 namespace because::core {
 
@@ -62,6 +63,10 @@ Chain run_gibbs(const Likelihood& likelihood, const Prior& prior,
         weights[g] = std::exp(log_cond[g] - max_log);
         total += weights[g];
       }
+      BECAUSE_ASSERT(total > 0.0 && std::isfinite(total),
+                     "Gibbs conditional degenerated: weight total=" << total
+                                                                    << " at coord "
+                                                                    << i);
       double u = rng.uniform() * total;
       std::size_t pick = grid - 1;
       for (std::size_t g = 0; g < grid; ++g) {
@@ -77,6 +82,8 @@ Chain run_gibbs(const Likelihood& likelihood, const Prior& prior,
       double new_p = grid_p[pick] + (rng.uniform() - 0.5) * cell;
       new_p = std::min(1.0, std::max(0.0, new_p));
 
+      BECAUSE_ASSERT(new_p >= 0.0 && new_p <= 1.0,
+                     "Gibbs coordinate left [0,1]: " << new_p);
       const double ratio = clamp_q(new_p) / old_q;
       p[i] = new_p;
       for (std::size_t obs_idx : data.observations_with(i))

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "stats/rng.hpp"
+#include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
 
 namespace because::core {
@@ -80,6 +81,8 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
   std::vector<double> theta_prop(dim), momentum(dim), grad_prop(dim);
 
   double current_logp = log_target(likelihood, prior, theta, p_buf);
+  BECAUSE_ASSERT(!std::isnan(current_logp),
+                 "initial log target is NaN; prior/likelihood disagree on support");
 
   Chain chain(dim);
   std::uint64_t proposals = 0;
@@ -124,6 +127,9 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
 
     if (iter >= config.burn_in) {
       to_p(theta, p_buf);
+      BECAUSE_DCHECK(std::all_of(p_buf.begin(), p_buf.end(),
+                                 [](double p) { return p >= 0.0 && p <= 1.0; }),
+                     "sigmoid produced a probability outside [0,1]");
       chain.push(p_buf);
     }
   }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/contracts.hpp"
+
 namespace because::core {
 
 namespace detail {
@@ -71,6 +73,10 @@ Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
                  likelihood.observation_log_lik(old_prod, shows);
       }
 
+      BECAUSE_ASSERT(new_p >= 0.0 && new_p <= 1.0,
+                     "reflected proposal left [0,1]: " << new_p);
+      BECAUSE_ASSERT(!std::isnan(delta),
+                     "log-acceptance delta is NaN at coord " << i);
       ++proposals;
       if (delta >= 0.0 || rng.uniform() < std::exp(delta)) {
         ++accepts;

@@ -84,7 +84,8 @@ std::string render_study_report(const CampaignResult& campaign,
     const double denom = static_cast<double>(inference.dataset.as_count());
     for (std::size_t c = 0; c < counts.size(); ++c) {
       totals.push_back(std::to_string(counts[c]));
-      shares.push_back(util::fmt_percent(counts[c] / denom));
+      shares.push_back(
+          util::fmt_percent(static_cast<double>(counts[c]) / denom));
     }
     table.add_row(totals);
     table.add_row(shares);

@@ -80,9 +80,15 @@ void PathDataset::add_path(const topology::AsPath& path, bool shows_property,
   const std::size_t obs_index = path_count();
   for (std::size_t k = start; k < obs_nodes_.size(); ++k) {
     const std::uint32_t node = obs_nodes_[k];
+    BECAUSE_ASSERT(node < as_ids_.size(),
+                   "interned node " << node << " outside the dense index ("
+                                    << as_ids_.size() << " ASes)");
     if (shows_property) ++property_count_[node];
     else ++clean_count_[node];
   }
+  BECAUSE_ASSERT(obs_nodes_.size() >= obs_offsets_.back(),
+                 "CSR offsets regressed: " << obs_nodes_.size() << " nodes < "
+                                           << obs_offsets_.back());
   obs_offsets_.push_back(static_cast<std::uint32_t>(obs_nodes_.size()));
   if (label_bits_.size() * 64 <= obs_index) label_bits_.push_back(0);
   if (shows_property) label_bits_[obs_index >> 6] |= std::uint64_t{1} << (obs_index & 63);
@@ -105,12 +111,19 @@ void PathDataset::ensure_transposed() const {
   for (std::uint32_t node : obs_nodes_) ++node_offsets_[node + 1];
   for (std::size_t i = 0; i < nodes; ++i) node_offsets_[i + 1] += node_offsets_[i];
 
+  BECAUSE_ASSERT(node_offsets_.back() == obs_nodes_.size(),
+                 "transposed CSR covers " << node_offsets_.back()
+                                          << " incidences, forward CSR has "
+                                          << obs_nodes_.size());
   node_obs_.resize(obs_nodes_.size());
   std::vector<std::uint32_t> cursor(node_offsets_.begin(), node_offsets_.end() - 1);
   const std::size_t paths = path_count();
   for (std::size_t j = 0; j < paths; ++j)
-    for (std::uint32_t node : path_nodes(j))
+    for (std::uint32_t node : path_nodes(j)) {
+      BECAUSE_DCHECK(cursor[node] < node_offsets_[node + 1],
+                     "transposed row " << node << " overflows its slice");
       node_obs_[cursor[node]++] = static_cast<std::uint32_t>(j);
+    }
 
   transposed_valid_.store(true, std::memory_order_release);
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "topology/paths.hpp"
+#include "util/contracts.hpp"
 
 namespace because::labeling {
 
@@ -50,12 +51,18 @@ class PathDataset {
 
   /// Dense AS indices on observation `obs` (a slice of the flat CSR array).
   std::span<const std::uint32_t> path_nodes(std::size_t obs) const {
+    BECAUSE_ASSERT(obs + 1 < obs_offsets_.size(),
+                   "CSR row " << obs << " out of range (" << path_count()
+                              << " observations)");
     return {obs_nodes_.data() + obs_offsets_[obs],
             obs_nodes_.data() + obs_offsets_[obs + 1]};
   }
 
   /// True when observation `obs` shows property A (e.g. the RFD signature).
   bool shows_property(std::size_t obs) const {
+    BECAUSE_ASSERT((obs >> 6) < label_bits_.size(),
+                   "label bitmap word " << (obs >> 6) << " out of range for "
+                                        << path_count() << " observations");
     return ((label_bits_[obs >> 6] >> (obs & 63)) & 1u) != 0;
   }
 

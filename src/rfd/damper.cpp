@@ -1,5 +1,7 @@
 #include "rfd/damper.hpp"
 
+#include "util/contracts.hpp"
+
 namespace because::rfd {
 
 Damper::Damper(Params params) : params_(params) { params_.validate(); }
@@ -10,6 +12,9 @@ Outcome Damper::on_update(const bgp::Prefix& prefix, UpdateKind kind,
   const bool was_suppressed = state.suppressed();
   const double penalty = state.apply(params_, kind, now);
 
+  BECAUSE_ASSERT(penalty >= 0.0 && penalty <= params_.ceiling(),
+                 "penalty " << penalty << " outside [0, ceiling="
+                            << params_.ceiling() << "]");
   Outcome out;
   out.penalty = penalty;
   if (!was_suppressed && penalty > params_.suppress_threshold) {

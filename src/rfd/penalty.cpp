@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.hpp"
+
 namespace because::rfd {
 
 namespace {
@@ -18,15 +20,28 @@ double penalty_for(const Params& params, UpdateKind kind) {
 }  // namespace
 
 double PenaltyState::value_at(const Params& params, sim::Time now) const {
+  BECAUSE_ASSERT(params.half_life > 0, "half_life=" << params.half_life);
   if (now <= updated_at_) return value_;
   const double halves = static_cast<double>(now - updated_at_) /
                         static_cast<double>(params.half_life);
-  return value_ * std::exp2(-halves);
+  const double decayed = value_ * std::exp2(-halves);
+  BECAUSE_ASSERT(decayed >= 0.0 && decayed <= value_,
+                 "decay increased the penalty: " << value_ << " -> "
+                                                 << decayed);
+  return decayed;
 }
 
 double PenaltyState::apply(const Params& params, UpdateKind kind, sim::Time now) {
+  // RFC 2439 ordering: the suppress threshold must exceed reuse and the
+  // max-suppress ceiling must be reachable above it, or damping oscillates.
+  // Params::validate() enforces this for user input; the contract catches
+  // presets that bypassed it.
+  BECAUSE_ASSERT(params.suppress_threshold > params.reuse_threshold,
+                 "suppress=" << params.suppress_threshold
+                             << " <= reuse=" << params.reuse_threshold);
   double v = value_at(params, now) + penalty_for(params, kind);
   v = std::min(v, params.ceiling());
+  BECAUSE_ASSERT(v >= 0.0, "penalty went negative: " << v);
   value_ = v;
   updated_at_ = now;
   ++generation_;
@@ -39,7 +54,10 @@ sim::Duration PenaltyState::time_until_reuse(const Params& params,
   if (v <= params.reuse_threshold) return 0;
   const double halves = std::log2(v / params.reuse_threshold);
   const double ms = halves * static_cast<double>(params.half_life);
-  return static_cast<sim::Duration>(std::ceil(ms));
+  const auto wait = static_cast<sim::Duration>(std::ceil(ms));
+  BECAUSE_ASSERT(wait >= 0 && wait <= params.max_suppress_time + params.half_life,
+                 "reuse wait " << wait << "ms exceeds max-suppress bound");
+  return wait;
 }
 
 }  // namespace because::rfd

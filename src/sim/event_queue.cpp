@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/contracts.hpp"
 #include "util/log.hpp"
 
 namespace because::sim {
@@ -87,6 +88,8 @@ std::uint32_t EventQueue::intern_closure(Action action) {
   if (!free_closures_.empty()) {
     const std::uint32_t slot = free_closures_.back();
     free_closures_.pop_back();
+    BECAUSE_ASSERT(closures_[slot] == nullptr,
+                   "free-listed closure slot " << slot << " still occupied");
     closures_[slot] = std::move(action);
     return slot;
   }
@@ -97,6 +100,10 @@ std::uint32_t EventQueue::intern_closure(Action action) {
 void EventQueue::run_closure_slot(EventQueue& queue, void*, std::uint64_t a,
                                   std::uint64_t) {
   const auto slot = static_cast<std::uint32_t>(a);
+  BECAUSE_ASSERT(slot < queue.closures_.size() &&
+                     queue.closures_[slot] != nullptr,
+                 "closure slot " << slot << " out of range or already freed ("
+                                 << queue.closures_.size() << " slots)");
   // Move the action out and free the slot first so re-entrant scheduling may
   // reuse (or grow) the slab safely.
   Action action = std::move(queue.closures_[slot]);
@@ -105,7 +112,22 @@ void EventQueue::run_closure_slot(EventQueue& queue, void*, std::uint64_t a,
   action();
 }
 
+void EventQueue::note_pop(Time when, std::uint64_t seq) {
+  BECAUSE_ASSERT(when >= now_, "popped event at t=" << when
+                                   << " precedes the clock now=" << now_
+                                   << " (seq " << seq << ")");
+  BECAUSE_ASSERT(!popped_any_ || when > last_pop_when_ ||
+                     (when == last_pop_when_ && seq > last_pop_seq_),
+                 "pop order regressed: (" << when << ", " << seq
+                                          << ") after (" << last_pop_when_
+                                          << ", " << last_pop_seq_ << ")");
+  last_pop_when_ = when;
+  last_pop_seq_ = seq;
+  popped_any_ = true;
+}
+
 void EventQueue::dispatch(const Event& event) {
+  note_pop(event.when, event.seq);
   now_ = event.when;
   event.fn(*this, event.ctx, event.a, event.b);
   ++executed_;
@@ -116,9 +138,7 @@ std::uint64_t EventQueue::run() {
   std::uint64_t count = 0;
   if (backend_ == EngineBackend::kFunctionHeap) {
     while (!heap_.empty()) {
-      HeapEntry entry = std::move(const_cast<HeapEntry&>(heap_.top()));
-      heap_.pop();
-      --size_;
+      HeapEntry entry = heap_pop();
       now_ = entry.when;
       entry.action();
       ++count;
@@ -138,10 +158,8 @@ std::uint64_t EventQueue::run() {
 std::uint64_t EventQueue::run_until(Time deadline) {
   std::uint64_t count = 0;
   if (backend_ == EngineBackend::kFunctionHeap) {
-    while (!heap_.empty() && heap_.top().when <= deadline) {
-      HeapEntry entry = std::move(const_cast<HeapEntry&>(heap_.top()));
-      heap_.pop();
-      --size_;
+    while (!heap_.empty() && heap_.front().when <= deadline) {
+      HeapEntry entry = heap_pop();
       now_ = entry.when;
       entry.action();
       ++count;
@@ -173,8 +191,18 @@ std::uint64_t EventQueue::run_until(Time deadline) {
 }
 
 void EventQueue::heap_push(Time when, EventKind kind, Action action) {
-  heap_.push(HeapEntry{when, next_seq_++, kind, std::move(action)});
+  heap_.push_back(HeapEntry{when, next_seq_++, kind, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++size_;
+}
+
+EventQueue::HeapEntry EventQueue::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  HeapEntry entry = std::move(heap_.back());
+  heap_.pop_back();
+  --size_;
+  note_pop(entry.when, entry.seq);
+  return entry;
 }
 
 // ---------------------------------------------------------------------------
@@ -206,6 +234,16 @@ void EventQueue::cal_insert(const Event& event) {
 
 bool EventQueue::cal_pop(Event& out) {
   if (size_ == 0) return false;
+  // Window invariant: cursor_top_ sits on a width_ boundary and cursor_ is
+  // the bucket of the window ending at cursor_top_. Every cursor move below
+  // (and in cal_resize / run_until) preserves this.
+  BECAUSE_DCHECK(
+      width_ > 0 && cursor_top_ % width_ == 0 &&
+          cursor_ == (static_cast<std::size_t>(cursor_top_ / width_ - 1) &
+                      mask_),
+      "calendar cursor/window desync: cursor=" << cursor_ << " cursor_top="
+                                               << cursor_top_ << " width="
+                                               << width_);
   const std::uint64_t work_before = cal_scan_steps_ + cal_window_skips_;
   const std::size_t nbuckets = heads_.size();
   for (std::size_t step = 0; step < nbuckets; ++step) {
@@ -256,6 +294,8 @@ bool EventQueue::cal_pop(Event& out) {
       prev = i;
     }
   }
+  BECAUSE_ASSERT(best != kNil, "calendar lost events: size=" << size_
+                                   << " but a full sweep found none");
   out = nodes_[best].event;
   if (best_prev == kNil) heads_[best_bucket] = nodes_[best].next;
   else nodes_[best_prev].next = nodes_[best].next;
@@ -279,6 +319,9 @@ void EventQueue::cal_resize(std::size_t nbuckets, Duration width) {
   for (const std::uint32_t head : heads_)
     for (std::uint32_t i = head; i != kNil; i = nodes_[i].next)
       live.push_back(i);
+  BECAUSE_ASSERT(live.size() == size_,
+                 "calendar chains hold " << live.size() << " events but size="
+                                         << size_);
   width_ = width;
   heads_.assign(nbuckets, kNil);
   mask_ = nbuckets - 1;

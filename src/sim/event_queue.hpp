@@ -26,12 +26,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace because::sim {
+
+struct EventQueueTestPeer;
 
 /// Discriminator of the typed-event union. The simulator layers tag their
 /// events so engine statistics (and the bench) can break down the workload;
@@ -153,7 +154,9 @@ class EventQueue {
   // Entries hold the closure inline, exactly like the original engine: typed
   // events are wrapped into std::function at schedule time, so this backend
   // reproduces the pre-calendar allocation and heap-sift cost profile and is
-  // a faithful "before" measurement for bench_sim.
+  // a faithful "before" measurement for bench_sim. Stored as an explicit
+  // std::push_heap/pop_heap vector (not std::priority_queue) so entries can
+  // be moved out of the heap without const_cast.
   struct HeapEntry {
     Time when;
     std::uint64_t seq;
@@ -167,6 +170,11 @@ class EventQueue {
     }
   };
   void heap_push(Time when, EventKind kind, Action action);
+  HeapEntry heap_pop();
+
+  /// Pop-ordering contract shared by both backends: every executed event's
+  /// (when, seq) must be >= the previous one's and >= now().
+  void note_pop(Time when, std::uint64_t seq);
 
   EngineBackend backend_;
   Time now_ = 0;
@@ -201,8 +209,17 @@ class EventQueue {
   std::uint64_t work_since_width_ = 0;
   Time width_epoch_ = 0;
 
-  // Heap state.
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  // Heap state (explicit heap over a vector; see HeapEntry above).
+  std::vector<HeapEntry> heap_;
+
+  // Last dispatched (when, seq), backing the pop-monotonicity contract.
+  Time last_pop_when_ = 0;
+  std::uint64_t last_pop_seq_ = 0;
+  bool popped_any_ = false;
+
+  /// Test-only backdoor used by contracts_test to inject raw events that
+  /// bypass the past-schedule clamp, proving the ordering contracts fire.
+  friend struct EventQueueTestPeer;
 };
 
 }  // namespace because::sim

@@ -1,7 +1,10 @@
 #include "stats/beta.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace because::stats {
 
@@ -75,12 +78,20 @@ double beta_cdf(double x, double a, double b) {
   const double log_front = a * std::log(x) + b * std::log(1.0 - x) -
                            std::log(a) - log_beta(a, b);
   // Use the symmetry relation to keep the continued fraction convergent.
+  double cdf;
   if (x < (a + 1.0) / (a + b + 2.0)) {
-    return std::exp(log_front) * beta_continued_fraction(x, a, b);
+    cdf = std::exp(log_front) * beta_continued_fraction(x, a, b);
+  } else {
+    const double log_front_sym = b * std::log(1.0 - x) + a * std::log(x) -
+                                 std::log(b) - log_beta(b, a);
+    cdf = 1.0 - std::exp(log_front_sym) * beta_continued_fraction(1.0 - x, b, a);
   }
-  const double log_front_sym = b * std::log(1.0 - x) + a * std::log(x) -
-                               std::log(b) - log_beta(b, a);
-  return 1.0 - std::exp(log_front_sym) * beta_continued_fraction(1.0 - x, b, a);
+  // The continued fraction can wobble a hair outside [0,1] in the last ulp;
+  // anything further means the expansion diverged.
+  BECAUSE_ASSERT(cdf >= -1e-9 && cdf <= 1.0 + 1e-9,
+                 "beta_cdf(" << x << ", " << a << ", " << b
+                             << ") diverged to " << cdf);
+  return std::clamp(cdf, 0.0, 1.0);
 }
 
 double beta_quantile(double q, double a, double b) {

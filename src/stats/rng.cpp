@@ -1,6 +1,9 @@
 #include "stats/rng.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace because::stats {
 
@@ -9,6 +12,8 @@ double Rng::uniform() {
 }
 
 double Rng::uniform(double lo, double hi) {
+  BECAUSE_ASSERT(lo <= hi, "uniform range inverted: [" << lo << ", " << hi
+                                                       << ")");
   return std::uniform_real_distribution<double>(lo, hi)(engine_);
 }
 
@@ -23,6 +28,9 @@ double Rng::normal(double mean, double stddev) {
 }
 
 bool Rng::bernoulli(double p) {
+  // NaN compares false against both bounds and would reach the distribution,
+  // whose behaviour is then undefined.
+  BECAUSE_CHECK(!std::isnan(p), "bernoulli probability is NaN");
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return std::bernoulli_distribution(p)(engine_);

@@ -1,0 +1,56 @@
+#include "util/contracts.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace because::util {
+
+namespace {
+
+// The mode is read on every failure and written only from test setup or
+// main(); relaxed atomics keep tsan quiet without ordering cost.
+std::atomic<ContractMode> g_mode{ContractMode::kAbort};
+std::atomic<std::uint64_t> g_violations{0};
+
+}  // namespace
+
+void set_contract_mode(ContractMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+ContractMode contract_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+std::uint64_t contract_violation_count() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_contract_violation_count() {
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void contract_failed(const char* macro, const char* expr, const char* file,
+                     int line, const std::string& message) {
+  ContractMessage what;
+  what << macro << " failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) what << " — " << message;
+  const std::string text = what.str();
+  switch (contract_mode()) {
+    case ContractMode::kThrow:
+      throw ContractViolation(text);
+    case ContractMode::kLogAndCount:
+      g_violations.fetch_add(1, std::memory_order_relaxed);
+      log_error() << text;
+      return;
+    case ContractMode::kAbort:
+      break;
+  }
+  log_error() << text;
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace because::util

@@ -1,0 +1,139 @@
+// Runtime contracts: machine-checked invariants for the hot paths.
+//
+// The simulator and samplers lean on invariants that used to live in comments
+// — (time, seq) pop monotonicity, CSR offset/index consistency, RFC 2439
+// penalty bounds, probabilities in [0, 1]. These macros make them executable:
+//
+//   BECAUSE_CHECK(cond, msg...)   always on, Release included. For cheap
+//                                 checks on construction/API boundaries whose
+//                                 failure must never ship silently.
+//   BECAUSE_ASSERT(cond, msg...)  on in Debug / RelWithDebInfo / asan / tsan
+//                                 builds (BECAUSE_ENABLE_CONTRACTS defined by
+//                                 CMake outside Release), compiled to nothing
+//                                 in Release so the bench numbers don't move.
+//                                 For per-event / per-proposal invariants.
+//   BECAUSE_DCHECK(cond, msg...)  same gate as BECAUSE_ASSERT but reserved
+//                                 for expensive checks (O(row) CSR scans,
+//                                 full-structure walks); may later get its
+//                                 own switch without touching call sites.
+//
+// Message arguments are streamed (`BECAUSE_CHECK(a < b, "a=" << a)`), built
+// only on failure, so the success path costs one branch.
+//
+// What happens on failure is process-global and configurable:
+//   ContractMode::kAbort       log the violation and std::abort() (default —
+//                              a broken invariant means corrupted state).
+//   ContractMode::kThrow       throw ContractViolation (tests exercise the
+//                              failure paths this way).
+//   ContractMode::kLogAndCount log, bump contract_violation_count(), carry
+//                              on (triage mode for long campaigns).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace because::util {
+
+/// Thrown by failing contract macros in ContractMode::kThrow.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+enum class ContractMode : std::uint8_t { kAbort, kThrow, kLogAndCount };
+
+/// Process-global failure mode. Not synchronised: set it before spawning
+/// worker pools (tests set kThrow up front).
+void set_contract_mode(ContractMode mode);
+ContractMode contract_mode();
+
+/// Violations observed in kLogAndCount mode since the last reset.
+std::uint64_t contract_violation_count();
+void reset_contract_violation_count();
+
+/// RAII guard for tests: swaps the mode in, restores the old one on exit.
+class ScopedContractMode {
+ public:
+  explicit ScopedContractMode(ContractMode mode)
+      : previous_(contract_mode()) {
+    set_contract_mode(mode);
+  }
+  ~ScopedContractMode() { set_contract_mode(previous_); }
+  ScopedContractMode(const ScopedContractMode&) = delete;
+  ScopedContractMode& operator=(const ScopedContractMode&) = delete;
+
+ private:
+  ContractMode previous_;
+};
+
+namespace detail {
+
+/// Dispatches a failed contract according to contract_mode(). Returns only
+/// in kLogAndCount mode.
+void contract_failed(const char* macro, const char* expr, const char* file,
+                     int line, const std::string& message);
+
+/// Builds the streamed message tail; instantiated only on the failure path.
+class ContractMessage {
+ public:
+  template <typename T>
+  ContractMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace because::util
+
+#if defined(BECAUSE_ENABLE_CONTRACTS)
+#define BECAUSE_CONTRACTS_ENABLED 1
+#else
+#define BECAUSE_CONTRACTS_ENABLED 0
+#endif
+
+/// Always-on check; `...` is streamed into the failure message.
+#define BECAUSE_CHECK(cond, ...)                                            \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::because::util::detail::contract_failed(                             \
+          "BECAUSE_CHECK", #cond, __FILE__, __LINE__,                       \
+          (::because::util::detail::ContractMessage{} __VA_OPT__(<< __VA_ARGS__)).str()); \
+    }                                                                       \
+  } while (false)
+
+#if BECAUSE_CONTRACTS_ENABLED
+
+#define BECAUSE_ASSERT(cond, ...)                                           \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::because::util::detail::contract_failed(                             \
+          "BECAUSE_ASSERT", #cond, __FILE__, __LINE__,                      \
+          (::because::util::detail::ContractMessage{} __VA_OPT__(<< __VA_ARGS__)).str()); \
+    }                                                                       \
+  } while (false)
+
+#define BECAUSE_DCHECK(cond, ...)                                           \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::because::util::detail::contract_failed(                             \
+          "BECAUSE_DCHECK", #cond, __FILE__, __LINE__,                      \
+          (::because::util::detail::ContractMessage{} __VA_OPT__(<< __VA_ARGS__)).str()); \
+    }                                                                       \
+  } while (false)
+
+#else  // Release: the condition and message are never evaluated. The sizeof
+       // keeps `cond` syntactically checked (and its operands "used" for
+       // -Wunused purposes) without generating any code.
+
+#define BECAUSE_ASSERT(cond, ...) ((void)sizeof(!(cond)))
+#define BECAUSE_DCHECK(cond, ...) ((void)sizeof(!(cond)))
+
+#endif  // BECAUSE_CONTRACTS_ENABLED

@@ -22,6 +22,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/contracts.hpp"
+
 namespace because::util {
 
 class ThreadPool {
@@ -38,6 +40,7 @@ class ThreadPool {
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
       workers_.emplace_back([this] { worker_loop(); });
+    BECAUSE_CHECK(!workers_.empty(), "pool started with no workers");
   }
 
   ~ThreadPool() {
@@ -47,6 +50,10 @@ class ThreadPool {
     }
     cv_.notify_all();
     for (std::thread& worker : workers_) worker.join();
+    // Workers drain the queue before exiting; a job left behind means the
+    // lifecycle protocol broke and a future would never become ready.
+    BECAUSE_CHECK(queue_.empty(), queue_.size()
+                                      << " jobs abandoned at pool shutdown");
   }
 
   ThreadPool(const ThreadPool&) = delete;

@@ -53,8 +53,9 @@ TEST(Schedule, BurstsAlternateStartWithdrawalEndAnnouncement) {
       const auto expected = (i % 2 == 0) ? bgp::UpdateType::kWithdrawal
                                          : bgp::UpdateType::kAnnouncement;
       EXPECT_EQ(in_burst[i].type, expected);
-      if (i > 0)
+      if (i > 0) {
         EXPECT_EQ(in_burst[i].when - in_burst[i - 1].when, s.update_interval);
+      }
     }
   }
 }
@@ -78,7 +79,9 @@ TEST(Schedule, WindowsAreContiguous) {
   for (std::size_t i = 0; i < bursts.size(); ++i) {
     EXPECT_EQ(bursts[i].end - bursts[i].begin, s.burst_length);
     EXPECT_EQ(breaks[i].begin, bursts[i].end);
-    if (i + 1 < bursts.size()) EXPECT_EQ(bursts[i + 1].begin, breaks[i].end);
+    if (i + 1 < bursts.size()) {
+      EXPECT_EQ(bursts[i + 1].begin, breaks[i].end);
+    }
   }
   EXPECT_EQ(s.end(), breaks.back().end);
 }

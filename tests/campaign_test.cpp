@@ -67,8 +67,9 @@ TEST(Campaign, InvalidAggregatorsWereDiscarded) {
   // ~1% of announcements lose the timestamp and must have been dropped.
   EXPECT_GT(c.store.discarded_invalid_aggregator(), 0u);
   for (const collector::RecordedUpdate& r : c.store.all()) {
-    if (r.update.is_announcement())
+    if (r.update.is_announcement()) {
       EXPECT_NE(r.update.beacon_timestamp, bgp::kNoBeaconTimestamp);
+    }
   }
 }
 

@@ -42,7 +42,8 @@ class ConjugacySweep : public ::testing::TestWithParam<Case> {
       std::size_t below = 0;
       for (double s : samples)
         if (s <= x) ++below;
-      EXPECT_NEAR(static_cast<double>(below) / samples.size(), q, 0.06)
+      EXPECT_NEAR(static_cast<double>(below) / static_cast<double>(samples.size()),
+                  q, 0.06)
           << name << " CDF at q=" << q;
     }
   }

@@ -1,0 +1,25 @@
+// lint-as: src/sim/fixture_clean.cpp
+// Fixture: a file in the strictest directory with zero violations — every
+// banned token appears only inside comments, strings, or raw strings, which
+// the stripper must blank out before matching.
+#include <string>
+
+namespace because::sim {
+
+// Comments mentioning time(nullptr), rand(), new Thing, delete ptr,
+// const_cast<int&>(x), assert(false) and q.schedule_at(0, f) are fine.
+
+/* Block comment spanning lines:
+   std::chrono::system_clock::now();
+   assert(always_ignored);
+*/
+
+inline std::string docs() {
+  std::string s = "time(nullptr) rand() new delete assert(x)";
+  s += R"(raw string with const_cast<int&>(y) and .schedule_in(3, f))";
+  return s;
+}
+
+inline const char kEscaped[] = "quote \" then assert( inside string";
+
+}  // namespace because::sim

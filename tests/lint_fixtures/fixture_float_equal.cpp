@@ -1,0 +1,31 @@
+// lint-as: src/stats/fixture_float_equal.cpp
+// Fixture: floating-point literal equality in stats code.
+#include <cmath>
+
+namespace because::stats {
+
+bool bad_exact_probability(double p) {
+  return p == 1.0;  // expected: float-equal
+}
+
+bool bad_exact_zero(double x) {
+  return 0.0 == x;  // expected: float-equal
+}
+
+bool bad_not_equal(double x) {
+  return x != 0.5;  // expected: float-equal
+}
+
+bool good_tolerance(double x) {
+  return std::abs(x - 0.5) < 1e-12;  // fine: tolerance comparison
+}
+
+bool good_integer_compare(int n) {
+  return n == 0;  // fine: integral equality is exact
+}
+
+bool good_ordering(double x) {
+  return x <= 0.0 || x >= 1.0;  // fine: ordering, not equality
+}
+
+}  // namespace because::stats

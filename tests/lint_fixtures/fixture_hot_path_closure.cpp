@@ -1,0 +1,26 @@
+// lint-as: src/bgp/fixture_hot_path_closure.cpp
+// Fixture: closure scheduling on the hot path vs the typed-event API.
+
+namespace because::bgp {
+
+struct FakeQueue {
+  template <typename F>
+  void schedule_at(long when, F&& f);
+  template <typename F>
+  void schedule_in(long delay, F&& f);
+  void schedule_event_at(long when, int kind, void (*fn)(), void* ctx);
+  void schedule_event_in(long delay, int kind, void (*fn)(), void* ctx);
+};
+
+void hot_path(FakeQueue& queue) {
+  queue.schedule_at(100, [] {});  // expected: hot-path-closure
+  queue.schedule_in(5, [] {});    // expected: hot-path-closure
+}
+
+void typed_path(FakeQueue& queue) {
+  // The typed API is the sanctioned form; must not be flagged.
+  queue.schedule_event_at(100, 1, nullptr, nullptr);
+  queue.schedule_event_in(5, 1, nullptr, nullptr);
+}
+
+}  // namespace because::bgp

@@ -1,0 +1,37 @@
+// lint-as: src/experiment/fixture_naked_new.cpp
+// Fixture: naked new/delete vs sanctioned ownership forms.
+#include <memory>
+#include <vector>
+
+namespace because::experiment {
+
+struct Payload {
+  int x = 0;
+};
+
+Payload* bad_alloc_site() {
+  return new Payload();  // expected: naked-new
+}
+
+void bad_free_site(Payload* p) {
+  delete p;  // expected: naked-new
+}
+
+void bad_array_site(int* xs) {
+  delete[] xs;  // expected: naked-new
+}
+
+std::unique_ptr<Payload> good_alloc_site() {
+  return std::make_unique<Payload>();  // fine: ownership is explicit
+}
+
+// Deleted special members are not deallocations; must not be flagged.
+struct Pinned {
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+
+// Identifiers containing the keywords are fine: renew, news, deleted_count.
+int renew(int news) { return news; }
+
+}  // namespace because::experiment

@@ -1,0 +1,26 @@
+// lint-as: src/core/fixture_raw_assert_and_casts.cpp
+// Fixture: raw assert() and banned casts vs contract macros.
+#include <cassert>
+#include <cstdint>
+
+namespace because::core {
+
+void bad_raw_assert(int x) {
+  assert(x > 0);  // expected: raw-assert
+}
+
+std::uint64_t bad_reinterpret(double d) {
+  return *reinterpret_cast<std::uint64_t*>(&d);  // expected: banned-cast
+}
+
+int bad_const_cast(const int& x) {
+  return ++const_cast<int&>(x);  // expected: banned-cast
+}
+
+// static_assert shares a suffix with assert( but is compile-time and fine.
+static_assert(sizeof(std::uint64_t) == 8, "layout");
+
+// static_cast is the sanctioned cast; must not be flagged.
+int good_cast(double d) { return static_cast<int>(d); }
+
+}  // namespace because::core

@@ -1,0 +1,33 @@
+// lint-as: src/sim/fixture_wallclock.cpp
+// Fixture: every flavour of wall-clock / libc randomness the wallclock rule
+// must catch inside the deterministic simulator directories.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace because::sim {
+
+long bad_now_chrono() {
+  auto t = std::chrono::system_clock::now();  // expected: wallclock
+  return t.time_since_epoch().count();
+}
+
+long bad_now_libc() {
+  return time(nullptr);  // expected: wallclock
+}
+
+int bad_random() {
+  srand(42);     // expected: wallclock
+  return rand();  // expected: wallclock
+}
+
+// Negative cases the stripper must not flag: the words live in comments and
+// strings. rand( and time( appear here: rand("x"), time("y").
+const char* kDoc = "call time(nullptr) or rand() for chaos";
+// std::chrono::system_clock in a comment only.
+
+// Identifiers containing the banned names are fine:
+long max_suppress_time(long ms) { return ms; }  // suffix `time` not `time(`
+int grand(int x) { return x; }                  // `grand(` is not `rand(`
+
+}  // namespace because::sim

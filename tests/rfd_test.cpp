@@ -156,7 +156,9 @@ TEST(Damper, SuppressesWhenThresholdCrossed) {
   for (int i = 0; i < 5 && !suppressed; ++i) {
     const Outcome out = damper.on_update(kPrefix, UpdateKind::kWithdrawal, t);
     suppressed = out.suppressed;
-    if (out.became_suppressed) EXPECT_TRUE(out.suppressed);
+    if (out.became_suppressed) {
+      EXPECT_TRUE(out.suppressed);
+    }
     t += sim::minutes(2);
   }
   EXPECT_TRUE(suppressed);

@@ -310,7 +310,8 @@ TEST(Hdpi, ContainsRequestedMass) {
   std::size_t inside = 0;
   for (double x : xs)
     if (iv.contains(x)) ++inside;
-  EXPECT_GE(static_cast<double>(inside) / xs.size(), 0.95 - 1e-9);
+  EXPECT_GE(static_cast<double>(inside) / static_cast<double>(xs.size()),
+            0.95 - 1e-9);
 }
 
 TEST(Hdpi, RejectsBadInput) {
@@ -465,7 +466,8 @@ TEST_P(HdpiMassSweep, CoverageAtLeastMass) {
   std::size_t inside = 0;
   for (double x : xs)
     if (iv.contains(x)) ++inside;
-  EXPECT_GE(static_cast<double>(inside) / xs.size(), mass - 1e-9);
+  EXPECT_GE(static_cast<double>(inside) / static_cast<double>(xs.size()),
+            mass - 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(Masses, HdpiMassSweep,

@@ -1,0 +1,366 @@
+#!/usr/bin/env python3
+"""because-lint: project-specific determinism and style rules for src/.
+
+The compiler cannot know that the simulator must never read the wall clock,
+that the typed-event hot path must not schedule std::function closures, or
+that raw assert() bypasses the project's contract layer. This linter can.
+It is regex-based with a lightweight comment/string stripper — no libclang,
+so it runs anywhere Python runs and is registered as a `static`-labeled
+ctest case.
+
+Rules (see RULES below):
+  wallclock         no wall-clock / libc randomness inside src/sim, src/bgp,
+                    src/stats, src/rfd: simulations must be a pure function
+                    of (topology, seed).
+  hot-path-closure  no std::function scheduling (schedule_at/schedule_in) in
+                    src/sim or src/bgp; the typed-event API
+                    (schedule_event_*) keeps the hot path allocation-free.
+  naked-new         no naked new/delete anywhere in src/; use containers,
+                    std::make_unique, or the slab allocators.
+  float-equal       no ==/!= against floating-point literals in src/stats or
+                    src/core; exact boundary checks must be allowlisted with
+                    a justification.
+  raw-assert        no raw assert() in src/; use BECAUSE_CHECK /
+                    BECAUSE_ASSERT / BECAUSE_DCHECK (util/contracts.hpp) so
+                    failures obey the configured contract mode.
+  banned-cast       no reinterpret_cast / const_cast in src/; both have
+                    historically hidden aliasing and mutation bugs here.
+
+Deliberate exceptions live in tools/lint_allowlist.txt, one per line:
+
+    rule-id | path/from/repo/root | substring of the offending line  # why
+
+A violation is suppressed when an entry's rule and path match and the
+stripped source line contains the substring (line numbers are not used, so
+entries survive unrelated edits). Unused allowlist entries are themselves an
+error — stale suppressions rot.
+
+Exit status: 0 = clean, 1 = violations (or stale allowlist entries),
+2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Rule table. `dirs` are repo-relative prefixes the rule applies to;
+# `exclude` are file suffixes exempt because they *implement* the rule's
+# subject (e.g. the event queue defines the closure API it deprecates).
+# ---------------------------------------------------------------------------
+
+RULES = [
+    {
+        "id": "wallclock",
+        "dirs": ("src/sim", "src/bgp", "src/stats", "src/rfd"),
+        "exclude": (),
+        "pattern": re.compile(
+            r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+            r"|\b(time|clock|gettimeofday|clock_gettime)\s*\("
+            r"|\b(rand|srand|srandom|random)\s*\("
+        ),
+        "message": "wall-clock/libc randomness in deterministic simulator code "
+                   "(use sim::Time and stats::Rng)",
+    },
+    {
+        "id": "hot-path-closure",
+        "dirs": ("src/sim", "src/bgp"),
+        "exclude": ("src/sim/event_queue.hpp", "src/sim/event_queue.cpp"),
+        # A call site: through a receiver (`q.schedule_at(` / `q->…`) or
+        # unqualified at statement start. Declarations (`void schedule_at(`)
+        # don't match.
+        "pattern": re.compile(
+            r"(\.|->)\s*schedule_(at|in)\s*\(|^\s*schedule_(at|in)\s*\("),
+        "message": "std::function scheduling on the typed-event hot path "
+                   "(use schedule_event_at/schedule_event_in)",
+    },
+    {
+        "id": "naked-new",
+        "dirs": ("src",),
+        "exclude": (),
+        "pattern": re.compile(
+            r"(?<!=)(?<!= )\bnew\s+[A-Za-z_(]"  # `= new` also matches: naked either way
+            r"|\bdelete\s*\[\]"
+            r"|\bdelete\s+[A-Za-z_*(]"
+        ),
+        "message": "naked new/delete (use containers, make_unique, or a slab)",
+    },
+    {
+        "id": "float-equal",
+        "dirs": ("src/stats", "src/core"),
+        "exclude": (),
+        "pattern": re.compile(
+            r"[=!]=\s*[0-9]+\.[0-9]*f?\b"
+            r"|\b[0-9]+\.[0-9]*f?\s*[=!]="
+        ),
+        "message": "floating-point ==/!= against a literal (compare with a "
+                   "tolerance, or allowlist a justified exact boundary check)",
+    },
+    {
+        "id": "raw-assert",
+        "dirs": ("src",),
+        "exclude": (),
+        "pattern": re.compile(r"\bassert\s*\("),
+        "message": "raw assert() bypasses the contract layer "
+                   "(use BECAUSE_CHECK/BECAUSE_ASSERT/BECAUSE_DCHECK)",
+    },
+    {
+        "id": "banned-cast",
+        "dirs": ("src",),
+        "exclude": (),
+        "pattern": re.compile(r"\b(reinterpret_cast|const_cast)\b"),
+        "message": "reinterpret_cast/const_cast (restructure, or allowlist "
+                   "with a justification)",
+    },
+]
+
+SOURCE_SUFFIXES = (".cpp", ".hpp", ".h", ".cc")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving layout.
+
+    Handles //, /* */, "..." with escapes, '...' with escapes, and raw
+    strings R"delim(...)delim". Replaced characters become spaces so line
+    and column numbers in diagnostics still point at the real source.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            for k in range(i, j):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+            if not m:
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            j = text.find(closer, i + m.end())
+            j = n if j == -1 else j + len(closer)
+            for k in range(i, j):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        elif c in ('"', "'"):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            for k in range(i + 1, j - 1):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        else:
+            i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, path: str, line_no: int, rule: dict, line_text: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.line_text = line_text
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line_no}: [{self.rule['id']}] "
+                f"{self.rule['message']}\n    {self.line_text.strip()}")
+
+
+def lint_text(rel_path: str, text: str) -> list[Violation]:
+    """Apply every applicable rule to one file's contents."""
+    rules = [
+        r for r in RULES
+        if any(rel_path == d or rel_path.startswith(d + "/") for d in r["dirs"])
+        and rel_path not in r["exclude"]
+    ]
+    if not rules:
+        return []
+    stripped = strip_comments_and_strings(text)
+    raw_lines = text.splitlines()
+    violations = []
+    for line_no, line in enumerate(stripped.splitlines(), start=1):
+        for rule in rules:
+            if rule["id"] == "naked-new" and re.search(r"=\s*delete\s*[;,]", line):
+                continue  # deleted special member functions, not deallocation
+            if rule["pattern"].search(line):
+                original = raw_lines[line_no - 1] if line_no <= len(raw_lines) else line
+                violations.append(Violation(rel_path, line_no, rule, original))
+    return violations
+
+
+def load_allowlist(path: Path) -> list[dict]:
+    entries = []
+    if not path.exists():
+        return entries
+    for raw_no, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = [p.strip() for p in line.split("|", 2)]  # substring may hold '|'
+        if len(parts) != 3:
+            print(f"{path}:{raw_no}: malformed allowlist entry (want "
+                  f"'rule | path | substring'): {raw}", file=sys.stderr)
+            sys.exit(2)
+        entries.append({"rule": parts[0], "path": parts[1],
+                        "substring": parts[2], "used": False,
+                        "where": f"{path}:{raw_no}"})
+    return entries
+
+
+def apply_allowlist(violations: list[Violation],
+                    entries: list[dict]) -> list[Violation]:
+    kept = []
+    for v in violations:
+        suppressed = False
+        for e in entries:
+            if (e["rule"] == v.rule["id"] and e["path"] == v.path
+                    and e["substring"] in v.line_text):
+                e["used"] = True
+                suppressed = True
+        if not suppressed:
+            kept.append(v)
+    return kept
+
+
+def iter_source_files(root: Path, paths: list[str]) -> list[Path]:
+    if paths:
+        candidates = []
+        for p in paths:
+            path = (root / p) if not Path(p).is_absolute() else Path(p)
+            if path.is_dir():
+                candidates.extend(sorted(path.rglob("*")))
+            else:
+                candidates.append(path)
+    else:
+        candidates = sorted((root / "src").rglob("*"))
+    return [p for p in candidates
+            if p.is_file() and p.suffix in SOURCE_SUFFIXES]
+
+
+def run_lint(root: Path, paths: list[str], allowlist_path: Path) -> int:
+    entries = load_allowlist(allowlist_path)
+    violations: list[Violation] = []
+    for path in iter_source_files(root, paths):
+        rel = path.relative_to(root).as_posix()
+        violations.extend(lint_text(rel, path.read_text()))
+    violations = apply_allowlist(violations, entries)
+
+    status = 0
+    for v in violations:
+        print(v)
+        status = 1
+    for e in entries:
+        if not e["used"]:
+            print(f"{e['where']}: stale allowlist entry (matched nothing): "
+                  f"{e['rule']} | {e['path']} | {e['substring']}")
+            status = 1
+    if status == 0:
+        print(f"because-lint: clean ({len(entries)} allowlisted exceptions)")
+    return status
+
+
+# ---------------------------------------------------------------------------
+# Self-test over tests/lint_fixtures/. Each fixture names the path it should
+# be linted as on its first line (`// lint-as: src/sim/whatever.cpp`); the
+# expected violations live in tests/lint_fixtures/expected.txt as
+# `fixture-file | rule | line`. Any mismatch — missed violation, spurious
+# violation, or a fixture that stopped parsing — fails the test, so the
+# linter cannot silently rot.
+# ---------------------------------------------------------------------------
+
+def run_self_test(root: Path) -> int:
+    fixtures_dir = root / "tests" / "lint_fixtures"
+    expected_file = fixtures_dir / "expected.txt"
+    if not expected_file.exists():
+        print(f"self-test: {expected_file} missing", file=sys.stderr)
+        return 2
+
+    expected = set()
+    for raw in expected_file.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fixture, rule, line_no = [p.strip() for p in line.split("|")]
+        expected.add((fixture, rule, int(line_no)))
+
+    actual = set()
+    fixture_count = 0
+    for path in sorted(fixtures_dir.glob("*.cpp")):
+        fixture_count += 1
+        text = path.read_text()
+        first = text.splitlines()[0] if text else ""
+        m = re.match(r"//\s*lint-as:\s*(\S+)", first)
+        if not m:
+            print(f"self-test: {path.name} lacks a '// lint-as:' header",
+                  file=sys.stderr)
+            return 2
+        for v in lint_text(m.group(1), text):
+            actual.add((path.name, v.rule["id"], v.line_no))
+
+    if fixture_count == 0:
+        print("self-test: no fixtures found", file=sys.stderr)
+        return 2
+
+    status = 0
+    for missing in sorted(expected - actual):
+        print(f"self-test: expected violation not reported: "
+              f"{missing[0]} | {missing[1]} | line {missing[2]}")
+        status = 1
+    for spurious in sorted(actual - expected):
+        print(f"self-test: unexpected violation reported: "
+              f"{spurious[0]} | {spurious[1]} | line {spurious[2]}")
+        status = 1
+    if status == 0:
+        print(f"because-lint self-test: {fixture_count} fixtures, "
+              f"{len(expected)} expected violations, all matched")
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: tools/lint_allowlist.txt "
+                             "under --root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the fixtures under tests/lint_fixtures and "
+                             "compare against expected.txt")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: src/)")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule['id']:18} dirs={','.join(rule['dirs'])}\n"
+                  f"    {rule['message']}")
+        return 0
+    if args.self_test:
+        return run_self_test(root)
+    allowlist = (Path(args.allowlist) if args.allowlist
+                 else root / "tools" / "lint_allowlist.txt")
+    return run_lint(root, args.paths, allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
