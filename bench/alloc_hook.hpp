@@ -1,0 +1,18 @@
+// Allocation counter for bench binaries (see alloc_hook.cpp).
+//
+// Link alloc_hook.cpp into a bench target and every operator-new in the
+// process bumps a relaxed atomic; diffing allocation_count() around a
+// measured region yields exact allocations-per-operation with no sampling
+// and ~1ns overhead per allocation. Benches that do not link the hook must
+// not include this header (the symbol would be undefined).
+#pragma once
+
+#include <cstdint>
+
+namespace because::bench {
+
+/// Total operator-new invocations (scalar, array, aligned, nothrow) in this
+/// process so far. Monotonic; diff around a region to count its allocations.
+std::uint64_t allocation_count();
+
+}  // namespace because::bench

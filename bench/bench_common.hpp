@@ -81,11 +81,15 @@ struct KernelBenchRecord {
   double ns_per_op = 0.0;        ///< wall-clock ns per iteration
   double items_per_second = 0.0; ///< 0 when the bench reports no items
   long long iterations = 0;
+  /// Heap allocations per iteration; negative when the bench binary does not
+  /// link the counting allocator (bench/alloc_hook.cpp) around this record.
+  double allocs_per_op = -1.0;
 };
 
 /// Write records as `{"benchmarks": [{name, ns_per_op, items_per_second,
-/// iterations}, ...]}`. Overwrites `path`; returns false when the file
-/// cannot be opened.
+/// iterations[, allocs_per_op]}, ...]}` — allocs_per_op is emitted only when
+/// measured (>= 0). Overwrites `path`; returns false when the file cannot be
+/// opened.
 inline bool write_bench_json(const std::string& path,
                              const std::vector<KernelBenchRecord>& records) {
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -103,9 +107,12 @@ inline bool write_bench_json(const std::string& path,
     const KernelBenchRecord& r = records[i];
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
-                 "\"items_per_second\": %.1f, \"iterations\": %lld}%s\n",
+                 "\"items_per_second\": %.1f, \"iterations\": %lld",
                  escape(r.name).c_str(), r.ns_per_op, r.items_per_second,
-                 r.iterations, i + 1 < records.size() ? "," : "");
+                 r.iterations);
+    if (r.allocs_per_op >= 0.0)
+      std::fprintf(out, ", \"allocs_per_op\": %.4f", r.allocs_per_op);
+    std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -36,7 +36,7 @@ int main() {
   rule.params = rfd::cisco_defaults();
   network.router(3).add_damping_rule(rule);
 
-  collector::UpdateStore store;
+  collector::UpdateStore store(network.paths());
   for (topology::AsId vp : {4u, 6u}) {
     collector::VantagePointConfig config;
     config.as = vp;
@@ -66,7 +66,8 @@ int main() {
       if (r.recorded_at < burst.begin || r.recorded_at > brk.end) continue;
       table.add_row({util::fmt_double(sim::to_minutes(r.recorded_at), 1),
                      r.update.is_announcement() ? "A" : "W",
-                     labeling::path_to_string(r.update.as_path)});
+                     labeling::path_to_string(
+                         store.paths().to_path(r.update.path))});
     }
     std::printf("%s", table.render().c_str());
   }

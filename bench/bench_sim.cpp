@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.hpp"
 #include "beacon/controller.hpp"
 #include "bench_common.hpp"
 #include "bgp/network.hpp"
@@ -45,8 +46,12 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 struct EngineMeasurement {
   std::uint64_t events = 0;
   double seconds = 0.0;
+  std::uint64_t allocs = 0;  ///< operator-new calls inside the measured region
   double events_per_second() const {
     return static_cast<double>(events) / seconds;
+  }
+  double allocs_per_event() const {
+    return static_cast<double>(allocs) / static_cast<double>(events);
   }
 };
 
@@ -69,6 +74,7 @@ EngineMeasurement measure_engine(sim::EngineBackend backend,
   // Interleave scheduling and draining so the pending set stays a rolling
   // window (as in a live simulation) rather than one up-front million.
   constexpr std::uint64_t kChunks = 64;
+  const std::uint64_t allocs_before = allocation_count();
   const auto start = std::chrono::steady_clock::now();
   sim::Time horizon = 0;
   for (std::uint64_t chunk = 0; chunk < kChunks; ++chunk) {
@@ -92,6 +98,7 @@ EngineMeasurement measure_engine(sim::EngineBackend backend,
   EngineMeasurement m;
   m.events = queue.executed();
   m.seconds = seconds_since(start);
+  m.allocs = allocation_count() - allocs_before;
   return m;
 }
 
@@ -116,7 +123,7 @@ EngineMeasurement measure_sim(std::size_t ases, sim::EngineBackend backend) {
   bgp::Network network(graph, bgp::NetworkConfig{}, queue, net_rng);
   plan.apply(network);
 
-  collector::UpdateStore store;
+  collector::UpdateStore store(network.paths());
   stats::Rng noise_rng = rng.fork();
   const std::vector<topology::AsId> ids = graph.as_ids();
   for (std::size_t i = 0; i < 16; ++i) {
@@ -142,11 +149,26 @@ EngineMeasurement measure_sim(std::size_t ases, sim::EngineBackend backend) {
     if (++sites == 3) break;
   }
 
+  const std::uint64_t allocs_before = allocation_count();
   const auto start = std::chrono::steady_clock::now();
   queue.run();
   EngineMeasurement m;
   m.events = queue.executed();
   m.seconds = seconds_since(start);
+  m.allocs = allocation_count() - allocs_before;
+  if (backend == sim::EngineBackend::kCalendar) {
+    // Engine health line (stderr, not part of BENCH_sim.json): scan/skip work
+    // per pop and resize count tell whether the calendar width tracked the
+    // workload.
+    std::fprintf(stderr,
+                 "[calendar %zu] resizes=%llu scan/ev=%.2f skip/ev=%.2f\n",
+                 ases,
+                 static_cast<unsigned long long>(queue.cal_resizes()),
+                 static_cast<double>(queue.cal_scan_steps()) /
+                     static_cast<double>(m.events),
+                 static_cast<double>(queue.cal_window_skips()) /
+                     static_cast<double>(m.events));
+  }
   return m;
 }
 
@@ -186,14 +208,16 @@ int main(int argc, char** argv) {
   if (scales.empty()) scales = {1000, 5000, 10000};
 
   std::vector<bench::KernelBenchRecord> records;
-  util::Table table({"measurement", "events", "seconds", "events/s"});
+  util::Table table({"measurement", "events", "seconds", "events/s", "allocs/event"});
   const auto add = [&](const std::string& name, const EngineMeasurement& m) {
     records.push_back({name, m.seconds * 1e9 / static_cast<double>(m.events),
                        m.events_per_second(),
-                       static_cast<long long>(m.events)});
+                       static_cast<long long>(m.events),
+                       m.allocs_per_event()});
     table.add_row({name, std::to_string(m.events),
                    util::fmt_double(m.seconds, 3),
-                   util::fmt_double(m.events_per_second(), 0)});
+                   util::fmt_double(m.events_per_second(), 0),
+                   util::fmt_double(m.allocs_per_event(), 3)});
   };
 
   // 1. Engine-only: both backends on the identical synthetic workload.
@@ -234,8 +258,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 3. Whole campaigns (topology generation through labeling).
+  // 3. Whole campaigns (topology generation through labeling); allocs/event
+  // here includes setup and labeling, so it is an end-to-end figure, not a
+  // message-path one.
   for (std::size_t ases : scales) {
+    const std::uint64_t allocs_before = bench::allocation_count();
     const auto start = std::chrono::steady_clock::now();
     const experiment::CampaignResult result =
         experiment::run_campaign(bench::campaign_at_scale(ases));
@@ -245,6 +272,7 @@ int main(int argc, char** argv) {
     EngineMeasurement m;
     m.events = result.events_executed;
     m.seconds = secs;
+    m.allocs = bench::allocation_count() - allocs_before;
     add("BM_Campaign/" + std::to_string(ases), m);
   }
 

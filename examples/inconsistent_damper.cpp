@@ -64,7 +64,7 @@ int main() {
   rule.exempt_neighbors = {3};  // the heterogeneous configuration
   network.router(701).add_damping_rule(rule);
 
-  collector::UpdateStore store;
+  collector::UpdateStore store(network.paths());
   for (topology::AsId vp : {800u, 801u, 802u, 803u, 804u, 900u, 901u, 902u,
                             903u, 904u, 905u}) {
     collector::VantagePointConfig config;

@@ -10,7 +10,11 @@
 # `--full` appends a fourth stage: address+UB sanitizers over the tier-1
 # suite minus slow-labeled tests.
 #
-# Each stage is a CMake workflow preset, so any one can be run alone:
+# `--bench` appends the bench-regression gate: build bench_sim under the
+# release preset, run it (fresh BENCH_sim.json with ns/op and allocs/op),
+# and diff against the committed baseline with tools/bench_gate.py.
+#
+# Each CMake stage is a workflow preset, so any one can be run alone:
 #   cmake --workflow --preset check-static    (or check-release / check-tsan /
 #                                              check-asan)
 # The script stops at the first failing stage and prints per-stage timing.
@@ -18,12 +22,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGES=(check-static check-release check-tsan)
-if [[ "${1:-}" == "--full" ]]; then
-  STAGES+=(check-asan)
-elif [[ $# -gt 0 ]]; then
-  echo "usage: $0 [--full]" >&2
-  exit 2
-fi
+for arg in "$@"; do
+  case "${arg}" in
+    --full) STAGES+=(check-asan) ;;
+    --bench) STAGES+=(bench-gate) ;;
+    *)
+      echo "usage: $0 [--full] [--bench]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+run_bench_gate() {
+  cmake --preset release
+  cmake --build build-release -j --target bench_sim
+  (cd build-release && ./bench/bench_sim)
+  python3 tools/bench_gate.py --baseline BENCH_sim.json \
+    --fresh build-release/BENCH_sim.json
+}
 
 declare -a TIMINGS=()
 total=${#STAGES[@]}
@@ -32,7 +48,11 @@ for stage in "${STAGES[@]}"; do
   n=$((n + 1))
   echo "== check ${n}/${total}: ${stage} =="
   start=$SECONDS
-  cmake --workflow --preset "${stage}"
+  if [[ "${stage}" == "bench-gate" ]]; then
+    run_bench_gate
+  else
+    cmake --workflow --preset "${stage}"
+  fi
   TIMINGS+=("$(printf '%-14s %4ds' "${stage}" $((SECONDS - start)))")
 done
 

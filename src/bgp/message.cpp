@@ -2,14 +2,16 @@
 
 namespace because::bgp {
 
-std::string to_string(const Update& update) {
+std::string to_string(const Update& update, const topology::PathTable& paths) {
   std::string out = update.is_announcement() ? "A " : "W ";
   out += to_string(update.prefix);
   if (update.is_announcement()) {
     out += " path=[";
-    for (std::size_t i = 0; i < update.as_path.size(); ++i) {
-      if (i != 0) out += ' ';
-      out += std::to_string(update.as_path[i]);
+    bool first = true;
+    for (topology::AsId as : paths.span(update.path)) {
+      if (!first) out += ' ';
+      out += std::to_string(as);
+      first = false;
     }
     out += ']';
   }

@@ -1,13 +1,18 @@
 // BGP update messages and routes, reduced to the attributes the paper's
 // measurement needs: prefix, AS path, and the beacon send-timestamp that the
 // real system encodes in the transitive aggregator attribute (§4.1).
+//
+// Paths are carried as interned topology::PathId handles into the network's
+// shared PathTable, so an Update/Route is trivially copyable and comparing
+// two paths is an integer compare. Anything that needs the elements reads
+// them through the table (PathTable::span / to_path).
 #pragma once
 
 #include <string>
 
 #include "bgp/prefix.hpp"
 #include "sim/time.hpp"
-#include "topology/paths.hpp"
+#include "topology/path_table.hpp"
 
 namespace because::bgp {
 
@@ -20,8 +25,9 @@ inline constexpr sim::Time kNoBeaconTimestamp = -1;
 struct Update {
   UpdateType type = UpdateType::kAnnouncement;
   Prefix prefix;
-  /// AS path in BGP order (first element = sender). Empty for withdrawals.
-  topology::AsPath as_path;
+  /// Interned AS path in BGP order (first element = sender). The empty path
+  /// for withdrawals.
+  topology::PathId path = topology::kEmptyPath;
   /// Beacon send time carried end-to-end (aggregator attribute analogue).
   sim::Time beacon_timestamp = kNoBeaconTimestamp;
 
@@ -32,10 +38,12 @@ struct Update {
 /// A route installed in a RIB.
 struct Route {
   Prefix prefix;
-  topology::AsPath as_path;  ///< path towards the origin, excluding the owner
+  /// Interned path towards the origin, excluding the owner.
+  topology::PathId path = topology::kEmptyPath;
   sim::Time beacon_timestamp = kNoBeaconTimestamp;
 };
 
-std::string to_string(const Update& update);
+/// Renders the update against the table its path was interned in.
+std::string to_string(const Update& update, const topology::PathTable& paths);
 
 }  // namespace because::bgp

@@ -20,17 +20,20 @@ std::uint64_t link_key(topology::AsId a, topology::AsId b) {
 }  // namespace
 
 Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
-                 sim::EventQueue& queue, stats::Rng& rng)
-    : graph_(graph), config_(config), queue_(queue) {
+                 sim::EventQueue& queue, stats::Rng& rng,
+                 std::shared_ptr<topology::PathTable> paths)
+    : graph_(graph), config_(config), queue_(queue), paths_(std::move(paths)) {
   if (config_.min_link_delay < 0 || config_.max_link_delay < config_.min_link_delay)
     throw std::invalid_argument("Network: bad link delay range");
+  if (paths_ == nullptr) paths_ = std::make_shared<topology::PathTable>();
 
   // Create routers in ascending AS order; the sorted id list doubles as the
   // dense-index directory.
   ids_ = graph.as_ids();
   routers_.reserve(ids_.size());
   for (topology::AsId id : ids_)
-    routers_.push_back(std::make_unique<Router>(id, queue_));
+    routers_.push_back(std::make_unique<Router>(id, queue_, *paths_,
+                                                config_.rib_backend));
 
   // Draw one delay per undirected link. The iteration order (sorted ids, then
   // adjacency order) is the replay contract: a (topology, seed) pair must
@@ -124,7 +127,7 @@ void Network::deliver_in(sim::Duration delay, std::uint32_t to_index,
   PendingDelivery& pending = deliveries_[slot];
   pending.to = routers_[to_index].get();
   pending.from = from;
-  pending.update = update;  // copy-assign reuses the slot's as_path capacity
+  pending.update = update;
   queue_.schedule_event_in(delay, sim::EventKind::kBgpDelivery,
                            &Network::delivery_event, this, slot);
 }
@@ -138,17 +141,16 @@ void Network::on_delivery(std::uint32_t slot) {
   BECAUSE_ASSERT(slot < deliveries_.size() && deliveries_[slot].to != nullptr,
                  "delivery slot " << slot << " out of range or already freed ("
                                   << deliveries_.size() << " slots)");
-  // Move the payload into the scratch update and free the slot *before*
-  // receive(): the receive cascade schedules further deliveries, which may
-  // reuse this slot or grow the slab. Dispatch never nests, so one scratch
-  // buffer suffices.
+  // Copy the payload out and free the slot *before* receive(): the receive
+  // cascade schedules further deliveries, which may reuse this slot or grow
+  // the slab.
   PendingDelivery& pending = deliveries_[slot];
   Router* to = pending.to;
   const topology::AsId from = pending.from;
-  std::swap(scratch_, pending.update);
+  const Update update = pending.update;
   pending.to = nullptr;  // marks the slot free for the contract above
   free_deliveries_.push_back(slot);
-  to->receive(from, scratch_);
+  to->receive(from, update);
 }
 
 Router& Network::router(topology::AsId id) {

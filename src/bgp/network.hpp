@@ -20,6 +20,7 @@
 #include "sim/event_queue.hpp"
 #include "stats/rng.hpp"
 #include "topology/as_graph.hpp"
+#include "topology/path_table.hpp"
 
 namespace because::bgp {
 
@@ -31,14 +32,20 @@ struct NetworkConfig {
   double mrai_jitter = 0.25;
   sim::Duration min_link_delay = sim::milliseconds(10);
   sim::Duration max_link_delay = sim::milliseconds(800);
+  /// RIB storage used by every router (kMap is the differential-testing
+  /// reference; see bgp/rib.hpp).
+  RibBackend rib_backend = RibBackend::kFlat;
 };
 
 class Network {
  public:
   /// Builds routers and sessions for every AS/link in `graph`.
   /// `rng` must outlive the Network (MRAI jitter draws from it at runtime).
+  /// `paths` is the shared AS-path interning table; pass one to share it
+  /// with collectors/stores, or leave null and the Network creates its own.
   Network(const topology::AsGraph& graph, const NetworkConfig& config,
-          sim::EventQueue& queue, stats::Rng& rng);
+          sim::EventQueue& queue, stats::Rng& rng,
+          std::shared_ptr<topology::PathTable> paths = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -49,6 +56,10 @@ class Network {
 
   const topology::AsGraph& graph() const { return graph_; }
   sim::EventQueue& queue() { return queue_; }
+
+  /// The AS-path interning table every router's PathIds refer to. Shared so
+  /// collectors and stores can outlive the Network.
+  const std::shared_ptr<topology::PathTable>& paths() const { return paths_; }
 
   /// One-way propagation delay of the (a, b) link.
   sim::Duration link_delay(topology::AsId a, topology::AsId b) const;
@@ -66,7 +77,9 @@ class Network {
     sim::Duration delay = 0;
   };
 
-  /// Slab-allocated payload of an in-flight kBgpDelivery event.
+  /// Slab-allocated payload of an in-flight kBgpDelivery event. Trivially
+  /// copyable now that Update carries a PathId, so recycling a slot is a
+  /// plain store.
   struct PendingDelivery {
     Router* to = nullptr;
     topology::AsId from = 0;
@@ -90,6 +103,7 @@ class Network {
   const topology::AsGraph& graph_;
   NetworkConfig config_;
   sim::EventQueue& queue_;
+  std::shared_ptr<topology::PathTable> paths_;
   /// Sorted AS ids; position = dense index used by routers_ and the CSR.
   std::vector<topology::AsId> ids_;
   /// Routers by dense index; unique_ptr keeps addresses stable for the
@@ -99,11 +113,9 @@ class Network {
   /// edges of dense index i, sorted by `to`.
   std::vector<std::uint32_t> link_offsets_;
   std::vector<Link> links_;
-  /// In-flight delivery payloads; free_deliveries_ recycles slots and
-  /// scratch_ recycles the Update's as_path capacity across deliveries.
+  /// In-flight delivery payloads; free_deliveries_ recycles slots.
   std::vector<PendingDelivery> deliveries_;
   std::vector<std::uint32_t> free_deliveries_;
-  Update scratch_;
 };
 
 }  // namespace because::bgp

@@ -13,7 +13,8 @@ int local_pref(topology::Relation learned_from) {
   throw std::logic_error("local_pref: bad relation");
 }
 
-bool prefer(const Candidate& a, const Candidate& b) {
+bool prefer(const Candidate& a, const Candidate& b,
+            const topology::PathTable& paths) {
   if (a.route == nullptr || b.route == nullptr)
     throw std::invalid_argument("prefer: null route");
   const bool a_local = !a.neighbor.has_value();
@@ -24,8 +25,9 @@ bool prefer(const Candidate& a, const Candidate& b) {
   const int pref_a = local_pref(a.relation);
   const int pref_b = local_pref(b.relation);
   if (pref_a != pref_b) return pref_a > pref_b;
-  if (a.route->as_path.size() != b.route->as_path.size())
-    return a.route->as_path.size() < b.route->as_path.size();
+  const std::size_t len_a = paths.length(a.route->path);
+  const std::size_t len_b = paths.length(b.route->path);
+  if (len_a != len_b) return len_a < len_b;
   return *a.neighbor < *b.neighbor;
 }
 

@@ -25,8 +25,10 @@ struct Candidate {
 
 /// Strict "a is preferred over b": local routes first, then higher
 /// local-pref, then shorter AS path, then lowest neighbor AS id (the
-/// deterministic tie-break keeps campaigns reproducible).
-bool prefer(const Candidate& a, const Candidate& b);
+/// deterministic tie-break keeps campaigns reproducible). `paths` resolves
+/// the candidates' interned path lengths.
+bool prefer(const Candidate& a, const Candidate& b,
+            const topology::PathTable& paths);
 
 /// Gao-Rexford export rule. `learned_from` is the relationship of the
 /// neighbor that gave us the route (nullopt = we originated it), `to` the

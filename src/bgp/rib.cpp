@@ -1,78 +1,347 @@
 #include "bgp/rib.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
 namespace because::bgp {
+
+AdjRibIn::AdjRibIn(RibBackend backend) : backend_(backend) {}
+
+std::size_t AdjRibIn::slot_of(topology::AsId neighbor) const {
+  if (cached_slot_ != static_cast<std::size_t>(-1) &&
+      cached_slot_id_ == neighbor)
+    return cached_slot_;
+  const auto it =
+      std::lower_bound(neighbor_ids_.begin(), neighbor_ids_.end(), neighbor);
+  if (it == neighbor_ids_.end() || *it != neighbor)
+    return static_cast<std::size_t>(-1);
+  cached_slot_id_ = neighbor;
+  cached_slot_ = static_cast<std::size_t>(it - neighbor_ids_.begin());
+  return cached_slot_;
+}
+
+void AdjRibIn::add_neighbor(topology::AsId neighbor) {
+  if (backend_ == RibBackend::kMap) return;  // the maps grow on demand
+  const auto it =
+      std::lower_bound(neighbor_ids_.begin(), neighbor_ids_.end(), neighbor);
+  if (it != neighbor_ids_.end() && *it == neighbor) return;
+  const auto pos = static_cast<std::size_t>(it - neighbor_ids_.begin());
+  neighbor_ids_.insert(it, neighbor);
+  cached_slot_ = static_cast<std::size_t>(-1);  // slot numbering shifted
+  mirror_.emplace(mirror_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  MirrorMap::allocator_type(&mirror_pool_));
+
+  const std::size_t old_stride = stride_;
+  const std::size_t old_words = words_;
+  stride_ = neighbor_ids_.size();
+  words_ = (stride_ + 63) / 64;
+  const std::size_t row_count = old_stride == 0 ? 0 : cells_.size() / old_stride;
+  if (row_count == 0) {
+    cells_.clear();
+    occupied_.clear();
+    usable_.clear();
+    return;
+  }
+  // Rebuild the slab with the widened stride; slots at or past the insert
+  // position shift right by one. Wiring happens before traffic, so this is
+  // effectively cold.
+  std::vector<Cell> cells(row_count * stride_);
+  std::vector<std::uint64_t> occupied(row_count * words_, 0);
+  std::vector<std::uint64_t> usable(row_count * words_, 0);
+  for (std::size_t row = 0; row < row_count; ++row) {
+    for (std::size_t slot = 0; slot < old_stride; ++slot) {
+      const std::size_t to = slot < pos ? slot : slot + 1;
+      cells[row * stride_ + to] = cells_[row * old_stride + slot];
+      const std::uint64_t bit =
+          (occupied_[row * old_words + slot / 64] >> (slot % 64)) & 1u;
+      const std::uint64_t use =
+          (usable_[row * old_words + slot / 64] >> (slot % 64)) & 1u;
+      occupied[row * words_ + to / 64] |= bit << (to % 64);
+      usable[row * words_ + to / 64] |= use << (to % 64);
+    }
+  }
+  cells_ = std::move(cells);
+  occupied_ = std::move(occupied);
+  usable_ = std::move(usable);
+}
+
+std::ptrdiff_t AdjRibIn::find_row(const Prefix& prefix) const {
+  const std::uint64_t key = pack(prefix);
+  if (key == cached_row_key_) return static_cast<std::ptrdiff_t>(cached_row_);
+  const auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), key,
+      [](const auto& row, std::uint64_t k) { return row.first < k; });
+  if (it == rows_.end() || it->first != key) return -1;
+  cached_row_key_ = key;
+  cached_row_ = it->second;
+  return static_cast<std::ptrdiff_t>(it->second);
+}
+
+std::uint32_t AdjRibIn::row_of(const Prefix& prefix) {
+  const std::uint64_t key = pack(prefix);
+  if (key == cached_row_key_) return cached_row_;
+  const auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), key,
+      [](const auto& row, std::uint64_t k) { return row.first < k; });
+  if (it != rows_.end() && it->first == key) {
+    cached_row_key_ = key;
+    cached_row_ = it->second;
+    return it->second;
+  }
+  const auto row = static_cast<std::uint32_t>(
+      stride_ == 0 ? 0 : cells_.size() / stride_);
+  rows_.insert(it, {key, row});
+  cells_.resize(cells_.size() + stride_);
+  occupied_.resize(occupied_.size() + words_, 0);
+  usable_.resize(usable_.size() + words_, 0);
+  cached_row_key_ = key;
+  cached_row_ = row;
+  return row;
+}
+
+void AdjRibIn::set_bit(std::vector<std::uint64_t>& bits, std::uint32_t row,
+                       std::size_t slot, bool value) {
+  std::uint64_t& word = bits[row * words_ + slot / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (slot % 64);
+  if (value) word |= mask;
+  else word &= ~mask;
+}
+
+bool AdjRibIn::test_bit(const std::vector<std::uint64_t>& bits,
+                        std::uint32_t row, std::size_t slot) const {
+  return (bits[row * words_ + slot / 64] >> (slot % 64)) & 1u;
+}
 
 void AdjRibIn::install(topology::AsId neighbor, const Route& route,
                        bool suppressed) {
-  entries_[neighbor][route.prefix] = AdjRibInEntry{route, suppressed};
+  if (backend_ == RibBackend::kMap) {
+    entries_[neighbor][route.prefix] = AdjRibInEntry{route, suppressed};
+    return;
+  }
+  const std::size_t slot = slot_of(neighbor);
+  if (slot == static_cast<std::size_t>(-1))
+    throw std::invalid_argument("AdjRibIn: install from unknown neighbor");
+  const std::uint32_t row = row_of(route.prefix);
+  Cell& cell = cells_[row * stride_ + slot];
+  cell.entry = AdjRibInEntry{route, suppressed};
+  if (!test_bit(occupied_, row, slot)) {
+    set_bit(occupied_, row, slot, true);
+    ++route_count_;
+    mirror_[slot].try_emplace(route.prefix);
+  }
+  set_bit(usable_, row, slot, !suppressed);
 }
 
 bool AdjRibIn::withdraw(topology::AsId neighbor, const Prefix& prefix) {
-  auto it = entries_.find(neighbor);
-  if (it == entries_.end()) return false;
-  return it->second.erase(prefix) > 0;
+  if (backend_ == RibBackend::kMap) {
+    auto it = entries_.find(neighbor);
+    if (it == entries_.end()) return false;
+    return it->second.erase(prefix) > 0;
+  }
+  const std::size_t slot = slot_of(neighbor);
+  if (slot == static_cast<std::size_t>(-1)) return false;
+  const std::ptrdiff_t row = find_row(prefix);
+  if (row < 0) return false;
+  if (!test_bit(occupied_, static_cast<std::uint32_t>(row), slot)) return false;
+  set_bit(occupied_, static_cast<std::uint32_t>(row), slot, false);
+  set_bit(usable_, static_cast<std::uint32_t>(row), slot, false);
+  --route_count_;
+  mirror_[slot].erase(prefix);
+  return true;
 }
 
 void AdjRibIn::set_suppressed(topology::AsId neighbor, const Prefix& prefix,
                               bool value) {
-  auto it = entries_.find(neighbor);
-  if (it == entries_.end()) return;
-  auto jt = it->second.find(prefix);
-  if (jt == it->second.end()) return;
-  jt->second.suppressed = value;
+  if (backend_ == RibBackend::kMap) {
+    auto it = entries_.find(neighbor);
+    if (it == entries_.end()) return;
+    auto jt = it->second.find(prefix);
+    if (jt == it->second.end()) return;
+    jt->second.suppressed = value;
+    return;
+  }
+  const std::size_t slot = slot_of(neighbor);
+  if (slot == static_cast<std::size_t>(-1)) return;
+  const std::ptrdiff_t row = find_row(prefix);
+  if (row < 0 || !test_bit(occupied_, static_cast<std::uint32_t>(row), slot))
+    return;
+  cells_[static_cast<std::size_t>(row) * stride_ + slot].entry.suppressed = value;
+  set_bit(usable_, static_cast<std::uint32_t>(row), slot, !value);
 }
 
 const AdjRibInEntry* AdjRibIn::find(topology::AsId neighbor,
                                     const Prefix& prefix) const {
-  auto it = entries_.find(neighbor);
-  if (it == entries_.end()) return nullptr;
-  auto jt = it->second.find(prefix);
-  if (jt == it->second.end()) return nullptr;
-  return &jt->second;
-}
-
-std::vector<std::pair<topology::AsId, const Route*>> AdjRibIn::usable(
-    const Prefix& prefix) const {
-  std::vector<std::pair<topology::AsId, const Route*>> out;
-  for (const auto& [neighbor, routes] : entries_) {
-    auto it = routes.find(prefix);
-    if (it != routes.end() && !it->second.suppressed)
-      out.emplace_back(neighbor, &it->second.route);
+  if (backend_ == RibBackend::kMap) {
+    auto it = entries_.find(neighbor);
+    if (it == entries_.end()) return nullptr;
+    auto jt = it->second.find(prefix);
+    if (jt == it->second.end()) return nullptr;
+    return &jt->second;
   }
-  return out;
+  const std::size_t slot = slot_of(neighbor);
+  if (slot == static_cast<std::size_t>(-1)) return nullptr;
+  const std::ptrdiff_t row = find_row(prefix);
+  if (row < 0 || !test_bit(occupied_, static_cast<std::uint32_t>(row), slot))
+    return nullptr;
+  return &cells_[static_cast<std::size_t>(row) * stride_ + slot].entry;
 }
 
-std::vector<Prefix> AdjRibIn::prefixes_from(topology::AsId neighbor) const {
-  std::vector<Prefix> out;
-  auto it = entries_.find(neighbor);
-  if (it == entries_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [prefix, _] : it->second) out.push_back(prefix);
-  return out;
+void AdjRibIn::usable(const Prefix& prefix,
+                      std::vector<RibCandidate>& out) const {
+  out.clear();
+  if (backend_ == RibBackend::kMap) {
+    for (const auto& [neighbor, routes] : entries_) {
+      auto it = routes.find(prefix);
+      if (it != routes.end() && !it->second.suppressed)
+        out.push_back(RibCandidate{neighbor, &it->second.route});
+    }
+    return;
+  }
+  const std::ptrdiff_t row = find_row(prefix);
+  if (row < 0) return;
+  const std::size_t base = static_cast<std::size_t>(row) * words_;
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t word = usable_[base + w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      const std::size_t slot = w * 64 + bit;
+      out.push_back(RibCandidate{
+          neighbor_ids_[slot],
+          &cells_[static_cast<std::size_t>(row) * stride_ + slot].entry.route});
+    }
+  }
+}
+
+void AdjRibIn::prefixes_from(topology::AsId neighbor,
+                             std::vector<Prefix>& out) const {
+  out.clear();
+  if (backend_ == RibBackend::kMap) {
+    auto it = entries_.find(neighbor);
+    if (it == entries_.end()) return;
+    out.reserve(it->second.size());
+    for (const auto& [prefix, _] : it->second) out.push_back(prefix);
+    return;
+  }
+  const std::size_t slot = slot_of(neighbor);
+  if (slot == static_cast<std::size_t>(-1)) return;
+  const auto& mirror = mirror_[slot];
+  out.reserve(mirror.size());
+  for (const auto& [prefix, _] : mirror) out.push_back(prefix);
+}
+
+void AdjRibIn::note_seen(topology::AsId neighbor, const Prefix& prefix) {
+  if (backend_ == RibBackend::kMap) {
+    // Exact, collision-free key: the 40-bit pack of the prefix.
+    seen_[neighbor].insert(pack(prefix));
+    return;
+  }
+  const std::size_t slot = slot_of(neighbor);
+  if (slot == static_cast<std::size_t>(-1))
+    throw std::invalid_argument("AdjRibIn: note_seen from unknown neighbor");
+  const std::uint32_t row = row_of(prefix);
+  cells_[row * stride_ + slot].seen = true;
+}
+
+bool AdjRibIn::seen(topology::AsId neighbor, const Prefix& prefix) const {
+  if (backend_ == RibBackend::kMap) {
+    const auto it = seen_.find(neighbor);
+    return it != seen_.end() && it->second.count(pack(prefix)) != 0;
+  }
+  const std::size_t slot = slot_of(neighbor);
+  if (slot == static_cast<std::size_t>(-1)) return false;
+  const std::ptrdiff_t row = find_row(prefix);
+  if (row < 0) return false;
+  return cells_[static_cast<std::size_t>(row) * stride_ + slot].seen;
 }
 
 std::size_t AdjRibIn::route_count() const {
-  std::size_t n = 0;
-  for (const auto& [_, routes] : entries_) n += routes.size();
-  return n;
+  if (backend_ == RibBackend::kMap) {
+    std::size_t n = 0;
+    for (const auto& [_, routes] : entries_) n += routes.size();
+    return n;
+  }
+  return route_count_;
 }
 
-void LocRib::select(const Prefix& prefix, Selected selected) {
-  best_[prefix] = std::move(selected);
+LocRib::LocRib(RibBackend backend) : backend_(backend) {}
+
+std::ptrdiff_t LocRib::find_slot(const Prefix& prefix) const {
+  const std::uint64_t key = pack(prefix);
+  if (key == cached_key_) return static_cast<std::ptrdiff_t>(cached_slot_);
+  const auto it = std::lower_bound(
+      slots_index_.begin(), slots_index_.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  if (it == slots_index_.end() || it->first != key) return -1;
+  cached_key_ = key;
+  cached_slot_ = it->second;
+  return static_cast<std::ptrdiff_t>(it->second);
 }
 
-bool LocRib::remove(const Prefix& prefix) { return best_.erase(prefix) > 0; }
+const Selected* LocRib::select(const Prefix& prefix, const Selected& selected) {
+  if (backend_ == RibBackend::kMap) {
+    Selected& stored = best_[prefix];
+    stored = selected;
+    return &stored;
+  }
+  const std::uint64_t key = pack(prefix);
+  const auto it = std::lower_bound(
+      slots_index_.begin(), slots_index_.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  std::size_t slot;
+  if (it != slots_index_.end() && it->first == key) {
+    slot = it->second;
+  } else {
+    slot = slots_.size();
+    slots_index_.insert(it, {key, static_cast<std::uint32_t>(slot)});
+    slots_.emplace_back();
+    occupied_.push_back(0);
+  }
+  cached_key_ = key;
+  cached_slot_ = static_cast<std::uint32_t>(slot);
+  slots_[slot] = selected;
+  if (occupied_[slot] == 0) {
+    occupied_[slot] = 1;
+    ++size_;
+    mirror_.try_emplace(prefix);
+  }
+  return &slots_[slot];
+}
+
+bool LocRib::remove(const Prefix& prefix) {
+  if (backend_ == RibBackend::kMap) return best_.erase(prefix) > 0;
+  const std::ptrdiff_t slot = find_slot(prefix);
+  if (slot < 0 || occupied_[static_cast<std::size_t>(slot)] == 0) return false;
+  occupied_[static_cast<std::size_t>(slot)] = 0;
+  --size_;
+  mirror_.erase(prefix);
+  return true;
+}
 
 const Selected* LocRib::find(const Prefix& prefix) const {
-  auto it = best_.find(prefix);
-  return it == best_.end() ? nullptr : &it->second;
+  if (backend_ == RibBackend::kMap) {
+    auto it = best_.find(prefix);
+    return it == best_.end() ? nullptr : &it->second;
+  }
+  const std::ptrdiff_t slot = find_slot(prefix);
+  if (slot < 0 || occupied_[static_cast<std::size_t>(slot)] == 0) return nullptr;
+  return &slots_[static_cast<std::size_t>(slot)];
 }
 
-std::vector<Prefix> LocRib::prefixes() const {
-  std::vector<Prefix> out;
-  out.reserve(best_.size());
-  for (const auto& [prefix, _] : best_) out.push_back(prefix);
-  return out;
+void LocRib::prefixes(std::vector<Prefix>& out) const {
+  out.clear();
+  if (backend_ == RibBackend::kMap) {
+    out.reserve(best_.size());
+    for (const auto& [prefix, _] : best_) out.push_back(prefix);
+    return;
+  }
+  out.reserve(mirror_.size());
+  for (const auto& [prefix, _] : mirror_) out.push_back(prefix);
+}
+
+std::size_t LocRib::size() const {
+  return backend_ == RibBackend::kMap ? best_.size() : size_;
 }
 
 }  // namespace because::bgp

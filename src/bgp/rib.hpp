@@ -2,24 +2,63 @@
 //
 // AdjRibIn stores, per neighbor and prefix, the last route received plus the
 // RFD suppression mark; LocRib stores the selected best route per prefix.
+//
+// Two storage backends, selected per router (NetworkConfig::rib_backend):
+//
+//   kFlat  The data-plane backend. Cells live in one slab indexed by
+//          (prefix row x sorted neighbor slot); the decision process scans a
+//          per-row usable-bitmap instead of hashing once per neighbor, and
+//          queries fill caller-supplied scratch buffers, so the steady-state
+//          message path allocates nothing.
+//   kMap   The reference backend: the original nested unordered_map code,
+//          kept verbatim for differential testing (the golden-trace digests
+//          must agree bit-for-bit across backends).
+//
+// Enumeration-order contract: the simulation's event order — and therefore
+// the golden trace — depends on the order prefixes_from()/prefixes() return
+// prefixes in (session resets and export-tap replays walk them). The kMap
+// backend inherits that order from its unordered_maps; kFlat reproduces it
+// exactly by maintaining mirror unordered_maps with the identical
+// insert/erase history and enumerating those. libstdc++ iteration order is a
+// deterministic function of the key hashes and the structural-operation
+// history, so the mirrors stay in lock-step with what the reference maps
+// would have done.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bgp/message.hpp"
 #include "topology/as_graph.hpp"
+#include "util/node_pool.hpp"
 
 namespace because::bgp {
+
+enum class RibBackend : std::uint8_t { kFlat, kMap };
 
 struct AdjRibInEntry {
   Route route;
   bool suppressed = false;  ///< RFD-suppressed: present but unusable
 };
 
+/// One usable candidate filled in by AdjRibIn::usable().
+struct RibCandidate {
+  topology::AsId neighbor = 0;
+  const Route* route = nullptr;
+};
+
 class AdjRibIn {
  public:
+  explicit AdjRibIn(RibBackend backend = RibBackend::kFlat);
+
+  /// Declare a neighbor slot (kFlat sizes its rows from these). The Router
+  /// calls this from connect(); adding a neighbor after routes exist
+  /// rebuilds the slab, which is fine at wiring time and rare after.
+  void add_neighbor(topology::AsId neighbor);
+
   /// Install/replace the route from `neighbor`. Preserves nothing from a
   /// previous entry; the caller supplies the suppression state.
   void install(topology::AsId neighbor, const Route& route, bool suppressed);
@@ -32,20 +71,74 @@ class AdjRibIn {
 
   const AdjRibInEntry* find(topology::AsId neighbor, const Prefix& prefix) const;
 
-  /// All usable (non-suppressed) candidate routes for `prefix` with the
-  /// neighbor they came from.
-  std::vector<std::pair<topology::AsId, const Route*>> usable(
-      const Prefix& prefix) const;
+  /// Fill `out` (cleared first) with all usable (non-suppressed) candidate
+  /// routes for `prefix`. Route pointers stay valid until the next install().
+  void usable(const Prefix& prefix, std::vector<RibCandidate>& out) const;
 
-  /// Prefixes currently known from `neighbor` (suppressed entries included).
-  std::vector<Prefix> prefixes_from(topology::AsId neighbor) const;
+  /// Fill `out` (cleared first) with the prefixes currently known from
+  /// `neighbor` (suppressed entries included), in reference-backend order.
+  void prefixes_from(topology::AsId neighbor, std::vector<Prefix>& out) const;
+
+  /// Exact (neighbor, prefix) announcement memory for RFD classification:
+  /// survives withdrawals and session resets, and unlike the old 64-bit
+  /// digest set it cannot collide two distinct keys.
+  void note_seen(topology::AsId neighbor, const Prefix& prefix);
+  bool seen(topology::AsId neighbor, const Prefix& prefix) const;
 
   std::size_t route_count() const;
+  RibBackend backend() const { return backend_; }
 
  private:
-  // neighbor -> prefix -> entry
+  /// One (prefix row, neighbor slot) cell of the flat slab. `seen` is the
+  /// sticky announcement memory; occupancy lives in the row bitmaps.
+  struct Cell {
+    AdjRibInEntry entry;
+    bool seen = false;
+  };
+
+  std::size_t slot_of(topology::AsId neighbor) const;  // SIZE_MAX = unknown
+  std::uint32_t row_of(const Prefix& prefix);          // creates the row
+  std::ptrdiff_t find_row(const Prefix& prefix) const; // -1 = absent
+  void set_bit(std::vector<std::uint64_t>& bits, std::uint32_t row,
+               std::size_t slot, bool value);
+  bool test_bit(const std::vector<std::uint64_t>& bits, std::uint32_t row,
+                std::size_t slot) const;
+
+  RibBackend backend_;
+
+  // -- kFlat state -----------------------------------------------------------
+  std::vector<topology::AsId> neighbor_ids_;  // sorted; index = slot
+  std::size_t stride_ = 0;                    // cells per row
+  std::size_t words_ = 0;                     // bitmap words per row
+  /// Sorted (pack(prefix), row) directory; rows are allocated append-only so
+  /// directory inserts never move cells.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> rows_;
+  std::vector<Cell> cells_;                   // row * stride_ + slot
+  std::vector<std::uint64_t> occupied_;       // row * words_ bitmaps
+  std::vector<std::uint64_t> usable_;
+  /// One-entry lookup memos. Receive -> decision touches the same
+  /// (neighbor, prefix) several times per event, and both mappings are
+  /// stable once created (rows are append-only; slots only change in
+  /// add_neighbor, which resets the memo), so these are pure caches with no
+  /// behavioural footprint.
+  mutable std::uint64_t cached_row_key_ = ~std::uint64_t{0};
+  mutable std::uint32_t cached_row_ = 0;
+  mutable topology::AsId cached_slot_id_ = 0;
+  mutable std::size_t cached_slot_ = static_cast<std::size_t>(-1);
+  /// Per-slot enumeration mirrors (see the order contract above), node-pooled
+  /// so steady-state withdraw/re-announce churn stops hitting malloc. The
+  /// pool must be declared before the mirrors it backs.
+  using MirrorMap =
+      std::unordered_map<Prefix, char, std::hash<Prefix>, std::equal_to<Prefix>,
+                         util::PoolAllocator<std::pair<const Prefix, char>>>;
+  util::NodePool mirror_pool_;
+  std::vector<MirrorMap> mirror_;
+  std::size_t route_count_ = 0;
+
+  // -- kMap state (the original storage, kept as the reference) --------------
   std::unordered_map<topology::AsId, std::unordered_map<Prefix, AdjRibInEntry>>
       entries_;
+  std::unordered_map<topology::AsId, std::unordered_set<std::uint64_t>> seen_;
 };
 
 /// Best route selected for a prefix.
@@ -57,13 +150,42 @@ struct Selected {
 
 class LocRib {
  public:
-  void select(const Prefix& prefix, Selected selected);
+  explicit LocRib(RibBackend backend = RibBackend::kFlat);
+
+  /// Install/replace the best route. Returns the stored entry, so decision
+  /// code can propagate without an immediate find() of what it just wrote.
+  const Selected* select(const Prefix& prefix, const Selected& selected);
   bool remove(const Prefix& prefix);
   const Selected* find(const Prefix& prefix) const;
-  std::vector<Prefix> prefixes() const;
-  std::size_t size() const { return best_.size(); }
+
+  /// Fill `out` (cleared first) with all selected prefixes, in
+  /// reference-backend order (see the order contract above).
+  void prefixes(std::vector<Prefix>& out) const;
+
+  std::size_t size() const;
 
  private:
+  std::ptrdiff_t find_slot(const Prefix& prefix) const;  // -1 = absent
+
+  RibBackend backend_;
+
+  // -- kFlat state -----------------------------------------------------------
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> slots_index_;
+  std::vector<Selected> slots_;
+  std::vector<char> occupied_;
+  /// One-entry memo of the last (pack(prefix), slot) hit; slots are
+  /// append-only so a cached mapping can never go stale.
+  mutable std::uint64_t cached_key_ = ~std::uint64_t{0};
+  mutable std::uint32_t cached_slot_ = 0;
+  /// Enumeration mirror, node-pooled like AdjRibIn's (pool declared first).
+  using MirrorMap =
+      std::unordered_map<Prefix, char, std::hash<Prefix>, std::equal_to<Prefix>,
+                         util::PoolAllocator<std::pair<const Prefix, char>>>;
+  util::NodePool mirror_pool_;
+  MirrorMap mirror_{MirrorMap::allocator_type(&mirror_pool_)};
+  std::size_t size_ = 0;
+
+  // -- kMap state ------------------------------------------------------------
   std::unordered_map<Prefix, Selected> best_;
 };
 

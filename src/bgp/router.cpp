@@ -5,17 +5,6 @@
 
 namespace because::bgp {
 
-namespace {
-
-/// Key for the (neighbor, prefix) "ever announced" set. Prefix ids in this
-/// simulator are small (beacon prefixes), so the packing is collision-free.
-std::uint64_t seen_key(topology::AsId neighbor, const Prefix& prefix) {
-  return (static_cast<std::uint64_t>(neighbor) << 32) ^
-         (static_cast<std::uint64_t>(prefix.id) << 8) ^ prefix.length;
-}
-
-}  // namespace
-
 bool DampingRule::matches(topology::Relation neighbor_relation,
                           topology::AsId neighbor, const Prefix& prefix) const {
   if (relation_scope.has_value() && *relation_scope != neighbor_relation)
@@ -30,8 +19,13 @@ bool DampingRule::matches(topology::Relation neighbor_relation,
   return prefix.length >= min_prefix_length && prefix.length <= max_prefix_length;
 }
 
-Router::Router(topology::AsId id, sim::EventQueue& queue)
-    : id_(id), queue_(queue) {}
+Router::Router(topology::AsId id, sim::EventQueue& queue,
+               topology::PathTable& paths, RibBackend rib_backend)
+    : id_(id),
+      queue_(queue),
+      paths_(&paths),
+      adj_rib_in_(rib_backend),
+      loc_rib_(rib_backend) {}
 
 Router::NeighborEntry* Router::find_neighbor(topology::AsId id) {
   const auto it = std::lower_bound(
@@ -64,6 +58,7 @@ void Router::connect(topology::AsId neighbor, topology::Relation relation,
       id_, neighbor, relation, mrai, mrai_on_withdrawals, std::move(deliver),
       jitter_rng, jitter);
   neighbors_.insert(it, std::move(entry));
+  adj_rib_in_.add_neighbor(neighbor);
 }
 
 void Router::add_damping_rule(DampingRule rule) {
@@ -89,12 +84,14 @@ void Router::set_export_prepending(topology::AsId neighbor, std::size_t extra) {
 void Router::attach_export_tap(ExportTap tap) {
   if (!tap) throw std::invalid_argument("Router: null export tap");
   // Replay the current table so late-attaching collectors get a full feed.
-  for (const Prefix& prefix : loc_rib_.prefixes())
+  loc_rib_.prefixes(prefix_scratch_);
+  for (const Prefix& prefix : prefix_scratch_)
     tap(desired_update_for(prefix, loc_rib_.find(prefix)));
   export_taps_.push_back(std::move(tap));
 }
 
 rfd::Damper* Router::damper_for(topology::AsId from, const Prefix& prefix) {
+  if (damping_rules_.empty()) return nullptr;  // most routers do not damp
   const NeighborEntry* nb = find_neighbor(from);
   if (nb == nullptr) return nullptr;
   for (std::size_t r = 0; r < damping_rules_.size(); ++r) {
@@ -111,6 +108,7 @@ rfd::Damper* Router::damper_for(topology::AsId from, const Prefix& prefix) {
 
 const rfd::Damper* Router::damper_for(topology::AsId from,
                                       const Prefix& prefix) const {
+  if (damping_rules_.empty()) return nullptr;
   const NeighborEntry* nb = find_neighbor(from);
   if (nb == nullptr) return nullptr;
   for (std::size_t r = 0; r < damping_rules_.size(); ++r) {
@@ -122,7 +120,7 @@ const rfd::Damper* Router::damper_for(topology::AsId from,
 }
 
 void Router::originate(const Prefix& prefix, sim::Time beacon_timestamp) {
-  originated_[prefix] = Route{prefix, {}, beacon_timestamp};
+  originated_[prefix] = Route{prefix, topology::kEmptyPath, beacon_timestamp};
   run_decision(prefix);
 }
 
@@ -136,12 +134,11 @@ void Router::receive(topology::AsId from, const Update& update) {
   const sim::Time now = queue_.now();
   const Prefix prefix = update.prefix;
 
-  if (update.is_announcement() &&
-      std::find(update.as_path.begin(), update.as_path.end(), id_) !=
-          update.as_path.end())
+  if (update.is_announcement() && paths_->contains(update.path, id_))
     return;  // loop: our own AS is already on the path
 
-  if (update.is_announcement() && rov_invalid_.count(prefix) != 0)
+  if (update.is_announcement() && !rov_invalid_.empty() &&
+      rov_invalid_.count(prefix) != 0)
     return;  // RPKI-invalid origin: rejected on import (RFC 6811)
 
   rfd::Damper* damper = damper_for(from, prefix);
@@ -164,12 +161,12 @@ void Router::receive(topology::AsId from, const Update& update) {
   rfd::UpdateKind kind;
   if (entry != nullptr) {
     kind = rfd::UpdateKind::kAttributeChange;
-  } else if (seen_announcement_.count(seen_key(from, prefix)) != 0) {
+  } else if (adj_rib_in_.seen(from, prefix)) {
     kind = rfd::UpdateKind::kReadvertisement;
   } else {
     kind = rfd::UpdateKind::kInitialAdvertisement;
   }
-  seen_announcement_.insert(seen_key(from, prefix));
+  adj_rib_in_.note_seen(from, prefix);
 
   bool suppressed = false;
   if (damper != nullptr) {
@@ -179,7 +176,7 @@ void Router::receive(topology::AsId from, const Update& update) {
   }
 
   adj_rib_in_.install(
-      from, Route{prefix, update.as_path, update.beacon_timestamp}, suppressed);
+      from, Route{prefix, update.path, update.beacon_timestamp}, suppressed);
   run_decision(prefix);
 }
 
@@ -241,9 +238,11 @@ void Router::run_decision(const Prefix& prefix) {
                      &origin_it->second};
     have_best = true;
   }
-  for (const auto& [neighbor, route] : adj_rib_in_.usable(prefix)) {
-    const Candidate cand{neighbor, find_neighbor(neighbor)->relation, route};
-    if (!have_best || prefer(cand, best)) {
+  adj_rib_in_.usable(prefix, usable_scratch_);
+  for (const RibCandidate& rc : usable_scratch_) {
+    const Candidate cand{rc.neighbor, find_neighbor(rc.neighbor)->relation,
+                         rc.route};
+    if (!have_best || prefer(cand, best, *paths_)) {
       best = cand;
       have_best = true;
     }
@@ -253,36 +252,34 @@ void Router::run_decision(const Prefix& prefix) {
   if (!have_best) {
     if (current != nullptr) {
       loc_rib_.remove(prefix);
-      propagate(prefix);
+      propagate(prefix, nullptr);
     }
     return;
   }
   if (current != nullptr && current->neighbor == best.neighbor &&
-      current->route.as_path == best.route->as_path &&
+      current->route.path == best.route->path &&
       current->route.beacon_timestamp == best.route->beacon_timestamp)
     return;  // no change
 
-  loc_rib_.select(prefix, Selected{best.neighbor, *best.route});
-  propagate(prefix);
+  const Selected* stored =
+      loc_rib_.select(prefix, Selected{best.neighbor, *best.route});
+  propagate(prefix, stored);
 }
 
 Update Router::desired_update_for(const Prefix& prefix,
                                   const Selected* selected) const {
   if (selected == nullptr)
-    return Update{UpdateType::kWithdrawal, prefix, {}, kNoBeaconTimestamp};
+    return Update{UpdateType::kWithdrawal, prefix, topology::kEmptyPath,
+                  kNoBeaconTimestamp};
   Update update;
   update.type = UpdateType::kAnnouncement;
   update.prefix = prefix;
-  update.as_path.reserve(selected->route.as_path.size() + 1);
-  update.as_path.push_back(id_);
-  update.as_path.insert(update.as_path.end(), selected->route.as_path.begin(),
-                        selected->route.as_path.end());
+  update.path = paths_->prepend(id_, selected->route.path);
   update.beacon_timestamp = selected->route.beacon_timestamp;
   return update;
 }
 
-void Router::propagate(const Prefix& prefix) {
-  const Selected* selected = loc_rib_.find(prefix);
+void Router::propagate(const Prefix& prefix, const Selected* selected) {
   const Update full_feed = desired_update_for(prefix, selected);
 
   const std::optional<topology::Relation> learned_from =
@@ -296,7 +293,8 @@ void Router::propagate(const Prefix& prefix) {
       const bool back_to_source =
           selected->neighbor.has_value() && *selected->neighbor == info.id;
       if (back_to_source || !should_export(learned_from, info.relation))
-        update = Update{UpdateType::kWithdrawal, prefix, {}, kNoBeaconTimestamp};
+        update = Update{UpdateType::kWithdrawal, prefix, topology::kEmptyPath,
+                        kNoBeaconTimestamp};
     }
     if (update.is_announcement()) apply_prepending(info.id, update);
     info.session->submit(update, queue_);
@@ -314,13 +312,15 @@ void Router::reset_session(topology::AsId neighbor) {
   for (std::size_t r = 0; r < damping_rules_.size(); ++r)
     dampers_.erase(damper_key(neighbor, r));
 
-  const std::vector<Prefix> lost = adj_rib_in_.prefixes_from(neighbor);
-  for (const Prefix& prefix : lost) adj_rib_in_.withdraw(neighbor, prefix);
-  for (const Prefix& prefix : lost) run_decision(prefix);
+  adj_rib_in_.prefixes_from(neighbor, prefix_scratch_);
+  for (const Prefix& prefix : prefix_scratch_)
+    adj_rib_in_.withdraw(neighbor, prefix);
+  for (const Prefix& prefix : prefix_scratch_) run_decision(prefix);
 
   // Re-advertise our table on the fresh session.
   nb->session->reset();
-  for (const Prefix& prefix : loc_rib_.prefixes()) propagate_to(neighbor, prefix);
+  loc_rib_.prefixes(prefix_scratch_);
+  for (const Prefix& prefix : prefix_scratch_) propagate_to(neighbor, prefix);
 }
 
 void Router::propagate_to(topology::AsId neighbor, const Prefix& prefix) {
@@ -336,16 +336,19 @@ void Router::propagate_to(topology::AsId neighbor, const Prefix& prefix) {
     const bool back_to_source =
         selected->neighbor.has_value() && *selected->neighbor == neighbor;
     if (back_to_source || !should_export(learned_from, nb->relation))
-      update = Update{UpdateType::kWithdrawal, prefix, {}, kNoBeaconTimestamp};
+      update = Update{UpdateType::kWithdrawal, prefix, topology::kEmptyPath,
+                      kNoBeaconTimestamp};
   }
   if (update.is_announcement()) apply_prepending(neighbor, update);
   nb->session->submit(update, queue_);
 }
 
 void Router::apply_prepending(topology::AsId neighbor, Update& update) const {
+  if (export_prepending_.empty()) return;
   const auto it = export_prepending_.find(neighbor);
   if (it == export_prepending_.end()) return;
-  update.as_path.insert(update.as_path.begin(), it->second, id_);
+  for (std::size_t i = 0; i < it->second; ++i)
+    update.path = paths_->prepend(id_, update.path);
 }
 
 const Session* Router::session(topology::AsId neighbor) const {

@@ -4,6 +4,10 @@
 // Adj-RIB-In per neighbor, a Loc-RIB, an outbound Session per neighbor (MRAI
 // + Adj-RIB-Out), and optional inbound RFD dampers scoped by neighbor and
 // prefix length. Collector taps observe the router's full-feed exports.
+//
+// All paths are interned in the PathTable shared across the network, so the
+// steady-state message path (receive -> decision -> propagate) moves 32-bit
+// handles and fills member scratch buffers instead of allocating vectors.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +25,7 @@
 #include "rfd/damper.hpp"
 #include "sim/event_queue.hpp"
 #include "topology/as_graph.hpp"
+#include "topology/path_table.hpp"
 
 namespace because::bgp {
 
@@ -49,7 +54,11 @@ class Router {
   /// Observes every full-feed export of this router (collector tap).
   using ExportTap = std::function<void(const Update&)>;
 
-  Router(topology::AsId id, sim::EventQueue& queue);
+  /// `paths` is the interning table every Update/Route handle refers to; it
+  /// must be shared with whoever sends to / receives from this router and
+  /// must outlive it.
+  Router(topology::AsId id, sim::EventQueue& queue, topology::PathTable& paths,
+         RibBackend rib_backend = RibBackend::kFlat);
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
 
@@ -98,6 +107,7 @@ class Router {
 
   const LocRib& loc_rib() const { return loc_rib_; }
   const AdjRibIn& adj_rib_in() const { return adj_rib_in_; }
+  const topology::PathTable& paths() const { return *paths_; }
   const Session* session(topology::AsId neighbor) const;
 
   /// Current decayed penalty a damper holds against (neighbor, prefix);
@@ -145,16 +155,19 @@ class Router {
   const rfd::Damper* damper_for(topology::AsId from, const Prefix& prefix) const;
 
   void run_decision(const Prefix& prefix);
-  void propagate(const Prefix& prefix);
+  /// `selected` is the current Loc-RIB entry for `prefix` (nullptr when
+  /// unreachable); the caller just wrote it, so passing it through spares a
+  /// second Loc-RIB lookup per propagation.
+  void propagate(const Prefix& prefix, const Selected* selected);
   void propagate_to(topology::AsId neighbor, const Prefix& prefix);
   void apply_prepending(topology::AsId neighbor, Update& update) const;
-  Update desired_update_for(const Prefix& prefix,
-                            const Selected* selected) const;
+  Update desired_update_for(const Prefix& prefix, const Selected* selected) const;
   void schedule_release(topology::AsId from, const Prefix& prefix,
                         std::uint64_t generation);
 
   topology::AsId id_;
   sim::EventQueue& queue_;
+  topology::PathTable* paths_;
   std::vector<NeighborEntry> neighbors_;  // sorted by id: determinism
   AdjRibIn adj_rib_in_;
   LocRib loc_rib_;
@@ -163,12 +176,13 @@ class Router {
   std::unordered_map<topology::AsId, std::size_t> export_prepending_;
   std::unordered_set<Prefix> rov_invalid_;
   std::unordered_map<DamperKey, rfd::Damper> dampers_;
-  /// (neighbor, prefix) pairs we have ever had an announcement from; used to
-  /// distinguish initial advertisements from re-advertisements for RFD.
-  std::unordered_set<std::uint64_t> seen_announcement_;
   std::vector<ReleaseRecord> releases_;
   std::vector<std::uint32_t> free_releases_;
   std::vector<ExportTap> export_taps_;
+  /// Scratch buffers for the allocation-free query API; reused across
+  /// events once warm.
+  std::vector<RibCandidate> usable_scratch_;
+  std::vector<Prefix> prefix_scratch_;
   std::uint64_t updates_received_ = 0;
 };
 

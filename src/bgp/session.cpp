@@ -31,29 +31,44 @@ sim::Duration Session::draw_mrai() {
 
 Session::PrefixState& Session::state_for(const Prefix& prefix) {
   const std::uint64_t key = pack(prefix);
+  if (cached_state_ < states_.size() && states_[cached_state_].key == key)
+    return states_[cached_state_];
   const auto it = std::lower_bound(
       states_.begin(), states_.end(), key,
       [](const PrefixState& s, std::uint64_t k) { return s.key < k; });
-  if (it != states_.end() && it->key == key) return *it;
+  if (it != states_.end() && it->key == key) {
+    cached_state_ = static_cast<std::size_t>(it - states_.begin());
+    return *it;
+  }
   PrefixState state;
   state.key = key;
-  return *states_.insert(it, std::move(state));
+  const auto inserted = states_.insert(it, std::move(state));
+  cached_state_ = static_cast<std::size_t>(inserted - states_.begin());
+  return *inserted;
 }
 
 const Session::PrefixState* Session::find_state(const Prefix& prefix) const {
   const std::uint64_t key = pack(prefix);
+  if (cached_state_ < states_.size() && states_[cached_state_].key == key)
+    return &states_[cached_state_];
   const auto it = std::lower_bound(
       states_.begin(), states_.end(), key,
       [](const PrefixState& s, std::uint64_t k) { return s.key < k; });
-  return it != states_.end() && it->key == key ? &*it : nullptr;
+  if (it == states_.end() || it->key != key) return nullptr;
+  cached_state_ = static_cast<std::size_t>(it - states_.begin());
+  return &*it;
 }
 
 Session::PrefixState* Session::find_state(const Prefix& prefix) {
   const std::uint64_t key = pack(prefix);
+  if (cached_state_ < states_.size() && states_[cached_state_].key == key)
+    return &states_[cached_state_];
   const auto it = std::lower_bound(
       states_.begin(), states_.end(), key,
       [](const PrefixState& s, std::uint64_t k) { return s.key < k; });
-  return it != states_.end() && it->key == key ? &*it : nullptr;
+  if (it == states_.end() || it->key != key) return nullptr;
+  cached_state_ = static_cast<std::size_t>(it - states_.begin());
+  return &*it;
 }
 
 void Session::flush_event(sim::EventQueue& queue, void* ctx, std::uint64_t a,
@@ -101,8 +116,7 @@ void Session::send_or_skip(PrefixState& state, const Update& update,
     if (!state.advertised.has_value()) return;  // remote holds nothing anyway
     state.advertised.reset();
   } else {
-    if (state.advertised.has_value() &&
-        state.advertised->as_path == update.as_path &&
+    if (state.advertised.has_value() && state.advertised->path == update.path &&
         state.advertised->beacon_timestamp == update.beacon_timestamp) {
       return;  // identical announcement, nothing to refresh
     }

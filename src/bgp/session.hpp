@@ -89,6 +89,9 @@ class Session {
   /// Sorted by key; sessions see tens of prefixes, so a flat binary-searched
   /// vector beats the old per-message unordered_map hashing.
   std::vector<PrefixState> states_;
+  /// One-entry index memo for the repeated same-prefix lookups of a flap
+  /// cascade. Invalidated whenever states_ is resorted by an insert.
+  mutable std::size_t cached_state_ = static_cast<std::size_t>(-1);
   std::uint64_t updates_sent_ = 0;
 };
 

@@ -47,7 +47,7 @@ void write_mrt(std::ostream& out, const UpdateStore& store) {
         << (r.update.is_announcement() ? 'A' : 'W') << ' ' << r.update.prefix.id
         << '/' << static_cast<int>(r.update.prefix.length) << ' '
         << r.update.beacon_timestamp;
-    for (topology::AsId as : r.update.as_path) out << ' ' << as;
+    for (topology::AsId as : store.paths().span(r.update.path)) out << ' ' << as;
     out << "\n";
   }
 }
@@ -113,10 +113,12 @@ UpdateStore read_mrt(std::istream& in) {
       else fail(line_number, "bad update type");
       update.beacon_timestamp = beacon_ts;
 
+      topology::AsPath path;
       topology::AsId as = 0;
-      while (fields >> as) update.as_path.push_back(as);
-      if (update.is_withdrawal() && !update.as_path.empty())
+      while (fields >> as) path.push_back(as);
+      if (update.is_withdrawal() && !path.empty())
         fail(line_number, "withdrawal with a path");
+      update.path = store.paths().intern(path);
 
       if (vp >= store.vantage_points().size())
         fail(line_number, "record references unknown VP");

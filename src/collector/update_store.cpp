@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/event_queue.hpp"
+
 namespace because::collector {
+
+UpdateStore::UpdateStore(std::shared_ptr<topology::PathTable> paths)
+    : paths_(std::move(paths)) {
+  if (paths_ == nullptr)
+    throw std::invalid_argument("UpdateStore: null path table");
+}
 
 VpId UpdateStore::register_vp(topology::AsId as, Project project,
                               sim::Duration export_delay) {
@@ -15,6 +23,32 @@ VpId UpdateStore::register_vp(topology::AsId as, Project project,
 const VpInfo& UpdateStore::vp(VpId id) const {
   if (id >= vps_.size()) throw std::out_of_range("UpdateStore: unknown VP");
   return vps_[id];
+}
+
+void UpdateStore::record_event(sim::EventQueue& queue, void* ctx,
+                               std::uint64_t a, std::uint64_t /*b*/) {
+  auto* store = static_cast<UpdateStore*>(ctx);
+  const auto slot = static_cast<std::uint32_t>(a);
+  // Copy out and free the slot first: record() never schedules, but keeping
+  // the slab consistent before reentry is the slab idiom everywhere else.
+  const PendingRecord rec = store->pending_[slot];
+  store->free_pending_.push_back(slot);
+  store->record(rec.vp, queue.now(), rec.update);
+}
+
+void UpdateStore::schedule_record(sim::EventQueue& queue, sim::Duration delay,
+                                  VpId vp, const bgp::Update& update) {
+  std::uint32_t slot;
+  if (!free_pending_.empty()) {
+    slot = free_pending_.back();
+    free_pending_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pending_.size());
+    pending_.emplace_back();
+  }
+  pending_[slot] = PendingRecord{vp, update};
+  queue.schedule_event_in(delay, sim::EventKind::kCollectorRecord,
+                          &UpdateStore::record_event, this, slot);
 }
 
 void UpdateStore::record(VpId vp, sim::Time recorded_at, const bgp::Update& update) {

@@ -7,12 +7,19 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "bgp/message.hpp"
 #include "collector/projects.hpp"
 #include "topology/as_graph.hpp"
+#include "topology/path_table.hpp"
+
+namespace because::sim {
+class EventQueue;
+}
 
 namespace because::collector {
 
@@ -29,16 +36,42 @@ struct VpInfo {
 struct RecordedUpdate {
   sim::Time recorded_at = 0;  ///< when the collector exported it
   VpId vp = 0;
-  bgp::Update update;         ///< as_path starts with the VP's AS
+  bgp::Update update;         ///< path starts with the VP's AS
 };
 
 class UpdateStore {
  public:
+  /// Creates a store with its own path table (standalone use: MRT loading,
+  /// unit tests).
+  UpdateStore() : paths_(std::make_shared<topology::PathTable>()) {}
+
+  /// Creates a store sharing `paths` — pass Network::paths() so the recorded
+  /// updates' PathIds stay resolvable after the Network is destroyed.
+  explicit UpdateStore(std::shared_ptr<topology::PathTable> paths);
+
   VpId register_vp(topology::AsId as, Project project, sim::Duration export_delay);
+
+  /// The interning table this store's PathIds refer to. Held by shared_ptr
+  /// because recorded updates outlive the Network that produced them.
+  topology::PathTable& paths() const { return *paths_; }
+  const std::shared_ptr<topology::PathTable>& paths_ptr() const { return paths_; }
+
+  /// The AS sequence of a recorded update (empty for withdrawals).
+  std::span<const topology::AsId> path_of(const RecordedUpdate& r) const {
+    return paths_->span(r.update.path);
+  }
 
   /// Records must arrive in non-decreasing time order per VP (the event
   /// queue guarantees this).
   void record(VpId vp, sim::Time recorded_at, const bgp::Update& update);
+
+  /// Defer a record by `delay` (the collector's export latency): equivalent
+  /// to scheduling a closure that calls record(), but the pending update is
+  /// interned in a free-listed slab and dispatched as a typed event, so the
+  /// per-export heap allocation of the closure capture disappears. Scheduling
+  /// order (and thus the recorded stream) is identical to the closure form.
+  void schedule_record(sim::EventQueue& queue, sim::Duration delay, VpId vp,
+                       const bgp::Update& update);
 
   const std::vector<VpInfo>& vantage_points() const { return vps_; }
   const VpInfo& vp(VpId id) const;
@@ -63,16 +96,29 @@ class UpdateStore {
   void discard_invalid_aggregators();
 
  private:
+  /// Typed-event trampoline for schedule_record; `a` is the pending slot.
+  static void record_event(sim::EventQueue& queue, void* ctx, std::uint64_t a,
+                           std::uint64_t b);
+
+  /// In-flight export payloads, slab-allocated with slot reuse.
+  struct PendingRecord {
+    VpId vp = 0;
+    bgp::Update update;
+  };
+
   static std::uint64_t stream_key(VpId vp, const bgp::Prefix& prefix) {
     return (static_cast<std::uint64_t>(vp) << 40) ^
            (static_cast<std::uint64_t>(prefix.id) << 8) ^ prefix.length;
   }
   void rebuild_indices();
 
+  std::shared_ptr<topology::PathTable> paths_;
   std::vector<VpInfo> vps_;
   std::vector<RecordedUpdate> records_;
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_stream_;
   std::unordered_map<bgp::Prefix, std::vector<std::size_t>> by_prefix_;
+  std::vector<PendingRecord> pending_;
+  std::vector<std::uint32_t> free_pending_;
   std::size_t discarded_ = 0;
 };
 

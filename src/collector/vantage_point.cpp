@@ -20,9 +20,9 @@ VpId attach_vantage_point(bgp::Network& network, UpdateStore& store,
         noise->bernoulli(missing_prob)) {
       recorded.beacon_timestamp = bgp::kNoBeaconTimestamp;
     }
-    queue.schedule_in(delay, [store_ptr, id, &queue, recorded] {
-      store_ptr->record(id, queue.now(), recorded);
-    });
+    // Typed deferral through the store's pending slab: same scheduling order
+    // as a closure, none of the per-export capture allocation.
+    store_ptr->schedule_record(queue, delay, id, recorded);
   });
   return id;
 }

@@ -125,7 +125,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
   sim::EventQueue queue(config.engine);
   stats::Rng net_rng = rng.fork();
-  bgp::Network network(result.graph, config.network, queue, net_rng);
+  auto paths = std::make_shared<topology::PathTable>();
+  bgp::Network network(result.graph, config.network, queue, net_rng, paths);
+  result.store = collector::UpdateStore(paths);  // outlives the network
   result.plan.apply(network);
 
   // Traffic-engineering prepending on a few sessions (stripped by the

@@ -21,9 +21,7 @@ std::size_t accumulate(topology::AsId as, const collector::UpdateStore& store,
   const auto records = store.for_prefix(experiment.prefix);
   for (const collector::RecordedUpdate& r : records) {
     if (!r.update.is_announcement()) continue;
-    if (std::find(r.update.as_path.begin(), r.update.as_path.end(), as) ==
-        r.update.as_path.end())
-      continue;
+    if (!store.paths().contains(r.update.path, as)) continue;
     for (const beacon::Window& burst : bursts) {
       const sim::Time end = burst.end + config.slack;
       if (r.recorded_at < burst.begin || r.recorded_at >= end) continue;

@@ -1,6 +1,7 @@
 #include "labeling/signature.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace because::labeling {
 
@@ -8,7 +9,7 @@ namespace {
 
 struct Announcement {
   sim::Time recorded_at;
-  topology::AsPath path;  // cleaned
+  topology::PathId path;  // cleaned, interned
 };
 
 /// Last beacon send time within each burst window.
@@ -24,6 +25,30 @@ std::vector<sim::Time> burst_last_event_times(const beacon::BeaconSchedule& sche
   return out;
 }
 
+/// Memoized clean_path over interned ids: strip prepending, drop loops.
+/// Since PathId equality is content equality, the per-raw-id cache turns the
+/// per-record cleaning cost into one hash probe after the first sighting.
+class CleanCache {
+ public:
+  explicit CleanCache(topology::PathTable& paths) : paths_(paths) {}
+
+  /// Cleaned id, or kEmptyPath when the measurement is invalid (empty or
+  /// still looped after cleaning).
+  topology::PathId clean(topology::PathId raw) {
+    if (raw == topology::kEmptyPath) return topology::kEmptyPath;
+    const auto it = cache_.find(raw);
+    if (it != cache_.end()) return it->second;
+    topology::PathId cleaned = paths_.strip_prepending(raw);
+    if (paths_.has_loop(cleaned)) cleaned = topology::kEmptyPath;
+    cache_.emplace(raw, cleaned);
+    return cleaned;
+  }
+
+ private:
+  topology::PathTable& paths_;
+  std::unordered_map<topology::PathId, topology::PathId> cache_;
+};
+
 }  // namespace
 
 std::vector<LabeledPath> label_paths(const collector::UpdateStore& store,
@@ -35,6 +60,7 @@ std::vector<LabeledPath> label_paths(const collector::UpdateStore& store,
   const auto last_events = burst_last_event_times(schedule);
 
   std::vector<LabeledPath> out;
+  CleanCache cleaner(store.paths());
 
   for (const collector::VpInfo& vp : store.vantage_points()) {
     const auto records = store.for_vp_prefix(vp.id, prefix);
@@ -46,33 +72,33 @@ std::vector<LabeledPath> label_paths(const collector::UpdateStore& store,
     announcements.reserve(records.size());
     for (const collector::RecordedUpdate& r : records) {
       if (!r.update.is_announcement()) continue;
-      topology::AsPath cleaned = clean_path(r.update.as_path);
-      if (cleaned.empty()) continue;  // looped/empty: invalid measurement
-      announcements.push_back(Announcement{r.recorded_at, std::move(cleaned)});
+      const topology::PathId cleaned = cleaner.clean(r.update.path);
+      if (cleaned == topology::kEmptyPath) continue;  // looped/empty: invalid
+      announcements.push_back(Announcement{r.recorded_at, cleaned});
     }
     if (announcements.empty()) continue;
 
     // Per steady-state path measurements, in first-seen order.
-    std::unordered_map<topology::AsPath, LabeledPath, PathHash> per_path;
-    std::vector<topology::AsPath> order;
+    std::unordered_map<topology::PathId, LabeledPath> per_path;
+    std::vector<topology::PathId> order;
 
     for (std::size_t k = 0; k < bursts.size(); ++k) {
       // The path under test: the VP's best path entering burst k.
-      const topology::AsPath* current = nullptr;
+      topology::PathId current = topology::kEmptyPath;
       for (const Announcement& a : announcements) {
         if (a.recorded_at > bursts[k].begin) break;
-        current = &a.path;
+        current = a.path;
       }
-      if (current == nullptr) continue;  // prefix unknown before this burst
+      if (current == topology::kEmptyPath) continue;  // unknown before burst
 
-      auto it = per_path.find(*current);
+      auto it = per_path.find(current);
       if (it == per_path.end()) {
         LabeledPath fresh;
         fresh.vp = vp.id;
         fresh.prefix = prefix;
-        fresh.path = *current;
-        it = per_path.emplace(*current, std::move(fresh)).first;
-        order.push_back(*current);
+        fresh.path = store.paths().to_path(current);
+        it = per_path.emplace(current, std::move(fresh)).first;
+        order.push_back(current);
       }
       LabeledPath& labeled = it->second;
       ++labeled.relevant_pairs;
@@ -84,7 +110,7 @@ std::vector<LabeledPath> label_paths(const collector::UpdateStore& store,
       for (const Announcement& a : announcements) {
         if (a.recorded_at <= window_open) continue;
         if (a.recorded_at > window_close) break;
-        if (a.path != *current) continue;
+        if (a.path != current) continue;
         ++labeled.matching_pairs;
         labeled.rdeltas_minutes.push_back(
             sim::to_minutes(a.recorded_at - last_events[k]));
@@ -92,7 +118,7 @@ std::vector<LabeledPath> label_paths(const collector::UpdateStore& store,
       }
     }
 
-    for (const topology::AsPath& path : order) {
+    for (const topology::PathId path : order) {
       LabeledPath labeled = std::move(per_path[path]);
       const double fraction = static_cast<double>(labeled.matching_pairs) /
                               static_cast<double>(labeled.relevant_pairs);
@@ -112,14 +138,15 @@ std::vector<LabeledPath> label_paths(const collector::UpdateStore& store,
 std::vector<ObservedPath> observed_paths(const collector::UpdateStore& store,
                                          const bgp::Prefix& prefix) {
   std::vector<ObservedPath> out;
+  CleanCache cleaner(store.paths());
   for (const collector::VpInfo& vp : store.vantage_points()) {
-    std::unordered_map<topology::AsPath, bool, PathHash> seen;
+    std::unordered_set<topology::PathId> seen;
     for (const collector::RecordedUpdate& r : store.for_vp_prefix(vp.id, prefix)) {
       if (!r.update.is_announcement()) continue;
-      topology::AsPath cleaned = clean_path(r.update.as_path);
-      if (cleaned.empty()) continue;
-      if (seen.emplace(cleaned, true).second)
-        out.push_back(ObservedPath{vp.id, prefix, std::move(cleaned)});
+      const topology::PathId cleaned = cleaner.clean(r.update.path);
+      if (cleaned == topology::kEmptyPath) continue;
+      if (seen.insert(cleaned).second)
+        out.push_back(ObservedPath{vp.id, prefix, store.paths().to_path(cleaned)});
     }
   }
   return out;

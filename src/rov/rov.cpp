@@ -103,25 +103,26 @@ RovMeasurement run_rov_measurement(const topology::AsGraph& graph,
 
   // Measure: compare valid vs invalid routes at every vantage point.
   std::size_t rov_labeled = 0;
+  topology::PathTable& paths = *network.paths();
   for (std::size_t pick : vp_picks) {
     const topology::AsId vp = ids[pick];
     const bgp::Router& router = network.router(vp);
     for (std::size_t o = 0; o < origins.size(); ++o) {
       const auto* valid_sel = router.loc_rib().find(valid_prefixes[o]);
       if (valid_sel == nullptr) continue;  // VP cannot see this origin at all
+      const auto valid_span = paths.span(valid_sel->route.path);
       topology::AsPath path{vp};
-      path.insert(path.end(), valid_sel->route.as_path.begin(),
-                  valid_sel->route.as_path.end());
+      path.insert(path.end(), valid_span.begin(), valid_span.end());
       path = labeling::clean_path(path);
       if (path.empty()) continue;
 
       const auto* invalid_sel = router.loc_rib().find(invalid_prefixes[o]);
       bool measured_rov = true;
       if (invalid_sel != nullptr) {
+        const auto invalid_span = paths.span(invalid_sel->route.path);
         topology::AsPath invalid_path{vp};
-        invalid_path.insert(invalid_path.end(),
-                            invalid_sel->route.as_path.begin(),
-                            invalid_sel->route.as_path.end());
+        invalid_path.insert(invalid_path.end(), invalid_span.begin(),
+                            invalid_span.end());
         measured_rov = labeling::clean_path(invalid_path) != path;
       }
 

@@ -43,8 +43,9 @@ enum class EventKind : std::uint8_t {
   kMraiTimer = 2,    ///< per-(session, prefix) MRAI flush
   kRfdReuse = 3,     ///< RFD reuse/release timer
   kBeacon = 4,       ///< beacon origination / withdrawal action
+  kCollectorRecord = 5,  ///< delayed vantage-point export (payload in UpdateStore)
 };
-inline constexpr std::size_t kEventKindCount = 5;
+inline constexpr std::size_t kEventKindCount = 6;
 
 /// Which internal priority structure an EventQueue uses. Observable behaviour
 /// is identical; only throughput differs.
@@ -193,6 +194,7 @@ class EventQueue {
   std::vector<Node> nodes_;             ///< node slab
   std::vector<std::uint32_t> free_nodes_;
   std::vector<std::uint32_t> heads_;    ///< per-bucket list head (kNil = empty)
+  std::vector<std::uint32_t> resize_scratch_;  ///< old heads during cal_resize
   std::size_t mask_ = 0;        ///< bucket count - 1 (power of two)
   Duration width_ = 0;          ///< bucket time width in ms
   std::size_t cursor_ = 0;      ///< bucket currently being drained

@@ -1,0 +1,115 @@
+#include "topology/path_table.hpp"
+
+namespace because::topology {
+
+namespace {
+/// Finalizer of splitmix64: full-avalanche mix so linear probing sees
+/// uniformly spread slots even for the dense sequential (head, tail) keys.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+PathTable::PathTable() {
+  nodes_.push_back(Node{});  // id 0: the empty path
+  dedup_keys_.resize(64, 0);
+  dedup_vals_.resize(64, kNoPathSlot);
+  dedup_mask_ = 63;
+}
+
+std::size_t PathTable::dedup_probe(std::uint64_t key) const {
+  std::size_t i = static_cast<std::size_t>(mix64(key)) & dedup_mask_;
+  while (dedup_vals_[i] != kNoPathSlot && dedup_keys_[i] != key)
+    i = (i + 1) & dedup_mask_;
+  return i;
+}
+
+void PathTable::dedup_grow() {
+  const std::vector<std::uint64_t> old_keys = std::move(dedup_keys_);
+  const std::vector<PathId> old_vals = std::move(dedup_vals_);
+  const std::size_t capacity = (dedup_mask_ + 1) * 2;
+  dedup_keys_.assign(capacity, 0);
+  dedup_vals_.assign(capacity, kNoPathSlot);
+  dedup_mask_ = capacity - 1;
+  for (std::size_t i = 0; i < old_vals.size(); ++i) {
+    if (old_vals[i] == kNoPathSlot) continue;
+    const std::size_t slot = dedup_probe(old_keys[i]);
+    dedup_keys_[slot] = old_keys[i];
+    dedup_vals_[slot] = old_vals[i];
+  }
+}
+
+PathId PathTable::prepend(AsId head, PathId tail) {
+  BECAUSE_ASSERT(tail < nodes_.size(), "PathTable: prepend onto bad id " << tail);
+  const std::uint64_t key = (static_cast<std::uint64_t>(head) << 32) | tail;
+  const std::size_t probe = dedup_probe(key);
+  if (dedup_vals_[probe] != kNoPathSlot) return dedup_vals_[probe];
+
+  const auto id = static_cast<PathId>(nodes_.size());
+  const Node parent = nodes_[tail];
+  Node node;
+  node.head = head;
+  node.tail = tail;
+  node.offset = static_cast<std::uint32_t>(elems_.size());
+  node.length = parent.length + 1;
+  // Copy-on-create into the CSR pool. resize() (geometric growth — an exact
+  // reserve here would force a full pool copy per new path, quadratic in the
+  // pool) then index-based copy, since the source slice aliases elems_.
+  const std::size_t dst = elems_.size();
+  elems_.resize(dst + node.length);
+  elems_[dst] = head;
+  for (std::uint32_t i = 0; i < parent.length; ++i)
+    elems_[dst + 1 + i] = elems_[parent.offset + i];
+  nodes_.push_back(node);
+  dedup_keys_[probe] = key;
+  dedup_vals_[probe] = id;
+  if (++dedup_size_ * 3 > (dedup_mask_ + 1) * 2) dedup_grow();
+  return id;
+}
+
+PathId PathTable::intern(std::span<const AsId> path) {
+  PathId id = kEmptyPath;
+  for (std::size_t i = path.size(); i > 0; --i) id = prepend(path[i - 1], id);
+  return id;
+}
+
+AsPath PathTable::to_path(PathId id) const {
+  const auto view = span(id);
+  return AsPath(view.begin(), view.end());
+}
+
+bool PathTable::contains(PathId id, AsId as) const {
+  for (AsId element : span(id))
+    if (element == as) return true;
+  return false;
+}
+
+bool PathTable::has_loop(PathId id) const {
+  const auto view = span(id);
+  // Paths are a handful of ASes; the quadratic scan beats building a set.
+  for (std::size_t i = 1; i < view.size(); ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      if (view[i] == view[j]) return true;
+  return false;
+}
+
+PathId PathTable::strip_prepending(PathId id) {
+  const auto memo = cleaned_.find(id);
+  if (memo != cleaned_.end()) return memo->second;
+  // Copy out before interning: intern() may grow the pool under the span.
+  AsPath out;
+  const auto view = span(id);
+  out.reserve(view.size());
+  for (AsId as : view)
+    if (out.empty() || out.back() != as) out.push_back(as);
+  const PathId result = out.size() == view.size() ? id : intern(out);
+  cleaned_.emplace(id, result);
+  return result;
+}
+
+}  // namespace because::topology

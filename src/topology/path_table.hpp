@@ -1,0 +1,118 @@
+// Hash-consed AS-path interning.
+//
+// Every distinct AS path in a simulation exists exactly once in a PathTable
+// and is referred to by a 32-bit PathId. Paths are stored as (head, tail)
+// chains — a path is one AS prepended to a shorter interned path — which
+// makes the dominant data-plane operation, "extend a neighbor's path with my
+// own AS", a single hash probe instead of a vector copy. Content equality is
+// handle equality: two PathIds drawn from the same table are equal iff the
+// paths are element-wise equal, so RIBs and sessions compare paths in O(1).
+//
+// For consumers that need the elements (loop checks, labeling, MRT dumps),
+// each interned path also has a contiguous CSR slice of the element pool, so
+// iteration is a span over flat storage rather than a chain walk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/paths.hpp"
+#include "util/contracts.hpp"
+
+namespace because::topology {
+
+/// Handle into a PathTable. Only meaningful together with the table that
+/// produced it; the empty path is id 0 in every table.
+using PathId = std::uint32_t;
+inline constexpr PathId kEmptyPath = 0;
+
+class PathTable {
+ public:
+  PathTable();
+
+  /// The path `head` followed by the path `tail` refers to. O(1) amortised:
+  /// one hash probe, plus a one-time CSR copy when the path is new.
+  PathId prepend(AsId head, PathId tail);
+
+  /// Intern a full path (BGP order). O(length) hash probes; every suffix is
+  /// interned too, which is exactly the set of paths upstream routers carry.
+  PathId intern(std::span<const AsId> path);
+  PathId intern(const AsPath& path) { return intern(std::span(path)); }
+
+  std::size_t length(PathId id) const {
+    BECAUSE_DCHECK(id < nodes_.size(), "PathTable: bad id " << id);
+    return nodes_[id].length;
+  }
+  bool empty(PathId id) const { return id == kEmptyPath; }
+
+  /// First AS of a non-empty path / the rest after it.
+  AsId head(PathId id) const {
+    BECAUSE_DCHECK(id != kEmptyPath && id < nodes_.size(),
+                   "PathTable: head of empty/bad id " << id);
+    return nodes_[id].head;
+  }
+  PathId tail(PathId id) const {
+    BECAUSE_DCHECK(id != kEmptyPath && id < nodes_.size(),
+                   "PathTable: tail of empty/bad id " << id);
+    return nodes_[id].tail;
+  }
+
+  /// Contiguous view of the path's elements, BGP order. Invalidated by the
+  /// next intern()/prepend()/strip_prepending() call (the pool may grow);
+  /// copy out before mutating the table.
+  std::span<const AsId> span(PathId id) const {
+    BECAUSE_DCHECK(id < nodes_.size(), "PathTable: bad id " << id);
+    const Node& node = nodes_[id];
+    return {elems_.data() + node.offset, node.length};
+  }
+
+  /// Owned copy of the elements.
+  AsPath to_path(PathId id) const;
+
+  /// True if `as` appears on the path (the router's import loop check).
+  bool contains(PathId id, AsId as) const;
+
+  /// Same semantics as topology::has_loop on the materialised path.
+  bool has_loop(PathId id) const;
+
+  /// Same semantics as topology::strip_prepending; the result is interned
+  /// (and memoised, so each distinct path is cleaned at most once).
+  PathId strip_prepending(PathId id);
+
+  /// Number of interned paths, counting the empty path.
+  std::size_t size() const { return nodes_.size(); }
+  /// Total elements in the CSR pool (memory diagnostics).
+  std::size_t element_count() const { return elems_.size(); }
+
+ private:
+  struct Node {
+    AsId head = 0;
+    PathId tail = kEmptyPath;
+    std::uint32_t offset = 0;  ///< CSR slice start in elems_
+    std::uint32_t length = 0;
+  };
+
+  /// Slot in the open-addressed dedup table holding `key`, or the empty slot
+  /// where it belongs. Grows the table when load passes ~2/3.
+  std::size_t dedup_probe(std::uint64_t key) const;
+  void dedup_grow();
+
+  std::vector<Node> nodes_;
+  std::vector<AsId> elems_;
+  /// (head << 32 | tail) -> node id dedup index; collision-free since both
+  /// halves are 32-bit. Open addressing (power-of-two capacity, linear
+  /// probe, never erased) rather than unordered_map: prepend() runs once per
+  /// route propagation, and the flat probe avoids the hash-node indirection
+  /// on that path. kNoPathSlot marks an empty slot.
+  static constexpr PathId kNoPathSlot = 0xffffffffu;
+  std::vector<std::uint64_t> dedup_keys_;
+  std::vector<PathId> dedup_vals_;
+  std::size_t dedup_mask_ = 0;
+  std::size_t dedup_size_ = 0;
+  /// strip_prepending memo: raw id -> cleaned id.
+  std::unordered_map<PathId, PathId> cleaned_;
+};
+
+}  // namespace because::topology

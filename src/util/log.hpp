@@ -25,19 +25,26 @@ namespace detail {
 
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) : level_(level) {}
+  /// Whether the line will be emitted is decided up front: a suppressed
+  /// stream skips all formatting (and the ostringstream's allocations), so
+  /// log_debug() on hot paths costs one level comparison.
+  explicit LogStream(LogLevel level)
+      : level_(level), enabled_(level >= log_level()) {}
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
-  ~LogStream() { log_line(level_, stream_.str()); }
+  ~LogStream() {
+    if (enabled_) log_line(level_, stream_.str());
+  }
 
   template <typename T>
   LogStream& operator<<(const T& value) {
-    stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 

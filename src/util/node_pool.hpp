@@ -1,0 +1,101 @@
+// Size-bucketed free-list pool for node-based containers.
+//
+// The RIB enumeration mirrors (bgp/rib.hpp) are unordered_maps whose steady
+// state under beacon traffic is erase/insert churn: every withdraw frees a
+// node the next announcement re-allocates. libstdc++ has no node cache, so
+// that churn is one malloc + one free per flap on the message path. A
+// NodePool recycles freed blocks instead.
+//
+// Crucially for the enumeration-order contract, the allocator is invisible
+// to iteration order: libstdc++ unordered_map order is a function of the key
+// hashes and the structural insert/erase history only, so a mirror backed by
+// a PoolAllocator enumerates identically to one on std::allocator (the
+// flat-vs-map differential tests cover this).
+//
+// Single allocations up to kMaxPooled bytes are recycled through per-size
+// free lists; larger requests (bucket arrays) pass through to operator new.
+// Not thread-safe. The pool must outlive every container using it: declare
+// it before the container members it feeds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <new>
+
+namespace because::util {
+
+class NodePool {
+ public:
+  static constexpr std::size_t kMaxPooled = 256;
+
+  NodePool() = default;
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+  ~NodePool() {
+    for (void* head : heads_) {
+      while (head != nullptr) {
+        void* next = *static_cast<void**>(head);
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t bucket = (bytes + 7) / 8;
+    if (bucket == 0 || bucket >= heads_.size()) return ::operator new(bytes);
+    void*& head = heads_[bucket];
+    if (head == nullptr) return ::operator new(bucket * 8);
+    void* p = head;
+    head = *static_cast<void**>(p);
+    return p;
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    const std::size_t bucket = (bytes + 7) / 8;
+    if (bucket == 0 || bucket >= heads_.size()) {
+      ::operator delete(p);
+      return;
+    }
+    *static_cast<void**>(p) = heads_[bucket];
+    heads_[bucket] = p;
+  }
+
+ private:
+  /// Intrusive free lists: heads_[b] chains blocks of b*8 bytes through
+  /// their first word (every pooled block is at least 8 bytes).
+  std::array<void*, kMaxPooled / 8 + 1> heads_{};
+};
+
+/// Minimal C++17 allocator over a NodePool. Stateful: containers sharing a
+/// pool compare equal; the pool pointer must outlive the container.
+template <class T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(NodePool* pool) : pool_(pool) {}
+  template <class U>
+  PoolAllocator(const PoolAllocator<U>& other) : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) { pool_->deallocate(p, n * sizeof(T)); }
+
+  NodePool* pool() const { return pool_; }
+
+  template <class U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return pool_ == other.pool();
+  }
+  template <class U>
+  bool operator!=(const PoolAllocator<U>& other) const {
+    return pool_ != other.pool();
+  }
+
+ private:
+  NodePool* pool_;
+};
+
+}  // namespace because::util

@@ -88,7 +88,8 @@ TEST(Network, AllSelectedPathsAreValleyFree) {
     if (sel == nullptr || !sel->neighbor.has_value()) continue;
     // Full path from this AS to the origin.
     topology::AsPath path{as};
-    path.insert(path.end(), sel->route.as_path.begin(), sel->route.as_path.end());
+    const auto span = net.paths()->span(sel->route.path);
+    path.insert(path.end(), span.begin(), span.end());
     EXPECT_TRUE(topology::is_valley_free(g, path))
         << "AS " << as << " selected a non-valley-free path";
     EXPECT_FALSE(topology::has_loop(path));

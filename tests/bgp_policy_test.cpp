@@ -7,10 +7,15 @@ namespace {
 
 using topology::Relation;
 
-Route make_route(std::vector<topology::AsId> path) {
+topology::PathTable& table() {
+  static topology::PathTable paths;
+  return paths;
+}
+
+Route make_route(const std::vector<topology::AsId>& path) {
   Route r;
   r.prefix = Prefix{1, 24};
-  r.as_path = std::move(path);
+  r.path = table().intern(std::span<const topology::AsId>(path));
   return r;
 }
 
@@ -24,8 +29,8 @@ TEST(Policy, PrefersCustomerOverShorterProviderPath) {
   const Route provider_route = make_route({40});
   const Candidate a{10, Relation::kCustomer, &customer_route};
   const Candidate b{40, Relation::kProvider, &provider_route};
-  EXPECT_TRUE(prefer(a, b));
-  EXPECT_FALSE(prefer(b, a));
+  EXPECT_TRUE(prefer(a, b, table()));
+  EXPECT_FALSE(prefer(b, a, table()));
 }
 
 TEST(Policy, PrefersShorterPathAtSamePref) {
@@ -33,8 +38,8 @@ TEST(Policy, PrefersShorterPathAtSamePref) {
   const Route longer = make_route({20, 30, 40});
   const Candidate a{10, Relation::kPeer, &shorter};
   const Candidate b{20, Relation::kPeer, &longer};
-  EXPECT_TRUE(prefer(a, b));
-  EXPECT_FALSE(prefer(b, a));
+  EXPECT_TRUE(prefer(a, b, table()));
+  EXPECT_FALSE(prefer(b, a, table()));
 }
 
 TEST(Policy, TieBreaksByLowestNeighbor) {
@@ -42,8 +47,8 @@ TEST(Policy, TieBreaksByLowestNeighbor) {
   const Route r2 = make_route({20, 30});
   const Candidate a{10, Relation::kPeer, &r1};
   const Candidate b{20, Relation::kPeer, &r2};
-  EXPECT_TRUE(prefer(a, b));
-  EXPECT_FALSE(prefer(b, a));
+  EXPECT_TRUE(prefer(a, b, table()));
+  EXPECT_FALSE(prefer(b, a, table()));
 }
 
 TEST(Policy, LocalRouteBeatsEverything) {
@@ -51,21 +56,21 @@ TEST(Policy, LocalRouteBeatsEverything) {
   const Route learned = make_route({10});
   const Candidate a{std::nullopt, Relation::kCustomer, &local};
   const Candidate b{10, Relation::kCustomer, &learned};
-  EXPECT_TRUE(prefer(a, b));
-  EXPECT_FALSE(prefer(b, a));
+  EXPECT_TRUE(prefer(a, b, table()));
+  EXPECT_FALSE(prefer(b, a, table()));
 }
 
 TEST(Policy, PreferIsIrreflexive) {
   const Route r = make_route({10, 30});
   const Candidate a{10, Relation::kPeer, &r};
-  EXPECT_FALSE(prefer(a, a));
+  EXPECT_FALSE(prefer(a, a, table()));
 }
 
 TEST(Policy, PreferRejectsNullRoute) {
   const Route r = make_route({10});
   const Candidate ok{10, Relation::kPeer, &r};
   const Candidate bad{11, Relation::kPeer, nullptr};
-  EXPECT_THROW(prefer(ok, bad), std::invalid_argument);
+  EXPECT_THROW(prefer(ok, bad, table()), std::invalid_argument);
 }
 
 TEST(Policy, ExportRulesGaoRexford) {

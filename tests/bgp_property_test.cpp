@@ -141,7 +141,8 @@ RunResult run_random_scenario(const AsGraph& graph, std::uint64_t seed,
     if (sel == nullptr) continue;
     result.have_route.insert(as);
     topology::AsPath full{as};
-    full.insert(full.end(), sel->route.as_path.begin(), sel->route.as_path.end());
+    const auto span = net.paths()->span(sel->route.path);
+    full.insert(full.end(), span.begin(), span.end());
     result.selected.emplace_back(as, std::move(full));
   }
   return result;

@@ -19,12 +19,14 @@ const Prefix kPrefix{1, 24};
 /// fixed link delay and no MRAI unless requested.
 struct Net {
   sim::EventQueue queue;
+  topology::PathTable paths;
   std::map<AsId, std::unique_ptr<Router>> routers;
   sim::Duration delay = sim::milliseconds(10);
   sim::Duration mrai = 0;
 
   Router& add(AsId id) {
-    auto [it, _] = routers.emplace(id, std::make_unique<Router>(id, queue));
+    auto [it, _] =
+        routers.emplace(id, std::make_unique<Router>(id, queue, paths));
     return *it->second;
   }
 
@@ -57,7 +59,7 @@ TEST(Router, OriginationPropagatesOverChain) {
 
   const Selected* sel = c.loc_rib().find(kPrefix);
   ASSERT_NE(sel, nullptr);
-  EXPECT_EQ(sel->route.as_path, (topology::AsPath{2, 1}));
+  EXPECT_EQ(net.paths.to_path(sel->route.path), (topology::AsPath{2, 1}));
   EXPECT_EQ(sel->route.beacon_timestamp, 0);
 }
 
@@ -90,7 +92,7 @@ TEST(Router, LoopPreventionDropsOwnAs) {
   Update looped;
   looped.type = UpdateType::kAnnouncement;
   looped.prefix = Prefix{9, 24};
-  looped.as_path = {1, 7, 2};
+  looped.path = net.paths.intern(topology::AsPath{1, 7, 2});
   b.receive(1, looped);
   EXPECT_EQ(b.loc_rib().find(Prefix{9, 24}), nullptr);
 }
@@ -179,7 +181,7 @@ TEST(Router, PathHuntingFailsOverToAlternative) {
   ASSERT_TRUE(b.damping_suppressed(1, kPrefix));
   const Selected* sel = d.loc_rib().find(kPrefix);
   ASSERT_NE(sel, nullptr);  // alternative branch keeps 4 connected
-  EXPECT_EQ(sel->route.as_path, (topology::AsPath{3, 1}));
+  EXPECT_EQ(net.paths.to_path(sel->route.path), (topology::AsPath{3, 1}));
 
   // After the release, 4 may switch back; either way it stays connected and
   // the suppressed branch is usable again.
@@ -221,6 +223,56 @@ TEST(Router, RfdSuppressionWithdrawsDownstream) {
   net.queue.run();
   EXPECT_FALSE(b.damping_suppressed(1, kPrefix));
   EXPECT_NE(c.loc_rib().find(kPrefix), nullptr);
+}
+
+TEST(Router, SeenMemoryDistinguishesCollidingKeys) {
+  // Regression: the announcement memory used to hash (neighbor, prefix) into
+  // a 64-bit digest, (neighbor << 32) ^ (prefix.id << 8) ^ length, under
+  // which (neighbor 2, pfx0/24) and (neighbor 3, pfx16777216/24) collide at
+  // 0x200000018. With the parameters below (re-advertisements suppress
+  // instantly, initial advertisements are free), the collision misclassified
+  // neighbor 3's *first* announcement as a re-advertisement and damped it.
+  // The RIB now keeps exact per-(neighbor, prefix) state.
+  Net net;
+  net.add(2);
+  net.add(3);
+  Router& b = net.add(5);
+  net.link(5, 2, Relation::kCustomer);
+  net.link(5, 3, Relation::kCustomer);
+  DampingRule rule;
+  rule.params.readvertisement_penalty = 1000.0;
+  rule.params.suppress_threshold = 900.0;
+  rule.params.reuse_threshold = 750.0;
+  b.add_damping_rule(rule);
+
+  const Prefix pa{0, 24};
+  const Prefix pb{0x1000000, 24};
+  Update ua;
+  ua.type = UpdateType::kAnnouncement;
+  ua.prefix = pa;
+  ua.path = net.paths.intern(topology::AsPath{2});
+  ua.beacon_timestamp = 0;
+  Update ub = ua;
+  ub.prefix = pb;
+  ub.path = net.paths.intern(topology::AsPath{3});
+
+  b.receive(2, ua);
+  b.receive(3, ub);  // first ever announcement of pb: must not be damped
+  net.queue.run();
+
+  EXPECT_FALSE(b.damping_suppressed(3, pb));
+  const Selected* sel = b.loc_rib().find(pb);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->neighbor, std::optional<AsId>(3));
+
+  // The exact memory still classifies true re-advertisements: withdraw, then
+  // announce again from the same neighbor, and the penalty bites.
+  Update wb;
+  wb.type = UpdateType::kWithdrawal;
+  wb.prefix = pb;
+  b.receive(3, wb);
+  b.receive(3, ub);
+  EXPECT_TRUE(b.damping_suppressed(3, pb));
 }
 
 TEST(Router, DampingRuleScopes) {
@@ -286,7 +338,7 @@ TEST(Router, ExportTapSeesFullFeed) {
   net.queue.run();
   ASSERT_FALSE(tapped.empty());
   EXPECT_TRUE(tapped.back().is_announcement());
-  EXPECT_EQ(tapped.back().as_path, (topology::AsPath{2, 1}));
+  EXPECT_EQ(net.paths.to_path(tapped.back().path), (topology::AsPath{2, 1}));
   EXPECT_EQ(tapped.back().beacon_timestamp, 5);
 }
 
@@ -322,7 +374,8 @@ TEST(Router, SessionResetReAdvertises) {
 
 TEST(Router, RejectsDuplicateAndSelfSessions) {
   sim::EventQueue queue;
-  Router r(1, queue);
+  topology::PathTable paths;
+  Router r(1, queue, paths);
   EXPECT_THROW(r.connect(1, Relation::kPeer, 0, false, [](const Update&) {}),
                std::invalid_argument);
   r.connect(2, Relation::kPeer, 0, false, [](const Update&) {});
@@ -355,7 +408,8 @@ TEST(Router, ExportPrependingAddsOwnAs) {
   net.queue.run();
   const Selected* sel = c.loc_rib().find(kPrefix);
   ASSERT_NE(sel, nullptr);
-  EXPECT_EQ(sel->route.as_path, (topology::AsPath{2, 2, 2, 1}));
+  EXPECT_EQ(net.paths.to_path(sel->route.path),
+            (topology::AsPath{2, 2, 2, 1}));
 }
 
 TEST(Router, PrependingInfluencesPathSelection) {
@@ -375,7 +429,7 @@ TEST(Router, PrependingInfluencesPathSelection) {
   net.queue.run();
   const Selected* sel = d.loc_rib().find(kPrefix);
   ASSERT_NE(sel, nullptr);
-  EXPECT_EQ(sel->route.as_path, (topology::AsPath{3, 1}));
+  EXPECT_EQ(net.paths.to_path(sel->route.path), (topology::AsPath{3, 1}));
 }
 
 TEST(Router, PrependingValidationAndRemoval) {
@@ -390,7 +444,7 @@ TEST(Router, PrependingValidationAndRemoval) {
   net.queue.run();
   const Selected* sel = b.loc_rib().find(kPrefix);
   ASSERT_NE(sel, nullptr);
-  EXPECT_EQ(sel->route.as_path, (topology::AsPath{1}));
+  EXPECT_EQ(net.paths.to_path(sel->route.path), (topology::AsPath{1}));
 }
 
 TEST(Router, ReOriginationRefreshesTimestamp) {

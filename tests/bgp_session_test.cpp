@@ -13,11 +13,16 @@ using topology::Relation;
 
 const Prefix kPrefix{1, 24};
 
-Update announce(sim::Time ts, std::vector<topology::AsId> path = {1, 2}) {
+topology::PathTable& table() {
+  static topology::PathTable paths;
+  return paths;
+}
+
+Update announce(sim::Time ts, const topology::AsPath& path = {1, 2}) {
   Update u;
   u.type = UpdateType::kAnnouncement;
   u.prefix = kPrefix;
-  u.as_path = std::move(path);
+  u.path = table().intern(path);
   u.beacon_timestamp = ts;
   return u;
 }
@@ -198,7 +203,7 @@ TEST(Session, JitteredMraiStaysWithinBounds) {
       Update u;
       u.type = UpdateType::kAnnouncement;
       u.prefix = kPrefix;
-      u.as_path = {1, 2};
+      u.path = table().intern(topology::AsPath{1, 2});
       u.beacon_timestamp = sim::seconds(i);
       session.submit(u, queue);
     });
@@ -224,7 +229,7 @@ TEST(Session, JitterVariesAcrossWindows) {
       Update u;
       u.type = UpdateType::kAnnouncement;
       u.prefix = kPrefix;
-      u.as_path = {1, 2};
+      u.path = table().intern(topology::AsPath{1, 2});
       u.beacon_timestamp = sim::seconds(i);
       session.submit(u, queue);
     });

@@ -9,11 +9,18 @@ namespace {
 
 const bgp::Prefix kPrefix{1, 24};
 
+/// Shared interning table for the standalone UpdateStore tests, so announce()
+/// ids resolve in every store built from it.
+const std::shared_ptr<topology::PathTable>& table() {
+  static auto paths = std::make_shared<topology::PathTable>();
+  return paths;
+}
+
 bgp::Update announce(sim::Time ts) {
   bgp::Update u;
   u.type = bgp::UpdateType::kAnnouncement;
   u.prefix = kPrefix;
-  u.as_path = {5, 6};
+  u.path = table()->intern(topology::AsPath{5, 6});
   u.beacon_timestamp = ts;
   return u;
 }
@@ -57,7 +64,7 @@ TEST(UpdateStore, RegisterAndQueryVps) {
 }
 
 TEST(UpdateStore, RecordAndRetrieveByStream) {
-  UpdateStore store;
+  UpdateStore store(table());
   const VpId a = store.register_vp(10, Project::kRipeRis, 0);
   const VpId b = store.register_vp(11, Project::kRipeRis, 0);
   store.record(a, 100, announce(1));
@@ -83,12 +90,12 @@ TEST(UpdateStore, UnknownQueriesAreEmpty) {
 }
 
 TEST(UpdateStore, RecordRejectsUnknownVp) {
-  UpdateStore store;
+  UpdateStore store(table());
   EXPECT_THROW(store.record(0, 1, announce(1)), std::out_of_range);
 }
 
 TEST(UpdateStore, DiscardInvalidAggregators) {
-  UpdateStore store;
+  UpdateStore store(table());
   const VpId a = store.register_vp(10, Project::kRipeRis, 0);
   store.record(a, 100, announce(1));
   bgp::Update missing = announce(2);
@@ -117,7 +124,7 @@ TEST(VantagePoint, RecordsRouterExportsWithDelay) {
   stats::Rng rng(3);
   bgp::Network net(graph, bgp::NetworkConfig{}, queue, rng);
 
-  UpdateStore store;
+  UpdateStore store(net.paths());
   VantagePointConfig config;
   config.as = 2;
   config.project = Project::kRouteViews;  // fixed 50 s export delay
@@ -130,7 +137,8 @@ TEST(VantagePoint, RecordsRouterExportsWithDelay) {
   ASSERT_EQ(stream.size(), 1u);
   EXPECT_TRUE(stream[0].update.is_announcement());
   // Path starts at the VP AS and ends at the origin.
-  EXPECT_EQ(stream[0].update.as_path, (topology::AsPath{2, 1}));
+  EXPECT_EQ(store.paths().to_path(stream[0].update.path),
+            (topology::AsPath{2, 1}));
   // Recorded >= link delay + 50 s export delay.
   EXPECT_GE(stream[0].recorded_at, sim::seconds(50));
 }
@@ -145,7 +153,7 @@ TEST(VantagePoint, NoiseDropsAggregatorTimestamps) {
   stats::Rng rng(5);
   bgp::Network net(graph, bgp::NetworkConfig{}, queue, rng);
 
-  UpdateStore store;
+  UpdateStore store(net.paths());
   VantagePointConfig config;
   config.as = 2;
   config.missing_aggregator_prob = 1.0;  // every announcement loses its ts

@@ -152,7 +152,7 @@ TEST(BurstSlope, HistogramFromStore) {
     bgp::Update u;
     u.type = bgp::UpdateType::kAnnouncement;
     u.prefix = exp.prefix;
-    u.as_path = {100, 50, 10};
+    u.path = store.paths().intern(topology::AsPath{100, 50, 10});
     u.beacon_timestamp = 0;
     store.record(vp, burst.begin + sim::minutes(i), u);
   }

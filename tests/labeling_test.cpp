@@ -48,11 +48,11 @@ struct SignatureFixture {
     vp = store.register_vp(100, collector::Project::kRipeRis, 0);
   }
 
-  void add_announcement(sim::Time at, topology::AsPath p = {}) {
+  void add_announcement(sim::Time at, const topology::AsPath& p = {}) {
     bgp::Update u;
     u.type = bgp::UpdateType::kAnnouncement;
     u.prefix = kPrefix;
-    u.as_path = p.empty() ? path : std::move(p);
+    u.path = store.paths().intern(p.empty() ? path : p);
     u.beacon_timestamp = at;
     store.record(vp, at, u);
   }

@@ -1,0 +1,33 @@
+// lint-as: src/bgp/fixture_hot_path_alloc.cpp
+// Fixture: allocation surfaces on the zero-alloc data plane. Paths must
+// travel as interned topology::PathId handles (by-value AsPath copies a
+// heap vector per hop) and bulk queries must fill caller-supplied scratch
+// buffers (returning a vector allocates per call).
+#include <vector>
+
+namespace because::bgp {
+
+void bad_path_by_value(AsPath path);  // expected: hot-path-alloc
+
+void bad_qualified_path(topology::AsPath path, int hops);  // expected: hot-path-alloc
+
+AsPath bad_returns_path(int from);  // expected: hot-path-alloc
+
+std::vector<int> bad_returns_vector(int prefix);  // expected: hot-path-alloc
+
+std::vector<std::pair<int, int>> bad_returns_nested(int as);  // expected: hot-path-alloc
+
+void bad_local_path_copy() {
+  AsPath scratch(16);  // expected: hot-path-alloc (per-call vector)
+  (void)scratch;
+}
+
+// Clean alternatives: references in, scratch buffers out, handles by value.
+void good_path_by_ref(const AsPath& path);
+void good_fill_scratch(int prefix, std::vector<int>& out);
+void good_member_scratch() {
+  static std::vector<int> usable_scratch_;  // named buffer, no call-site paren
+  usable_scratch_.clear();
+}
+
+}  // namespace because::bgp

@@ -16,7 +16,7 @@ UpdateStore sample_store() {
   bgp::Update announce;
   announce.type = bgp::UpdateType::kAnnouncement;
   announce.prefix = bgp::Prefix{7, 24};
-  announce.as_path = {100, 50, 10};
+  announce.path = store.paths().intern(topology::AsPath{100, 50, 10});
   announce.beacon_timestamp = sim::minutes(3);
   store.record(a, sim::minutes(4), announce);
 
@@ -55,7 +55,8 @@ TEST(Mrt, RoundTripPreservesEverything) {
     EXPECT_EQ(a.vp, b.vp);
     EXPECT_EQ(a.update.type, b.update.type);
     EXPECT_EQ(a.update.prefix, b.update.prefix);
-    EXPECT_EQ(a.update.as_path, b.update.as_path);
+    EXPECT_EQ(original.paths().to_path(a.update.path),
+              loaded.paths().to_path(b.update.path));
     EXPECT_EQ(a.update.beacon_timestamp, b.update.beacon_timestamp);
   }
 }
@@ -66,7 +67,8 @@ TEST(Mrt, QueriesWorkOnLoadedStore) {
   const UpdateStore loaded = read_mrt(buffer);
   const auto stream = loaded.for_vp_prefix(0, bgp::Prefix{7, 24});
   ASSERT_EQ(stream.size(), 1u);
-  EXPECT_EQ(stream[0].update.as_path, (topology::AsPath{100, 50, 10}));
+  EXPECT_EQ(loaded.paths().to_path(stream[0].update.path),
+            (topology::AsPath{100, 50, 10}));
 }
 
 TEST(Mrt, CommentsAndBlankLinesIgnored) {

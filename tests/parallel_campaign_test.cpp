@@ -31,8 +31,9 @@ std::uint64_t digest_result(const experiment::CampaignResult& result) {
     hash = fnv1a_u64(hash, rec.vp);
     hash = fnv1a_u64(hash, static_cast<std::uint64_t>(rec.update.type));
     hash = fnv1a_u64(hash, bgp::pack(rec.update.prefix));
-    hash = fnv1a_u64(hash, rec.update.as_path.size());
-    for (topology::AsId as : rec.update.as_path) hash = fnv1a_u64(hash, as);
+    const auto path = result.store.path_of(rec);
+    hash = fnv1a_u64(hash, path.size());
+    for (topology::AsId as : path) hash = fnv1a_u64(hash, as);
   }
   return hash;
 }

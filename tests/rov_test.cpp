@@ -109,7 +109,7 @@ TEST(RovFilter, InvalidRoutesAroundTheFilter) {
 
   const auto* sel = net.router(4).loc_rib().find(invalid);
   ASSERT_NE(sel, nullptr);
-  EXPECT_EQ(sel->route.as_path, (topology::AsPath{3, 1}));
+  EXPECT_EQ(net.paths()->to_path(sel->route.path), (topology::AsPath{3, 1}));
 }
 
 TEST(RovMeasurement, MeasuredLabelsMatchMembership) {

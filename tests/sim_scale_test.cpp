@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 
 #include "bgp/network.hpp"
 #include "experiment/campaign.hpp"
@@ -53,6 +54,71 @@ TEST(SimScale, FiveThousandAsNetworkConvergesWithinBudget) {
   // Budgets: convergence is a bounded cascade, not an open-ended churn.
   EXPECT_LT(queue.executed(), 5'000'000u);
   EXPECT_LT(queue.now(), sim::hours(2));
+}
+
+// --------------------------------------------------------------------------
+// RIB backend equivalence at scale: the flat slab backend and the reference
+// map backend must produce bit-identical collector traces, which exercises
+// the enumeration-order contract (bgp/rib.hpp) under real campaign churn.
+
+std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t digest_store(const collector::UpdateStore& store) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const collector::RecordedUpdate& rec : store.all()) {
+    hash = fnv1a_u64(hash, static_cast<std::uint64_t>(rec.recorded_at));
+    hash = fnv1a_u64(hash, rec.vp);
+    hash = fnv1a_u64(hash, static_cast<std::uint64_t>(rec.update.type));
+    hash = fnv1a_u64(hash, (static_cast<std::uint64_t>(rec.update.prefix.id) << 8) |
+                               rec.update.prefix.length);
+    hash = fnv1a_u64(hash, static_cast<std::uint64_t>(rec.update.beacon_timestamp));
+    const auto path = store.path_of(rec);
+    hash = fnv1a_u64(hash, path.size());
+    for (topology::AsId as : path) hash = fnv1a_u64(hash, as);
+  }
+  return hash;
+}
+
+experiment::CampaignConfig backend_scale_config(std::uint32_t transit,
+                                                std::uint32_t stubs,
+                                                std::uint64_t seed) {
+  experiment::CampaignConfig config = experiment::CampaignConfig::small();
+  config.topology.tier1_count = 8;
+  config.topology.transit_count = transit;
+  config.topology.stub_count = stubs;
+  config.pairs = 1;
+  config.burst_length = sim::minutes(8);
+  config.break_length = sim::minutes(30);
+  config.background_prefixes = 2;
+  config.session_resets = 1;
+  config.seed = seed;
+  return config;
+}
+
+void expect_rib_backends_agree(const experiment::CampaignConfig& base) {
+  experiment::CampaignConfig flat_config = base;
+  flat_config.network.rib_backend = bgp::RibBackend::kFlat;
+  experiment::CampaignConfig map_config = base;
+  map_config.network.rib_backend = bgp::RibBackend::kMap;
+  const experiment::CampaignResult flat = experiment::run_campaign(flat_config);
+  const experiment::CampaignResult map = experiment::run_campaign(map_config);
+  EXPECT_EQ(flat.events_executed, map.events_executed);
+  ASSERT_EQ(flat.store.size(), map.store.size());
+  EXPECT_EQ(digest_store(flat.store), digest_store(map.store));
+}
+
+TEST(SimScale, RibBackendDigestsMatchAtOneThousandAses) {
+  expect_rib_backends_agree(backend_scale_config(120, 880, 5));
+}
+
+TEST(SimScale, RibBackendDigestsMatchAtFiveThousandAses) {
+  expect_rib_backends_agree(backend_scale_config(500, 4500, 9));
 }
 
 TEST(SimScale, TenThousandAsCampaignCompletes) {

@@ -22,20 +22,22 @@ TEST(PrefixRender, OrderingAndHash) {
 }
 
 TEST(UpdateRender, AnnouncementShowsPath) {
+  topology::PathTable paths;
   bgp::Update u;
   u.type = bgp::UpdateType::kAnnouncement;
   u.prefix = bgp::Prefix{3, 24};
-  u.as_path = {10, 20};
-  const std::string text = bgp::to_string(u);
+  u.path = paths.intern(topology::AsPath{10, 20});
+  const std::string text = bgp::to_string(u, paths);
   EXPECT_NE(text.find("A pfx3/24"), std::string::npos);
   EXPECT_NE(text.find("path=[10 20]"), std::string::npos);
 }
 
 TEST(UpdateRender, WithdrawalHasNoPath) {
+  topology::PathTable paths;
   bgp::Update u;
   u.type = bgp::UpdateType::kWithdrawal;
   u.prefix = bgp::Prefix{3, 24};
-  const std::string text = bgp::to_string(u);
+  const std::string text = bgp::to_string(u, paths);
   EXPECT_NE(text.find("W pfx3/24"), std::string::npos);
   EXPECT_EQ(text.find("path"), std::string::npos);
 }

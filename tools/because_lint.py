@@ -15,6 +15,10 @@ Rules (see RULES below):
   hot-path-closure  no std::function scheduling (schedule_at/schedule_in) in
                     src/sim or src/bgp; the typed-event API
                     (schedule_event_*) keeps the hot path allocation-free.
+  hot-path-alloc    no by-value AsPath variables/parameters and no
+                    vector-by-value-returning functions in src/sim or
+                    src/bgp; paths travel as interned topology::PathId
+                    handles and bulk queries fill caller scratch buffers.
   naked-new         no naked new/delete anywhere in src/; use containers,
                     std::make_unique, or the slab allocators.
   float-equal       no ==/!= against floating-point literals in src/stats or
@@ -76,6 +80,24 @@ RULES = [
             r"(\.|->)\s*schedule_(at|in)\s*\(|^\s*schedule_(at|in)\s*\("),
         "message": "std::function scheduling on the typed-event hot path "
                    "(use schedule_event_at/schedule_event_in)",
+    },
+    {
+        "id": "hot-path-alloc",
+        "dirs": ("src/bgp", "src/sim"),
+        "exclude": (),
+        # Two allocation surfaces the zero-alloc data plane bans: AS paths
+        # held by value (every copy is a heap-backed vector — carry a
+        # topology::PathId or a const reference instead) and functions that
+        # return a std::vector by value (fill a caller-supplied scratch
+        # buffer instead). Cold-path construction sites (wiring-time slab
+        # rebuilds) are allowlisted with a justification.
+        "pattern": re.compile(
+            r"\b(?:topology::)?AsPath\s+[A-Za-z_]\w*\s*[,)(;]"
+            r"|\b(?:std::)?vector\s*<[^;={}]*>\s+[A-Za-z_]\w*\s*\("
+        ),
+        "message": "allocation on the data plane: by-value AsPath or "
+                   "vector-returning function (intern a topology::PathId, or "
+                   "fill a caller-supplied scratch buffer)",
     },
     {
         "id": "naked-new",

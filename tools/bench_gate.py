@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""bench_gate: diff a fresh BENCH_sim.json against the committed baseline.
+
+The committed BENCH_*.json files are the perf trajectory of the repo: every
+optimisation PR regenerates them, and this gate keeps later PRs from quietly
+regressing. Two checks per benchmark record, each against the committed
+number:
+
+  ns_per_op      fresh <= baseline * --ns-tolerance (default 1.4x, loose
+                 enough for machine-to-machine and scheduler noise; a real
+                 algorithmic regression is far larger than 40%).
+  allocs_per_op  fresh <= baseline * --alloc-tolerance + 0.5 (default 1.15x).
+                 Allocation counts are near-deterministic, so the band is
+                 tight; the +0.5 absolute slack forgives container-growth
+                 rounding on tiny counts. A record that *loses* its
+                 allocs_per_op field fails: the counter must not silently
+                 drop out of the bench build.
+
+Derived "Speedup" records are ratios of two measurements already gated
+individually, so they are skipped. Records present only in the fresh file
+are reported but do not fail (new benchmarks land before their baseline).
+
+Exit status: 0 = within tolerance, 1 = regression (or missing record/field),
+2 = usage error (unreadable/malformed files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(path: Path) -> dict[str, dict]:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    records = data.get("benchmarks")
+    if not isinstance(records, list):
+        print(f"bench_gate: {path} has no 'benchmarks' array", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for rec in records:
+        name = rec.get("name")
+        if not isinstance(name, str):
+            print(f"bench_gate: {path}: record without a name", file=sys.stderr)
+            sys.exit(2)
+        out[name] = rec
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH json (the reference)")
+    parser.add_argument("--fresh", required=True,
+                        help="newly generated BENCH json to verify")
+    parser.add_argument("--ns-tolerance", type=float, default=1.4,
+                        help="allowed ns_per_op ratio (default: 1.4)")
+    parser.add_argument("--alloc-tolerance", type=float, default=1.15,
+                        help="allowed allocs_per_op ratio (default: 1.15)")
+    args = parser.parse_args()
+
+    baseline = load_records(Path(args.baseline))
+    fresh = load_records(Path(args.fresh))
+
+    status = 0
+    checked = 0
+    for name, base in baseline.items():
+        if "Speedup" in name:
+            continue  # derived ratio; its inputs are gated individually
+        cur = fresh.get(name)
+        if cur is None:
+            print(f"FAIL {name}: missing from {args.fresh}")
+            status = 1
+            continue
+        checked += 1
+
+        base_ns = float(base["ns_per_op"])
+        cur_ns = float(cur["ns_per_op"])
+        limit_ns = base_ns * args.ns_tolerance
+        if cur_ns > limit_ns:
+            print(f"FAIL {name}: ns_per_op {cur_ns:.1f} > "
+                  f"{limit_ns:.1f} (baseline {base_ns:.1f} x {args.ns_tolerance})")
+            status = 1
+        else:
+            print(f"  ok {name}: ns_per_op {cur_ns:.1f} "
+                  f"(baseline {base_ns:.1f})")
+
+        if "allocs_per_op" in base:
+            if "allocs_per_op" not in cur:
+                print(f"FAIL {name}: allocs_per_op missing from fresh record "
+                      f"(allocation counter dropped out of the bench build?)")
+                status = 1
+                continue
+            base_allocs = float(base["allocs_per_op"])
+            cur_allocs = float(cur["allocs_per_op"])
+            limit = base_allocs * args.alloc_tolerance + 0.5
+            if cur_allocs > limit:
+                print(f"FAIL {name}: allocs_per_op {cur_allocs:.3f} > "
+                      f"{limit:.3f} (baseline {base_allocs:.3f})")
+                status = 1
+            else:
+                print(f"  ok {name}: allocs_per_op {cur_allocs:.3f} "
+                      f"(baseline {base_allocs:.3f})")
+
+    for name in fresh:
+        if name not in baseline and "Speedup" not in name:
+            print(f"note {name}: new benchmark, no baseline yet")
+
+    if checked == 0:
+        print("bench_gate: baseline contained no gateable records",
+              file=sys.stderr)
+        return 2
+    print(f"bench_gate: {'REGRESSION' if status else 'clean'} "
+          f"({checked} records checked)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
