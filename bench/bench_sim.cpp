@@ -13,6 +13,10 @@
 //   3. BM_Campaign/<ases>: wall-clock of the whole run_campaign() pipeline
 //      (topology generation through path labeling).
 //
+// Layers 1 and 2 also run once with the obs subsystem collecting
+// (BM_*/obs records); the derived BM_ObsOverhead/{engine,sim} ratios are
+// gated absolutely by tools/bench_gate.py (--obs-tolerance, default 1.05).
+//
 // Scales default to 1000 5000 10000 ASes and can be overridden on the
 // command line: bench_sim 1000 2000.
 #include <chrono>
@@ -28,6 +32,8 @@
 #include "collector/vantage_point.hpp"
 #include "experiment/campaign.hpp"
 #include "experiment/deployment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/rng.hpp"
 #include "topology/generator.hpp"
@@ -242,8 +248,28 @@ int main(int argc, char** argv) {
       engine_cal.events_per_second() / engine_heap.events_per_second();
   records.push_back({"BM_EventEngineSpeedup", engine_speedup, engine_speedup, 1});
 
-  // 2. Full network simulation per scale; before/after at the smallest scale.
+  // 1b. The same engine workload with observability collection on. The
+  // derived BM_ObsOverhead records carry the on/off cost ratio as ns_per_op;
+  // bench_gate checks them against an absolute ceiling (default 1.05: obs-on
+  // may cost at most 5% of event-loop throughput).
+  obs::set_enabled(true);
+  obs::set_trace_enabled(true);
+  const EngineMeasurement engine_obs =
+      best_engine(sim::EngineBackend::kCalendar);
+  obs::set_enabled(false);
+  obs::set_trace_enabled(false);
+  obs::reset();
+  obs::trace_reset();
+  add("BM_EventEngine/calendar/obs", engine_obs);
+  const double engine_obs_overhead =
+      engine_cal.events_per_second() / engine_obs.events_per_second();
+  records.push_back(
+      {"BM_ObsOverhead/engine", engine_obs_overhead, engine_obs_overhead, 1});
+
+  // 2. Full network simulation per scale; before/after at the smallest scale,
+  // plus the obs-on overhead pair there.
   double sim_speedup = 0.0;
+  double sim_obs_overhead = 0.0;
   for (std::size_t i = 0; i < scales.size(); ++i) {
     const EngineMeasurement m =
         bench::measure_sim(scales[i], sim::EngineBackend::kCalendar);
@@ -255,6 +281,19 @@ int main(int argc, char** argv) {
       sim_speedup = m.events_per_second() / heap.events_per_second();
       records.push_back({"BM_SimNetworkSpeedup/" + std::to_string(scales[i]),
                          sim_speedup, sim_speedup, 1});
+
+      obs::set_enabled(true);
+      obs::set_trace_enabled(true);
+      const EngineMeasurement obs_on =
+          bench::measure_sim(scales[i], sim::EngineBackend::kCalendar);
+      obs::set_enabled(false);
+      obs::set_trace_enabled(false);
+      obs::reset();
+      obs::trace_reset();
+      add("BM_SimNetwork/" + std::to_string(scales[i]) + "/obs", obs_on);
+      sim_obs_overhead = m.events_per_second() / obs_on.events_per_second();
+      records.push_back(
+          {"BM_ObsOverhead/sim", sim_obs_overhead, sim_obs_overhead, 1});
     }
   }
 
@@ -281,6 +320,8 @@ int main(int argc, char** argv) {
               engine_speedup);
   std::printf("end-to-end sim speedup at %zu ASes: %.2fx\n", scales[0],
               sim_speedup);
+  std::printf("obs-on overhead: engine %.3fx, sim %.3fx\n",
+              engine_obs_overhead, sim_obs_overhead);
 
   if (!bench::write_bench_json("BENCH_sim.json", records))
     std::fprintf(stderr, "failed to write BENCH_sim.json\n");

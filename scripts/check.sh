@@ -5,9 +5,11 @@
 #               binary exists) + the because-lint determinism linter
 #   2. release  tier-1 suite under the optimised preset (contracts compiled
 #               out — also proves BECAUSE_ASSERT has no Release footprint)
-#   3. tsan     thread sanitizer over the concurrency-labeled tests
+#   3. obs      observability subsystem: snapshot determinism across pool
+#               sizes and the golden Chrome-trace digest (release preset)
+#   4. tsan     thread sanitizer over the concurrency-labeled tests
 #
-# `--full` appends a fourth stage: address+UB sanitizers over the tier-1
+# `--full` appends a fifth stage: address+UB sanitizers over the tier-1
 # suite minus slow-labeled tests.
 #
 # `--bench` appends the bench-regression gate: build bench_sim under the
@@ -15,13 +17,13 @@
 # and diff against the committed baseline with tools/bench_gate.py.
 #
 # Each CMake stage is a workflow preset, so any one can be run alone:
-#   cmake --workflow --preset check-static    (or check-release / check-tsan /
-#                                              check-asan)
+#   cmake --workflow --preset check-static    (or check-release / check-obs /
+#                                              check-tsan / check-asan)
 # The script stops at the first failing stage and prints per-stage timing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(check-static check-release check-tsan)
+STAGES=(check-static check-release check-obs check-tsan)
 for arg in "$@"; do
   case "${arg}" in
     --full) STAGES+=(check-asan) ;;

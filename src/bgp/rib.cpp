@@ -10,8 +10,11 @@ AdjRibIn::AdjRibIn(RibBackend backend) : backend_(backend) {}
 
 std::size_t AdjRibIn::slot_of(topology::AsId neighbor) const {
   if (cached_slot_ != static_cast<std::size_t>(-1) &&
-      cached_slot_id_ == neighbor)
+      cached_slot_id_ == neighbor) {
+    ++memo_hits_;
     return cached_slot_;
+  }
+  ++memo_misses_;
   const auto it =
       std::lower_bound(neighbor_ids_.begin(), neighbor_ids_.end(), neighbor);
   if (it == neighbor_ids_.end() || *it != neighbor)
@@ -68,7 +71,11 @@ void AdjRibIn::add_neighbor(topology::AsId neighbor) {
 
 std::ptrdiff_t AdjRibIn::find_row(const Prefix& prefix) const {
   const std::uint64_t key = pack(prefix);
-  if (key == cached_row_key_) return static_cast<std::ptrdiff_t>(cached_row_);
+  if (key == cached_row_key_) {
+    ++memo_hits_;
+    return static_cast<std::ptrdiff_t>(cached_row_);
+  }
+  ++memo_misses_;
   const auto it = std::lower_bound(
       rows_.begin(), rows_.end(), key,
       [](const auto& row, std::uint64_t k) { return row.first < k; });
@@ -80,7 +87,11 @@ std::ptrdiff_t AdjRibIn::find_row(const Prefix& prefix) const {
 
 std::uint32_t AdjRibIn::row_of(const Prefix& prefix) {
   const std::uint64_t key = pack(prefix);
-  if (key == cached_row_key_) return cached_row_;
+  if (key == cached_row_key_) {
+    ++memo_hits_;
+    return cached_row_;
+  }
+  ++memo_misses_;
   const auto it = std::lower_bound(
       rows_.begin(), rows_.end(), key,
       [](const auto& row, std::uint64_t k) { return row.first < k; });
@@ -269,7 +280,11 @@ LocRib::LocRib(RibBackend backend) : backend_(backend) {}
 
 std::ptrdiff_t LocRib::find_slot(const Prefix& prefix) const {
   const std::uint64_t key = pack(prefix);
-  if (key == cached_key_) return static_cast<std::ptrdiff_t>(cached_slot_);
+  if (key == cached_key_) {
+    ++memo_hits_;
+    return static_cast<std::ptrdiff_t>(cached_slot_);
+  }
+  ++memo_misses_;
   const auto it = std::lower_bound(
       slots_index_.begin(), slots_index_.end(), key,
       [](const auto& entry, std::uint64_t k) { return entry.first < k; });

@@ -88,6 +88,12 @@ class AdjRibIn {
   std::size_t route_count() const;
   RibBackend backend() const { return backend_; }
 
+  // One-entry-memo effectiveness (kFlat row/slot lookups). Flushed to the obs
+  // registry by ~Router — AdjRibIn itself must stay destructor-free so Router
+  // remains movable.
+  std::uint64_t memo_hits() const { return memo_hits_; }
+  std::uint64_t memo_misses() const { return memo_misses_; }
+
  private:
   /// One (prefix row, neighbor slot) cell of the flat slab. `seen` is the
   /// sticky announcement memory; occupancy lives in the row bitmaps.
@@ -125,6 +131,8 @@ class AdjRibIn {
   mutable std::uint32_t cached_row_ = 0;
   mutable topology::AsId cached_slot_id_ = 0;
   mutable std::size_t cached_slot_ = static_cast<std::size_t>(-1);
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
   /// Per-slot enumeration mirrors (see the order contract above), node-pooled
   /// so steady-state withdraw/re-announce churn stops hitting malloc. The
   /// pool must be declared before the mirrors it backs.
@@ -164,6 +172,10 @@ class LocRib {
 
   std::size_t size() const;
 
+  // One-entry-memo effectiveness; flushed by ~Router (see AdjRibIn note).
+  std::uint64_t memo_hits() const { return memo_hits_; }
+  std::uint64_t memo_misses() const { return memo_misses_; }
+
  private:
   std::ptrdiff_t find_slot(const Prefix& prefix) const;  // -1 = absent
 
@@ -177,6 +189,8 @@ class LocRib {
   /// append-only so a cached mapping can never go stale.
   mutable std::uint64_t cached_key_ = ~std::uint64_t{0};
   mutable std::uint32_t cached_slot_ = 0;
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
   /// Enumeration mirror, node-pooled like AdjRibIn's (pool declared first).
   using MirrorMap =
       std::unordered_map<Prefix, char, std::hash<Prefix>, std::equal_to<Prefix>,

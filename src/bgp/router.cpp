@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace because::bgp {
 
 bool DampingRule::matches(topology::Relation neighbor_relation,
@@ -26,6 +29,15 @@ Router::Router(topology::AsId id, sim::EventQueue& queue,
       paths_(&paths),
       adj_rib_in_(rib_backend),
       loc_rib_(rib_backend) {}
+
+Router::~Router() {
+  if (!obs::enabled()) return;
+  obs::add(obs::Counter::kBgpUpdatesReceived, updates_received_);
+  obs::add(obs::Counter::kAdjRibMemoHits, adj_rib_in_.memo_hits());
+  obs::add(obs::Counter::kAdjRibMemoMisses, adj_rib_in_.memo_misses());
+  obs::add(obs::Counter::kLocRibMemoHits, loc_rib_.memo_hits());
+  obs::add(obs::Counter::kLocRibMemoMisses, loc_rib_.memo_misses());
+}
 
 Router::NeighborEntry* Router::find_neighbor(topology::AsId id) {
   const auto it = std::lower_bound(
@@ -149,6 +161,9 @@ void Router::receive(topology::AsId from, const Update& update) {
     if (damper != nullptr) {
       const rfd::Outcome out =
           damper->on_update(prefix, rfd::UpdateKind::kWithdrawal, now);
+      if (out.became_suppressed)
+        obs::trace_instant("rfd.suppress", now,
+                           static_cast<std::int64_t>(from));
       if (out.suppressed) schedule_release(from, prefix, out.generation);
     }
     adj_rib_in_.withdraw(from, prefix);
@@ -172,6 +187,8 @@ void Router::receive(topology::AsId from, const Update& update) {
   if (damper != nullptr) {
     const rfd::Outcome out = damper->on_update(prefix, kind, now);
     suppressed = out.suppressed;
+    if (out.became_suppressed)
+      obs::trace_instant("rfd.suppress", now, static_cast<std::int64_t>(from));
     if (out.suppressed) schedule_release(from, prefix, out.generation);
   }
 
@@ -193,6 +210,8 @@ void Router::on_release_timer(std::uint32_t slot) {
   rfd::Damper* d = damper_for(rec.from, rec.prefix);
   if (d == nullptr) return;
   if (d->try_release(rec.prefix, rec.generation, queue_.now())) {
+    obs::trace_instant("rfd.release", queue_.now(),
+                       static_cast<std::int64_t>(rec.from));
     adj_rib_in_.set_suppressed(rec.from, rec.prefix, false);
     run_decision(rec.prefix);
   }
@@ -209,6 +228,8 @@ void Router::schedule_release(topology::AsId from, const Prefix& prefix,
       rfd::Damper* d = damper_for(from, prefix);
       if (d == nullptr) return;
       if (d->try_release(prefix, generation, queue_.now())) {
+        obs::trace_instant("rfd.release", queue_.now(),
+                           static_cast<std::int64_t>(from));
         adj_rib_in_.set_suppressed(from, prefix, false);
         run_decision(prefix);
       }

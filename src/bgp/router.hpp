@@ -61,6 +61,10 @@ class Router {
          RibBackend rib_backend = RibBackend::kFlat);
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
+  /// Publishes receive/memo tallies (including the RIBs' memo counters —
+  /// the RIB classes themselves stay destructor-free) to the obs registry
+  /// when collection is enabled.
+  ~Router();
 
   topology::AsId id() const { return id_; }
 

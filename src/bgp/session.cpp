@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace because::bgp {
+
+Session::~Session() {
+  if (!obs::enabled()) return;
+  obs::add(obs::Counter::kBgpAnnouncementsSent, announcements_sent_);
+  obs::add(obs::Counter::kBgpWithdrawalsSent, withdrawals_sent_);
+  obs::add(obs::Counter::kBgpSendsElided, sends_elided_);
+}
 
 Session::Session(topology::AsId local, topology::AsId remote,
                  topology::Relation relation_to_remote, sim::Duration mrai,
@@ -113,14 +122,20 @@ void Session::submit(const Update& update, sim::EventQueue& queue) {
 void Session::send_or_skip(PrefixState& state, const Update& update,
                            sim::EventQueue& queue) {
   if (update.is_withdrawal()) {
-    if (!state.advertised.has_value()) return;  // remote holds nothing anyway
+    if (!state.advertised.has_value()) {
+      ++sends_elided_;  // remote holds nothing anyway
+      return;
+    }
     state.advertised.reset();
+    ++withdrawals_sent_;
   } else {
     if (state.advertised.has_value() && state.advertised->path == update.path &&
         state.advertised->beacon_timestamp == update.beacon_timestamp) {
-      return;  // identical announcement, nothing to refresh
+      ++sends_elided_;  // identical announcement, nothing to refresh
+      return;
     }
     state.advertised = update;
+    ++announcements_sent_;
   }
   state.next_allowed_at = queue.now() + draw_mrai();
   ++updates_sent_;

@@ -36,6 +36,10 @@ class Session {
           topology::Relation relation_to_remote, sim::Duration mrai,
           bool mrai_on_withdrawals, SendFn send,
           stats::Rng* jitter_rng = nullptr, double jitter = 0.25);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  /// Publishes the send/elision tallies to the obs registry when enabled.
+  ~Session();
 
   topology::AsId remote() const { return remote_; }
   topology::Relation relation() const { return relation_; }
@@ -53,6 +57,7 @@ class Session {
   bool advertised(const Prefix& prefix) const;
 
   std::uint64_t updates_sent() const { return updates_sent_; }
+  std::uint64_t sends_elided() const { return sends_elided_; }
 
  private:
   struct PrefixState {
@@ -93,6 +98,11 @@ class Session {
   /// cascade. Invalidated whenever states_ is resorted by an insert.
   mutable std::size_t cached_state_ = static_cast<std::size_t>(-1);
   std::uint64_t updates_sent_ = 0;
+  // Obs tallies (announcements + withdrawals == updates_sent_); flushed by
+  // the destructor so the hot path stays plain member increments.
+  std::uint64_t announcements_sent_ = 0;
+  std::uint64_t withdrawals_sent_ = 0;
+  std::uint64_t sends_elided_ = 0;
 };
 
 }  // namespace because::bgp

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "stats/rng.hpp"
 #include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
@@ -87,6 +88,8 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
   Chain chain(dim);
   std::uint64_t proposals = 0;
   std::uint64_t accepts = 0;
+  std::uint64_t divergences = 0;
+  std::uint64_t leapfrog_steps = 0;
 
   const std::size_t total = config.burn_in + config.samples;
   for (std::size_t iter = 0; iter < total; ++iter) {
@@ -119,6 +122,11 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
     const double log_accept =
         (proposed_logp - kinetic1) - (current_logp - kinetic0);
     ++proposals;
+    leapfrog_steps += config.leapfrog_steps;
+    // Divergence diagnostic only (Stan's convention: the trajectory's energy
+    // error exploded). Acceptance below is unchanged — a non-finite or very
+    // negative log_accept already rejects through the same comparison.
+    if (!std::isfinite(log_accept) || log_accept < -1000.0) ++divergences;
     if (log_accept >= 0.0 || rng.uniform() < std::exp(log_accept)) {
       ++accepts;
       theta = theta_prop;
@@ -137,6 +145,12 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
   chain.acceptance_rate =
       proposals == 0 ? 0.0
                      : static_cast<double>(accepts) / static_cast<double>(proposals);
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kHmcTrajectories, proposals);
+    obs::add(obs::Counter::kHmcAccepts, accepts);
+    obs::add(obs::Counter::kHmcDivergences, divergences);
+    obs::add(obs::Counter::kHmcLeapfrogSteps, leapfrog_steps);
+  }
   return chain;
 }
 

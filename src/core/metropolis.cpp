@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace because::core {
@@ -99,6 +100,10 @@ Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
   chain.acceptance_rate =
       proposals == 0 ? 0.0
                      : static_cast<double>(accepts) / static_cast<double>(proposals);
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kMhProposals, proposals);
+    obs::add(obs::Counter::kMhAccepts, accepts);
+  }
   return chain;
 }
 

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "obs/metrics.hpp"
+#include "stats/ess.hpp"
 #include "stats/rhat.hpp"
 #include "util/thread_pool.hpp"
 
@@ -97,6 +99,24 @@ MultiChainResult run_chains(
   for (const Chain& chain : result.chains)
     for (std::size_t t = 0; t < chain.size(); ++t)
       result.pooled.push(chain.sample(t));
+
+  if (obs::enabled()) {
+    // Convergence snapshot for the whole run: the worst coordinate's R-hat
+    // and its summed per-chain ESS. Computed here — after collect_all, on
+    // the calling thread — so the values (and gauge writes) are independent
+    // of pool size.
+    obs::add(obs::Counter::kMcmcChains, n_chains);
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < dim; ++i)
+      if (result.rhat[i] > result.rhat[worst]) worst = i;
+    obs::set_gauge(obs::Gauge::kMcmcMaxRhat, result.max_rhat());
+    double ess = 0.0;
+    for (const Chain& chain : result.chains) {
+      const std::vector<double> marginal = chain.marginal(worst);
+      ess += stats::effective_sample_size(marginal);
+    }
+    obs::set_gauge(obs::Gauge::kMcmcWorstEss, ess);
+  }
   return result;
 }
 

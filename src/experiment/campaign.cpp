@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "collector/vantage_point.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace because::experiment {
 
@@ -279,6 +281,13 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
   queue.run();
   result.events_executed = queue.executed();
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kCampaignCells, 1);
+    obs::add(obs::Counter::kCampaignEvents, result.events_executed);
+  }
+  // One span covering the whole simulated horizon of this cell; the runner
+  // sets the lane, so per-cell spans land on separate Perfetto tracks.
+  obs::trace_complete("campaign.run", 0, queue.now());
 
   result.store.discard_invalid_aggregators();
 

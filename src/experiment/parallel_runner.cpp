@@ -4,6 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
 namespace because::experiment {
 
 std::vector<RfdPreset> standard_rfd_presets() {
@@ -54,9 +59,15 @@ std::vector<CampaignResult> ParallelCampaignRunner::run(
     const std::vector<CampaignScenario>& scenarios) {
   std::vector<std::future<CampaignResult>> futures;
   futures.reserve(scenarios.size());
-  for (const CampaignScenario& scenario : scenarios) {
+  for (std::size_t cell = 0; cell < scenarios.size(); ++cell) {
+    // The trace lane is the cell index, installed inside the worker task:
+    // every event a cell emits then carries one lane written by one thread,
+    // which is what keeps the merged trace identical at any pool size.
     futures.push_back(pool_.submit(
-        [config = &scenario.config] { return run_campaign(*config); }));
+        [config = &scenarios[cell].config, cell] {
+          obs::TraceLaneScope lane(static_cast<std::uint32_t>(cell));
+          return run_campaign(*config);
+        }));
   }
   // Wait for everything first: a scenario that throws must not unwind while
   // other workers still read the caller's scenario list.
@@ -64,6 +75,21 @@ std::vector<CampaignResult> ParallelCampaignRunner::run(
   std::vector<CampaignResult> results;
   results.reserve(futures.size());
   for (std::future<CampaignResult>& f : futures) results.push_back(f.get());
+
+  // End-of-run summary (replaces per-cell progress logging): one table at
+  // kInfo, emitted after all futures resolved so it never interleaves with
+  // worker output and has no effect on the results or their digests.
+  if (obs::enabled() && util::log_level() <= util::LogLevel::kInfo) {
+    util::Table table({"scenario", "events"});
+    std::uint64_t total = 0;
+    for (std::size_t cell = 0; cell < results.size(); ++cell) {
+      table.add_row({scenarios[cell].name,
+                     std::to_string(results[cell].events_executed)});
+      total += results[cell].events_executed;
+    }
+    table.add_row({"total", std::to_string(total)});
+    util::log_info() << "campaign summary\n" << table.render();
+  }
   return results;
 }
 

@@ -1,0 +1,186 @@
+// Exporter boundary of the obs subsystem. This file (and only this file in
+// src/obs/) may read the wallclock: the optional "exported_unix_ms" stamp in
+// render_json. Everything feeding digests stays wallclock-free.
+#include "obs/export.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace because::obs {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars). Metric
+/// and span names are ASCII identifiers, so this is belt and braces.
+void append_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_string(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  append_escaped(out, text);
+  out += '"';
+  return out;
+}
+
+/// %.17g round-trips every double and is locale-independent for the values
+/// we emit (snprintf with the "C" numeric conventions the library assumes).
+std::string json_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+std::string format_count(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace
+
+std::string render_table(const MetricsSnapshot& snapshot) {
+  std::string out;
+
+  util::Table counters({"counter", "value"});
+  for (const auto& row : snapshot.counters)
+    counters.add_row({row.name, format_count(row.value)});
+  out += counters.render("obs counters");
+
+  util::Table gauges({"gauge", "value"});
+  for (const auto& row : snapshot.gauges)
+    gauges.add_row({row.name, row.set ? json_double(row.value) : "-"});
+  out += "\n";
+  out += gauges.render("obs gauges");
+
+  for (const auto& histo : snapshot.histograms) {
+    util::Table buckets({"bucket (pow2)", "count"});
+    for (std::size_t b = 0; b < histo.buckets.size(); ++b) {
+      if (histo.buckets[b] == 0) continue;
+      const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+      const std::uint64_t hi = (std::uint64_t{1} << b) - 1;
+      std::string label;
+      if (b == 0) {
+        label = "0";
+      } else {
+        label += '[';
+        label += std::to_string(lo);
+        label += ", ";
+        label += std::to_string(hi);
+        label += ']';
+      }
+      buckets.add_row({std::move(label), format_count(histo.buckets[b])});
+    }
+    buckets.add_row({"total", format_count(histo.total)});
+    out += "\n";
+    out += buckets.render("obs histogram: " + histo.name);
+  }
+  return out;
+}
+
+std::string render_json(const MetricsSnapshot& snapshot,
+                        bool include_wallclock) {
+  std::string out = "{\n";
+  if (include_wallclock) {
+    const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+    out += "  \"exported_unix_ms\": " + std::to_string(now_ms) + ",\n";
+  }
+
+  out += "  \"counters\": {\n";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& row = snapshot.counters[i];
+    out += "    " + json_string(row.name) + ": " + format_count(row.value);
+    out += i + 1 < snapshot.counters.size() ? ",\n" : "\n";
+  }
+  out += "  },\n";
+
+  out += "  \"gauges\": {\n";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& row = snapshot.gauges[i];
+    out += "    " + json_string(row.name) + ": " +
+           (row.set ? json_double(row.value) : std::string("null"));
+    out += i + 1 < snapshot.gauges.size() ? ",\n" : "\n";
+  }
+  out += "  },\n";
+
+  out += "  \"histograms\": {\n";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& histo = snapshot.histograms[i];
+    out += "    " + json_string(histo.name) + ": {\"total\": " +
+           format_count(histo.total) + ", \"buckets\": [";
+    for (std::size_t b = 0; b < histo.buckets.size(); ++b) {
+      if (b != 0) out += ", ";
+      out += format_count(histo.buckets[b]);
+    }
+    out += "]}";
+    out += i + 1 < snapshot.histograms.size() ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string render_chrome_trace(std::span<const TraceEvent> events) {
+  // Chrome trace_event "JSON object format". ts/dur are microseconds; sim
+  // time is milliseconds, so scale by 1000. pid is fixed, tid is the lane so
+  // Perfetto draws one track per campaign cell.
+  std::string out = "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += "{\"name\":" + json_string(e.name) + ",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(e.lane) +
+           ",\"ts\":" + std::to_string(e.ts * 1000);
+    switch (e.ph) {
+      case 'X':
+        out += ",\"dur\":" + std::to_string(e.dur * 1000);
+        break;
+      case 'i':
+        out += ",\"s\":\"t\",\"args\":{\"value\":" + std::to_string(e.value) +
+               "}";
+        break;
+      case 'C':
+        out += ",\"args\":{\"value\":" + std::to_string(e.value) + "}";
+        break;
+      default:
+        break;
+    }
+    out += "}";
+    out += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("obs: cannot open " + path);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  if (!out) throw std::runtime_error("obs: short write to " + path);
+}
+
+}  // namespace because::obs

@@ -1,0 +1,37 @@
+// Exporters for obs snapshots: text table, JSON snapshot, Chrome trace.
+//
+// This is the allowlisted wallclock boundary of the obs subsystem (see the
+// obs-wallclock lint rule): render_json can stamp the export time because a
+// file written for humans may say when it was written — nothing upstream of
+// this file, and nothing that feeds a digest, ever sees wallclock. Golden
+// tests call render_json(snapshot, /*include_wallclock=*/false).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace because::obs {
+
+/// Render counters/gauges/histograms as aligned text tables (util::Table).
+std::string render_table(const MetricsSnapshot& snapshot);
+
+/// Render a deterministic JSON document of the snapshot. Counters are
+/// integers; gauges print with %.17g (round-trippable); unset gauges emit
+/// null. With include_wallclock, an "exported_unix_ms" stamp is added —
+/// leave it off for anything digested or diffed.
+std::string render_json(const MetricsSnapshot& snapshot,
+                        bool include_wallclock = false);
+
+/// Render trace events as Chrome trace_event JSON (open in Perfetto or
+/// chrome://tracing). Sim-time milliseconds map onto the microsecond ts/dur
+/// axis (×1000); pid is always 1 and tid is the lane.
+std::string render_chrome_trace(std::span<const TraceEvent> events);
+
+/// Write `content` to `path`, throwing std::runtime_error on failure.
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace because::obs

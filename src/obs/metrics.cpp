@@ -1,0 +1,260 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace because::obs {
+namespace {
+
+/// Per-thread accumulation cells. Shards are created lazily on first use per
+/// thread, owned by the registry (so they outlive pool workers), and only
+/// ever written by their owning thread; snapshot()/reset() read them under
+/// the registry mutex while instrumented work is quiescent.
+struct Shard {
+  std::vector<std::uint64_t> counters;
+  std::array<std::array<std::uint64_t, kHistogramBuckets>, kHistoCount>
+      histograms{};
+};
+
+constexpr std::array<const char*, kCounterCount> kCounterNames = {
+    "sim.events.closure",
+    "sim.events.bgp_delivery",
+    "sim.events.mrai_timer",
+    "sim.events.rfd_reuse",
+    "sim.events.beacon",
+    "sim.events.collector_record",
+    "sim.schedules",
+    "sim.past_clamped",
+    "sim.cal.scan_steps",
+    "sim.cal.window_skips",
+    "sim.cal.resizes",
+    "bgp.announcements_sent",
+    "bgp.withdrawals_sent",
+    "bgp.sends_elided",
+    "bgp.updates_received",
+    "bgp.adj_rib_in.memo_hits",
+    "bgp.adj_rib_in.memo_misses",
+    "bgp.loc_rib.memo_hits",
+    "bgp.loc_rib.memo_misses",
+    "bgp.paths.dedup_hits",
+    "bgp.paths.dedup_misses",
+    "mcmc.mh.proposals",
+    "mcmc.mh.accepts",
+    "mcmc.hmc.trajectories",
+    "mcmc.hmc.accepts",
+    "mcmc.hmc.divergences",
+    "mcmc.hmc.leapfrog_steps",
+    "mcmc.chains",
+    "campaign.cells",
+    "campaign.events",
+};
+
+constexpr std::array<const char*, kGaugeCount> kGaugeNames = {
+    "mcmc.rhat.max",
+    "mcmc.ess.worst_coord",
+};
+
+constexpr std::array<const char*, kHistoCount> kHistoNames = {
+    "sim.queue_depth_pow2",
+};
+
+/// RFD per-variant counters pre-registered at startup so their snapshot
+/// position never depends on which preset a worker thread flushed first.
+constexpr std::array<const char*, 6> kRfdVariantLabels = {
+    "cisco-60", "juniper-60", "rfc7454-60", "cisco-30", "cisco-10", "custom",
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  Registry() {
+    names_.reserve(kCounterCount + 2 * kRfdVariantLabels.size());
+    for (const char* name : kCounterNames) register_locked(name);
+    for (const char* label : kRfdVariantLabels)
+      register_locked(std::string("rfd.suppressions.") + label);
+    for (const char* label : kRfdVariantLabels)
+      register_locked(std::string("rfd.releases.") + label);
+    catalogue_size_ = names_.size();
+  }
+
+  CounterId id_of(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    return register_locked(std::string(name));
+  }
+
+  void count(CounterId id, std::uint64_t delta) {
+    Shard& shard = local_shard();
+    if (id >= shard.counters.size()) {
+      // A counter registered after this shard was sized; grow to the current
+      // registry width (cold: happens once per thread per late registration).
+      std::lock_guard<std::mutex> lock(mutex_);
+      shard.counters.resize(names_.size(), 0);
+      BECAUSE_CHECK(id < shard.counters.size(),
+                    "obs: counter id out of range");
+    }
+    shard.counters[id] += delta;
+  }
+
+  void histo(std::uint32_t id, std::uint64_t value) {
+    BECAUSE_DCHECK(id < kHistoCount, "obs: histogram id out of range");
+    local_shard().histograms[id][histogram_bucket(value)] += 1;
+  }
+
+  void histo_bucket(std::uint32_t id, std::size_t bucket,
+                    std::uint64_t count) {
+    BECAUSE_DCHECK(id < kHistoCount, "obs: histogram id out of range");
+    BECAUSE_DCHECK(bucket < kHistogramBuckets,
+                   "obs: histogram bucket out of range");
+    local_shard().histograms[id][bucket] += count;
+  }
+
+  void set_gauge(Gauge g, double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& cell = gauges_[static_cast<std::size_t>(g)];
+    cell.first = value;
+    cell.second = true;
+  }
+
+  MetricsSnapshot snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+
+    std::vector<std::uint64_t> sums(names_.size(), 0);
+    std::array<std::array<std::uint64_t, kHistogramBuckets>, kHistoCount>
+        histo_sums{};
+    for (const auto& shard : shards_) {
+      for (std::size_t i = 0; i < shard->counters.size(); ++i)
+        sums[i] += shard->counters[i];
+      for (std::size_t h = 0; h < kHistoCount; ++h)
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+          histo_sums[h][b] += shard->histograms[h][b];
+    }
+
+    snap.counters.reserve(names_.size());
+    for (std::size_t i = 0; i < catalogue_size_; ++i)
+      snap.counters.push_back({std::string(names_[i]), sums[i]});
+    // Post-catalogue registrations: order by name, not by the (scheduling
+    // dependent) order threads first touched them in.
+    std::vector<std::size_t> late;
+    for (std::size_t i = catalogue_size_; i < names_.size(); ++i)
+      late.push_back(i);
+    std::sort(late.begin(), late.end(), [this](std::size_t a, std::size_t b) {
+      return names_[a] < names_[b];
+    });
+    for (std::size_t i : late)
+      snap.counters.push_back({std::string(names_[i]), sums[i]});
+
+    snap.gauges.reserve(kGaugeCount);
+    for (std::size_t g = 0; g < kGaugeCount; ++g)
+      snap.gauges.push_back(
+          {kGaugeNames[g], gauges_[g].first, gauges_[g].second});
+
+    snap.histograms.reserve(kHistoCount);
+    for (std::size_t h = 0; h < kHistoCount; ++h) {
+      MetricsSnapshot::HistoRow row;
+      row.name = kHistoNames[h];
+      row.buckets = histo_sums[h];
+      for (std::uint64_t b : row.buckets) row.total += b;
+      snap.histograms.push_back(std::move(row));
+    }
+    return snap;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      std::fill(shard->counters.begin(), shard->counters.end(), 0);
+      for (auto& h : shard->histograms) h.fill(0);
+    }
+    for (auto& cell : gauges_) cell = {0.0, false};
+  }
+
+ private:
+  CounterId register_locked(std::string name) {
+    // Caller holds mutex_ (or is the constructor, which runs single-threaded
+    // under the magic-static guarantee).
+    auto [it, inserted] =
+        ids_.emplace(std::move(name), static_cast<CounterId>(names_.size()));
+    BECAUSE_CHECK(inserted, "obs: duplicate counter registration");
+    names_.push_back(it->first);
+    return it->second;
+  }
+
+  Shard& local_shard() {
+    thread_local Shard* shard = nullptr;
+    if (shard == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->counters.resize(names_.size(), 0);
+      shard = shards_.back().get();
+    }
+    return *shard;
+  }
+
+  std::mutex mutex_;
+  // std::map keeps node (and thus key-string) addresses stable, so names_
+  // can hold views into the keys without a second copy.
+  std::map<std::string, CounterId, std::less<>> ids_;
+  std::vector<std::string_view> names_;  ///< id -> name, registration order
+  std::size_t catalogue_size_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::array<std::pair<double, bool>, kGaugeCount> gauges_{};
+};
+
+}  // namespace
+
+namespace detail {
+
+void count(CounterId id, std::uint64_t delta) {
+  Registry::instance().count(id, delta);
+}
+
+void histo(std::uint32_t id, std::uint64_t value) {
+  Registry::instance().histo(id, value);
+}
+
+void histo_bucket(std::uint32_t id, std::size_t bucket, std::uint64_t count) {
+  Registry::instance().histo_bucket(id, bucket, count);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  if (on) {
+    // Force catalogue registration before any hot path can race the magic
+    // static's first use.
+    Registry::instance();
+  }
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+CounterId counter_id(std::string_view name) {
+  return Registry::instance().id_of(name);
+}
+
+void add_named(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  detail::count(counter_id(name), delta);
+}
+
+void set_gauge(Gauge g, double value) {
+  if (!enabled()) return;
+  Registry::instance().set_gauge(g, value);
+}
+
+MetricsSnapshot snapshot() { return Registry::instance().snapshot(); }
+
+void reset() { Registry::instance().reset(); }
+
+}  // namespace because::obs

@@ -1,0 +1,199 @@
+// Deterministic observability: the metrics registry.
+//
+// Counters, gauges and fixed-bucket histograms for the simulator, the BGP
+// plane, the samplers and the campaign runner. Design constraints, in order:
+//
+//   1. Determinism. A snapshot taken after the same work must be
+//      bit-identical regardless of ThreadPool size or completion order.
+//      Counter and histogram cells are unsigned sums accumulated in
+//      thread-local shards, so the merge is commutative and exact; the
+//      catalogue below (plus the pre-registered RFD variant counters) is
+//      registered in a fixed order at startup, and counters registered after
+//      the catalogue are emitted sorted by name, so snapshot order cannot
+//      depend on which worker thread touched a metric first. Gauges are
+//      last-write-wins and live in the global registry (they are set from
+//      deterministic single-threaded points: end-of-run diagnostics).
+//   2. Near-zero overhead. Disabled collection is a single relaxed atomic
+//      load and branch per call site; hot components additionally batch into
+//      plain member tallies and publish once at teardown. No wallclock
+//      anywhere in this module (see the obs-wallclock lint rule); time is
+//      sim::Time and monotonic step counters only.
+//   3. No locks on the hot path. The registry mutex guards shard creation,
+//      dynamic registration, gauges, snapshot and reset — all cold.
+//
+// Lifetime notes: shards are owned by the registry and survive thread exit,
+// so worker pools may come and go between snapshots. snapshot()/reset() must
+// be called while no instrumented work is in flight (the merge reads other
+// threads' shards; ThreadPool future handoff provides the ordering).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace because::obs {
+
+/// Fixed counter catalogue. Registration order == enum order == snapshot
+/// order, so keep additions appended within their section.
+enum class Counter : std::uint32_t {
+  // Event engine (flushed by ~EventQueue).
+  kSimEventsClosure = 0,    ///< executed events, by EventKind
+  kSimEventsBgpDelivery,
+  kSimEventsMraiTimer,
+  kSimEventsRfdReuse,
+  kSimEventsBeacon,
+  kSimEventsCollectorRecord,
+  kSimSchedules,            ///< schedule_* calls (pushes)
+  kSimPastClamped,
+  kSimCalScanSteps,
+  kSimCalWindowSkips,
+  kSimCalResizes,
+  // BGP plane (flushed by ~Session / ~Router / ~PathTable).
+  kBgpAnnouncementsSent,
+  kBgpWithdrawalsSent,
+  kBgpSendsElided,
+  kBgpUpdatesReceived,
+  kAdjRibMemoHits,
+  kAdjRibMemoMisses,
+  kLocRibMemoHits,
+  kLocRibMemoMisses,
+  kPathDedupHits,
+  kPathDedupMisses,
+  // Samplers.
+  kMhProposals,
+  kMhAccepts,
+  kHmcTrajectories,
+  kHmcAccepts,
+  kHmcDivergences,
+  kHmcLeapfrogSteps,
+  kMcmcChains,
+  // Campaign runner.
+  kCampaignCells,
+  kCampaignEvents,
+  kCount
+};
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+enum class Gauge : std::uint32_t {
+  kMcmcMaxRhat = 0,   ///< split R-hat of the worst coordinate, last run
+  kMcmcWorstEss,      ///< pooled ESS of that coordinate, last run
+  kCount
+};
+inline constexpr std::size_t kGaugeCount =
+    static_cast<std::size_t>(Gauge::kCount);
+
+/// Histograms are fixed power-of-two buckets: observe(v) lands in bucket
+/// bit_width(v), i.e. bucket 0 holds v==0, bucket b holds [2^(b-1), 2^b).
+inline constexpr std::size_t kHistogramBuckets = 32;
+
+enum class Histo : std::uint32_t {
+  kQueueDepth = 0,  ///< pending events at each pop
+  kCount
+};
+inline constexpr std::size_t kHistoCount =
+    static_cast<std::size_t>(Histo::kCount);
+
+/// Handle of a registered (catalogue or dynamic) counter.
+using CounterId = std::uint32_t;
+
+namespace detail {
+
+inline std::atomic<bool> g_metrics_enabled{false};
+
+/// Out-of-line slow halves; the inline wrappers below keep the disabled
+/// path to one load+branch.
+void count(CounterId id, std::uint64_t delta);
+void histo(std::uint32_t id, std::uint64_t value);
+void histo_bucket(std::uint32_t id, std::size_t bucket, std::uint64_t count);
+
+}  // namespace detail
+
+/// Collection master switch. Toggle only while no instrumented work runs.
+inline bool enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Increment a catalogue counter.
+inline void add(Counter c, std::uint64_t delta = 1) {
+  if (!enabled()) return;
+  detail::count(static_cast<CounterId>(c), delta);
+}
+
+/// Increment a registered counter by id.
+inline void add(CounterId id, std::uint64_t delta = 1) {
+  if (!enabled()) return;
+  detail::count(id, delta);
+}
+
+/// Register-or-look-up a counter by name (idempotent; cold, takes the
+/// registry mutex). For bit-identical snapshots across pool sizes, names not
+/// in the startup catalogue should be registered from one thread up front:
+/// late registrations are emitted sorted by name, which keeps the snapshot
+/// deterministic but places them after the catalogue block.
+CounterId counter_id(std::string_view name);
+
+/// Convenience for cold flush paths: register-or-look-up, then add.
+void add_named(std::string_view name, std::uint64_t delta);
+
+/// Record one observation into a power-of-two-bucket histogram.
+inline void observe(Histo h, std::uint64_t value) {
+  if (!enabled()) return;
+  detail::histo(static_cast<std::uint32_t>(h), value);
+}
+
+/// Merge a pre-bucketed tally (component teardown flushes its member
+/// histogram in one call per bucket).
+inline void observe_bucket(Histo h, std::size_t bucket, std::uint64_t count) {
+  if (!enabled() || count == 0) return;
+  detail::histo_bucket(static_cast<std::uint32_t>(h), bucket, count);
+}
+
+/// Set a gauge (last write wins; call from deterministic code points only).
+void set_gauge(Gauge g, double value);
+
+/// The power-of-two bucket `value` falls into (shared with component-side
+/// member tallies so teardown flushes line up bucket-for-bucket). bit_width
+/// keeps this a single instruction: it sits on the per-pop engine path.
+inline std::size_t histogram_bucket(std::uint64_t value) {
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(value));
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+/// Merged, deterministic view of every metric. Counter order: catalogue and
+/// pre-registered names in registration order, later registrations sorted by
+/// name. Zero-valued counters are included: the row set must not depend on
+/// the workload.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    double value = 0.0;
+    bool set = false;  ///< false until set_gauge() ran since the last reset
+  };
+  struct HistoRow {
+    std::string name;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t total = 0;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistoRow> histograms;
+};
+
+/// Merge all shards. Call while instrumented work is quiescent.
+MetricsSnapshot snapshot();
+
+/// Zero every counter/histogram cell and clear gauges; registered names and
+/// ids survive. Call while instrumented work is quiescent.
+void reset();
+
+}  // namespace because::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace because::obs {
+namespace {
+
+/// Per-thread event buffer, owned by the global tracer so it survives pool
+/// worker exit. Only the owning thread appends; snapshot/reset run under the
+/// tracer mutex while emitting work is quiescent.
+struct TraceShard {
+  std::vector<TraceEvent> events;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer tracer;
+    return tracer;
+  }
+
+  void emit(TraceEvent event) { local_shard().events.push_back(std::move(event)); }
+
+  std::vector<TraceEvent> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> merged;
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->events.size();
+    merged.reserve(total);
+    for (const auto& shard : shards_)
+      merged.insert(merged.end(), shard->events.begin(), shard->events.end());
+    // Stable sort: within a lane every event came from one thread in program
+    // order, and shard concatenation preserves that order, so (lane, ts) with
+    // stability yields the same sequence at any pool size.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& x, const TraceEvent& y) {
+                       if (x.lane != y.lane) return x.lane < y.lane;
+                       return x.ts < y.ts;
+                     });
+    return merged;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) shard->events.clear();
+  }
+
+ private:
+  TraceShard& local_shard() {
+    thread_local TraceShard* shard = nullptr;
+    if (shard == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shards_.push_back(std::make_unique<TraceShard>());
+      shard = shards_.back().get();
+    }
+    return *shard;
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceShard>> shards_;
+};
+
+}  // namespace
+
+namespace detail {
+
+void emit(TraceEvent event) { Tracer::instance().emit(std::move(event)); }
+
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  if (on) Tracer::instance();
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> trace_snapshot() { return Tracer::instance().snapshot(); }
+
+void trace_reset() { Tracer::instance().reset(); }
+
+}  // namespace because::obs

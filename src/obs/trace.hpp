@@ -1,0 +1,103 @@
+// Deterministic sim-time tracing.
+//
+// Spans and instants are keyed on sim::Time (plus the caller's monotonic
+// step counters where useful) — never wallclock, which would differ run to
+// run and machine to machine. The exporter (obs/export.*) turns a snapshot
+// into Chrome trace_event JSON loadable in Perfetto, mapping sim-time
+// milliseconds onto the trace's microsecond axis.
+//
+// Determinism across ThreadPool sizes relies on lanes: every emitting
+// context sets a lane id (the campaign cell index for runner workers, lane 0
+// for single-threaded code), all events of a lane are emitted by exactly one
+// thread, and trace_snapshot() merges shards with a stable sort keyed on
+// (lane, ts). The per-lane event order is therefore the deterministic
+// program order regardless of which worker ran the lane or how shards
+// interleaved.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace because::obs {
+
+struct TraceEvent {
+  std::string name;
+  char ph = 'X';          ///< Chrome phase: 'X' complete, 'i' instant, 'C' counter
+  std::uint32_t lane = 0; ///< exported as tid; campaign cell index or 0
+  sim::Time ts = 0;       ///< sim-time milliseconds
+  sim::Duration dur = 0;  ///< span length ('X' only)
+  std::int64_t value = 0; ///< counter value ('C') or instant argument ('i')
+};
+
+namespace detail {
+
+inline std::atomic<bool> g_trace_enabled{false};
+inline thread_local std::uint32_t t_trace_lane = 0;
+
+void emit(TraceEvent event);
+
+}  // namespace detail
+
+/// Tracing master switch, independent of the metrics switch. Toggle only
+/// while no instrumented work runs.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+/// Lane of the current thread; events it emits sort under this id.
+inline std::uint32_t trace_lane() { return detail::t_trace_lane; }
+
+/// Scoped lane assignment. Runner workers install the campaign cell index
+/// before running the cell, so every cell's events live in one lane emitted
+/// by one thread — the invariant the deterministic merge depends on.
+class TraceLaneScope {
+ public:
+  explicit TraceLaneScope(std::uint32_t lane)
+      : saved_(detail::t_trace_lane) {
+    detail::t_trace_lane = lane;
+  }
+  ~TraceLaneScope() { detail::t_trace_lane = saved_; }
+  TraceLaneScope(const TraceLaneScope&) = delete;
+  TraceLaneScope& operator=(const TraceLaneScope&) = delete;
+
+ private:
+  std::uint32_t saved_;
+};
+
+/// Record a completed span [start, end] in sim time. Takes string_view so a
+/// disabled call site pays one branch, never a string construction.
+inline void trace_complete(std::string_view name, sim::Time start,
+                           sim::Time end) {
+  if (!trace_enabled()) return;
+  detail::emit({std::string(name), 'X', detail::t_trace_lane, start,
+                end - start, 0});
+}
+
+/// Record an instantaneous marker with an optional integer argument.
+inline void trace_instant(std::string_view name, sim::Time ts,
+                          std::int64_t value = 0) {
+  if (!trace_enabled()) return;
+  detail::emit({std::string(name), 'i', detail::t_trace_lane, ts, 0, value});
+}
+
+/// Record a counter sample (rendered as a track in Perfetto).
+inline void trace_counter(std::string_view name, sim::Time ts,
+                          std::int64_t value) {
+  if (!trace_enabled()) return;
+  detail::emit({std::string(name), 'C', detail::t_trace_lane, ts, 0, value});
+}
+
+/// Deterministic merged view: all shards concatenated, stable-sorted by
+/// (lane, ts). Call while instrumented work is quiescent.
+std::vector<TraceEvent> trace_snapshot();
+
+/// Drop all buffered events (shards survive). Quiescent-only.
+void trace_reset();
+
+}  // namespace because::obs

@@ -1,10 +1,21 @@
 #include "rfd/damper.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace because::rfd {
 
 Damper::Damper(Params params) : params_(params) { params_.validate(); }
+
+Damper::~Damper() {
+  if (suppressions_ == 0 && releases_ == 0) return;
+  if (!obs::enabled()) return;
+  // Per-variant counters are pre-registered under these labels, so the
+  // lookup is a cold map hit and snapshot order is fixed.
+  const std::string label = variant_label(params_);
+  obs::add_named("rfd.suppressions." + label, suppressions_);
+  obs::add_named("rfd.releases." + label, releases_);
+}
 
 Outcome Damper::on_update(const bgp::Prefix& prefix, UpdateKind kind,
                           sim::Time now) {
@@ -20,10 +31,12 @@ Outcome Damper::on_update(const bgp::Prefix& prefix, UpdateKind kind,
   if (!was_suppressed && penalty > params_.suppress_threshold) {
     state.set_suppressed(true);
     out.became_suppressed = true;
+    ++suppressions_;
   } else if (was_suppressed && penalty <= params_.reuse_threshold) {
     // An update can arrive exactly when the penalty has decayed away; the
     // route is usable again immediately.
     state.set_suppressed(false);
+    ++releases_;
   }
   out.suppressed = state.suppressed();
   out.generation = state.generation();
@@ -57,6 +70,7 @@ bool Damper::try_release(const bgp::Prefix& prefix, std::uint64_t generation,
   if (state.generation() != generation) return false;  // superseded
   if (state.value_at(params_, now) > params_.reuse_threshold) return false;
   state.set_suppressed(false);
+  ++releases_;
   return true;
 }
 

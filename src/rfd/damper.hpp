@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "bgp/prefix.hpp"
 #include "rfd/params.hpp"
@@ -26,6 +27,26 @@ struct Outcome {
 class Damper {
  public:
   explicit Damper(Params params);
+  Damper(const Damper&) = default;
+  Damper& operator=(const Damper&) = default;
+  /// Moves transfer the obs tallies (the source is zeroed) so a move never
+  /// leads to the same suppressions being flushed twice.
+  Damper(Damper&& other) noexcept
+      : params_(other.params_),
+        states_(std::move(other.states_)),
+        suppressions_(std::exchange(other.suppressions_, 0)),
+        releases_(std::exchange(other.releases_, 0)) {}
+  Damper& operator=(Damper&& other) noexcept {
+    params_ = other.params_;
+    states_ = std::move(other.states_);
+    suppressions_ = std::exchange(other.suppressions_, 0);
+    releases_ = std::exchange(other.releases_, 0);
+    return *this;
+  }
+  /// Publishes suppress/release tallies to the per-variant obs counters when
+  /// enabled; skipped when both tallies are zero, which keeps the emplace
+  /// path's moved-from temporaries inert.
+  ~Damper();
 
   const Params& params() const { return params_; }
 
@@ -49,9 +70,17 @@ class Damper {
 
   std::size_t tracked_prefixes() const { return states_.size(); }
 
+  std::uint64_t suppressions() const { return suppressions_; }
+  std::uint64_t releases() const { return releases_; }
+
  private:
   Params params_;
   std::unordered_map<bgp::Prefix, PenaltyState> states_;
+  // Obs tallies, flushed by the destructor: suppression transitions entered
+  // (became_suppressed) and releases back to usable (try_release successes
+  // plus decay-at-update releases).
+  std::uint64_t suppressions_ = 0;
+  std::uint64_t releases_ = 0;
 };
 
 }  // namespace because::rfd

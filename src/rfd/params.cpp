@@ -70,4 +70,19 @@ std::string preset_name(const Params& params) {
   return "custom";
 }
 
+std::string variant_label(const Params& params) {
+  if (params == cisco_defaults()) return "cisco-60";
+  if (params == juniper_defaults()) return "juniper-60";
+  if (params == rfc7454_recommended()) return "rfc7454-60";
+  // The max-suppress variants of experiment::standard_variants().
+  Params c30 = cisco_defaults();
+  c30.max_suppress_time = sim::minutes(30);
+  if (params == c30) return "cisco-30";
+  Params c10 = cisco_defaults();
+  c10.max_suppress_time = sim::minutes(10);
+  c10.half_life = sim::minutes(5);
+  if (params == c10) return "cisco-10";
+  return "custom";
+}
+
 }  // namespace because::rfd

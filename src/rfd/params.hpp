@@ -55,4 +55,9 @@ Params rfc7454_recommended();
 /// Human-readable preset name ("cisco", "juniper", "rfc7454", "custom").
 std::string preset_name(const Params& params);
 
+/// Label matching experiment::standard_variants() naming: "cisco-60",
+/// "juniper-60", "rfc7454-60", "cisco-30", "cisco-10", else "custom". The
+/// obs registry pre-registers per-variant RFD counters under these labels.
+std::string variant_label(const Params& params);
+
 }  // namespace because::rfd

@@ -36,6 +36,27 @@ EventQueue::EventQueue(EngineBackend backend) : backend_(backend) {
   }
 }
 
+EventQueue::~EventQueue() {
+  if (!obs::enabled()) return;
+  // The per-kind counters in the obs catalogue mirror EventKind order, so the
+  // flush is a straight loop from the first kind counter.
+  static_assert(static_cast<std::size_t>(obs::Counter::kSimEventsCollectorRecord) -
+                        static_cast<std::size_t>(obs::Counter::kSimEventsClosure) + 1 ==
+                    kEventKindCount,
+                "obs counter catalogue out of sync with EventKind");
+  const auto base =
+      static_cast<obs::CounterId>(obs::Counter::kSimEventsClosure);
+  for (std::size_t k = 0; k < kEventKindCount; ++k)
+    obs::add(base + static_cast<obs::CounterId>(k), executed_by_kind_[k]);
+  obs::add(obs::Counter::kSimSchedules, next_seq_);
+  obs::add(obs::Counter::kSimPastClamped, past_clamped_);
+  obs::add(obs::Counter::kSimCalScanSteps, cal_scan_steps_);
+  obs::add(obs::Counter::kSimCalWindowSkips, cal_window_skips_);
+  obs::add(obs::Counter::kSimCalResizes, cal_resizes_);
+  for (std::size_t b = 0; b < depth_hist_.size(); ++b)
+    obs::observe_bucket(obs::Histo::kQueueDepth, b, depth_hist_[b]);
+}
+
 Time EventQueue::clamp_past(Time when) {
   if (when >= now_) return when;
   // Past clamps are expected steady-state behaviour (zero-delay timers racing
@@ -127,6 +148,11 @@ void EventQueue::note_pop(Time when, std::uint64_t seq) {
   last_pop_when_ = when;
   last_pop_seq_ = seq;
   popped_any_ = true;
+  // Queue-depth sample per pop; size_ has already been decremented by the
+  // backend, so this is the depth the *next* pop will scan. One predictable
+  // branch when collection is off.
+  if (obs::enabled())
+    depth_hist_[obs::histogram_bucket(size_)] += 1;
 }
 
 void EventQueue::dispatch(const Event& event) {

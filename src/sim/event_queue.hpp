@@ -28,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace because::sim {
@@ -63,6 +64,10 @@ class EventQueue {
   explicit EventQueue(EngineBackend backend = EngineBackend::kCalendar);
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+  /// Publishes this queue's tallies (executed-by-kind, schedules, clamps,
+  /// calendar work, depth histogram) to the obs registry when collection is
+  /// enabled. Safe: copying is deleted, so exactly one flush per queue.
+  ~EventQueue();
 
   EngineBackend backend() const { return backend_; }
 
@@ -218,6 +223,11 @@ class EventQueue {
   Time last_pop_when_ = 0;
   std::uint64_t last_pop_seq_ = 0;
   bool popped_any_ = false;
+
+  /// Queue depth at each pop, pre-bucketed (power-of-two buckets). Only
+  /// accumulated while obs collection is enabled — the single extra branch
+  /// per pop that disabled collection pays — and flushed by the destructor.
+  std::array<std::uint64_t, obs::kHistogramBuckets> depth_hist_{};
 
   /// Test-only backdoor used by contracts_test to inject raw events that
   /// bypass the past-schedule clamp, proving the ordering contracts fire.

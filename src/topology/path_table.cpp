@@ -1,5 +1,7 @@
 #include "topology/path_table.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace because::topology {
 
 namespace {
@@ -20,6 +22,12 @@ PathTable::PathTable() {
   dedup_keys_.resize(64, 0);
   dedup_vals_.resize(64, kNoPathSlot);
   dedup_mask_ = 63;
+}
+
+PathTable::~PathTable() {
+  if (!obs::enabled()) return;
+  obs::add(obs::Counter::kPathDedupHits, dedup_hits_);
+  obs::add(obs::Counter::kPathDedupMisses, dedup_misses_);
 }
 
 std::size_t PathTable::dedup_probe(std::uint64_t key) const {
@@ -48,7 +56,11 @@ PathId PathTable::prepend(AsId head, PathId tail) {
   BECAUSE_ASSERT(tail < nodes_.size(), "PathTable: prepend onto bad id " << tail);
   const std::uint64_t key = (static_cast<std::uint64_t>(head) << 32) | tail;
   const std::size_t probe = dedup_probe(key);
-  if (dedup_vals_[probe] != kNoPathSlot) return dedup_vals_[probe];
+  if (dedup_vals_[probe] != kNoPathSlot) {
+    ++dedup_hits_;
+    return dedup_vals_[probe];
+  }
+  ++dedup_misses_;
 
   const auto id = static_cast<PathId>(nodes_.size());
   const Node parent = nodes_[tail];

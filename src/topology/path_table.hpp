@@ -31,6 +31,10 @@ inline constexpr PathId kEmptyPath = 0;
 class PathTable {
  public:
   PathTable();
+  PathTable(const PathTable&) = delete;
+  PathTable& operator=(const PathTable&) = delete;
+  /// Publishes the dedup hit/miss tallies to the obs registry when enabled.
+  ~PathTable();
 
   /// The path `head` followed by the path `tail` refers to. O(1) amortised:
   /// one hash probe, plus a one-time CSR copy when the path is new.
@@ -86,6 +90,11 @@ class PathTable {
   /// Total elements in the CSR pool (memory diagnostics).
   std::size_t element_count() const { return elems_.size(); }
 
+  /// Dedup-table effectiveness: prepend() calls resolved to an existing
+  /// interned path vs. ones that created a new node.
+  std::uint64_t dedup_hits() const { return dedup_hits_; }
+  std::uint64_t dedup_misses() const { return dedup_misses_; }
+
  private:
   struct Node {
     AsId head = 0;
@@ -111,6 +120,8 @@ class PathTable {
   std::vector<PathId> dedup_vals_;
   std::size_t dedup_mask_ = 0;
   std::size_t dedup_size_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t dedup_misses_ = 0;
   /// strip_prepending memo: raw id -> cleaned id.
   std::unordered_map<PathId, PathId> cleaned_;
 };

@@ -1,11 +1,15 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace because::util {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+
+/// -1 = not yet decided (consult BECAUSE_LOG_JSON on first use), else 0/1.
+int g_json = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,14 +21,62 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 
 LogLevel log_level() { return g_level; }
 
+void set_log_json(bool on) { g_json = on ? 1 : 0; }
+
+bool log_json() {
+  if (g_json < 0) {
+    const char* env = std::getenv("BECAUSE_LOG_JSON");
+    g_json = env != nullptr && env[0] != '\0' &&
+                     !(env[0] == '0' && env[1] == '\0')
+                 ? 1
+                 : 0;
+  }
+  return g_json == 1;
+}
+
+std::string format_json_line(LogLevel level, std::string_view message) {
+  std::string out = "{\"level\":\"";
+  out += level_name(level);
+  out += "\",\"msg\":\"";
+  append_json_escaped(out, message);
+  out += "\"}";
+  return out;
+}
+
 void log_line(LogLevel level, std::string_view message) {
   if (level < g_level || g_level == LogLevel::kOff) return;
+  if (log_json()) {
+    const std::string line = format_json_line(level, message);
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(message.size()), message.data());
 }

@@ -18,6 +18,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// JSON-lines sink: when on, every line is emitted as one JSON object
+/// (`{"level":"WARN","msg":"..."}`) so logs and obs metric snapshots are
+/// machine-joinable in campaign post-processing. Defaults to the
+/// BECAUSE_LOG_JSON environment variable (non-empty and not "0" = on), read
+/// once at first use; set_log_json overrides it either way.
+void set_log_json(bool on);
+bool log_json();
+
+/// The JSON-lines encoding of one log line (exposed for tests).
+std::string format_json_line(LogLevel level, std::string_view message);
+
 /// Emit one log line (no trailing newline required in `message`).
 void log_line(LogLevel level, std::string_view message);
 

@@ -1,0 +1,13 @@
+// lint-as: src/obs/export.cpp
+// Fixture: the exporter files are the allowlisted wallclock boundary of
+// src/obs — the identical reads that trip obs-wallclock elsewhere (see
+// fixture_obs_wallclock.cpp) must report nothing here.
+#include <chrono>
+
+namespace because::obs {
+
+long allowed_export_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace because::obs

@@ -1,0 +1,22 @@
+// lint-as: src/obs/trace_extra.cpp
+// Fixture: wallclock reads inside src/obs (outside the exporter files) must
+// trip obs-wallclock. Traces and metrics key on sim::Time and monotonic step
+// counters, never wall time.
+#include <chrono>
+#include <ctime>
+
+namespace because::obs {
+
+long bad_system_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_steady_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long bad_libc_time() {
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace because::obs

@@ -1,0 +1,146 @@
+// Observability determinism across thread-pool sizes (ctest labels:
+// obs, concurrency).
+//
+// The contract from DESIGN.md §5f: enabling metrics/tracing never perturbs
+// simulation results, and the merged snapshots themselves are bit-identical
+// no matter how many workers ran the campaign cells. Counters are
+// commutative sums merged over thread-local shards; trace events carry a
+// per-cell lane id and merge under a stable (lane, ts) sort — both rendered
+// to JSON here and compared byte-for-byte at pool sizes 1, 4 and 8.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/parallel_runner.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace because {
+namespace {
+
+std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t digest_result(const experiment::CampaignResult& result) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  hash = fnv1a_u64(hash, result.events_executed);
+  for (const collector::RecordedUpdate& rec : result.store.all()) {
+    hash = fnv1a_u64(hash, static_cast<std::uint64_t>(rec.recorded_at));
+    hash = fnv1a_u64(hash, rec.vp);
+    hash = fnv1a_u64(hash, static_cast<std::uint64_t>(rec.update.type));
+    hash = fnv1a_u64(hash, bgp::pack(rec.update.prefix));
+    const auto path = result.store.path_of(rec);
+    hash = fnv1a_u64(hash, path.size());
+    for (topology::AsId as : path) hash = fnv1a_u64(hash, as);
+  }
+  return hash;
+}
+
+experiment::CampaignGrid tiny_grid() {
+  experiment::CampaignConfig base = experiment::CampaignConfig::small();
+  base.pairs = 1;
+  base.burst_length = sim::minutes(6);
+  base.break_length = sim::minutes(20);
+  base.anchor_cycles = 1;
+  base.include_ripe_reference = false;
+  experiment::CampaignGrid grid;
+  grid.base = base;
+  grid.seeds = {5, 6};
+  grid.rfd_presets = experiment::standard_rfd_presets();
+  return grid;
+}
+
+struct ObsGuard {
+  ObsGuard() {
+    obs::set_enabled(true);
+    obs::reset();
+    obs::set_trace_enabled(true);
+    obs::trace_reset();
+  }
+  ~ObsGuard() {
+    obs::set_enabled(false);
+    obs::reset();
+    obs::set_trace_enabled(false);
+    obs::trace_reset();
+  }
+};
+
+TEST(ObsDeterminism, SnapshotsBitIdenticalAcrossPoolSizes) {
+  const std::vector<experiment::CampaignScenario> scenarios =
+      tiny_grid().expand();
+  ASSERT_EQ(scenarios.size(), 6u);
+
+  std::string reference_metrics;
+  std::string reference_trace;
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    ObsGuard guard;
+    experiment::ParallelCampaignRunner runner(threads);
+    const std::vector<experiment::CampaignResult> results =
+        runner.run(scenarios);
+    ASSERT_EQ(results.size(), scenarios.size());
+
+    const std::string metrics_json = obs::render_json(obs::snapshot());
+    const std::string trace_json =
+        obs::render_chrome_trace(obs::trace_snapshot());
+    if (reference_metrics.empty()) {
+      reference_metrics = metrics_json;
+      reference_trace = trace_json;
+      // The run must actually have produced data, or the comparison below
+      // is vacuous.
+      EXPECT_NE(metrics_json.find("\"campaign.cells\": 6"), std::string::npos);
+      EXPECT_NE(trace_json.find("campaign.run"), std::string::npos);
+    } else {
+      EXPECT_EQ(metrics_json, reference_metrics)
+          << "metrics snapshot diverged at pool size " << threads;
+      EXPECT_EQ(trace_json, reference_trace)
+          << "trace snapshot diverged at pool size " << threads;
+    }
+  }
+}
+
+TEST(ObsDeterminism, CampaignDigestsUnchangedByInstrumentation) {
+  const std::vector<experiment::CampaignScenario> scenarios =
+      tiny_grid().expand();
+
+  // Reference digests with collection fully off (the shipping default).
+  std::vector<std::uint64_t> expected;
+  for (const experiment::CampaignScenario& s : scenarios)
+    expected.push_back(digest_result(experiment::run_campaign(s.config)));
+
+  ObsGuard guard;
+  experiment::ParallelCampaignRunner runner(4);
+  const std::vector<experiment::CampaignResult> results =
+      runner.run(scenarios);
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(digest_result(results[i]), expected[i])
+        << "instrumentation perturbed scenario " << scenarios[i].name;
+  }
+}
+
+TEST(ObsDeterminism, RepeatedRunsYieldIdenticalSnapshots) {
+  const std::vector<experiment::CampaignScenario> scenarios =
+      tiny_grid().expand();
+  std::string first;
+  for (int round = 0; round < 2; ++round) {
+    ObsGuard guard;
+    experiment::ParallelCampaignRunner runner(4);
+    runner.run(scenarios);
+    const std::string json = obs::render_json(obs::snapshot());
+    if (round == 0)
+      first = json;
+    else
+      EXPECT_EQ(json, first);
+  }
+}
+
+}  // namespace
+}  // namespace because

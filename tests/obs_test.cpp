@@ -1,0 +1,310 @@
+// Unit tests for the obs subsystem (ctest label: obs): metrics registry,
+// sim-time tracing and the exporters. Determinism across pool sizes is
+// locked down separately in obs_determinism_test; the golden trace digest
+// in obs_trace_test. Everything here shares process-global obs state, so
+// every test scopes enable/reset through ObsGuard.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace because {
+namespace {
+
+/// Enables metrics+tracing on a clean slate and disables both on exit, so
+/// tests cannot leak enablement (or residue) into each other.
+struct ObsGuard {
+  ObsGuard() {
+    obs::set_enabled(true);
+    obs::reset();
+    obs::set_trace_enabled(true);
+    obs::trace_reset();
+  }
+  ~ObsGuard() {
+    obs::set_enabled(false);
+    obs::reset();
+    obs::set_trace_enabled(false);
+    obs::trace_reset();
+  }
+};
+
+const obs::MetricsSnapshot::CounterRow* find_counter(
+    const obs::MetricsSnapshot& snap, std::string_view name) {
+  for (const auto& row : snap.counters)
+    if (row.name == name) return &row;
+  return nullptr;
+}
+
+TEST(ObsMetrics, HistogramBucketEdges) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket(7), 3u);
+  EXPECT_EQ(obs::histogram_bucket(8), 4u);
+  EXPECT_EQ(obs::histogram_bucket(1023), 10u);
+  EXPECT_EQ(obs::histogram_bucket(1024), 11u);
+  // Values past the last bucket boundary clamp into the final bucket.
+  EXPECT_EQ(obs::histogram_bucket(std::uint64_t{1} << 40),
+            obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::histogram_bucket(~std::uint64_t{0}),
+            obs::kHistogramBuckets - 1);
+}
+
+TEST(ObsMetrics, CatalogueOrderIsFixedAndRowsExistAtZero) {
+  ObsGuard guard;
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  // The catalogue (enum counters + pre-registered RFD variants) leads the
+  // snapshot in registration order, all rows present even when untouched.
+  ASSERT_GE(snap.counters.size(), obs::kCounterCount + 12);
+  EXPECT_EQ(snap.counters[0].name, "sim.events.closure");
+  EXPECT_EQ(snap.counters[1].name, "sim.events.bgp_delivery");
+  EXPECT_EQ(
+      snap.counters[static_cast<std::size_t>(obs::Counter::kCampaignEvents)]
+          .name,
+      "campaign.events");
+  EXPECT_EQ(snap.counters[obs::kCounterCount].name, "rfd.suppressions.cisco-60");
+  for (const auto& row : snap.counters) EXPECT_EQ(row.value, 0u);
+  ASSERT_EQ(snap.gauges.size(), obs::kGaugeCount);
+  EXPECT_EQ(snap.gauges[0].name, "mcmc.rhat.max");
+  EXPECT_FALSE(snap.gauges[0].set);
+  ASSERT_EQ(snap.histograms.size(), obs::kHistoCount);
+  EXPECT_EQ(snap.histograms[0].name, "sim.queue_depth_pow2");
+  EXPECT_EQ(snap.histograms[0].total, 0u);
+}
+
+TEST(ObsMetrics, CountersAccumulateAndResetZeroes) {
+  ObsGuard guard;
+  obs::add(obs::Counter::kSimSchedules);
+  obs::add(obs::Counter::kSimSchedules, 41);
+  obs::add(obs::Counter::kBgpSendsElided, 7);
+  {
+    const obs::MetricsSnapshot snap = obs::snapshot();
+    EXPECT_EQ(find_counter(snap, "sim.schedules")->value, 42u);
+    EXPECT_EQ(find_counter(snap, "bgp.sends_elided")->value, 7u);
+  }
+  obs::reset();
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  EXPECT_EQ(find_counter(snap, "sim.schedules")->value, 0u);
+  EXPECT_EQ(find_counter(snap, "bgp.sends_elided")->value, 0u);
+}
+
+TEST(ObsMetrics, DisabledCollectionIsANoOp) {
+  ObsGuard guard;
+  obs::set_enabled(false);
+  obs::add(obs::Counter::kSimSchedules, 100);
+  obs::add_named("rfd.suppressions.custom", 100);
+  obs::observe(obs::Histo::kQueueDepth, 5);
+  obs::set_gauge(obs::Gauge::kMcmcMaxRhat, 1.5);
+  obs::set_enabled(true);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  EXPECT_EQ(find_counter(snap, "sim.schedules")->value, 0u);
+  EXPECT_EQ(find_counter(snap, "rfd.suppressions.custom")->value, 0u);
+  EXPECT_EQ(snap.histograms[0].total, 0u);
+  EXPECT_FALSE(snap.gauges[0].set);
+}
+
+TEST(ObsMetrics, LateRegistrationsSortByNameAfterCatalogue) {
+  ObsGuard guard;
+  // Deliberately touch them in anti-alphabetical order; snapshot order must
+  // not depend on first-touch order.
+  obs::add_named("zz.obs_test.beta", 2);
+  obs::add_named("zz.obs_test.alpha", 1);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  std::size_t alpha = 0, beta = 0;
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (snap.counters[i].name == "zz.obs_test.alpha") alpha = i;
+    if (snap.counters[i].name == "zz.obs_test.beta") beta = i;
+  }
+  ASSERT_GT(alpha, 0u);
+  ASSERT_GT(beta, 0u);
+  EXPECT_LT(alpha, beta);
+  EXPECT_GE(alpha, obs::kCounterCount);
+  EXPECT_EQ(snap.counters[alpha].value, 1u);
+  EXPECT_EQ(snap.counters[beta].value, 2u);
+}
+
+TEST(ObsMetrics, GaugeLastWriteWins) {
+  ObsGuard guard;
+  obs::set_gauge(obs::Gauge::kMcmcMaxRhat, 1.7);
+  obs::set_gauge(obs::Gauge::kMcmcMaxRhat, 1.01);
+  obs::set_gauge(obs::Gauge::kMcmcWorstEss, 250.5);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  EXPECT_TRUE(snap.gauges[0].set);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.01);
+  EXPECT_TRUE(snap.gauges[1].set);
+  EXPECT_DOUBLE_EQ(snap.gauges[1].value, 250.5);
+}
+
+TEST(ObsMetrics, HistogramObserveAndBucketFlush) {
+  ObsGuard guard;
+  obs::observe(obs::Histo::kQueueDepth, 0);
+  obs::observe(obs::Histo::kQueueDepth, 1);
+  obs::observe(obs::Histo::kQueueDepth, 3);
+  obs::observe(obs::Histo::kQueueDepth, 3);
+  obs::observe_bucket(obs::Histo::kQueueDepth, 5, 10);
+  obs::observe_bucket(obs::Histo::kQueueDepth, 5, 0);  // no-op
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  const auto& h = snap.histograms[0];
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[5], 10u);
+  EXPECT_EQ(h.total, 14u);
+}
+
+TEST(ObsMetrics, ShardsMergeAcrossThreads) {
+  ObsGuard guard;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        obs::add(obs::Counter::kCampaignEvents);
+        obs::observe(obs::Histo::kQueueDepth, i);
+      }
+    });
+  for (std::thread& w : workers) w.join();
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  EXPECT_EQ(find_counter(snap, "campaign.events")->value,
+            kThreads * kPerThread);
+  EXPECT_EQ(snap.histograms[0].total, kThreads * kPerThread);
+}
+
+TEST(ObsTrace, LaneScopeAndStableMergeOrder) {
+  ObsGuard guard;
+  obs::trace_instant("outer", 50, 1);
+  {
+    obs::TraceLaneScope lane(3);
+    EXPECT_EQ(obs::trace_lane(), 3u);
+    obs::trace_complete("cell", 0, 40);
+    obs::trace_counter("depth", 10, 17);
+  }
+  EXPECT_EQ(obs::trace_lane(), 0u);
+  obs::trace_instant("outer2", 20, 2);
+
+  const std::vector<obs::TraceEvent> events = obs::trace_snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Sorted by (lane, ts): lane 0 events first in ts order, then lane 3.
+  EXPECT_EQ(events[0].name, "outer2");
+  EXPECT_EQ(events[0].lane, 0u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[2].name, "cell");
+  EXPECT_EQ(events[2].lane, 3u);
+  EXPECT_EQ(events[2].ph, 'X');
+  EXPECT_EQ(events[2].dur, 40);
+  EXPECT_EQ(events[3].name, "depth");
+  EXPECT_EQ(events[3].ph, 'C');
+  EXPECT_EQ(events[3].value, 17);
+
+  obs::trace_reset();
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+}
+
+TEST(ObsTrace, DisabledTracingEmitsNothing) {
+  ObsGuard guard;
+  obs::set_trace_enabled(false);
+  obs::trace_instant("dropped", 1);
+  obs::trace_complete("dropped", 0, 10);
+  obs::set_trace_enabled(true);
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+}
+
+TEST(ObsExport, TableRendersAllSections) {
+  ObsGuard guard;
+  obs::add(obs::Counter::kSimSchedules, 9);
+  obs::observe(obs::Histo::kQueueDepth, 3);
+  const std::string table = obs::render_table(obs::snapshot());
+  EXPECT_NE(table.find("obs counters"), std::string::npos);
+  EXPECT_NE(table.find("sim.schedules"), std::string::npos);
+  EXPECT_NE(table.find("obs gauges"), std::string::npos);
+  EXPECT_NE(table.find("obs histogram: sim.queue_depth_pow2"),
+            std::string::npos);
+  EXPECT_NE(table.find("[2, 3]"), std::string::npos);
+}
+
+TEST(ObsExport, JsonIsDeterministicAndTyped) {
+  ObsGuard guard;
+  obs::add(obs::Counter::kSimSchedules, 12);
+  obs::set_gauge(obs::Gauge::kMcmcMaxRhat, 1.25);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  const std::string a = obs::render_json(snap);
+  const std::string b = obs::render_json(snap);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"sim.schedules\": 12"), std::string::npos);
+  EXPECT_NE(a.find("\"mcmc.rhat.max\": 1.25"), std::string::npos);
+  // Unset gauges serialize as null, and nothing reads the wallclock.
+  EXPECT_NE(a.find("\"mcmc.ess.worst_coord\": null"), std::string::npos);
+  EXPECT_EQ(a.find("exported_unix_ms"), std::string::npos);
+}
+
+TEST(ObsExport, WallclockStampOnlyWhenAsked) {
+  ObsGuard guard;
+  const std::string stamped =
+      obs::render_json(obs::snapshot(), /*include_wallclock=*/true);
+  EXPECT_NE(stamped.find("\"exported_unix_ms\": "), std::string::npos);
+}
+
+TEST(ObsExport, ChromeTraceMapsSimMillisToMicros) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back({"cell/a", 'X', 2, 5, 40, 0});
+  events.push_back({"mark", 'i', 2, 7, 0, 3});
+  const std::string json = obs::render_chrome_trace(events);
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"cell/a\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":2,\"ts\":5000,\"dur\":40000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"pid\":1,\"tid\":2,\"ts\":7000,"
+                      "\"s\":\"t\",\"args\":{\"value\":3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ObsExport, WriteFileRoundTripsAndThrowsOnBadPath) {
+  const std::string path = "obs_test_write_file.tmp";
+  obs::write_file(path, "hello\nobs\n");
+  std::string back;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[64];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    back.assign(buf, n);
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+  EXPECT_EQ(back, "hello\nobs\n");
+  EXPECT_THROW(obs::write_file("no-such-dir/obs_test.tmp", "x"),
+               std::runtime_error);
+}
+
+TEST(ObsLog, FormatJsonLineEscapes) {
+  const std::string line = util::format_json_line(
+      util::LogLevel::kWarn, "a \"quoted\"\nline\twith\x01" "ctl");
+  EXPECT_EQ(line,
+            "{\"level\":\"WARN\",\"msg\":"
+            "\"a \\\"quoted\\\"\\nline\\twith\\u0001ctl\"}");
+}
+
+TEST(ObsLog, JsonSinkToggle) {
+  // set_log_json overrides whatever BECAUSE_LOG_JSON said; restore off so
+  // other tests' stderr stays human-readable.
+  util::set_log_json(true);
+  EXPECT_TRUE(util::log_json());
+  util::set_log_json(false);
+  EXPECT_FALSE(util::log_json());
+}
+
+}  // namespace
+}  // namespace because

@@ -12,6 +12,10 @@ Rules (see RULES below):
   wallclock         no wall-clock / libc randomness inside src/sim, src/bgp,
                     src/stats, src/rfd: simulations must be a pure function
                     of (topology, seed).
+  obs-wallclock     no wall clock inside src/obs either: metrics and traces
+                    key on sim::Time plus monotonic step counters so obs
+                    output digests are reproducible. Only the exporter files
+                    (src/obs/export.*) may stamp wall time.
   hot-path-closure  no std::function scheduling (schedule_at/schedule_in) in
                     src/sim or src/bgp; the typed-event API
                     (schedule_event_*) keeps the hot path allocation-free.
@@ -68,6 +72,21 @@ RULES = [
         ),
         "message": "wall-clock/libc randomness in deterministic simulator code "
                    "(use sim::Time and stats::Rng)",
+    },
+    {
+        "id": "obs-wallclock",
+        "dirs": ("src/obs",),
+        # The exporters are the one sanctioned wallclock boundary: a snapshot
+        # written for humans may carry an export timestamp, but nothing that
+        # feeds a digest ever sees it.
+        "exclude": ("src/obs/export.cpp", "src/obs/export.hpp"),
+        "pattern": re.compile(
+            r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+            r"|\b(time|clock|gettimeofday|clock_gettime)\s*\("
+        ),
+        "message": "wallclock in obs hot-path code (key metrics/traces on "
+                   "sim::Time and monotonic step counters; src/obs/export.* "
+                   "is the allowlisted exporter boundary)",
     },
     {
         "id": "hot-path-closure",

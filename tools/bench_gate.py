@@ -17,8 +17,13 @@ number:
                  drop out of the bench build.
 
 Derived "Speedup" records are ratios of two measurements already gated
-individually, so they are skipped. Records present only in the fresh file
-are reported but do not fail (new benchmarks land before their baseline).
+individually, so they are skipped. Derived "ObsOverhead" records carry the
+obs-on/obs-off cost ratio as ns_per_op and are gated *absolutely* against
+--obs-tolerance (default 1.05: enabling observability may cost at most 5%
+of event-loop throughput) — the fresh value alone decides, so the budget
+cannot drift upward PR by PR the way a relative band would. Records present
+only in the fresh file are reported but do not fail (new benchmarks land
+before their baseline).
 
 Exit status: 0 = within tolerance, 1 = regression (or missing record/field),
 2 = usage error (unreadable/malformed files).
@@ -62,6 +67,9 @@ def main() -> int:
                         help="allowed ns_per_op ratio (default: 1.4)")
     parser.add_argument("--alloc-tolerance", type=float, default=1.15,
                         help="allowed allocs_per_op ratio (default: 1.15)")
+    parser.add_argument("--obs-tolerance", type=float, default=1.05,
+                        help="absolute ceiling on ObsOverhead ratios "
+                             "(default: 1.05)")
     args = parser.parse_args()
 
     baseline = load_records(Path(args.baseline))
@@ -72,6 +80,13 @@ def main() -> int:
     for name, base in baseline.items():
         if "Speedup" in name:
             continue  # derived ratio; its inputs are gated individually
+        if "ObsOverhead" in name:
+            # Gated absolutely against --obs-tolerance below; here only make
+            # sure the record did not silently drop out of the bench.
+            if name not in fresh:
+                print(f"FAIL {name}: missing from {args.fresh}")
+                status = 1
+            continue
         cur = fresh.get(name)
         if cur is None:
             print(f"FAIL {name}: missing from {args.fresh}")
@@ -107,8 +122,24 @@ def main() -> int:
                 print(f"  ok {name}: allocs_per_op {cur_allocs:.3f} "
                       f"(baseline {base_allocs:.3f})")
 
+    # Absolute obs-overhead budget: the committed number is irrelevant, only
+    # the fresh ratio counts, so the 5% budget cannot ratchet up over PRs.
+    for name, cur in fresh.items():
+        if "ObsOverhead" not in name:
+            continue
+        checked += 1
+        ratio = float(cur["ns_per_op"])
+        if ratio > args.obs_tolerance:
+            print(f"FAIL {name}: obs-on/obs-off ratio {ratio:.3f} > "
+                  f"{args.obs_tolerance} (absolute ceiling)")
+            status = 1
+        else:
+            print(f"  ok {name}: obs-on/obs-off ratio {ratio:.3f} "
+                  f"(ceiling {args.obs_tolerance})")
+
     for name in fresh:
-        if name not in baseline and "Speedup" not in name:
+        if name not in baseline and "Speedup" not in name \
+                and "ObsOverhead" not in name:
             print(f"note {name}: new benchmark, no baseline yet")
 
     if checked == 0:
