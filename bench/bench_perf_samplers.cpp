@@ -8,8 +8,15 @@
 // and items/s per kernel and size) so perf PRs can record before/after.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "bench_common.hpp"
+#include "core/batched_likelihood.hpp"
 #include "core/hmc.hpp"
+#include "core/kernels/dispatch.hpp"
 #include "core/likelihood.hpp"
 #include "core/metropolis.hpp"
 #include "core/multichain.hpp"
@@ -70,6 +77,125 @@ void BM_Gradient(benchmark::State& state) {
                           static_cast<std::int64_t>(data.path_count()));
 }
 BENCHMARK(BM_Gradient)->Arg(64)->Arg(256)->Arg(1024);
+
+// The same two kernels with dispatch pinned to the scalar fallback. The
+// committed BENCH_samplers.json carries both, and main() appends derived
+// "Speedup..." records (scalar-ns / vector-ns) that tools/bench_gate.py
+// skips because each input is gated individually.
+void BM_LogLikelihoodScalar(benchmark::State& state) {
+  const auto data = synthetic_dataset(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const core::Likelihood lik(data);
+  std::vector<double> p(lik.dim(), 0.3);
+  core::kernels::force_level(core::kernels::Level::kScalar);
+  for (auto _ : state) benchmark::DoNotOptimize(lik.log_likelihood(p));
+  core::kernels::force_level(core::kernels::detected_level());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.path_count()));
+}
+BENCHMARK(BM_LogLikelihoodScalar)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GradientScalar(benchmark::State& state) {
+  const auto data = synthetic_dataset(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const core::Likelihood lik(data);
+  std::vector<double> p(lik.dim(), 0.3), grad(lik.dim());
+  core::kernels::force_level(core::kernels::Level::kScalar);
+  for (auto _ : state) {
+    lik.gradient(p, grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  core::kernels::force_level(core::kernels::detected_level());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.path_count()));
+}
+BENCHMARK(BM_GradientScalar)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Shared path structure for the batched-vs-independent comparison: the
+/// label vector is per target, so paths are generated once and relabeled.
+std::vector<topology::AsPath> synthetic_paths(std::size_t ases,
+                                              std::size_t paths,
+                                              std::uint64_t seed = 42) {
+  stats::Rng rng(seed);
+  std::vector<topology::AsPath> out;
+  out.reserve(paths);
+  for (std::size_t j = 0; j < paths; ++j) {
+    topology::AsPath path;
+    const std::size_t len = 3 + rng.index(4);
+    for (std::size_t k = 0; k < len; ++k)
+      path.push_back(static_cast<topology::AsId>(rng.index(ases)) + 10);
+    out.push_back(path);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> synthetic_labels(std::size_t paths,
+                                                        std::size_t targets) {
+  stats::Rng rng(7);
+  std::vector<std::vector<std::uint8_t>> labels(
+      targets, std::vector<std::uint8_t>(paths));
+  for (auto& target : labels)
+    for (auto& label : target) label = rng.bernoulli(0.4) ? 1 : 0;
+  return labels;
+}
+
+labeling::PathDataset dataset_with_labels(
+    const std::vector<topology::AsPath>& paths,
+    const std::vector<std::uint8_t>& labels) {
+  labeling::PathDataset data;
+  for (std::size_t j = 0; j < paths.size(); ++j)
+    data.add_path(paths[j], labels[j] != 0);
+  return data;
+}
+
+/// One posterior pass (log-likelihood + gradient) for 8 prefix targets
+/// sharing the path structure, evaluated in one batched CSR walk...
+void BM_BatchedPosterior8(benchmark::State& state) {
+  const auto ases = static_cast<std::size_t>(state.range(0));
+  const auto paths = synthetic_paths(ases, ases * 4);
+  const auto labels = synthetic_labels(paths.size(), 8);
+  const auto data = dataset_with_labels(paths, labels[0]);
+  const core::BatchedLikelihood batched(data, labels);
+  const std::size_t dim = batched.dim();
+  std::vector<double> p(8 * dim, 0.3), ll(8), grad(8 * dim);
+  for (auto _ : state) {
+    batched.posteriors(p, ll, grad);
+    benchmark::DoNotOptimize(ll.data());
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.path_count()) * 8);
+}
+BENCHMARK(BM_BatchedPosterior8)->Arg(256)->Arg(1024);
+
+/// ... versus 8 independent single-target Likelihood passes.
+void BM_IndependentPosterior8(benchmark::State& state) {
+  const auto ases = static_cast<std::size_t>(state.range(0));
+  const auto paths = synthetic_paths(ases, ases * 4);
+  const auto labels = synthetic_labels(paths.size(), 8);
+  std::vector<labeling::PathDataset> datasets;
+  datasets.reserve(8);
+  for (std::size_t k = 0; k < 8; ++k)
+    datasets.push_back(dataset_with_labels(paths, labels[k]));
+  std::vector<core::Likelihood> liks;
+  liks.reserve(8);
+  for (std::size_t k = 0; k < 8; ++k) liks.emplace_back(datasets[k]);
+  const std::size_t dim = liks.front().dim();
+  std::vector<double> p(8 * dim, 0.3), grad(dim);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::span<const double> pk(p.data() + k * dim, dim);
+      benchmark::DoNotOptimize(liks[k].log_likelihood(pk));
+      liks[k].gradient(pk, grad);
+      benchmark::DoNotOptimize(grad.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(paths.size()) * 8);
+}
+BENCHMARK(BM_IndependentPosterior8)->Arg(256)->Arg(1024);
 
 void BM_MetropolisSweeps(benchmark::State& state) {
   const auto data = synthetic_dataset(
@@ -183,8 +309,46 @@ int main(int argc, char** argv) {
   JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  if (!because::bench::write_bench_json("BENCH_samplers.json",
-                                        reporter.records()))
+
+  // Derived ratio records: ns_per_op carries slow-ns / fast-ns, not a time.
+  // "Speedup" in the name makes tools/bench_gate.py skip them (both inputs
+  // are gated individually); the names record which dispatch level won.
+  std::vector<because::bench::KernelBenchRecord> records = reporter.records();
+  const auto find_ns = [&records](const std::string& name) {
+    for (const auto& r : records)
+      if (r.name == name) return r.ns_per_op;
+    return 0.0;
+  };
+  const auto add_speedup = [&records, &find_ns](const std::string& name,
+                                                const std::string& slow,
+                                                const std::string& fast) {
+    const double slow_ns = find_ns(slow);
+    const double fast_ns = find_ns(fast);
+    if (slow_ns <= 0.0 || fast_ns <= 0.0) return;
+    because::bench::KernelBenchRecord record;
+    record.name = name;
+    record.ns_per_op = slow_ns / fast_ns;
+    record.iterations = 1;
+    records.push_back(record);
+  };
+  const std::string level = because::core::kernels::level_name(
+      because::core::kernels::detected_level());
+  for (const char* size : {"64", "256", "1024"}) {
+    add_speedup("Speedup_LogLikelihood_" + level + "_vs_scalar/" + size,
+                std::string("BM_LogLikelihoodScalar/") + size,
+                std::string("BM_LogLikelihood/") + size);
+    add_speedup("Speedup_Gradient_" + level + "_vs_scalar/" + size,
+                std::string("BM_GradientScalar/") + size,
+                std::string("BM_Gradient/") + size);
+  }
+  for (const char* size : {"256", "1024"}) {
+    add_speedup(std::string("Speedup_Posterior8_batched_vs_independent/") +
+                    size,
+                std::string("BM_IndependentPosterior8/") + size,
+                std::string("BM_BatchedPosterior8/") + size);
+  }
+
+  if (!because::bench::write_bench_json("BENCH_samplers.json", records))
     std::fprintf(stderr, "warning: could not write BENCH_samplers.json\n");
   return 0;
 }

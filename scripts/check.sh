@@ -8,22 +8,27 @@
 #   3. obs      observability subsystem: snapshot determinism across pool
 #               sizes and the golden Chrome-trace digest (release preset)
 #   4. tsan     thread sanitizer over the concurrency-labeled tests
+#   5. simd     tier-1 suite (minus slow) with the AVX2/AVX-512 kernel units
+#               compiled out (-DBECAUSE_SIMD_KERNELS=OFF): the scalar
+#               fallback alone must reproduce every digest
 #
-# `--full` appends a fifth stage: address+UB sanitizers over the tier-1
+# `--full` appends a sixth stage: address+UB sanitizers over the tier-1
 # suite minus slow-labeled tests.
 #
-# `--bench` appends the bench-regression gate: build bench_sim under the
-# release preset, run it (fresh BENCH_sim.json with ns/op and allocs/op),
-# and diff against the committed baseline with tools/bench_gate.py.
+# `--bench` appends the bench-regression gate: build bench_sim and
+# bench_perf_samplers under the release preset, run them (fresh
+# BENCH_sim.json / BENCH_samplers.json), and diff both against the
+# committed baselines with tools/bench_gate.py.
 #
 # Each CMake stage is a workflow preset, so any one can be run alone:
 #   cmake --workflow --preset check-static    (or check-release / check-obs /
-#                                              check-tsan / check-asan)
+#                                              check-tsan / check-simd /
+#                                              check-asan)
 # The script stops at the first failing stage and prints per-stage timing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(check-static check-release check-obs check-tsan)
+STAGES=(check-static check-release check-obs check-tsan check-simd)
 for arg in "$@"; do
   case "${arg}" in
     --full) STAGES+=(check-asan) ;;
@@ -37,10 +42,12 @@ done
 
 run_bench_gate() {
   cmake --preset release
-  cmake --build build-release -j --target bench_sim
+  cmake --build build-release -j --target bench_sim --target bench_perf_samplers
   (cd build-release && ./bench/bench_sim)
-  python3 tools/bench_gate.py --baseline BENCH_sim.json \
-    --fresh build-release/BENCH_sim.json
+  (cd build-release && ./bench/bench_perf_samplers)
+  python3 tools/bench_gate.py \
+    --baseline BENCH_sim.json --fresh build-release/BENCH_sim.json \
+    --baseline BENCH_samplers.json --fresh build-release/BENCH_samplers.json
 }
 
 declare -a TIMINGS=()

@@ -1,0 +1,174 @@
+#include "core/batched_likelihood.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/kernels/dispatch.hpp"
+#include "core/kernels/kernels.hpp"
+
+namespace because::core {
+
+namespace {
+
+using kernels::kBatchLanes;
+
+/// Observations per batched kernel call (bounds the staging buffer).
+constexpr std::size_t kChunk = 256;
+
+kernels::ObsCoeffs coeffs(const NoiseModel& noise) {
+  const double fs = noise.false_signature;
+  const double ms = noise.missed_signature;
+  return {{ms, 1.0 - ms}, {(1.0 - fs) - ms, fs - (1.0 - ms)}};
+}
+
+kernels::DatasetView make_view(const labeling::PathDataset& data) {
+  // The batched kernels walk the forward CSR directly (targets, not paths,
+  // live in lanes), so no lane-blocked layout is needed at any level.
+  return {
+      data.flat_nodes().data(),
+      data.flat_offsets().data(),
+      data.label_bits().data(),
+      nullptr,
+      data.path_count(),
+  };
+}
+
+}  // namespace
+
+BatchedLikelihood::BatchedLikelihood(
+    const labeling::PathDataset& data,
+    std::vector<std::vector<std::uint8_t>> target_labels, NoiseModel noise)
+    : data_(data), noise_(noise), targets_(target_labels.size()) {
+  noise_.validate();
+  if (targets_ == 0)
+    throw std::invalid_argument("BatchedLikelihood: no targets");
+  const std::size_t paths = data_.path_count();
+  for (const std::vector<std::uint8_t>& labels : target_labels)
+    if (labels.size() != paths)
+      throw std::invalid_argument(
+          "BatchedLikelihood: target label vector does not match path count");
+
+  group_masks_.resize(groups());
+  for (std::size_t g = 0; g < group_masks_.size(); ++g) {
+    std::vector<std::uint8_t>& masks = group_masks_[g];
+    masks.assign(paths, 0);
+    const std::size_t lanes =
+        std::min(kBatchLanes, targets_ - g * kBatchLanes);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const std::vector<std::uint8_t>& labels =
+          target_labels[g * kBatchLanes + k];
+      for (std::size_t j = 0; j < paths; ++j)
+        if (labels[j] != 0)
+          masks[j] = static_cast<std::uint8_t>(masks[j] | (1u << k));
+    }
+  }
+}
+
+std::size_t BatchedLikelihood::groups() const {
+  return (targets_ + kBatchLanes - 1) / kBatchLanes;
+}
+
+void BatchedLikelihood::fill_q_soa(std::span<const double> p, std::size_t group,
+                                   std::span<double> q_soa) const {
+  const std::size_t n = dim();
+  const std::size_t lanes = std::min(kBatchLanes, targets_ - group * kBatchLanes);
+  const double* pg = p.data() + group * kBatchLanes * n;
+  // One contiguous pass, row by row (8 strided lane sweeps would walk the
+  // whole SoA buffer once per lane — all cache misses at realistic dims).
+  // Padding lanes (and the sentinel row) hold 1.0: their products stay in
+  // [0, 1], the affine map stays finite, and the results are discarded.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = q_soa.data() + i * kBatchLanes;
+    for (std::size_t k = 0; k < lanes; ++k) row[k] = clamp_q(pg[k * n + i]);
+    for (std::size_t k = lanes; k < kBatchLanes; ++k) row[k] = 1.0;
+  }
+  double* sentinel = q_soa.data() + n * kBatchLanes;
+  for (std::size_t k = 0; k < kBatchLanes; ++k) sentinel[k] = 1.0;
+}
+
+void BatchedLikelihood::log_likelihoods(std::span<const double> p,
+                                        std::span<double> out) const {
+  if (p.size() != targets_ * dim() || out.size() != targets_)
+    throw std::invalid_argument("BatchedLikelihood: dim mismatch");
+  const kernels::KernelTable& table = kernels::table();
+  const kernels::DatasetView view = make_view(data_);
+  const kernels::ObsCoeffs c = coeffs(noise_);
+
+  std::vector<double> q_soa((dim() + 1) * kBatchLanes);
+  std::vector<double> probs(kChunk * kBatchLanes);
+  for (std::size_t g = 0; g < groups(); ++g) {
+    fill_q_soa(p, g, q_soa);
+    const std::size_t lanes = std::min(kBatchLanes, targets_ - g * kBatchLanes);
+
+    // Per-lane log-fold via the dispatched 8-lane kernel: each target lane
+    // follows the same thresholds and flush rule as
+    // Likelihood::log_likelihood's fold lanes, in the identical observation
+    // order. Padding lanes fold q == 1.0 products and are discarded.
+    double total[kBatchLanes] = {0.0};
+    double acc[kBatchLanes];
+    for (double& a : acc) a = 1.0;
+    for (std::size_t begin = 0; begin < view.paths; begin += kChunk) {
+      const std::size_t end = std::min(view.paths, begin + kChunk);
+      table.batched_obs_probs(view, q_soa.data(), group_masks_[g].data(), c,
+                              begin, end, probs.data());
+      table.log_fold8(probs.data(), end - begin, acc, total);
+    }
+    for (std::size_t k = 0; k < lanes; ++k)
+      out[g * kBatchLanes + k] = total[k] + std::log(acc[k]);
+  }
+}
+
+void BatchedLikelihood::gradients(std::span<const double> p,
+                                  std::span<double> grad) const {
+  if (p.size() != targets_ * dim() || grad.size() != targets_ * dim())
+    throw std::invalid_argument("BatchedLikelihood: dim mismatch");
+  posterior_groups(p, {}, grad);
+}
+
+void BatchedLikelihood::posteriors(std::span<const double> p,
+                                   std::span<double> ll_out,
+                                   std::span<double> grad) const {
+  if (p.size() != targets_ * dim() || ll_out.size() != targets_ ||
+      grad.size() != targets_ * dim())
+    throw std::invalid_argument("BatchedLikelihood: dim mismatch");
+  posterior_groups(p, ll_out, grad);
+}
+
+void BatchedLikelihood::posterior_groups(std::span<const double> p,
+                                         std::span<double> ll_out,
+                                         std::span<double> grad) const {
+  const kernels::KernelTable& table = kernels::table();
+  const kernels::DatasetView view = make_view(data_);
+  const kernels::ObsCoeffs c = coeffs(noise_);
+
+  std::vector<double> q_soa((dim() + 1) * kBatchLanes);
+  std::vector<double> grad_soa(dim() * kBatchLanes);
+  for (std::size_t g = 0; g < groups(); ++g) {
+    fill_q_soa(p, g, q_soa);
+    // One fused walk over the CSR: probabilities fold into the per-lane
+    // (acc, total) states while the gradient weight rows scatter into
+    // grad_soa — the product walk is shared instead of repeated, and no
+    // probability or weight-row staging buffer exists.
+    double total[kBatchLanes] = {0.0};
+    double acc[kBatchLanes];
+    for (double& a : acc) a = 1.0;
+    std::fill(grad_soa.begin(), grad_soa.end(), 0.0);
+    table.batched_posterior(view, q_soa.data(), group_masks_[g].data(), c,
+                            acc, total, grad_soa.data());
+    const std::size_t lanes = std::min(kBatchLanes, targets_ - g * kBatchLanes);
+    if (!ll_out.empty())
+      for (std::size_t k = 0; k < lanes; ++k)
+        ll_out[g * kBatchLanes + k] = total[k] + std::log(acc[k]);
+    // Row-major read of the SoA buffers (one contiguous pass, 8 per-target
+    // write streams) instead of one strided sweep per lane.
+    double* gg = grad.data() + g * kBatchLanes * dim();
+    for (std::size_t i = 0; i < dim(); ++i) {
+      const double* gs = grad_soa.data() + i * kBatchLanes;
+      const double* qs = q_soa.data() + i * kBatchLanes;
+      for (std::size_t k = 0; k < lanes; ++k) gg[k * dim() + i] = gs[k] / qs[k];
+    }
+  }
+}
+
+}  // namespace because::core

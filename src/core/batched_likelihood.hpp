@@ -1,0 +1,83 @@
+// Batched multi-prefix likelihood: K posterior targets evaluated in one
+// pass over a shared CSR dataset.
+//
+// Beacon experiments observe the same AS topology through several beacon
+// prefixes: every prefix yields the same path structure (who is on which
+// route) but its own label vector y^(k) and its own parameter vector p^(k).
+// Evaluating the K targets independently walks the CSR arrays K times;
+// BatchedLikelihood walks them once, with the K targets living in SIMD
+// lanes (structure-of-arrays q: q_soa[node * kBatchLanes + lane]).
+//
+// Targets are processed in groups of kernels::kBatchLanes (8): one AVX-512
+// register, two AVX2 registers, or an 8-wide scalar loop per path element.
+// Lanes in a group share every index load and the label-select coefficients
+// differ only through a per-path 8-bit mask, so the cost of a group is close
+// to the cost of one target.
+//
+// Determinism: batched scalar and batched vector kernels are bit-identical
+// (the per-lane arithmetic is the same IEEE sequence, see
+// core/kernels/kernels.hpp). Against the single-target Likelihood the
+// batched path agrees only to rounding (~1e-12 relative): the batched
+// product reduces strictly in path-element order while Likelihood's kernel
+// uses the even/odd two-accumulator order — see DESIGN.md §5g.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/likelihood.hpp"
+#include "labeling/dataset.hpp"
+
+namespace because::core {
+
+class BatchedLikelihood {
+ public:
+  /// `target_labels[k][j]` (0 or 1) is path j's label under target k; every
+  /// inner vector must have `data.path_count()` entries and there must be at
+  /// least one target. The dataset must outlive the BatchedLikelihood.
+  BatchedLikelihood(const labeling::PathDataset& data,
+                    std::vector<std::vector<std::uint8_t>> target_labels,
+                    NoiseModel noise = {});
+
+  std::size_t dim() const { return data_.as_count(); }
+  std::size_t targets() const { return targets_; }
+  const labeling::PathDataset& data() const { return data_; }
+
+  /// Per-target log-likelihoods. `p` is flattened target-major —
+  /// p[k * dim() + i] is target k's damping proportion for AS i — and `out`
+  /// has targets() entries.
+  void log_likelihoods(std::span<const double> p, std::span<double> out) const;
+
+  /// Per-target gradients, same flattened target-major layout as `p`;
+  /// overwrites `grad` (targets() * dim() entries).
+  void gradients(std::span<const double> p, std::span<double> grad) const;
+
+  /// Log-likelihoods and gradients together from one fused sweep per group:
+  /// the CSR product walk is shared between the probability fold and the
+  /// gradient weight scatter, so this costs roughly one gradients() call,
+  /// not log_likelihoods() + gradients(). Results are bitwise identical to
+  /// calling the two separately. This is the call HMC-style samplers should
+  /// make once per evaluated point.
+  void posteriors(std::span<const double> p, std::span<double> ll_out,
+                  std::span<double> grad) const;
+
+ private:
+  std::size_t groups() const;
+  /// Shared fused sweep: fills `grad` always, `ll_out` unless empty.
+  void posterior_groups(std::span<const double> p, std::span<double> ll_out,
+                        std::span<double> grad) const;
+  /// Fill one group's SoA q buffer (dim() + 1 rows of kBatchLanes; padding
+  /// lanes and the sentinel row hold 1.0).
+  void fill_q_soa(std::span<const double> p, std::size_t group,
+                  std::span<double> q_soa) const;
+
+  const labeling::PathDataset& data_;
+  NoiseModel noise_;
+  std::size_t targets_ = 0;
+  /// Per group of kBatchLanes targets: one mask byte per path, bit k = the
+  /// label of the group's k-th target (0 for padding lanes).
+  std::vector<std::vector<std::uint8_t>> group_masks_;
+};
+
+}  // namespace because::core

@@ -29,6 +29,16 @@ class Chain {
   /// Fraction of proposals accepted while generating this chain.
   double acceptance_rate = 0.0;
 
+  /// Fraction of proposals accepted after burn-in only — for adaptive
+  /// warmup (HMC dual averaging) this is the acceptance the frozen step
+  /// size actually delivers, free of the warmup transient.
+  double kept_acceptance_rate = 0.0;
+
+  /// Leapfrog step size the sampling phase actually used (HMC only): the
+  /// frozen dual-averaging iterate when warmup adaptation ran, otherwise the
+  /// configured step size. 0.0 for samplers without a step size.
+  double adapted_step_size = 0.0;
+
  private:
   std::size_t dim_;
   std::size_t size_ = 0;

@@ -99,6 +99,7 @@ Chain run_gibbs(const Likelihood& likelihood, const Prior& prior,
   }
 
   chain.acceptance_rate = 1.0;  // Gibbs always accepts
+  chain.kept_acceptance_rate = 1.0;
   return chain;
 }
 

@@ -63,6 +63,8 @@ void HmcConfig::validate() const {
     throw std::invalid_argument("HmcConfig: leapfrog_steps == 0");
   if (gradient_shards == 0)
     throw std::invalid_argument("HmcConfig: gradient_shards == 0");
+  if (adapt_step_size && (target_accept <= 0.0 || target_accept >= 1.0))
+    throw std::invalid_argument("HmcConfig: target_accept outside (0, 1)");
 }
 
 Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
@@ -88,8 +90,20 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
   Chain chain(dim);
   std::uint64_t proposals = 0;
   std::uint64_t accepts = 0;
+  std::uint64_t kept_accepts = 0;
   std::uint64_t divergences = 0;
   std::uint64_t leapfrog_steps = 0;
+
+  // Dual-averaging state (Hoffman & Gelman 2014, eq. 6 with Stan's
+  // constants). The iterate eps_m explores aggressively; the kappa-weighted
+  // average eps_bar is what the sampling phase freezes to.
+  double step_size = config.step_size;
+  const double mu = std::log(10.0 * config.step_size);
+  double log_eps_bar = 0.0;
+  double h_bar = 0.0;
+  constexpr double kGamma = 0.05;
+  constexpr double kT0 = 10.0;
+  constexpr double kKappa = 0.75;
 
   const std::size_t total = config.burn_in + config.samples;
   for (std::size_t iter = 0; iter < total; ++iter) {
@@ -104,15 +118,15 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
     // Leapfrog integration.
     for (std::size_t step = 0; step < config.leapfrog_steps; ++step) {
       for (std::size_t i = 0; i < dim; ++i)
-        momentum[i] += 0.5 * config.step_size * grad_prop[i];
+        momentum[i] += 0.5 * step_size * grad_prop[i];
       for (std::size_t i = 0; i < dim; ++i) {
-        theta_prop[i] += config.step_size * momentum[i];
+        theta_prop[i] += step_size * momentum[i];
         theta_prop[i] = std::clamp(theta_prop[i], -kThetaClamp, kThetaClamp);
       }
       grad_log_target(likelihood, prior, theta_prop, p_buf, grad_p, grad_prop,
                       pool, config.gradient_shards);
       for (std::size_t i = 0; i < dim; ++i)
-        momentum[i] += 0.5 * config.step_size * grad_prop[i];
+        momentum[i] += 0.5 * step_size * grad_prop[i];
     }
 
     const double proposed_logp = log_target(likelihood, prior, theta_prop, p_buf);
@@ -129,8 +143,26 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
     if (!std::isfinite(log_accept) || log_accept < -1000.0) ++divergences;
     if (log_accept >= 0.0 || rng.uniform() < std::exp(log_accept)) {
       ++accepts;
+      if (iter >= config.burn_in) ++kept_accepts;
       theta = theta_prop;
       current_logp = proposed_logp;
+    }
+
+    if (config.adapt_step_size && iter < config.burn_in) {
+      // alpha = min(1, exp(log_accept)); a diverged (non-finite) trajectory
+      // counts as 0, driving the step size down.
+      const double alpha = std::isfinite(log_accept)
+                               ? std::min(1.0, std::exp(log_accept))
+                               : 0.0;
+      const double m = static_cast<double>(iter + 1);
+      h_bar += (config.target_accept - alpha - h_bar) / (m + kT0);
+      const double log_eps = mu - std::sqrt(m) / kGamma * h_bar;
+      const double w = std::pow(m, -kKappa);
+      log_eps_bar = w * log_eps + (1.0 - w) * log_eps_bar;
+      // Iterate for the next warmup trajectory; freeze to the average once
+      // burn-in ends so every kept sample uses one fixed step size.
+      step_size = iter + 1 < config.burn_in ? std::exp(log_eps)
+                                            : std::exp(log_eps_bar);
     }
 
     if (iter >= config.burn_in) {
@@ -145,6 +177,11 @@ Chain run_hmc(const Likelihood& likelihood, const Prior& prior,
   chain.acceptance_rate =
       proposals == 0 ? 0.0
                      : static_cast<double>(accepts) / static_cast<double>(proposals);
+  chain.kept_acceptance_rate =
+      config.samples == 0 ? 0.0
+                          : static_cast<double>(kept_accepts) /
+                                static_cast<double>(config.samples);
+  chain.adapted_step_size = step_size;
   if (obs::enabled()) {
     obs::add(obs::Counter::kHmcTrajectories, proposals);
     obs::add(obs::Counter::kHmcAccepts, accepts);

@@ -32,6 +32,17 @@ struct HmcConfig {
   /// order, so results are deterministic for a given value.
   std::size_t gradient_shards = 1;
 
+  /// Dual-averaging step-size adaptation (Hoffman & Gelman 2014, Algorithm
+  /// 5's schedule with Stan's defaults). During burn-in the step size chases
+  /// `target_accept` mean acceptance; at the end of burn-in it freezes to
+  /// the averaged iterate, so the kept samples come from a fixed-step
+  /// sampler and a given (seed, config) is fully reproducible. `step_size`
+  /// becomes the adaptation's starting point. Off by default: the golden
+  /// digests of existing runs are unchanged unless a caller opts in.
+  bool adapt_step_size = false;
+  /// Warmup acceptance target (Stan's default 0.8).
+  double target_accept = 0.8;
+
   void validate() const;
 };
 

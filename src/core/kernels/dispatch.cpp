@@ -1,0 +1,81 @@
+#include "core/kernels/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace because::core::kernels {
+
+namespace {
+
+Level detect() {
+#if defined(BECAUSE_FORCE_SCALAR)
+  return Level::kScalar;
+#else
+  // Runtime escape hatch for A/B runs without reconfiguring the build.
+  const char* forced = std::getenv("BECAUSE_FORCE_SCALAR");
+  if (forced != nullptr && forced[0] != '\0') return Level::kScalar;
+#if defined(BECAUSE_HAVE_AVX512_KERNELS)
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl"))
+    return Level::kAvx512;
+#endif
+#if defined(BECAUSE_HAVE_AVX2_KERNELS)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+#endif
+}
+
+std::atomic<int>& active_slot() {
+  static std::atomic<int> slot{static_cast<int>(detect())};
+  return slot;
+}
+
+}  // namespace
+
+Level detected_level() {
+  static const Level level = detect();
+  return level;
+}
+
+Level active_level() {
+  return static_cast<Level>(active_slot().load(std::memory_order_relaxed));
+}
+
+bool supported(Level level) {
+  // Levels are capability-ordered and the detected level implies every
+  // lower one (scalar always exists; AVX-512 machines run AVX2 code).
+  return static_cast<int>(level) <= static_cast<int>(detected_level());
+}
+
+bool force_level(Level level) {
+  if (!supported(level)) return false;
+  active_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  BECAUSE_CHECK(false, "kernels: unknown dispatch level");
+  return "unknown";
+}
+
+const KernelTable& table() {
+  switch (active_level()) {
+#if defined(BECAUSE_HAVE_AVX512_KERNELS)
+    case Level::kAvx512: return kAvx512Table;
+#endif
+#if defined(BECAUSE_HAVE_AVX2_KERNELS)
+    case Level::kAvx2: return kAvx2Table;
+#endif
+    default: return kScalarTable;
+  }
+}
+
+}  // namespace because::core::kernels

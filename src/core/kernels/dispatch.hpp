@@ -1,0 +1,52 @@
+// Runtime CPU dispatch for the likelihood kernels.
+//
+// The best level the build and the CPU both support is detected once at
+// first use (GCC/Clang __builtin_cpu_supports, masked by which kernel
+// translation units were compiled — see src/CMakeLists.txt). Two overrides
+// exist for testing the fallback:
+//
+//   * compile-time: configuring with -DBECAUSE_FORCE_SCALAR=ON (the
+//     check-simd preset) compiles the vector units out entirely, so the
+//     scalar path is the only path;
+//   * runtime: the BECAUSE_FORCE_SCALAR environment variable (any non-empty
+//     value) pins detection to scalar, and force_level() lets tests walk
+//     every supported level in one process.
+//
+// All levels are bit-identical (see kernels.hpp), so switching levels never
+// changes results — only throughput. The active level is exported to traces
+// via the sampler.kernel_dispatch gauge (multichain.cpp).
+#pragma once
+
+#include "core/kernels/kernels.hpp"
+
+namespace because::core::kernels {
+
+/// Dispatch levels, ordered by capability. Numeric values are stable: they
+/// are recorded in the sampler.kernel_dispatch observability gauge.
+enum class Level : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Best level this build + CPU supports (cached after the first call).
+Level detected_level();
+
+/// The level table() currently dispatches to (detected unless forced).
+Level active_level();
+
+/// True when `level` can run on this build + CPU.
+bool supported(Level level);
+
+/// Pin dispatch to `level`. Returns false (and changes nothing) when the
+/// level is unsupported. Call from single-threaded points only (tests and
+/// bench setup); samplers read the table per evaluation.
+bool force_level(Level level);
+
+/// Stable lowercase name ("scalar", "avx2", "avx512") for logs and benches.
+const char* level_name(Level level);
+
+/// The active level's kernel set.
+const KernelTable& table();
+
+}  // namespace because::core::kernels

@@ -4,9 +4,72 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels/dispatch.hpp"
+#include "core/kernels/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace because::core {
+
+static_assert(kernels::kQFloor == Likelihood::kQFloor,
+              "kernel q floor must match the Likelihood contract");
+static_assert(kernels::kProbFloor == Likelihood::kProbFloor,
+              "kernel probability floor must match the Likelihood contract");
+
+namespace {
+
+/// Observations per kernel call: bounds the staging buffer while amortizing
+/// dispatch; a multiple of every lane width (4 and 8).
+constexpr std::size_t kChunk = 512;
+
+kernels::ObsCoeffs coeffs(const NoiseModel& noise) {
+  // P(obs) = c0[label] + c1[label] * prod (branchless label select):
+  //   shows: fs * prod + (1 - ms) * (1 - prod)
+  //   clean: (1 - fs) * prod + ms * (1 - prod)
+  const double fs = noise.false_signature;
+  const double ms = noise.missed_signature;
+  return {{ms, 1.0 - ms}, {(1.0 - fs) - ms, fs - (1.0 - ms)}};
+}
+
+/// Borrow the dataset's CSR arrays (plus its lane-blocked layout when the
+/// table gathers) for the kernel calls.
+kernels::DatasetView make_view(const labeling::PathDataset& data,
+                               const kernels::KernelTable& table) {
+  // The sorted layout's perm is width-independent, so the scalar level
+  // borrows the width-8 build purely for the fold order.
+  return {
+      data.flat_nodes().data(),
+      data.flat_offsets().data(),
+      data.label_bits().data(),
+      table.lane_width == 0 ? nullptr : &data.blocked(table.lane_width),
+      data.path_count(),
+      &data.blocked_sorted(table.lane_width == 0 ? 8 : table.lane_width),
+  };
+}
+
+/// q = clamp(1 - p) with the gather sentinel appended: q[dim] == 1.0 so a
+/// padded lane's multiply is an exact identity.
+std::vector<double> clamped_q(std::span<const double> p,
+                              const kernels::KernelTable& table) {
+  std::vector<double> q(p.size() + 1);
+  table.clamp_q(p.data(), q.data(), p.size());
+  q[p.size()] = 1.0;
+  return q;
+}
+
+/// Borrow the transposed CSR (plus its lane-blocked layout when the table
+/// gathers) for the gradient-accumulation kernel.
+kernels::TransposedView make_transposed(const labeling::PathDataset& data,
+                                        const kernels::KernelTable& table) {
+  return {
+      data.transposed_offsets().data(),
+      data.transposed_obs().data(),
+      table.lane_width == 0 ? nullptr
+                            : &data.blocked_transposed(table.lane_width),
+      data.as_count(),
+  };
+}
+
+}  // namespace
 
 void NoiseModel::validate() const {
   if (false_signature < 0.0 || false_signature >= 0.5)
@@ -22,28 +85,18 @@ Likelihood::Likelihood(const labeling::PathDataset& data, NoiseModel noise)
 
 std::vector<double> Likelihood::products(std::span<const double> p) const {
   if (p.size() != dim()) throw std::invalid_argument("Likelihood: dim mismatch");
-  std::vector<double> q(p.size());
-  for (std::size_t i = 0; i < p.size(); ++i) q[i] = clamp_q(p[i]);
+  const kernels::KernelTable& table = kernels::table();
+  const std::vector<double> q = clamped_q(p, table);
+  const kernels::DatasetView view = make_view(data_, table);
 
-  const std::span<const std::uint32_t> nodes = data_.flat_nodes();
-  const std::span<const std::uint32_t> offsets = data_.flat_offsets();
-  const std::size_t paths = data_.path_count();
-
-  std::vector<double> prods(paths);
-  for (std::size_t j = 0; j < paths; ++j) {
-    double prod = 1.0;
-    for (std::size_t k = offsets[j]; k < offsets[j + 1]; ++k)
-      prod *= q[nodes[k]];
-    prods[j] = prod;
-  }
+  std::vector<double> prods(view.paths);
+  table.path_products(view, q.data(), 0, view.paths, prods.data());
   return prods;
 }
 
 double Likelihood::observation_log_lik(double product, bool shows_property) const {
   const double fs = noise_.false_signature;
   const double ms = noise_.missed_signature;
-  //   shows: fs * prod + (1 - ms) * (1 - prod)
-  //   clean: (1 - fs) * prod + ms * (1 - prod)
   const double prob = shows_property
                           ? fs * product + (1.0 - ms) * (1.0 - product)
                           : (1.0 - fs) * product + ms * (1.0 - product);
@@ -52,91 +105,61 @@ double Likelihood::observation_log_lik(double product, bool shows_property) cons
 
 double Likelihood::log_likelihood(std::span<const double> p) const {
   if (p.size() != dim()) throw std::invalid_argument("Likelihood: dim mismatch");
-  std::vector<double> q(p.size());
-  for (std::size_t i = 0; i < p.size(); ++i) q[i] = clamp_q(p[i]);
+  const kernels::KernelTable& table = kernels::table();
+  const std::vector<double> q = clamped_q(p, table);
+  const kernels::DatasetView view = make_view(data_, table);
+  const kernels::ObsCoeffs c = coeffs(noise_);
 
-  const std::span<const std::uint32_t> nodes = data_.flat_nodes();
-  const std::span<const std::uint32_t> offsets = data_.flat_offsets();
-  const std::span<const std::uint64_t> labels = data_.label_bits();
-  const std::size_t paths = data_.path_count();
-
-  // P(obs) = c0[label] + c1[label] * prod (branchless label select).
-  const double fs = noise_.false_signature;
-  const double ms = noise_.missed_signature;
-  const double c0[2] = {ms, 1.0 - ms};
-  const double c1[2] = {(1.0 - fs) - ms, fs - (1.0 - ms)};
-
-  // sum_j log P_j = log prod_j P_j: accumulate the probability product and
-  // take a log only when it nears the underflow range, so the kernel is a
-  // pure multiply stream with a handful of transcendentals total.
-  double total = 0.0;
-  double acc = 1.0;
-  for (std::size_t j = 0; j < paths; ++j) {
-    // Two interleaved partial products halve the multiply dependency chain.
-    double prod_a = 1.0, prod_b = 1.0;
-    std::size_t k = offsets[j];
-    const std::size_t hi = offsets[j + 1];
-    for (; k + 1 < hi; k += 2) {
-      prod_a *= q[nodes[k]];
-      prod_b *= q[nodes[k + 1]];
-    }
-    if (k < hi) prod_a *= q[nodes[k]];
-    const double prod = prod_a * prod_b;
-    const std::size_t label = (labels[j >> 6] >> (j & 63)) & 1u;
-    const double prob = std::max(kProbFloor, c0[label] + c1[label] * prod);
-    if (prob < 1e-30) {
-      total += std::log(prob);  // too small to fold into acc safely
-    } else {
-      acc *= prob;
-      if (acc < 1e-270) {
-        total += std::log(acc);
-        acc = 1.0;
-      }
-    }
-  }
-  return total + std::log(acc);
+  // sum_j log P_j in one fused kernel sweep: observations fold (in the
+  // length-sorted layout's order) through 8 interleaved underflow-guarded
+  // product lanes — a handful of transcendentals total, no staged
+  // probability buffer, and the per-observation sequence is identical at
+  // every dispatch level, so the result is bit-identical across levels.
+  return table.ll_sum(view, q.data(), c);
 }
 
 void Likelihood::gradient_range(std::span<const double> q,
                                 std::span<double> grad, std::size_t begin,
                                 std::size_t end) const {
+  const kernels::KernelTable& table = kernels::table();
+  const kernels::DatasetView view = make_view(data_, table);
+  const kernels::ObsCoeffs c = coeffs(noise_);
   const std::span<const std::uint32_t> nodes = data_.flat_nodes();
   const std::span<const std::uint32_t> offsets = data_.flat_offsets();
-  const std::span<const std::uint64_t> labels = data_.label_bits();
 
   // P = c0[label] + c1[label] * prod; d log P / dp_k = -c1 * (prod / q_k) / P.
-  // Each observation scatters the per-path weight w = -c1 * prod / P; the
-  // caller divides the accumulated grad by q afterwards, so the inner loops
-  // are a gather-multiply followed by a scatter-add of one register.
-  const double fs = noise_.false_signature;
-  const double ms = noise_.missed_signature;
-  const double c0[2] = {ms, 1.0 - ms};
-  const double c1[2] = {(1.0 - fs) - ms, fs - (1.0 - ms)};
-
-  for (std::size_t j = begin; j < end; ++j) {
-    const std::size_t lo = offsets[j], hi = offsets[j + 1];
-    double prod_a = 1.0, prod_b = 1.0;
-    std::size_t k = lo;
-    for (; k + 1 < hi; k += 2) {
-      prod_a *= q[nodes[k]];
-      prod_b *= q[nodes[k + 1]];
+  // The kernel computes each observation's weight w = -c1 * prod / P; the
+  // scatter stays scalar and in path order (deterministic accumulation), and
+  // the caller divides the accumulated grad by q afterwards.
+  double weights[kChunk];
+  for (std::size_t chunk = begin; chunk < end; chunk += kChunk) {
+    const std::size_t stop = std::min(end, chunk + kChunk);
+    table.grad_weights(view, q.data(), c, chunk, stop, weights);
+    for (std::size_t j = chunk; j < stop; ++j) {
+      const double w = weights[j - chunk];
+      for (std::size_t k = offsets[j]; k < offsets[j + 1]; ++k)
+        grad[nodes[k]] += w;
     }
-    if (k < hi) prod_a *= q[nodes[k]];
-    const double prod = prod_a * prod_b;
-    const std::size_t label = (labels[j >> 6] >> (j & 63)) & 1u;
-    const double prob = std::max(kProbFloor, c0[label] + c1[label] * prod);
-    const double w = -c1[label] * (prod / prob);
-    for (std::size_t k = lo; k < hi; ++k) grad[nodes[k]] += w;
   }
 }
 
 void Likelihood::gradient(std::span<const double> p, std::span<double> grad) const {
   if (p.size() != dim() || grad.size() != dim())
     throw std::invalid_argument("Likelihood::gradient: dim mismatch");
-  std::vector<double> q(p.size());
-  for (std::size_t i = 0; i < p.size(); ++i) q[i] = clamp_q(p[i]);
-  std::fill(grad.begin(), grad.end(), 0.0);
-  gradient_range(q, grad, 0, data_.path_count());
+  const kernels::KernelTable& table = kernels::table();
+  const std::vector<double> q = clamped_q(p, table);
+  const kernels::DatasetView view = make_view(data_, table);
+  const std::size_t paths = data_.path_count();
+
+  // Full-range pass: materialize every observation's weight, then sum per
+  // node over the transposed CSR — bit-identical to the path-order scatter
+  // (gradient_range, kept for sharded subranges) but latency-friendly:
+  // per-node sums replace the store-forwarding-bound scatter.
+  std::vector<double> weights(paths + 1);
+  table.grad_weights(view, q.data(), coeffs(noise_), 0, paths, weights.data());
+  weights[paths] = -0.0;  // additive identity for padded gather lanes
+  table.grad_accumulate(view, make_transposed(data_, table), weights.data(),
+                        grad.data());
   for (std::size_t i = 0; i < grad.size(); ++i) grad[i] /= q[i];
 }
 
@@ -151,8 +174,10 @@ void Likelihood::gradient(std::span<const double> p, std::span<double> grad,
     return;
   }
 
-  std::vector<double> q(p.size());
-  for (std::size_t i = 0; i < p.size(); ++i) q[i] = clamp_q(p[i]);
+  const kernels::KernelTable& table = kernels::table();
+  const std::vector<double> q = clamped_q(p, table);
+  // Build the shared lazy structures up front so pool workers only read.
+  (void)make_view(data_, table);
 
   std::vector<std::vector<double>> partial(shards,
                                            std::vector<double>(dim(), 0.0));

@@ -21,7 +21,10 @@
 // once per coordinate instead of once per path element, noise-free clean
 // paths reduce to a sum of precomputed log q (no transcendental per path),
 // and the gradient uses one division per observation instead of two per
-// path element.
+// path element. The per-observation arithmetic is routed through the
+// core::kernels dispatch table (scalar / AVX2 / AVX-512), whose vector
+// levels are bit-identical to the scalar definitions — see
+// core/kernels/kernels.hpp for the determinism contract.
 #pragma once
 
 #include <algorithm>
@@ -82,7 +85,8 @@ class Likelihood {
   static constexpr double kProbFloor = 1e-300;
 
  private:
-  /// Serial gradient accumulation over observations [begin, end); `grad`
+  /// Serial gradient accumulation over observations [begin, end); `q` holds
+  /// dim() + 1 entries (the kernel gather sentinel q[dim] == 1.0), `grad`
   /// must be zeroed by the caller and is left *un-divided* by q — the
   /// caller applies the final per-coordinate 1/q scaling after reduction.
   void gradient_range(std::span<const double> q, std::span<double> grad,

@@ -49,6 +49,8 @@ Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
   Chain chain(dim);
   std::uint64_t proposals = 0;
   std::uint64_t accepts = 0;
+  std::uint64_t kept_proposals = 0;
+  std::uint64_t kept_accepts = 0;
 
   const std::size_t total_sweeps = config.burn_in + config.samples * config.thin;
   for (std::size_t sweep = 0; sweep < total_sweeps; ++sweep) {
@@ -79,8 +81,10 @@ Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
       BECAUSE_ASSERT(!std::isnan(delta),
                      "log-acceptance delta is NaN at coord " << i);
       ++proposals;
+      if (sweep >= config.burn_in) ++kept_proposals;
       if (delta >= 0.0 || rng.uniform() < std::exp(delta)) {
         ++accepts;
+        if (sweep >= config.burn_in) ++kept_accepts;
         p[i] = new_p;
         for (std::size_t obs_idx : data.observations_with(i))
           products[obs_idx] *= ratio;
@@ -100,6 +104,10 @@ Chain run_metropolis(const Likelihood& likelihood, const Prior& prior,
   chain.acceptance_rate =
       proposals == 0 ? 0.0
                      : static_cast<double>(accepts) / static_cast<double>(proposals);
+  chain.kept_acceptance_rate =
+      kept_proposals == 0 ? 0.0
+                          : static_cast<double>(kept_accepts) /
+                                static_cast<double>(kept_proposals);
   if (obs::enabled()) {
     obs::add(obs::Counter::kMhProposals, proposals);
     obs::add(obs::Counter::kMhAccepts, accepts);

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "core/kernels/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "stats/ess.hpp"
 #include "stats/rhat.hpp"
@@ -116,6 +117,10 @@ MultiChainResult run_chains(
       ess += stats::effective_sample_size(marginal);
     }
     obs::set_gauge(obs::Gauge::kMcmcWorstEss, ess);
+    // The dispatch level is process-global and identical on every worker, so
+    // recording it here (single-threaded) is trivially deterministic.
+    obs::set_gauge(obs::Gauge::kSamplerKernelDispatch,
+                   static_cast<double>(kernels::active_level()));
   }
   return result;
 }
@@ -141,13 +146,21 @@ MultiChainResult run_hmc_chains(const Likelihood& likelihood,
   // Chains already occupy the pool, and a chain blocking on its own shard
   // futures could starve a small pool, so pooled HMC runs serial gradients;
   // gradient_shards is honoured by single-chain run_hmc.
-  return run_chains(likelihood, n_chains, pool,
-                    [&likelihood, &prior, &config](std::size_t c) {
-                      HmcConfig chain_config = config;
-                      chain_config.seed = config.seed + c;
-                      chain_config.gradient_shards = 1;
-                      return run_hmc(likelihood, prior, chain_config);
-                    });
+  MultiChainResult result =
+      run_chains(likelihood, n_chains, pool,
+                 [&likelihood, &prior, &config](std::size_t c) {
+                   HmcConfig chain_config = config;
+                   chain_config.seed = config.seed + c;
+                   chain_config.gradient_shards = 1;
+                   return run_hmc(likelihood, prior, chain_config);
+                 });
+  if (obs::enabled() && config.adapt_step_size)
+    // Chain 0's frozen warmup step size, recorded after collect_all on the
+    // calling thread — chains land in index order, so this is independent of
+    // pool size.
+    obs::set_gauge(obs::Gauge::kSamplerWarmupStepSize,
+                   result.chains.front().adapted_step_size);
+  return result;
 }
 
 }  // namespace because::core

@@ -18,6 +18,7 @@ void PathDataset::copy_from(const PathDataset& other) {
   node_offsets_ = other.node_offsets_;
   transposed_valid_.store(other.transposed_valid_.load(std::memory_order_acquire),
                           std::memory_order_release);
+  invalidate_blocked();  // cheap to rebuild lazily on the copy
 }
 
 void PathDataset::move_from(PathDataset&& other) noexcept {
@@ -34,6 +35,8 @@ void PathDataset::move_from(PathDataset&& other) noexcept {
                           std::memory_order_release);
   other.obs_offsets_ = {0};
   other.transposed_valid_.store(false, std::memory_order_release);
+  invalidate_blocked();
+  other.invalidate_blocked();  // its CSR arrays are gone
 }
 
 PathDataset::PathDataset(const PathDataset& other) { copy_from(other); }
@@ -93,6 +96,7 @@ void PathDataset::add_path(const topology::AsPath& path, bool shows_property,
   if (label_bits_.size() * 64 <= obs_index) label_bits_.push_back(0);
   if (shows_property) label_bits_[obs_index >> 6] |= std::uint64_t{1} << (obs_index & 63);
   transposed_valid_.store(false, std::memory_order_release);
+  invalidate_blocked();
 }
 
 std::optional<std::size_t> PathDataset::index_of(topology::AsId as) const {
@@ -135,6 +139,172 @@ std::span<const std::uint32_t> PathDataset::observations_with(
     throw std::out_of_range("PathDataset::observations_with: bad node");
   return {node_obs_.data() + node_offsets_[node],
           node_obs_.data() + node_offsets_[node + 1]};
+}
+
+std::span<const std::uint32_t> PathDataset::transposed_offsets() const {
+  ensure_transposed();
+  return node_offsets_;
+}
+
+std::span<const std::uint32_t> PathDataset::transposed_obs() const {
+  ensure_transposed();
+  return node_obs_;
+}
+
+void PathDataset::invalidate_blocked() {
+  blocked4_ptr_.store(nullptr, std::memory_order_release);
+  blocked8_ptr_.store(nullptr, std::memory_order_release);
+  blocked_t4_ptr_.store(nullptr, std::memory_order_release);
+  blocked_t8_ptr_.store(nullptr, std::memory_order_release);
+  blocked_s4_ptr_.store(nullptr, std::memory_order_release);
+  blocked_s8_ptr_.store(nullptr, std::memory_order_release);
+  blocked4_.reset();
+  blocked8_.reset();
+  blocked_t4_.reset();
+  blocked_t8_.reset();
+  blocked_s4_.reset();
+  blocked_s8_.reset();
+}
+
+namespace {
+
+/// Shared lane-blocking pass over any CSR (forward or transposed): rows
+/// grouped `width` to a block, positions interleaved lane-major and padded
+/// with `sentinel` to the block's longest row rounded up to a whole
+/// pairstep; with the repo's short rows the waste stays small.
+std::unique_ptr<BlockedLayout> block_csr(
+    std::span<const std::uint32_t> offsets,
+    std::span<const std::uint32_t> indices, std::uint32_t sentinel,
+    std::size_t width, std::span<const std::uint32_t> order = {}) {
+  auto layout = std::make_unique<BlockedLayout>();
+  layout->width = width;
+  layout->sentinel = sentinel;
+  const std::size_t rows = offsets.size() - 1;
+  const std::size_t blocks = rows / width;
+  layout->block_offsets.reserve(blocks + 1);
+  layout->block_offsets.push_back(0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t r0 = b * width;
+    std::size_t max_pairs = 0;
+    for (std::size_t l = 0; l < width; ++l) {
+      const std::size_t row = order.empty() ? r0 + l : order[r0 + l];
+      const std::size_t len = offsets[row + 1] - offsets[row];
+      max_pairs = std::max(max_pairs, (len + 1) / 2);
+    }
+    for (std::size_t pos = 0; pos < 2 * max_pairs; ++pos) {
+      for (std::size_t l = 0; l < width; ++l) {
+        const std::size_t row = order.empty() ? r0 + l : order[r0 + l];
+        const std::size_t lo = offsets[row];
+        const std::size_t len = offsets[row + 1] - lo;
+        layout->idx.push_back(pos < len ? indices[lo + pos] : sentinel);
+      }
+    }
+    layout->block_offsets.push_back(
+        static_cast<std::uint32_t>(layout->idx.size()));
+  }
+  return layout;
+}
+
+}  // namespace
+
+std::unique_ptr<const BlockedLayout> PathDataset::build_blocked(
+    std::size_t width) const {
+  return block_csr(obs_offsets_, obs_nodes_,
+                   static_cast<std::uint32_t>(as_ids_.size()), width);
+}
+
+std::unique_ptr<const BlockedLayout> PathDataset::build_blocked_transposed(
+    std::size_t width) const {
+  return block_csr(node_offsets_, node_obs_,
+                   static_cast<std::uint32_t>(path_count()), width);
+}
+
+std::unique_ptr<const BlockedLayout> PathDataset::build_blocked_sorted(
+    std::size_t width) const {
+  // Stable counting sort of the observations by path length: blocks become
+  // nearly homogeneous so they pad to (almost) their own length. The sort
+  // depends only on the CSR, never on `width`, so the width-4 and width-8
+  // layouts share the identical perm — every dispatch level folds the
+  // observations in the same order.
+  const std::size_t paths = path_count();
+  std::size_t max_len = 0;
+  for (std::size_t j = 0; j < paths; ++j)
+    max_len = std::max(max_len,
+                       std::size_t{obs_offsets_[j + 1] - obs_offsets_[j]});
+  std::vector<std::uint32_t> bucket_start(max_len + 2, 0);
+  for (std::size_t j = 0; j < paths; ++j)
+    ++bucket_start[obs_offsets_[j + 1] - obs_offsets_[j] + 1];
+  for (std::size_t l = 1; l < bucket_start.size(); ++l)
+    bucket_start[l] = static_cast<std::uint32_t>(bucket_start[l] +
+                                                 bucket_start[l - 1]);
+  std::vector<std::uint32_t> perm(paths);
+  for (std::size_t j = 0; j < paths; ++j)
+    perm[bucket_start[obs_offsets_[j + 1] - obs_offsets_[j]]++] =
+        static_cast<std::uint32_t>(j);
+
+  std::unique_ptr<BlockedLayout> sorted =
+      block_csr(obs_offsets_, obs_nodes_,
+                static_cast<std::uint32_t>(as_ids_.size()), width, perm);
+  sorted->lane_labels.resize(sorted->blocks());
+  for (std::size_t b = 0; b < sorted->blocks(); ++b) {
+    std::uint8_t bits = 0;
+    for (std::size_t l = 0; l < width; ++l) {
+      const std::uint32_t j = perm[b * width + l];
+      const std::uint64_t bit = (label_bits_[j >> 6] >> (j & 63)) & 1u;
+      bits = static_cast<std::uint8_t>(bits | (bit << l));
+    }
+    sorted->lane_labels[b] = bits;
+  }
+  sorted->perm = std::move(perm);
+  return sorted;
+}
+
+const BlockedLayout& PathDataset::blocked(std::size_t width) const {
+  BECAUSE_CHECK(width == 4 || width == 8,
+                "PathDataset::blocked: unsupported lane width " << width);
+  auto& slot = width == 8 ? blocked8_ptr_ : blocked4_ptr_;
+  const BlockedLayout* layout = slot.load(std::memory_order_acquire);
+  if (layout != nullptr) return *layout;
+  std::lock_guard<std::mutex> lock(mutex_);
+  layout = slot.load(std::memory_order_relaxed);
+  if (layout != nullptr) return *layout;
+  auto& owner = width == 8 ? blocked8_ : blocked4_;
+  owner = build_blocked(width);
+  slot.store(owner.get(), std::memory_order_release);
+  return *owner;
+}
+
+const BlockedLayout& PathDataset::blocked_sorted(std::size_t width) const {
+  BECAUSE_CHECK(width == 4 || width == 8,
+                "PathDataset::blocked_sorted: unsupported lane width "
+                    << width);
+  auto& slot = width == 8 ? blocked_s8_ptr_ : blocked_s4_ptr_;
+  const BlockedLayout* layout = slot.load(std::memory_order_acquire);
+  if (layout != nullptr) return *layout;
+  std::lock_guard<std::mutex> lock(mutex_);
+  layout = slot.load(std::memory_order_relaxed);
+  if (layout != nullptr) return *layout;
+  auto& owner = width == 8 ? blocked_s8_ : blocked_s4_;
+  owner = build_blocked_sorted(width);
+  slot.store(owner.get(), std::memory_order_release);
+  return *owner;
+}
+
+const BlockedLayout& PathDataset::blocked_transposed(std::size_t width) const {
+  BECAUSE_CHECK(width == 4 || width == 8,
+                "PathDataset::blocked_transposed: unsupported lane width "
+                    << width);
+  ensure_transposed();  // source arrays, before taking mutex_
+  auto& slot = width == 8 ? blocked_t8_ptr_ : blocked_t4_ptr_;
+  const BlockedLayout* layout = slot.load(std::memory_order_acquire);
+  if (layout != nullptr) return *layout;
+  std::lock_guard<std::mutex> lock(mutex_);
+  layout = slot.load(std::memory_order_relaxed);
+  if (layout != nullptr) return *layout;
+  auto& owner = width == 8 ? blocked_t8_ : blocked_t4_;
+  owner = build_blocked_transposed(width);
+  slot.store(owner.get(), std::memory_order_release);
+  return *owner;
 }
 
 std::size_t PathDataset::property_paths(std::size_t node) const {

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -28,6 +29,43 @@
 #include "util/contracts.hpp"
 
 namespace because::labeling {
+
+/// Lane-blocked padded view of a CSR for gathering SIMD kernels:
+/// consecutive rows are grouped `width` to a block, each block's element
+/// positions are interleaved lane-major and padded to the block's longest
+/// row with `sentinel` (the gathered buffer appends its identity at that
+/// index — 1.0 for the multiplicative q buffers, -0.0 for additive weight
+/// buffers — so a padded lane step is exact and lanes never read out of
+/// bounds). Within block `b`, entry `idx[block_offsets[b] + pos * width +
+/// lane]` is position `pos` of lane `lane`'s row. Positions alternate the
+/// even/odd streams of the two-accumulator product (pairstep s = positions
+/// 2s and 2s+1), which is what keeps vector lanes bit-identical to the
+/// scalar kernel. Only full blocks are stored: the `rows % width` tail
+/// stays on the scalar edge path. Built over the forward CSR (rows =
+/// observations, entries = AS indices, sentinel = as_count()) by
+/// `blocked()` and over the transposed CSR (rows = AS indices, entries =
+/// observation ids, sentinel = path_count()) by `blocked_transposed()`.
+struct BlockedLayout {
+  std::size_t width = 0;
+  std::uint32_t sentinel = 0;  ///< entry count of the gathered buffer
+  std::vector<std::uint32_t> idx;
+  std::vector<std::uint32_t> block_offsets;  ///< blocks + 1 entries
+  /// Sorted layouts only (`blocked_sorted()`): lane t holds row perm[t],
+  /// a stable length-sort of the rows, so blocks are nearly homogeneous
+  /// and padding gathers mostly vanish. Empty for row-order layouts.
+  std::vector<std::uint32_t> perm;
+  /// Sorted layouts only: bit l of lane_labels[b] is the label of block
+  /// b's lane-l row (labels permute with the rows). Empty otherwise.
+  std::vector<std::uint8_t> lane_labels;
+
+  std::size_t blocks() const { return block_offsets.size() - 1; }
+  /// Rows covered by full blocks (the vectorizable prefix).
+  std::size_t covered_paths() const { return blocks() * width; }
+  /// Padded positions per lane in block `b` (2 * the pairstep count).
+  std::size_t positions(std::size_t b) const {
+    return (block_offsets[b + 1] - block_offsets[b]) / width;
+  }
+};
 
 class PathDataset {
  public:
@@ -77,6 +115,32 @@ class PathDataset {
   /// dataset; a later add_path invalidates and rebuilds on next query.
   std::span<const std::uint32_t> observations_with(std::size_t node) const;
 
+  /// The flat transposed CSR arrays (node -> ascending observation ids),
+  /// for kernels that stream every node. Same thread-safety contract as
+  /// observations_with.
+  std::span<const std::uint32_t> transposed_offsets() const;
+  std::span<const std::uint32_t> transposed_obs() const;
+
+  /// The lane-blocked padded index layout for SIMD width `width` (4 or 8),
+  /// built lazily and cached per width. Same thread-safety contract as
+  /// observations_with: safe after first build on a fully built dataset; a
+  /// later add_path invalidates.
+  const BlockedLayout& blocked(std::size_t width) const;
+
+  /// The lane-blocked layout of the transposed CSR (lanes = AS indices,
+  /// entries = observation ids, sentinel = path_count()), for the gathering
+  /// gradient-accumulation kernels. Same laziness/thread-safety contract as
+  /// blocked().
+  const BlockedLayout& blocked_transposed(std::size_t width) const;
+
+  /// The length-sorted lane-blocked layout of the forward CSR: lanes are a
+  /// stable sort of the observations by path length (perm), so a block pads
+  /// to its own nearly-uniform length instead of the longest of 8 arbitrary
+  /// rows. perm is width-independent (the same stable sort), which is what
+  /// lets every dispatch level fold observations in the identical order.
+  /// Same laziness/thread-safety contract as blocked().
+  const BlockedLayout& blocked_sorted(std::size_t width) const;
+
   /// Number of RFD-labeled / clean-labeled paths containing the AS.
   std::size_t property_paths(std::size_t node) const;
   std::size_t clean_paths(std::size_t node) const;
@@ -87,6 +151,12 @@ class PathDataset {
   void move_from(PathDataset&& other) noexcept;
   /// Build the node -> observation CSR (double-checked under `mutex_`).
   void ensure_transposed() const;
+  std::unique_ptr<const BlockedLayout> build_blocked(std::size_t width) const;
+  std::unique_ptr<const BlockedLayout> build_blocked_transposed(
+      std::size_t width) const;
+  std::unique_ptr<const BlockedLayout> build_blocked_sorted(
+      std::size_t width) const;
+  void invalidate_blocked();
 
   std::vector<topology::AsId> as_ids_;
   std::unordered_map<topology::AsId, std::size_t> index_;
@@ -104,6 +174,20 @@ class PathDataset {
   mutable std::vector<std::uint32_t> node_obs_;
   mutable std::vector<std::uint32_t> node_offsets_;
   mutable std::atomic<bool> transposed_valid_{false};
+  // Lane-blocked layouts (widths 4 and 8), built lazily like the transposed
+  // CSR: the atomic publishes the finished layout, `mutex_` serializes the
+  // build, the unique_ptr owns it.
+  mutable std::unique_ptr<const BlockedLayout> blocked4_, blocked8_;
+  mutable std::atomic<const BlockedLayout*> blocked4_ptr_{nullptr};
+  mutable std::atomic<const BlockedLayout*> blocked8_ptr_{nullptr};
+  // Same again for the transposed CSR (gradient accumulation kernels).
+  mutable std::unique_ptr<const BlockedLayout> blocked_t4_, blocked_t8_;
+  mutable std::atomic<const BlockedLayout*> blocked_t4_ptr_{nullptr};
+  mutable std::atomic<const BlockedLayout*> blocked_t8_ptr_{nullptr};
+  // Same again for the length-sorted forward layouts (fused log-likelihood).
+  mutable std::unique_ptr<const BlockedLayout> blocked_s4_, blocked_s8_;
+  mutable std::atomic<const BlockedLayout*> blocked_s4_ptr_{nullptr};
+  mutable std::atomic<const BlockedLayout*> blocked_s8_ptr_{nullptr};
   mutable std::mutex mutex_;
 };
 

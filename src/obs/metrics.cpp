@@ -57,6 +57,8 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
 constexpr std::array<const char*, kGaugeCount> kGaugeNames = {
     "mcmc.rhat.max",
     "mcmc.ess.worst_coord",
+    "sampler.kernel_dispatch",
+    "sampler.warmup.step_size",
 };
 
 constexpr std::array<const char*, kHistoCount> kHistoNames = {

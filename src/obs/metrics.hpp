@@ -80,8 +80,12 @@ inline constexpr std::size_t kCounterCount =
     static_cast<std::size_t>(Counter::kCount);
 
 enum class Gauge : std::uint32_t {
-  kMcmcMaxRhat = 0,   ///< split R-hat of the worst coordinate, last run
-  kMcmcWorstEss,      ///< pooled ESS of that coordinate, last run
+  kMcmcMaxRhat = 0,        ///< split R-hat of the worst coordinate, last run
+  kMcmcWorstEss,           ///< pooled ESS of that coordinate, last run
+  kSamplerKernelDispatch,  ///< active likelihood kernel level (0 = scalar,
+                           ///< 1 = AVX2, 2 = AVX-512), last multi-chain run
+  kSamplerWarmupStepSize,  ///< frozen dual-averaging step size of chain 0,
+                           ///< last adaptive HMC multi-chain run
   kCount
 };
 inline constexpr std::size_t kGaugeCount =

@@ -1,0 +1,506 @@
+// SIMD kernel dispatch: bit-identity of every vector level against the
+// scalar reference on randomized CSR datasets, batched multi-target
+// equivalence, multichain digest equivalence across dispatch levels, and
+// dual-averaging HMC warmup.
+//
+// "Bit-identical" here is literal: comparisons use exact double equality
+// (EXPECT_EQ), not EXPECT_NEAR. The kernels earn this by lane-mapping whole
+// paths and reproducing the scalar association per lane — see
+// core/kernels/kernels.hpp for the contract these tests pin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/batched_likelihood.hpp"
+#include "core/hmc.hpp"
+#include "core/kernels/dispatch.hpp"
+#include "core/likelihood.hpp"
+#include "core/multichain.hpp"
+#include "core/prior.hpp"
+#include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace because::core {
+namespace {
+
+namespace kernels = because::core::kernels;
+
+/// Restore the detected dispatch level when a test scope ends, so a failing
+/// EXPECT cannot leak a forced level into later tests.
+struct LevelGuard {
+  LevelGuard() : saved(kernels::active_level()) {}
+  ~LevelGuard() { kernels::force_level(saved); }
+  kernels::Level saved;
+};
+
+std::vector<kernels::Level> supported_levels() {
+  std::vector<kernels::Level> levels = {kernels::Level::kScalar};
+  if (kernels::supported(kernels::Level::kAvx2))
+    levels.push_back(kernels::Level::kAvx2);
+  if (kernels::supported(kernels::Level::kAvx512))
+    levels.push_back(kernels::Level::kAvx512);
+  return levels;
+}
+
+labeling::PathDataset random_dataset(std::size_t ases, std::size_t paths,
+                                     std::uint64_t seed) {
+  stats::Rng rng(seed);
+  labeling::PathDataset data;
+  for (std::size_t j = 0; j < paths; ++j) {
+    const std::size_t len = 1 + rng.index(6);
+    topology::AsPath path;
+    for (std::size_t k = 0; k < len; ++k)
+      path.push_back(static_cast<topology::AsId>(100 + rng.index(ases)));
+    data.add_path(path, rng.bernoulli(0.4));
+  }
+  return data;
+}
+
+std::vector<double> random_p(std::size_t dim, stats::Rng& rng) {
+  std::vector<double> p(dim);
+  for (double& x : p) x = rng.uniform();
+  return p;
+}
+
+NoiseModel noisy() {
+  NoiseModel noise;
+  noise.false_signature = 0.06;
+  noise.missed_signature = 0.09;
+  return noise;
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(KernelDispatch, ScalarAlwaysSupported) {
+  EXPECT_TRUE(kernels::supported(kernels::Level::kScalar));
+  LevelGuard guard;
+  EXPECT_TRUE(kernels::force_level(kernels::Level::kScalar));
+  EXPECT_EQ(kernels::active_level(), kernels::Level::kScalar);
+}
+
+TEST(KernelDispatch, ForceLevelRejectsUnsupported) {
+  LevelGuard guard;
+  for (kernels::Level level :
+       {kernels::Level::kAvx2, kernels::Level::kAvx512}) {
+    if (kernels::supported(level)) {
+      EXPECT_TRUE(kernels::force_level(level));
+      EXPECT_EQ(kernels::active_level(), level);
+    } else {
+      EXPECT_FALSE(kernels::force_level(level));
+      EXPECT_NE(kernels::active_level(), level);
+    }
+  }
+}
+
+TEST(KernelDispatch, LevelNames) {
+  EXPECT_STREQ(kernels::level_name(kernels::Level::kScalar), "scalar");
+  EXPECT_STREQ(kernels::level_name(kernels::Level::kAvx2), "avx2");
+  EXPECT_STREQ(kernels::level_name(kernels::Level::kAvx512), "avx512");
+}
+
+// --------------------------------------------- scalar/vector bit-identity
+
+// Path counts straddle the lane-block boundaries (multiples of 4 and 8,
+// one off either way, tiny datasets with no full block at all).
+constexpr std::size_t kPathCounts[] = {0, 1, 3, 4, 5, 8, 17, 64, 127, 333};
+
+TEST(KernelEquivalence, LogLikelihoodBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const NoiseModel& noise : {NoiseModel{}, noisy()}) {
+      for (std::size_t paths : kPathCounts) {
+        if (paths == 0) continue;  // Likelihood needs a non-empty dataset
+        const auto data = random_dataset(40, paths, seed);
+        const Likelihood lik(data, noise);
+        stats::Rng rng(seed * 97 + paths);
+        const auto p = random_p(lik.dim(), rng);
+        ASSERT_TRUE(kernels::force_level(kernels::Level::kScalar));
+        const double expected = lik.log_likelihood(p);
+        for (kernels::Level level : supported_levels()) {
+          ASSERT_TRUE(kernels::force_level(level));
+          EXPECT_EQ(lik.log_likelihood(p), expected)
+              << kernels::level_name(level) << " seed " << seed << " paths "
+              << paths;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, GradientBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  for (std::uint64_t seed : {5u, 6u}) {
+    for (const NoiseModel& noise : {NoiseModel{}, noisy()}) {
+      for (std::size_t paths : kPathCounts) {
+        if (paths == 0) continue;
+        const auto data = random_dataset(40, paths, seed);
+        const Likelihood lik(data, noise);
+        stats::Rng rng(seed * 131 + paths);
+        const auto p = random_p(lik.dim(), rng);
+        ASSERT_TRUE(kernels::force_level(kernels::Level::kScalar));
+        std::vector<double> expected(lik.dim());
+        lik.gradient(p, expected);
+        std::vector<double> got(lik.dim());
+        for (kernels::Level level : supported_levels()) {
+          ASSERT_TRUE(kernels::force_level(level));
+          lik.gradient(p, got);
+          for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], expected[i])
+                << kernels::level_name(level) << " coordinate " << i
+                << " seed " << seed << " paths " << paths;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, ProductsBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  for (std::size_t paths : kPathCounts) {
+    if (paths == 0) continue;
+    const auto data = random_dataset(30, paths, 17);
+    const Likelihood lik(data);
+    stats::Rng rng(paths + 3);
+    const auto p = random_p(lik.dim(), rng);
+    ASSERT_TRUE(kernels::force_level(kernels::Level::kScalar));
+    const auto expected = lik.products(p);
+    for (kernels::Level level : supported_levels()) {
+      ASSERT_TRUE(kernels::force_level(level));
+      const auto got = lik.products(p);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t j = 0; j < got.size(); ++j)
+        EXPECT_EQ(got[j], expected[j])
+            << kernels::level_name(level) << " observation " << j << " paths "
+            << paths;
+    }
+  }
+}
+
+TEST(KernelEquivalence, ShardedGradientBitIdenticalAcrossLevels) {
+  // A fixed shard count fixes the reduction order (that is the sharded
+  // gradient's determinism contract — serial and sharded group the sums
+  // differently, so they agree only to rounding). What the kernels must
+  // guarantee: for a given shard count, every dispatch level produces the
+  // same bits even though the shard boundaries are not lane-aligned (the
+  // vector kernels fall back to the scalar edge kernels there).
+  LevelGuard guard;
+  util::ThreadPool pool(4);
+  const auto data = random_dataset(50, 201, 23);
+  const Likelihood lik(data, noisy());
+  stats::Rng rng(77);
+  const auto p = random_p(lik.dim(), rng);
+  std::vector<double> serial(lik.dim());
+  lik.gradient(p, serial);
+  for (std::size_t shards : {2u, 3u, 7u}) {
+    ASSERT_TRUE(kernels::force_level(kernels::Level::kScalar));
+    std::vector<double> expected(lik.dim());
+    lik.gradient(p, expected, pool, shards);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_NEAR(expected[i], serial[i],
+                  1e-12 * std::max(1.0, std::abs(serial[i])))
+          << "shards " << shards << " coordinate " << i;
+    for (kernels::Level level : supported_levels()) {
+      ASSERT_TRUE(kernels::force_level(level));
+      std::vector<double> sharded(lik.dim());
+      lik.gradient(p, sharded, pool, shards);
+      for (std::size_t i = 0; i < sharded.size(); ++i)
+        EXPECT_EQ(sharded[i], expected[i])
+            << kernels::level_name(level) << " shards " << shards
+            << " coordinate " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------- batched
+
+std::vector<std::vector<std::uint8_t>> random_target_labels(
+    std::size_t targets, std::size_t paths, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<std::vector<std::uint8_t>> labels(targets);
+  for (auto& l : labels) {
+    l.resize(paths);
+    for (std::uint8_t& bit : l)
+      bit = rng.bernoulli(0.4) ? std::uint8_t{1} : std::uint8_t{0};
+  }
+  return labels;
+}
+
+TEST(BatchedLikelihood, MatchesIndependentEvaluations) {
+  // Batched and single-target paths use different product associations, so
+  // agreement is to rounding, not to the bit (see DESIGN.md §5g).
+  for (std::size_t targets : {1u, 5u, 8u, 11u}) {
+    const auto data = random_dataset(35, 150, 29);
+    const std::size_t paths = data.path_count();
+    const auto labels = random_target_labels(targets, paths, 31);
+    const NoiseModel noise = noisy();
+    const BatchedLikelihood batched(data, labels, noise);
+    ASSERT_EQ(batched.targets(), targets);
+    const std::size_t dim = batched.dim();
+
+    stats::Rng rng(41);
+    std::vector<double> p(targets * dim);
+    for (double& x : p) x = rng.uniform();
+    std::vector<double> ll(targets);
+    std::vector<double> grad(targets * dim);
+    batched.log_likelihoods(p, ll);
+    batched.gradients(p, grad);
+
+    for (std::size_t k = 0; k < targets; ++k) {
+      // An equivalent single-target dataset: same paths, target k's labels.
+      labeling::PathDataset single;
+      for (std::size_t j = 0; j < paths; ++j) {
+        topology::AsPath path;
+        for (std::uint32_t node : data.path_nodes(j))
+          path.push_back(data.as_at(node));
+        single.add_path(path, labels[k][j] != 0);
+      }
+      const Likelihood lik(single, noise);
+      const std::span<const double> pk{p.data() + k * dim, dim};
+      const double expected = lik.log_likelihood(pk);
+      EXPECT_NEAR(ll[k], expected, 1e-9 * std::max(1.0, std::abs(expected)))
+          << "target " << k;
+      std::vector<double> expected_grad(dim);
+      lik.gradient(pk, expected_grad);
+      for (std::size_t i = 0; i < dim; ++i)
+        EXPECT_NEAR(grad[k * dim + i], expected_grad[i],
+                    1e-9 * std::max(1.0, std::abs(expected_grad[i])))
+            << "target " << k << " coordinate " << i;
+    }
+  }
+}
+
+TEST(BatchedLikelihood, BitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  for (std::size_t targets : {3u, 8u, 13u}) {
+    const auto data = random_dataset(45, 222, 53);
+    const auto labels = random_target_labels(targets, data.path_count(), 59);
+    const BatchedLikelihood batched(data, labels, noisy());
+    const std::size_t dim = batched.dim();
+    stats::Rng rng(61);
+    std::vector<double> p(targets * dim);
+    for (double& x : p) x = rng.uniform();
+
+    ASSERT_TRUE(kernels::force_level(kernels::Level::kScalar));
+    std::vector<double> ll_expected(targets), grad_expected(targets * dim);
+    batched.log_likelihoods(p, ll_expected);
+    batched.gradients(p, grad_expected);
+
+    std::vector<double> ll(targets), grad(targets * dim);
+    for (kernels::Level level : supported_levels()) {
+      ASSERT_TRUE(kernels::force_level(level));
+      batched.log_likelihoods(p, ll);
+      batched.gradients(p, grad);
+      for (std::size_t k = 0; k < targets; ++k)
+        EXPECT_EQ(ll[k], ll_expected[k])
+            << kernels::level_name(level) << " target " << k;
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        EXPECT_EQ(grad[i], grad_expected[i])
+            << kernels::level_name(level) << " entry " << i;
+    }
+  }
+}
+
+TEST(BatchedLikelihood, FusedPosteriorsMatchSeparateCalls) {
+  // posteriors() shares one CSR walk between the probability fold and the
+  // gradient scatter; per lane the arithmetic sequence is identical to the
+  // separate calls, so agreement is to the bit — at every dispatch level.
+  LevelGuard guard;
+  for (std::size_t targets : {1u, 8u, 13u}) {
+    const auto data = random_dataset(45, 222, 53);
+    const auto labels = random_target_labels(targets, data.path_count(), 59);
+    const BatchedLikelihood batched(data, labels, noisy());
+    const std::size_t dim = batched.dim();
+    stats::Rng rng(61);
+    std::vector<double> p(targets * dim);
+    for (double& x : p) x = rng.uniform();
+
+    std::vector<double> ll_expected(targets), grad_expected(targets * dim);
+    std::vector<double> ll(targets), grad(targets * dim);
+    for (kernels::Level level : supported_levels()) {
+      ASSERT_TRUE(kernels::force_level(level));
+      batched.log_likelihoods(p, ll_expected);
+      batched.gradients(p, grad_expected);
+      batched.posteriors(p, ll, grad);
+      for (std::size_t k = 0; k < targets; ++k)
+        EXPECT_EQ(ll[k], ll_expected[k])
+            << kernels::level_name(level) << " target " << k;
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        EXPECT_EQ(grad[i], grad_expected[i])
+            << kernels::level_name(level) << " entry " << i;
+    }
+  }
+}
+
+TEST(BatchedLikelihood, Validation) {
+  const auto data = random_dataset(10, 20, 3);
+  EXPECT_THROW(BatchedLikelihood(data, {}), std::invalid_argument);
+  EXPECT_THROW(
+      BatchedLikelihood(data, {std::vector<std::uint8_t>(5, 0)}),
+      std::invalid_argument);
+  const BatchedLikelihood ok(
+      data, {std::vector<std::uint8_t>(data.path_count(), 1)});
+  std::vector<double> p(ok.dim(), 0.5), out(2);
+  EXPECT_THROW(ok.log_likelihoods(p, out), std::invalid_argument);
+}
+
+// -------------------------------------- multichain digests across levels
+
+/// Planted scenario shared with mcmc_test: AS 10 damps, 20/30/40 do not.
+labeling::PathDataset planted_dataset(int copies) {
+  labeling::PathDataset d;
+  for (int i = 0; i < copies; ++i) {
+    d.add_path({10, 20}, true);
+    d.add_path({10, 30}, true);
+    d.add_path({10, 20, 30}, true);
+    d.add_path({20, 30}, false);
+    d.add_path({30, 40}, false);
+    d.add_path({20, 40}, false);
+  }
+  return d;
+}
+
+TEST(KernelEquivalence, MultichainDigestIdenticalAcrossLevels) {
+  // The whole point of the bit-identity contract: a full multi-chain run
+  // (chains on a pool, R-hat, pooled samples) produces the same digest at
+  // every dispatch level and every pool size.
+  LevelGuard guard;
+  const auto data = planted_dataset(6);
+  const Likelihood lik(data);
+  const Prior prior = Prior::beta(1.0, 3.0);
+  HmcConfig config;
+  config.samples = 60;
+  config.burn_in = 30;
+  config.leapfrog_steps = 8;
+  config.seed = 9;
+
+  ASSERT_TRUE(kernels::force_level(kernels::Level::kScalar));
+  util::ThreadPool pool1(1);
+  const MultiChainResult expected =
+      run_hmc_chains(lik, prior, config, 3, &pool1);
+
+  for (kernels::Level level : supported_levels()) {
+    ASSERT_TRUE(kernels::force_level(level));
+    for (std::size_t pool_size : {1u, 4u}) {
+      util::ThreadPool pool(pool_size);
+      const MultiChainResult got =
+          run_hmc_chains(lik, prior, config, 3, &pool);
+      ASSERT_EQ(got.pooled.size(), expected.pooled.size())
+          << kernels::level_name(level);
+      for (std::size_t t = 0; t < got.pooled.size(); ++t) {
+        const auto a = got.pooled.sample(t);
+        const auto b = expected.pooled.sample(t);
+        for (std::size_t i = 0; i < a.size(); ++i)
+          EXPECT_EQ(a[i], b[i])
+              << kernels::level_name(level) << " pool " << pool_size
+              << " sample " << t << " coordinate " << i;
+      }
+      for (std::size_t i = 0; i < got.rhat.size(); ++i)
+        EXPECT_EQ(got.rhat[i], expected.rhat[i])
+            << kernels::level_name(level) << " pool " << pool_size;
+    }
+  }
+}
+
+TEST(KernelEquivalence, MetropolisDigestIdenticalAcrossLevels) {
+  LevelGuard guard;
+  const auto data = planted_dataset(6);
+  const Likelihood lik(data);
+  const Prior prior = Prior::beta(1.0, 3.0);
+  MetropolisConfig config;
+  config.samples = 150;
+  config.burn_in = 50;
+  config.seed = 13;
+
+  ASSERT_TRUE(kernels::force_level(kernels::Level::kScalar));
+  util::ThreadPool pool1(2);
+  const MultiChainResult expected =
+      run_metropolis_chains(lik, prior, config, 3, &pool1);
+
+  for (kernels::Level level : supported_levels()) {
+    ASSERT_TRUE(kernels::force_level(level));
+    util::ThreadPool pool(4);
+    const MultiChainResult got =
+        run_metropolis_chains(lik, prior, config, 3, &pool);
+    ASSERT_EQ(got.pooled.size(), expected.pooled.size());
+    for (std::size_t t = 0; t < got.pooled.size(); ++t) {
+      const auto a = got.pooled.sample(t);
+      const auto b = expected.pooled.sample(t);
+      for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << kernels::level_name(level) << " sample " << t;
+    }
+  }
+}
+
+// ------------------------------------------------------- dual averaging
+
+TEST(DualAveraging, ReachesTargetAcceptance) {
+  const auto data = planted_dataset(8);
+  const Likelihood lik(data);
+  const Prior prior = Prior::beta(1.0, 3.0);
+  HmcConfig config;
+  config.samples = 300;
+  config.burn_in = 600;
+  config.leapfrog_steps = 10;
+  // Deliberately terrible starting step size: adaptation must rescue it.
+  config.step_size = 0.5;
+  config.adapt_step_size = true;
+  config.seed = 3;
+
+  const Chain chain = run_hmc(lik, prior, config);
+  EXPECT_GT(chain.adapted_step_size, 0.0);
+  EXPECT_NE(chain.adapted_step_size, config.step_size);
+  // Mean acceptance over the whole run should bracket the 0.8 target.
+  EXPECT_GE(chain.acceptance_rate, 0.7);
+  EXPECT_LE(chain.acceptance_rate, 0.9);
+  // And so should the post-warmup acceptance the frozen step delivers.
+  EXPECT_GE(chain.kept_acceptance_rate, 0.7);
+  EXPECT_LE(chain.kept_acceptance_rate, 0.9);
+}
+
+TEST(DualAveraging, FrozenStepSizeIsDeterministic) {
+  const auto data = planted_dataset(5);
+  const Likelihood lik(data);
+  const Prior prior = Prior::beta(1.0, 3.0);
+  HmcConfig config;
+  config.samples = 40;
+  config.burn_in = 60;
+  config.adapt_step_size = true;
+  config.seed = 11;
+
+  const Chain a = run_hmc(lik, prior, config);
+  const Chain b = run_hmc(lik, prior, config);
+  EXPECT_EQ(a.adapted_step_size, b.adapted_step_size);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t)
+    for (std::size_t i = 0; i < a.dim(); ++i)
+      EXPECT_EQ(a.sample(t)[i], b.sample(t)[i]) << "sample " << t;
+}
+
+TEST(DualAveraging, OffByDefaultPreservesFixedStep) {
+  const auto data = planted_dataset(5);
+  const Likelihood lik(data);
+  const Prior prior = Prior::beta(1.0, 3.0);
+  HmcConfig config;
+  config.samples = 20;
+  config.burn_in = 10;
+  config.seed = 7;
+  EXPECT_FALSE(config.adapt_step_size);
+  const Chain chain = run_hmc(lik, prior, config);
+  EXPECT_EQ(chain.adapted_step_size, config.step_size);
+}
+
+TEST(DualAveraging, ValidatesTargetAccept) {
+  HmcConfig config;
+  config.adapt_step_size = true;
+  config.target_accept = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.target_accept = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.target_accept = 0.8;
+  EXPECT_NO_THROW(config.validate());
+}
+
+}  // namespace
+}  // namespace because::core

@@ -1,0 +1,27 @@
+// lint-as: src/core/fixture_raw_simd.cpp
+// Fixture: raw SIMD intrinsics outside the kernels module.
+#include <immintrin.h>  // expected: raw-simd
+
+namespace because::core {
+
+double bad_intrinsic_call(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);  // expected: raw-simd (type and call)
+  v = _mm256_mul_pd(v, v);         // expected: raw-simd
+  double out[4];
+  _mm256_storeu_pd(out, v);  // expected: raw-simd
+  return out[0];
+}
+
+bool bad_mask_type() {
+  __mmask8 m = 0;  // expected: raw-simd
+  return m == 0;
+}
+
+double good_plain_loop(const double* p, unsigned long n) {
+  // fine: scalar code; the autovectorizer may use SIMD, the source does not
+  double acc = 0.0;
+  for (unsigned long i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+}  // namespace because::core

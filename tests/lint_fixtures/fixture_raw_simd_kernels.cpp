@@ -1,0 +1,16 @@
+// lint-as: src/core/kernels/fixture_raw_simd_kernels.cpp
+// Fixture: the same intrinsics are sanctioned inside src/core/kernels/,
+// the raw-simd rule's excluded subtree — this file must report nothing.
+#include <immintrin.h>  // fine: kernels module owns the intrinsics boundary
+
+namespace because::core::kernels {
+
+double fine_intrinsic_call(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);  // fine
+  v = _mm256_mul_pd(v, v);         // fine
+  double out[4];
+  _mm256_storeu_pd(out, v);  // fine
+  return out[0];
+}
+
+}  // namespace because::core::kernels

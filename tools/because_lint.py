@@ -33,6 +33,11 @@ Rules (see RULES below):
                     failures obey the configured contract mode.
   banned-cast       no reinterpret_cast / const_cast in src/; both have
                     historically hidden aliasing and mutation bugs here.
+  raw-simd          no raw SIMD intrinsics (<immintrin.h>, _mm*_* calls,
+                    __m128/256/512 vectors) outside src/core/kernels/; client
+                    code goes through the dispatch table so every vector
+                    kernel lives where the bit-identity contract and the
+                    -ffp-contract=off compile flags are enforced.
 
 Deliberate exceptions live in tools/lint_allowlist.txt, one per line:
 
@@ -56,8 +61,10 @@ from pathlib import Path
 
 # ---------------------------------------------------------------------------
 # Rule table. `dirs` are repo-relative prefixes the rule applies to;
-# `exclude` are file suffixes exempt because they *implement* the rule's
-# subject (e.g. the event queue defines the closure API it deprecates).
+# `exclude` entries are exact file paths — or whole subtrees when they end
+# in "/" — exempt because they *implement* the rule's subject (e.g. the
+# event queue defines the closure API it deprecates; the kernels module is
+# the sanctioned intrinsics boundary).
 # ---------------------------------------------------------------------------
 
 RULES = [
@@ -156,6 +163,24 @@ RULES = [
         "message": "reinterpret_cast/const_cast (restructure, or allowlist "
                    "with a justification)",
     },
+    {
+        "id": "raw-simd",
+        "dirs": ("src",),
+        # The kernels module is the one sanctioned intrinsics boundary: a
+        # vector kernel anywhere else would skip the dispatch table, the
+        # scalar bit-identity contract, and the -ffp-contract=off compile
+        # flags that src/core/kernels enforces per translation unit.
+        "exclude": ("src/core/kernels/",),
+        "pattern": re.compile(
+            r"#\s*include\s*<[a-z0-9_]*intrin\.h>"
+            r"|\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
+            r"|\b__m(?:128|256|512)[di]?\b"
+            r"|\b__mmask(?:8|16|32|64)\b"
+        ),
+        "message": "raw SIMD intrinsics outside src/core/kernels/ (add a "
+                   "kernel to the dispatch table; the kernels module owns "
+                   "the bit-identity and no-FMA-contraction contract)",
+    },
 ]
 
 SOURCE_SUFFIXES = (".cpp", ".hpp", ".h", ".cc")
@@ -227,10 +252,14 @@ class Violation:
 
 def lint_text(rel_path: str, text: str) -> list[Violation]:
     """Apply every applicable rule to one file's contents."""
+    # An exclude entry ending in "/" exempts the whole directory subtree;
+    # other entries are exact file paths.
     rules = [
         r for r in RULES
         if any(rel_path == d or rel_path.startswith(d + "/") for d in r["dirs"])
-        and rel_path not in r["exclude"]
+        and not any(rel_path == e
+                    or (e.endswith("/") and rel_path.startswith(e))
+                    for e in r["exclude"])
     ]
     if not rules:
         return []

@@ -1,5 +1,8 @@
 #!/usr/bin/env python3
-"""bench_gate: diff a fresh BENCH_sim.json against the committed baseline.
+"""bench_gate: diff fresh BENCH_*.json files against committed baselines.
+
+Pass --baseline/--fresh once per file pair (e.g. BENCH_sim.json and
+BENCH_samplers.json); every pair must stay within tolerance.
 
 The committed BENCH_*.json files are the perf trajectory of the repo: every
 optimisation PR regenerates them, and this gate keeps later PRs from quietly
@@ -57,23 +60,11 @@ def load_records(path: Path) -> dict[str, dict]:
     return out
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH json (the reference)")
-    parser.add_argument("--fresh", required=True,
-                        help="newly generated BENCH json to verify")
-    parser.add_argument("--ns-tolerance", type=float, default=1.4,
-                        help="allowed ns_per_op ratio (default: 1.4)")
-    parser.add_argument("--alloc-tolerance", type=float, default=1.15,
-                        help="allowed allocs_per_op ratio (default: 1.15)")
-    parser.add_argument("--obs-tolerance", type=float, default=1.05,
-                        help="absolute ceiling on ObsOverhead ratios "
-                             "(default: 1.05)")
-    args = parser.parse_args()
-
-    baseline = load_records(Path(args.baseline))
-    fresh = load_records(Path(args.fresh))
+def gate_pair(baseline_path: Path, fresh_path: Path,
+              args: argparse.Namespace) -> tuple[int, int]:
+    """Gate one committed/fresh file pair; returns (status, records checked)."""
+    baseline = load_records(baseline_path)
+    fresh = load_records(fresh_path)
 
     status = 0
     checked = 0
@@ -84,12 +75,12 @@ def main() -> int:
             # Gated absolutely against --obs-tolerance below; here only make
             # sure the record did not silently drop out of the bench.
             if name not in fresh:
-                print(f"FAIL {name}: missing from {args.fresh}")
+                print(f"FAIL {name}: missing from {fresh_path}")
                 status = 1
             continue
         cur = fresh.get(name)
         if cur is None:
-            print(f"FAIL {name}: missing from {args.fresh}")
+            print(f"FAIL {name}: missing from {fresh_path}")
             status = 1
             continue
         checked += 1
@@ -142,8 +133,44 @@ def main() -> int:
                 and "ObsOverhead" not in name:
             print(f"note {name}: new benchmark, no baseline yet")
 
+    return status, checked
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, action="append",
+                        help="committed BENCH json (the reference); repeat "
+                             "the flag to gate several baseline/fresh pairs "
+                             "in one run")
+    parser.add_argument("--fresh", required=True, action="append",
+                        help="newly generated BENCH json to verify; the n-th "
+                             "--fresh is diffed against the n-th --baseline")
+    parser.add_argument("--ns-tolerance", type=float, default=1.4,
+                        help="allowed ns_per_op ratio (default: 1.4)")
+    parser.add_argument("--alloc-tolerance", type=float, default=1.15,
+                        help="allowed allocs_per_op ratio (default: 1.15)")
+    parser.add_argument("--obs-tolerance", type=float, default=1.05,
+                        help="absolute ceiling on ObsOverhead ratios "
+                             "(default: 1.05)")
+    args = parser.parse_args()
+
+    if len(args.baseline) != len(args.fresh):
+        print("bench_gate: --baseline and --fresh must be paired "
+              f"({len(args.baseline)} baselines vs {len(args.fresh)} fresh)",
+              file=sys.stderr)
+        return 2
+
+    status = 0
+    checked = 0
+    for baseline_path, fresh_path in zip(args.baseline, args.fresh):
+        print(f"-- {baseline_path} vs {fresh_path}")
+        pair_status, pair_checked = gate_pair(Path(baseline_path),
+                                              Path(fresh_path), args)
+        status |= pair_status
+        checked += pair_checked
+
     if checked == 0:
-        print("bench_gate: baseline contained no gateable records",
+        print("bench_gate: baselines contained no gateable records",
               file=sys.stderr)
         return 2
     print(f"bench_gate: {'REGRESSION' if status else 'clean'} "
