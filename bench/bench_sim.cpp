@@ -12,6 +12,11 @@
 //      workload for an end-to-end before/after ratio.
 //   3. BM_Campaign/<ases>: wall-clock of the whole run_campaign() pipeline
 //      (topology generation through path labeling).
+//   4. BM_WarmStart/<ases>/{dynamic,static}: the same campaign with a
+//      converged-baseline warm start, establishing the baseline either by
+//      draining the dynamic announcement cascade or by static_converge()
+//      seeding; BM_WarmStartSpeedup/<ases> is the wall-clock ratio (how much
+//      of the setup cost the hierarchy-ranked static sweep eliminates).
 //
 // Layers 1 and 2 also run once with the obs subsystem collecting
 // (BM_*/obs records); the derived BM_ObsOverhead/{engine,sim} ratios are
@@ -199,6 +204,23 @@ experiment::CampaignConfig campaign_at_scale(std::size_t ases) {
   return config;
 }
 
+// -- 4. warm-started campaigns ------------------------------------------------
+
+experiment::CampaignConfig warm_campaign_at_scale(std::size_t ases,
+                                                  experiment::WarmStart mode) {
+  experiment::CampaignConfig config = campaign_at_scale(ases);
+  // The equivalence preconditions (tests/warm_start_test.cpp): jitter off so
+  // dynamic convergence consumes no RNG, no noise/failure draws racing the
+  // modes. Both modes then simulate the identical beacon-delta phase, so the
+  // wall-clock difference is purely the baseline-establishment cost.
+  config.network.mrai_jitter = 0.0;
+  config.missing_aggregator_prob = 0.0;
+  config.session_resets = 0;
+  config.warm_start.mode = mode;
+  config.warm_start.baseline_prefixes = 8;
+  return config;
+}
+
 }  // namespace
 }  // namespace because::bench
 
@@ -315,6 +337,34 @@ int main(int argc, char** argv) {
     add("BM_Campaign/" + std::to_string(ases), m);
   }
 
+  // 4. Warm-started campaigns: dynamic vs static baseline establishment.
+  // events = beacon-delta events only for static, delta + baseline cascade
+  // for dynamic, so allocs/event are not comparable across the pair; the
+  // wall-clock ratio is the headline number.
+  double warm_speedup = 0.0;
+  for (std::size_t ases : scales) {
+    EngineMeasurement per_mode[2];
+    const experiment::WarmStart modes[2] = {experiment::WarmStart::kDynamic,
+                                            experiment::WarmStart::kStatic};
+    const char* names[2] = {"dynamic", "static"};
+    for (int i = 0; i < 2; ++i) {
+      const std::uint64_t allocs_before = bench::allocation_count();
+      const auto start = std::chrono::steady_clock::now();
+      const experiment::CampaignResult result = experiment::run_campaign(
+          bench::warm_campaign_at_scale(ases, modes[i]));
+      per_mode[i].seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+      per_mode[i].events = result.events_executed;
+      per_mode[i].allocs = bench::allocation_count() - allocs_before;
+      add("BM_WarmStart/" + std::to_string(ases) + "/" + names[i],
+          per_mode[i]);
+    }
+    warm_speedup = per_mode[0].seconds / per_mode[1].seconds;
+    records.push_back({"BM_WarmStartSpeedup/" + std::to_string(ases),
+                       warm_speedup, warm_speedup, 1});
+  }
+
   std::printf("%s", table.render("Simulator core throughput").c_str());
   std::printf("engine speedup (calendar vs std::function heap): %.2fx\n",
               engine_speedup);
@@ -322,6 +372,8 @@ int main(int argc, char** argv) {
               sim_speedup);
   std::printf("obs-on overhead: engine %.3fx, sim %.3fx\n",
               engine_obs_overhead, sim_obs_overhead);
+  std::printf("warm-start speedup (static vs dynamic) at %zu ASes: %.2fx\n",
+              scales.back(), warm_speedup);
 
   if (!bench::write_bench_json("BENCH_sim.json", records))
     std::fprintf(stderr, "failed to write BENCH_sim.json\n");

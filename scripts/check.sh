@@ -11,8 +11,11 @@
 #   5. simd     tier-1 suite (minus slow) with the AVX2/AVX-512 kernel units
 #               compiled out (-DBECAUSE_SIMD_KERNELS=OFF): the scalar
 #               fallback alone must reproduce every digest
+#   6. topology topology subsystem: CAIDA loader contracts, generator
+#               calibration, static warm-start equivalence (minus the 70k-AS
+#               smokes; run those with --preset check-topology-slow)
 #
-# `--full` appends a sixth stage: address+UB sanitizers over the tier-1
+# `--full` appends a seventh stage: address+UB sanitizers over the tier-1
 # suite minus slow-labeled tests.
 #
 # `--bench` appends the bench-regression gate: build bench_sim and
@@ -23,12 +26,12 @@
 # Each CMake stage is a workflow preset, so any one can be run alone:
 #   cmake --workflow --preset check-static    (or check-release / check-obs /
 #                                              check-tsan / check-simd /
-#                                              check-asan)
+#                                              check-topology / check-asan)
 # The script stops at the first failing stage and prints per-stage timing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(check-static check-release check-obs check-tsan check-simd)
+STAGES=(check-static check-release check-obs check-tsan check-simd check-topology)
 for arg in "$@"; do
   case "${arg}" in
     --full) STAGES+=(check-asan) ;;

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/contracts.hpp"
 
 namespace because::bgp {
 
@@ -139,6 +140,50 @@ void Router::originate(const Prefix& prefix, sim::Time beacon_timestamp) {
 void Router::withdraw_origin(const Prefix& prefix) {
   if (originated_.erase(prefix) == 0) return;
   run_decision(prefix);
+}
+
+void Router::seed_origin(const Prefix& prefix, sim::Time beacon_timestamp) {
+  originated_[prefix] = Route{prefix, topology::kEmptyPath, beacon_timestamp};
+}
+
+void Router::seed_adj_route(topology::AsId from, const Route& route) {
+  BECAUSE_CHECK(find_neighbor(from) != nullptr,
+                "Router " << id_ << ": seeding route from unknown neighbor "
+                          << from);
+  adj_rib_in_.note_seen(from, route.prefix);
+  adj_rib_in_.install(from, route, /*suppressed=*/false);
+}
+
+const Selected* Router::seed_decision(const Prefix& prefix) {
+  // run_decision()'s candidate scan, minus propagation: the warm start seeds
+  // every session's Adj-RIB-Out directly.
+  Candidate best{};
+  bool have_best = false;
+
+  const auto origin_it = originated_.find(prefix);
+  if (origin_it != originated_.end()) {
+    best = Candidate{std::nullopt, topology::Relation::kCustomer,
+                     &origin_it->second};
+    have_best = true;
+  }
+  adj_rib_in_.usable(prefix, usable_scratch_);
+  for (const RibCandidate& rc : usable_scratch_) {
+    const Candidate cand{rc.neighbor, find_neighbor(rc.neighbor)->relation,
+                         rc.route};
+    if (!have_best || prefer(cand, best, *paths_)) {
+      best = cand;
+      have_best = true;
+    }
+  }
+  if (!have_best) return nullptr;
+  return loc_rib_.select(prefix, Selected{best.neighbor, *best.route});
+}
+
+void Router::seed_advertised(topology::AsId neighbor, const Update& update) {
+  NeighborEntry* nb = find_neighbor(neighbor);
+  BECAUSE_CHECK(nb != nullptr,
+                "Router " << id_ << ": seeding unknown session " << neighbor);
+  nb->session->seed_advertised(update);
 }
 
 void Router::receive(topology::AsId from, const Update& update) {

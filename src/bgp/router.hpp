@@ -102,6 +102,28 @@ class Router {
   /// Withdraw a locally originated prefix.
   void withdraw_origin(const Prefix& prefix);
 
+  // -- Static warm-start seeding (bgp/static_converge.cpp) ------------------
+  // These install pre-converged state directly, bypassing the event
+  // machinery: nothing propagates, no timers run, no RFD penalty accrues.
+  // They reproduce exactly the state a fully drained dynamic convergence
+  // leaves behind for a prefix that was announced once and never flapped.
+
+  /// originate() without the decision/propagation step.
+  void seed_origin(const Prefix& prefix, sim::Time beacon_timestamp);
+
+  /// Install a converged Adj-RIB-In entry (marks it seen, never suppressed).
+  /// BECAUSE_CHECK fails on an unknown neighbor.
+  void seed_adj_route(topology::AsId from, const Route& route);
+
+  /// Run the decision process over the seeded state and install the winner
+  /// in the Loc-RIB without propagating. Returns the stored selection, or
+  /// nullptr when no candidate exists.
+  const Selected* seed_decision(const Prefix& prefix);
+
+  /// Record `update` as the last announcement sent to `neighbor` (Adj-RIB-
+  /// Out) without delivering anything. BECAUSE_CHECK on unknown neighbor.
+  void seed_advertised(topology::AsId neighbor, const Update& update);
+
   /// Handle an update received from `from` (already past the link delay).
   void receive(topology::AsId from, const Update& update);
 

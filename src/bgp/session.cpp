@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "util/contracts.hpp"
 
 namespace because::bgp {
 
@@ -165,6 +166,12 @@ void Session::reset() {
 bool Session::advertised(const Prefix& prefix) const {
   const PrefixState* state = find_state(prefix);
   return state != nullptr && state->advertised.has_value();
+}
+
+void Session::seed_advertised(const Update& update) {
+  BECAUSE_CHECK(update.is_announcement(),
+                "Session: only announcements seed Adj-RIB-Out");
+  state_for(update.prefix).advertised = update;
 }
 
 }  // namespace because::bgp

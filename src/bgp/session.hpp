@@ -56,6 +56,11 @@ class Session {
   /// (i.e., the last effective update sent was an announcement).
   bool advertised(const Prefix& prefix) const;
 
+  /// Warm-start seeding: record `update` as the last announcement delivered
+  /// on this session without sending anything (bgp/static_converge.cpp).
+  /// BECAUSE_CHECK fails on a withdrawal.
+  void seed_advertised(const Update& update);
+
   std::uint64_t updates_sent() const { return updates_sent_; }
   std::uint64_t sends_elided() const { return sends_elided_; }
 

@@ -1,0 +1,68 @@
+// Hierarchy-ranked three-phase static Gao-Rexford convergence.
+//
+// Instead of replaying the full dynamic announcement cascade (millions of
+// events at Internet scale, per Coudert et al.'s feasibility analysis),
+// static_converge() computes the converged routing state for a set of
+// origins directly and seeds it into the Network's routers:
+//
+//   UP      ascending hierarchy rank (topology/ranking.hpp): each AS picks
+//           its best among the local origin and its customers' exports.
+//   ACROSS  one round: peers exchange their customer/local up-bests (a
+//           peer-learned route is never re-exported to another peer, so one
+//           round is exact).
+//   DOWN    descending rank: providers export their final bests to
+//           customers, who fold them in.
+//
+// Because provider->customer edges form a DAG (rank_hierarchy rejects
+// cycles) and Gao-Rexford preferences rank customer > peer > provider, one
+// sweep per phase reaches the unique stable solution. Export/import rules
+// match Router::propagate()/receive() exactly: back-to-source and
+// non-exportable routes produce no entry (the dynamic path sends a
+// withdrawal), receiver-side loop and ROV drops produce no entry but do
+// leave the sender's Adj-RIB-Out advertisement in place.
+//
+// After the sweeps, the per-prefix state is written through the normal
+// Router seed_* APIs (Adj-RIB-In entries, Loc-RIB decisions, per-session
+// Adj-RIB-Out) in canonical order: prefixes in first-appearance order of
+// `origins`, ASes ascending. Each seeded decision is cross-checked against
+// the phase result through the real prefer() scan (BECAUSE_CHECK), so the
+// sweep algorithm is validated against the dynamic decision process on
+// every run.
+//
+// Determinism contract: seeding consumes no RNG and schedules no events, so
+// a campaign warm-started statically is bit-identical (for the beacon-delta
+// phase) to one warm-started dynamically, provided dynamic convergence
+// consumed no RNG either (MRAI jitter disabled) — see DESIGN.md §5h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/network.hpp"
+
+namespace because::bgp {
+
+/// One (origin AS, prefix) announcement to converge statically.
+struct StaticOrigin {
+  topology::AsId as = 0;
+  Prefix prefix;
+  sim::Time beacon_timestamp = 0;
+};
+
+struct StaticConvergeStats {
+  std::uint64_t up_visits = 0;       ///< AS visits in the UP phase
+  std::uint64_t across_visits = 0;   ///< AS visits in the ACROSS phase
+  std::uint64_t down_visits = 0;     ///< AS visits in the DOWN phase
+  std::uint64_t seeded_routes = 0;   ///< Adj-RIB-In entries installed
+  std::uint64_t seeded_sessions = 0; ///< Adj-RIB-Out advertisements seeded
+  std::uint64_t reachable_ases = 0;  ///< loc-rib entries across all prefixes
+};
+
+/// Statically converge `origins` into `network`. BECAUSE_CHECK fails on an
+/// origin AS missing from the network, a provider-customer cycle, or a
+/// phase/decision divergence. Also publishes the bgp.static.* obs counters
+/// and the bgp.static.reach_pow2 histogram when collection is enabled.
+StaticConvergeStats static_converge(Network& network,
+                                    const std::vector<StaticOrigin>& origins);
+
+}  // namespace because::bgp

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "bgp/static_converge.hpp"
 #include "collector/vantage_point.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/contracts.hpp"
 
 namespace because::experiment {
 
@@ -132,6 +134,43 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.store = collector::UpdateStore(paths);  // outlives the network
   result.plan.apply(network);
 
+  // Converged-baseline warm start: establish the "already converged
+  // Internet" before any beacon flaps, either by draining the real event
+  // cascade (kDynamic, the reference) or by seeding converged RIBs directly
+  // (kStatic, the Internet-scale path). Both consume the fork identically,
+  // so beacon-phase randomness matches between the modes; with kNone this
+  // whole block is skipped and the campaign is byte-identical to before.
+  sim::Time schedule_offset = 0;
+  if (config.warm_start.mode != WarmStart::kNone) {
+    stats::Rng warm_rng = rng.fork();
+    const auto site_exclusion = result.site_set();
+    std::vector<topology::AsId> origin_pool;
+    for (topology::AsId as : result.graph.as_ids())
+      if (site_exclusion.count(as) == 0) origin_pool.push_back(as);
+    std::vector<bgp::StaticOrigin> origins;
+    for (std::size_t k = 0; k < config.warm_start.baseline_prefixes; ++k) {
+      bgp::StaticOrigin o;
+      o.as = origin_pool[warm_rng.index(origin_pool.size())];
+      o.prefix = bgp::Prefix{kBaselinePrefixBase + static_cast<std::uint32_t>(k),
+                             config.beacon_prefix_length};
+      o.beacon_timestamp = 0;
+      origins.push_back(o);
+      result.baseline.push_back(o.prefix);
+    }
+    if (config.warm_start.mode == WarmStart::kDynamic) {
+      for (const bgp::StaticOrigin& o : origins)
+        network.router(o.as).originate(o.prefix, o.beacon_timestamp);
+      queue.run();
+      BECAUSE_CHECK(queue.now() <= config.warm_start.horizon,
+                    "run_campaign: dynamic warm start overran its horizon ("
+                        << queue.now() << " > " << config.warm_start.horizon
+                        << ")");
+    } else {
+      bgp::static_converge(network, origins);
+    }
+    schedule_offset = config.warm_start.horizon;
+  }
+
   // Traffic-engineering prepending on a few sessions (stripped by the
   // labeling's path cleaning, but present in the raw dumps).
   if (config.prepending_prob > 0.0) {
@@ -177,7 +216,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   for (std::size_t s = 0; s < result.sites.size(); ++s) {
     const topology::AsId site = result.sites[s];
     // A small per-site stagger avoids artificial global synchronisation.
-    const sim::Time site_start = static_cast<sim::Time>(s) * sim::seconds(7);
+    const sim::Time site_start =
+        schedule_offset + static_cast<sim::Time>(s) * sim::seconds(7);
 
     for (sim::Duration interval : config.update_intervals) {
       for (std::size_t rep = 0; rep < std::max<std::size_t>(1, config.prefixes_per_interval);
@@ -248,7 +288,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
       bool announced = false;
       for (std::size_t e = 0; e < events; ++e) {
-        const sim::Time when = churn_rng.uniform_int(0, horizon);
+        // Churn stays inside the beacon phase: with a warm start active, an
+        // event before the horizon would race the two convergence modes.
+        const sim::Time when = churn_rng.uniform_int(schedule_offset, horizon);
         if (!announced || churn_rng.bernoulli(0.6)) {
           queue.schedule_at(when,
                             [&origin, prefix, when] { origin.originate(prefix, when); });
@@ -272,7 +314,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     stats::Rng reset_rng = rng.fork();
     for (std::size_t k = 0; k < config.session_resets && !links.empty(); ++k) {
       const auto [a, b] = links[reset_rng.index(links.size())];
-      const sim::Time when = reset_rng.uniform_int(sim::minutes(1), horizon);
+      const sim::Time when =
+          reset_rng.uniform_int(schedule_offset + sim::minutes(1), horizon);
       queue.schedule_at(when, [&network, a = a, b = b] {
         network.reset_session(a, b);
       });

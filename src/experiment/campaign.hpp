@@ -19,6 +19,29 @@
 
 namespace because::experiment {
 
+/// How the pre-beacon "converged Internet" baseline is established.
+enum class WarmStart : std::uint8_t {
+  kNone,     ///< no baseline prefixes; beacons start at t = 0 (legacy)
+  kDynamic,  ///< originate baseline prefixes and drain the event cascade
+  kStatic,   ///< seed converged RIBs via bgp::static_converge()
+};
+
+/// First prefix id used for warm-start baseline prefixes: far above any
+/// beacon/anchor/churn prefix, so "prefix.id < kBaselinePrefixBase" isolates
+/// the beacon-delta phase when digesting warm-started campaigns.
+inline constexpr std::uint32_t kBaselinePrefixBase = 1'000'000;
+
+struct WarmStartConfig {
+  WarmStart mode = WarmStart::kNone;
+  /// Baseline prefixes, each announced once by a random non-site AS and
+  /// fully converged before the beacon phase begins.
+  std::size_t baseline_prefixes = 4;
+  /// Beacon/anchor/churn/reset schedules shift to this time when a warm
+  /// start is active, leaving room for dynamic convergence to drain;
+  /// kDynamic BECAUSE_CHECKs convergence actually finished by then.
+  sim::Duration horizon = sim::hours(6);
+};
+
 struct CampaignConfig {
   topology::GeneratorConfig topology;
   bgp::NetworkConfig network;
@@ -64,6 +87,10 @@ struct CampaignConfig {
   /// 3-17x more than any beacon). Most background prefixes are quiet; a
   /// heavy tail flaps hard. 0 disables churn.
   std::size_t background_prefixes = 0;
+
+  /// Converged-baseline warm start (none by default; kNone is byte-identical
+  /// to the pre-warm-start campaign, RNG stream included).
+  WarmStartConfig warm_start;
 
   labeling::SignatureConfig signature;
   std::uint64_t seed = 42;
@@ -113,6 +140,9 @@ struct CampaignResult {
   std::vector<AnchorDeployment> anchors;
   /// Background churn prefixes (empty unless configured).
   std::vector<bgp::Prefix> background;
+  /// Warm-start baseline prefixes (empty unless warm_start.mode != kNone);
+  /// ids start at kBaselinePrefixBase.
+  std::vector<bgp::Prefix> baseline;
   collector::UpdateStore store;
   std::vector<collector::VpId> vps;
   /// Labeled steady-state paths of every oscillating beacon prefix.

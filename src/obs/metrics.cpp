@@ -52,6 +52,13 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "mcmc.chains",
     "campaign.cells",
     "campaign.events",
+    "topology.load.p2c",
+    "topology.load.p2p",
+    "topology.load.comments",
+    "bgp.static.up_visits",
+    "bgp.static.across_visits",
+    "bgp.static.down_visits",
+    "bgp.static.seeded_routes",
 };
 
 constexpr std::array<const char*, kGaugeCount> kGaugeNames = {
@@ -63,6 +70,7 @@ constexpr std::array<const char*, kGaugeCount> kGaugeNames = {
 
 constexpr std::array<const char*, kHistoCount> kHistoNames = {
     "sim.queue_depth_pow2",
+    "bgp.static.reach_pow2",
 };
 
 /// RFD per-variant counters pre-registered at startup so their snapshot

@@ -74,6 +74,15 @@ enum class Counter : std::uint32_t {
   // Campaign runner.
   kCampaignCells,
   kCampaignEvents,
+  // Topology subsystem: CAIDA loader + static-convergence warm start
+  // (flushed inline; both run outside the hot event loop).
+  kTopoLoadP2c,
+  kTopoLoadP2p,
+  kTopoLoadComments,
+  kStaticUpVisits,
+  kStaticAcrossVisits,
+  kStaticDownVisits,
+  kStaticSeededRoutes,
   kCount
 };
 inline constexpr std::size_t kCounterCount =
@@ -96,7 +105,8 @@ inline constexpr std::size_t kGaugeCount =
 inline constexpr std::size_t kHistogramBuckets = 32;
 
 enum class Histo : std::uint32_t {
-  kQueueDepth = 0,  ///< pending events at each pop
+  kQueueDepth = 0,    ///< pending events at each pop
+  kStaticReach,       ///< per prefix: ASes holding a converged loc-rib route
   kCount
 };
 inline constexpr std::size_t kHistoCount =

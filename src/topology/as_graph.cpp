@@ -76,8 +76,16 @@ bool AsGraph::contains(AsId id) const { return nodes_.count(id) != 0; }
 
 bool AsGraph::has_link(AsId a, AsId b) const {
   if (!contains(a) || !contains(b)) return false;
-  const auto& nbrs = node(a).neighbors;
-  return std::any_of(nbrs.begin(), nbrs.end(),
+  // Links are always inserted symmetrically, so scan whichever endpoint has
+  // the shorter list: heavy-hitter providers at Internet scale have
+  // thousands of neighbors, their customers a handful.
+  const auto& nbrs_a = node(a).neighbors;
+  const auto& nbrs_b = node(b).neighbors;
+  if (nbrs_b.size() < nbrs_a.size()) {
+    return std::any_of(nbrs_b.begin(), nbrs_b.end(),
+                       [a](const Neighbor& n) { return n.id == a; });
+  }
+  return std::any_of(nbrs_a.begin(), nbrs_a.end(),
                      [b](const Neighbor& n) { return n.id == b; });
 }
 

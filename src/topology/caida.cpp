@@ -1,0 +1,179 @@
+#include "topology/caida.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace because::topology {
+namespace {
+
+enum class Rel : std::uint8_t { kP2c, kP2p };
+
+struct Edge {
+  AsId a = 0;  ///< provider for kP2c
+  AsId b = 0;  ///< customer for kP2c
+  Rel rel = Rel::kP2c;
+};
+
+/// Parse one AS-number field; contract failure on anything but a decimal
+/// number fitting 32 bits.
+AsId parse_as(const std::string& field, std::size_t line_no) {
+  std::uint64_t value = 0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  BECAUSE_CHECK(ec == std::errc() && ptr == end && !field.empty() &&
+                    value <= 0xffffffffULL,
+                "load_caida: line " << line_no << ": bad AS number '" << field
+                                    << "'");
+  return static_cast<AsId>(value);
+}
+
+/// Undirected edge key; both ASes are 32-bit so the packing is collision-free.
+std::uint64_t edge_key(AsId a, AsId b) {
+  const AsId lo = a < b ? a : b;
+  const AsId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+AsGraph load_caida(std::istream& in) {
+  std::vector<Edge> edges;
+  std::unordered_set<std::uint64_t> seen_links;
+  // first-appearance insert order is irrelevant: ASes are added sorted below.
+  std::unordered_map<AsId, std::uint8_t> roles;  // bit0 = has provider,
+                                                 // bit1 = has customer
+  std::uint64_t comments = 0, p2c = 0, p2p = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      ++comments;
+      continue;
+    }
+
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t bar = line.find('|', start);
+      if (bar == std::string::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, bar - start));
+      start = bar + 1;
+    }
+    BECAUSE_CHECK(fields.size() == 3 || fields.size() == 4,
+                  "load_caida: line " << line_no << ": expected "
+                                      << "as|as|rel[|source], got '" << line
+                                      << "'");
+
+    const AsId a = parse_as(fields[0], line_no);
+    const AsId b = parse_as(fields[1], line_no);
+    BECAUSE_CHECK(a != b, "load_caida: line " << line_no << ": self loop on AS "
+                                              << a);
+    BECAUSE_CHECK(fields[2] == "-1" || fields[2] == "0",
+                  "load_caida: line " << line_no
+                                      << ": unknown relationship code '"
+                                      << fields[2] << "'");
+    const Rel rel = fields[2] == "-1" ? Rel::kP2c : Rel::kP2p;
+    BECAUSE_CHECK(seen_links.insert(edge_key(a, b)).second,
+                  "load_caida: line " << line_no
+                                      << ": duplicate/conflicting link " << a
+                                      << "-" << b);
+
+    edges.push_back(Edge{a, b, rel});
+    if (rel == Rel::kP2c) {
+      ++p2c;
+      roles[a] |= 2;  // a has a customer
+      roles[b] |= 1;  // b has a provider
+    } else {
+      ++p2p;
+      roles[a];  // ensure presence
+      roles[b];
+    }
+  }
+
+  // Tiers are derived from structure: an AS with no providers sits at the
+  // top (tier-1), one with providers but no customers is a stub, everything
+  // in between resells transit.
+  AsGraph graph;
+  std::vector<AsId> ids;
+  ids.reserve(roles.size());
+  for (const auto& [id, _] : roles) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (AsId id : ids) {
+    const std::uint8_t role = roles[id];
+    const Tier tier = (role & 1) == 0  ? Tier::kTier1
+                      : (role & 2) == 0 ? Tier::kStub
+                                        : Tier::kTransit;
+    graph.add_as(id, tier);
+  }
+  for (const Edge& e : edges) {
+    if (e.rel == Rel::kP2c)
+      graph.add_provider_customer(e.a, e.b);
+    else
+      graph.add_peering(e.a, e.b);
+  }
+
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kTopoLoadP2c, p2c);
+    obs::add(obs::Counter::kTopoLoadP2p, p2p);
+    obs::add(obs::Counter::kTopoLoadComments, comments);
+  }
+  return graph;
+}
+
+AsGraph load_caida_text(const std::string& text) {
+  std::istringstream in(text);
+  return load_caida(in);
+}
+
+AsGraph load_caida_file(const std::string& path) {
+  std::ifstream in(path);
+  BECAUSE_CHECK(in.good(), "load_caida: cannot open '" << path << "'");
+  return load_caida(in);
+}
+
+void write_caida(const AsGraph& graph, std::ostream& out) {
+  out << "# " << graph.as_count() << " ASes, " << graph.link_count()
+      << " links (serial-2: provider|customer|-1, peer|peer|0)\n";
+  // Canonical order: every link once, p2c before p2p, ascending pairs — the
+  // rendering is a pure function of the graph, so equal graphs render to
+  // identical bytes (the determinism tests lean on this).
+  std::vector<std::pair<AsId, AsId>> p2c, p2p;
+  for (AsId as : graph.as_ids()) {
+    for (const Neighbor& nb : graph.neighbors(as)) {
+      if (nb.relation == Relation::kCustomer) p2c.emplace_back(as, nb.id);
+      if (nb.relation == Relation::kPeer && as < nb.id)
+        p2p.emplace_back(as, nb.id);
+    }
+  }
+  std::sort(p2c.begin(), p2c.end());
+  std::sort(p2p.begin(), p2p.end());
+  for (const auto& [provider, customer] : p2c)
+    out << provider << '|' << customer << "|-1\n";
+  for (const auto& [a, b] : p2p) out << a << '|' << b << "|0\n";
+}
+
+std::string to_caida_text(const AsGraph& graph) {
+  std::ostringstream out;
+  write_caida(graph, out);
+  return out.str();
+}
+
+}  // namespace because::topology

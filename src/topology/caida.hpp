@@ -1,0 +1,47 @@
+// CAIDA AS-relationship (serial-2 style) file loader and writer.
+//
+// The serial-2 format is line-oriented text:
+//
+//   # comment (the "# input clique: ..." header line is also a comment)
+//   <provider-as>|<customer-as>|-1[|source]
+//   <peer-as>|<peer-as>|0[|source]
+//
+// load_caida() parses into the repo's AsGraph storage and derives tiers from
+// the relationship structure (no providers -> tier-1, no customers -> stub,
+// otherwise transit), so a loaded graph drops into every component that
+// consumes generated topologies (Network, deployment, campaigns).
+//
+// Malformed input is a contract violation, not a silent skip: bad field
+// counts, non-numeric AS numbers, unknown relationship codes, self-loops and
+// duplicate/conflicting edges all fail through BECAUSE_CHECK (tests exercise
+// these with ScopedContractMode(kThrow)). A dataset with a provider-customer
+// cycle is rejected later by rank_hierarchy(), not here.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/as_graph.hpp"
+
+namespace because::topology {
+
+/// Load a serial-2 relationship stream. See the header comment for the
+/// accepted grammar and failure behaviour.
+AsGraph load_caida(std::istream& in);
+
+/// Convenience: parse a string holding the file contents.
+AsGraph load_caida_text(const std::string& text);
+
+/// Open and load a file; BECAUSE_CHECK fails if it cannot be opened.
+AsGraph load_caida_file(const std::string& path);
+
+/// Serialise a graph in serial-2 format: a comment header, then every link
+/// once, provider-customer lines first, ascending (as1, as2) order within
+/// each relationship class. write -> load round-trips to an equal graph.
+void write_caida(const AsGraph& graph, std::ostream& out);
+
+/// Render to a string (byte-stable serialisation: used by determinism tests
+/// to compare whole graphs).
+std::string to_caida_text(const AsGraph& graph);
+
+}  // namespace because::topology

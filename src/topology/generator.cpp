@@ -16,6 +16,8 @@ void validate(const GeneratorConfig& c) {
     throw std::invalid_argument("generate: bad stub provider range");
   if (c.transit_count == 0 && c.stub_count > 0 && c.stub_tier1_provider_prob < 1.0)
     throw std::invalid_argument("generate: stubs need transit providers");
+  if (c.preferential_attachment < 0.0 || c.preferential_attachment > 1.0)
+    throw std::invalid_argument("generate: preferential_attachment not in [0,1]");
 }
 
 /// Pick a provider from `candidates` that is not already linked to `as`.
@@ -39,18 +41,55 @@ bool pick_provider(const std::vector<AsId>& candidates, AsId as, const AsGraph& 
   return false;
 }
 
+/// Degree-proportional provider pools for preferential attachment: one
+/// "ticket" per unit of weight (1 + customers gained), so a uniform draw
+/// over tickets is a weighted draw over ASes in O(1).
+struct TicketPool {
+  std::vector<AsId> tickets;   ///< repeated entries, one per weight unit
+  std::vector<AsId> distinct;  ///< each AS once, for the exhaustive fallback
+
+  void add(AsId as) {
+    tickets.push_back(as);
+    distinct.push_back(as);
+  }
+  void won_customer(AsId as) { tickets.push_back(as); }
+};
+
+/// Weighted variant of pick_provider: rejection-sample the ticket list, then
+/// fall back to scanning the distinct list.
+bool pick_provider_weighted(const TicketPool& pool, AsId as,
+                            const AsGraph& graph, stats::Rng& rng, AsId& out) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const AsId cand = pool.tickets[rng.index(pool.tickets.size())];
+    if (cand != as && !graph.has_link(cand, as)) {
+      out = cand;
+      return true;
+    }
+  }
+  return pick_provider(pool.distinct, as, graph, rng, out);
+}
+
 }  // namespace
 
 AsGraph generate(const GeneratorConfig& config, stats::Rng& rng) {
   validate(config);
   AsGraph graph;
 
+  // weighted == false must leave the legacy uniform path — and its RNG
+  // stream — byte-for-byte untouched: every pre-existing seeded topology
+  // depends on it. The ticket pools below are only consulted (and the extra
+  // bernoulli below only drawn) when preferential attachment is on.
+  const bool weighted = config.preferential_attachment > 0.0;
+  TicketPool tier1_pool, transit_pool;
+
   std::vector<AsId> tier1s, transits;
   AsId next = config.first_as;
 
   for (std::uint32_t i = 0; i < config.tier1_count; ++i) {
     graph.add_as(next, Tier::kTier1);
-    tier1s.push_back(next++);
+    tier1s.push_back(next);
+    if (weighted) tier1_pool.add(next);
+    ++next;
   }
   // Tier-1 full mesh of peerings: the defining property of the core clique.
   for (std::size_t i = 0; i < tier1s.size(); ++i)
@@ -65,12 +104,23 @@ AsGraph generate(const GeneratorConfig& config, stats::Rng& rng) {
     for (std::uint32_t k = 0; k < want; ++k) {
       const bool use_tier1 =
           transits.empty() || rng.bernoulli(config.transit_tier1_provider_prob);
-      const auto& pool = use_tier1 ? tier1s : transits;
       AsId provider;
-      if (pick_provider(pool, as, graph, rng, provider))
+      bool found;
+      if (weighted && rng.bernoulli(config.preferential_attachment)) {
+        found = pick_provider_weighted(use_tier1 ? tier1_pool : transit_pool,
+                                       as, graph, rng, provider);
+      } else {
+        found = pick_provider(use_tier1 ? tier1s : transits, as, graph, rng,
+                              provider);
+      }
+      if (found) {
         graph.add_provider_customer(provider, as);
+        if (weighted)
+          (use_tier1 ? tier1_pool : transit_pool).won_customer(provider);
+      }
     }
     transits.push_back(as);
+    if (weighted) transit_pool.add(as);
   }
 
   // Lateral transit peerings (IXP-style shortcuts).
@@ -91,14 +141,46 @@ AsGraph generate(const GeneratorConfig& config, stats::Rng& rng) {
     for (std::uint32_t k = 0; k < want; ++k) {
       const bool use_tier1 =
           transits.empty() || rng.bernoulli(config.stub_tier1_provider_prob);
-      const auto& pool = use_tier1 ? tier1s : transits;
       AsId provider;
-      if (pick_provider(pool, as, graph, rng, provider))
+      bool found;
+      if (weighted && rng.bernoulli(config.preferential_attachment)) {
+        found = pick_provider_weighted(use_tier1 ? tier1_pool : transit_pool,
+                                       as, graph, rng, provider);
+      } else {
+        found = pick_provider(use_tier1 ? tier1s : transits, as, graph, rng,
+                              provider);
+      }
+      if (found) {
         graph.add_provider_customer(provider, as);
+        if (weighted)
+          (use_tier1 ? tier1_pool : transit_pool).won_customer(provider);
+      }
     }
   }
 
   return graph;
+}
+
+GeneratorConfig internet_like(std::uint32_t total_ases) {
+  if (total_ases < 64)
+    throw std::invalid_argument("internet_like: need at least 64 ASes");
+  GeneratorConfig c;
+  // Calibration targets (CAIDA serial-2 snapshots, see EXPERIMENTS.md
+  // "Topology validation"): a ~16-AS settlement-free core clique, ~15%
+  // transit / ~85% stub split, stub multi-homing around 1.5 providers, and
+  // heavy-tailed degrees via near-pure preferential attachment.
+  c.tier1_count = 16;
+  c.transit_count = total_ases * 15 / 100;
+  c.stub_count = total_ases - c.tier1_count - c.transit_count;
+  c.transit_min_providers = 1;
+  c.transit_max_providers = 4;
+  c.transit_tier1_provider_prob = 0.3;
+  c.transit_peering_prob = 0.6;
+  c.stub_min_providers = 1;
+  c.stub_max_providers = 2;
+  c.stub_tier1_provider_prob = 0.02;
+  c.preferential_attachment = 0.9;
+  return c;
 }
 
 }  // namespace because::topology

@@ -44,10 +44,24 @@ struct GeneratorConfig {
   /// First AS number assigned; ASs are numbered consecutively from here,
   /// tier-1s first, then transits, then stubs.
   AsId first_as = 10;
+
+  /// Probability that a provider draw is degree-proportional (weight
+  /// 1 + customers gained so far) instead of uniform. 0 keeps the legacy
+  /// uniform selection AND its RNG stream byte-for-byte; values near 1
+  /// produce the measured Internet's heavy-tailed degree and customer-cone
+  /// distributions (a few hub providers absorb most attachments).
+  double preferential_attachment = 0.0;
 };
 
 /// Generate a topology. Throws std::invalid_argument for degenerate configs
 /// (no tier-1s, provider ranges inverted, ...).
 AsGraph generate(const GeneratorConfig& config, stats::Rng& rng);
+
+/// Calibrated Internet-like config for `total_ases` total ASes (>= 64):
+/// ~16-AS tier-1 clique, ~15% transit / ~85% stub split, multi-homing and
+/// preferential attachment tuned so 70k-100k-AS graphs reproduce the real
+/// Internet's degree / customer-cone / tier shape deterministically from a
+/// seed. Throws std::invalid_argument below 64 ASes.
+GeneratorConfig internet_like(std::uint32_t total_ases);
 
 }  // namespace because::topology

@@ -1,0 +1,67 @@
+#include "topology/ranking.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace because::topology {
+
+std::size_t HierarchyRanking::index_of(AsId as) const {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), as);
+  BECAUSE_CHECK(it != ids.end() && *it == as,
+                "ranking: unknown AS " << as);
+  return static_cast<std::size_t>(it - ids.begin());
+}
+
+std::uint32_t HierarchyRanking::rank_of(AsId as) const {
+  return rank[index_of(as)];
+}
+
+HierarchyRanking rank_hierarchy(const AsGraph& graph) {
+  HierarchyRanking out;
+  out.ids = graph.as_ids();  // ascending
+  const std::size_t n = out.ids.size();
+  out.rank.assign(n, 0);
+
+  // Kahn over provider->customer edges, bottom-up: start from ASes with no
+  // customers; when the last customer of a provider settles, the provider's
+  // rank is final.
+  std::vector<std::uint32_t> pending(n, 0);  // unsettled customers
+  std::vector<std::uint32_t> queue;
+  queue.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t customers = 0;
+    for (const Neighbor& nb : graph.neighbors(out.ids[i]))
+      if (nb.relation == Relation::kCustomer) ++customers;
+    pending[i] = customers;
+    if (customers == 0) queue.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const std::uint32_t u = queue[head++];
+    for (const Neighbor& nb : graph.neighbors(out.ids[u])) {
+      if (nb.relation != Relation::kProvider) continue;
+      const std::size_t p = out.index_of(nb.id);
+      out.rank[p] = std::max(out.rank[p], out.rank[u] + 1);
+      BECAUSE_CHECK(pending[p] > 0, "ranking: inconsistent customer count");
+      if (--pending[p] == 0) queue.push_back(static_cast<std::uint32_t>(p));
+    }
+  }
+  BECAUSE_CHECK(queue.size() == n,
+                "ranking: provider-customer cycle ("
+                    << n - queue.size() << " of " << n << " ASes unranked)");
+
+  for (std::uint32_t r : out.rank) out.max_rank = std::max(out.max_rank, r);
+  out.order.resize(n);
+  std::iota(out.order.begin(), out.order.end(), 0u);
+  std::sort(out.order.begin(), out.order.end(),
+            [&out](std::uint32_t a, std::uint32_t b) {
+              if (out.rank[a] != out.rank[b]) return out.rank[a] < out.rank[b];
+              return out.ids[a] < out.ids[b];
+            });
+  return out;
+}
+
+}  // namespace because::topology

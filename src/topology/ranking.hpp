@@ -1,0 +1,38 @@
+// Hierarchy ranking of an AS graph for three-phase static propagation.
+//
+// Rank = depth in the provider-customer DAG measured from the bottom: an AS
+// with no customers has rank 0, otherwise rank(u) = 1 + max rank over u's
+// customers. Peerings do not affect rank. Computed with a Kahn sweep over
+// provider->customer edges; a provider-customer cycle (which Gao-Rexford
+// convergence does not tolerate) is a contract violation.
+//
+// The static converge pass sweeps ranks ascending for the customer->provider
+// UP phase and descending for the provider->customer DOWN phase; within a
+// rank, ASes are processed in ascending AsId order so the sweep is a pure
+// function of the graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace because::topology {
+
+struct HierarchyRanking {
+  std::vector<AsId> ids;            ///< all ASes, ascending
+  std::vector<std::uint32_t> rank;  ///< parallel to ids
+  std::uint32_t max_rank = 0;
+  /// Indices into ids, sorted by (rank, AsId): the UP-phase sweep order.
+  /// Iterate it backwards for the DOWN phase.
+  std::vector<std::uint32_t> order;
+
+  std::size_t index_of(AsId as) const;        ///< BECAUSE_CHECK on unknown AS
+  std::uint32_t rank_of(AsId as) const;
+};
+
+/// Rank every AS in the graph. BECAUSE_CHECK fails on a provider-customer
+/// cycle.
+HierarchyRanking rank_hierarchy(const AsGraph& graph);
+
+}  // namespace because::topology

@@ -126,6 +126,55 @@ TEST(ObsDeterminism, CampaignDigestsUnchangedByInstrumentation) {
   }
 }
 
+TEST(ObsDeterminism, WarmStartedSnapshotsBitIdenticalAcrossPoolSizes) {
+  // Same contract as SnapshotsBitIdenticalAcrossPoolSizes, but with the
+  // static warm start active, so the bgp.static.* counters and the
+  // bgp.static.reach_pow2 histogram (all flushed inline from worker threads)
+  // join the merge. Their shard sums must stay commutative and exact too.
+  experiment::CampaignGrid grid = tiny_grid();
+  grid.base.warm_start.mode = experiment::WarmStart::kStatic;
+  grid.base.warm_start.baseline_prefixes = 2;
+  const std::vector<experiment::CampaignScenario> scenarios = grid.expand();
+
+  std::string reference_metrics;
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    ObsGuard guard;
+    experiment::ParallelCampaignRunner runner(threads);
+    const std::vector<experiment::CampaignResult> results =
+        runner.run(scenarios);
+    ASSERT_EQ(results.size(), scenarios.size());
+
+    const obs::MetricsSnapshot snap = obs::snapshot();
+    const std::string metrics_json = obs::render_json(snap);
+    if (reference_metrics.empty()) {
+      reference_metrics = metrics_json;
+      // The warm-start counters must be present AND nonzero, or the
+      // cross-pool comparison proves nothing about them.
+      for (const char* name :
+           {"bgp.static.up_visits", "bgp.static.across_visits",
+            "bgp.static.down_visits", "bgp.static.seeded_routes"}) {
+        bool found = false;
+        for (const auto& row : snap.counters)
+          if (row.name == name) {
+            found = true;
+            EXPECT_GT(row.value, 0u) << name << " stayed zero";
+          }
+        EXPECT_TRUE(found) << name << " missing from snapshot";
+      }
+      bool reach_found = false;
+      for (const auto& histo : snap.histograms)
+        if (histo.name == "bgp.static.reach_pow2") {
+          reach_found = true;
+          EXPECT_GT(histo.total, 0u) << "reach histogram stayed empty";
+        }
+      EXPECT_TRUE(reach_found) << "bgp.static.reach_pow2 missing";
+    } else {
+      EXPECT_EQ(metrics_json, reference_metrics)
+          << "warm-started metrics snapshot diverged at pool size " << threads;
+    }
+  }
+}
+
 TEST(ObsDeterminism, RepeatedRunsYieldIdenticalSnapshots) {
   const std::vector<experiment::CampaignScenario> scenarios =
       tiny_grid().expand();

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "stats/rng.hpp"
 #include "topology/as_graph.hpp"
+#include "topology/caida.hpp"
 #include "topology/generator.hpp"
 #include "topology/paths.hpp"
 
@@ -291,6 +295,114 @@ INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSizeSweep,
                          ::testing::Values(std::make_tuple(10u, 20u),
                                            std::make_tuple(40u, 100u),
                                            std::make_tuple(80u, 300u)));
+
+// ------------------------------------------------- internet_like calibration
+
+std::uint64_t fnv1a_text(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+TEST(InternetLike, SameSeedIsByteIdenticalAtTenThousandAses) {
+  stats::Rng a(13), b(13);
+  const AsGraph g1 = generate(internet_like(10'000), a);
+  const AsGraph g2 = generate(internet_like(10'000), b);
+  // The serial-2 rendering is canonical, so byte equality is whole-graph
+  // equality: same ASes, same links, same relationships.
+  EXPECT_EQ(to_caida_text(g1), to_caida_text(g2));
+}
+
+// Structural bounds every calibrated graph must satisfy, independent of seed
+// (see EXPERIMENTS.md "Topology validation" for measured distributions).
+void expect_internet_like_shape(const AsGraph& g) {
+  ASSERT_EQ(g.as_count(), 10'000u);
+  std::size_t t1 = 0, tr = 0, st = 0, max_customers = 0, total_customers = 0;
+  for (AsId as : g.as_ids()) {
+    switch (g.tier(as)) {
+      case Tier::kTier1: ++t1; break;
+      case Tier::kTransit: ++tr; break;
+      case Tier::kStub: ++st; break;
+    }
+    const std::size_t customers = g.neighbors_with(as, Relation::kCustomer).size();
+    max_customers = std::max(max_customers, customers);
+    total_customers += customers;
+  }
+  // The tier split is a deterministic function of the size: ~16-AS clique,
+  // 15% transit, 85% stub (the measured Internet's rough proportions).
+  EXPECT_EQ(t1, 16u);
+  EXPECT_EQ(tr, 1'500u);
+  EXPECT_EQ(st, 8'484u);
+  EXPECT_GE(g.link_count(), 14'000u);
+  EXPECT_LE(g.link_count(), 25'000u);
+
+  // Heavy-tailed provider degrees: preferential attachment concentrates
+  // customers onto hub providers an order of magnitude above the mean
+  // (measured: max ~400-500 vs mean ~11 at this size).
+  const double mean_customers =
+      static_cast<double>(total_customers) / static_cast<double>(t1 + tr);
+  EXPECT_GE(static_cast<double>(max_customers), 15.0 * mean_customers);
+  EXPECT_GE(max_customers, 200u);
+
+  // Customer cones: the biggest tier-1 sees most of the Internet below it
+  // (CAIDA ranks the largest real cones at ~90% of all ASes).
+  std::size_t max_cone = 0;
+  for (AsId as : g.as_ids())
+    if (g.tier(as) == Tier::kTier1)
+      max_cone = std::max(max_cone, customer_cone_size(g, as));
+  EXPECT_GE(max_cone, (g.as_count() * 80) / 100);
+}
+
+TEST(InternetLike, DifferentSeedsAreDistinctButBothCalibrated) {
+  stats::Rng a(13), b(14);
+  const AsGraph g1 = generate(internet_like(10'000), a);
+  const AsGraph g2 = generate(internet_like(10'000), b);
+  EXPECT_NE(to_caida_text(g1), to_caida_text(g2));
+  expect_internet_like_shape(g1);
+  expect_internet_like_shape(g2);
+}
+
+TEST(InternetLike, PreferentialAttachmentSkewsDegrees) {
+  GeneratorConfig calibrated = internet_like(10'000);
+  GeneratorConfig uniform = calibrated;
+  uniform.preferential_attachment = 0.0;
+  stats::Rng a(21), b(21);
+  const AsGraph skewed = generate(calibrated, a);
+  const AsGraph flat = generate(uniform, b);
+  auto max_customers = [](const AsGraph& g) {
+    std::size_t best = 0;
+    for (AsId as : g.as_ids())
+      best = std::max(best, g.neighbors_with(as, Relation::kCustomer).size());
+    return best;
+  };
+  // Same counts, same seed, clearly different concentration. (The uniform
+  // draw already concentrates some customers on the 16 tier-1s, so the
+  // attachment skew shows up as a ~2-3x jump in the hub degree, not orders
+  // of magnitude.)
+  EXPECT_GE(max_customers(skewed), 2 * max_customers(flat));
+}
+
+TEST(InternetLike, RejectsTinySizes) {
+  EXPECT_THROW(internet_like(63), std::invalid_argument);
+  (void)internet_like(64);
+}
+
+TEST(Generator, LegacyRngStreamUnchangedCanary) {
+  // Golden canary for the preferential_attachment=0 contract: the default
+  // config must generate the exact pre-preferential-attachment graph AND
+  // leave the RNG at the exact same stream position (an extra draw anywhere
+  // shifts every seeded experiment downstream). If this fails, the generator
+  // consumed a different draw sequence — that is a breaking change to every
+  // committed digest, not a number to casually update.
+  stats::Rng rng(7);
+  const AsGraph g = generate(GeneratorConfig{}, rng);
+  EXPECT_EQ(g.link_count(), 1'192u);
+  EXPECT_EQ(fnv1a_text(to_caida_text(g)), 14538912147956031253ULL);
+  EXPECT_EQ(rng.uniform_int(0, 1'000'000), 771'168u);
+}
 
 }  // namespace
 }  // namespace because::topology
