@@ -1,46 +1,74 @@
 #!/usr/bin/env bash
-# Pre-merge gate, three stages in rising cost order:
+# Pre-merge gate, stages in rising cost order:
 #
 #   1. static   zero-warning build (-Wconversion -Werror, clang-tidy when a
 #               binary exists) + the because-lint determinism linter
-#   2. release  tier-1 suite under the optimised preset (contracts compiled
+#   2. tsa      clang thread-safety analysis over the annotated modules plus
+#               the negative-compile fixtures (tests/tsa_fixtures). Skips
+#               cleanly on hosts without clang++ — the tsa tests exit 77.
+#   3. release  tier-1 suite under the optimised preset (contracts compiled
 #               out — also proves BECAUSE_ASSERT has no Release footprint)
-#   3. obs      observability subsystem: snapshot determinism across pool
+#   4. obs      observability subsystem: snapshot determinism across pool
 #               sizes and the golden Chrome-trace digest (release preset)
-#   4. tsan     thread sanitizer over the concurrency-labeled tests
-#   5. simd     tier-1 suite (minus slow) with the AVX2/AVX-512 kernel units
+#   5. tsan     thread sanitizer over the concurrency-labeled tests
+#   6. simd     tier-1 suite (minus slow) with the AVX2/AVX-512 kernel units
 #               compiled out (-DBECAUSE_SIMD_KERNELS=OFF): the scalar
 #               fallback alone must reproduce every digest
-#   6. topology topology subsystem: CAIDA loader contracts, generator
+#   7. topology topology subsystem: CAIDA loader contracts, generator
 #               calibration, static warm-start equivalence (minus the 70k-AS
 #               smokes; run those with --preset check-topology-slow)
 #
-# `--full` appends a seventh stage: address+UB sanitizers over the tier-1
-# suite minus slow-labeled tests.
+# `--full` appends two sanitizer stages: address sanitizer (check-asan) and
+# undefined-behaviour sanitizer (check-ubsan), each over the tier-1 suite
+# minus slow-labeled tests.
 #
 # `--bench` appends the bench-regression gate: build bench_sim and
 # bench_perf_samplers under the release preset, run them (fresh
 # BENCH_sim.json / BENCH_samplers.json), and diff both against the
 # committed baselines with tools/bench_gate.py.
 #
-# Each CMake stage is a workflow preset, so any one can be run alone:
-#   cmake --workflow --preset check-static    (or check-release / check-obs /
-#                                              check-tsan / check-simd /
-#                                              check-topology / check-asan)
+# `--stage <name>` runs exactly one named stage instead of the ladder —
+# handy when iterating on a single gate. Valid names: check-static
+# check-tsa check-release check-obs check-tsan check-simd check-topology
+# check-asan check-ubsan bench-gate.
+#
+# Each CMake stage is a workflow preset, so any one can also be run alone:
+#   cmake --workflow --preset check-tsa     (or check-static / check-release /
+#                                            check-obs / check-tsan /
+#                                            check-simd / check-topology /
+#                                            check-asan / check-ubsan)
 # The script stops at the first failing stage and prints per-stage timing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(check-static check-release check-obs check-tsan check-simd check-topology)
-for arg in "$@"; do
-  case "${arg}" in
-    --full) STAGES+=(check-asan) ;;
+usage() {
+  echo "usage: $0 [--full] [--bench] [--stage <name>]" >&2
+  echo "  stages: check-static check-tsa check-release check-obs check-tsan" >&2
+  echo "          check-simd check-topology check-asan check-ubsan bench-gate" >&2
+  exit 2
+}
+
+ALL_STAGES=(check-static check-tsa check-release check-obs check-tsan
+            check-simd check-topology check-asan check-ubsan bench-gate)
+STAGES=(check-static check-tsa check-release check-obs check-tsan
+        check-simd check-topology)
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --full) STAGES+=(check-asan check-ubsan) ;;
     --bench) STAGES+=(bench-gate) ;;
-    *)
-      echo "usage: $0 [--full] [--bench]" >&2
-      exit 2
+    --stage)
+      [[ $# -ge 2 ]] || usage
+      found=0
+      for s in "${ALL_STAGES[@]}"; do
+        [[ "$2" == "${s}" ]] && found=1
+      done
+      [[ "${found}" == 1 ]] || usage
+      STAGES=("$2")
+      shift
       ;;
+    *) usage ;;
   esac
+  shift
 done
 
 run_bench_gate() {

@@ -1,3 +1,9 @@
+// Kernel dispatch once-init. Deliberately lock-free: the detected level is a
+// magic static (initialised exactly once under the C++11 guarantee) and the
+// active level a relaxed atomic, so there is no mutex to annotate — the
+// check-tsa sweep still compiles this TU under -Werror=thread-safety to keep
+// it that way (any future mutex added here must come from util/annotations.hpp
+// with its capability contract spelled out).
 #include "core/kernels/dispatch.hpp"
 
 #include <atomic>

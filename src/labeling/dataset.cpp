@@ -107,7 +107,7 @@ std::optional<std::size_t> PathDataset::index_of(topology::AsId as) const {
 
 void PathDataset::ensure_transposed() const {
   if (transposed_valid_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (transposed_valid_.load(std::memory_order_relaxed)) return;
 
   const std::size_t nodes = as_ids_.size();
@@ -152,6 +152,10 @@ std::span<const std::uint32_t> PathDataset::transposed_obs() const {
 }
 
 void PathDataset::invalidate_blocked() {
+  // Cold path (dataset construction / copy / move), so taking the build
+  // mutex here is free — and it puts the guarded unique_ptr owners inside
+  // the capability scope the annotations demand.
+  util::MutexLock lock(mutex_);
   blocked4_ptr_.store(nullptr, std::memory_order_release);
   blocked8_ptr_.store(nullptr, std::memory_order_release);
   blocked_t4_ptr_.store(nullptr, std::memory_order_release);
@@ -265,7 +269,7 @@ const BlockedLayout& PathDataset::blocked(std::size_t width) const {
   auto& slot = width == 8 ? blocked8_ptr_ : blocked4_ptr_;
   const BlockedLayout* layout = slot.load(std::memory_order_acquire);
   if (layout != nullptr) return *layout;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   layout = slot.load(std::memory_order_relaxed);
   if (layout != nullptr) return *layout;
   auto& owner = width == 8 ? blocked8_ : blocked4_;
@@ -281,7 +285,7 @@ const BlockedLayout& PathDataset::blocked_sorted(std::size_t width) const {
   auto& slot = width == 8 ? blocked_s8_ptr_ : blocked_s4_ptr_;
   const BlockedLayout* layout = slot.load(std::memory_order_acquire);
   if (layout != nullptr) return *layout;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   layout = slot.load(std::memory_order_relaxed);
   if (layout != nullptr) return *layout;
   auto& owner = width == 8 ? blocked_s8_ : blocked_s4_;
@@ -298,7 +302,7 @@ const BlockedLayout& PathDataset::blocked_transposed(std::size_t width) const {
   auto& slot = width == 8 ? blocked_t8_ptr_ : blocked_t4_ptr_;
   const BlockedLayout* layout = slot.load(std::memory_order_acquire);
   if (layout != nullptr) return *layout;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   layout = slot.load(std::memory_order_relaxed);
   if (layout != nullptr) return *layout;
   auto& owner = width == 8 ? blocked_t8_ : blocked_t4_;

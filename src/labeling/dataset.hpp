@@ -18,7 +18,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -26,6 +25,7 @@
 #include <vector>
 
 #include "topology/paths.hpp"
+#include "util/annotations.hpp"
 #include "util/contracts.hpp"
 
 namespace because::labeling {
@@ -125,13 +125,15 @@ class PathDataset {
   /// built lazily and cached per width. Same thread-safety contract as
   /// observations_with: safe after first build on a fully built dataset; a
   /// later add_path invalidates.
-  const BlockedLayout& blocked(std::size_t width) const;
+  const BlockedLayout& blocked(std::size_t width) const
+      BECAUSE_EXCLUDES(mutex_);
 
   /// The lane-blocked layout of the transposed CSR (lanes = AS indices,
   /// entries = observation ids, sentinel = path_count()), for the gathering
   /// gradient-accumulation kernels. Same laziness/thread-safety contract as
   /// blocked().
-  const BlockedLayout& blocked_transposed(std::size_t width) const;
+  const BlockedLayout& blocked_transposed(std::size_t width) const
+      BECAUSE_EXCLUDES(mutex_);
 
   /// The length-sorted lane-blocked layout of the forward CSR: lanes are a
   /// stable sort of the observations by path length (perm), so a block pads
@@ -139,7 +141,8 @@ class PathDataset {
   /// rows. perm is width-independent (the same stable sort), which is what
   /// lets every dispatch level fold observations in the identical order.
   /// Same laziness/thread-safety contract as blocked().
-  const BlockedLayout& blocked_sorted(std::size_t width) const;
+  const BlockedLayout& blocked_sorted(std::size_t width) const
+      BECAUSE_EXCLUDES(mutex_);
 
   /// Number of RFD-labeled / clean-labeled paths containing the AS.
   std::size_t property_paths(std::size_t node) const;
@@ -150,13 +153,13 @@ class PathDataset {
   void copy_from(const PathDataset& other);
   void move_from(PathDataset&& other) noexcept;
   /// Build the node -> observation CSR (double-checked under `mutex_`).
-  void ensure_transposed() const;
+  void ensure_transposed() const BECAUSE_EXCLUDES(mutex_);
   std::unique_ptr<const BlockedLayout> build_blocked(std::size_t width) const;
   std::unique_ptr<const BlockedLayout> build_blocked_transposed(
       std::size_t width) const;
   std::unique_ptr<const BlockedLayout> build_blocked_sorted(
       std::size_t width) const;
-  void invalidate_blocked();
+  void invalidate_blocked() BECAUSE_EXCLUDES(mutex_);
 
   std::vector<topology::AsId> as_ids_;
   std::unordered_map<topology::AsId, std::size_t> index_;
@@ -169,26 +172,41 @@ class PathDataset {
   std::vector<std::uint32_t> property_count_;
   std::vector<std::uint32_t> clean_count_;
 
+  // Serializes every lazy build below; declared before the caches so the
+  // BECAUSE_GUARDED_BY annotations can name it.
+  mutable util::Mutex mutex_;
   // Transposed CSR: node -> observations, built lazily because it needs a
-  // full counting pass; guarded so concurrent sampler threads may trigger it.
+  // full counting pass. Writes happen under mutex_, but readers are
+  // deliberately lock-free: transposed_valid_ (acquire/release) publishes
+  // the finished arrays, a protocol the thread-safety analysis cannot
+  // model, so these two stay unannotated (see ensure_transposed()).
   mutable std::vector<std::uint32_t> node_obs_;
   mutable std::vector<std::uint32_t> node_offsets_;
   mutable std::atomic<bool> transposed_valid_{false};
   // Lane-blocked layouts (widths 4 and 8), built lazily like the transposed
   // CSR: the atomic publishes the finished layout, `mutex_` serializes the
-  // build, the unique_ptr owns it.
-  mutable std::unique_ptr<const BlockedLayout> blocked4_, blocked8_;
+  // build, the unique_ptr owns it. The owners are machine-checked against
+  // mutex_; the *_ptr_ atomics are the sanctioned lock-free read path.
+  mutable std::unique_ptr<const BlockedLayout> blocked4_
+      BECAUSE_GUARDED_BY(mutex_);
+  mutable std::unique_ptr<const BlockedLayout> blocked8_
+      BECAUSE_GUARDED_BY(mutex_);
   mutable std::atomic<const BlockedLayout*> blocked4_ptr_{nullptr};
   mutable std::atomic<const BlockedLayout*> blocked8_ptr_{nullptr};
   // Same again for the transposed CSR (gradient accumulation kernels).
-  mutable std::unique_ptr<const BlockedLayout> blocked_t4_, blocked_t8_;
+  mutable std::unique_ptr<const BlockedLayout> blocked_t4_
+      BECAUSE_GUARDED_BY(mutex_);
+  mutable std::unique_ptr<const BlockedLayout> blocked_t8_
+      BECAUSE_GUARDED_BY(mutex_);
   mutable std::atomic<const BlockedLayout*> blocked_t4_ptr_{nullptr};
   mutable std::atomic<const BlockedLayout*> blocked_t8_ptr_{nullptr};
   // Same again for the length-sorted forward layouts (fused log-likelihood).
-  mutable std::unique_ptr<const BlockedLayout> blocked_s4_, blocked_s8_;
+  mutable std::unique_ptr<const BlockedLayout> blocked_s4_
+      BECAUSE_GUARDED_BY(mutex_);
+  mutable std::unique_ptr<const BlockedLayout> blocked_s8_
+      BECAUSE_GUARDED_BY(mutex_);
   mutable std::atomic<const BlockedLayout*> blocked_s4_ptr_{nullptr};
   mutable std::atomic<const BlockedLayout*> blocked_s8_ptr_{nullptr};
-  mutable std::mutex mutex_;
 };
 
 }  // namespace because::labeling

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "util/annotations.hpp"
 #include "util/contracts.hpp"
 
 namespace because::obs {
@@ -87,6 +87,10 @@ class Registry {
   }
 
   Registry() {
+    // Single-threaded under the magic-static guarantee, but the annotated
+    // contract on the registration tables wants the capability held — and an
+    // uncontended acquire at startup is free.
+    util::MutexLock lock(mutex_);
     names_.reserve(kCounterCount + 2 * kRfdVariantLabels.size());
     for (const char* name : kCounterNames) register_locked(name);
     for (const char* label : kRfdVariantLabels)
@@ -96,8 +100,8 @@ class Registry {
     catalogue_size_ = names_.size();
   }
 
-  CounterId id_of(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  CounterId id_of(std::string_view name) BECAUSE_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     auto it = ids_.find(std::string(name));
     if (it != ids_.end()) return it->second;
     return register_locked(std::string(name));
@@ -108,7 +112,7 @@ class Registry {
     if (id >= shard.counters.size()) {
       // A counter registered after this shard was sized; grow to the current
       // registry width (cold: happens once per thread per late registration).
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       shard.counters.resize(names_.size(), 0);
       BECAUSE_CHECK(id < shard.counters.size(),
                     "obs: counter id out of range");
@@ -129,15 +133,15 @@ class Registry {
     local_shard().histograms[id][bucket] += count;
   }
 
-  void set_gauge(Gauge g, double value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void set_gauge(Gauge g, double value) BECAUSE_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     auto& cell = gauges_[static_cast<std::size_t>(g)];
     cell.first = value;
     cell.second = true;
   }
 
-  MetricsSnapshot snapshot() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot() BECAUSE_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     MetricsSnapshot snap;
 
     std::vector<std::uint64_t> sums(names_.size(), 0);
@@ -155,15 +159,16 @@ class Registry {
     for (std::size_t i = 0; i < catalogue_size_; ++i)
       snap.counters.push_back({std::string(names_[i]), sums[i]});
     // Post-catalogue registrations: order by name, not by the (scheduling
-    // dependent) order threads first touched them in.
-    std::vector<std::size_t> late;
+    // dependent) order threads first touched them in. The (name, id) pairs
+    // are materialized before the sort so no comparator lambda — which the
+    // thread-safety analysis treats as a separate, unlocked context — ever
+    // touches the guarded name table.
+    std::vector<std::pair<std::string_view, std::size_t>> late;
     for (std::size_t i = catalogue_size_; i < names_.size(); ++i)
-      late.push_back(i);
-    std::sort(late.begin(), late.end(), [this](std::size_t a, std::size_t b) {
-      return names_[a] < names_[b];
-    });
-    for (std::size_t i : late)
-      snap.counters.push_back({std::string(names_[i]), sums[i]});
+      late.emplace_back(names_[i], i);
+    std::sort(late.begin(), late.end());
+    for (const auto& [name, i] : late)
+      snap.counters.push_back({std::string(name), sums[i]});
 
     snap.gauges.reserve(kGaugeCount);
     for (std::size_t g = 0; g < kGaugeCount; ++g)
@@ -181,8 +186,8 @@ class Registry {
     return snap;
   }
 
-  void reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void reset() BECAUSE_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     for (const auto& shard : shards_) {
       std::fill(shard->counters.begin(), shard->counters.end(), 0);
       for (auto& h : shard->histograms) h.fill(0);
@@ -191,9 +196,7 @@ class Registry {
   }
 
  private:
-  CounterId register_locked(std::string name) {
-    // Caller holds mutex_ (or is the constructor, which runs single-threaded
-    // under the magic-static guarantee).
+  CounterId register_locked(std::string name) BECAUSE_REQUIRES(mutex_) {
     auto [it, inserted] =
         ids_.emplace(std::move(name), static_cast<CounterId>(names_.size()));
     BECAUSE_CHECK(inserted, "obs: duplicate counter registration");
@@ -204,7 +207,7 @@ class Registry {
   Shard& local_shard() {
     thread_local Shard* shard = nullptr;
     if (shard == nullptr) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       shards_.push_back(std::make_unique<Shard>());
       shards_.back()->counters.resize(names_.size(), 0);
       shard = shards_.back().get();
@@ -212,14 +215,19 @@ class Registry {
     return *shard;
   }
 
-  std::mutex mutex_;
+  util::Mutex mutex_;
   // std::map keeps node (and thus key-string) addresses stable, so names_
   // can hold views into the keys without a second copy.
-  std::map<std::string, CounterId, std::less<>> ids_;
-  std::vector<std::string_view> names_;  ///< id -> name, registration order
-  std::size_t catalogue_size_ = 0;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::array<std::pair<double, bool>, kGaugeCount> gauges_{};
+  std::map<std::string, CounterId, std::less<>> ids_ BECAUSE_GUARDED_BY(mutex_);
+  // id -> name, registration order.
+  std::vector<std::string_view> names_ BECAUSE_GUARDED_BY(mutex_);
+  std::size_t catalogue_size_ BECAUSE_GUARDED_BY(mutex_) = 0;
+  // The shard *list* is guarded; shard contents are single-writer by the
+  // owning thread and read by snapshot()/reset() only while instrumented
+  // work is quiescent (see the header's lifetime notes).
+  std::vector<std::unique_ptr<Shard>> shards_ BECAUSE_GUARDED_BY(mutex_);
+  std::array<std::pair<double, bool>, kGaugeCount> gauges_
+      BECAUSE_GUARDED_BY(mutex_){};
 };
 
 }  // namespace

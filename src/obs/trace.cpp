@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "util/annotations.hpp"
 
 namespace because::obs {
 namespace {
@@ -24,8 +25,8 @@ class Tracer {
 
   void emit(TraceEvent event) { local_shard().events.push_back(std::move(event)); }
 
-  std::vector<TraceEvent> snapshot() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> snapshot() BECAUSE_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     std::vector<TraceEvent> merged;
     std::size_t total = 0;
     for (const auto& shard : shards_) total += shard->events.size();
@@ -43,8 +44,8 @@ class Tracer {
     return merged;
   }
 
-  void reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void reset() BECAUSE_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     for (const auto& shard : shards_) shard->events.clear();
   }
 
@@ -52,15 +53,18 @@ class Tracer {
   TraceShard& local_shard() {
     thread_local TraceShard* shard = nullptr;
     if (shard == nullptr) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       shards_.push_back(std::make_unique<TraceShard>());
       shard = shards_.back().get();
     }
     return *shard;
   }
 
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceShard>> shards_;
+  util::Mutex mutex_;
+  // The shard *list* is guarded; shard contents are single-writer by the
+  // owning thread, read by snapshot()/reset() only while emitters are
+  // quiescent (the header's lane contract).
+  std::vector<std::unique_ptr<TraceShard>> shards_ BECAUSE_GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -1,0 +1,153 @@
+// Clang Thread Safety annotations and the annotated mutex wrappers.
+//
+// Every piece of cross-thread shared state in this repo — the ThreadPool
+// queue, the obs registry's shard list, the PathDataset lazy blocked-layout
+// caches — used to carry its locking contract in prose ("the registry mutex
+// guards shard creation"). These macros make those contracts a compile-time
+// property: under clang, `-Wthread-safety` (the `tsa` preset /
+// `check-tsa` workflow) rejects any access to a BECAUSE_GUARDED_BY member
+// outside its mutex, any BECAUSE_REQUIRES call without the capability held,
+// and any lock-acquiring path that can exit without releasing. Under GCC
+// every macro expands to nothing, so the annotations are attribute-only:
+// zero code, zero cost, no behavioural difference between compilers.
+//
+// The macros map 1:1 onto clang's thread safety attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the BECAUSE_
+// prefix keeps them greppable and lets a future backend (e.g. a different
+// analyzer) re-target them in one place.
+//
+// Use the `util::Mutex` / `util::MutexLock` / `util::CondVar` wrappers below
+// instead of raw std::mutex in any class that guards shared state: the
+// analysis only sees lock/unlock through annotated functions, so a raw
+// std::lock_guard<std::mutex> is invisible to it (and flagged by the
+// lock-scoped-call lint's annotated-mutex migration list).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define BECAUSE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BECAUSE_THREAD_ANNOTATION(x)  // no-op outside clang (GCC, MSVC)
+#endif
+
+/// A type that acts as a lockable capability (put on the class).
+#define BECAUSE_CAPABILITY(x) BECAUSE_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires its capability in the constructor and releases
+/// it in the destructor (put on the class).
+#define BECAUSE_SCOPED_CAPABILITY BECAUSE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define BECAUSE_GUARDED_BY(x) BECAUSE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define BECAUSE_PT_GUARDED_BY(x) BECAUSE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while the listed capabilities are held
+/// (and does not change their state).
+#define BECAUSE_REQUIRES(...) \
+  BECAUSE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BECAUSE_REQUIRES_SHARED(...) \
+  BECAUSE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and holds them on return.
+#define BECAUSE_ACQUIRE(...) \
+  BECAUSE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BECAUSE_ACQUIRE_SHARED(...) \
+  BECAUSE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases capabilities held on entry.
+#define BECAUSE_RELEASE(...) \
+  BECAUSE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BECAUSE_RELEASE_SHARED(...) \
+  BECAUSE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `r`.
+#define BECAUSE_TRY_ACQUIRE(r, ...) \
+  BECAUSE_THREAD_ANNOTATION(try_acquire_capability(r, __VA_ARGS__))
+
+/// Function that must NOT be called while the listed capabilities are held
+/// (it acquires them itself; calling with them held would deadlock).
+#define BECAUSE_EXCLUDES(...) \
+  BECAUSE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assert-at-runtime that the capability is held (for code reachable only
+/// under a lock the analysis cannot see).
+#define BECAUSE_ASSERT_CAPABILITY(x) \
+  BECAUSE_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the named capability.
+#define BECAUSE_RETURN_CAPABILITY(x) BECAUSE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Every use must carry
+/// a comment explaining which protocol the analysis cannot model.
+#define BECAUSE_NO_THREAD_SAFETY_ANALYSIS \
+  BECAUSE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace because::util {
+
+/// std::mutex with the capability annotation: the unit of ownership the
+/// thread-safety analysis tracks. Always lock through MutexLock (or the
+/// annotated lock()/unlock() pair when RAII genuinely cannot apply).
+class BECAUSE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BECAUSE_ACQUIRE() { raw_.lock(); }
+  void unlock() BECAUSE_RELEASE() { raw_.unlock(); }
+  bool try_lock() BECAUSE_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() needs the raw mutex; nobody else does
+  std::mutex raw_;
+};
+
+/// RAII lock over a Mutex; the scoped capability the analysis understands.
+/// Deliberately minimal — no deferred/adopted states, which the analysis
+/// (and this codebase) has no use for.
+class BECAUSE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) BECAUSE_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() BECAUSE_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable usable with the annotated Mutex. wait() requires the
+/// mutex held and returns with it held (possibly after spurious wakeups), so
+/// callers loop on their predicate with every guarded read visible to the
+/// analysis — no predicate lambda, whose body the analysis would treat as an
+/// unlocked context.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, sleep, and re-acquire before returning.
+  void wait(Mutex& mutex) BECAUSE_REQUIRES(mutex) {
+    // Adopt the already-held raw mutex for the wait protocol, then release
+    // the unique_lock's ownership claim so the capability stays held (as
+    // annotated) when this returns.
+    std::unique_lock<std::mutex> relock(mutex.raw_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace because::util

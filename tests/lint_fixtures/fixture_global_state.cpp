@@ -1,0 +1,35 @@
+// lint-as: src/util/fixture_global_state.cpp
+// lint-allow: global-state | inline std::atomic<bool> g_allowed_switch{false};
+// Fixture: mutable namespace-scope state. Hidden globals couple runs and
+// break (topology, seed) determinism; only the documented process-wide
+// switches earn allowlist entries (here mimicked by the lint-allow header).
+// const/constexpr tables, class members, and function-local statics are all
+// outside the rule.
+#include <atomic>
+#include <cstdint>
+
+namespace because::util {
+
+int g_bad_counter = 0;  // expected: global-state
+
+inline std::atomic<std::uint64_t> g_bad_total{0};  // expected: global-state
+
+thread_local int t_bad_lane = -1;  // expected: global-state
+
+constexpr int kFine = 3;  // fine: constexpr
+
+const char* const kAlsoFine = "x";  // fine: const
+
+inline std::atomic<bool> g_allowed_switch{false};  // allowlisted switch
+
+class Holder {
+ public:
+  int counter_ = 0;  // fine: class member, not namespace scope
+};
+
+inline int good_local_static() {
+  static int local_static = 0;  // fine: function scope
+  return ++local_static;
+}
+
+}  // namespace because::util

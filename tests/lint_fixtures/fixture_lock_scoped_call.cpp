@@ -1,0 +1,39 @@
+// lint-as: src/util/fixture_lock_scoped_call.cpp
+// lint-allow: lock-scoped-call | queue.schedule_event_at(when, payload);
+// Fixture: schedule()/submit() while a scoped lock is alive. The callee may
+// block on a full pool or re-enter the same (non-recursive) mutex; the
+// thread pool's own discipline is notify-outside-the-lock. A call after the
+// lock's block closes is fine; the flush helper demonstrates the allowlisted
+// shape (a justified hold-the-lock hand-off).
+#include <mutex>
+
+namespace because::util {
+
+template <typename Pool, typename Job>
+void bad_submit_under_lock(Pool& pool, std::mutex& mu, Job job) {
+  std::lock_guard<std::mutex> lock(mu);
+  pool.submit(job);  // expected: lock-scoped-call
+}
+
+template <typename Queue>
+void bad_schedule_under_lock(Queue& queue, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  queue.schedule_event_in(5, 1);  // expected: lock-scoped-call
+}
+
+template <typename Pool, typename Job>
+void good_submit_after_scope(Pool& pool, std::mutex& mu, Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+  }
+  pool.submit(job);  // fine: the lock scope has closed
+}
+
+template <typename Queue, typename T>
+void allowed_flush_under_lock(Queue& queue, std::mutex& mu, T when,
+                              T payload) {
+  std::lock_guard<std::mutex> lock(mu);
+  queue.schedule_event_at(when, payload);  // allowlisted hand-off
+}
+
+}  // namespace because::util

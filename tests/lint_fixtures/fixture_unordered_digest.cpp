@@ -1,0 +1,43 @@
+// lint-as: src/labeling/fixture_unordered_digest.cpp
+// lint-allow: unordered-digest | for (const auto& [key, weight] : weights)
+// Fixture: hash-order iteration feeding a digest. The rule flags every
+// range-for over an identifier declared with an unordered type anywhere in
+// the same file (file-wide on purpose: text and AST backends must agree so
+// they can share one allowlist). The `weights` loop is an order-independent
+// sum, suppressed by the lint-allow header exactly the way a real site
+// earns a tools/lint_allowlist.txt entry.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace because::labeling {
+
+std::uint64_t bad_digest_from_hash_order(
+    const std::unordered_map<int, int>& histogram) {
+  std::unordered_map<int, int> counts = histogram;
+  std::uint64_t digest = 0;
+  for (const auto& [key, value] : counts)  // expected: unordered-digest
+    digest = digest * 31 + static_cast<std::uint64_t>(key + value);
+  return digest;
+}
+
+std::uint64_t allowed_commutative_sum(const std::vector<int>& raw) {
+  std::unordered_map<int, std::uint64_t> weights;
+  for (int v : raw) weights[v % 16] += 1;
+  std::uint64_t sum = 0;
+  for (const auto& [key, weight] : weights)  // allowlisted: order-free sum
+    sum += weight;
+  return sum;
+}
+
+std::vector<int> good_sorted_first(const std::vector<int>& raw) {
+  std::unordered_map<int, int> dedup;
+  for (int v : raw) dedup[v] = v;
+  std::vector<int> keys;
+  keys.reserve(dedup.size());
+  for (int v : raw)
+    if (dedup.count(v) != 0) keys.push_back(v);  // fine: vector order
+  return keys;
+}
+
+}  // namespace because::labeling

@@ -1,0 +1,29 @@
+// Negative-compile fixture: a path that acquires the mutex and returns
+// without releasing it must fail under -Werror=thread-safety. Catches the
+// manual lock()/unlock() pairing mistakes that MutexLock exists to prevent.
+//
+// tsa-expect: mutex 'mu_' is still held at the end of function
+#include "util/annotations.hpp"
+
+namespace {
+
+class Leaky {
+ public:
+  // BUG under analysis: bare lock() with no unlock() on the return path.
+  void leak_lock() {
+    mu_.lock();
+    ++value_;
+  }
+
+ private:
+  because::util::Mutex mu_;
+  int value_ BECAUSE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int tsa_fixture_acquire_without_release() {
+  Leaky l;
+  l.leak_lock();
+  return 0;
+}

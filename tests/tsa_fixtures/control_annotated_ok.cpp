@@ -1,0 +1,60 @@
+// Positive control: idiomatic use of the annotated primitives must compile
+// with ZERO thread-safety diagnostics. If this fixture ever starts warning,
+// the annotation layer itself regressed (over-strict attributes would force
+// allow-listing real code), independent of whether the negative fixtures
+// still fail. Exercises every shape the migrated modules use: MutexLock
+// scopes, a REQUIRES callee invoked under the lock, an EXCLUDES entry point,
+// bare lock()/unlock() pairing, and the CondVar manual wait loop.
+#include "util/annotations.hpp"
+
+#include <deque>
+
+namespace {
+
+class Channel {
+ public:
+  void push(int v) BECAUSE_EXCLUDES(mu_) {
+    {
+      because::util::MutexLock lock(mu_);
+      queue_.push_back(v);
+      bump_locked();
+    }
+    cv_.notify_one();
+  }
+
+  int pop() BECAUSE_EXCLUDES(mu_) {
+    because::util::MutexLock lock(mu_);
+    // Manual wait loop: guarded reads stay in this (locked) scope, exactly
+    // like ThreadPool::worker_loop.
+    while (queue_.empty() && !closed_) cv_.wait(mu_);
+    if (queue_.empty()) return -1;
+    int v = queue_.front();
+    queue_.pop_front();
+    return v;
+  }
+
+  void close() BECAUSE_EXCLUDES(mu_) {
+    mu_.lock();
+    closed_ = true;
+    mu_.unlock();
+    cv_.notify_all();
+  }
+
+ private:
+  void bump_locked() BECAUSE_REQUIRES(mu_) { ++pushes_; }
+
+  because::util::Mutex mu_;
+  because::util::CondVar cv_;
+  std::deque<int> queue_ BECAUSE_GUARDED_BY(mu_);
+  bool closed_ BECAUSE_GUARDED_BY(mu_) = false;
+  long pushes_ BECAUSE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int tsa_control_annotated_ok() {
+  Channel ch;
+  ch.push(1);
+  ch.close();
+  return ch.pop();
+}

@@ -1,0 +1,37 @@
+// Negative-compile fixture: calling a BECAUSE_EXCLUDES(mu_) function while
+// holding mu_ must fail under -Werror=thread-safety. This is the
+// self-deadlock shape the dataset caches guard against — every public
+// accessor is EXCLUDES(mutex_) and takes the lock itself, so re-entering one
+// from a locked scope would deadlock on the non-recursive mutex.
+//
+// tsa-expect: cannot call function 'rebuild' while mutex 'mu_' is held
+#include "util/annotations.hpp"
+
+namespace {
+
+class Cache {
+ public:
+  void rebuild() BECAUSE_EXCLUDES(mu_) {
+    because::util::MutexLock lock(mu_);
+    ++generation_;
+  }
+
+  // BUG under analysis: re-enters a self-locking function while holding the
+  // (non-recursive) mutex — a guaranteed deadlock at runtime.
+  void refresh() {
+    because::util::MutexLock lock(mu_);
+    rebuild();
+  }
+
+ private:
+  because::util::Mutex mu_;
+  int generation_ BECAUSE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int tsa_fixture_excludes_held() {
+  Cache c;
+  c.refresh();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Negative-compile fixture: reading a BECAUSE_GUARDED_BY member without
+// holding its mutex must fail under -Werror=thread-safety. This is the core
+// guarantee the annotation layer buys — a forgotten MutexLock on a cold-path
+// cache is a compile error, not a data race found in TSan (or production).
+//
+// tsa-expect: requires holding mutex 'mu_'
+#include "util/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() {
+    because::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG under analysis: guarded read with no lock held.
+  int read_unlocked() const { return value_; }
+
+ private:
+  mutable because::util::Mutex mu_;
+  int value_ BECAUSE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+// Keep the class odr-used so no toolchain elides the definitions.
+int tsa_fixture_guarded_without_lock() {
+  Counter c;
+  c.bump_locked();
+  return c.read_unlocked();
+}

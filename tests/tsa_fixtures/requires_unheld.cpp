@@ -1,0 +1,29 @@
+// Negative-compile fixture: calling a BECAUSE_REQUIRES(mu_) function without
+// holding mu_ must fail under -Werror=thread-safety. This is the contract
+// the registry's register_locked() helper relies on — callees annotated
+// REQUIRES never lock, so an unlocked caller is a straight data race.
+//
+// tsa-expect: calling function 'touch' requires holding mutex 'mu_'
+#include "util/annotations.hpp"
+
+namespace {
+
+class Table {
+ public:
+  void touch() BECAUSE_REQUIRES(mu_) { ++value_; }
+
+  // BUG under analysis: REQUIRES callee invoked with no lock held.
+  void call_without_lock() { touch(); }
+
+ private:
+  because::util::Mutex mu_;
+  int value_ BECAUSE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int tsa_fixture_requires_unheld() {
+  Table t;
+  t.call_without_lock();
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Sweep TU for header-only annotated code. The check-tsa gate analyzes the
+// annotated .cpp modules (obs/metrics, obs/trace, labeling/dataset,
+// core/kernels/dispatch) directly; ThreadPool lives entirely in a header and
+// its submit() is a template, which clang only analyzes on instantiation —
+// so this TU includes the header and forces an instantiation to pull the
+// whole pool (ctor, dtor, submit, worker_loop) through -Werror=thread-safety.
+#include "util/annotations.hpp"
+#include "util/thread_pool.hpp"
+
+int tsa_sweep_thread_pool() {
+  because::util::ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41; });
+  return fut.get() + static_cast<int>(pool.size());
+}

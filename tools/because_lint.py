@@ -38,6 +38,28 @@ Rules (see RULES below):
                     code goes through the dispatch table so every vector
                     kernel lives where the bit-identity contract and the
                     -ffp-contract=off compile flags are enforced.
+  unordered-digest  no range-for over a std::unordered_{map,set} anywhere in
+                    src/: iteration order is hash-seed and implementation
+                    dependent, so it must never feed digests, exports, or
+                    selection. Order-independent reductions (sums, medians,
+                    argmax with an explicit tie-break) and sorted-afterwards
+                    collection sites are allowlisted with a justification.
+  global-state      no mutable namespace-scope variables in src/ outside the
+                    allowlisted process-wide switches (contract mode, log
+                    level, obs enable flags): hidden globals couple runs and
+                    break the (topology, seed) determinism contract.
+  lock-scoped-call  no schedule_*()/submit() call while a MutexLock /
+                    lock_guard / unique_lock / scoped_lock is in scope: the
+                    callee may block on the pool or re-enter the lock; move
+                    the call after the lock scope closes (the thread pool's
+                    own notify-outside-the-lock discipline).
+
+The single-line rules are regexes. The last three need context — declared
+types, scope nesting, lock lifetimes — so they run through a clang AST
+backend (tools/because_lint_ast.py, over the static preset's
+compile_commands.json) when clang is available and degrade to conservative
+text scanners with identical rule ids, and one shared allowlist, when it is
+not. Select with --backend {auto,text,ast}; auto is the default.
 
 Deliberate exceptions live in tools/lint_allowlist.txt, one per line:
 
@@ -183,6 +205,148 @@ RULES = [
     },
 ]
 
+# ---------------------------------------------------------------------------
+# Scanner rules: context-sensitive checks the per-line regex table cannot
+# express. Each has a text implementation here (brace/paren tracking over the
+# stripped source — conservative, formatting-sensitive) and an AST-grade
+# implementation in because_lint_ast.py that replaces it when clang and a
+# compile_commands.json are available. Rule ids, directories, and allowlist
+# entries are shared between the two backends, so the two must agree on
+# semantics: unordered-digest deliberately uses FILE-WIDE name matching (a
+# range-for over any identifier declared with an unordered type anywhere in
+# the same file), which keeps text and AST verdicts — and therefore the
+# allowlist — identical at the cost of the occasional name-collision entry.
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+\.|\w+->)?(\w+)\s*\)")
+
+
+def scan_unordered_digest(text: str) -> list[int]:
+    names = set(UNORDERED_DECL_RE.findall(text))
+    if not names:
+        return []
+    hits = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        m = RANGE_FOR_RE.search(line)
+        if m and m.group(1) in names:
+            hits.append(line_no)
+    return hits
+
+
+GLOBAL_DECL_RE = re.compile(
+    r"^\s*(?:extern\s+|inline\s+|static\s+|thread_local\s+)*"
+    r"[A-Za-z_][\w:<>,.\s*&]*[\s&*]\s*[A-Za-z_]\w*\s*(?:=|\{|;)")
+GLOBAL_SKIP_RE = re.compile(
+    r"\b(const|constexpr|constinit|using|typedef|friend|template|operator"
+    r"|class|struct|union|enum|namespace|concept|requires|static_assert)\b"
+    r"|^\s*#|^\s*\}")
+NS_OPEN_RE = re.compile(r"\bnamespace\b[^;{}]*$")
+TYPE_OPEN_RE = re.compile(r"\b(class|struct|union|enum)\b[^;{}]*$")
+
+
+def scan_global_state(text: str) -> list[int]:
+    """Variable definitions at namespace scope that are not const/constexpr.
+
+    Tracks a brace-scope stack (namespace vs type vs other) plus running
+    paren depth, so class members, locals, and the parameter lines of
+    multi-line function declarations never match.
+    """
+    hits = []
+    stack: list[str] = []
+    paren = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        code = line.rstrip()
+        at_ns_scope = paren == 0 and all(s == "ns" for s in stack)
+        if (at_ns_scope and code.endswith(";") and "(" not in code
+                and GLOBAL_DECL_RE.search(code)
+                and not GLOBAL_SKIP_RE.search(code)):
+            hits.append(line_no)
+        for idx, ch in enumerate(line):
+            if ch == "(":
+                paren += 1
+            elif ch == ")":
+                paren = max(0, paren - 1)
+            elif ch == "{":
+                before = line[:idx]
+                if NS_OPEN_RE.search(before):
+                    stack.append("ns")
+                elif TYPE_OPEN_RE.search(before):
+                    stack.append("type")
+                else:
+                    stack.append("other")
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+    return hits
+
+
+LOCK_DECL_RE = re.compile(
+    r"\b(?:util::)?(?:MutexLock|lock_guard|unique_lock|scoped_lock)\b"
+    r"\s*(?:<[^;>]*>)?\s+\w+\s*[({]")
+LOCKED_CALL_RE = re.compile(
+    r"\bschedule_(?:at|in|event_\w+)\s*\(|(?:\.|->)\s*submit\s*\(")
+
+
+def scan_lock_scoped_call(text: str) -> list[int]:
+    """schedule()/submit() calls while a scoped lock is alive.
+
+    Records the brace depth at each lock declaration and retires it when its
+    enclosing block closes; any matching call in between is flagged.
+    """
+    hits = []
+    depth = 0
+    lock_depths: list[int] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if lock_depths and LOCKED_CALL_RE.search(line):
+            hits.append(line_no)
+        if LOCK_DECL_RE.search(line):
+            lock_depths.append(depth)
+        for ch in line:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while lock_depths and lock_depths[-1] > depth:
+                    lock_depths.pop()
+    return hits
+
+
+SCANNER_RULES = [
+    {
+        "id": "unordered-digest",
+        "dirs": ("src",),
+        "exclude": (),
+        "scan": scan_unordered_digest,
+        "message": "range-for over an unordered container: iteration order is "
+                   "hash-seed dependent and must never feed digests, exports, "
+                   "or selection (sort the keys first, or allowlist an "
+                   "order-independent reduction)",
+    },
+    {
+        "id": "global-state",
+        "dirs": ("src",),
+        "exclude": (),
+        "scan": scan_global_state,
+        "message": "mutable namespace-scope state: hidden globals couple runs "
+                   "and break (topology, seed) determinism (pass state "
+                   "explicitly, or allowlist a deliberate process-wide "
+                   "switch)",
+    },
+    {
+        "id": "lock-scoped-call",
+        "dirs": ("src",),
+        "exclude": (),
+        "scan": scan_lock_scoped_call,
+        "message": "schedule()/submit() while holding a lock: the callee may "
+                   "block or re-enter the lock (move the call after the lock "
+                   "scope closes)",
+    },
+]
+
+SCANNER_RULE_IDS = {r["id"] for r in SCANNER_RULES}
+
 SOURCE_SUFFIXES = (".cpp", ".hpp", ".h", ".cc")
 
 
@@ -250,29 +414,47 @@ class Violation:
                 f"{self.rule['message']}\n    {self.line_text.strip()}")
 
 
-def lint_text(rel_path: str, text: str) -> list[Violation]:
-    """Apply every applicable rule to one file's contents."""
+def rule_applies(rel_path: str, rule: dict) -> bool:
     # An exclude entry ending in "/" exempts the whole directory subtree;
     # other entries are exact file paths.
-    rules = [
-        r for r in RULES
-        if any(rel_path == d or rel_path.startswith(d + "/") for d in r["dirs"])
-        and not any(rel_path == e
-                    or (e.endswith("/") and rel_path.startswith(e))
-                    for e in r["exclude"])
-    ]
-    if not rules:
+    return (any(rel_path == d or rel_path.startswith(d + "/")
+                for d in rule["dirs"])
+            and not any(rel_path == e
+                        or (e.endswith("/") and rel_path.startswith(e))
+                        for e in rule["exclude"]))
+
+
+def lint_text(rel_path: str, text: str,
+              use_scanners: bool = True) -> list[Violation]:
+    """Apply every applicable rule to one file's contents.
+
+    `use_scanners=False` skips the context-sensitive SCANNER_RULES — used
+    when the AST backend supplies those three rules' verdicts instead.
+    """
+    rules = [r for r in RULES if rule_applies(rel_path, r)]
+    scanners = ([r for r in SCANNER_RULES if rule_applies(rel_path, r)]
+                if use_scanners else [])
+    if not rules and not scanners:
         return []
     stripped = strip_comments_and_strings(text)
     raw_lines = text.splitlines()
+
+    def original(line_no: int) -> str:
+        return raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+
     violations = []
     for line_no, line in enumerate(stripped.splitlines(), start=1):
         for rule in rules:
             if rule["id"] == "naked-new" and re.search(r"=\s*delete\s*[;,]", line):
                 continue  # deleted special member functions, not deallocation
             if rule["pattern"].search(line):
-                original = raw_lines[line_no - 1] if line_no <= len(raw_lines) else line
-                violations.append(Violation(rel_path, line_no, rule, original))
+                violations.append(
+                    Violation(rel_path, line_no, rule, original(line_no)))
+    for rule in scanners:
+        for line_no in rule["scan"](stripped):
+            violations.append(
+                Violation(rel_path, line_no, rule, original(line_no)))
+    violations.sort(key=lambda v: (v.line_no, v.rule["id"]))
     return violations
 
 
@@ -310,6 +492,41 @@ def apply_allowlist(violations: list[Violation],
     return kept
 
 
+def stale_message(entry: dict) -> str:
+    """One stale-allowlist diagnostic: always leads with the allowlist file
+    and line number so the rotten entry is a click away (the self-test pins
+    this format)."""
+    return (f"{entry['where']}: stale allowlist entry (matched nothing): "
+            f"{entry['rule']} | {entry['path']} | {entry['substring']}")
+
+
+def collect_ast_violations(root: Path, backend: str):
+    """AST-backend verdicts for the SCANNER_RULES as {(path, rule, line)}.
+
+    Returns None when the backend cannot run (no clang, no
+    compile_commands.json) and backend == "auto" — the caller then falls
+    back to the text scanners. With --backend ast, unavailability is a hard
+    usage error instead of a silent downgrade.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        import because_lint_ast
+    finally:
+        sys.path.pop(0)
+    clang = because_lint_ast.find_clang()
+    cdb = because_lint_ast.find_compile_commands(root)
+    if clang is None or cdb is None:
+        if backend == "ast":
+            missing = ("clang" if clang is None
+                       else "compile_commands.json (configure the `static` "
+                            "preset first)")
+            print(f"because-lint: --backend ast requested but {missing} is "
+                  f"unavailable", file=sys.stderr)
+            sys.exit(2)
+        return None
+    return because_lint_ast.collect_violations(root, clang, cdb)
+
+
 def iter_source_files(root: Path, paths: list[str]) -> list[Path]:
     if paths:
         candidates = []
@@ -325,12 +542,32 @@ def iter_source_files(root: Path, paths: list[str]) -> list[Path]:
             if p.is_file() and p.suffix in SOURCE_SUFFIXES]
 
 
-def run_lint(root: Path, paths: list[str], allowlist_path: Path) -> int:
+def run_lint(root: Path, paths: list[str], allowlist_path: Path,
+             backend: str = "auto") -> int:
     entries = load_allowlist(allowlist_path)
+    ast_hits = (collect_ast_violations(root, backend)
+                if backend != "text" else None)
     violations: list[Violation] = []
+    linted: dict[str, list[str]] = {}
     for path in iter_source_files(root, paths):
         rel = path.relative_to(root).as_posix()
-        violations.extend(lint_text(rel, path.read_text()))
+        text = path.read_text()
+        linted[rel] = text.splitlines()
+        violations.extend(lint_text(rel, text, use_scanners=ast_hits is None))
+    if ast_hits is not None:
+        # The AST backend owns the scanner rules for this run; graft its
+        # verdicts onto the files actually being linted (it sees every TU in
+        # compile_commands.json, which may be a superset of --paths).
+        rules_by_id = {r["id"]: r for r in SCANNER_RULES}
+        for rel, rule_id, line_no in sorted(ast_hits):
+            rule = rules_by_id.get(rule_id)
+            if rule is None or rel not in linted:
+                continue
+            if not rule_applies(rel, rule):
+                continue
+            lines = linted[rel]
+            line_text = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+            violations.append(Violation(rel, line_no, rule, line_text))
     violations = apply_allowlist(violations, entries)
 
     status = 0
@@ -339,11 +576,12 @@ def run_lint(root: Path, paths: list[str], allowlist_path: Path) -> int:
         status = 1
     for e in entries:
         if not e["used"]:
-            print(f"{e['where']}: stale allowlist entry (matched nothing): "
-                  f"{e['rule']} | {e['path']} | {e['substring']}")
+            print(stale_message(e))
             status = 1
     if status == 0:
-        print(f"because-lint: clean ({len(entries)} allowlisted exceptions)")
+        used_backend = "ast" if ast_hits is not None else "text"
+        print(f"because-lint: clean ({len(entries)} allowlisted exceptions, "
+              f"{used_backend} backend for context rules)")
     return status
 
 
@@ -351,10 +589,20 @@ def run_lint(root: Path, paths: list[str], allowlist_path: Path) -> int:
 # Self-test over tests/lint_fixtures/. Each fixture names the path it should
 # be linted as on its first line (`// lint-as: src/sim/whatever.cpp`); the
 # expected violations live in tests/lint_fixtures/expected.txt as
-# `fixture-file | rule | line`. Any mismatch — missed violation, spurious
-# violation, or a fixture that stopped parsing — fails the test, so the
-# linter cannot silently rot.
+# `fixture-file | rule | line`. A fixture may also carry
+# `// lint-allow: rule | substring` headers, which suppress matching
+# violations exactly the way a tools/lint_allowlist.txt entry would — the
+# allowlisted-negative half of each rule's fixture pair — and a lint-allow
+# that suppresses nothing fails the self-test just like a stale allowlist
+# entry fails the real lint. Any mismatch — missed violation, spurious
+# violation, stale lint-allow, or a fixture that stopped parsing — fails the
+# test, so the linter cannot silently rot. Fixtures always run through the
+# text backend: they are not translation units in compile_commands.json, and
+# the AST walker has its own canned-JSON self-test in because_lint_ast.py.
 # ---------------------------------------------------------------------------
+
+LINT_ALLOW_RE = re.compile(r"//\s*lint-allow:\s*([\w-]+)\s*\|\s*(.+)")
+
 
 def run_self_test(root: Path) -> int:
     fixtures_dir = root / "tests" / "lint_fixtures"
@@ -373,6 +621,7 @@ def run_self_test(root: Path) -> int:
 
     actual = set()
     fixture_count = 0
+    status = 0
     for path in sorted(fixtures_dir.glob("*.cpp")):
         fixture_count += 1
         text = path.read_text()
@@ -382,14 +631,34 @@ def run_self_test(root: Path) -> int:
             print(f"self-test: {path.name} lacks a '// lint-as:' header",
                   file=sys.stderr)
             return 2
-        for v in lint_text(m.group(1), text):
+        lint_as = m.group(1)
+        allow_entries = [
+            {"rule": am.group(1), "path": lint_as,
+             "substring": am.group(2).strip(), "used": False,
+             "where": f"{path.name} (lint-allow header)"}
+            for am in LINT_ALLOW_RE.finditer(text)
+        ]
+        kept = apply_allowlist(lint_text(lint_as, text), allow_entries)
+        for v in kept:
             actual.add((path.name, v.rule["id"], v.line_no))
+        for e in allow_entries:
+            if not e["used"]:
+                print(f"self-test: {stale_message(e)}")
+                status = 1
 
     if fixture_count == 0:
         print("self-test: no fixtures found", file=sys.stderr)
         return 2
 
-    status = 0
+    # Pin the stale-allowlist diagnostic format: it must lead with the
+    # allowlist file and line number, so a rotten entry is directly
+    # clickable. check.sh and humans both rely on this.
+    probe = {"rule": "raw-assert", "path": "src/x.cpp", "substring": "assert(",
+             "used": False, "where": "tools/lint_allowlist.txt:42"}
+    if not stale_message(probe).startswith("tools/lint_allowlist.txt:42: "):
+        print("self-test: stale_message no longer leads with the allowlist "
+              "file:line locator")
+        status = 1
     for missing in sorted(expected - actual):
         print(f"self-test: expected violation not reported: "
               f"{missing[0]} | {missing[1]} | line {missing[2]}")
@@ -415,13 +684,19 @@ def main() -> int:
                         help="lint the fixtures under tests/lint_fixtures and "
                              "compare against expected.txt")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--backend", choices=("auto", "text", "ast"),
+                        default="auto",
+                        help="engine for the context-sensitive rules: 'ast' "
+                             "requires clang + compile_commands.json, 'text' "
+                             "forces the conservative scanners, 'auto' "
+                             "(default) prefers ast and degrades to text")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint (default: src/)")
     args = parser.parse_args()
 
     root = Path(args.root).resolve()
     if args.list_rules:
-        for rule in RULES:
+        for rule in RULES + SCANNER_RULES:
             print(f"{rule['id']:18} dirs={','.join(rule['dirs'])}\n"
                   f"    {rule['message']}")
         return 0
@@ -429,7 +704,7 @@ def main() -> int:
         return run_self_test(root)
     allowlist = (Path(args.allowlist) if args.allowlist
                  else root / "tools" / "lint_allowlist.txt")
-    return run_lint(root, args.paths, allowlist)
+    return run_lint(root, args.paths, allowlist, args.backend)
 
 
 if __name__ == "__main__":

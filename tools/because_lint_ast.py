@@ -1,0 +1,431 @@
+#!/usr/bin/env python3
+"""because-lint AST backend: clang-AST-grade verdicts for the three
+context-sensitive rules (unordered-digest, global-state, lock-scoped-call).
+
+The text scanners in because_lint.py are conservative line scanners: they
+track braces and parens but cannot see through formatting (multi-line
+declarations, expressions split across lines, macro expansions). This
+backend asks clang for the real AST — `-Xclang -ast-dump=json
+-fsyntax-only` over every src/ translation unit in the static preset's
+compile_commands.json — and walks it:
+
+  unordered-digest  collect every VarDecl/FieldDecl whose type names an
+                    unordered container, then flag each CXXForRangeStmt whose
+                    range expression refers to one of those names. Name
+                    matching is deliberately FILE-WIDE, the same semantics as
+                    the text scanner, so the two backends agree and share one
+                    allowlist.
+  global-state      flag VarDecls whose lexical context is purely namespaces
+                    (translation unit included) and whose type is neither
+                    constexpr nor const-qualified.
+  lock-scoped-call  inside each CompoundStmt, once a DeclStmt declares a
+                    MutexLock / lock_guard / unique_lock / scoped_lock, every
+                    subsequent schedule_*()/.submit() call in that block (or
+                    nested blocks) is flagged.
+
+Verdicts are (repo-relative path, rule id, line) triples — the same
+coordinate space because_lint.py uses — restricted to files under src/, so
+system and third-party headers never surface.
+
+This module is also importable: because_lint.py --backend auto|ast calls
+find_clang()/find_compile_commands()/collect_violations(). Standalone:
+
+    because_lint_ast.py --root . [--self-test]
+
+--self-test walks the canned AST in tests/lint_fixtures/ast_canned.json —
+pure Python, no clang needed — so the walker logic stays testable on hosts
+where only GCC exists.
+
+Exit status: 0 = clean / self-test passed, 1 = violations found or self-test
+mismatch, 2 = usage/internal error (including clang unavailable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+CLANG_NAMES = (
+    "clang++-20", "clang++-19", "clang++-18", "clang++-17", "clang++-16",
+    "clang++-15", "clang++-14", "clang++", "clang",
+)
+
+UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+LOCK_TYPE_RE = re.compile(
+    r"\b(?:MutexLock|lock_guard|unique_lock|scoped_lock)\b")
+LOCKED_CALLEE_RE = re.compile(r"^schedule_(?:at|in|event_\w+)$")
+CONST_TYPE_RE = re.compile(r"\bconst\b")
+
+
+def find_clang(explicit: str = "") -> str | None:
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("BECAUSE_TSA_CLANG", "")
+    if env:
+        candidates.append(env)
+    candidates.extend(CLANG_NAMES)
+    for cand in candidates:
+        resolved = shutil.which(cand)
+        if resolved:
+            return resolved
+    return None
+
+
+def find_compile_commands(root: Path) -> Path | None:
+    """The static preset's database first (that is the gate this backend
+    serves), then any other configured tree."""
+    for build in ("build-static", "build", "build-release", "build-tsa"):
+        candidate = root / build / "compile_commands.json"
+        if candidate.exists():
+            return candidate
+    return None
+
+
+# ---------------------------------------------------------------------------
+# AST walking. clang's -ast-dump=json emits `loc` objects sparsely: `file`
+# and `line` appear only when they change relative to the previously printed
+# location, in document order — so the walker tracks both as mutable cursor
+# state while doing the same depth-first traversal clang used when printing.
+# ---------------------------------------------------------------------------
+
+NS_KINDS = {"TranslationUnitDecl", "NamespaceDecl", "LinkageSpecDecl"}
+TYPE_KINDS = {"CXXRecordDecl", "ClassTemplateDecl",
+              "ClassTemplateSpecializationDecl",
+              "ClassTemplatePartialSpecializationDecl", "EnumDecl"}
+FN_KINDS = {"FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+            "CXXDestructorDecl", "CXXConversionDecl", "FunctionTemplateDecl",
+            "LambdaExpr", "BlockDecl"}
+
+
+class Walker:
+    def __init__(self, src_prefix: str):
+        # Absolute path prefix (with trailing separator) that marks "our"
+        # source files; everything else (system headers) is ignored.
+        self.src_prefix = src_prefix
+        self.cur_file = ""
+        self.cur_line = 0
+        self.context: list[str] = []
+        self.unordered_names: dict[str, set[str]] = {}  # file -> names
+        self.range_fors: list[tuple[str, int, str]] = []  # file, line, name
+        self.hits: set[tuple[str, str, int]] = set()  # file, rule, line
+
+    def in_repo(self, file: str) -> bool:
+        return file.startswith(self.src_prefix)
+
+    def decode_loc(self, loc) -> tuple[str, int]:
+        """Advance the sparse-location cursor through one printed location
+        (clang omits `file`/`line` when unchanged from the previously printed
+        location) and return the resulting position. Macro locations print a
+        spellingLoc then an expansionLoc; the node lives at the expansion."""
+        if not isinstance(loc, dict):
+            return (self.cur_file, self.cur_line)
+        if "spellingLoc" in loc or "expansionLoc" in loc:
+            if "spellingLoc" in loc:
+                self.decode_loc(loc["spellingLoc"])
+            if "expansionLoc" in loc:
+                return self.decode_loc(loc["expansionLoc"])
+            return (self.cur_file, self.cur_line)
+        if "file" in loc:
+            self.cur_file = loc["file"]
+        if "line" in loc:
+            self.cur_line = loc["line"]
+        return (self.cur_file, self.cur_line)
+
+    def decode_node_pos(self, node: dict) -> tuple[str, int]:
+        """Process a node's printed locations in emission order (loc, then
+        range.begin, then range.end — range.end prints before the children
+        even though it is lexically after them) and return the node's own
+        position: loc for decls, range.begin for statements."""
+        pos = None
+        if "loc" in node:
+            pos = self.decode_loc(node["loc"])
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            begin_pos = self.decode_loc(rng.get("begin", {}))
+            if pos is None:
+                pos = begin_pos
+            self.decode_loc(rng.get("end", {}))
+        return pos if pos is not None else (self.cur_file, self.cur_line)
+
+    @staticmethod
+    def qual_type(node: dict) -> str:
+        return node.get("type", {}).get("qualType", "")
+
+    def first_referenced_name(self, node: dict) -> str | None:
+        """First DeclRefExpr/MemberExpr name in a subtree, document order —
+        used to answer 'what does this range-for iterate over'."""
+        kind = node.get("kind")
+        if kind == "MemberExpr" and node.get("name"):
+            return node["name"]
+        if kind == "DeclRefExpr":
+            name = node.get("referencedDecl", {}).get("name")
+            if name:
+                return name
+        for child in node.get("inner", []) or []:
+            if not isinstance(child, dict):
+                continue
+            found = self.first_referenced_name(child)
+            if found:
+                return found
+        return None
+
+    def callee_name(self, node: dict) -> str | None:
+        kind = node.get("kind")
+        inner = node.get("inner", []) or []
+        if kind == "CXXMemberCallExpr":
+            # inner[0] is the member-access expression (possibly wrapped).
+            return (self.first_member_name(inner[0]) if inner else None)
+        if kind == "CallExpr":
+            return self.first_referenced_name(inner[0]) if inner else None
+        return None
+
+    def first_member_name(self, node: dict) -> str | None:
+        if node.get("kind") == "MemberExpr" and node.get("name"):
+            return node["name"]
+        for child in node.get("inner", []) or []:
+            if isinstance(child, dict):
+                found = self.first_member_name(child)
+                if found:
+                    return found
+        return None
+
+    def note_unordered_decl(self, node: dict, file: str) -> None:
+        name = node.get("name")
+        if name and UNORDERED_TYPE_RE.search(self.qual_type(node)):
+            self.unordered_names.setdefault(file, set()).add(name)
+
+    def visit(self, node, locked: bool) -> None:
+        if not isinstance(node, dict) or not node:
+            return
+        kind = node.get("kind", "")
+        file, line = self.decode_node_pos(node)
+
+        if kind in ("VarDecl", "FieldDecl"):
+            self.note_unordered_decl(node, file)
+        if (kind == "VarDecl" and self.in_repo(file)
+                and not node.get("isImplicit", False)
+                and all(c == "ns" for c in self.context)
+                and not node.get("constexpr", False)
+                and not CONST_TYPE_RE.search(self.qual_type(node))):
+            self.hits.add((file, "global-state", line))
+
+        if kind == "CXXForRangeStmt" and self.in_repo(file):
+            name = self.range_target_name(node)
+            if name:
+                self.range_fors.append((file, line, name))
+
+        if locked and kind in ("CallExpr", "CXXMemberCallExpr") \
+                and self.in_repo(file):
+            callee = self.callee_name(node)
+            if callee and (LOCKED_CALLEE_RE.match(callee)
+                           or (callee == "submit"
+                               and kind == "CXXMemberCallExpr")):
+                self.hits.add((file, "lock-scoped-call", line))
+
+        if kind == "CompoundStmt":
+            # Statement order matters: a lock declared mid-block only guards
+            # what follows it.
+            block_locked = locked
+            for child in node.get("inner", []) or []:
+                if not isinstance(child, dict):
+                    continue
+                self.visit(child, block_locked)
+                if child.get("kind") == "DeclStmt" and any(
+                        isinstance(d, dict) and d.get("kind") == "VarDecl"
+                        and LOCK_TYPE_RE.search(self.qual_type(d))
+                        for d in child.get("inner", []) or []):
+                    block_locked = True
+            return
+
+        pushed = False
+        if kind in NS_KINDS or kind in TYPE_KINDS or kind in FN_KINDS:
+            self.context.append(
+                "ns" if kind in NS_KINDS else
+                "type" if kind in TYPE_KINDS else "fn")
+            pushed = True
+        # A new function body never inherits a caller's lock scope.
+        child_locked = False if kind in FN_KINDS else locked
+        for child in node.get("inner", []) or []:
+            self.visit(child, child_locked)
+        if pushed:
+            self.context.pop()
+
+    def range_target_name(self, node: dict) -> str | None:
+        """The identifier a range-for iterates: the init of its synthesized
+        __range1 variable (first DeclStmt when clang ever renames it)."""
+        decl_stmts = [c for c in node.get("inner", []) or []
+                      if isinstance(c, dict) and c.get("kind") == "DeclStmt"]
+        chosen = None
+        for stmt in decl_stmts:
+            for d in stmt.get("inner", []) or []:
+                if isinstance(d, dict) and d.get("kind") == "VarDecl" \
+                        and d.get("name", "").startswith("__range"):
+                    chosen = d
+                    break
+            if chosen:
+                break
+        if chosen is None and decl_stmts:
+            chosen = next((d for d in decl_stmts[0].get("inner", []) or []
+                           if isinstance(d, dict)
+                           and d.get("kind") == "VarDecl"), None)
+        return self.first_referenced_name(chosen) if chosen else None
+
+    def finish(self) -> set[tuple[str, str, int]]:
+        for file, line, name in self.range_fors:
+            if name in self.unordered_names.get(file, set()):
+                self.hits.add((file, "unordered-digest", line))
+        return self.hits
+
+
+def walk_tu(ast: dict, src_prefix: str) -> set[tuple[str, str, int]]:
+    walker = Walker(src_prefix)
+    walker.visit(ast, locked=False)
+    return walker.finish()
+
+
+# ---------------------------------------------------------------------------
+# Driving clang over compile_commands.json.
+# ---------------------------------------------------------------------------
+
+def tu_arguments(entry: dict) -> list[str]:
+    args = entry.get("arguments")
+    if not args:
+        args = shlex.split(entry.get("command", ""))
+    # Drop the original compiler, any output spec, and the compile flag —
+    # we re-run with clang in syntax-only AST-dump mode.
+    out: list[str] = []
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a == "-o":
+            skip_next = True
+            continue
+        if a in ("-c", "-MD", "-MMD") or a.startswith(("-MF", "-MT", "-MQ")):
+            continue
+        out.append(a)
+    return out
+
+
+def ast_for_tu(clang: str, entry: dict) -> dict | None:
+    cmd = ([clang] + tu_arguments(entry)
+           + ["-fsyntax-only", "-Wno-everything",
+              "-Xclang", "-ast-dump=json"])
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=entry.get("directory", "."))
+    if proc.returncode != 0 or not proc.stdout:
+        print(f"because-lint-ast: clang failed on {entry.get('file')}:\n"
+              f"{proc.stderr[:2000]}", file=sys.stderr)
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        print(f"because-lint-ast: unparseable AST for {entry.get('file')}: "
+              f"{err}", file=sys.stderr)
+        return None
+
+
+def collect_violations(root: Path, clang: str,
+                       cdb_path: Path) -> set[tuple[str, str, int]]:
+    """All (repo-relative path, rule, line) verdicts across src/ TUs."""
+    root = root.resolve()
+    src_prefix = str(root / "src") + os.sep
+    entries = json.loads(cdb_path.read_text())
+    seen_files: set[str] = set()
+    hits: set[tuple[str, str, int]] = set()
+    for entry in entries:
+        file = entry.get("file", "")
+        abs_file = str((Path(entry.get("directory", ".")) / file).resolve()
+                       if not Path(file).is_absolute() else Path(file))
+        if not abs_file.startswith(src_prefix) or abs_file in seen_files:
+            continue
+        seen_files.add(abs_file)
+        ast = ast_for_tu(clang, entry)
+        if ast is None:
+            continue
+        hits |= walk_tu(ast, src_prefix)
+    return {(str(Path(f).resolve().relative_to(root)), rule, line)
+            for f, rule, line in hits}
+
+
+# ---------------------------------------------------------------------------
+# Canned-AST self-test: exercises the walker without clang. The fixture JSON
+# mirrors the shapes -ast-dump=json emits (sparse locs, __range1 synthesis,
+# member-call wrapping); expected verdicts live right here so walker and
+# expectations move together.
+# ---------------------------------------------------------------------------
+
+CANNED_FIXTURE = "tests/lint_fixtures/ast_canned.json"
+
+CANNED_EXPECTED = {
+    ("/repo/src/demo/canned.cpp", "global-state", 3),
+    ("/repo/src/demo/canned.cpp", "unordered-digest", 12),
+    ("/repo/src/demo/canned.cpp", "lock-scoped-call", 18),
+    ("/repo/src/demo/canned.cpp", "lock-scoped-call", 19),
+}
+
+
+def run_self_test(root: Path) -> int:
+    fixture = root / CANNED_FIXTURE
+    if not fixture.exists():
+        print(f"self-test: {fixture} missing", file=sys.stderr)
+        return 2
+    ast = json.loads(fixture.read_text())
+    actual = walk_tu(ast, "/repo/src/")
+    status = 0
+    for missing in sorted(CANNED_EXPECTED - actual):
+        print(f"self-test: expected verdict not produced: {missing}")
+        status = 1
+    for spurious in sorted(actual - CANNED_EXPECTED):
+        print(f"self-test: unexpected verdict produced: {spurious}")
+        status = 1
+    if status == 0:
+        print(f"because-lint-ast self-test: walker produced all "
+              f"{len(CANNED_EXPECTED)} expected verdicts, no extras")
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--clang", default="",
+                        help="clang++ binary (default: probe)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json (default: probe "
+                             "build-static/, build/, build-release/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="walk the canned AST fixture; needs no clang")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    if args.self_test:
+        return run_self_test(root)
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print("because-lint-ast: no clang++ available", file=sys.stderr)
+        return 2
+    cdb = (Path(args.compile_commands) if args.compile_commands
+           else find_compile_commands(root))
+    if cdb is None:
+        print("because-lint-ast: no compile_commands.json found (configure "
+              "the `static` preset first)", file=sys.stderr)
+        return 2
+    hits = collect_violations(root, clang, cdb)
+    for file, rule, line in sorted(hits):
+        print(f"{file}:{line}: [{rule}]")
+    return 1 if hits else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_gate.py: pins every exit path of the gate.
+
+The gate is the last line of defence for the repo's perf trajectory, so its
+*own* behaviour has to be pinned: a gate that silently returns 0 on malformed
+input or a dropped record is worse than no gate. Each case below runs
+bench_gate.py as a subprocess on synthetic BENCH json pairs and asserts the
+exact exit status plus the decisive line of output:
+
+  0  fresh within tolerance (ns, allocs, and obs ceiling all ok)
+  1  ns_per_op regression beyond --ns-tolerance
+  1  record present in the baseline but missing from the fresh file
+  1  allocs_per_op field dropped out of the fresh record
+  1  ObsOverhead ratio above the absolute --obs-tolerance ceiling
+  0  new fresh-only benchmark is a note, not a failure
+  2  malformed json / missing benchmarks array / unpaired flags
+
+Run directly (`python3 tools/bench_gate_test.py`) or via the
+`bench_gate_selftest` ctest (label: static).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+GATE = Path(__file__).resolve().parent / "bench_gate.py"
+
+
+def bench_file(directory: Path, name: str, records: list[dict]) -> Path:
+    path = directory / name
+    path.write_text(json.dumps({"benchmarks": records}))
+    return path
+
+
+def run_gate(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(GATE), *args],
+        capture_output=True, text=True, check=False)
+
+
+class BenchGateExitPaths(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory(prefix="bench_gate_test_")
+        self.dir = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def gate(self, baseline: list[dict], fresh: list[dict],
+             *extra: str) -> subprocess.CompletedProcess:
+        base = bench_file(self.dir, "baseline.json", baseline)
+        cur = bench_file(self.dir, "fresh.json", fresh)
+        return run_gate("--baseline", str(base), "--fresh", str(cur), *extra)
+
+    def test_within_tolerance_is_clean(self) -> None:
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0, "allocs_per_op": 4.0},
+             {"name": "BM_ObsOverhead", "ns_per_op": 1.01}],
+            [{"name": "BM_Sim", "ns_per_op": 120.0, "allocs_per_op": 4.0},
+             {"name": "BM_ObsOverhead", "ns_per_op": 1.02}])
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("bench_gate: clean", result.stdout)
+
+    def test_ns_regression_fails(self) -> None:
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            [{"name": "BM_Sim", "ns_per_op": 200.0}])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL BM_Sim: ns_per_op", result.stdout)
+
+    def test_missing_record_fails(self) -> None:
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_Gone", "ns_per_op": 50.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0}])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL BM_Gone: missing", result.stdout)
+
+    def test_dropped_allocs_field_fails(self) -> None:
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0, "allocs_per_op": 4.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0}])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("allocs_per_op missing", result.stdout)
+
+    def test_alloc_regression_fails(self) -> None:
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0, "allocs_per_op": 4.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0, "allocs_per_op": 9.0}])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL BM_Sim: allocs_per_op", result.stdout)
+
+    def test_obs_ceiling_is_absolute(self) -> None:
+        # Baseline ratio is irrelevant: only the fresh value vs the ceiling.
+        result = self.gate(
+            [{"name": "BM_ObsOverhead", "ns_per_op": 1.20}],
+            [{"name": "BM_ObsOverhead", "ns_per_op": 1.10}])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("absolute ceiling", result.stdout)
+
+    def test_speedup_records_are_skipped(self) -> None:
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_Speedup_avx2", "ns_per_op": 3.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_Speedup_avx2", "ns_per_op": 0.5}])
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_fresh_only_benchmark_is_a_note(self) -> None:
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_New", "ns_per_op": 1.0}])
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("note BM_New: new benchmark", result.stdout)
+
+    def test_malformed_json_is_usage_error(self) -> None:
+        base = bench_file(self.dir, "baseline.json",
+                          [{"name": "BM_Sim", "ns_per_op": 1.0}])
+        broken = self.dir / "broken.json"
+        broken.write_text("{not json")
+        result = run_gate("--baseline", str(base), "--fresh", str(broken))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("cannot read", result.stderr)
+
+    def test_missing_benchmarks_array_is_usage_error(self) -> None:
+        base = bench_file(self.dir, "baseline.json",
+                          [{"name": "BM_Sim", "ns_per_op": 1.0}])
+        empty = self.dir / "empty.json"
+        empty.write_text("{}")
+        result = run_gate("--baseline", str(base), "--fresh", str(empty))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("no 'benchmarks' array", result.stderr)
+
+    def test_unpaired_flags_are_usage_error(self) -> None:
+        base = bench_file(self.dir, "a.json",
+                          [{"name": "BM_Sim", "ns_per_op": 1.0}])
+        result = run_gate("--baseline", str(base), "--fresh", str(base),
+                          "--baseline", str(base))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("must be paired", result.stderr)
+
+    def test_no_gateable_records_is_usage_error(self) -> None:
+        # A baseline of nothing but Speedup ratios gates zero records; a
+        # silent 0 here would mean the gate can be disarmed by accident.
+        result = self.gate(
+            [{"name": "BM_Speedup_avx2", "ns_per_op": 3.0}],
+            [{"name": "BM_Speedup_avx2", "ns_per_op": 3.0}])
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("no gateable records", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""tsa_check: drive clang's thread-safety analysis over one source file.
+
+Two jobs, selected by --expect:
+
+  --expect pass   the file must compile with ZERO -Wthread-safety
+                  diagnostics (the annotated-module sweep: thread pool,
+                  obs registry/tracer, dataset caches, kernel dispatch).
+  --expect fail   the file must FAIL to compile under
+                  -Werror=thread-safety, and its stderr must contain every
+                  `// tsa-expect: <substring>` annotation in the fixture
+                  (the negative-compile harness: the gate itself is
+                  regression-tested).
+
+The compilation runs through a CMake try_compile harness
+(tests/tsa_fixtures/CMakeLists.txt) configured with clang as the compiler,
+so the check exercises the exact attribute-expansion path the tsa preset
+documents rather than a hand-rolled flag set.
+
+GCC cannot run the analysis (the BECAUSE_* annotation macros expand to
+nothing there), so when no clang++ binary exists this script exits 77 —
+registered as SKIP_RETURN_CODE with ctest — and the gate degrades
+gracefully, mirroring the clang-tidy probe in the static gate.
+
+Exit status: 0 = expectation met, 1 = expectation violated,
+2 = usage/internal error, 77 = no clang available (skip).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SKIP_EXIT = 77
+
+# Versioned names first so a bare `clang` symlink to something ancient never
+# shadows a real installation; clang >= 11 has every attribute we emit.
+CLANG_NAMES = (
+    "clang++-20", "clang++-19", "clang++-18", "clang++-17", "clang++-16",
+    "clang++-15", "clang++-14", "clang++", "clang",
+)
+
+
+def find_clang(explicit: str) -> str | None:
+    """Resolve a usable clang++: --clang flag, then env, then PATH probe."""
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("BECAUSE_TSA_CLANG", "")
+    if env:
+        candidates.append(env)
+    candidates.extend(CLANG_NAMES)
+    for cand in candidates:
+        resolved = shutil.which(cand)
+        if resolved:
+            return resolved
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--source", required=True,
+                        help="source file to analyze (absolute, or relative "
+                             "to --root)")
+    parser.add_argument("--expect", required=True, choices=("pass", "fail"),
+                        help="pass = zero thread-safety diagnostics; fail = "
+                             "must not compile, with the fixture's "
+                             "tsa-expect diagnostics present")
+    parser.add_argument("--clang", default="",
+                        help="clang++ binary (default: $BECAUSE_TSA_CLANG, "
+                             "then a PATH probe; absent => exit 77 / skip)")
+    parser.add_argument("--cmake", default="cmake",
+                        help="cmake binary driving the try_compile harness")
+    parser.add_argument("--root", default=str(Path(__file__).resolve().parent.parent),
+                        help="repository root (default: deduced from this "
+                             "script's location)")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    source = Path(args.source)
+    if not source.is_absolute():
+        source = root / source
+    if not source.exists():
+        print(f"tsa_check: source not found: {source}", file=sys.stderr)
+        return 2
+    harness = root / "tests" / "tsa_fixtures"
+    if not (harness / "CMakeLists.txt").exists():
+        print(f"tsa_check: harness missing: {harness}/CMakeLists.txt",
+              file=sys.stderr)
+        return 2
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print("tsa_check: no clang++ on PATH — thread-safety analysis "
+              "skipped (GCC expands the annotations to nothing); install "
+              "clang to arm the check-tsa gate")
+        return SKIP_EXIT
+
+    with tempfile.TemporaryDirectory(prefix="tsa_check.") as tmp:
+        cmd = [
+            args.cmake,
+            "-S", str(harness),
+            "-B", tmp,
+            f"-DCMAKE_CXX_COMPILER={clang}",
+            f"-DTSA_SOURCE={source}",
+            f"-DTSA_EXPECT={args.expect}",
+            f"-DBECAUSE_SRC={root / 'src'}",
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            print(f"tsa_check: FAILED ({args.expect}-expectation violated) "
+                  f"for {source.relative_to(root)} with {clang}")
+            return 1
+    print(f"tsa_check: ok ({args.expect}) {source.relative_to(root)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
