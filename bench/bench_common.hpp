@@ -76,9 +76,22 @@ inline constexpr double kHeuristicThreshold = 0.7;
 /// One micro-benchmark measurement destined for a machine-readable BENCH
 /// JSON file. Perf PRs record before/after from these files, so every
 /// future optimisation has a trajectory to compare against.
+///
+/// Unit contract for ns_per_op: the "op" is the record's natural work unit,
+/// and two records may only be compared (by a human or by a *Speedup ratio)
+/// when they share it. Three units are in use:
+///   - one kernel iteration (BM_LogLikelihood, BM_Posterior, ...);
+///   - one executed simulator event (BM_EventEngine, BM_SimNetwork,
+///     BM_Campaign, BM_ShardedSim — comparison pairs run identical event
+///     counts, so per-event ratios equal wall-clock ratios);
+///   - one whole campaign run (BM_WarmStart/*: iterations = 1, because the
+///     dynamic and static modes execute different event counts by design,
+///     so only the wall-campaign denominator compares them fairly).
+/// Derived *Speedup records store the wall-clock ratio of their two inputs
+/// in ns_per_op; *ObsOverhead records store the obs-on/obs-off cost ratio.
 struct KernelBenchRecord {
   std::string name;              ///< e.g. "BM_LogLikelihood/1024"
-  double ns_per_op = 0.0;        ///< wall-clock ns per iteration
+  double ns_per_op = 0.0;        ///< wall-clock ns per op (see unit contract)
   double items_per_second = 0.0; ///< 0 when the bench reports no items
   long long iterations = 0;
   /// Heap allocations per iteration; negative when the bench binary does not

@@ -17,30 +17,86 @@ std::uint64_t link_key(topology::AsId a, topology::AsId b) {
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
 
+sim::EventQueue& first_queue(const NetworkShards& shards) {
+  if (shards.queues.empty() || shards.queues[0] == nullptr)
+    throw std::invalid_argument("Network: sharded ctor needs >= 1 queue");
+  return *shards.queues[0];
+}
+
+/// Per-session key for the hashed-jitter stream: a splitmix64 finalizer over
+/// (network seed, sender, receiver), forced nonzero. A pure function of the
+/// session's identity, so the stream is identical at every shard count.
+std::uint64_t session_jitter_key(std::uint64_t seed, topology::AsId local,
+                                 topology::AsId remote) {
+  std::uint64_t z =
+      seed ^ (static_cast<std::uint64_t>(local) << 32) ^ remote;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z | 1;
+}
+
 }  // namespace
 
 Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
                  sim::EventQueue& queue, stats::Rng& rng,
                  std::shared_ptr<topology::PathTable> paths)
     : graph_(graph), config_(config), queue_(queue), paths_(std::move(paths)) {
-  if (config_.min_link_delay < 0 || config_.max_link_delay < config_.min_link_delay)
-    throw std::invalid_argument("Network: bad link delay range");
   if (paths_ == nullptr) paths_ = std::make_shared<topology::PathTable>();
+  shard_queues_.push_back(&queue_);
+  shard_tables_.push_back(paths_);
+  build(rng);
+}
+
+Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
+                 const NetworkShards& shards, stats::Rng& rng)
+    : graph_(graph),
+      config_(config),
+      queue_(first_queue(shards)),
+      paths_(shards.tables.empty() ? nullptr : shards.tables[0]) {
+  if (shards.tables.size() != shards.queues.size())
+    throw std::invalid_argument("Network: shard queue/table count mismatch");
+  for (std::size_t s = 0; s < shards.queues.size(); ++s) {
+    if (shards.queues[s] == nullptr || shards.tables[s] == nullptr)
+      throw std::invalid_argument("Network: null shard queue or table");
+  }
+  shard_queues_ = shards.queues;
+  shard_tables_ = shards.tables;
+  shard_of_ = shards.shard_of;
+  sharded_ = true;
+  build(rng);
+}
+
+void Network::build(stats::Rng& rng) {
+  if (config_.min_link_delay < 0 ||
+      config_.max_link_delay < config_.min_link_delay)
+    throw std::invalid_argument("Network: bad link delay range");
 
   // Create routers in ascending AS order; the sorted id list doubles as the
-  // dense-index directory.
-  ids_ = graph.as_ids();
+  // dense-index directory. Each router lives on its shard's queue and table.
+  ids_ = graph_.as_ids();
+  if (shard_of_.empty()) shard_of_.assign(ids_.size(), 0);
+  if (shard_of_.size() != ids_.size())
+    throw std::invalid_argument("Network: shard_of size != AS count");
+  for (const std::uint32_t s : shard_of_) {
+    if (s >= shard_queues_.size())
+      throw std::invalid_argument("Network: shard_of entry out of range");
+  }
   routers_.reserve(ids_.size());
-  for (topology::AsId id : ids_)
-    routers_.push_back(std::make_unique<Router>(id, queue_, *paths_,
-                                                config_.rib_backend));
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    const std::uint32_t s = shard_of_[i];
+    routers_.push_back(std::make_unique<Router>(
+        ids_[i], *shard_queues_[s], *shard_tables_[s], config_.rib_backend));
+  }
+  delivery_slabs_.resize(shard_queues_.size());
 
   // Draw one delay per undirected link. The iteration order (sorted ids, then
   // adjacency order) is the replay contract: a (topology, seed) pair must
-  // yield the same delays regardless of how the delays are stored.
+  // yield the same delays regardless of how the delays are stored — and
+  // regardless of the shard count.
   std::unordered_map<std::uint64_t, sim::Duration> drawn;
   for (topology::AsId id : ids_) {
-    for (const topology::Neighbor& nb : graph.neighbors(id)) {
+    for (const topology::Neighbor& nb : graph_.neighbors(id)) {
       const std::uint64_t key = link_key(id, nb.id);
       if (drawn.count(key) == 0) {
         drawn[key] = rng.uniform_int(config_.min_link_delay,
@@ -48,6 +104,10 @@ Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
       }
     }
   }
+  // Sharded jitter draws come from per-session hash streams seeded here (one
+  // extra draw the serial constructor never makes; serial jitter keeps
+  // drawing from `rng` at runtime for byte-compatibility with old traces).
+  if (sharded()) jitter_seed_ = rng.engine()();
 
   // Flatten the delays into a CSR table over dense indices, each row sorted
   // by destination for binary-searched lookup.
@@ -55,14 +115,17 @@ Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     link_offsets_[i + 1] =
         link_offsets_[i] +
-        static_cast<std::uint32_t>(graph.neighbors(ids_[i]).size());
+        static_cast<std::uint32_t>(graph_.neighbors(ids_[i]).size());
   }
   links_.resize(link_offsets_.back());
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     std::size_t off = link_offsets_[i];
-    for (const topology::Neighbor& nb : graph.neighbors(ids_[i])) {
-      links_[off++] =
-          Link{dense_index(nb.id), drawn.at(link_key(ids_[i], nb.id))};
+    for (const topology::Neighbor& nb : graph_.neighbors(ids_[i])) {
+      const std::uint32_t to = dense_index(nb.id);
+      const sim::Duration delay = drawn.at(link_key(ids_[i], nb.id));
+      links_[off++] = Link{to, delay};
+      if (shard_of_[i] != shard_of_[to])
+        min_cut_delay_ = std::min(min_cut_delay_, delay);
     }
     BECAUSE_ASSERT(off == link_offsets_[i + 1],
                    "CSR row " << i << " filled " << off << " links, offsets say "
@@ -81,15 +144,23 @@ Network::Network(const topology::AsGraph& graph, const NetworkConfig& config,
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     Router& local = *routers_[i];
     const topology::AsId local_id = ids_[i];
-    for (const topology::Neighbor& nb : graph.neighbors(local_id)) {
+    const auto from_index = static_cast<std::uint32_t>(i);
+    for (const topology::Neighbor& nb : graph_.neighbors(local_id)) {
       const std::uint32_t to = dense_index(nb.id);
       const sim::Duration delay = drawn.at(link_key(local_id, nb.id));
-      local.connect(nb.id, nb.relation, config_.mrai,
-                    config_.mrai_on_withdrawals,
-                    [this, to, local_id, delay](const Update& update) {
-                      deliver_in(delay, to, local_id, update);
-                    },
-                    &rng, config_.mrai_jitter);
+      auto send = [this, to, from_index, delay](const Update& update) {
+        deliver_in(delay, to, from_index, update);
+      };
+      if (sharded()) {
+        local.connect(nb.id, nb.relation, config_.mrai,
+                      config_.mrai_on_withdrawals, std::move(send), nullptr,
+                      config_.mrai_jitter,
+                      session_jitter_key(jitter_seed_, local_id, nb.id));
+      } else {
+        local.connect(nb.id, nb.relation, config_.mrai,
+                      config_.mrai_on_withdrawals, std::move(send), &rng,
+                      config_.mrai_jitter);
+      }
     }
   }
 }
@@ -106,51 +177,102 @@ std::uint32_t Network::dense_index(topology::AsId id) const {
   return static_cast<std::uint32_t>(index);
 }
 
+std::uint32_t Network::alloc_slot(DeliverySlab& slab) {
+  if (!slab.free.empty()) {
+    const std::uint32_t slot = slab.free.back();
+    slab.free.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slab.slots.size());
+  slab.slots.emplace_back();
+  return slot;
+}
+
 void Network::deliver_in(sim::Duration delay, std::uint32_t to_index,
-                         topology::AsId from, const Update& update) {
+                         std::uint32_t from_index, const Update& update) {
   if (queue_.backend() == sim::EngineBackend::kFunctionHeap) {
     // Reference path: capture the Update by value in a per-message closure,
     // exactly like the pre-calendar engine. Keeps bench_sim's "before"
     // measurement honest about the allocation cost the slab removes.
     Router* to = routers_[to_index].get();
+    const topology::AsId from = ids_[from_index];
     queue_.schedule_in(delay, [to, from, update] { to->receive(from, update); });
     return;
   }
-  std::uint32_t slot;
-  if (!free_deliveries_.empty()) {
-    slot = free_deliveries_.back();
-    free_deliveries_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(deliveries_.size());
-    deliveries_.emplace_back();
+  const std::uint32_t src = shard_of_[from_index];
+  std::uint32_t shard = src;
+  if (sharded() && !shard_queues_[src]->in_round()) {
+    // Setup or between rounds: the whole system is single-threaded, so the
+    // event may be placed directly where it will execute. (In-round sends
+    // stay on the sender's shard: same-shard ones execute locally, and
+    // cross-shard ones land at or beyond the horizon, get captured, and are
+    // moved by translate_capture at the merge.)
+    shard = shard_of_[to_index];
   }
-  PendingDelivery& pending = deliveries_[slot];
-  pending.to = routers_[to_index].get();
-  pending.from = from;
+  DeliverySlab& slab = delivery_slabs_[shard];
+  const std::uint32_t slot = alloc_slot(slab);
+  PendingDelivery& pending = slab.slots[slot];
+  pending.to_index = to_index;
+  pending.from = ids_[from_index];
   pending.update = update;
-  queue_.schedule_event_in(delay, sim::EventKind::kBgpDelivery,
-                           &Network::delivery_event, this, slot);
+  if (shard != src) {
+    pending.update.path =
+        shard_tables_[shard]->intern(shard_tables_[src]->span(update.path));
+  }
+  shard_queues_[shard]->schedule_event_in(delay, sim::EventKind::kBgpDelivery,
+                                          &Network::delivery_event, this, slot,
+                                          shard);
 }
 
 void Network::delivery_event(sim::EventQueue& /*queue*/, void* ctx,
-                             std::uint64_t a, std::uint64_t /*b*/) {
-  static_cast<Network*>(ctx)->on_delivery(static_cast<std::uint32_t>(a));
+                             std::uint64_t a, std::uint64_t b) {
+  static_cast<Network*>(ctx)->on_delivery(static_cast<std::uint32_t>(b),
+                                          static_cast<std::uint32_t>(a));
 }
 
-void Network::on_delivery(std::uint32_t slot) {
-  BECAUSE_ASSERT(slot < deliveries_.size() && deliveries_[slot].to != nullptr,
+void Network::on_delivery(std::uint32_t shard, std::uint32_t slot) {
+  BECAUSE_ASSERT(shard < delivery_slabs_.size(),
+                 "delivery slab " << shard << " out of range ("
+                                  << delivery_slabs_.size() << " slabs)");
+  DeliverySlab& slab = delivery_slabs_[shard];
+  BECAUSE_ASSERT(slot < slab.slots.size() &&
+                     slab.slots[slot].to_index != kFreeSlot,
                  "delivery slot " << slot << " out of range or already freed ("
-                                  << deliveries_.size() << " slots)");
+                                  << slab.slots.size() << " slots)");
   // Copy the payload out and free the slot *before* receive(): the receive
   // cascade schedules further deliveries, which may reuse this slot or grow
   // the slab.
-  PendingDelivery& pending = deliveries_[slot];
-  Router* to = pending.to;
+  PendingDelivery& pending = slab.slots[slot];
+  Router* to = routers_[pending.to_index].get();
   const topology::AsId from = pending.from;
   const Update update = pending.update;
-  pending.to = nullptr;  // marks the slot free for the contract above
-  free_deliveries_.push_back(slot);
+  pending.to_index = kFreeSlot;  // marks the slot free for the contract above
+  slab.free.push_back(slot);
   to->receive(from, update);
+}
+
+std::uint32_t Network::translate_capture(std::uint32_t src_shard,
+                                         sim::EventQueue::CapturedEvent& cap) {
+  if (cap.fn != &Network::delivery_event || cap.ctx != this) return src_shard;
+  DeliverySlab& src_slab = delivery_slabs_[src_shard];
+  const auto slot = static_cast<std::uint32_t>(cap.a);
+  BECAUSE_ASSERT(slot < src_slab.slots.size() &&
+                     src_slab.slots[slot].to_index != kFreeSlot,
+                 "captured delivery slot " << slot << " invalid in slab "
+                                           << src_shard);
+  const std::uint32_t dst = shard_of_[src_slab.slots[slot].to_index];
+  if (dst == src_shard) return src_shard;
+  PendingDelivery pending = src_slab.slots[slot];
+  src_slab.slots[slot].to_index = kFreeSlot;
+  src_slab.free.push_back(slot);
+  pending.update.path = shard_tables_[dst]->intern(
+      shard_tables_[src_shard]->span(pending.update.path));
+  DeliverySlab& dst_slab = delivery_slabs_[dst];
+  const std::uint32_t new_slot = alloc_slot(dst_slab);
+  dst_slab.slots[new_slot] = pending;
+  cap.a = new_slot;
+  cap.b = dst;
+  return dst;
 }
 
 Router& Network::router(topology::AsId id) {

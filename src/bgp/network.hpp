@@ -10,9 +10,20 @@
 // (destination, sender, Update) is slab-allocated and recycled, so the per-
 // message cost is a couple of binary searches instead of hash lookups plus
 // closure allocations.
+//
+// Sharded mode (the NetworkShards constructor) splits the network across K
+// shard EventQueues for the space-parallel engine (sim/sharded_engine.hpp):
+// each router schedules on its shard's queue and interns AS paths into its
+// shard's table, delivery payloads live in per-shard slabs so round workers
+// never touch another shard's memory, and MRAI jitter switches to a
+// per-session counter-hash stream so draws don't depend on cross-session
+// interleaving. translate_capture() is the engine's dispatcher hook: it moves
+// a captured cross-shard delivery into the destination shard's slab and path
+// table between rounds.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -37,6 +48,18 @@ struct NetworkConfig {
   RibBackend rib_backend = RibBackend::kFlat;
 };
 
+/// Per-shard wiring for the space-parallel engine: queue s drives the routers
+/// of shard s, which intern their AS paths into tables[s]. All queues must be
+/// calendar-backend and bound to one shared seq counter by the caller; both
+/// vectors have one entry per shard and shard_of has one entry per AS (by
+/// dense index, i.e. the AS's rank in the sorted id list — the same order
+/// topology::Partition uses).
+struct NetworkShards {
+  std::vector<sim::EventQueue*> queues;
+  std::vector<std::shared_ptr<topology::PathTable>> tables;
+  std::vector<std::uint32_t> shard_of;
+};
+
 class Network {
  public:
   /// Builds routers and sessions for every AS/link in `graph`.
@@ -46,6 +69,14 @@ class Network {
   Network(const topology::AsGraph& graph, const NetworkConfig& config,
           sim::EventQueue& queue, stats::Rng& rng,
           std::shared_ptr<topology::PathTable> paths = nullptr);
+
+  /// Sharded construction. `rng` is used only during construction here (link
+  /// delays, in the same order as the serial constructor, plus one draw for
+  /// the jitter hash seed) — runtime jitter comes from per-session hash
+  /// streams, never from `rng`, so results are shard-count-invariant.
+  /// paths() aliases shards.tables[0].
+  Network(const topology::AsGraph& graph, const NetworkConfig& config,
+          const NetworkShards& shards, stats::Rng& rng);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -58,8 +89,44 @@ class Network {
   sim::EventQueue& queue() { return queue_; }
 
   /// The AS-path interning table every router's PathIds refer to. Shared so
-  /// collectors and stores can outlive the Network.
+  /// collectors and stores can outlive the Network. In sharded mode this is
+  /// shard 0's table; use table_for() for a specific router's table.
   const std::shared_ptr<topology::PathTable>& paths() const { return paths_; }
+
+  /// True when the network was built through the sharded constructor — even
+  /// with a single shard, so a 1-shard campaign draws MRAI jitter from the
+  /// same per-session hash streams as every other shard count (the
+  /// bit-identity contract compares K=1 against K=2/4/8 directly).
+  bool sharded() const { return sharded_; }
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shard_queues_.size());
+  }
+  /// Shard of an AS (0 for every AS in serial mode).
+  std::uint32_t shard_of(topology::AsId id) const {
+    return shard_of_[dense_index(id)];
+  }
+  /// The queue that drives `id`'s router / the table its PathIds live in.
+  /// In serial mode these are queue() and *paths() for every AS.
+  sim::EventQueue& queue_for(topology::AsId id) {
+    return *shard_queues_[shard_of(id)];
+  }
+  topology::PathTable& table_for(topology::AsId id) {
+    return *shard_tables_[shard_of(id)];
+  }
+
+  /// Minimum link delay across partition-cut edges — the upper bound on the
+  /// sharded engine's lookahead. Duration max when no edge crosses a cut
+  /// (serial mode or a one-shard partition).
+  sim::Duration min_cut_delay() const { return min_cut_delay_; }
+
+  /// ShardedEngine dispatcher hook: if `cap` is one of this network's
+  /// delivery events bound for another shard, move its payload into the
+  /// destination shard's slab, re-intern the AS path into the destination
+  /// table, rewrite the capture, and return the destination shard. Every
+  /// other capture is returned to `src_shard` untouched. Coordinator thread
+  /// only (between rounds).
+  std::uint32_t translate_capture(std::uint32_t src_shard,
+                                  sim::EventQueue::CapturedEvent& cap);
 
   /// One-way propagation delay of the (a, b) link.
   sim::Duration link_delay(topology::AsId a, topology::AsId b) const;
@@ -77,13 +144,24 @@ class Network {
     sim::Duration delay = 0;
   };
 
+  /// Sentinel marking a free delivery slot.
+  static constexpr std::uint32_t kFreeSlot = 0xffffffffu;
+
   /// Slab-allocated payload of an in-flight kBgpDelivery event. Trivially
   /// copyable now that Update carries a PathId, so recycling a slot is a
   /// plain store.
   struct PendingDelivery {
-    Router* to = nullptr;
+    std::uint32_t to_index = kFreeSlot;
     topology::AsId from = 0;
     Update update;
+  };
+
+  /// One delivery slab per shard: a round worker allocates and frees only in
+  /// its own shard's slab, so the hot path stays lock-free under sharding
+  /// (serial mode has exactly one slab).
+  struct DeliverySlab {
+    std::vector<PendingDelivery> slots;
+    std::vector<std::uint32_t> free;
   };
 
   /// Dense index of `id`, or -1 when the AS is unknown.
@@ -94,16 +172,32 @@ class Network {
   /// otherwise produce a bogus uint32 index into routers_/links_).
   std::uint32_t dense_index(topology::AsId id) const;
 
+  /// Shared constructor body; shard_queues_/shard_tables_/shard_of_ are
+  /// already populated (one entry in serial mode).
+  void build(stats::Rng& rng);
+
+  static std::uint32_t alloc_slot(DeliverySlab& slab);
+
+  /// `a` = slot index, `b` = slab (shard) index.
   static void delivery_event(sim::EventQueue& queue, void* ctx,
                              std::uint64_t a, std::uint64_t b);
-  void on_delivery(std::uint32_t slot);
+  void on_delivery(std::uint32_t shard, std::uint32_t slot);
   void deliver_in(sim::Duration delay, std::uint32_t to_index,
-                  topology::AsId from, const Update& update);
+                  std::uint32_t from_index, const Update& update);
 
   const topology::AsGraph& graph_;
   NetworkConfig config_;
   sim::EventQueue& queue_;
   std::shared_ptr<topology::PathTable> paths_;
+  /// Per-shard wiring; serial mode holds exactly {&queue_} / {paths_} / 0s.
+  std::vector<sim::EventQueue*> shard_queues_;
+  std::vector<std::shared_ptr<topology::PathTable>> shard_tables_;
+  std::vector<std::uint32_t> shard_of_;
+  /// Built through the sharded constructor (any shard count, including 1).
+  bool sharded_ = false;
+  /// Seed of the per-session jitter hash streams (sharded mode only).
+  std::uint64_t jitter_seed_ = 0;
+  sim::Duration min_cut_delay_ = std::numeric_limits<sim::Duration>::max();
   /// Sorted AS ids; position = dense index used by routers_ and the CSR.
   std::vector<topology::AsId> ids_;
   /// Routers by dense index; unique_ptr keeps addresses stable for the
@@ -113,9 +207,8 @@ class Network {
   /// edges of dense index i, sorted by `to`.
   std::vector<std::uint32_t> link_offsets_;
   std::vector<Link> links_;
-  /// In-flight delivery payloads; free_deliveries_ recycles slots.
-  std::vector<PendingDelivery> deliveries_;
-  std::vector<std::uint32_t> free_deliveries_;
+  /// In-flight delivery payloads, one slab per shard.
+  std::vector<DeliverySlab> delivery_slabs_;
 };
 
 }  // namespace because::bgp

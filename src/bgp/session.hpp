@@ -61,6 +61,15 @@ class Session {
   /// BECAUSE_CHECK fails on a withdrawal.
   void seed_advertised(const Update& update);
 
+  /// Switch MRAI jitter from the shared jitter_rng stream to a counter-hash
+  /// stream keyed by `key` (must be nonzero). Each draw mixes (key, draw
+  /// index) through splitmix64, so the sequence is a pure function of the
+  /// session's identity — independent of how many other sessions draw in
+  /// between, which is what makes jitter shard-count-invariant in the
+  /// space-parallel engine. The jitter width still comes from the `jitter`
+  /// constructor argument (and jitter_rng may be null in this mode).
+  void use_hashed_jitter(std::uint64_t key);
+
   std::uint64_t updates_sent() const { return updates_sent_; }
   std::uint64_t sends_elided() const { return sends_elided_; }
 
@@ -96,6 +105,9 @@ class Session {
   SendFn send_;
   stats::Rng* jitter_rng_;
   double jitter_;
+  /// Nonzero = hashed-jitter mode (use_hashed_jitter); draws_ counts draws.
+  std::uint64_t jitter_key_ = 0;
+  std::uint64_t jitter_draws_ = 0;
   /// Sorted by key; sessions see tens of prefixes, so a flat binary-searched
   /// vector beats the old per-message unordered_map hashing.
   std::vector<PrefixState> states_;

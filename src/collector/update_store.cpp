@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/event_queue.hpp"
+#include "util/contracts.hpp"
 
 namespace because::collector {
 
@@ -33,7 +34,7 @@ void UpdateStore::record_event(sim::EventQueue& queue, void* ctx,
   // the slab consistent before reentry is the slab idiom everywhere else.
   const PendingRecord rec = store->pending_[slot];
   store->free_pending_.push_back(slot);
-  store->record(rec.vp, queue.now(), rec.update);
+  store->record(rec.vp, queue.now(), rec.update, queue.current_event_seq());
 }
 
 void UpdateStore::schedule_record(sim::EventQueue& queue, sim::Duration delay,
@@ -51,12 +52,14 @@ void UpdateStore::schedule_record(sim::EventQueue& queue, sim::Duration delay,
                           &UpdateStore::record_event, this, slot);
 }
 
-void UpdateStore::record(VpId vp, sim::Time recorded_at, const bgp::Update& update) {
+void UpdateStore::record(VpId vp, sim::Time recorded_at, const bgp::Update& update,
+                         std::uint64_t seq) {
   if (vp >= vps_.size()) throw std::out_of_range("UpdateStore: unknown VP");
   const std::size_t idx = records_.size();
   by_stream_[stream_key(vp, update.prefix)].push_back(idx);
   by_prefix_[update.prefix].push_back(idx);
   records_.push_back(RecordedUpdate{recorded_at, vp, update});
+  seqs_.push_back(seq);
 }
 
 std::vector<RecordedUpdate> UpdateStore::for_vp_prefix(
@@ -105,7 +108,61 @@ void UpdateStore::discard_invalid_aggregators() {
   records_.erase(std::remove_if(records_.begin(), records_.end(), is_invalid),
                  records_.end());
   discarded_ += before - records_.size();
+  seqs_.clear();  // indices no longer line up; merge_shards must precede this
   rebuild_indices();
+}
+
+void UpdateStore::merge_shards(const std::vector<const UpdateStore*>& shards) {
+  if (!records_.empty())
+    throw std::invalid_argument("UpdateStore: merge target not empty");
+  struct Ref {
+    const UpdateStore* store;
+    std::size_t index;
+  };
+  std::vector<Ref> order;
+  std::size_t total = 0;
+  for (const UpdateStore* shard : shards) {
+    if (shard == nullptr)
+      throw std::invalid_argument("UpdateStore: null shard store");
+    if (shard->vps_.size() != vps_.size())
+      throw std::invalid_argument("UpdateStore: shard VP directory mismatch");
+    total += shard->records_.size();
+  }
+  order.reserve(total);
+  for (const UpdateStore* shard : shards) {
+    BECAUSE_CHECK(shard->seqs_.size() == shard->records_.size(),
+                  "UpdateStore: shard seq log out of sync ("
+                      << shard->seqs_.size() << " seqs, "
+                      << shard->records_.size() << " records)");
+    for (std::size_t i = 0; i < shard->records_.size(); ++i) {
+      BECAUSE_CHECK((shard->seqs_[i] & sim::EventQueue::kProvisionalBit) == 0,
+                    "UpdateStore: record carries a provisional seq — a "
+                    "collector export was scheduled under the engine "
+                    "lookahead");
+      order.push_back(Ref{shard, i});
+    }
+  }
+  // (recorded_at, seq) is the serial recording order: the queue pops by it,
+  // and every recording event holds a globally ordered seq.
+  std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
+    const RecordedUpdate& ra = a.store->records_[a.index];
+    const RecordedUpdate& rb = b.store->records_[b.index];
+    if (ra.recorded_at != rb.recorded_at) return ra.recorded_at < rb.recorded_at;
+    return a.store->seqs_[a.index] < b.store->seqs_[b.index];
+  });
+  records_.reserve(total);
+  for (const Ref& ref : order) {
+    RecordedUpdate rec = ref.store->records_[ref.index];
+    // Re-intern into the canonical table — unless the shard already shares
+    // it (interning a table's own span while it may grow is not safe).
+    if (ref.store->paths_ != paths_)
+      rec.update.path = paths_->intern(ref.store->path_of(rec));
+    const std::size_t idx = records_.size();
+    by_stream_[stream_key(rec.vp, rec.update.prefix)].push_back(idx);
+    by_prefix_[rec.update.prefix].push_back(idx);
+    records_.push_back(rec);
+    seqs_.push_back(ref.store->seqs_[ref.index]);
+  }
 }
 
 }  // namespace because::collector

@@ -62,8 +62,10 @@ class UpdateStore {
   }
 
   /// Records must arrive in non-decreasing time order per VP (the event
-  /// queue guarantees this).
-  void record(VpId vp, sim::Time recorded_at, const bgp::Update& update);
+  /// queue guarantees this). `seq` is the recording event's global sequence
+  /// number (sharded campaigns; see merge_shards) — 0 when unused.
+  void record(VpId vp, sim::Time recorded_at, const bgp::Update& update,
+              std::uint64_t seq = 0);
 
   /// Defer a record by `delay` (the collector's export latency): equivalent
   /// to scheduling a closure that calls record(), but the pending update is
@@ -93,7 +95,18 @@ class UpdateStore {
 
   /// Drop announcements whose beacon timestamp is missing (mirrors the
   /// paper's cleaning step). Withdrawals never carry timestamps and are kept.
+  /// Clears the per-record seq log, so merge_shards must run first.
   void discard_invalid_aggregators();
+
+  /// Absorb the records of K per-shard stores into this (empty) canonical
+  /// store, restoring the exact serial recording order. Every shard record
+  /// carries the global seq of its recording event (all records survive a
+  /// round boundary thanks to the collector export-delay floor, so none holds
+  /// a provisional seq — checked), and the event queue's pop order makes
+  /// (recorded_at, seq) the serial record order. Paths are re-interned from
+  /// each shard's table into this store's table; all shard stores must have
+  /// registered the same VP directory as this store (checked).
+  void merge_shards(const std::vector<const UpdateStore*>& shards);
 
  private:
   /// Typed-event trampoline for schedule_record; `a` is the pending slot.
@@ -115,6 +128,9 @@ class UpdateStore {
   std::shared_ptr<topology::PathTable> paths_;
   std::vector<VpInfo> vps_;
   std::vector<RecordedUpdate> records_;
+  /// Global event seq of each record (parallel to records_); only maintained
+  /// while nonzero seqs are recorded, consumed by merge_shards.
+  std::vector<std::uint64_t> seqs_;
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_stream_;
   std::unordered_map<bgp::Prefix, std::vector<std::size_t>> by_prefix_;
   std::vector<PendingRecord> pending_;

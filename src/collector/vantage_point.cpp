@@ -27,4 +27,24 @@ VpId attach_vantage_point(bgp::Network& network, UpdateStore& store,
   return id;
 }
 
+void attach_vantage_point_tap(bgp::Network& network, UpdateStore& store,
+                              VpId id, sim::Duration export_delay,
+                              const VantagePointConfig& config,
+                              stats::Rng* noise_lane) {
+  bgp::Router& router = network.router(config.as);
+  sim::EventQueue& queue = network.queue_for(config.as);
+  const double missing_prob = config.missing_aggregator_prob;
+  UpdateStore* store_ptr = &store;
+
+  router.attach_export_tap([&queue, store_ptr, noise_lane, id, export_delay,
+                            missing_prob](const bgp::Update& update) {
+    bgp::Update recorded = update;
+    if (recorded.is_announcement() && missing_prob > 0.0 &&
+        noise_lane != nullptr && noise_lane->bernoulli(missing_prob)) {
+      recorded.beacon_timestamp = bgp::kNoBeaconTimestamp;
+    }
+    store_ptr->schedule_record(queue, export_delay, id, recorded);
+  });
+}
+
 }  // namespace because::collector

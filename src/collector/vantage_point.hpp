@@ -25,4 +25,15 @@ struct VantagePointConfig {
 VpId attach_vantage_point(bgp::Network& network, UpdateStore& store,
                           const VantagePointConfig& config, stats::Rng& rng);
 
+/// Sharded-campaign variant: taps the router's feed into `store` with a
+/// pre-registered VP id and a pre-drawn export delay, scheduling on the VP
+/// AS's shard queue. `noise_lane` (nullable; must outlive the simulation) is
+/// a per-VP noise stream so record-time draws are independent of how other
+/// shards interleave — the campaign forks one lane per VP in registration
+/// order, which keeps the draws shard-count-invariant.
+void attach_vantage_point_tap(bgp::Network& network, UpdateStore& store,
+                              VpId id, sim::Duration export_delay,
+                              const VantagePointConfig& config,
+                              stats::Rng* noise_lane);
+
 }  // namespace because::collector

@@ -100,6 +100,18 @@ struct CampaignConfig {
   /// kept for before/after benchmarking.
   sim::EngineBackend engine = sim::EngineBackend::kCalendar;
 
+  /// Space-parallel execution (sim/sharded_engine.hpp): partition the AS
+  /// graph into this many shards and run them on parallel workers with
+  /// conservative synchronization. 0 = the serial engine, byte-identical to
+  /// every prior release; >= 1 = the sharded setup path (clamped to the AS
+  /// count), whose results are bit-identical at every shard count — and
+  /// identical to shards=0 whenever the config draws no record-time
+  /// randomness (mrai_jitter == 0, missing_aggregator_prob == 0,
+  /// session_resets == 0). Requires the calendar backend.
+  std::uint32_t shards = 0;
+  /// Test hook: run the round capture/merge protocol even with one shard.
+  bool force_rounds = false;
+
   /// Small, fast configuration for unit tests (seconds, not minutes, of
   /// wall time).
   static CampaignConfig small();

@@ -1,5 +1,6 @@
 #include "experiment/parallel_runner.hpp"
 
+#include <algorithm>
 #include <future>
 #include <stdexcept>
 #include <utility>
@@ -52,21 +53,43 @@ std::vector<CampaignScenario> CampaignGrid::expand() const {
   return scenarios;
 }
 
-ParallelCampaignRunner::ParallelCampaignRunner(std::size_t threads)
-    : pool_(threads == 0 ? util::ThreadPool::hardware_threads() : threads) {}
+ParallelCampaignRunner::ParallelCampaignRunner(std::size_t threads,
+                                               bool auto_shard_budget)
+    : pool_(threads == 0 ? util::ThreadPool::hardware_threads() : threads),
+      auto_shard_budget_(auto_shard_budget) {}
+
+std::uint32_t ParallelCampaignRunner::effective_shards(std::uint32_t requested,
+                                                       std::size_t pool_threads,
+                                                       std::size_t cells) {
+  if (requested <= 1 || cells == 0) return requested;
+  const std::size_t concurrent = std::min(std::max<std::size_t>(pool_threads, 1), cells);
+  const std::size_t budget = std::max<std::size_t>(
+      1, util::ThreadPool::hardware_threads() / concurrent);
+  std::uint32_t pow2 = 1;
+  while (std::size_t{pow2} * 2 <= budget) pow2 *= 2;
+  return std::min(requested, pow2);
+}
 
 std::vector<CampaignResult> ParallelCampaignRunner::run(
     const std::vector<CampaignScenario>& scenarios) {
   std::vector<std::future<CampaignResult>> futures;
   futures.reserve(scenarios.size());
   for (std::size_t cell = 0; cell < scenarios.size(); ++cell) {
+    const std::uint32_t shards =
+        auto_shard_budget_
+            ? effective_shards(scenarios[cell].config.shards, pool_.size(),
+                               scenarios.size())
+            : scenarios[cell].config.shards;
     // The trace lane is the cell index, installed inside the worker task:
     // every event a cell emits then carries one lane written by one thread,
     // which is what keeps the merged trace identical at any pool size.
     futures.push_back(pool_.submit(
-        [config = &scenarios[cell].config, cell] {
+        [config = &scenarios[cell].config, cell, shards] {
           obs::TraceLaneScope lane(static_cast<std::uint32_t>(cell));
-          return run_campaign(*config);
+          if (shards == config->shards) return run_campaign(*config);
+          CampaignConfig clamped = *config;
+          clamped.shards = shards;
+          return run_campaign(clamped);
         }));
   }
   // Wait for everything first: a scenario that throws must not unwind while

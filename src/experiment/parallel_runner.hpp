@@ -53,10 +53,26 @@ struct CampaignGrid {
 
 class ParallelCampaignRunner {
  public:
-  /// `threads` = 0 sizes the pool to the hardware.
-  explicit ParallelCampaignRunner(std::size_t threads = 0);
+  /// `threads` = 0 sizes the pool to the hardware. `auto_shard_budget` turns
+  /// on cells x shards nesting: each scenario's requested `config.shards` is
+  /// clamped by effective_shards() so concurrent cells and their shard
+  /// workers together never oversubscribe the machine. Results are unchanged
+  /// either way (sharded campaigns are bit-identical at every shard count);
+  /// only wall time and the shard-scoped obs counters (topo.partition.*)
+  /// move, which is why the budget is opt-in — fixed-K runs keep their obs
+  /// snapshots byte-identical across pool sizes.
+  explicit ParallelCampaignRunner(std::size_t threads = 0,
+                                  bool auto_shard_budget = false);
 
   std::size_t threads() const { return pool_.size(); }
+
+  /// The cells x shards budget: the largest power of two that fits in
+  /// hardware_threads() / min(pool_threads, cells), capped at `requested`
+  /// and floored at 1 shard. `requested` <= 1 (serial engine or a single
+  /// shard) is returned untouched.
+  static std::uint32_t effective_shards(std::uint32_t requested,
+                                        std::size_t pool_threads,
+                                        std::size_t cells);
 
   /// Run every scenario; results come back in scenario order. If any
   /// scenario throws, the first (by scenario order) exception is rethrown —
@@ -66,6 +82,7 @@ class ParallelCampaignRunner {
 
  private:
   util::ThreadPool pool_;
+  bool auto_shard_budget_ = false;
 };
 
 }  // namespace because::experiment

@@ -48,7 +48,7 @@ EventQueue::~EventQueue() {
       static_cast<obs::CounterId>(obs::Counter::kSimEventsClosure);
   for (std::size_t k = 0; k < kEventKindCount; ++k)
     obs::add(base + static_cast<obs::CounterId>(k), executed_by_kind_[k]);
-  obs::add(obs::Counter::kSimSchedules, next_seq_);
+  obs::add(obs::Counter::kSimSchedules, scheduled_);
   obs::add(obs::Counter::kSimPastClamped, past_clamped_);
   obs::add(obs::Counter::kSimCalScanSteps, cal_scan_steps_);
   obs::add(obs::Counter::kSimCalWindowSkips, cal_window_skips_);
@@ -72,13 +72,39 @@ Time EventQueue::clamp_past(Time when) {
 
 void EventQueue::schedule_at(Time when, Action action) {
   when = clamp_past(when);
+  ++scheduled_;
   if (backend_ == EngineBackend::kFunctionHeap) {
     heap_push(when, EventKind::kClosure, std::move(action));
     return;
   }
+  if (round_active_) {
+    const std::uint32_t call = call_index_++;
+    if (when >= horizon_) {
+      CapturedEvent cap;
+      cap.when = when;
+      cap.kind = EventKind::kClosure;
+      cap.closure = std::move(action);
+      cap.spawner_when = cur_when_;
+      cap.spawner_seq = cur_seq_;
+      cap.call_index = call;
+      captures_.push_back(std::move(cap));
+      return;
+    }
+    const std::uint64_t seq =
+        kProvisionalBit | static_cast<std::uint64_t>(provisional_arena_.size());
+    provisional_arena_.push_back({cur_when_, cur_seq_, call});
+    Event event;
+    event.when = when;
+    event.seq = seq;
+    event.fn = &EventQueue::run_closure_slot;
+    event.a = intern_closure(std::move(action));
+    event.kind = EventKind::kClosure;
+    cal_insert(event);
+    return;
+  }
   Event event;
   event.when = when;
-  event.seq = next_seq_++;
+  event.seq = take_seq();
   event.fn = &EventQueue::run_closure_slot;
   event.a = intern_closure(std::move(action));
   event.kind = EventKind::kClosure;
@@ -93,13 +119,27 @@ void EventQueue::schedule_event_at(Time when, EventKind kind, EventFn fn,
                                    void* ctx, std::uint64_t a,
                                    std::uint64_t b) {
   when = clamp_past(when);
+  ++scheduled_;
   if (backend_ == EngineBackend::kFunctionHeap) {
     // The reference engine runs everything as a closure, like the original
     // std::function heap did.
     heap_push(when, kind, [this, fn, ctx, a, b] { fn(*this, ctx, a, b); });
     return;
   }
-  cal_insert(Event{when, next_seq_++, fn, ctx, a, b, kind});
+  if (round_active_) {
+    const std::uint32_t call = call_index_++;
+    if (when >= horizon_) {
+      captures_.push_back(CapturedEvent{when, kind, fn, ctx, a, b, Action{},
+                                        cur_when_, cur_seq_, call});
+      return;
+    }
+    const std::uint64_t seq =
+        kProvisionalBit | static_cast<std::uint64_t>(provisional_arena_.size());
+    provisional_arena_.push_back({cur_when_, cur_seq_, call});
+    cal_insert(Event{when, seq, fn, ctx, a, b, kind});
+    return;
+  }
+  cal_insert(Event{when, take_seq(), fn, ctx, a, b, kind});
 }
 
 void EventQueue::schedule_event_in(Duration delay, EventKind kind, EventFn fn,
@@ -158,6 +198,9 @@ void EventQueue::note_pop(Time when, std::uint64_t seq) {
 void EventQueue::dispatch(const Event& event) {
   note_pop(event.when, event.seq);
   now_ = event.when;
+  cur_when_ = event.when;
+  cur_seq_ = event.seq;
+  call_index_ = 0;
   event.fn(*this, event.ctx, event.a, event.b);
   ++executed_;
   ++executed_by_kind_[static_cast<std::size_t>(event.kind)];
@@ -169,6 +212,9 @@ std::uint64_t EventQueue::run() {
     while (!heap_.empty()) {
       HeapEntry entry = heap_pop();
       now_ = entry.when;
+      cur_when_ = entry.when;
+      cur_seq_ = entry.seq;
+      call_index_ = 0;
       entry.action();
       ++count;
       ++executed_;
@@ -190,6 +236,9 @@ std::uint64_t EventQueue::run_until(Time deadline) {
     while (!heap_.empty() && heap_.front().when <= deadline) {
       HeapEntry entry = heap_pop();
       now_ = entry.when;
+      cur_when_ = entry.when;
+      cur_seq_ = entry.seq;
+      call_index_ = 0;
       entry.action();
       ++count;
       ++executed_;
@@ -220,7 +269,7 @@ std::uint64_t EventQueue::run_until(Time deadline) {
 }
 
 void EventQueue::heap_push(Time when, EventKind kind, Action action) {
-  heap_.push_back(HeapEntry{when, next_seq_++, kind, std::move(action)});
+  heap_.push_back(HeapEntry{when, take_seq(), kind, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++size_;
 }
@@ -400,6 +449,82 @@ void EventQueue::cal_retune(std::uint64_t work_before) {
   pops_since_width_ = 0;
   work_since_width_ = 0;
   width_epoch_ = now_;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-round protocol (driven by sim::ShardedEngine). A round runs the
+// queue up to a horizon H chosen so that every event scheduled *during* the
+// round with when < H is provably destined for this same shard (cross-cut
+// deliveries pay at least the engine lookahead). Such spawns insert directly
+// with a provisional seq (top bit set, low bits = arena index): provisional
+// seqs compare after every shared seq at the same `when`, and among
+// themselves in creation order, which is exactly the serial engine's order
+// for same-shard spawns. Spawns at or past H are captured instead of
+// inserted; the coordinator merges captures from all shards into the serial
+// schedule order and re-inserts them with fresh shared seqs between rounds.
+// ---------------------------------------------------------------------------
+
+void EventQueue::begin_round(Time horizon) {
+  BECAUSE_CHECK(backend_ == EngineBackend::kCalendar,
+                "sharded rounds require the calendar backend");
+  BECAUSE_CHECK(!round_active_, "begin_round during an active round");
+  horizon_ = horizon;
+  round_active_ = true;
+}
+
+void EventQueue::end_round() {
+  BECAUSE_CHECK(round_active_, "end_round without a matching begin_round");
+  round_active_ = false;
+}
+
+void EventQueue::clear_round_logs() {
+  captures_.clear();
+  provisional_arena_.clear();
+}
+
+void EventQueue::insert_captured(CapturedEvent&& cap) {
+  BECAUSE_CHECK(!round_active_,
+                "insert_captured must run between rounds, not inside one");
+  BECAUSE_ASSERT(cap.when >= now_, "captured event at t=" << cap.when
+                                       << " precedes the clock now=" << now_);
+  // The schedule that produced this capture already counted in scheduled_ on
+  // the spawning shard, so re-insertion must not count again.
+  Event event;
+  event.when = cap.when;
+  event.seq = take_seq();
+  event.kind = cap.kind;
+  if (cap.fn == nullptr) {
+    event.fn = &EventQueue::run_closure_slot;
+    event.a = intern_closure(std::move(cap.closure));
+  } else {
+    event.fn = cap.fn;
+    event.ctx = cap.ctx;
+    event.a = cap.a;
+    event.b = cap.b;
+  }
+  cal_insert(event);
+}
+
+bool EventQueue::peek_next_when(Time& out) {
+  if (size_ == 0) return false;
+  if (backend_ == EngineBackend::kFunctionHeap) {
+    out = heap_.front().when;
+    return true;
+  }
+  // The calendar has no O(1) front, so peek by pop + reinsert. cal_pop does
+  // not advance now_ or the pop-order checker, and the reinserted event keeps
+  // its seq, so ordering is unchanged; the duplicated scan work is amortised
+  // by the retune logic exactly like a regular pop.
+  Event event;
+  const bool popped = cal_pop(event);
+  BECAUSE_ASSERT(popped, "peek on a non-empty calendar found no event");
+  cal_insert(event);
+  out = event.when;
+  // The pop may have advanced the cursor into the event's window (or jumped
+  // via the full-cycle fallback); rewind to now_'s window as run_until does.
+  cursor_top_ = (now_ / width_) * width_ + width_;
+  cursor_ = bucket_index(now_);
+  return true;
 }
 
 }  // namespace because::sim

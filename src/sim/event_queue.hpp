@@ -95,6 +95,81 @@ class EventQueue {
   /// Run events with time <= `deadline`; the clock ends at `deadline`.
   std::uint64_t run_until(Time deadline);
 
+  // -- sharded-mode plumbing (sim/sharded_engine.hpp) ------------------------
+  // A set of shard queues shares one sequence counter, so setup-time
+  // schedules are numbered identically at any shard count; during a
+  // conservative-sync round each queue captures schedules at or beyond the
+  // round horizon for the coordinator, and inserts sub-horizon spawns
+  // directly with order-preserving provisional sequence numbers (the high
+  // bit marks them; see DESIGN.md §5j for the ordering proof).
+
+  /// Events whose schedule call happened inside a round with `when` at or
+  /// beyond the horizon: the coordinator re-schedules them between rounds in
+  /// stable serial order via insert_captured().
+  struct CapturedEvent {
+    Time when = 0;
+    EventKind kind = EventKind::kClosure;
+    EventFn fn = nullptr;  ///< nullptr = closure form, payload in `closure`
+    void* ctx = nullptr;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    Action closure;
+    // Identity of the schedule call, for the coordinator's stable merge:
+    // the (when, seq) of the event that was executing when the call was
+    // made, plus the call's index among that event's schedule calls.
+    Time spawner_when = 0;
+    std::uint64_t spawner_seq = 0;
+    std::uint32_t call_index = 0;
+  };
+
+  /// One in-round direct insert. The provisional seq kProvisionalBit|i
+  /// refers to entry i of this per-round arena, which records the spawning
+  /// schedule call so cross-shard merge keys can be resolved recursively.
+  struct ProvisionalNode {
+    Time spawner_when = 0;
+    std::uint64_t spawner_seq = 0;
+    std::uint32_t call_index = 0;
+  };
+  static constexpr std::uint64_t kProvisionalBit = std::uint64_t{1} << 63;
+
+  /// Share the schedule sequence counter with the other shard queues. While
+  /// bound, obs reports the queue's own schedule-call tally (identical to the
+  /// legacy next_seq_ flush when unbound).
+  void bind_seq_counter(std::uint64_t* counter) { seq_counter_ = counter; }
+
+  /// Enter round mode: schedule calls with when >= horizon are captured,
+  /// calls below it insert directly with provisional seqs. Calendar only.
+  void begin_round(Time horizon);
+  /// Leave round mode (captures and the provisional arena stay readable
+  /// until clear_round_logs()).
+  void end_round();
+  std::vector<CapturedEvent>& captures() { return captures_; }
+  const std::vector<ProvisionalNode>& provisional_nodes() const {
+    return provisional_arena_;
+  }
+  void clear_round_logs();
+
+  /// Coordinator-side insert of a captured event, drawing the next shared
+  /// seq. Must be called between rounds, in stable merge order.
+  void insert_captured(CapturedEvent&& cap);
+
+  /// (when, seq) identity of the event currently being dispatched (valid
+  /// inside a callback; last dispatched otherwise).
+  Time current_event_when() const { return cur_when_; }
+  std::uint64_t current_event_seq() const { return cur_seq_; }
+
+  /// True between begin_round() and end_round() — i.e. while a shard worker
+  /// is executing this queue's window. Callers that share state across
+  /// queues (bgp::Network's delivery slabs) branch on this: in-round they
+  /// must touch only the executing shard's slice, between rounds the whole
+  /// system is single-threaded.
+  bool in_round() const { return round_active_; }
+
+  /// Time of the next pending event without executing anything; false when
+  /// the queue is empty. The calendar cursor is rewound afterwards, so the
+  /// peek perturbs no ordering (only the cal work counters).
+  bool peek_next_when(Time& out);
+
   bool empty() const { return size_ == 0; }
   std::size_t pending() const { return size_; }
   std::uint64_t executed() const { return executed_; }
@@ -182,10 +257,30 @@ class EventQueue {
   /// (when, seq) must be >= the previous one's and >= now().
   void note_pop(Time when, std::uint64_t seq);
 
+  /// Draw the next schedule seq: the shared counter when bound (sharded
+  /// mode), the queue-local one otherwise.
+  std::uint64_t take_seq() {
+    return seq_counter_ != nullptr ? (*seq_counter_)++ : next_seq_++;
+  }
+
   EngineBackend backend_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  /// Schedule calls made on this queue (== next_seq_ when unbound); the
+  /// value flushed to obs::Counter::kSimSchedules, so binding a shared seq
+  /// counter leaves the legacy obs output untouched.
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t* seq_counter_ = nullptr;
+
+  // Round (sharded) mode state.
+  bool round_active_ = false;
+  Time horizon_ = 0;
+  Time cur_when_ = 0;
+  std::uint64_t cur_seq_ = 0;
+  std::uint32_t call_index_ = 0;  ///< schedule calls by the dispatching event
+  std::vector<CapturedEvent> captures_;
+  std::vector<ProvisionalNode> provisional_arena_;
   std::uint64_t past_clamped_ = 0;
   std::array<std::uint64_t, kEventKindCount> executed_by_kind_{};
   std::size_t size_ = 0;

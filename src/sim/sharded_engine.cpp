@@ -1,0 +1,218 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/contracts.hpp"
+
+namespace because::sim {
+
+namespace {
+
+// Shard-worker trace lanes live far above the campaign-cell lanes (cell
+// index for runner workers, 0 for single-threaded code) so the two spaces
+// never collide; each cell gets a block of kMaxShardsPerCell lanes.
+constexpr std::uint32_t kShardLaneBase = 0x10000;
+constexpr std::uint32_t kMaxShardsPerCell = 64;
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(std::vector<EventQueue*> queues,
+                             const Config& config, Dispatcher dispatcher)
+    : queues_(std::move(queues)),
+      config_(config),
+      dispatcher_(std::move(dispatcher)),
+      lane_base_(kShardLaneBase + obs::trace_lane() * kMaxShardsPerCell) {
+  BECAUSE_CHECK(!queues_.empty(), "ShardedEngine: no shard queues");
+  BECAUSE_CHECK(queues_.size() <= kMaxShardsPerCell,
+                "ShardedEngine: " << queues_.size() << " shards exceeds the "
+                                  << kMaxShardsPerCell << "-lane block");
+  for (const EventQueue* queue : queues_)
+    BECAUSE_CHECK(queue != nullptr, "ShardedEngine: null shard queue");
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (pool_ == nullptr) return;
+  {
+    util::MutexLock lock(control_.mutex);
+    control_.stop = true;
+  }
+  control_.work_cv.notify_all();
+  for (std::future<void>& worker : workers_) worker.get();
+  // pool_'s destructor joins the (now idle) worker threads.
+}
+
+std::uint64_t ShardedEngine::run() {
+  if (queues_.size() == 1 && !config_.force_rounds) return queues_[0]->run();
+  BECAUSE_CHECK(config_.lookahead > 0,
+                "ShardedEngine: round mode needs a positive lookahead");
+  start_workers();
+  std::uint64_t before = 0;
+  {
+    util::MutexLock lock(control_.mutex);
+    before = control_.executed;
+  }
+  for (;;) {
+    // M = earliest pending event across all shards; empty queues everywhere
+    // means the campaign is drained.
+    bool any = false;
+    Time earliest = 0;
+    for (EventQueue* queue : queues_) {
+      Time when = 0;
+      if (queue->peek_next_when(when) && (!any || when < earliest)) {
+        earliest = when;
+        any = true;
+      }
+    }
+    if (!any) break;
+    ++rounds_;
+    run_round(earliest + config_.lookahead);
+    merge_captures();
+    for (EventQueue* queue : queues_) queue->clear_round_logs();
+  }
+  util::MutexLock lock(control_.mutex);
+  return control_.executed - before;
+}
+
+void ShardedEngine::start_workers() {
+  if (pool_ != nullptr) return;
+  const auto shards = static_cast<std::uint32_t>(queues_.size());
+  pool_ = std::make_unique<util::ThreadPool>(shards);
+  workers_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint32_t lane = lane_base_ + s;
+    workers_.push_back(
+        pool_->submit([this, s, lane] { worker_loop(s, lane); }));
+  }
+}
+
+void ShardedEngine::worker_loop(std::uint32_t shard, std::uint32_t lane) {
+  // One lane per (cell, shard): rfd suppress/release instants fire from the
+  // router hot path on this thread, and the trace contract wants every lane
+  // written by exactly one thread per round. The lane is stable across
+  // rounds, so per-lane order is this shard's deterministic program order.
+  obs::TraceLaneScope lane_scope(lane);
+  EventQueue& queue = *queues_[shard];
+  std::uint64_t completed = 0;
+  for (;;) {
+    Time horizon = 0;
+    {
+      util::MutexLock lock(control_.mutex);
+      while (control_.round == completed && !control_.stop)
+        control_.work_cv.wait(control_.mutex);
+      if (control_.stop) return;
+      completed = control_.round;
+      horizon = control_.horizon;
+    }
+    // The round body touches only this shard's state (queue, routers,
+    // sessions, slabs, stores, rng lanes) — never the barrier fields — so it
+    // runs unlocked. run_until(H-1) and not H: events at exactly H may be
+    // captured spawns racing in from other shards next round.
+    std::uint64_t ran = 0;
+    std::exception_ptr failure;
+    try {
+      queue.begin_round(horizon);
+      ran = queue.run_until(horizon - 1);
+      queue.end_round();
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    util::MutexLock lock(control_.mutex);
+    control_.executed += ran;
+    if (failure != nullptr) {
+      if (control_.error == nullptr) control_.error = failure;
+      control_.stop = true;
+    }
+    if (--control_.running == 0) control_.done_cv.notify_one();
+    if (control_.stop) return;
+  }
+}
+
+void ShardedEngine::run_round(Time horizon) {
+  {
+    util::MutexLock lock(control_.mutex);
+    control_.horizon = horizon;
+    control_.running = static_cast<std::uint32_t>(queues_.size());
+    ++control_.round;
+  }
+  control_.work_cv.notify_all();
+  util::MutexLock lock(control_.mutex);
+  while (control_.running > 0) control_.done_cv.wait(control_.mutex);
+  if (control_.error != nullptr) {
+    std::exception_ptr error = control_.error;
+    control_.error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ShardedEngine::merge_captures() {
+  struct Ref {
+    std::uint32_t shard;
+    std::uint32_t index;
+  };
+  std::vector<Ref> order;
+  for (std::uint32_t s = 0; s < queues_.size(); ++s) {
+    const auto count =
+        static_cast<std::uint32_t>(queues_[s]->captures().size());
+    for (std::uint32_t i = 0; i < count; ++i) order.push_back(Ref{s, i});
+  }
+  // Serial schedule-call order: captures from one spawner by call index,
+  // spawners by serial event order. std::sort suffices (no two captures
+  // share a (spawner, call_index) key, so the order is total).
+  std::sort(order.begin(), order.end(), [this](const Ref& a, const Ref& b) {
+    const EventQueue::CapturedEvent& ca = queues_[a.shard]->captures()[a.index];
+    const EventQueue::CapturedEvent& cb = queues_[b.shard]->captures()[b.index];
+    return less_call(a.shard, ca.spawner_when, ca.spawner_seq, ca.call_index,
+                     b.shard, cb.spawner_when, cb.spawner_seq, cb.call_index);
+  });
+  for (const Ref& ref : order) {
+    EventQueue::CapturedEvent& cap = queues_[ref.shard]->captures()[ref.index];
+    const std::uint32_t dst =
+        dispatcher_ != nullptr ? dispatcher_(ref.shard, cap) : ref.shard;
+    BECAUSE_ASSERT(dst < queues_.size(), "dispatcher routed a capture to shard "
+                                             << dst << " of "
+                                             << queues_.size());
+    queues_[dst]->insert_captured(std::move(cap));
+  }
+}
+
+bool ShardedEngine::less_call(std::uint32_t sa, Time wa, std::uint64_t qa,
+                              std::uint32_t ca, std::uint32_t sb, Time wb,
+                              std::uint64_t qb, std::uint32_t cb) const {
+  // Same spawner: shared seqs are globally unique, provisional seqs only
+  // within their shard's arena.
+  const bool same_spawner =
+      wa == wb && qa == qb &&
+      ((qa & EventQueue::kProvisionalBit) == 0 || sa == sb);
+  if (same_spawner) return ca < cb;
+  return less_event(sa, wa, qa, sb, wb, qb);
+}
+
+bool ShardedEngine::less_event(std::uint32_t sa, Time wa, std::uint64_t qa,
+                               std::uint32_t sb, Time wb,
+                               std::uint64_t qb) const {
+  if (wa != wb) return wa < wb;
+  const bool prov_a = (qa & EventQueue::kProvisionalBit) != 0;
+  const bool prov_b = (qb & EventQueue::kProvisionalBit) != 0;
+  // A shared seq was drawn for a schedule call made strictly before the
+  // current round's window opened (setup or an earlier round's merge); every
+  // provisional seq belongs to a call made inside the window. Serial call
+  // order respects that window partition, so shared precedes provisional.
+  if (prov_a != prov_b) return !prov_a;
+  if (!prov_a) return qa < qb;
+  const auto ia = static_cast<std::size_t>(qa & ~EventQueue::kProvisionalBit);
+  const auto ib = static_cast<std::size_t>(qb & ~EventQueue::kProvisionalBit);
+  // Same shard: arena order is that shard's schedule-call order, which is
+  // the serial relative order for shard-local calls.
+  if (sa == sb) return ia < ib;
+  // Different shards: order by the spawning calls. The spawner of a
+  // provisional event is same-shard and sits earlier in the same arena, so
+  // the recursion strictly descends and roots in shared-seq events.
+  const EventQueue::ProvisionalNode& na = queues_[sa]->provisional_nodes()[ia];
+  const EventQueue::ProvisionalNode& nb = queues_[sb]->provisional_nodes()[ib];
+  return less_call(sa, na.spawner_when, na.spawner_seq, na.call_index, sb,
+                   nb.spawner_when, nb.spawner_seq, nb.call_index);
+}
+
+}  // namespace because::sim

@@ -1,0 +1,149 @@
+#include "topology/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace because::topology {
+
+namespace {
+
+std::ptrdiff_t index_of(const std::vector<AsId>& ids, AsId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  return it != ids.end() && *it == id ? it - ids.begin() : -1;
+}
+
+}  // namespace
+
+std::uint32_t Partition::shard_of_id(AsId id) const {
+  const std::ptrdiff_t index = index_of(ids, id);
+  if (index < 0) throw std::out_of_range("Partition: unknown AS");
+  return shard_of[static_cast<std::size_t>(index)];
+}
+
+Partition partition_graph(const AsGraph& graph, const PartitionConfig& config) {
+  if (config.shards == 0)
+    throw std::invalid_argument("partition_graph: shards must be >= 1");
+  if (config.balance_slack < 1.0)
+    throw std::invalid_argument("partition_graph: balance_slack must be >= 1");
+
+  Partition part;
+  part.ids = graph.as_ids();
+  const std::size_t n = part.ids.size();
+  const auto k = static_cast<std::uint32_t>(
+      std::min<std::size_t>(config.shards, std::max<std::size_t>(n, 1)));
+  part.shards = k;
+  part.shard_of.assign(n, k);  // k = unassigned sentinel during growth
+
+  // Seeds: the K ASes with the most customers — the cores of the largest
+  // customer cones — ties broken by id so the choice is total.
+  std::vector<std::uint32_t> customer_degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : graph.neighbors(part.ids[i])) {
+      if (nb.relation == Relation::kCustomer) ++customer_degree[i];
+    }
+  }
+  std::vector<std::uint32_t> by_cone(n);
+  for (std::size_t i = 0; i < n; ++i) by_cone[i] = static_cast<std::uint32_t>(i);
+  std::sort(by_cone.begin(), by_cone.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (customer_degree[a] != customer_degree[b])
+                return customer_degree[a] > customer_degree[b];
+              return part.ids[a] < part.ids[b];
+            });
+
+  // Grow the currently smallest shard one AS at a time from its BFS
+  // frontier. The per-shard cap keeps growth balanced; k * cap >= n, so the
+  // loop always terminates with every AS assigned.
+  const auto cap = static_cast<std::size_t>(std::max<double>(
+      1.0, (static_cast<double>(n + k - 1) / static_cast<double>(k)) *
+               config.balance_slack));
+  std::vector<std::size_t> sizes(k, 0);
+  std::vector<std::deque<std::uint32_t>> frontiers(k);
+  for (std::uint32_t s = 0; s < k && s < n; ++s)
+    frontiers[s].push_back(by_cone[s]);
+
+  std::size_t assigned = 0;
+  std::size_t next_unassigned = 0;  // monotone cursor for dry frontiers
+  while (assigned < n) {
+    std::uint32_t shard = k;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      if (sizes[s] >= cap) continue;
+      if (shard == k || sizes[s] < sizes[shard]) shard = s;
+    }
+    if (shard == k) break;  // unreachable (k * cap >= n); leftovers catch it
+
+    std::uint32_t pick = 0;
+    bool found = false;
+    auto& frontier = frontiers[shard];
+    while (!frontier.empty()) {
+      const std::uint32_t candidate = frontier.front();
+      frontier.pop_front();
+      if (part.shard_of[candidate] == k) {
+        pick = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Frontier dry (disconnected component): re-seed from the lowest
+      // unassigned id.
+      while (next_unassigned < n && part.shard_of[next_unassigned] != k)
+        ++next_unassigned;
+      BECAUSE_ASSERT(next_unassigned < n,
+                     "partition_graph: " << (n - assigned)
+                                         << " ASes unassigned but none found");
+      pick = static_cast<std::uint32_t>(next_unassigned);
+    }
+
+    part.shard_of[pick] = shard;
+    ++sizes[shard];
+    ++assigned;
+    for (const Neighbor& nb : graph.neighbors(part.ids[pick])) {
+      const std::ptrdiff_t j = index_of(part.ids, nb.id);
+      BECAUSE_ASSERT(j >= 0, "partition_graph: neighbor AS " << nb.id
+                                 << " missing from the id directory");
+      if (part.shard_of[static_cast<std::size_t>(j)] == k)
+        frontier.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  // Leftover safety net: round-robin any stragglers onto the smallest shard.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (part.shard_of[i] != k) continue;
+    const auto smallest = static_cast<std::uint32_t>(
+        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    part.shard_of[i] = smallest;
+    ++sizes[smallest];
+  }
+
+  // Cut statistics over undirected edges (each counted once, from the lower
+  // dense index).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : graph.neighbors(part.ids[i])) {
+      const std::ptrdiff_t j = index_of(part.ids, nb.id);
+      if (j <= static_cast<std::ptrdiff_t>(i)) continue;
+      ++part.total_edges;
+      if (part.shard_of[i] != part.shard_of[static_cast<std::size_t>(j)])
+        ++part.cut_edges;
+    }
+  }
+  part.largest = sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  part.smallest = sizes.empty() ? 0 : *std::min_element(sizes.begin(), sizes.end());
+
+  if (obs::enabled() && n > 0) {
+    // Additive across cells, like every obs counter: a campaign grid sums
+    // its per-cell cuts. imbalance_permille is largest/ideal in permille
+    // (1000 = perfectly balanced), summed the same way.
+    obs::add_named("topo.partition.cut_edges", part.cut_edges);
+    obs::add_named("topo.partition.edges", part.total_edges);
+    obs::add_named("topo.partition.shards", part.shards);
+    obs::add_named("topo.partition.imbalance_permille",
+                   part.largest * part.shards * 1000 / n);
+  }
+  return part;
+}
+
+}  // namespace because::topology

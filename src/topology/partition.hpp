@@ -1,0 +1,60 @@
+// Deterministic K-way partitioning of an AsGraph for the space-parallel
+// sharded engine (sim/sharded_engine.hpp).
+//
+// The partitioner is a greedy BFS grower with customer-cone affinity: shard
+// seeds are the K ASes with the largest customer degree (the tier-1 cores of
+// the largest cones), and each shard grows outward one AS at a time, always
+// extending the currently smallest shard. Growing along adjacency keeps
+// provider/customer trees — where most BGP traffic flows — inside one shard,
+// which is what minimises the conservative-sync engine's cross-shard event
+// traffic; a per-shard size cap (ceil(n/K) x balance_slack) keeps the
+// partition balanced so no shard becomes the round-critical path.
+//
+// Everything is a function of (graph, config): seeds break ties by AS id and
+// growth follows sorted-id / adjacency order, so the same inputs produce the
+// same partition on every host — a prerequisite for the engine's bit-identity
+// guarantee across shard counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace because::topology {
+
+struct PartitionConfig {
+  /// Number of shards to cut the graph into; clamped to the AS count.
+  std::uint32_t shards = 1;
+  /// Per-shard size cap as a multiple of the ideal n/K split. 1.0 forces
+  /// perfect balance (and more cut edges); the default trades ~5% imbalance
+  /// for growing along cone boundaries.
+  double balance_slack = 1.05;
+};
+
+struct Partition {
+  std::uint32_t shards = 1;
+  /// Sorted AS ids; position = the dense index used by shard_of (the same
+  /// dense-index convention bgp::Network uses).
+  std::vector<AsId> ids;
+  /// Shard of each dense index.
+  std::vector<std::uint32_t> shard_of;
+  /// Undirected edges whose endpoints landed in different shards.
+  std::size_t cut_edges = 0;
+  /// All undirected edges (cut_edges / total_edges = the cut ratio).
+  std::size_t total_edges = 0;
+  /// Size of the largest / smallest shard (balance diagnostics).
+  std::size_t largest = 0;
+  std::size_t smallest = 0;
+
+  /// Shard of an AS id (binary search over `ids`); throws std::out_of_range
+  /// on an unknown id.
+  std::uint32_t shard_of_id(AsId id) const;
+};
+
+/// Partition `graph` into `config.shards` shards. Publishes the cut size and
+/// balance as `topo.partition.*` obs counters when collection is enabled
+/// (cut_edges, edges, shards, imbalance_permille). Deterministic.
+Partition partition_graph(const AsGraph& graph, const PartitionConfig& config);
+
+}  // namespace because::topology

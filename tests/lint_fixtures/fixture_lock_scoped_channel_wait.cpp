@@ -1,0 +1,52 @@
+// lint-as: src/sim/fixture_lock_scoped_channel_wait.cpp
+// lint-allow: lock-scoped-call | channel.wait_for_drain();
+// Fixture: blocking channel waits while a scoped lock is alive (the sharded
+// engine's cross-shard channels). A worker parked in recv()/pop_wait()/
+// wait_for_*() while holding a lock stalls every shard that needs it. The
+// CondVar shape cv.wait(lock, pred) / cv.wait_for(lock, ...) is exempt: it
+// takes the lock and releases it while parked. The drain helper is the
+// allowlisted-negative half of the pair (a justified shutdown hand-off).
+#include <mutex>
+
+namespace because::sim {
+
+template <typename Channel>
+void bad_recv_under_lock(Channel& channel, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  channel.recv();  // expected: lock-scoped-call
+}
+
+template <typename Channel>
+void bad_pop_wait_under_lock(Channel* channel, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  channel->pop_wait();  // expected: lock-scoped-call
+}
+
+template <typename Channel>
+void bad_wait_for_round_under_lock(Channel& channel, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  channel.wait_for_round(3);  // expected: lock-scoped-call
+}
+
+template <typename Cv>
+void good_condvar_wait(Cv& cv, std::mutex& mu, bool& ready) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&ready] { return ready; });  // fine: CondVar takes the lock
+  cv.wait_for(lock, 5, [&ready] { return ready; });  // fine: same shape
+}
+
+template <typename Channel>
+void good_recv_after_scope(Channel& channel, std::mutex& mu) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+  }
+  channel.recv();  // fine: the lock scope has closed
+}
+
+template <typename Channel>
+void allowed_drain_under_lock(Channel& channel, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  channel.wait_for_drain();  // allowlisted shutdown hand-off
+}
+
+}  // namespace because::sim

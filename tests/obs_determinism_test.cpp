@@ -9,8 +9,11 @@
 // to JSON here and compared byte-for-byte at pool sizes 1, 4 and 8.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "experiment/parallel_runner.hpp"
@@ -171,6 +174,103 @@ TEST(ObsDeterminism, WarmStartedSnapshotsBitIdenticalAcrossPoolSizes) {
     } else {
       EXPECT_EQ(metrics_json, reference_metrics)
           << "warm-started metrics snapshot diverged at pool size " << threads;
+    }
+  }
+}
+
+TEST(ObsDeterminism, ShardedSnapshotsBitIdenticalAcrossPoolSizes) {
+  // The §5f contract extended to the sharded engine: with a FIXED shard
+  // count, metrics and trace snapshots stay byte-identical no matter how
+  // many pool workers ran the cells. Shard worker trace lanes derive from
+  // the owning cell's lane (0x10000 + cell * 64 + shard), not from which
+  // pool thread ran the cell, so even the raw Chrome trace is stable.
+  experiment::CampaignGrid grid = tiny_grid();
+  grid.base.shards = 2;
+  const std::vector<experiment::CampaignScenario> scenarios = grid.expand();
+
+  std::string reference_metrics;
+  std::string reference_trace;
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    ObsGuard guard;
+    experiment::ParallelCampaignRunner runner(threads);
+    const std::vector<experiment::CampaignResult> results =
+        runner.run(scenarios);
+    ASSERT_EQ(results.size(), scenarios.size());
+
+    const std::string metrics_json = obs::render_json(obs::snapshot());
+    const std::string trace_json =
+        obs::render_chrome_trace(obs::trace_snapshot());
+    if (reference_metrics.empty()) {
+      reference_metrics = metrics_json;
+      reference_trace = trace_json;
+      EXPECT_NE(metrics_json.find("topo.partition.cut_edges"),
+                std::string::npos);
+      EXPECT_NE(trace_json.find("campaign.run"), std::string::npos);
+    } else {
+      EXPECT_EQ(metrics_json, reference_metrics)
+          << "sharded metrics snapshot diverged at pool size " << threads;
+      EXPECT_EQ(trace_json, reference_trace)
+          << "sharded trace snapshot diverged at pool size " << threads;
+    }
+  }
+}
+
+/// Counters that legitimately depend on the shard count: calendar-structure
+/// internals (per-queue bucket geometry), the per-queue depth histogram,
+/// the partitioner's own diagnostics, and the path-table dedup tallies
+/// (K tables intern overlapping path sets). Everything else must be equal
+/// at every shard count.
+bool shard_scoped_metric(const std::string& name) {
+  for (const char* prefix :
+       {"sim.cal.", "sim.queue_depth", "topo.partition.", "bgp.paths.dedup"}) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(ObsDeterminism, ShardCountOnlyPerturbsShardScopedMetrics) {
+  // Cross-K: simulation-semantic counters (events executed by kind, BGP
+  // sends, RFD transitions, collector tallies, ...) are a function of the
+  // campaign, not of the partition. Trace events lose only their lane
+  // (which encodes the executing shard) — name/ts/dur/value multisets match.
+  const experiment::CampaignGrid grid = tiny_grid();
+  const std::vector<experiment::CampaignScenario> scenarios = grid.expand();
+
+  std::vector<std::pair<std::string, std::uint64_t>> reference_counters;
+  std::vector<std::tuple<std::string, char, sim::Time, sim::Duration,
+                         std::int64_t>>
+      reference_trace;
+  for (const std::uint32_t shards : {1u, 4u}) {
+    ObsGuard guard;
+    std::vector<experiment::CampaignScenario> sharded = scenarios;
+    for (experiment::CampaignScenario& s : sharded) s.config.shards = shards;
+    experiment::ParallelCampaignRunner runner(4);
+    runner.run(sharded);
+
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    for (const auto& row : obs::snapshot().counters) {
+      if (!shard_scoped_metric(row.name)) counters.emplace_back(row.name, row.value);
+    }
+    std::sort(counters.begin(), counters.end());
+
+    std::vector<std::tuple<std::string, char, sim::Time, sim::Duration,
+                           std::int64_t>>
+        trace;
+    for (const obs::TraceEvent& event : obs::trace_snapshot()) {
+      trace.emplace_back(event.name, event.ph, event.ts, event.dur,
+                         event.value);
+    }
+    std::sort(trace.begin(), trace.end());
+
+    if (reference_counters.empty()) {
+      reference_counters = std::move(counters);
+      reference_trace = std::move(trace);
+      ASSERT_FALSE(reference_counters.empty());
+    } else {
+      EXPECT_EQ(counters, reference_counters)
+          << "semantic counters diverged at " << shards << " shards";
+      EXPECT_EQ(trace, reference_trace)
+          << "lane-normalized trace diverged at " << shards << " shards";
     }
   }
 }

@@ -1,0 +1,43 @@
+// Negative-compile fixture: the cross-shard channel lock contract. Captured
+// events crossing a shard boundary are handed over under the channel mutex —
+// push() models the worker-side enqueue at a round boundary, drain() the
+// coordinator-side merge. Draining without the lock (the bug below) would
+// let the coordinator race a late worker's enqueue and corrupt the stable
+// merge order the bit-identity contract rests on, so it must be a compile
+// error under -Werror=thread-safety, not a rare TSan report.
+//
+// tsa-expect: requires holding mutex 'mu_'
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class CrossShardChannel {
+ public:
+  void push(std::uint64_t capture) {
+    because::util::MutexLock lock(mu_);
+    pending_.push_back(capture);
+  }
+
+  // BUG under analysis: coordinator-side drain with no channel lock held.
+  std::size_t drain_unlocked(std::vector<std::uint64_t>& out) {
+    out.swap(pending_);  // guarded access, no lock
+    return out.size();
+  }
+
+ private:
+  because::util::Mutex mu_;
+  std::vector<std::uint64_t> pending_ BECAUSE_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+// Keep the class odr-used so no toolchain elides the definitions.
+std::size_t tsa_fixture_cross_shard_channel_unlocked() {
+  CrossShardChannel channel;
+  channel.push(1);
+  std::vector<std::uint64_t> out;
+  return channel.drain_unlocked(out);
+}

@@ -48,11 +48,16 @@ Rules (see RULES below):
                     allowlisted process-wide switches (contract mode, log
                     level, obs enable flags): hidden globals couple runs and
                     break the (topology, seed) determinism contract.
-  lock-scoped-call  no schedule_*()/submit() call while a MutexLock /
-                    lock_guard / unique_lock / scoped_lock is in scope: the
-                    callee may block on the pool or re-enter the lock; move
-                    the call after the lock scope closes (the thread pool's
-                    own notify-outside-the-lock discipline).
+  lock-scoped-call  no schedule_*()/submit() call, and no blocking channel
+                    wait (.recv() / .pop_wait() / .wait_for_*()), while a
+                    MutexLock / lock_guard / unique_lock / scoped_lock is in
+                    scope: the callee may block on the pool, park the thread
+                    while other shards spin on the same lock, or re-enter
+                    the lock; move the call after the lock scope closes (the
+                    thread pool's own notify-outside-the-lock discipline).
+                    CondVar waits (cv.wait(lock, pred) / cv.wait_for(lock,
+                    ...)) are exempt: they *take* the lock and release it
+                    while parked — that is the sanctioned blocking shape.
 
 The single-line rules are regexes. The last three need context — declared
 types, scope nesting, lock lifetimes — so they run through a clang AST
@@ -285,12 +290,19 @@ def scan_global_state(text: str) -> list[int]:
 LOCK_DECL_RE = re.compile(
     r"\b(?:util::)?(?:MutexLock|lock_guard|unique_lock|scoped_lock)\b"
     r"\s*(?:<[^;>]*>)?\s+\w+\s*[({]")
+# Callees that must not run under a scoped lock: pool/queue scheduling, and
+# blocking channel waits (a sharded-engine worker parked in recv()/
+# pop_wait()/wait_for_*() while holding a lock stalls every shard that needs
+# it). Plain .wait()/.wait_for() stay unmatched on purpose — that is the
+# CondVar shape, which takes the lock as an argument and releases it while
+# parked (wait_for_\w+ requires an underscore, so cv.wait_for(...) is out).
 LOCKED_CALL_RE = re.compile(
-    r"\bschedule_(?:at|in|event_\w+)\s*\(|(?:\.|->)\s*submit\s*\(")
+    r"\bschedule_(?:at|in|event_\w+)\s*\(|(?:\.|->)\s*submit\s*\("
+    r"|(?:\.|->)\s*(?:recv|pop_wait|wait_for_\w+)\s*\(")
 
 
 def scan_lock_scoped_call(text: str) -> list[int]:
-    """schedule()/submit() calls while a scoped lock is alive.
+    """schedule()/submit()/blocking-wait calls while a scoped lock is alive.
 
     Records the brace depth at each lock declaration and retires it when its
     enclosing block closes; any matching call in between is flagged.
@@ -339,9 +351,10 @@ SCANNER_RULES = [
         "dirs": ("src",),
         "exclude": (),
         "scan": scan_lock_scoped_call,
-        "message": "schedule()/submit() while holding a lock: the callee may "
-                   "block or re-enter the lock (move the call after the lock "
-                   "scope closes)",
+        "message": "schedule()/submit()/blocking channel wait while holding a "
+                   "lock: the callee may block, stall other shards, or "
+                   "re-enter the lock (move the call after the lock scope "
+                   "closes; CondVar wait(lock, pred) is the sanctioned shape)",
     },
 ]
 

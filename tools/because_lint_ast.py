@@ -20,8 +20,11 @@ compile_commands.json — and walks it:
                     constexpr nor const-qualified.
   lock-scoped-call  inside each CompoundStmt, once a DeclStmt declares a
                     MutexLock / lock_guard / unique_lock / scoped_lock, every
-                    subsequent schedule_*()/.submit() call in that block (or
-                    nested blocks) is flagged.
+                    subsequent schedule_*()/.submit() call — and every
+                    blocking channel wait (.recv() / .pop_wait() /
+                    .wait_for_*()) — in that block (or nested blocks) is
+                    flagged. CondVar member waits (.wait() / .wait_for())
+                    never match: they take the lock and release it parked.
 
 Verdicts are (repo-relative path, rule id, line) triples — the same
 coordinate space because_lint.py uses — restricted to files under src/, so
@@ -61,6 +64,11 @@ UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 LOCK_TYPE_RE = re.compile(
     r"\b(?:MutexLock|lock_guard|unique_lock|scoped_lock)\b")
 LOCKED_CALLEE_RE = re.compile(r"^schedule_(?:at|in|event_\w+)$")
+# Blocking-channel member callees banned under a scoped lock; must mirror
+# the text backend's LOCKED_CALL_RE tail (because_lint.py) so the two
+# backends share one allowlist. `wait_for_\w+` needs the underscore:
+# CondVar's wait_for(lock, ...) is the sanctioned blocking shape.
+LOCKED_BLOCKING_RE = re.compile(r"^(?:recv|pop_wait|wait_for_\w+)$")
 CONST_TYPE_RE = re.compile(r"\bconst\b")
 
 
@@ -226,8 +234,9 @@ class Walker:
                 and self.in_repo(file):
             callee = self.callee_name(node)
             if callee and (LOCKED_CALLEE_RE.match(callee)
-                           or (callee == "submit"
-                               and kind == "CXXMemberCallExpr")):
+                           or (kind == "CXXMemberCallExpr"
+                               and (callee == "submit"
+                                    or LOCKED_BLOCKING_RE.match(callee)))):
                 self.hits.add((file, "lock-scoped-call", line))
 
         if kind == "CompoundStmt":
@@ -371,6 +380,9 @@ CANNED_EXPECTED = {
     ("/repo/src/demo/canned.cpp", "unordered-digest", 12),
     ("/repo/src/demo/canned.cpp", "lock-scoped-call", 18),
     ("/repo/src/demo/canned.cpp", "lock-scoped-call", 19),
+    # channel.recv() under the lock at line 20 is a blocking channel wait;
+    # work_cv.wait() at line 21 is the sanctioned CondVar shape — no verdict.
+    ("/repo/src/demo/canned.cpp", "lock-scoped-call", 20),
 }
 
 

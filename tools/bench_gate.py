@@ -20,16 +20,24 @@ number:
                  drop out of the bench build.
 
 Derived "Speedup" records are ratios of two measurements already gated
-individually, so they are skipped. Derived "ObsOverhead" records carry the
-obs-on/obs-off cost ratio as ns_per_op and are gated *absolutely* against
---obs-tolerance (default 1.05: enabling observability may cost at most 5%
-of event-loop throughput) — the fresh value alone decides, so the budget
-cannot drift upward PR by PR the way a relative band would. Records present
-only in the fresh file are reported but do not fail (new benchmarks land
-before their baseline).
+individually, so they are skipped by the relative checks. Derived
+"ObsOverhead" records carry the obs-on/obs-off cost ratio as ns_per_op and
+are gated *absolutely* against --obs-tolerance (default 1.05: enabling
+observability may cost at most 5% of event-loop throughput) — the fresh
+value alone decides, so the budget cannot drift upward PR by PR the way a
+relative band would. Records present only in the fresh file are reported but
+do not fail (new benchmarks land before their baseline).
 
-Exit status: 0 = within tolerance, 1 = regression (or missing record/field),
-2 = usage error (unreadable/malformed files).
+--min-speedup NAME:FACTOR (repeatable) enforces a *floor* on speedup-ratio
+records, again absolutely: every fresh record named NAME or NAME/<suffix>
+must carry ns_per_op >= FACTOR (speedup records store the wall-clock ratio
+in ns_per_op). No matching fresh record is a failure — a speedup gate that
+can be disarmed by deleting its benchmark is no gate. The committed baseline
+is irrelevant here, so the floor cannot ratchet down over PRs.
+
+Exit status: 0 = within tolerance, 1 = regression (or missing record/field,
+or a --min-speedup floor violated), 2 = usage error (unreadable/malformed
+files or a malformed --min-speedup spec).
 """
 
 from __future__ import annotations
@@ -60,9 +68,52 @@ def load_records(path: Path) -> dict[str, dict]:
     return out
 
 
+def parse_min_speedups(specs: list[str]) -> list[tuple[str, float]]:
+    """Parse NAME:FACTOR specs; exits 2 on a malformed spec."""
+    floors = []
+    for spec in specs:
+        name, sep, factor_text = spec.rpartition(":")
+        try:
+            factor = float(factor_text)
+        except ValueError:
+            factor = float("nan")
+        if not sep or not name or not factor == factor or factor <= 0:
+            print(f"bench_gate: malformed --min-speedup spec '{spec}' "
+                  f"(expected NAME:FACTOR with FACTOR > 0)", file=sys.stderr)
+            sys.exit(2)
+        floors.append((name, factor))
+    return floors
+
+
+def gate_min_speedups(floors: list[tuple[str, float]],
+                      fresh: dict[str, dict]) -> tuple[int, int]:
+    """Enforce speedup floors on fresh records; returns (status, checked)."""
+    status = 0
+    checked = 0
+    for name, factor in floors:
+        matches = [rec for rec_name, rec in fresh.items()
+                   if rec_name == name or rec_name.startswith(name + "/")]
+        if not matches:
+            print(f"FAIL {name}: no fresh speedup record matches "
+                  f"(--min-speedup {name}:{factor})")
+            status = 1
+            continue
+        for rec in matches:
+            checked += 1
+            ratio = float(rec["ns_per_op"])
+            if ratio < factor:
+                print(f"FAIL {rec['name']}: speedup {ratio:.2f}x < "
+                      f"{factor}x floor")
+                status = 1
+            else:
+                print(f"  ok {rec['name']}: speedup {ratio:.2f}x "
+                      f"(floor {factor}x)")
+    return status, checked
+
+
 def gate_pair(baseline_path: Path, fresh_path: Path,
-              args: argparse.Namespace) -> tuple[int, int]:
-    """Gate one committed/fresh file pair; returns (status, records checked)."""
+              args: argparse.Namespace) -> tuple[int, int, dict[str, dict]]:
+    """Gate one committed/fresh pair; returns (status, checked, fresh records)."""
     baseline = load_records(baseline_path)
     fresh = load_records(fresh_path)
 
@@ -133,7 +184,7 @@ def gate_pair(baseline_path: Path, fresh_path: Path,
                 and "ObsOverhead" not in name:
             print(f"note {name}: new benchmark, no baseline yet")
 
-    return status, checked
+    return status, checked, fresh
 
 
 def main() -> int:
@@ -152,6 +203,11 @@ def main() -> int:
     parser.add_argument("--obs-tolerance", type=float, default=1.05,
                         help="absolute ceiling on ObsOverhead ratios "
                              "(default: 1.05)")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="NAME:FACTOR",
+                        help="absolute floor on fresh speedup records named "
+                             "NAME or NAME/<suffix>; repeatable. A spec with "
+                             "no matching fresh record fails the gate.")
     args = parser.parse_args()
 
     if len(args.baseline) != len(args.fresh):
@@ -159,15 +215,23 @@ def main() -> int:
               f"({len(args.baseline)} baselines vs {len(args.fresh)} fresh)",
               file=sys.stderr)
         return 2
+    floors = parse_min_speedups(args.min_speedup)
 
     status = 0
     checked = 0
+    all_fresh: dict[str, dict] = {}
     for baseline_path, fresh_path in zip(args.baseline, args.fresh):
         print(f"-- {baseline_path} vs {fresh_path}")
-        pair_status, pair_checked = gate_pair(Path(baseline_path),
-                                              Path(fresh_path), args)
+        pair_status, pair_checked, pair_fresh = gate_pair(
+            Path(baseline_path), Path(fresh_path), args)
         status |= pair_status
         checked += pair_checked
+        all_fresh.update(pair_fresh)
+
+    if floors:
+        floor_status, floor_checked = gate_min_speedups(floors, all_fresh)
+        status |= floor_status
+        checked += floor_checked
 
     if checked == 0:
         print("bench_gate: baselines contained no gateable records",

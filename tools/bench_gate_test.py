@@ -13,7 +13,10 @@ exact exit status plus the decisive line of output:
   1  allocs_per_op field dropped out of the fresh record
   1  ObsOverhead ratio above the absolute --obs-tolerance ceiling
   0  new fresh-only benchmark is a note, not a failure
-  2  malformed json / missing benchmarks array / unpaired flags
+  0  --min-speedup floor met (prefix-matched against fresh speedup records)
+  1  --min-speedup floor violated or no fresh record matches the spec
+  2  malformed json / missing benchmarks array / unpaired flags / malformed
+     --min-speedup spec
 
 Run directly (`python3 tools/bench_gate_test.py`) or via the
 `bench_gate_selftest` ctest (label: static).
@@ -116,6 +119,60 @@ class BenchGateExitPaths(unittest.TestCase):
              {"name": "BM_New", "ns_per_op": 1.0}])
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
         self.assertIn("note BM_New: new benchmark", result.stdout)
+
+    def test_min_speedup_floor_met_is_clean(self) -> None:
+        # Prefix match: the spec names the family, fresh records carry the
+        # per-scale suffix. Both scales must clear the floor.
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_ShardedSimSpeedup/10000", "ns_per_op": 3.1},
+             {"name": "BM_ShardedSimSpeedup/70000", "ns_per_op": 2.6}],
+            "--min-speedup", "BM_ShardedSimSpeedup:2.5")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("ok BM_ShardedSimSpeedup/70000: speedup 2.60x",
+                      result.stdout)
+
+    def test_min_speedup_below_floor_fails(self) -> None:
+        # The floor is absolute: the baseline's (healthy) ratio is irrelevant,
+        # only the fresh value counts.
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_ShardedSimSpeedup/70000", "ns_per_op": 3.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_ShardedSimSpeedup/70000", "ns_per_op": 1.8}],
+            "--min-speedup", "BM_ShardedSimSpeedup:2.5")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL BM_ShardedSimSpeedup/70000: speedup 1.80x < 2.5x",
+                      result.stdout)
+
+    def test_min_speedup_without_matching_record_fails(self) -> None:
+        # Deleting the benchmark must not disarm its floor.
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            "--min-speedup", "BM_ShardedSimSpeedup:2.5")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL BM_ShardedSimSpeedup: no fresh speedup record",
+                      result.stdout)
+
+    def test_min_speedup_exact_name_matches(self) -> None:
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_EventEngineSpeedup", "ns_per_op": 3.7}],
+            "--min-speedup", "BM_EventEngineSpeedup:2.0")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_malformed_min_speedup_spec_is_usage_error(self) -> None:
+        for spec in ("BM_ShardedSimSpeedup", "BM_ShardedSimSpeedup:",
+                     ":2.5", "BM_ShardedSimSpeedup:-1"):
+            result = self.gate(
+                [{"name": "BM_Sim", "ns_per_op": 100.0}],
+                [{"name": "BM_Sim", "ns_per_op": 100.0}],
+                "--min-speedup", spec)
+            self.assertEqual(result.returncode, 2, spec)
+            self.assertIn("malformed --min-speedup spec", result.stderr)
 
     def test_malformed_json_is_usage_error(self) -> None:
         base = bench_file(self.dir, "baseline.json",
