@@ -22,29 +22,36 @@
 #   8. topology topology subsystem: CAIDA loader contracts, generator
 #               calibration, static warm-start equivalence (minus the 70k-AS
 #               smokes; run those with --preset check-topology-slow)
+#   9. service  becaused daemon: query/lease protocol, snapshot round-trip,
+#               byte-identity across sampler-pool sizes (release preset),
+#               then the same service-labeled tests under thread sanitizer
+#               (tsan-service test preset) for the query/ingest lock contract
 #
 # `--full` appends two sanitizer stages: address sanitizer (check-asan) and
 # undefined-behaviour sanitizer (check-ubsan), each over the tier-1 suite
 # minus slow-labeled tests.
 #
-# `--bench` appends the bench-regression gate: build bench_sim and
-# bench_perf_samplers under the release preset, run them (fresh
-# BENCH_sim.json / BENCH_samplers.json), and diff both against the
-# committed baselines with tools/bench_gate.py.
+# `--bench` appends the bench-regression gate: build bench_sim,
+# bench_perf_samplers, and becaused_bench under the release preset, run them
+# (fresh BENCH_sim.json / BENCH_samplers.json / BENCH_service.json), and
+# diff all three against the committed baselines with tools/bench_gate.py —
+# plus the warm-pool floor (--min-speedup BM_ServiceCachedSpeedup:10) and
+# the cached-query latency SLO (--max-ns BM_ServiceCachedQuery/p99).
 #
 # `--stage <name>` runs exactly one named stage instead of the ladder —
 # handy when iterating on a single gate. Valid names: check-static
 # check-tsa check-release check-obs check-tsan check-shard check-simd
-# check-topology check-asan check-ubsan bench-gate.
+# check-topology check-service check-asan check-ubsan bench-gate.
 #
 # Each CMake stage is a workflow preset, so any one can also be run alone:
 #   cmake --workflow --preset check-tsa     (or check-static / check-release /
 #                                            check-obs / check-tsan /
 #                                            check-shard / check-simd /
-#                                            check-topology / check-asan /
-#                                            check-ubsan)
-# (check-shard run via this script also re-runs the shard-labeled tests
-# under tsan; the bare workflow preset covers the release half only.)
+#                                            check-topology / check-service /
+#                                            check-asan / check-ubsan)
+# (check-shard and check-service run via this script also re-run their
+# labeled tests under tsan; the bare workflow presets cover the release
+# halves only.)
 # The script stops at the first failing stage and prints per-stage timing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,16 +59,16 @@ cd "$(dirname "$0")/.."
 usage() {
   echo "usage: $0 [--full] [--bench] [--stage <name>]" >&2
   echo "  stages: check-static check-tsa check-release check-obs check-tsan" >&2
-  echo "          check-shard check-simd check-topology check-asan" >&2
-  echo "          check-ubsan bench-gate" >&2
+  echo "          check-shard check-simd check-topology check-service" >&2
+  echo "          check-asan check-ubsan bench-gate" >&2
   exit 2
 }
 
 ALL_STAGES=(check-static check-tsa check-release check-obs check-tsan
-            check-shard check-simd check-topology check-asan check-ubsan
-            bench-gate)
+            check-shard check-simd check-topology check-service check-asan
+            check-ubsan bench-gate)
 STAGES=(check-static check-tsa check-release check-obs check-tsan
-        check-shard check-simd check-topology)
+        check-shard check-simd check-topology check-service)
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) STAGES+=(check-asan check-ubsan) ;;
@@ -92,11 +99,25 @@ run_check_shard() {
   ctest --preset tsan-shard
 }
 
+run_check_service() {
+  # Release half: daemon protocol, snapshot round-trip, pool-size identity.
+  cmake --workflow --preset check-service
+  # Tsan half: the same service-labeled tests under thread sanitizer. The
+  # check-tsan stage already covers the determinism test via its concurrency
+  # label when the full ladder runs, but `--stage check-service` must stand
+  # alone — and the single-label run also races the snapshot/query tests.
+  cmake --preset tsan
+  cmake --build build-tsan -j
+  ctest --preset tsan-service
+}
+
 run_bench_gate() {
   cmake --preset release
-  cmake --build build-release -j --target bench_sim --target bench_perf_samplers
+  cmake --build build-release -j --target bench_sim --target bench_perf_samplers \
+    --target becaused_bench
   (cd build-release && ./bench/bench_sim)
   (cd build-release && ./bench/bench_perf_samplers)
+  (cd build-release && ./tools/becaused_bench)
   # The sharded-engine speedup floor needs real parallel hardware: the bench
   # records are produced (and honest) on any host, but on fewer than 8 cores
   # an 8-shard run cannot clear 2.5x, so the floor is only enforced where it
@@ -108,9 +129,14 @@ run_bench_gate() {
   else
     echo "bench-gate: nproc < 8, not enforcing the BM_ShardedSimSpeedup floor"
   fi
+  # The warm-pool payoff and the cached-query latency SLO hold on any host:
+  # a cached query never runs MCMC, so neither bound needs parallel hardware.
   python3 tools/bench_gate.py \
     --baseline BENCH_sim.json --fresh build-release/BENCH_sim.json \
     --baseline BENCH_samplers.json --fresh build-release/BENCH_samplers.json \
+    --baseline BENCH_service.json --fresh build-release/BENCH_service.json \
+    --min-speedup "BM_ServiceCachedSpeedup:10" \
+    --max-ns "BM_ServiceCachedQuery/p99:100000" \
     ${speedup_args[@]+"${speedup_args[@]}"}
 }
 
@@ -125,6 +151,8 @@ for stage in "${STAGES[@]}"; do
     run_bench_gate
   elif [[ "${stage}" == "check-shard" ]]; then
     run_check_shard
+  elif [[ "${stage}" == "check-service" ]]; then
+    run_check_service
   else
     cmake --workflow --preset "${stage}"
   fi

@@ -6,9 +6,24 @@
 // Hamiltonian. The log-density in theta includes the Jacobian
 // sum_i log(p_i (1 - p_i)) of the sigmoid transform, so samples mapped back
 // through sigmoid are distributed according to the posterior over p.
+//
+// Two entry points share one trajectory implementation:
+//   run_hmc        the one-shot batch sampler (warmup + kept samples, the
+//                  offline pipeline's path);
+//   HmcSampler     the resumable form: one iterate() per trajectory, with
+//                  the full mid-run state (position, dual-averaging
+//                  iterates, RNG engine) exposed for save/restore. The
+//                  becaused service keeps warm pools of these at their
+//                  post-warmup state — the dual-averaging step size is
+//                  frozen once burn-in ends, so later iterate() calls draw
+//                  from a fixed-step sampler and a restored sampler
+//                  continues bit-identically to one that never stopped.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "core/chain.hpp"
 #include "core/likelihood.hpp"
@@ -44,6 +59,105 @@ struct HmcConfig {
   double target_accept = 0.8;
 
   void validate() const;
+};
+
+/// The complete mid-run state of an HmcSampler: everything iterate() reads
+/// besides the (likelihood, prior, config) triple. Restoring this into a
+/// sampler built over the same triple resumes the trajectory stream
+/// bit-identically — the RNG engine is serialized as the std::mt19937_64
+/// stream text, and the log-target at `theta` is recomputed on restore (a
+/// pure function of theta, so no drift). The becaused snapshot format
+/// persists exactly these fields.
+struct HmcSamplerState {
+  std::vector<double> theta;      ///< unconstrained position, logit(p)
+  double step_size = 0.0;         ///< current (warmup iterate or frozen) eps
+  double log_eps_bar = 0.0;       ///< dual-averaging averaged iterate
+  double h_bar = 0.0;             ///< dual-averaging error accumulator
+  std::uint64_t iteration = 0;    ///< trajectories completed
+  std::uint64_t proposals = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t kept_accepts = 0;  ///< accepts at iteration >= burn_in
+  std::uint64_t divergences = 0;
+  std::uint64_t leapfrog_steps = 0;
+  std::string rng_state;          ///< operator<< text of the mt19937_64 engine
+};
+
+/// Resumable HMC: one iterate() call per leapfrog trajectory, identical in
+/// sequence to run_hmc's loop body (run_hmc is a thin wrapper over this
+/// class, so the two cannot drift apart). Warmup adaptation runs while
+/// iteration() < config.burn_in and freezes afterwards; iterating past
+/// burn_in + samples is allowed and keeps drawing from the frozen-step
+/// sampler (the warm-pool refresh path).
+class HmcSampler {
+ public:
+  /// Draws the initial position from the prior (the same stream run_hmc
+  /// consumed). `likelihood` and `prior` must outlive the sampler; `pool`
+  /// (optional) range-splits gradients when config.gradient_shards > 1.
+  HmcSampler(const Likelihood& likelihood, const Prior& prior,
+             const HmcConfig& config, util::ThreadPool* pool = nullptr);
+
+  /// Run exactly one trajectory: momentum draw, leapfrog integration,
+  /// accept/reject, and (during burn-in) the dual-averaging update.
+  void iterate();
+
+  std::uint64_t iteration() const { return iteration_; }
+  bool in_warmup() const { return iteration_ < config_.burn_in; }
+
+  /// Current position mapped through sigmoid into an internal buffer
+  /// (valid until the next iterate()/current_p() call).
+  std::span<const double> current_p();
+
+  std::size_t dim() const { return theta_.size(); }
+  double step_size() const { return step_size_; }
+  std::uint64_t proposals() const { return proposals_; }
+  std::uint64_t accepts() const { return accepts_; }
+  std::uint64_t kept_accepts() const { return kept_accepts_; }
+  std::uint64_t divergences() const { return divergences_; }
+  std::uint64_t leapfrog_steps() const { return leapfrog_steps_; }
+
+  /// Snapshot / resume. restore_state() recomputes the cached log-target
+  /// from the restored theta and replaces the RNG engine, so a
+  /// save/destroy/restore cycle is invisible to the trajectory stream.
+  /// (Non-const: serializing the engine goes through Rng::engine().)
+  HmcSamplerState save_state();
+  void restore_state(const HmcSamplerState& state);
+
+  /// Publish the obs counter deltas accumulated since the last flush
+  /// (mcmc.hmc.* catalogue counters). Safe to call repeatedly; each delta
+  /// is published exactly once, so the totals match a single end-of-run
+  /// flush.
+  void flush_obs();
+
+ private:
+  const Likelihood& likelihood_;
+  const Prior& prior_;
+  HmcConfig config_;
+  util::ThreadPool* pool_;
+
+  stats::Rng rng_;
+  std::vector<double> theta_;
+  std::vector<double> p_buf_, grad_p_, theta_prop_, momentum_, grad_prop_;
+  double current_logp_ = 0.0;
+
+  // Dual-averaging state (Hoffman & Gelman 2014, eq. 6 with Stan's
+  // constants). The iterate eps_m explores aggressively; the kappa-weighted
+  // average eps_bar is what the sampling phase freezes to.
+  double step_size_;
+  double mu_;
+  double log_eps_bar_ = 0.0;
+  double h_bar_ = 0.0;
+
+  std::uint64_t iteration_ = 0;
+  std::uint64_t proposals_ = 0;
+  std::uint64_t accepts_ = 0;
+  std::uint64_t kept_accepts_ = 0;
+  std::uint64_t divergences_ = 0;
+  std::uint64_t leapfrog_steps_ = 0;
+  // flush_obs() high-water marks: counts already published.
+  std::uint64_t flushed_proposals_ = 0;
+  std::uint64_t flushed_accepts_ = 0;
+  std::uint64_t flushed_divergences_ = 0;
+  std::uint64_t flushed_leapfrog_steps_ = 0;
 };
 
 /// Run the sampler; the initial state is drawn from the prior. The returned

@@ -59,6 +59,14 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "bgp.static.across_visits",
     "bgp.static.down_visits",
     "bgp.static.seeded_routes",
+    "service.ingest.updates",
+    "service.queries",
+    "service.queries.cache_hits",
+    "service.queries.refreshes",
+    "service.queries.cold_builds",
+    "service.snapshot.saves",
+    "service.snapshot.restores",
+    "service.reconfig.commits",
 };
 
 constexpr std::array<const char*, kGaugeCount> kGaugeNames = {

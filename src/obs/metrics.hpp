@@ -83,6 +83,16 @@ enum class Counter : std::uint32_t {
   kStaticAcrossVisits,
   kStaticDownVisits,
   kStaticSeededRoutes,
+  // becaused service daemon (flushed inline from the daemon's locked
+  // sections; queries and ingestion run outside the sim hot loop).
+  kServiceIngestedUpdates,
+  kServiceQueries,
+  kServiceQueryCacheHits,
+  kServiceQueryRefreshes,
+  kServiceQueryColdBuilds,
+  kServiceSnapshotSaves,
+  kServiceSnapshotRestores,
+  kServiceReconfigCommits,
   kCount
 };
 inline constexpr std::size_t kCounterCount =

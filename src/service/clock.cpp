@@ -1,0 +1,14 @@
+#include "service/clock.hpp"
+
+#include <chrono>
+
+namespace because::service {
+
+std::int64_t SystemClock::now_unix_ms() {
+  // The sanctioned wallclock read of src/service (see the header comment
+  // and the obs-wallclock lint rule's allowlist).
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+}
+
+}  // namespace because::service

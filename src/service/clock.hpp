@@ -1,0 +1,51 @@
+// The becaused daemon's wallclock boundary.
+//
+// Nothing in the service that feeds a query response, a digest or a
+// snapshot may read real time — the determinism bar is byte-identical
+// responses at any thread-pool size, and wallclock is the canonical way to
+// break that. The daemon's I/O boundary still legitimately needs a clock
+// (the `show service stats` uptime line a human reads at a vtysh prompt),
+// so this pair of files is the single sanctioned wallclock site of
+// src/service, mirroring src/obs/export.* for the obs subsystem: the
+// obs-wallclock lint rule scans src/service and allowlists exactly
+// clock.cpp/clock.hpp. Tests and benches inject a FixedClock, which never
+// touches real time at all.
+#pragma once
+
+#include <cstdint>
+
+namespace because::service {
+
+/// Time source abstraction. The daemon reads time only through this
+/// interface and only for human-facing rendering — never for anything
+/// digested, diffed or snapshotted.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds since the Unix epoch.
+  virtual std::int64_t now_unix_ms() = 0;
+};
+
+/// The real wallclock (std::chrono::system_clock under the hood — see
+/// clock.cpp, the allowlisted call site).
+class SystemClock final : public Clock {
+ public:
+  std::int64_t now_unix_ms() override;
+};
+
+/// Deterministic clock for tests and benches: starts at `start_unix_ms`
+/// and moves only when advance() is called.
+class FixedClock final : public Clock {
+ public:
+  explicit FixedClock(std::int64_t start_unix_ms = 0)
+      : now_(start_unix_ms) {}
+
+  std::int64_t now_unix_ms() override { return now_; }
+  void advance(std::int64_t delta_ms) { now_ += delta_ms; }
+
+ private:
+  std::int64_t now_;
+};
+
+}  // namespace because::service

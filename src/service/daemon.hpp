@@ -1,0 +1,201 @@
+// becaused: the long-running RFD-inference daemon.
+//
+// Wraps the campaign -> tomography pipeline as a concurrently-queried
+// service (the ops-quagga BGP_DESIGN daemon shape — ROADMAP item 2):
+//
+//   ingestion   StreamUpdates (replayed from an UpdateStore or fed live
+//               from an in-process sim) flow through the IngestFront,
+//               which incrementally maintains the record store, per-prefix
+//               freshness epochs and the RIB view.
+//   queries     "which AS is damping prefix X?" answers from a per-prefix
+//               warm posterior cache (PrefixPosterior): a cache hit costs
+//               a map lookup; a stale entry relabels only the queried
+//               prefix and advances its warm chains a few trajectories on
+//               the frozen step size; a cold entry pays full warmup once.
+//   reconfig    staged config -> validate -> commit; commit bumps the
+//               config epoch and stale entries lazily rebuild (config is
+//               never mutated in place — config-vs-state separation).
+//   snapshot    save/restore of the authoritative state (records, config,
+//               warm posterior states) to the versioned binary format in
+//               snapshot.hpp, with a byte-identical round-trip guarantee.
+//   show        vtysh-style introspection ("show rfd posterior <prefix>",
+//               "show campaign status", "show service stats") rendered
+//               from the daemon's ordered state and the obs registry.
+//
+// Concurrency contract: one annotated Mutex guards every member (the
+// analysis checks it under clang -Wthread-safety). The expensive part of a
+// query — MCMC on a prefix's warm chains — must not run under that lock,
+// so queries use an exclusive lease: the winning thread marks the entry
+// busy under the lock, releases it, works on the leased entry unlocked
+// (no other thread touches a busy entry; waiters sleep on the condvar),
+// then re-locks to publish and notify. The per-chain work itself fans out
+// over the injected ThreadPool, and chains are joined in index order, so
+// with a fixed ingestion schedule and query script every response and
+// snapshot is byte-identical at any pool size.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "experiment/campaign.hpp"
+#include "service/clock.hpp"
+#include "service/config.hpp"
+#include "service/ingest.hpp"
+#include "service/posterior.hpp"
+#include "service/snapshot.hpp"
+#include "util/annotations.hpp"
+
+namespace because::service {
+
+/// One query's answer. Everything in here is deterministic for a fixed
+/// ingestion schedule and query script — no wallclock, no pool-size
+/// dependence.
+struct QueryResult {
+  enum class Source : std::uint8_t { kCached, kRefreshed, kCold };
+
+  bgp::Prefix prefix;
+  Source source = Source::kCold;
+  std::uint64_t epoch = 0;         ///< freshness epoch the answer reflects
+  std::uint64_t config_epoch = 0;  ///< committed-config generation
+  std::size_t observations = 0;    ///< labeled paths in the dataset
+  std::vector<core::MarginalSummary> summaries;  ///< dense-node order
+  std::vector<core::Category> categories;        ///< parallel to summaries
+  std::vector<topology::AsId> damping;  ///< category >= 4, ascending
+};
+
+std::string to_string(QueryResult::Source source);
+
+/// Deterministic text rendering of a query result (the body of
+/// "show rfd posterior <prefix>"). Doubles print with %.17g, so equal
+/// results render to equal bytes.
+std::string render(const QueryResult& result);
+
+/// Monotonic service counters, mirrored into the obs registry (the
+/// service.* catalogue block) whenever obs collection is enabled.
+struct ServiceStats {
+  std::uint64_t ingested = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t cold_builds = 0;
+  std::uint64_t snapshot_saves = 0;
+  std::uint64_t snapshot_restores = 0;
+  std::uint64_t reconfig_commits = 0;
+};
+
+class Daemon {
+ public:
+  /// `pool` (optional) runs warm chains in parallel; `clock` (optional)
+  /// feeds the human-facing stats rendering — when null a SystemClock is
+  /// used. Neither is owned unless defaulted; both must outlive the
+  /// daemon. The config must validate.
+  explicit Daemon(ServiceConfig config, util::ThreadPool* pool = nullptr,
+                  Clock* clock = nullptr);
+
+  // -- ingestion front ----------------------------------------------------
+
+  /// Adopt a campaign's measurement plane: mirror its VP directory,
+  /// register every oscillating beacon prefix's schedule and take the
+  /// beacon-site exclude set. Does NOT ingest the campaign's records —
+  /// replay() streams those explicitly.
+  void load_campaign(const experiment::CampaignResult& campaign);
+
+  /// Stream records [first, first + count) of `store` through ingest();
+  /// count is clamped to the store size. Returns the number ingested.
+  std::size_t replay(const collector::UpdateStore& store,
+                     std::size_t first = 0,
+                     std::size_t count = static_cast<std::size_t>(-1));
+
+  /// Ingest one live update.
+  void ingest(const StreamUpdate& update);
+
+  // -- queries ------------------------------------------------------------
+
+  QueryResult query(const bgp::Prefix& prefix);
+
+  // -- transactional reconfig ---------------------------------------------
+
+  /// Stage a candidate config (replacing any previously staged one).
+  void stage(const ServiceConfig& next);
+  bool has_staged() const;
+  /// Validate the staged config; returns the empty string when it is
+  /// committable, else the validation error.
+  std::string validate_staged() const;
+  /// Commit the staged config: validates (BECAUSE_CHECKs a stage exists;
+  /// throws std::invalid_argument like validate() on a bad config), swaps
+  /// it in and bumps the config epoch. Cached posteriors rebuild lazily.
+  void commit();
+  void abort_staged();
+
+  // -- introspection ------------------------------------------------------
+
+  /// vtysh-style commands: "show rfd posterior <prefix>" (prefix as
+  /// "pfx<id>/<len>", "<id>/<len>" or "<id>"), "show campaign status",
+  /// "show service stats". Unknown commands return a "% unknown command"
+  /// line rather than failing.
+  std::string show(std::string_view command);
+
+  // -- snapshot / restore -------------------------------------------------
+
+  /// Serialize the authoritative state (waits for in-flight query leases
+  /// to drain first). save -> restore -> save is byte-identical.
+  std::string save_snapshot();
+  void save_snapshot_file(const std::string& path);
+  /// Replace the daemon's entire state with the snapshot's. Rejects bad
+  /// magic, unsupported versions and truncated input via BECAUSE_CHECK.
+  void restore_snapshot(std::string_view bytes);
+  void restore_snapshot_file(const std::string& path);
+
+  ServiceStats stats() const;
+  ServiceConfig config() const;
+  std::uint64_t config_epoch() const;
+
+ private:
+  /// A cached prefix entry. `busy` is the query lease: it is read and
+  /// written only under mutex_ (the thread-safety analysis cannot annotate
+  /// a nested struct's member with the outer mutex, so the contract is
+  /// enforced by review plus the service TSA fixture); while true, exactly
+  /// one thread owns `posterior` and touches it WITHOUT the lock — the
+  /// same protocol-guarded discipline as PathDataset's lazy caches.
+  struct Entry {
+    explicit Entry(bgp::Prefix prefix) : posterior(prefix) {}
+    PrefixPosterior posterior;
+    bool busy = false;
+  };
+
+  QueryResult result_from(const PrefixPosterior& posterior,
+                          QueryResult::Source source) const;
+  /// Evict least-recently-used idle entries down to capacity - 1 (making
+  /// room for one insertion). Busy entries are skipped.
+  void evict_locked() BECAUSE_REQUIRES(mutex_);
+  void wait_idle_locked() BECAUSE_REQUIRES(mutex_);
+
+  std::string show_posterior(std::string_view prefix_text);
+  std::string show_campaign_locked() BECAUSE_REQUIRES(mutex_);
+  std::string show_stats_locked() BECAUSE_REQUIRES(mutex_);
+
+  void serialize_locked(SnapshotWriter& writer) BECAUSE_REQUIRES(mutex_);
+  void deserialize_locked(SnapshotReader& reader) BECAUSE_REQUIRES(mutex_);
+
+  util::ThreadPool* pool_;
+  Clock* clock_;
+  std::unique_ptr<SystemClock> own_clock_;
+
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  ServiceConfig config_ BECAUSE_GUARDED_BY(mutex_);
+  std::optional<ServiceConfig> staged_ BECAUSE_GUARDED_BY(mutex_);
+  std::uint64_t config_epoch_ BECAUSE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t query_seq_ BECAUSE_GUARDED_BY(mutex_) = 0;
+  IngestFront front_ BECAUSE_GUARDED_BY(mutex_);
+  std::map<bgp::Prefix, std::unique_ptr<Entry>> entries_
+      BECAUSE_GUARDED_BY(mutex_);
+  ServiceStats stats_ BECAUSE_GUARDED_BY(mutex_);
+};
+
+}  // namespace because::service

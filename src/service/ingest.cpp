@@ -1,0 +1,69 @@
+#include "service/ingest.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace because::service {
+
+void IngestFront::register_vp(const collector::VpInfo& info) {
+  const collector::VpId id =
+      store_.register_vp(info.as, info.project, info.export_delay);
+  BECAUSE_CHECK(id == info.id,
+                "IngestFront: VP directory must be mirrored in id order (got "
+                    << info.id << ", store assigned " << id << ")");
+}
+
+void IngestFront::register_schedule(const bgp::Prefix& prefix,
+                                    const beacon::BeaconSchedule& schedule) {
+  schedule.validate();
+  schedules_[prefix] = schedule;
+}
+
+void IngestFront::set_exclude(std::unordered_set<topology::AsId> exclude) {
+  exclude_ = std::move(exclude);
+}
+
+void IngestFront::apply(const StreamUpdate& update) {
+  BECAUSE_CHECK(update.vp < store_.vantage_points().size(),
+                "IngestFront: update from unregistered VP " << update.vp);
+  bgp::Update recorded;
+  recorded.type = update.type;
+  recorded.prefix = update.prefix;
+  recorded.beacon_timestamp = update.beacon_timestamp;
+  recorded.path = update.path.empty()
+                      ? topology::kEmptyPath
+                      : store_.paths().intern(update.path);
+  store_.record(update.vp, update.recorded_at, recorded);
+
+  ++epochs_[update.prefix];
+  ++ingested_;
+
+  const auto key = std::make_pair(update.vp, update.prefix);
+  if (update.type == bgp::UpdateType::kAnnouncement)
+    rib_[key] = {update.path, update.beacon_timestamp, update.recorded_at};
+  else
+    rib_.erase(key);
+}
+
+std::uint64_t IngestFront::epoch(const bgp::Prefix& prefix) const {
+  const auto it = epochs_.find(prefix);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+const beacon::BeaconSchedule* IngestFront::schedule_of(
+    const bgp::Prefix& prefix) const {
+  const auto it = schedules_.find(prefix);
+  return it == schedules_.end() ? nullptr : &it->second;
+}
+
+void IngestFront::clear() {
+  store_ = collector::UpdateStore();
+  epochs_.clear();
+  rib_.clear();
+  schedules_.clear();
+  exclude_.clear();
+  ingested_ = 0;
+}
+
+}  // namespace because::service

@@ -1,0 +1,113 @@
+// Streaming ingestion front of the becaused daemon.
+//
+// Collector updates — replayed from a campaign's UpdateStore or fed live
+// from an in-process simulation — arrive one at a time as StreamUpdates.
+// The front incrementally maintains everything the query path derives from
+// the stream:
+//
+//   - the service's own UpdateStore (with its own PathTable, so recorded
+//     paths stay resolvable independently of whatever produced them),
+//   - a per-prefix freshness epoch (the count of updates ingested for the
+//     prefix; a cached posterior remembers the epoch it was built at and a
+//     later query compares the two),
+//   - a RIB view: the current best route per (vantage point, prefix),
+//     installed by announcements and removed by withdrawals,
+//   - the schedule registry (prefix -> BeaconSchedule) the labeling stage
+//     needs, and the beacon-site exclude set known not to damp.
+//
+// The front is deliberately *not* self-locking: the Daemon owns one behind
+// its mutex and serializes every call. Keeping the synchronization in one
+// place (the daemon's annotated Mutex) is what lets the thread-safety
+// analysis check the whole ingest/query contract instead of half of it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "collector/update_store.hpp"
+#include "topology/paths.hpp"
+
+namespace because::service {
+
+/// One collector update in self-contained form: the AS path is carried by
+/// value (BGP order, vantage point first), not as a PathId into some other
+/// table, so a StreamUpdate can cross process and snapshot boundaries.
+struct StreamUpdate {
+  collector::VpId vp = 0;
+  sim::Time recorded_at = 0;
+  bgp::UpdateType type = bgp::UpdateType::kAnnouncement;
+  bgp::Prefix prefix;
+  sim::Time beacon_timestamp = bgp::kNoBeaconTimestamp;
+  topology::AsPath path;  ///< empty for withdrawals
+};
+
+/// The current route a vantage point holds for a prefix.
+struct RibEntry {
+  topology::AsPath path;
+  sim::Time beacon_timestamp = bgp::kNoBeaconTimestamp;
+  sim::Time since = 0;  ///< recorded_at of the installing announcement
+};
+
+class IngestFront {
+ public:
+  /// Mirror one vantage point of the source directory. VPs must be
+  /// registered in id order starting from 0 (checked) so the service's
+  /// store assigns the same ids the stream's records carry.
+  void register_vp(const collector::VpInfo& info);
+
+  /// Register the beacon schedule a prefix was deployed with (labeling
+  /// needs it). Re-registering a prefix overwrites.
+  void register_schedule(const bgp::Prefix& prefix,
+                         const beacon::BeaconSchedule& schedule);
+
+  /// The AS set excluded from inference (beacon sites do not damp).
+  void set_exclude(std::unordered_set<topology::AsId> exclude);
+
+  /// Ingest one update: record it, bump the prefix's freshness epoch and
+  /// update the RIB view. The VP must be registered; per-VP record times
+  /// must be non-decreasing (the store checks).
+  void apply(const StreamUpdate& update);
+
+  /// Freshness epoch of a prefix: updates ingested for it so far (0 if the
+  /// prefix was never seen).
+  std::uint64_t epoch(const bgp::Prefix& prefix) const;
+
+  const collector::UpdateStore& store() const { return store_; }
+  const beacon::BeaconSchedule* schedule_of(const bgp::Prefix& prefix) const;
+  const std::unordered_set<topology::AsId>& exclude() const {
+    return exclude_;
+  }
+
+  /// Deterministically ordered views for rendering and snapshotting.
+  const std::map<bgp::Prefix, beacon::BeaconSchedule>& schedules() const {
+    return schedules_;
+  }
+  const std::map<bgp::Prefix, std::uint64_t>& epochs() const {
+    return epochs_;
+  }
+  const std::map<std::pair<collector::VpId, bgp::Prefix>, RibEntry>& rib()
+      const {
+    return rib_;
+  }
+
+  std::uint64_t ingested() const { return ingested_; }
+
+  /// Drop every record, epoch and RIB entry plus the VP directory,
+  /// schedule registry and exclude set (snapshot restore starts from
+  /// here).
+  void clear();
+
+ private:
+  collector::UpdateStore store_;
+  std::map<bgp::Prefix, std::uint64_t> epochs_;
+  std::map<std::pair<collector::VpId, bgp::Prefix>, RibEntry> rib_;
+  std::map<bgp::Prefix, beacon::BeaconSchedule> schedules_;
+  std::unordered_set<topology::AsId> exclude_;
+  std::uint64_t ingested_ = 0;
+};
+
+}  // namespace because::service

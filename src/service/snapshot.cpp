@@ -1,0 +1,45 @@
+#include "service/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace because::service {
+
+void write_header(SnapshotWriter& writer) {
+  for (char c : kSnapshotMagic)
+    writer.put_u8(static_cast<std::uint8_t>(c));
+  writer.put_u32(kSnapshotVersion);
+}
+
+void read_header(SnapshotReader& reader) {
+  for (char expected : kSnapshotMagic) {
+    const std::uint8_t got = reader.get_u8();
+    BECAUSE_CHECK(got == static_cast<std::uint8_t>(expected),
+                  "snapshot: bad magic (not a becaused snapshot)");
+  }
+  const std::uint32_t version = reader.get_u32();
+  BECAUSE_CHECK(version == kSnapshotVersion,
+                "snapshot: version " << version << " unsupported (expected "
+                                     << kSnapshotVersion << ")");
+}
+
+void write_snapshot_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("snapshot: cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("snapshot: write failed: " + path);
+}
+
+std::string read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("snapshot: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof())
+    throw std::runtime_error("snapshot: read failed: " + path);
+  return std::move(buf).str();
+}
+
+}  // namespace because::service

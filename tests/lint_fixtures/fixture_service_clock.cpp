@@ -1,0 +1,14 @@
+// lint-as: src/service/clock.cpp
+// Fixture: the service::Clock shim is the single sanctioned wallclock site
+// of src/service (the daemon takes a Clock*, tests inject a FixedClock) —
+// the identical read that trips obs-wallclock elsewhere (see
+// fixture_service_wallclock.cpp) must report nothing here.
+#include <chrono>
+
+namespace because::service {
+
+long allowed_clock_shim_read() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace because::service

@@ -1,0 +1,23 @@
+// lint-as: src/service/query_path.cpp
+// Fixture: wallclock reads inside src/service (outside the Clock shim) must
+// trip obs-wallclock. The becaused daemon's responses and snapshots are
+// byte-identical replays of a fixed ingestion schedule; wall time may only
+// enter through a service::Clock* the caller injects.
+#include <chrono>
+#include <ctime>
+
+namespace because::service {
+
+long bad_system_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_steady_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long bad_libc_time() {
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace because::service

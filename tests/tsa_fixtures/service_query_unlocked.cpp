@@ -1,0 +1,45 @@
+// Negative-compile fixture for the becaused query/ingest lock contract: the
+// daemon publishes query results and bumps its counters under one annotated
+// mutex, and a fast-path "just read the stats, they're only counters" shortcut
+// must fail the analysis. (The entry lease flag itself lives in a nested
+// struct the analysis cannot annotate against the outer mutex — this fixture
+// pins the guarantee for everything that CAN be annotated, which is every
+// other daemon member.)
+//
+// tsa-expect: requires holding mutex 'mutex_'
+#include <cstdint>
+
+#include "util/annotations.hpp"
+
+namespace {
+
+struct Stats {
+  std::uint64_t queries = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+class MiniDaemon {
+ public:
+  void record_query_locked(bool hit) {
+    because::util::MutexLock lock(mutex_);
+    ++stats_.queries;
+    if (hit) ++stats_.cache_hits;
+  }
+
+  // BUG under analysis: the daemon's stats are guarded like every other
+  // member; reading them without the lock races the query path.
+  std::uint64_t queries_unlocked() const { return stats_.queries; }
+
+ private:
+  mutable because::util::Mutex mutex_;
+  Stats stats_ BECAUSE_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+// Keep the class odr-used so no toolchain elides the definitions.
+std::uint64_t tsa_fixture_service_query_unlocked() {
+  MiniDaemon d;
+  d.record_query_locked(true);
+  return d.queries_unlocked();
+}

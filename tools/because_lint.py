@@ -109,18 +109,24 @@ RULES = [
     },
     {
         "id": "obs-wallclock",
-        "dirs": ("src/obs",),
+        "dirs": ("src/obs", "src/service"),
         # The exporters are the one sanctioned wallclock boundary: a snapshot
         # written for humans may carry an export timestamp, but nothing that
-        # feeds a digest ever sees it.
-        "exclude": ("src/obs/export.cpp", "src/obs/export.hpp"),
+        # feeds a digest ever sees it. The becaused service follows the same
+        # discipline: its query responses and snapshots must be byte-identical
+        # replays, so only the service::Clock shim (src/service/clock.*) may
+        # touch wall time — daemon code takes a Clock* and tests inject a
+        # FixedClock.
+        "exclude": ("src/obs/export.cpp", "src/obs/export.hpp",
+                    "src/service/clock.cpp", "src/service/clock.hpp"),
         "pattern": re.compile(
             r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
             r"|\b(time|clock|gettimeofday|clock_gettime)\s*\("
         ),
-        "message": "wallclock in obs hot-path code (key metrics/traces on "
-                   "sim::Time and monotonic step counters; src/obs/export.* "
-                   "is the allowlisted exporter boundary)",
+        "message": "wallclock in obs/service deterministic code (key "
+                   "metrics/traces on sim::Time and monotonic counters; "
+                   "src/obs/export.* and the src/service/clock.* shim are "
+                   "the allowlisted wallclock boundaries)",
     },
     {
         "id": "hot-path-closure",

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""because-lint AST backend: clang-AST-grade verdicts for the three
-context-sensitive rules (unordered-digest, global-state, lock-scoped-call).
+"""because-lint AST backend: clang-AST-grade verdicts for the
+context-sensitive rules (unordered-digest, global-state, lock-scoped-call,
+obs-wallclock).
 
 The text scanners in because_lint.py are conservative line scanners: they
 track braces and parens but cannot see through formatting (multi-line
@@ -25,6 +26,16 @@ compile_commands.json — and walks it:
                     .wait_for_*()) — in that block (or nested blocks) is
                     flagged. CondVar member waits (.wait() / .wait_for())
                     never match: they take the lock and release it parked.
+  obs-wallclock     flag wallclock call expressions — libc time functions
+                    (time/clock/gettimeofday/clock_gettime/...) and
+                    std::chrono system/steady/high_resolution clock now() —
+                    in files under src/obs/ and src/service/, except the two
+                    sanctioned boundaries: src/obs/export.{cpp,hpp} and the
+                    service::Clock shim src/service/clock.{cpp,hpp}. Matches
+                    the text rule's dirs/exclude so the backends agree.
+                    because_lint.py does not graft this rule from the AST
+                    backend (its text rule always runs and would
+                    double-report); the AST verdicts serve standalone runs.
 
 Verdicts are (repo-relative path, rule id, line) triples — the same
 coordinate space because_lint.py uses — restricted to files under src/, so
@@ -70,6 +81,21 @@ LOCKED_CALLEE_RE = re.compile(r"^schedule_(?:at|in|event_\w+)$")
 # CondVar's wait_for(lock, ...) is the sanctioned blocking shape.
 LOCKED_BLOCKING_RE = re.compile(r"^(?:recv|pop_wait|wait_for_\w+)$")
 CONST_TYPE_RE = re.compile(r"\bconst\b")
+# obs-wallclock: plain-function wallclock reads, flagged by callee name...
+WALLCLOCK_FN_RE = re.compile(
+    r"^(?:time|clock|gettimeofday|clock_gettime|timespec_get|localtime"
+    r"|gmtime|mktime)$")
+# ...and std::chrono clock reads, flagged as a `now` callee whose subtree
+# types mention a wallclock clock (a sanctioned service::Clock shim returns
+# plain integers, so its now_unix_ms()/now() never matches).
+WALLCLOCK_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b")
+# Mirrors the text rule's dirs/exclude (because_lint.py, obs-wallclock):
+# src-relative, forward-slash paths.
+WALLCLOCK_DIRS = ("obs/", "service/")
+WALLCLOCK_SANCTIONED = frozenset((
+    "obs/export.cpp", "obs/export.hpp",
+    "service/clock.cpp", "service/clock.hpp"))
 
 
 def find_clang(explicit: str = "") -> str | None:
@@ -205,6 +231,30 @@ class Walker:
                     return found
         return None
 
+    def wallclock_scope(self, file: str) -> bool:
+        """True when `file` is inside the obs-wallclock rule's scope: under
+        src/obs or src/service but not one of the sanctioned boundaries."""
+        if not self.in_repo(file):
+            return False
+        rel = file[len(self.src_prefix):].replace(os.sep, "/")
+        if not rel.startswith(WALLCLOCK_DIRS):
+            return False
+        return rel not in WALLCLOCK_SANCTIONED
+
+    def mentions_wallclock_type(self, node) -> bool:
+        """Any qualType in the subtree naming a std::chrono wallclock —
+        distinguishes system_clock::now() from a Clock shim's now()."""
+        if not isinstance(node, dict):
+            return False
+        if WALLCLOCK_CLOCK_RE.search(self.qual_type(node)):
+            return True
+        ref = node.get("referencedDecl")
+        if isinstance(ref, dict) and WALLCLOCK_CLOCK_RE.search(
+                ref.get("type", {}).get("qualType", "")):
+            return True
+        return any(self.mentions_wallclock_type(c)
+                   for c in node.get("inner", []) or [])
+
     def note_unordered_decl(self, node: dict, file: str) -> None:
         name = node.get("name")
         if name and UNORDERED_TYPE_RE.search(self.qual_type(node)):
@@ -229,6 +279,14 @@ class Walker:
             name = self.range_target_name(node)
             if name:
                 self.range_fors.append((file, line, name))
+
+        if kind in ("CallExpr", "CXXMemberCallExpr") \
+                and self.wallclock_scope(file):
+            callee = self.callee_name(node)
+            if callee and (WALLCLOCK_FN_RE.match(callee)
+                           or (callee == "now"
+                               and self.mentions_wallclock_type(node))):
+                self.hits.add((file, "obs-wallclock", line))
 
         if locked and kind in ("CallExpr", "CXXMemberCallExpr") \
                 and self.in_repo(file):
@@ -383,6 +441,14 @@ CANNED_EXPECTED = {
     # channel.recv() under the lock at line 20 is a blocking channel wait;
     # work_cv.wait() at line 21 is the sanctioned CondVar shape — no verdict.
     ("/repo/src/demo/canned.cpp", "lock-scoped-call", 20),
+    # canned_ingest.cpp sits in src/service: the libc time() read and the
+    # chrono system_clock::now() read both trip obs-wallclock; the strlen()
+    # call and the injected clk.now_unix_ms() member call do not. The same
+    # system_clock::now() shape in canned_clock (lint path
+    # src/service/clock.cpp) is the sanctioned shim — no verdict — and
+    # canned.cpp itself is outside the rule's dirs entirely.
+    ("/repo/src/service/canned_ingest.cpp", "obs-wallclock", 5),
+    ("/repo/src/service/canned_ingest.cpp", "obs-wallclock", 6),
 }
 
 

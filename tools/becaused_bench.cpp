@@ -1,0 +1,171 @@
+// becaused_bench: service-level latency/throughput benchmark.
+//
+// Spins up a becaused daemon on a seeded bench-scale campaign and measures
+// the three paths a deployment cares about, emitting BENCH_service.json for
+// tools/bench_gate.py:
+//
+//   BM_ServiceIngest             streaming ingestion, ns per update
+//                                (items_per_second = updates/sec)
+//   BM_ServiceColdQuery          full posterior build (cache defeated by a
+//                                config commit before every query)
+//   BM_ServiceCachedQuery/p50    warm-cache query latency percentiles over
+//   BM_ServiceCachedQuery/p99    many repetitions (ns_per_op = that percentile)
+//   BM_ServiceQueryThroughput    cached queries end to end
+//                                (items_per_second = queries/sec)
+//   BM_ServiceCachedSpeedup      cold mean / cached mean wall-clock ratio —
+//                                the warm-pool payoff, gated at >= 10x
+//
+// Timing uses std::chrono::steady_clock: this is a tools/ binary, outside
+// the src/ tree the obs-wallclock lint rule scans, and bench numbers are
+// explicitly wall-clock (never digested).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/daemon.hpp"
+#include "util/thread_pool.hpp"
+
+namespace because {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ns_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::nano>(SteadyClock::now() - start)
+      .count();
+}
+
+service::ServiceConfig bench_service_config() {
+  service::ServiceConfig config;
+  config.inference = bench::inference_config();
+  // Service-scale chains: long enough for honest posteriors, short enough
+  // that a cold build is "seconds", as the README table promises.
+  config.inference.hmc.samples = 300;
+  config.inference.hmc.burn_in = 100;
+  config.pool_chains = 4;
+  config.refresh_samples = 64;
+  config.hot_prefix_capacity = 64;
+  return config;
+}
+
+}  // namespace
+
+int run() {
+  const experiment::CampaignConfig campaign_config =
+      bench::campaign_config({sim::minutes(5)});
+  std::printf("running bench-scale campaign...\n");
+  const experiment::CampaignResult campaign =
+      experiment::run_campaign(campaign_config);
+  std::printf("campaign: %zu records, %zu beacons, %zu VPs\n",
+              campaign.store.size(), campaign.beacons.size(),
+              campaign.store.vantage_points().size());
+
+  std::vector<bench::KernelBenchRecord> records;
+  util::ThreadPool pool;
+  service::Daemon daemon(bench_service_config(), &pool);
+  daemon.load_campaign(campaign);
+
+  // -- ingestion ----------------------------------------------------------
+  {
+    const auto start = SteadyClock::now();
+    const std::size_t n = daemon.replay(campaign.store);
+    const double ns = ns_since(start);
+    records.push_back({"BM_ServiceIngest", ns / static_cast<double>(n),
+                       1e9 * static_cast<double>(n) / ns,
+                       static_cast<long long>(n)});
+    std::printf("ingest: %zu updates, %.0f ns/update (%.0f updates/s)\n", n,
+                records.back().ns_per_op, records.back().items_per_second);
+  }
+
+  const std::size_t query_prefixes =
+      std::min<std::size_t>(4, campaign.beacons.size());
+
+  // -- cold queries -------------------------------------------------------
+  // A config commit bumps the config epoch, so every query pays the full
+  // build: stage/commit the same knobs between repetitions.
+  double cold_total_ns = 0.0;
+  long long cold_count = 0;
+  for (std::size_t i = 0; i < query_prefixes; ++i) {
+    daemon.stage(bench_service_config());
+    daemon.commit();
+    const auto start = SteadyClock::now();
+    (void)daemon.query(campaign.beacons[i].prefix);
+    cold_total_ns += ns_since(start);
+    ++cold_count;
+  }
+  const double cold_mean = cold_total_ns / static_cast<double>(cold_count);
+  records.push_back({"BM_ServiceColdQuery", cold_mean,
+                     1e9 / cold_mean, cold_count});
+  std::printf("cold query: %.0f ns mean over %lld builds\n", cold_mean,
+              cold_count);
+
+  // -- cached queries -----------------------------------------------------
+  // Each cold-round commit bumped the config epoch, so only the last-queried
+  // prefix is still warm at the current one — touch every prefix once
+  // (unmeasured) so the hammer below is all cache hits, then round-robin.
+  for (std::size_t i = 0; i < query_prefixes; ++i) {
+    (void)daemon.query(campaign.beacons[i].prefix);
+  }
+  constexpr int kCachedReps = 2000;
+  std::vector<double> latencies;
+  latencies.reserve(kCachedReps);
+  const auto cached_start = SteadyClock::now();
+  for (int rep = 0; rep < kCachedReps; ++rep) {
+    const bgp::Prefix prefix =
+        campaign.beacons[static_cast<std::size_t>(rep) % query_prefixes]
+            .prefix;
+    const auto start = SteadyClock::now();
+    (void)daemon.query(prefix);
+    latencies.push_back(ns_since(start));
+  }
+  const double cached_total = ns_since(cached_start);
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) {
+    const std::size_t idx = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
+    return latencies[idx];
+  };
+  const double cached_mean = cached_total / kCachedReps;
+  records.push_back(
+      {"BM_ServiceCachedQuery/p50", percentile(0.50), 0.0, kCachedReps});
+  records.push_back(
+      {"BM_ServiceCachedQuery/p99", percentile(0.99), 0.0, kCachedReps});
+  records.push_back({"BM_ServiceQueryThroughput", cached_mean,
+                     1e9 * kCachedReps / cached_total, kCachedReps});
+  std::printf(
+      "cached query: p50 %.0f ns, p99 %.0f ns, %.0f queries/s\n",
+      percentile(0.50), percentile(0.99),
+      records.back().items_per_second);
+
+  // Warm-pool payoff: wall-clock ratio, same (query one prefix) unit on
+  // both sides, gated at >= 10x by scripts/check.sh.
+  records.push_back({"BM_ServiceCachedSpeedup", cold_mean / cached_mean,
+                     0.0, 1});
+  std::printf("cached speedup: %.1fx over cold build\n",
+              cold_mean / cached_mean);
+
+  // Sanity: the cache hammer must actually have hit the cache.
+  const service::ServiceStats stats = daemon.stats();
+  if (stats.cache_hits < kCachedReps) {
+    std::fprintf(stderr,
+                 "becaused_bench: expected %d cache hits, saw %llu\n",
+                 kCachedReps,
+                 static_cast<unsigned long long>(stats.cache_hits));
+    return 1;
+  }
+
+  if (!bench::write_bench_json("BENCH_service.json", records)) {
+    std::fprintf(stderr, "becaused_bench: cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_service.json (%zu records)\n", records.size());
+  return 0;
+}
+
+}  // namespace because
+
+int main() { return because::run(); }

@@ -35,9 +35,15 @@ in ns_per_op). No matching fresh record is a failure — a speedup gate that
 can be disarmed by deleting its benchmark is no gate. The committed baseline
 is irrelevant here, so the floor cannot ratchet down over PRs.
 
+--max-ns NAME:CEILING (repeatable) is the mirror image for latency SLOs:
+every fresh record named NAME or NAME/<suffix> must carry ns_per_op <=
+CEILING nanoseconds, absolutely — the service p99 budget holds no matter
+what the committed baseline drifted to. As with --min-speedup, a spec with
+no matching fresh record fails the gate.
+
 Exit status: 0 = within tolerance, 1 = regression (or missing record/field,
-or a --min-speedup floor violated), 2 = usage error (unreadable/malformed
-files or a malformed --min-speedup spec).
+or a --min-speedup floor / --max-ns ceiling violated), 2 = usage error
+(unreadable/malformed files or a malformed --min-speedup/--max-ns spec).
 """
 
 from __future__ import annotations
@@ -68,21 +74,22 @@ def load_records(path: Path) -> dict[str, dict]:
     return out
 
 
-def parse_min_speedups(specs: list[str]) -> list[tuple[str, float]]:
-    """Parse NAME:FACTOR specs; exits 2 on a malformed spec."""
-    floors = []
+def parse_bound_specs(specs: list[str], flag: str) -> list[tuple[str, float]]:
+    """Parse NAME:NUMBER specs for --min-speedup/--max-ns; exits 2 when
+    malformed."""
+    bounds = []
     for spec in specs:
-        name, sep, factor_text = spec.rpartition(":")
+        name, sep, number_text = spec.rpartition(":")
         try:
-            factor = float(factor_text)
+            number = float(number_text)
         except ValueError:
-            factor = float("nan")
-        if not sep or not name or not factor == factor or factor <= 0:
-            print(f"bench_gate: malformed --min-speedup spec '{spec}' "
-                  f"(expected NAME:FACTOR with FACTOR > 0)", file=sys.stderr)
+            number = float("nan")
+        if not sep or not name or not number == number or number <= 0:
+            print(f"bench_gate: malformed {flag} spec '{spec}' "
+                  f"(expected NAME:NUMBER with NUMBER > 0)", file=sys.stderr)
             sys.exit(2)
-        floors.append((name, factor))
-    return floors
+        bounds.append((name, number))
+    return bounds
 
 
 def gate_min_speedups(floors: list[tuple[str, float]],
@@ -108,6 +115,33 @@ def gate_min_speedups(floors: list[tuple[str, float]],
             else:
                 print(f"  ok {rec['name']}: speedup {ratio:.2f}x "
                       f"(floor {factor}x)")
+    return status, checked
+
+
+def gate_max_ns(ceilings: list[tuple[str, float]],
+                fresh: dict[str, dict]) -> tuple[int, int]:
+    """Enforce absolute ns_per_op ceilings on fresh records; returns
+    (status, checked)."""
+    status = 0
+    checked = 0
+    for name, ceiling in ceilings:
+        matches = [rec for rec_name, rec in fresh.items()
+                   if rec_name == name or rec_name.startswith(name + "/")]
+        if not matches:
+            print(f"FAIL {name}: no fresh record matches "
+                  f"(--max-ns {name}:{ceiling})")
+            status = 1
+            continue
+        for rec in matches:
+            checked += 1
+            ns = float(rec["ns_per_op"])
+            if ns > ceiling:
+                print(f"FAIL {rec['name']}: ns_per_op {ns:.1f} > "
+                      f"{ceiling:.1f} absolute ceiling")
+                status = 1
+            else:
+                print(f"  ok {rec['name']}: ns_per_op {ns:.1f} "
+                      f"(ceiling {ceiling:.1f})")
     return status, checked
 
 
@@ -208,6 +242,12 @@ def main() -> int:
                         help="absolute floor on fresh speedup records named "
                              "NAME or NAME/<suffix>; repeatable. A spec with "
                              "no matching fresh record fails the gate.")
+    parser.add_argument("--max-ns", action="append", default=[],
+                        metavar="NAME:CEILING",
+                        help="absolute ns_per_op ceiling on fresh records "
+                             "named NAME or NAME/<suffix>; repeatable. A "
+                             "spec with no matching fresh record fails the "
+                             "gate.")
     args = parser.parse_args()
 
     if len(args.baseline) != len(args.fresh):
@@ -215,7 +255,8 @@ def main() -> int:
               f"({len(args.baseline)} baselines vs {len(args.fresh)} fresh)",
               file=sys.stderr)
         return 2
-    floors = parse_min_speedups(args.min_speedup)
+    floors = parse_bound_specs(args.min_speedup, "--min-speedup")
+    ceilings = parse_bound_specs(args.max_ns, "--max-ns")
 
     status = 0
     checked = 0
@@ -232,6 +273,10 @@ def main() -> int:
         floor_status, floor_checked = gate_min_speedups(floors, all_fresh)
         status |= floor_status
         checked += floor_checked
+    if ceilings:
+        ceiling_status, ceiling_checked = gate_max_ns(ceilings, all_fresh)
+        status |= ceiling_status
+        checked += ceiling_checked
 
     if checked == 0:
         print("bench_gate: baselines contained no gateable records",

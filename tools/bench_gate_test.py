@@ -15,8 +15,10 @@ exact exit status plus the decisive line of output:
   0  new fresh-only benchmark is a note, not a failure
   0  --min-speedup floor met (prefix-matched against fresh speedup records)
   1  --min-speedup floor violated or no fresh record matches the spec
+  0  --max-ns ceiling met (absolute latency SLO on fresh records)
+  1  --max-ns ceiling violated or no fresh record matches the spec
   2  malformed json / missing benchmarks array / unpaired flags / malformed
-     --min-speedup spec
+     --min-speedup/--max-ns spec
 
 Run directly (`python3 tools/bench_gate_test.py`) or via the
 `bench_gate_selftest` ctest (label: static).
@@ -173,6 +175,53 @@ class BenchGateExitPaths(unittest.TestCase):
                 "--min-speedup", spec)
             self.assertEqual(result.returncode, 2, spec)
             self.assertIn("malformed --min-speedup spec", result.stderr)
+
+    def test_max_ns_ceiling_met_is_clean(self) -> None:
+        # Prefix match, same as --min-speedup: the spec names the family,
+        # fresh records carry the percentile suffix.
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_ServiceCachedQuery/p50", "ns_per_op": 900.0},
+             {"name": "BM_ServiceCachedQuery/p99", "ns_per_op": 4500.0}],
+            "--max-ns", "BM_ServiceCachedQuery:5000")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("ok BM_ServiceCachedQuery/p99: ns_per_op 4500.0",
+                      result.stdout)
+
+    def test_max_ns_above_ceiling_fails(self) -> None:
+        # The ceiling is absolute: a generous committed baseline cannot
+        # stretch the latency SLO.
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_ServiceCachedQuery/p99", "ns_per_op": 9000.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0},
+             {"name": "BM_ServiceCachedQuery/p99", "ns_per_op": 8000.0}],
+            "--max-ns", "BM_ServiceCachedQuery/p99:5000")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn(
+            "FAIL BM_ServiceCachedQuery/p99: ns_per_op 8000.0 > 5000.0",
+            result.stdout)
+
+    def test_max_ns_without_matching_record_fails(self) -> None:
+        # Deleting the benchmark must not disarm its ceiling.
+        result = self.gate(
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            [{"name": "BM_Sim", "ns_per_op": 100.0}],
+            "--max-ns", "BM_ServiceCachedQuery:5000")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL BM_ServiceCachedQuery: no fresh record matches",
+                      result.stdout)
+
+    def test_malformed_max_ns_spec_is_usage_error(self) -> None:
+        for spec in ("BM_ServiceCachedQuery", "BM_ServiceCachedQuery:",
+                     ":5000", "BM_ServiceCachedQuery:0"):
+            result = self.gate(
+                [{"name": "BM_Sim", "ns_per_op": 100.0}],
+                [{"name": "BM_Sim", "ns_per_op": 100.0}],
+                "--max-ns", spec)
+            self.assertEqual(result.returncode, 2, spec)
+            self.assertIn("malformed --max-ns spec", result.stderr)
 
     def test_malformed_json_is_usage_error(self) -> None:
         base = bench_file(self.dir, "baseline.json",
